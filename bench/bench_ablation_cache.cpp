@@ -1,0 +1,90 @@
+// A1 (ablation) — how much cache does a caching proxy need?
+//
+// DESIGN.md calls out the caching proxy's capacity as a design choice.
+// This ablation sweeps the LRU capacity against a Zipf(1.0) key
+// population and reports hit rate, mean latency, and traffic — showing
+// the knee where the cache covers the popular set, and the flat tail
+// where extra capacity buys nothing.
+
+#include <cstdio>
+
+#include "bench_util.h"
+#include "common/rng.h"
+#include "services/kv.h"
+
+using namespace proxy;            // NOLINT
+using namespace proxy::bench;     // NOLINT
+using namespace proxy::services;  // NOLINT
+
+namespace {
+
+constexpr int kOps = 3000;
+constexpr int kKeys = 512;
+constexpr double kReadRatio = 0.95;
+
+struct Sample {
+  SimDuration mean_op = 0;
+  double hit_rate = 0;
+  std::uint64_t messages = 0;
+};
+
+sim::Co<void> Workload(std::shared_ptr<IKeyValue> kv, std::uint64_t seed) {
+  Rng rng(seed);
+  ZipfGenerator zipf(kKeys, 1.0, seed + 1);
+  for (int i = 0; i < kOps; ++i) {
+    const std::string key = "key" + std::to_string(zipf.Next());
+    if (rng.UniformDouble() < kReadRatio) {
+      (void)co_await kv->Get(key);
+    } else {
+      (void)co_await kv->Put(key, "v");
+    }
+  }
+}
+
+Sample Run(std::size_t capacity) {
+  World w(/*seed=*/13);
+  auto exported = ExportKvService(*w.server_ctx, 2);
+  if (!exported.ok()) std::abort();
+  w.Publish("kv", exported->binding);
+
+  // Instantiate the caching proxy directly so the capacity can be swept.
+  KvCacheParams params;
+  params.capacity = capacity;
+  auto proxy =
+      std::make_shared<KvCachingProxy>(*w.client_ctx, exported->binding,
+                                       params);
+  std::shared_ptr<IKeyValue> kv = proxy;
+
+  const auto msgs_before = w.rt->network().stats().messages_sent;
+  const SimDuration elapsed = w.TimeRun(Workload(kv, 5));
+  Sample s;
+  s.mean_op = elapsed / kOps;
+  s.hit_rate = proxy->cache_stats().hit_rate();
+  s.messages = w.rt->network().stats().messages_sent - msgs_before;
+  return s;
+}
+
+}  // namespace
+
+int main() {
+  std::printf(
+      "A1 (ablation): caching-proxy capacity — %d ops, %.0f%% reads,\n"
+      "Zipf(1.0) over %d keys\n",
+      kOps, kReadRatio * 100, kKeys);
+
+  Table table("effect of LRU capacity",
+              {"capacity", "hit rate", "mean op", "messages"});
+
+  for (const std::size_t cap : {4u, 16u, 64u, 128u, 256u, 512u, 1024u}) {
+    const Sample s = Run(cap);
+    table.AddRow({FmtInt(cap), FmtDouble(s.hit_rate * 100, 1) + "%",
+                  FmtDur(s.mean_op), FmtInt(s.messages)});
+  }
+  table.Print();
+
+  std::printf(
+      "\nShape check: hit rate climbs steeply while the cache is smaller\n"
+      "than the popular set, then saturates near the workload's intrinsic\n"
+      "re-reference rate; capacity beyond ~the key population is wasted.\n");
+  return 0;
+}

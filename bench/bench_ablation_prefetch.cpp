@@ -1,0 +1,96 @@
+// A2 (ablation) — what sequential prefetch buys the file proxy.
+//
+// A sequential scan with small application reads, with the proxy's
+// one-block-ahead prefetcher on and off, across block sizes. Prefetch
+// overlaps the next block's fetch with consumption of the current one,
+// so it should shave up to one fetch latency per block from the critical
+// path of a cold scan — and do nothing for warm re-reads.
+
+#include <cstdio>
+
+#include "bench_util.h"
+#include "services/file.h"
+
+using namespace proxy;            // NOLINT
+using namespace proxy::bench;     // NOLINT
+using namespace proxy::services;  // NOLINT
+
+namespace {
+
+constexpr std::uint64_t kFileSize = 128 * 1024;
+constexpr std::uint32_t kAppRead = 1024;
+// The application spends CPU on each chunk (checksum/parse/render); this
+// is what prefetch overlaps with the next block's transfer.
+constexpr SimDuration kComputePerRead = Microseconds(800);
+
+struct Sample {
+  SimDuration cold_scan = 0;
+  SimDuration warm_scan = 0;
+  std::uint64_t messages = 0;
+};
+
+sim::Co<void> Scan(std::shared_ptr<IFile> file, sim::Scheduler& sched) {
+  for (std::uint64_t off = 0; off < kFileSize; off += kAppRead) {
+    (void)co_await file->Read(off, kAppRead);
+    co_await sim::SleepFor(sched, kComputePerRead);  // process the chunk
+  }
+}
+
+Sample Run(bool prefetch, std::size_t block_size) {
+  World w(/*seed=*/3);
+  auto exported = ExportFileService(*w.server_ctx, 2);
+  if (!exported.ok()) std::abort();
+  exported->impl->FillPattern(kFileSize);
+  w.Publish("file", exported->binding);
+
+  FileCacheParams params;
+  params.prefetch_next = prefetch;
+  params.block_size = block_size;
+  params.capacity_blocks = kFileSize / block_size + 8;
+  auto proxy = std::make_shared<FileCachingProxy>(*w.client_ctx,
+                                                  exported->binding, params);
+  std::shared_ptr<IFile> file = proxy;
+
+  const auto msgs_before = w.rt->network().stats().messages_sent;
+  Sample s;
+  s.cold_scan = w.TimeRun(Scan(file, w.rt->scheduler()));
+  // Let prefetch stragglers land before the warm pass.
+  w.rt->scheduler().Run();
+  s.warm_scan = w.TimeRun(Scan(file, w.rt->scheduler()));
+  s.messages = w.rt->network().stats().messages_sent - msgs_before;
+  return s;
+}
+
+}  // namespace
+
+int main() {
+  std::printf(
+      "A2 (ablation): sequential prefetch — %llu KiB scan, %u B reads,\n"
+      "%s of application compute per read (what prefetch overlaps)\n",
+      static_cast<unsigned long long>(kFileSize / 1024), kAppRead,
+      FmtDur(kComputePerRead).c_str());
+
+  Table table("cold/warm scan time, prefetch off vs on",
+              {"block size", "cold (no prefetch)", "cold (prefetch)",
+               "cold speedup", "warm", "messages (pf on)"});
+
+  for (const std::size_t bs : {1024u, 4096u, 16384u}) {
+    const Sample off = Run(false, bs);
+    const Sample on = Run(true, bs);
+    const double speedup = on.cold_scan == 0
+                               ? 0
+                               : static_cast<double>(off.cold_scan) /
+                                     static_cast<double>(on.cold_scan);
+    table.AddRow({FmtInt(bs), FmtDur(off.cold_scan), FmtDur(on.cold_scan),
+                  FmtDouble(speedup, 2) + "x", FmtDur(on.warm_scan),
+                  FmtInt(on.messages)});
+  }
+  table.Print();
+
+  std::printf(
+      "\nShape check: prefetch overlaps block transfers with the app's\n"
+      "per-chunk compute, pushing the cold scan toward max(compute,\n"
+      "transfer) instead of their sum; warm scans cost only the compute\n"
+      "either way (pure cache hits).\n");
+  return 0;
+}

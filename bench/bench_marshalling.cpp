@@ -1,0 +1,136 @@
+// T2 — Marshalling cost anatomy (real CPU time, google-benchmark).
+//
+// The one experiment measured in wall-clock rather than virtual time:
+// the stub's fundamental overhead is encoding/decoding, which is real
+// CPU work. Sweeps payload size for flat byte payloads and nested
+// structured payloads, plus the envelope (CRC) tax.
+
+#include <benchmark/benchmark.h>
+
+#include <string>
+#include <vector>
+
+#include "serde/message.h"
+#include "serde/traits.h"
+
+namespace {
+
+using namespace proxy;  // NOLINT
+
+struct NestedRecord {
+  std::uint64_t id = 0;
+  std::string name;
+  std::vector<std::pair<std::string, std::uint64_t>> attrs;
+  PROXY_SERDE_FIELDS(id, name, attrs)
+};
+
+struct NestedPayload {
+  std::vector<NestedRecord> records;
+  PROXY_SERDE_FIELDS(records)
+};
+
+Bytes MakeFlat(std::size_t size) {
+  Bytes b(size);
+  for (std::size_t i = 0; i < size; ++i) b[i] = static_cast<std::uint8_t>(i);
+  return b;
+}
+
+NestedPayload MakeNested(std::size_t approx_bytes) {
+  NestedPayload p;
+  // Each record ~64 bytes encoded.
+  const std::size_t n = std::max<std::size_t>(1, approx_bytes / 64);
+  for (std::size_t i = 0; i < n; ++i) {
+    NestedRecord r;
+    r.id = i * 977;
+    r.name = "record-" + std::to_string(i);
+    r.attrs = {{"color", i % 7}, {"weight", i * 3}};
+    p.records.push_back(std::move(r));
+  }
+  return p;
+}
+
+void BM_EncodeFlat(benchmark::State& state) {
+  const Bytes payload = MakeFlat(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    Bytes encoded = serde::EncodeToBytes(payload);
+    benchmark::DoNotOptimize(encoded);
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_EncodeFlat)->Range(8, 64 << 10);
+
+void BM_DecodeFlat(benchmark::State& state) {
+  const Bytes payload = MakeFlat(static_cast<std::size_t>(state.range(0)));
+  const Bytes encoded = serde::EncodeToBytes(payload);
+  for (auto _ : state) {
+    auto decoded = serde::DecodeFromBytes<Bytes>(View(encoded));
+    benchmark::DoNotOptimize(decoded);
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_DecodeFlat)->Range(8, 64 << 10);
+
+void BM_EncodeNested(benchmark::State& state) {
+  const NestedPayload payload =
+      MakeNested(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    Bytes encoded = serde::EncodeToBytes(payload);
+    benchmark::DoNotOptimize(encoded);
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_EncodeNested)->Range(64, 64 << 10);
+
+void BM_DecodeNested(benchmark::State& state) {
+  const NestedPayload payload =
+      MakeNested(static_cast<std::size_t>(state.range(0)));
+  const Bytes encoded = serde::EncodeToBytes(payload);
+  for (auto _ : state) {
+    auto decoded = serde::DecodeFromBytes<NestedPayload>(View(encoded));
+    benchmark::DoNotOptimize(decoded);
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_DecodeNested)->Range(64, 64 << 10);
+
+void BM_EnvelopeWrapUnwrap(benchmark::State& state) {
+  const Bytes payload = MakeFlat(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    Bytes framed = serde::WrapEnvelope(View(payload));
+    auto unwrapped = serde::UnwrapEnvelope(View(framed));
+    benchmark::DoNotOptimize(unwrapped);
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_EnvelopeWrapUnwrap)->Range(8, 64 << 10);
+
+void BM_Crc32c(benchmark::State& state) {
+  const Bytes payload = MakeFlat(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(serde::Crc32c(View(payload)));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_Crc32c)->Range(64, 64 << 10);
+
+void BM_VarintEncode(benchmark::State& state) {
+  for (auto _ : state) {
+    Bytes out;
+    out.reserve(1024);
+    for (std::uint64_t v = 1; v != 0 && out.size() < 1000; v <<= 7) {
+      serde::PutVarint(out, v);
+    }
+    benchmark::DoNotOptimize(out);
+  }
+}
+BENCHMARK(BM_VarintEncode);
+
+}  // namespace
+
+BENCHMARK_MAIN();

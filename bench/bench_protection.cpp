@@ -1,0 +1,99 @@
+// T5 — Protection micro-costs.
+//
+// Three numbers quantify the capability model:
+//   1. the overhead a live capability check adds to a call (~0: the
+//      dispatch lookup *is* the check),
+//   2. how fast a revocation takes effect (the next call fails), and
+//   3. what a forged reference buys an attacker (nothing, at the cost of
+//      one round trip).
+
+#include <cstdio>
+
+#include "bench_util.h"
+#include "services/lock.h"
+
+using namespace proxy;            // NOLINT
+using namespace proxy::bench;     // NOLINT
+using namespace proxy::services;  // NOLINT
+
+namespace {
+
+constexpr int kCalls = 500;
+
+sim::Co<void> HolderLoop(std::shared_ptr<ILockService> lock, int n) {
+  for (int i = 0; i < n; ++i) {
+    (void)co_await lock->Holder("probe");
+  }
+}
+
+}  // namespace
+
+int main() {
+  std::printf("T5: protection micro-costs (lock service, %d calls)\n",
+              kCalls);
+
+  World w;
+  auto exported = ExportLockService(*w.server_ctx);
+  if (!exported.ok()) return 1;
+  w.Publish("locks", exported->binding);
+
+  std::shared_ptr<ILockService> lock;
+  auto bind = [&]() -> sim::Co<void> {
+    core::BindOptions opts;
+    opts.allow_direct = false;
+    Result<std::shared_ptr<ILockService>> l =
+        co_await core::Bind<ILockService>(*w.client_ctx, "locks", opts);
+    if (l.ok()) lock = *l;
+  };
+  w.rt->Run(bind());
+
+  Table table("operation costs", {"operation", "outcome", "latency"});
+
+  // 1. Live capability: per-call cost (the baseline includes the check).
+  const SimDuration live = w.TimeRun(HolderLoop(lock, kCalls)) / kCalls;
+  table.AddRow({"call via live capability", "OK", FmtDur(live)});
+
+  // 2. Revocation: revoke, then measure the first failing call.
+  auto probe = [&](const char* label) {
+    auto body = [&]() -> sim::Co<void> {
+      const SimTime t0 = w.rt->scheduler().now();
+      Result<std::optional<std::uint64_t>> r = co_await lock->Holder("probe");
+      table.AddRow({label,
+                    r.ok() ? "OK" : std::string(StatusCodeName(
+                                        r.status().code())),
+                    FmtDur(w.rt->scheduler().now() - t0)});
+    };
+    w.rt->Run(body());
+  };
+
+  const SimTime revoke_at = w.rt->scheduler().now();
+  w.server_ctx->server().Revoke(exported->binding.object);
+  const SimDuration revoke_cost = w.rt->scheduler().now() - revoke_at;
+  table.AddRow({"Revoke() itself", "local, O(1)", FmtDur(revoke_cost)});
+  probe("first call after revoke");
+  probe("later call after revoke");
+
+  // 3. A forged (guessed) object id. The reference space is 128-bit
+  //    sparse: minting a random id and calling it.
+  auto forged = [&]() -> sim::Co<void> {
+    core::ServiceBinding fake = exported->binding;
+    fake.object = ObjectId{0xdeadbeefULL, 0xfeedfaceULL};
+    auto forged_stub = std::make_shared<LockStub>(*w.client_ctx, fake);
+    const SimTime t0 = w.rt->scheduler().now();
+    Result<std::optional<std::uint64_t>> r = co_await forged_stub->Holder("x");
+    table.AddRow({"call via forged reference",
+                  std::string(StatusCodeName(r.status().code())),
+                  FmtDur(w.rt->scheduler().now() - t0)});
+  };
+  w.rt->Run(forged());
+
+  table.Print();
+
+  std::printf(
+      "\nShape check: the live-capability call costs one round trip — the\n"
+      "check itself is the dispatch-table lookup, i.e. free; revocation\n"
+      "is a local O(1) table update that takes effect on the very next\n"
+      "call; a forged 128-bit reference is rejected (NOT_FOUND) without\n"
+      "touching any object.\n");
+  return 0;
+}

@@ -1,0 +1,109 @@
+// T4 — Encapsulation: swap the service's protocol, touch no client code.
+//
+// One scripted client session (a read-heavy file editing workload) runs
+// against the file service under its three advertised protocols. The
+// client binary is byte-identical across rows — only the ServiceBinding's
+// protocol field changes, and Bind<IFile>() installs a different proxy.
+// The table reports what the swap buys. tests/file_test.cpp proves the
+// *results* are identical; this bench shows the cost difference.
+
+#include <cstdio>
+
+#include "bench_util.h"
+#include "common/rng.h"
+#include "services/file.h"
+
+using namespace proxy;            // NOLINT
+using namespace proxy::bench;     // NOLINT
+using namespace proxy::services;  // NOLINT
+
+namespace {
+
+// The client session: sequential scan, then localized edits, then rescan.
+// Written once; never changes across protocols.
+sim::Co<void> EditorSession(std::shared_ptr<IFile> file,
+                            sim::Scheduler& sched) {
+  // Full sequential read, 1 KiB at a time (64 KiB file).
+  for (std::uint64_t off = 0; off < 64 * 1024; off += 1024) {
+    (void)co_await file->Read(off, 1024);
+  }
+  // Fifty small edits clustered in one 8 KiB region, re-reading context
+  // around each edit (the classic editor pattern).
+  Rng rng(7);
+  for (int i = 0; i < 50; ++i) {
+    const std::uint64_t at = 16 * 1024 + rng.UniformU64(8 * 1024 - 64);
+    (void)co_await file->Read(at & ~1023ULL, 1024);
+    (void)co_await file->Write(at, ToBytes("edit!"));
+  }
+  // Rescan the edited region.
+  for (std::uint64_t off = 16 * 1024; off < 24 * 1024; off += 1024) {
+    (void)co_await file->Read(off, 1024);
+  }
+  co_await sim::SleepFor(sched, Milliseconds(50));  // drain write-behind
+}
+
+struct Sample {
+  SimDuration elapsed = 0;
+  std::uint64_t messages = 0;
+  std::uint64_t bytes = 0;
+};
+
+Sample Run(std::uint32_t protocol) {
+  World w;
+  auto exported = ExportFileService(*w.server_ctx, protocol);
+  if (!exported.ok()) std::abort();
+  exported->impl->FillPattern(64 * 1024);
+  w.Publish("file", exported->binding);
+
+  std::shared_ptr<IFile> file;
+  auto bind = [&]() -> sim::Co<void> {
+    // NOTE: no protocol override — the client takes whatever the service
+    // advertises. That is the whole point of T4.
+    core::BindOptions opts;
+    opts.allow_direct = false;
+    Result<std::shared_ptr<IFile>> f =
+        co_await core::Bind<IFile>(*w.client_ctx, "file", opts);
+    if (f.ok()) file = *f;
+  };
+  w.rt->Run(bind());
+
+  const auto& stats = w.rt->network().stats();
+  const auto msgs_before = stats.messages_sent;
+  const auto bytes_before = stats.bytes_sent;
+  Sample s;
+  s.elapsed = w.TimeRun(EditorSession(file, w.rt->scheduler()));
+  s.messages = stats.messages_sent - msgs_before;
+  s.bytes = stats.bytes_sent - bytes_before;
+  return s;
+}
+
+}  // namespace
+
+int main() {
+  std::printf(
+      "T4: protocol swap — identical client session, three service\n"
+      "protocols (client source diff across rows: 0 lines)\n");
+
+  Table table("editor session under each advertised protocol",
+              {"protocol", "proxy installed", "session time", "messages",
+               "bytes on wire"});
+
+  const char* kNames[] = {"", "plain stub", "caching (blocks+prefetch)",
+                          "caching + write-behind"};
+  for (const std::uint32_t protocol : {1u, 2u, 3u}) {
+    const Sample s = Run(protocol);
+    table.AddRow({FmtInt(protocol), kNames[protocol], FmtDur(s.elapsed),
+                  FmtInt(s.messages), FmtInt(s.bytes)});
+  }
+  table.Print();
+
+  std::printf(
+      "\nShape check: protocol 2 collapses the re-reads into cache hits\n"
+      "(fewer messages, shorter session). Protocol 3 matches it here —\n"
+      "this session interleaves a read after every write, so each batch\n"
+      "flushes with one element; bench_batching (F6) shows the batching\n"
+      "win on write-dominated traffic. Each upgrade shipped zero client\n"
+      "changes — the transport protocol is the service's private business\n"
+      "(the proxy principle).\n");
+  return 0;
+}

@@ -1,0 +1,141 @@
+// F7 — Replication transparency: availability bought by a proxy.
+//
+// A reader hammers the KV service while the primary's link to the client
+// flaps on a duty cycle (down `down_pct` of the time). Two
+// configurations, identical client code:
+//   single      protocol 1 stub against one server
+//   replicated  protocol 4 failover proxy against primary + 2 backups
+// The figure: read success rate and mean latency vs primary downtime.
+
+#include <cstdio>
+
+#include "bench_util.h"
+#include "services/kv.h"
+#include "services/replicated_kv.h"
+
+using namespace proxy;            // NOLINT
+using namespace proxy::bench;     // NOLINT
+using namespace proxy::services;  // NOLINT
+
+namespace {
+
+constexpr int kReads = 300;
+constexpr SimDuration kPeriod = Milliseconds(40);
+constexpr SimDuration kReadGap = Milliseconds(1);
+
+struct Sample {
+  int ok = 0;
+  SimDuration mean_ok_latency = 0;
+  std::uint64_t failovers = 0;
+};
+
+sim::Co<void> Flapper(sim::Network& net, sim::Scheduler& sched, NodeId a,
+                      NodeId b, double down_pct, int cycles) {
+  const auto down = static_cast<SimDuration>(down_pct * kPeriod);
+  for (int i = 0; i < cycles; ++i) {
+    if (down > 0) {
+      net.SetPartitioned(a, b, true);
+      co_await sim::SleepFor(sched, down);
+      net.SetPartitioned(a, b, false);
+    }
+    co_await sim::SleepFor(sched, kPeriod - down);
+  }
+}
+
+sim::Co<void> Reader(std::shared_ptr<IKeyValue> kv, sim::Scheduler& sched,
+                     Sample* out) {
+  SimDuration total_ok = 0;
+  for (int i = 0; i < kReads; ++i) {
+    const SimTime t0 = sched.now();
+    Result<std::optional<std::string>> got = co_await kv->Get("the-key");
+    if (got.ok() && got->has_value()) {
+      out->ok++;
+      total_ok += sched.now() - t0;
+    }
+    co_await sim::SleepFor(sched, kReadGap);
+  }
+  if (out->ok > 0) out->mean_ok_latency = total_ok / out->ok;
+}
+
+Sample Run(bool replicated, double down_pct) {
+  World w(/*seed=*/31);
+  std::shared_ptr<IKeyValue> kv;
+
+  if (replicated) {
+    core::Context& b1 =
+        w.rt->CreateContext(w.rt->AddNode("backup-1"), "backup-1");
+    core::Context& b2 =
+        w.rt->CreateContext(w.rt->AddNode("backup-2"), "backup-2");
+    auto exported = ExportReplicatedKv(*w.server_ctx, {&b1, &b2});
+    if (!exported.ok()) std::abort();
+    w.Publish("kv", exported->binding);
+  } else {
+    auto exported = ExportKvService(*w.server_ctx, 1);
+    if (!exported.ok()) std::abort();
+    w.Publish("kv", exported->binding);
+  }
+
+  auto setup = [&]() -> sim::Co<void> {
+    core::BindOptions opts;
+    opts.allow_direct = false;
+    Result<std::shared_ptr<IKeyValue>> bound =
+        co_await core::Bind<IKeyValue>(*w.client_ctx, "kv", opts);
+    if (!bound.ok()) std::abort();
+    kv = *bound;
+    // Same impatience for both, fair comparison: a call gives up after
+    // ~10ms, well inside a partition episode.
+    rpc::CallOptions impatient;
+    impatient.retry_interval = Milliseconds(5);
+    impatient.max_retries = 1;
+    if (auto* stub = dynamic_cast<KvStub*>(kv.get())) {
+      stub->set_call_options(impatient);
+    } else if (auto* fo = dynamic_cast<KvFailoverProxy*>(kv.get())) {
+      fo->set_call_options(impatient);
+    }
+    (void)co_await kv->Put("the-key", "the-value");
+    (void)co_await kv->Get("the-key");  // warm discovery/caches
+  };
+  w.rt->Run(setup());
+
+  Sample s;
+  (void)sim::Spawn(w.rt->scheduler(),
+                   Flapper(w.rt->network(), w.rt->scheduler(), w.client_node,
+                           w.server_node, down_pct, /*cycles=*/40));
+  (void)sim::Spawn(w.rt->scheduler(), Reader(kv, w.rt->scheduler(), &s));
+  w.rt->scheduler().Run();
+  if (auto* proxy = dynamic_cast<KvFailoverProxy*>(kv.get())) {
+    s.failovers = proxy->failovers();
+  }
+  return s;
+}
+
+}  // namespace
+
+int main() {
+  std::printf(
+      "F7: replication transparency — %d reads while the client<->primary\n"
+      "link flaps (40ms period); identical client code in both columns\n",
+      kReads);
+
+  Table table("read availability vs primary downtime",
+              {"primary down", "single: ok", "single: mean",
+               "replicated: ok", "replicated: mean", "failovers"});
+
+  for (const double down : {0.0, 0.25, 0.5, 0.75}) {
+    const Sample single = Run(false, down);
+    const Sample repl = Run(true, down);
+    table.AddRow({FmtDouble(down * 100, 0) + "%",
+                  FmtInt(single.ok) + "/" + FmtInt(kReads),
+                  FmtDur(single.mean_ok_latency),
+                  FmtInt(repl.ok) + "/" + FmtInt(kReads),
+                  FmtDur(repl.mean_ok_latency), FmtInt(repl.failovers)});
+  }
+  table.Print();
+
+  std::printf(
+      "\nShape check: the single server loses roughly the duty-cycle\n"
+      "fraction of reads (each costs a timeout first); the replicated\n"
+      "service answers everything — the proxy masks the partition by\n"
+      "failing over, and sticks to a healthy replica between flaps.\n");
+  return 0;
+}

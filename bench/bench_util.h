@@ -1,0 +1,128 @@
+// Shared scaffolding for the experiment binaries.
+//
+// Each bench binary regenerates one table/figure from EXPERIMENTS.md: it
+// builds a simulated topology, runs a workload, and prints the series.
+// All numbers are *virtual* time and real message/byte counts from the
+// simulator — deterministic for a given seed.
+#pragma once
+
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/export.h"
+#include "core/factory.h"
+#include "core/migration.h"
+#include "core/runtime.h"
+#include "services/register_all.h"
+
+namespace proxy::bench {
+
+/// Two-node world with the name service on the server node; mirrors the
+/// test fixture so benches and tests agree on topology.
+class World {
+ public:
+  explicit World(std::uint64_t seed = 42,
+                 sim::LinkParams link = sim::LinkParams{}) {
+    services::RegisterAllServices();
+    core::Runtime::Params params;
+    params.seed = seed;
+    params.default_link = link;
+    rt = std::make_unique<core::Runtime>(params);
+    server_node = rt->AddNode("server-node");
+    client_node = rt->AddNode("client-node");
+    rt->StartNameService(server_node);
+    server_ctx = &rt->CreateContext(server_node, "server");
+    client_ctx = &rt->CreateContext(client_node, "client");
+  }
+
+  void Publish(const std::string& name, const core::ServiceBinding& binding) {
+    auto body = [&]() -> sim::Co<void> {
+      Result<rpc::Void> ok =
+          co_await server_ctx->names().RegisterService(name, binding);
+      if (!ok.ok()) {
+        std::fprintf(stderr, "publish failed: %s\n",
+                     ok.status().ToString().c_str());
+        std::abort();
+      }
+    };
+    rt->Run(body());
+  }
+
+  /// Virtual nanoseconds elapsed while running `co`.
+  template <typename T>
+  SimDuration TimeRun(sim::Co<T> co) {
+    const SimTime start = rt->scheduler().now();
+    rt->Run(std::move(co));
+    return rt->scheduler().now() - start;
+  }
+
+  std::unique_ptr<core::Runtime> rt;
+  NodeId server_node;
+  NodeId client_node;
+  core::Context* server_ctx = nullptr;
+  core::Context* client_ctx = nullptr;
+};
+
+/// Fixed-width table printer for paper-style output.
+class Table {
+ public:
+  Table(std::string title, std::vector<std::string> columns)
+      : title_(std::move(title)), columns_(std::move(columns)) {}
+
+  void AddRow(std::vector<std::string> cells) {
+    rows_.push_back(std::move(cells));
+  }
+
+  void Print() const {
+    std::vector<std::size_t> width(columns_.size());
+    for (std::size_t c = 0; c < columns_.size(); ++c) {
+      width[c] = columns_[c].size();
+      for (const auto& row : rows_) {
+        if (c < row.size()) width[c] = std::max(width[c], row[c].size());
+      }
+    }
+    std::printf("\n=== %s ===\n", title_.c_str());
+    PrintRow(columns_, width);
+    std::size_t total = 1;
+    for (const auto w : width) total += w + 3;
+    std::printf("%s\n", std::string(total, '-').c_str());
+    for (const auto& row : rows_) PrintRow(row, width);
+  }
+
+ private:
+  static void PrintRow(const std::vector<std::string>& cells,
+                       const std::vector<std::size_t>& width) {
+    std::string line = "|";
+    for (std::size_t c = 0; c < width.size(); ++c) {
+      const std::string& cell = c < cells.size() ? cells[c] : std::string();
+      line += ' ';
+      line += cell;
+      line += std::string(width[c] - cell.size(), ' ');
+      line += " |";
+    }
+    std::printf("%s\n", line.c_str());
+  }
+
+  std::string title_;
+  std::vector<std::string> columns_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+inline std::string FmtDur(SimDuration d) { return FormatDuration(d); }
+
+inline std::string FmtDouble(double v, int precision = 2) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*f", precision, v);
+  return buf;
+}
+
+inline std::string FmtInt(std::uint64_t v) { return std::to_string(v); }
+
+/// Mean virtual latency over `count` ops that took `total` in all.
+inline std::string FmtMean(SimDuration total, std::uint64_t count) {
+  return FmtDur(count == 0 ? 0 : total / count);
+}
+
+}  // namespace proxy::bench

@@ -1,0 +1,165 @@
+// Example: a small office-automation system — the application domain the
+// 1986 systems (SOS, and later CIDRE on COOL) were built for.
+//
+// Four services cooperate behind proxies:
+//   documents   file service (caching proxies at every desk)
+//   metadata    key-value store (author, status, revision)
+//   edit locks  lock service (one writer at a time per document)
+//   printing    spooler (batching proxy)
+//
+// Two users collaborate on a report: Ann drafts it, Ben reviews and
+// annotates, Ann prints the final copy. Every interaction crosses
+// machines, yet the code below only ever touches abstract interfaces.
+
+#include <cstdio>
+#include <string>
+
+#include "core/factory.h"
+#include "core/runtime.h"
+#include "services/file.h"
+#include "services/kv.h"
+#include "services/lock.h"
+#include "services/register_all.h"
+#include "services/spooler.h"
+
+using namespace proxy;            // NOLINT
+using namespace proxy::services;  // NOLINT
+
+namespace {
+
+struct Desk {
+  std::string user;
+  std::shared_ptr<IFile> docs;
+  std::shared_ptr<IKeyValue> meta;
+  std::shared_ptr<ILockService> locks;
+  std::shared_ptr<ISpooler> printer;
+};
+
+sim::Co<bool> SitDown(core::Context& ctx, std::string user, Desk* desk) {
+  desk->user = std::move(user);
+  Result<std::shared_ptr<IFile>> docs =
+      co_await core::Bind<IFile>(ctx, "office/documents");
+  Result<std::shared_ptr<IKeyValue>> meta =
+      co_await core::Bind<IKeyValue>(ctx, "office/metadata");
+  Result<std::shared_ptr<ILockService>> locks =
+      co_await core::Bind<ILockService>(ctx, "office/locks");
+  Result<std::shared_ptr<ISpooler>> printer =
+      co_await core::Bind<ISpooler>(ctx, "office/printer");
+  if (!docs.ok() || !meta.ok() || !locks.ok() || !printer.ok()) {
+    co_return false;
+  }
+  desk->docs = *docs;
+  desk->meta = *meta;
+  desk->locks = *locks;
+  desk->printer = *printer;
+  co_return true;
+}
+
+sim::Co<void> Edit(Desk& desk, std::uint64_t owner_token,
+                   std::uint64_t offset, const std::string& text,
+                   const std::string& status) {
+  (void)co_await desk.locks->Acquire("report.doc", owner_token);
+  (void)co_await desk.docs->Write(offset, ToBytes(text));
+  (void)co_await desk.meta->Put("report.doc/status", status);
+  (void)co_await desk.meta->Put("report.doc/last-editor", desk.user);
+  (void)co_await desk.locks->Release("report.doc", owner_token);
+  std::printf("  [%s] saved \"%s\" (status: %s)\n", desk.user.c_str(),
+              text.c_str(), status.c_str());
+}
+
+sim::Co<void> Workflow(core::Runtime& rt, Desk& ann, Desk& ben) {
+  // Ann drafts.
+  co_await Edit(ann, /*token=*/1, 0, "Q2 Report: revenues up 14%.", "draft");
+
+  // Ben reviews concurrently-ish: he reads through his caching proxy,
+  // then appends a comment under the edit lock.
+  Result<Bytes> body = co_await ben.docs->Read(0, 64);
+  std::printf("  [%s] reads: \"%s\"\n", ben.user.c_str(),
+              ToString(View(*body)).c_str());
+  co_await Edit(ben, /*token=*/2, 27, " [BW: verify the 14% figure]",
+                "in-review");
+
+  // Ann sees Ben's edit (her cached copy was invalidated by the server)
+  // and finalizes.
+  Result<Bytes> merged = co_await ann.docs->Read(0, 64);
+  std::printf("  [%s] sees merged text: \"%s\"\n", ann.user.c_str(),
+              ToString(View(*merged)).c_str());
+  co_await Edit(ann, /*token=*/1, 27, " (source: audited ledger)   ",
+                "final");
+
+  // Print the final copy; the batching proxy coalesces the page jobs.
+  Result<Bytes> final_text = co_await ann.docs->Read(0, 64);
+  for (int page = 0; page < 5; ++page) {
+    SpoolJob job{"report-page-" + std::to_string(page), *final_text};
+    (void)co_await ann.printer->Submit(std::move(job));
+  }
+  co_await sim::SleepFor(rt.scheduler(), Milliseconds(10));
+  Result<std::uint64_t> printed = co_await ann.printer->CompletedCount();
+  std::printf("  [printer] %llu pages printed\n",
+              printed.ok() ? static_cast<unsigned long long>(*printed) : 0ULL);
+
+  Result<std::optional<std::string>> status =
+      co_await ben.meta->Get("report.doc/status");
+  Result<std::optional<std::string>> editor =
+      co_await ben.meta->Get("report.doc/last-editor");
+  std::printf("  [%s] checks metadata: status=%s, last-editor=%s\n",
+              ben.user.c_str(),
+              status.ok() && status->has_value() ? status->value().c_str()
+                                                 : "?",
+              editor.ok() && editor->has_value() ? editor->value().c_str()
+                                                 : "?");
+}
+
+}  // namespace
+
+int main() {
+  services::RegisterAllServices();
+
+  core::Runtime rt;
+  const NodeId server_room = rt.AddNode("server-room");
+  const NodeId ann_ws = rt.AddNode("ann-workstation");
+  const NodeId ben_ws = rt.AddNode("ben-workstation");
+  rt.StartNameService(server_room);
+
+  // Services, each in its own context (protection domain).
+  core::Context& docs_ctx = rt.CreateContext(server_room, "doc-store");
+  core::Context& meta_ctx = rt.CreateContext(server_room, "metadata");
+  core::Context& lock_ctx = rt.CreateContext(server_room, "lock-svc");
+  core::Context& print_ctx = rt.CreateContext(server_room, "print-svc");
+
+  auto docs = ExportFileService(docs_ctx, /*protocol=*/2);   // caching
+  auto meta = ExportKvService(meta_ctx, /*protocol=*/2);     // caching
+  auto locks = ExportLockService(lock_ctx);
+  auto printer = ExportSpoolerService(print_ctx, /*protocol=*/2);  // batching
+  if (!docs.ok() || !meta.ok() || !locks.ok() || !printer.ok()) return 1;
+
+  auto publish = [&]() -> sim::Co<void> {
+    (void)co_await docs_ctx.names().RegisterService("office/documents",
+                                                    docs->binding);
+    (void)co_await meta_ctx.names().RegisterService("office/metadata",
+                                                    meta->binding);
+    (void)co_await lock_ctx.names().RegisterService("office/locks",
+                                                    locks->binding);
+    (void)co_await print_ctx.names().RegisterService("office/printer",
+                                                     printer->binding);
+  };
+  rt.Run(publish());
+
+  core::Context& ann_ctx = rt.CreateContext(ann_ws, "ann");
+  core::Context& ben_ctx = rt.CreateContext(ben_ws, "ben");
+  Desk ann, ben;
+  const bool ok_a = rt.Run(SitDown(ann_ctx, "ann", &ann));
+  const bool ok_b = rt.Run(SitDown(ben_ctx, "ben", &ben));
+  if (!ok_a || !ok_b) return 1;
+
+  std::printf("office workflow (4 services, 3 machines, 2 users):\n");
+  rt.Run(Workflow(rt, ann, ben));
+
+  const auto& stats = rt.network().stats();
+  std::printf(
+      "\ntotal traffic: %llu messages, %llu bytes, finished at t=%s\n",
+      static_cast<unsigned long long>(stats.messages_sent),
+      static_cast<unsigned long long>(stats.bytes_sent),
+      FormatDuration(rt.scheduler().now()).c_str());
+  return 0;
+}

@@ -1,0 +1,31 @@
+// Byte-buffer aliases shared by the wire format, transport, and RPC layers.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace proxy {
+
+/// Owned, contiguous byte buffer. The runtime moves these between layers;
+/// copies are explicit.
+using Bytes = std::vector<std::uint8_t>;
+
+/// Non-owning view over immutable bytes.
+using BytesView = std::span<const std::uint8_t>;
+
+inline Bytes ToBytes(std::string_view s) {
+  return Bytes(s.begin(), s.end());
+}
+
+inline std::string ToString(BytesView b) {
+  return std::string(reinterpret_cast<const char*>(b.data()), b.size());
+}
+
+inline BytesView View(const Bytes& b) noexcept {
+  return BytesView(b.data(), b.size());
+}
+
+}  // namespace proxy

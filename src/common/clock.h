@@ -1,0 +1,40 @@
+// Virtual time units. All time in the runtime is simulated; these types
+// keep nanosecond integers from mixing with wall-clock values.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace proxy {
+
+/// Nanoseconds since simulation start.
+using SimTime = std::uint64_t;
+
+/// A span of simulated time, in nanoseconds.
+using SimDuration = std::uint64_t;
+
+constexpr SimDuration Nanoseconds(std::uint64_t n) noexcept { return n; }
+constexpr SimDuration Microseconds(std::uint64_t n) noexcept {
+  return n * 1000ULL;
+}
+constexpr SimDuration Milliseconds(std::uint64_t n) noexcept {
+  return n * 1000'000ULL;
+}
+constexpr SimDuration Seconds(std::uint64_t n) noexcept {
+  return n * 1000'000'000ULL;
+}
+
+constexpr double ToMicros(SimDuration d) noexcept {
+  return static_cast<double>(d) / 1e3;
+}
+constexpr double ToMillis(SimDuration d) noexcept {
+  return static_cast<double>(d) / 1e6;
+}
+constexpr double ToSeconds(SimDuration d) noexcept {
+  return static_cast<double>(d) / 1e9;
+}
+
+/// "12.345ms" style rendering for traces and bench tables.
+std::string FormatDuration(SimDuration d);
+
+}  // namespace proxy

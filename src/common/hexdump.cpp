@@ -1,0 +1,51 @@
+#include "common/hexdump.h"
+
+#include <cctype>
+#include <cstdio>
+
+namespace proxy {
+
+std::string HexDump(BytesView bytes, std::size_t max_bytes) {
+  std::string out;
+  const std::size_t n = std::min(bytes.size(), max_bytes);
+  for (std::size_t row = 0; row < n; row += 16) {
+    char head[24];
+    std::snprintf(head, sizeof head, "%04zx: ", row);
+    out += head;
+    std::string ascii;
+    for (std::size_t i = row; i < row + 16; ++i) {
+      if (i < n) {
+        char hex[4];
+        std::snprintf(hex, sizeof hex, "%02x ", bytes[i]);
+        out += hex;
+        ascii += std::isprint(bytes[i]) ? static_cast<char>(bytes[i]) : '.';
+      } else {
+        out += "   ";
+      }
+    }
+    out += '|';
+    out += ascii;
+    out += "|\n";
+  }
+  if (bytes.size() > max_bytes) {
+    out += "… (";
+    out += std::to_string(bytes.size() - max_bytes);
+    out += " more bytes)\n";
+  }
+  return out;
+}
+
+std::string HexString(BytesView bytes, std::size_t max_bytes) {
+  static const char* kHex = "0123456789abcdef";
+  std::string out;
+  const std::size_t n = std::min(bytes.size(), max_bytes);
+  out.reserve(n * 2 + 4);
+  for (std::size_t i = 0; i < n; ++i) {
+    out += kHex[bytes[i] >> 4];
+    out += kHex[bytes[i] & 0xf];
+  }
+  if (bytes.size() > max_bytes) out += "…";
+  return out;
+}
+
+}  // namespace proxy

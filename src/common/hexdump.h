@@ -1,0 +1,17 @@
+// Debug rendering of byte buffers, used by traces and decode-failure
+// diagnostics.
+#pragma once
+
+#include <string>
+
+#include "common/bytes.h"
+
+namespace proxy {
+
+/// "0000: 0a 0b 0c ... |...|" classic hexdump, at most `max_bytes` shown.
+std::string HexDump(BytesView bytes, std::size_t max_bytes = 256);
+
+/// Compact single-line form: "0a0b0c0d" truncated with "…".
+std::string HexString(BytesView bytes, std::size_t max_bytes = 32);
+
+}  // namespace proxy

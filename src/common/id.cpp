@@ -1,0 +1,15 @@
+#include "common/id.h"
+
+#include <cstdio>
+
+namespace proxy {
+
+std::string ObjectId::ToString() const {
+  char buf[40];
+  std::snprintf(buf, sizeof buf, "%016llx-%016llx",
+                static_cast<unsigned long long>(hi),
+                static_cast<unsigned long long>(lo));
+  return buf;
+}
+
+}  // namespace proxy

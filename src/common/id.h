@@ -1,0 +1,135 @@
+// Strongly-typed identifiers used across the runtime.
+//
+// Each id wraps an integer but is a distinct type, so a NodeId cannot be
+// passed where a PortId is expected. ObjectId is 128-bit and sparse: it is
+// drawn from a seeded generator and acts as the *unforgeable reference*
+// of the proxy principle — a context only honours ids present in its
+// capability table, and the space is too sparse to guess.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+namespace proxy {
+
+namespace detail {
+
+template <typename Tag, typename Rep>
+class StrongId {
+ public:
+  constexpr StrongId() noexcept = default;
+  constexpr explicit StrongId(Rep value) noexcept : value_(value) {}
+
+  [[nodiscard]] constexpr Rep value() const noexcept { return value_; }
+
+  friend constexpr bool operator==(StrongId a, StrongId b) noexcept {
+    return a.value_ == b.value_;
+  }
+  friend constexpr bool operator!=(StrongId a, StrongId b) noexcept {
+    return a.value_ != b.value_;
+  }
+  friend constexpr bool operator<(StrongId a, StrongId b) noexcept {
+    return a.value_ < b.value_;
+  }
+
+ private:
+  Rep value_ = 0;
+};
+
+}  // namespace detail
+
+/// A machine in the simulated distributed system.
+using NodeId = detail::StrongId<struct NodeTag, std::uint32_t>;
+
+/// A message queue endpoint within a node.
+using PortId = detail::StrongId<struct PortTag, std::uint32_t>;
+
+/// A protection domain (address space) within a node.
+using ContextId = detail::StrongId<struct ContextTag, std::uint32_t>;
+
+/// An interface (abstract type) identity; hash of its registered name.
+using InterfaceId = detail::StrongId<struct InterfaceTag, std::uint64_t>;
+
+/// 128-bit sparse object identity. Unforgeable by construction: minted
+/// only by the context that owns the object.
+struct ObjectId {
+  std::uint64_t hi = 0;
+  std::uint64_t lo = 0;
+
+  [[nodiscard]] constexpr bool IsNil() const noexcept {
+    return hi == 0 && lo == 0;
+  }
+
+  friend constexpr bool operator==(const ObjectId& a,
+                                   const ObjectId& b) noexcept {
+    return a.hi == b.hi && a.lo == b.lo;
+  }
+  friend constexpr bool operator!=(const ObjectId& a,
+                                   const ObjectId& b) noexcept {
+    return !(a == b);
+  }
+  friend constexpr bool operator<(const ObjectId& a,
+                                  const ObjectId& b) noexcept {
+    return a.hi != b.hi ? a.hi < b.hi : a.lo < b.lo;
+  }
+
+  [[nodiscard]] std::string ToString() const;
+};
+
+/// FNV-1a over an interface name; used to derive InterfaceId at compile
+/// time from the registered interface string.
+constexpr std::uint64_t Fnv1a(std::string_view s) noexcept {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (char c : s) {
+    h ^= static_cast<std::uint8_t>(c);
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+constexpr InterfaceId InterfaceIdOf(std::string_view name) noexcept {
+  return InterfaceId(Fnv1a(name));
+}
+
+}  // namespace proxy
+
+namespace std {
+
+template <>
+struct hash<proxy::ObjectId> {
+  size_t operator()(const proxy::ObjectId& id) const noexcept {
+    // The id is already uniformly random; fold the halves.
+    return static_cast<size_t>(id.hi ^ (id.lo * 0x9e3779b97f4a7c15ULL));
+  }
+};
+
+template <>
+struct hash<proxy::NodeId> {
+  size_t operator()(proxy::NodeId id) const noexcept {
+    return std::hash<std::uint32_t>{}(id.value());
+  }
+};
+
+template <>
+struct hash<proxy::PortId> {
+  size_t operator()(proxy::PortId id) const noexcept {
+    return std::hash<std::uint32_t>{}(id.value());
+  }
+};
+
+template <>
+struct hash<proxy::ContextId> {
+  size_t operator()(proxy::ContextId id) const noexcept {
+    return std::hash<std::uint32_t>{}(id.value());
+  }
+};
+
+template <>
+struct hash<proxy::InterfaceId> {
+  size_t operator()(proxy::InterfaceId id) const noexcept {
+    return std::hash<std::uint64_t>{}(id.value());
+  }
+};
+
+}  // namespace std

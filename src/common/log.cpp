@@ -1,0 +1,66 @@
+#include "common/log.h"
+
+#include <cstdio>
+#include <utility>
+
+namespace proxy {
+
+namespace {
+
+LogLevel g_level = LogLevel::kNone;
+Log::Sink g_sink;  // empty => stderr
+
+const char* LevelName(LogLevel level) {
+  switch (level) {
+    case LogLevel::kNone: return "NONE";
+    case LogLevel::kError: return "ERROR";
+    case LogLevel::kInfo: return "INFO";
+    case LogLevel::kDebug: return "DEBUG";
+    case LogLevel::kTrace: return "TRACE";
+  }
+  return "?";
+}
+
+}  // namespace
+
+void Log::SetLevel(LogLevel level) noexcept { g_level = level; }
+
+LogLevel Log::Level() noexcept { return g_level; }
+
+void Log::SetSink(Sink sink) { g_sink = std::move(sink); }
+
+void Log::Write(LogLevel level, SimTime now, std::string_view component,
+                const std::string& message) {
+  if (!Enabled(level)) return;
+  std::string line;
+  line.reserve(message.size() + 48);
+  line += '[';
+  line += FormatDuration(now);
+  line += "] ";
+  line += LevelName(level);
+  line += ' ';
+  line += component;
+  line += ": ";
+  line += message;
+  if (g_sink) {
+    g_sink(level, line);
+  } else {
+    std::fprintf(stderr, "%s\n", line.c_str());
+  }
+}
+
+std::string FormatDuration(SimDuration d) {
+  char buf[32];
+  if (d < 1000ULL) {
+    std::snprintf(buf, sizeof buf, "%lluns", static_cast<unsigned long long>(d));
+  } else if (d < 1000'000ULL) {
+    std::snprintf(buf, sizeof buf, "%.3fus", ToMicros(d));
+  } else if (d < 1000'000'000ULL) {
+    std::snprintf(buf, sizeof buf, "%.3fms", ToMillis(d));
+  } else {
+    std::snprintf(buf, sizeof buf, "%.3fs", ToSeconds(d));
+  }
+  return buf;
+}
+
+}  // namespace proxy

@@ -1,0 +1,58 @@
+// Minimal leveled logger.
+//
+// Logging defaults to off (kNone) so tests and benches stay quiet and
+// deterministic; examples turn it up to narrate what the runtime does.
+// Messages carry the simulated timestamp supplied by the caller, never
+// wall-clock time.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <sstream>
+#include <string>
+
+#include "common/clock.h"
+
+namespace proxy {
+
+enum class LogLevel : std::uint8_t {
+  kNone = 0,
+  kError,
+  kInfo,
+  kDebug,
+  kTrace,
+};
+
+/// Process-wide log configuration. A sink receives fully formatted lines;
+/// the default sink writes to stderr.
+class Log {
+ public:
+  using Sink = std::function<void(LogLevel, const std::string&)>;
+
+  static void SetLevel(LogLevel level) noexcept;
+  static LogLevel Level() noexcept;
+
+  /// Replaces the sink; pass nullptr to restore the stderr sink.
+  static void SetSink(Sink sink);
+
+  /// Emits one line if `level` is enabled. `now` is simulated time.
+  static void Write(LogLevel level, SimTime now, std::string_view component,
+                    const std::string& message);
+
+  [[nodiscard]] static bool Enabled(LogLevel level) noexcept {
+    return static_cast<int>(level) <= static_cast<int>(Log::Level());
+  }
+};
+
+// Stream-style macros: PROXY_LOG(kDebug, now, "net", "sent " << n << "B");
+#define PROXY_LOG(level, now, component, expr)                          \
+  do {                                                                  \
+    if (::proxy::Log::Enabled(::proxy::LogLevel::level)) {              \
+      std::ostringstream _oss;                                          \
+      _oss << expr; /* NOLINT */                                        \
+      ::proxy::Log::Write(::proxy::LogLevel::level, (now), (component), \
+                          _oss.str());                                  \
+    }                                                                   \
+  } while (false)
+
+}  // namespace proxy

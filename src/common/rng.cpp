@@ -1,0 +1,92 @@
+#include "common/rng.h"
+
+#include <cmath>
+
+namespace proxy {
+
+namespace {
+
+constexpr std::uint64_t Rotl(std::uint64_t x, int k) noexcept {
+  return (x << k) | (x >> (64 - k));
+}
+
+}  // namespace
+
+Rng::Rng(std::uint64_t seed) noexcept {
+  SplitMix64 sm(seed);
+  for (auto& s : s_) s = sm.Next();
+}
+
+std::uint64_t Rng::NextU64() noexcept {
+  const std::uint64_t result = Rotl(s_[1] * 5, 7) * 9;
+  const std::uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = Rotl(s_[3], 45);
+  return result;
+}
+
+std::uint64_t Rng::UniformU64(std::uint64_t bound) noexcept {
+  if (bound == 0) return 0;
+  // Lemire-style rejection to remove modulo bias.
+  const std::uint64_t threshold = -bound % bound;
+  for (;;) {
+    const std::uint64_t r = NextU64();
+    if (r >= threshold) return r % bound;
+  }
+}
+
+std::int64_t Rng::UniformInt(std::int64_t lo, std::int64_t hi) noexcept {
+  if (lo >= hi) return lo;
+  const auto span = static_cast<std::uint64_t>(hi - lo) + 1;
+  return lo + static_cast<std::int64_t>(UniformU64(span));
+}
+
+double Rng::UniformDouble() noexcept {
+  // 53 random mantissa bits.
+  return static_cast<double>(NextU64() >> 11) * 0x1.0p-53;
+}
+
+bool Rng::Chance(double p) noexcept {
+  if (p <= 0.0) return false;
+  if (p >= 1.0) return true;
+  return UniformDouble() < p;
+}
+
+double Rng::Exponential(double mean) noexcept {
+  // Inverse CDF; clamp u away from 0 so log() stays finite.
+  double u = UniformDouble();
+  if (u < 1e-12) u = 1e-12;
+  return -mean * std::log(u);
+}
+
+ZipfGenerator::ZipfGenerator(std::uint64_t n, double skew, std::uint64_t seed)
+    : n_(n == 0 ? 1 : n), skew_(skew), rng_(seed), cdf_(n_) {
+  double sum = 0.0;
+  for (std::uint64_t i = 0; i < n_; ++i) {
+    sum += 1.0 / std::pow(static_cast<double>(i + 1), skew_);
+    cdf_[i] = sum;
+  }
+  for (auto& c : cdf_) c /= sum;
+}
+
+std::uint64_t ZipfGenerator::Next() noexcept {
+  const double u = rng_.UniformDouble();
+  // Binary search the CDF.
+  std::uint64_t lo = 0;
+  std::uint64_t hi = n_ - 1;
+  while (lo < hi) {
+    const std::uint64_t mid = lo + (hi - lo) / 2;
+    if (cdf_[mid] < u) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  return lo;
+}
+
+}  // namespace proxy

@@ -1,0 +1,75 @@
+// Deterministic randomness.
+//
+// Every stochastic decision in the runtime (link jitter, packet loss,
+// object-id minting, workload generation) draws from a seeded generator
+// owned by its component, so any run is replayable from its seed.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace proxy {
+
+/// SplitMix64: used to expand a single user seed into independent
+/// sub-seeds for each component.
+class SplitMix64 {
+ public:
+  explicit constexpr SplitMix64(std::uint64_t seed) noexcept : state_(seed) {}
+
+  constexpr std::uint64_t Next() noexcept {
+    std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+/// xoshiro256** — the workhorse generator.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) noexcept;
+
+  std::uint64_t NextU64() noexcept;
+
+  /// Uniform in [0, bound), bias-free via rejection.
+  std::uint64_t UniformU64(std::uint64_t bound) noexcept;
+
+  /// Uniform integer in [lo, hi] inclusive.
+  std::int64_t UniformInt(std::int64_t lo, std::int64_t hi) noexcept;
+
+  /// Uniform double in [0, 1).
+  double UniformDouble() noexcept;
+
+  /// Bernoulli trial with probability p of true.
+  bool Chance(double p) noexcept;
+
+  /// Exponentially distributed value with the given mean.
+  double Exponential(double mean) noexcept;
+
+ private:
+  std::uint64_t s_[4];
+};
+
+/// Zipf-distributed ranks in [0, n). Popular ranks are small. Used by
+/// workload generators (key popularity in the caching experiments).
+class ZipfGenerator {
+ public:
+  ZipfGenerator(std::uint64_t n, double skew, std::uint64_t seed);
+
+  /// Draws a rank in [0, n).
+  std::uint64_t Next() noexcept;
+
+  [[nodiscard]] std::uint64_t n() const noexcept { return n_; }
+  [[nodiscard]] double skew() const noexcept { return skew_; }
+
+ private:
+  std::uint64_t n_;
+  double skew_;
+  Rng rng_;
+  std::vector<double> cdf_;  // cumulative probabilities, size n
+};
+
+}  // namespace proxy

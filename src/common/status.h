@@ -1,0 +1,143 @@
+// Error model for the proxy runtime.
+//
+// Expected failures (the network dropped a packet, a name is unbound, a
+// capability was revoked) travel as Status / Result<T> values; exceptions
+// are reserved for programmer error (contract violations), per the
+// project's design rules.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <variant>
+
+namespace proxy {
+
+enum class StatusCode : std::uint8_t {
+  kOk = 0,
+  kTimeout,            // call or lease deadline expired
+  kUnavailable,        // endpoint unreachable / partitioned
+  kNotFound,           // name, object, or method does not exist
+  kAlreadyExists,      // bind/export collision
+  kPermissionDenied,   // capability missing or revoked
+  kInvalidArgument,    // malformed request visible at the API boundary
+  kCorrupt,            // wire data failed to decode
+  kObjectMoved,        // target migrated; payload carries forwarding hint
+  kCancelled,          // caller or runtime cancelled the operation
+  kResourceExhausted,  // queue full, message too large, etc.
+  kFailedPrecondition, // valid request in the wrong state (e.g. lock not held)
+  kInternal,           // invariant violation reported instead of aborting
+};
+
+/// Human-readable, stable name of a code ("TIMEOUT", "NOT_FOUND", ...).
+std::string_view StatusCodeName(StatusCode code) noexcept;
+
+/// A status is a code plus an optional diagnostic message. The OK status
+/// carries no message and is cheap to copy.
+class [[nodiscard]] Status {
+ public:
+  Status() noexcept = default;  // OK
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+  explicit Status(StatusCode code) : code_(code) {}
+
+  static Status Ok() noexcept { return Status(); }
+
+  [[nodiscard]] bool ok() const noexcept { return code_ == StatusCode::kOk; }
+  [[nodiscard]] StatusCode code() const noexcept { return code_; }
+  [[nodiscard]] const std::string& message() const noexcept { return message_; }
+
+  /// "TIMEOUT: no reply after 3 retries" — for logs and test failures.
+  [[nodiscard]] std::string ToString() const;
+
+  friend bool operator==(const Status& a, const Status& b) noexcept {
+    return a.code_ == b.code_;
+  }
+
+ private:
+  StatusCode code_ = StatusCode::kOk;
+  std::string message_;
+};
+
+// Convenience constructors mirroring the code enum.
+Status TimeoutError(std::string msg);
+Status UnavailableError(std::string msg);
+Status NotFoundError(std::string msg);
+Status AlreadyExistsError(std::string msg);
+Status PermissionDeniedError(std::string msg);
+Status InvalidArgumentError(std::string msg);
+Status CorruptError(std::string msg);
+Status ObjectMovedError(std::string msg);
+Status CancelledError(std::string msg);
+Status ResourceExhaustedError(std::string msg);
+Status FailedPreconditionError(std::string msg);
+Status InternalError(std::string msg);
+
+/// Result<T> is either a value or a non-OK Status.
+template <typename T>
+class [[nodiscard]] Result {
+ public:
+  Result(T value) : rep_(std::move(value)) {}              // NOLINT(implicit)
+  Result(Status status) : rep_(std::move(status)) {        // NOLINT(implicit)
+    // A Result must not hold an OK status without a value; promote the
+    // misuse to a visible error instead of silently looking "ok".
+    if (std::get<Status>(rep_).ok()) {
+      rep_ = InternalError("Result constructed from OK status");
+    }
+  }
+
+  [[nodiscard]] bool ok() const noexcept {
+    return std::holds_alternative<T>(rep_);
+  }
+
+  [[nodiscard]] Status status() const {
+    if (ok()) return Status::Ok();
+    return std::get<Status>(rep_);
+  }
+
+  [[nodiscard]] const T& value() const& { return std::get<T>(rep_); }
+  [[nodiscard]] T& value() & { return std::get<T>(rep_); }
+  [[nodiscard]] T&& value() && { return std::get<T>(std::move(rep_)); }
+
+  [[nodiscard]] const T& operator*() const& { return value(); }
+  [[nodiscard]] T& operator*() & { return value(); }
+  [[nodiscard]] const T* operator->() const { return &value(); }
+  [[nodiscard]] T* operator->() { return &value(); }
+
+  /// value() if ok, otherwise `fallback`.
+  [[nodiscard]] T value_or(T fallback) const& {
+    return ok() ? value() : std::move(fallback);
+  }
+
+  /// Applies `fn` to the value, propagating errors unchanged.
+  template <typename Fn>
+  auto map(Fn&& fn) && -> Result<decltype(fn(std::declval<T&&>()))> {
+    if (!ok()) return status();
+    return fn(std::get<T>(std::move(rep_)));
+  }
+
+ private:
+  std::variant<Status, T> rep_;
+};
+
+/// Propagate a non-OK status out of the current function.
+#define PROXY_RETURN_IF_ERROR(expr)                   \
+  do {                                                \
+    ::proxy::Status _st = (expr);                     \
+    if (!_st.ok()) return _st;                        \
+  } while (false)
+
+/// Evaluate a Result<T> expression; bind the value or return the error.
+#define PROXY_ASSIGN_OR_RETURN(lhs, expr)             \
+  PROXY_ASSIGN_OR_RETURN_IMPL_(                       \
+      PROXY_STATUS_CONCAT_(_res, __LINE__), lhs, expr)
+#define PROXY_STATUS_CONCAT_INNER_(a, b) a##b
+#define PROXY_STATUS_CONCAT_(a, b) PROXY_STATUS_CONCAT_INNER_(a, b)
+#define PROXY_ASSIGN_OR_RETURN_IMPL_(tmp, lhs, expr)  \
+  auto tmp = (expr);                                  \
+  if (!tmp.ok()) return tmp.status();                 \
+  lhs = std::move(tmp).value()
+
+}  // namespace proxy

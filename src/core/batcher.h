@@ -1,0 +1,117 @@
+// Batcher — the building block of batching proxies.
+//
+// Items are accumulated and flushed as one unit when either the batch
+// reaches `max_items` or `window` elapses since the first queued item.
+// Each Add returns a future resolved with the flush outcome of its batch,
+// so callers keep per-item completion even though the wire sees batches.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+#include "sim/future.h"
+#include "sim/task.h"
+
+namespace proxy::core {
+
+struct BatcherStats {
+  std::uint64_t items = 0;
+  std::uint64_t batches = 0;
+  std::uint64_t size_flushes = 0;    // triggered by max_items
+  std::uint64_t window_flushes = 0;  // triggered by the timer
+  std::uint64_t manual_flushes = 0;
+};
+
+template <typename Item>
+class Batcher {
+ public:
+  /// Ships one batch; the returned status resolves every item's future.
+  using FlushFn = std::function<sim::Co<Status>(std::vector<Item> batch)>;
+
+  Batcher(sim::Scheduler& scheduler, FlushFn flush, std::size_t max_items,
+          SimDuration window)
+      : scheduler_(&scheduler), flush_(std::move(flush)),
+        max_items_(max_items == 0 ? 1 : max_items), window_(window) {}
+
+  Batcher(const Batcher&) = delete;
+  Batcher& operator=(const Batcher&) = delete;
+
+  /// Queues an item. The future resolves when its batch lands (or fails).
+  sim::Future<Status> Add(Item item) {
+    stats_.items++;
+    pending_.push_back(std::move(item));
+    waiters_.emplace_back(*scheduler_);
+    auto future = waiters_.back().future();
+
+    if (pending_.size() >= max_items_) {
+      stats_.size_flushes++;
+      FlushNow();
+    } else if (timer_ == sim::kInvalidTimer) {
+      timer_ = scheduler_->PostAfter(window_, [this] {
+        timer_ = sim::kInvalidTimer;
+        if (!pending_.empty()) {
+          stats_.window_flushes++;
+          FlushNow();
+        }
+      });
+    }
+    return future;
+  }
+
+  /// Forces the current batch out (used before a dependent read).
+  sim::Future<Status> Flush() {
+    sim::Promise<Status> done(*scheduler_);
+    if (pending_.empty()) {
+      done.Set(Status::Ok());
+      return done.future();
+    }
+    stats_.manual_flushes++;
+    waiters_.emplace_back(*scheduler_);
+    auto batch_future = waiters_.back().future();
+    // Resolve `done` with the batch outcome; the sentinel waiter shares
+    // the batch's fate without adding an item.
+    batch_future.Then([done](Status&& st) { done.Set(std::move(st)); });
+    FlushNow();
+    return done.future();
+  }
+
+  [[nodiscard]] std::size_t pending() const noexcept {
+    return pending_.size();
+  }
+  [[nodiscard]] const BatcherStats& stats() const noexcept { return stats_; }
+
+ private:
+  sim::Co<void> RunFlush(std::vector<Item> batch,
+                         std::vector<sim::Promise<Status>> waiters) {
+    Status st = co_await flush_(std::move(batch));
+    for (auto& w : waiters) w.Set(st);
+  }
+
+  void FlushNow() {
+    if (timer_ != sim::kInvalidTimer) {
+      scheduler_->Cancel(timer_);
+      timer_ = sim::kInvalidTimer;
+    }
+    stats_.batches++;
+    std::vector<Item> batch = std::move(pending_);
+    std::vector<sim::Promise<Status>> waiters = std::move(waiters_);
+    pending_.clear();
+    waiters_.clear();
+    (void)sim::Spawn(*scheduler_,
+                     RunFlush(std::move(batch), std::move(waiters)));
+  }
+
+  sim::Scheduler* scheduler_;
+  FlushFn flush_;
+  std::size_t max_items_;
+  SimDuration window_;
+  std::vector<Item> pending_;
+  std::vector<sim::Promise<Status>> waiters_;
+  sim::TimerId timer_ = sim::kInvalidTimer;
+  BatcherStats stats_;
+};
+
+}  // namespace proxy::core

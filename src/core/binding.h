@@ -1,0 +1,40 @@
+// ServiceBinding: the wire-transportable description of where and how to
+// reach a service object.
+//
+// This is what the name service stores and what a proxy is constructed
+// from. `protocol` is the service's advertised proxy-protocol version —
+// the hook that lets a service upgrade its distribution protocol (plain
+// stub -> caching -> batching) without touching any client source: the
+// client's Bind<I>() simply instantiates whichever proxy the service
+// names (the "dynamic installation" half of the proxy principle).
+#pragma once
+
+#include <string>
+
+#include "common/id.h"
+#include "net/address.h"
+#include "serde/traits.h"
+
+namespace proxy::core {
+
+struct ServiceBinding {
+  net::Address server;      // RPC endpoint of the hosting context
+  ObjectId object;          // exported object id (stable across migration)
+  InterfaceId interface;    // abstract type the object implements
+  std::uint32_t protocol = 1;  // proxy protocol version to instantiate
+
+  PROXY_SERDE_FIELDS(server, object, interface, protocol)
+
+  friend bool operator==(const ServiceBinding& a,
+                         const ServiceBinding& b) noexcept {
+    return a.server == b.server && a.object == b.object &&
+           a.interface == b.interface && a.protocol == b.protocol;
+  }
+
+  [[nodiscard]] std::string ToString() const {
+    return server.ToString() + "/" + object.ToString() + " proto" +
+           std::to_string(protocol);
+  }
+};
+
+}  // namespace proxy::core

@@ -1,0 +1,66 @@
+#include "core/factory.h"
+
+namespace proxy::core {
+
+ProxyFactoryRegistry& ProxyFactoryRegistry::Instance() {
+  static ProxyFactoryRegistry registry;
+  return registry;
+}
+
+Status ProxyFactoryRegistry::Register(InterfaceId iface, std::uint32_t protocol,
+                                      ProxyFactory factory) {
+  if (!factory) return InvalidArgumentError("null proxy factory");
+  const auto [it, inserted] = factories_.emplace(
+      Key{iface.value(), protocol}, std::move(factory));
+  (void)it;
+  if (!inserted) return AlreadyExistsError("proxy factory already registered");
+  return Status::Ok();
+}
+
+Result<std::shared_ptr<void>> ProxyFactoryRegistry::Create(
+    Context& context, const ServiceBinding& binding) const {
+  const auto it =
+      factories_.find(Key{binding.interface.value(), binding.protocol});
+  if (it == factories_.end()) {
+    return NotFoundError("no proxy factory for interface " +
+                         std::to_string(binding.interface.value()) +
+                         " protocol " + std::to_string(binding.protocol));
+  }
+  std::shared_ptr<void> proxy = it->second(context, binding);
+  if (proxy == nullptr) return InternalError("proxy factory returned null");
+  return proxy;
+}
+
+bool ProxyFactoryRegistry::Has(InterfaceId iface,
+                               std::uint32_t protocol) const {
+  return factories_.contains(Key{iface.value(), protocol});
+}
+
+ServerObjectFactoryRegistry& ServerObjectFactoryRegistry::Instance() {
+  static ServerObjectFactoryRegistry registry;
+  return registry;
+}
+
+Status ServerObjectFactoryRegistry::Register(InterfaceId iface,
+                                             ServerObjectFactory factory) {
+  if (!factory) return InvalidArgumentError("null server-object factory");
+  const auto [it, inserted] = factories_.emplace(iface, std::move(factory));
+  (void)it;
+  if (!inserted) {
+    return AlreadyExistsError("server-object factory already registered");
+  }
+  return Status::Ok();
+}
+
+Result<ServiceBinding> ServerObjectFactoryRegistry::Create(
+    Context& context, InterfaceId iface, ObjectId id, std::uint32_t protocol,
+    Bytes state) const {
+  const auto it = factories_.find(iface);
+  if (it == factories_.end()) {
+    return NotFoundError("no server-object factory for interface " +
+                         std::to_string(iface.value()));
+  }
+  return it->second(context, id, protocol, std::move(state));
+}
+
+}  // namespace proxy::core

@@ -1,0 +1,140 @@
+// Proxy installation: factory registries and Bind.
+//
+// In the 1986 system, binding to a service causes proxy *code* to be
+// installed in the client's context, chosen by the service. C++ cannot
+// ship native code safely, so the equivalent mechanism is a registry:
+// services register, per (interface, protocol-version), a factory that
+// instantiates their proxy inside a given context. Bind<I>() resolves a
+// name to a ServiceBinding, verifies the interface, and asks the registry
+// for the proxy the *service* advertised — the client names only the
+// abstract interface I.
+//
+// A parallel registry of server-object factories serves migration: a
+// context receiving an object rebuilds the implementation from its
+// serialized state.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <unordered_map>
+
+#include "core/binding.h"
+#include "core/runtime.h"
+#include "sim/task.h"
+
+namespace proxy::core {
+
+/// Creates a proxy (as the interface's abstract type, erased to void) in
+/// `context`, bound per `binding`.
+using ProxyFactory =
+    std::function<std::shared_ptr<void>(Context& context,
+                                        const ServiceBinding& binding)>;
+
+class ProxyFactoryRegistry {
+ public:
+  /// The process-wide registry (models the system's code-installation
+  /// service; see DESIGN.md design rules).
+  static ProxyFactoryRegistry& Instance();
+
+  Status Register(InterfaceId iface, std::uint32_t protocol,
+                  ProxyFactory factory);
+
+  /// Instantiates the proxy advertised by `binding`.
+  Result<std::shared_ptr<void>> Create(Context& context,
+                                       const ServiceBinding& binding) const;
+
+  [[nodiscard]] bool Has(InterfaceId iface, std::uint32_t protocol) const;
+
+  /// Drops all registrations (tests only).
+  void Reset() { factories_.clear(); }
+
+ private:
+  using Key = std::pair<std::uint64_t, std::uint32_t>;  // (iface, protocol)
+  std::map<Key, ProxyFactory> factories_;
+};
+
+/// Rebuilds a server implementation from migrated state and exports it in
+/// `context` under the (stable) object id. Returns the new binding.
+using ServerObjectFactory = std::function<Result<ServiceBinding>(
+    Context& context, ObjectId id, std::uint32_t protocol, Bytes state)>;
+
+class ServerObjectFactoryRegistry {
+ public:
+  static ServerObjectFactoryRegistry& Instance();
+
+  Status Register(InterfaceId iface, ServerObjectFactory factory);
+
+  Result<ServiceBinding> Create(Context& context, InterfaceId iface,
+                                ObjectId id, std::uint32_t protocol,
+                                Bytes state) const;
+
+  [[nodiscard]] bool Has(InterfaceId iface) const {
+    return factories_.contains(iface);
+  }
+
+  void Reset() { factories_.clear(); }
+
+ private:
+  std::unordered_map<InterfaceId, ServerObjectFactory> factories_;
+};
+
+/// Binding knobs. `allow_direct` lets Bind return the implementation
+/// itself when the object lives in the caller's own context (the paper's
+/// "a local object is its own proxy"). `protocol_override` forces a proxy
+/// protocol regardless of what the service advertises (benchmarks use it
+/// to compare protocols on one service).
+struct BindOptions {
+  bool allow_direct = true;
+  bool use_name_cache = true;
+  std::uint32_t protocol_override = 0;  // 0 = respect the service
+};
+
+/// Binds to a ServiceBinding already in hand.
+template <typename I>
+Result<std::shared_ptr<I>> BindObject(Context& context, ServiceBinding binding,
+                                      const BindOptions& options = {}) {
+  if (binding.interface != InterfaceIdOf(I::kInterfaceName)) {
+    return FailedPreconditionError(
+        std::string("binding is not a ") + std::string(I::kInterfaceName));
+  }
+  if (options.protocol_override != 0) {
+    binding.protocol = options.protocol_override;
+  }
+  if (options.allow_direct) {
+    // Same context: the object itself is the cheapest possible proxy.
+    if (const auto* entry = context.FindLocal(binding.object)) {
+      if (entry->iface != binding.interface) {
+        return FailedPreconditionError("local object has wrong interface");
+      }
+      return std::static_pointer_cast<I>(entry->impl);
+    }
+  }
+  PROXY_ASSIGN_OR_RETURN(
+      std::shared_ptr<void> proxy,
+      ProxyFactoryRegistry::Instance().Create(context, binding));
+  return std::static_pointer_cast<I>(std::move(proxy));
+}
+
+/// Resolves `path` in the name service, then binds. This is the ordinary
+/// way a client acquires a service.
+///
+/// (The two resolve paths are separate statements, not a conditional
+/// expression: `cond ? co_await a : co_await b` miscompiles under GCC 12
+/// — see DESIGN.md toolchain notes.)
+template <typename I>
+sim::Co<Result<std::shared_ptr<I>>> Bind(Context& context, std::string path,
+                                         BindOptions options = {}) {
+  if (options.use_name_cache) {
+    Result<ServiceBinding> binding =
+        co_await context.cached_names().ResolvePath(path);
+    if (!binding.ok()) co_return binding.status();
+    co_return BindObject<I>(context, std::move(*binding), options);
+  }
+  Result<ServiceBinding> binding = co_await context.names().ResolvePath(path);
+  if (!binding.ok()) co_return binding.status();
+  co_return BindObject<I>(context, std::move(*binding), options);
+}
+
+}  // namespace proxy::core

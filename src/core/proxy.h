@@ -1,0 +1,101 @@
+// ProxyBase: the local representative of a remote object.
+//
+// A proxy lives in the client's context, implements the service's
+// interface, and encapsulates the service's distribution protocol. The
+// base class provides the one behaviour every proxy shares: transparent
+// recovery when the target migrates. A call that comes back OBJECT_MOVED
+// carries a forwarding hint (an encoded ServiceBinding); the proxy
+// rebinds and retries, following forwarding chains up to a bounded depth,
+// without the client ever observing the move.
+//
+// Everything beyond that — caching, batching, write-back, migrate-on-use
+// — is a subclass's private protocol with its service (see
+// services/*_proxy.* for the concrete proxies).
+#pragma once
+
+#include <cstdint>
+#include <utility>
+
+#include "core/binding.h"
+#include "core/runtime.h"
+#include "rpc/client.h"
+#include "rpc/stub.h"
+#include "serde/traits.h"
+#include "sim/task.h"
+
+namespace proxy::core {
+
+struct ProxyStats {
+  std::uint64_t calls = 0;
+  std::uint64_t rebinds = 0;       // OBJECT_MOVED recoveries
+  std::uint64_t failed_calls = 0;  // non-OK outcomes surfaced to the client
+};
+
+class ProxyBase {
+ public:
+  /// Maximum forwarding-chain length a single call will follow.
+  static constexpr int kMaxForwardHops = 8;
+
+  ProxyBase(Context& context, ServiceBinding binding)
+      : context_(&context), binding_(std::move(binding)) {}
+
+  virtual ~ProxyBase() = default;
+
+  [[nodiscard]] const ServiceBinding& binding() const noexcept {
+    return binding_;
+  }
+  [[nodiscard]] Context& context() noexcept { return *context_; }
+  [[nodiscard]] const ProxyStats& proxy_stats() const noexcept {
+    return stats_;
+  }
+
+  void set_call_options(const rpc::CallOptions& options) noexcept {
+    options_ = options;
+  }
+
+ protected:
+  /// Typed remote call with transparent rebinding on OBJECT_MOVED.
+  template <typename Resp, typename Req>
+  sim::Co<Result<Resp>> Call(std::uint32_t method, Req req) {
+    Bytes args = serde::EncodeToBytes(req);
+    Result<Bytes> raw = co_await CallRaw(method, std::move(args));
+    if (!raw.ok()) co_return raw.status();
+    co_return serde::DecodeFromBytes<Resp>(View(*raw));
+  }
+
+  /// Untyped variant for proxies that marshal manually.
+  sim::Co<Result<Bytes>> CallRaw(std::uint32_t method, Bytes args) {
+    stats_.calls++;
+    for (int hop = 0; hop <= kMaxForwardHops; ++hop) {
+      rpc::RpcResult raw = co_await context_->client().Call(
+          binding_.server, binding_.object, method, args, options_);
+      if (raw.ok()) co_return std::move(raw.payload);
+      if (raw.status.code() != StatusCode::kObjectMoved) {
+        stats_.failed_calls++;
+        co_return raw.status;
+      }
+      // Follow the forwarding hint: adopt the new binding and retry.
+      Result<ServiceBinding> fwd =
+          serde::DecodeFromBytes<ServiceBinding>(View(raw.payload));
+      if (!fwd.ok()) {
+        stats_.failed_calls++;
+        co_return fwd.status();
+      }
+      stats_.rebinds++;
+      binding_.server = fwd->server;
+      binding_.object = fwd->object;
+    }
+    stats_.failed_calls++;
+    co_return UnavailableError("forwarding chain exceeded " +
+                               std::to_string(kMaxForwardHops) + " hops");
+  }
+
+  rpc::CallOptions options_;
+
+ private:
+  Context* context_;
+  ServiceBinding binding_;
+  ProxyStats stats_;
+};
+
+}  // namespace proxy::core

@@ -1,0 +1,195 @@
+// Runtime and Context: the structuring concepts of the proxy principle.
+//
+// A Runtime is one simulated distributed system: the scheduler, the
+// network, the nodes, and the contexts living on them. A Context is a
+// protection domain (address space) on one node. Objects live inside
+// contexts; a client in one context can reach an object in another only
+// through a proxy bound via the runtime — there is no way to conjure a
+// reference out of thin air, which is what makes references capabilities.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/id.h"
+#include "common/rng.h"
+#include "core/binding.h"
+#include "naming/client.h"
+#include "naming/server.h"
+#include "net/endpoint.h"
+#include "rpc/client.h"
+#include "rpc/server.h"
+#include "sim/network.h"
+#include "sim/scheduler.h"
+
+namespace proxy::core {
+
+class Runtime;
+class MigrationManager;
+
+/// Marker interface for objects whose state can be captured and rebuilt
+/// elsewhere — the contract migration needs from a server implementation.
+class IMigratable {
+ public:
+  virtual ~IMigratable() = default;
+  /// Serializes the object's full state.
+  [[nodiscard]] virtual Bytes SnapshotState() const = 0;
+};
+
+class Context {
+ public:
+  Context(const Context&) = delete;
+  Context& operator=(const Context&) = delete;
+  ~Context();  // defined in migration.cpp (MigrationManager completeness)
+
+  [[nodiscard]] ContextId id() const noexcept { return id_; }
+  [[nodiscard]] NodeId node() const noexcept { return node_; }
+  [[nodiscard]] const std::string& name() const noexcept { return name_; }
+
+  [[nodiscard]] Runtime& runtime() noexcept { return *runtime_; }
+  [[nodiscard]] sim::Scheduler& scheduler() noexcept;
+  [[nodiscard]] rpc::RpcServer& server() noexcept { return *rpc_server_; }
+  [[nodiscard]] rpc::RpcClient& client() noexcept { return *rpc_client_; }
+
+  /// Address of this context's RPC server endpoint.
+  [[nodiscard]] net::Address server_address() const noexcept {
+    return server_addr_;
+  }
+
+  /// Name-service clients of this context (plain and caching).
+  [[nodiscard]] naming::NameClient& names() noexcept { return *names_; }
+  [[nodiscard]] naming::CachingNameClient& cached_names() noexcept {
+    return *cached_names_;
+  }
+
+  /// Mints a fresh sparse object id (unforgeable by construction).
+  ObjectId MintObjectId();
+
+  /// Registers an implementation object for the direct (same-context)
+  /// invocation path and for migration. `migratable` may be null.
+  Status RegisterLocal(ObjectId id, InterfaceId iface,
+                       std::shared_ptr<void> impl,
+                       std::shared_ptr<IMigratable> migratable = nullptr);
+
+  void UnregisterLocal(ObjectId id);
+
+  struct LocalEntry {
+    InterfaceId iface;
+    std::shared_ptr<void> impl;
+    std::shared_ptr<IMigratable> migratable;
+  };
+
+  [[nodiscard]] const LocalEntry* FindLocal(ObjectId id) const;
+
+  [[nodiscard]] std::size_t local_object_count() const noexcept {
+    return locals_.size();
+  }
+
+  /// This context's migration manager, created (and its control object
+  /// exported) on first use. Defined in migration.cpp.
+  MigrationManager& migration();
+
+ private:
+  friend class Runtime;
+  Context(Runtime& runtime, ContextId id, NodeId node, std::string name,
+          net::NodeStack& stack, std::uint64_t client_nonce,
+          const net::Address& name_server);
+
+  Runtime* runtime_;
+  ContextId id_;
+  NodeId node_;
+  std::string name_;
+  net::Endpoint* server_endpoint_;
+  net::Endpoint* client_endpoint_;
+  net::Address server_addr_;
+  std::unique_ptr<rpc::RpcServer> rpc_server_;
+  std::unique_ptr<rpc::RpcClient> rpc_client_;
+  std::unique_ptr<naming::NameClient> names_;
+  std::unique_ptr<naming::CachingNameClient> cached_names_;
+  std::unique_ptr<MigrationManager> migration_;
+  std::unordered_map<ObjectId, LocalEntry> locals_;
+};
+
+class Runtime {
+ public:
+  struct Params {
+    std::uint64_t seed = 42;
+    sim::LinkParams default_link;     // inter-node link characteristics
+    SimDuration name_cache_ttl = Seconds(10);
+  };
+
+  Runtime() : Runtime(Params{}) {}
+  explicit Runtime(Params params);
+  ~Runtime();
+
+  Runtime(const Runtime&) = delete;
+  Runtime& operator=(const Runtime&) = delete;
+
+  [[nodiscard]] sim::Scheduler& scheduler() noexcept { return scheduler_; }
+  [[nodiscard]] sim::Network& network() noexcept { return network_; }
+  [[nodiscard]] Rng& rng() noexcept { return rng_; }
+
+  /// Adds a node (a machine) to the system.
+  NodeId AddNode(std::string name);
+
+  /// Creates a context (protection domain) on `node`.
+  Context& CreateContext(NodeId node, std::string name);
+
+  /// Creates a context on `node` hosting the system name service on the
+  /// conventional port. Must be called once, before contexts bind names.
+  Context& StartNameService(NodeId node);
+
+  [[nodiscard]] net::Address name_server_address() const {
+    return name_server_addr_;
+  }
+  [[nodiscard]] naming::NameServer* name_server() noexcept {
+    return name_server_.get();
+  }
+
+  [[nodiscard]] const std::vector<std::unique_ptr<Context>>& contexts()
+      const noexcept {
+    return contexts_;
+  }
+
+  /// Locates an object in any context on `node` (the direct-invocation
+  /// probe used by Bind). Returns (context, entry) or nullopt.
+  struct LocalHit {
+    Context* context;
+    const Context::LocalEntry* entry;
+  };
+  [[nodiscard]] std::optional<LocalHit> FindObjectOnNode(NodeId node,
+                                                         ObjectId id);
+
+  /// Drives the scheduler until `future.ready()` — the bridge between
+  /// driver code (tests, examples, benches) and the simulated world.
+  template <typename T>
+  T Await(sim::Future<T> future) {
+    scheduler_.RunUntil([&] { return future.ready(); });
+    return future.take();
+  }
+
+  /// Spawns a coroutine and drives the scheduler to its completion.
+  template <typename T>
+  T Run(sim::Co<T> co) {
+    return Await(sim::Spawn(scheduler_, std::move(co)));
+  }
+  void Run(sim::Co<void> co) {
+    (void)Await(sim::Spawn(scheduler_, std::move(co)));
+  }
+
+ private:
+  Params params_;
+  sim::Scheduler scheduler_;
+  sim::Network network_;
+  Rng rng_;
+  std::vector<std::unique_ptr<net::NodeStack>> stacks_;  // by node id
+  std::vector<std::unique_ptr<Context>> contexts_;
+  std::unique_ptr<rpc::RpcServer> name_server_rpc_;
+  std::unique_ptr<naming::NameServer> name_server_;
+  net::Address name_server_addr_{};
+};
+
+}  // namespace proxy::core

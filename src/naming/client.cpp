@@ -1,0 +1,100 @@
+#include "naming/client.h"
+
+namespace proxy::naming {
+
+sim::Co<Result<rpc::Void>> NameClient::Register(std::string name,
+                                                NameRecord record,
+                                                bool overwrite) {
+  RegisterRequest req{std::move(name), std::move(record), overwrite};
+  co_return co_await TypedCall<rpc::Void>(Method::kRegister, std::move(req));
+}
+
+sim::Co<Result<NameRecord>> NameClient::Lookup(std::string name) {
+  LookupRequest req{std::move(name)};  // named: see stub.h "GCC note"
+  Result<LookupResponse> resp =
+      co_await TypedCall<LookupResponse>(Method::kLookup, std::move(req));
+  if (!resp.ok()) co_return resp.status();
+  co_return std::move(resp->record);
+}
+
+sim::Co<Result<rpc::Void>> NameClient::Unregister(std::string name) {
+  UnregisterRequest req{std::move(name)};
+  co_return co_await TypedCall<rpc::Void>(Method::kUnregister, std::move(req));
+}
+
+sim::Co<Result<std::vector<std::pair<std::string, NameRecord>>>>
+NameClient::List(std::string prefix) {
+  ListRequest req{std::move(prefix)};
+  Result<ListResponse> resp =
+      co_await TypedCall<ListResponse>(Method::kList, std::move(req));
+  if (!resp.ok()) co_return resp.status();
+  co_return std::move(resp->entries);
+}
+
+sim::Co<Result<core::ServiceBinding>> NameClient::ResolvePath(std::string path,
+                                                              int max_hops) {
+  // Walk the path, hopping servers at directory referrals. A server may
+  // store names containing '/' directly, so at each hop the whole
+  // remaining path is tried as one record first; only on a miss is it
+  // split at the first '/' into (directory, rest). The walk uses a
+  // scratch stub so this client's own binding is untouched.
+  NameClient cursor(client(), server());
+  std::size_t start = 0;
+  for (int hop = 0; hop < max_hops; ++hop) {
+    std::string rest = path.substr(start);
+    if (rest.empty()) co_return InvalidArgumentError("empty path");
+
+    Result<NameRecord> whole = co_await cursor.Lookup(rest);
+    if (whole.ok()) {
+      if (whole->kind != RecordKind::kService) {
+        co_return FailedPreconditionError("path ends at a directory: " + path);
+      }
+      co_return whole->binding;
+    }
+    if (whole.status().code() != StatusCode::kNotFound) {
+      co_return whole.status();
+    }
+
+    const std::size_t slash = rest.find('/');
+    if (slash == std::string::npos || slash == 0) {
+      co_return NotFoundError("unbound name: " + path);
+    }
+    Result<NameRecord> dir = co_await cursor.Lookup(rest.substr(0, slash));
+    if (!dir.ok()) co_return dir.status();
+    if (dir->kind != RecordKind::kDirectory) {
+      co_return FailedPreconditionError("path descends into a leaf: " + path);
+    }
+    cursor.Rebind(dir->directory_server, kNameServiceObject);
+    start += slash + 1;
+  }
+  co_return FailedPreconditionError("referral chain too long: " + path);
+}
+
+sim::Co<Result<rpc::Void>> NameClient::RegisterService(
+    std::string name, core::ServiceBinding binding, std::uint64_t lease_ns) {
+  NameRecord record;
+  record.kind = RecordKind::kService;
+  record.binding = binding;
+  record.lease_ns = lease_ns;
+  co_return co_await Register(std::move(name), std::move(record),
+                              /*overwrite=*/true);
+}
+
+sim::Co<Result<core::ServiceBinding>> CachingNameClient::ResolvePath(
+    std::string path) {
+  const auto it = cache_.find(path);
+  if (it != cache_.end() && (it->second.expires_at == 0 ||
+                             it->second.expires_at > scheduler_->now())) {
+    ++hits_;
+    co_return it->second.binding;
+  }
+  ++misses_;
+  Result<core::ServiceBinding> resolved =
+      co_await inner_.ResolvePath(path);
+  if (resolved.ok()) {
+    cache_[path] = CacheEntry{*resolved, scheduler_->now() + ttl_};
+  }
+  co_return resolved;
+}
+
+}  // namespace proxy::naming

@@ -1,0 +1,79 @@
+// Name service clients.
+//
+// NameClient is the plain stub. CachingNameClient is the same interface
+// *as a proxy*: it keeps a TTL'd local cache of lookups, illustrating the
+// proxy principle applied to the name service itself (experiment F4
+// measures the difference).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "naming/protocol.h"
+#include "rpc/stub.h"
+
+namespace proxy::naming {
+
+class NameClient : public rpc::StubBase {
+ public:
+  NameClient(rpc::RpcClient& client, net::Address name_server)
+      : rpc::StubBase(client, name_server, kNameServiceObject) {}
+
+  sim::Co<Result<rpc::Void>> Register(std::string name, NameRecord record,
+                                      bool overwrite = false);
+  sim::Co<Result<NameRecord>> Lookup(std::string name);
+  sim::Co<Result<rpc::Void>> Unregister(std::string name);
+  sim::Co<Result<std::vector<std::pair<std::string, NameRecord>>>> List(
+      std::string prefix);
+
+  /// Resolves a '/'-separated path, following directory referrals across
+  /// federated name servers. At most `max_hops` referrals.
+  sim::Co<Result<core::ServiceBinding>> ResolvePath(std::string path,
+                                                    int max_hops = 16);
+
+  /// Convenience: registers a service-binding leaf record.
+  sim::Co<Result<rpc::Void>> RegisterService(std::string name,
+                                             core::ServiceBinding binding,
+                                             std::uint64_t lease_ns = 0);
+};
+
+/// Caching proxy over the name service. Positive lookups are cached for
+/// `ttl`; entries are dropped eagerly when a consumer reports a stale
+/// binding (Invalidate).
+class CachingNameClient {
+ public:
+  CachingNameClient(rpc::RpcClient& client, net::Address name_server,
+                    SimDuration ttl = Seconds(10))
+      : inner_(client, name_server), ttl_(ttl),
+        scheduler_(&client.scheduler()) {}
+
+  sim::Co<Result<core::ServiceBinding>> ResolvePath(std::string path);
+
+  /// Drops a cached path (on OBJECT_MOVED / UNAVAILABLE, callers should
+  /// invalidate and re-resolve).
+  void Invalidate(const std::string& path) { cache_.erase(path); }
+
+  void Clear() { cache_.clear(); }
+
+  [[nodiscard]] std::uint64_t hits() const noexcept { return hits_; }
+  [[nodiscard]] std::uint64_t misses() const noexcept { return misses_; }
+
+  [[nodiscard]] NameClient& inner() noexcept { return inner_; }
+
+ private:
+  struct CacheEntry {
+    core::ServiceBinding binding;
+    SimTime expires_at = 0;
+  };
+
+  NameClient inner_;
+  SimDuration ttl_;
+  sim::Scheduler* scheduler_;
+  std::unordered_map<std::string, CacheEntry> cache_;
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
+};
+
+}  // namespace proxy::naming

@@ -1,0 +1,95 @@
+#include "naming/server.h"
+
+#include "rpc/stub.h"
+
+namespace proxy::naming {
+
+NameServer::NameServer(rpc::RpcServer& server)
+    : server_(&server), dispatch_(std::make_shared<rpc::Dispatch>()) {
+  rpc::RegisterTyped<RegisterRequest, rpc::Void>(
+      *dispatch_, Method::kRegister,
+      [this](RegisterRequest req, const rpc::CallContext&) {
+        return HandleRegister(std::move(req));
+      });
+  rpc::RegisterTyped<LookupRequest, LookupResponse>(
+      *dispatch_, Method::kLookup,
+      [this](LookupRequest req, const rpc::CallContext&) {
+        return HandleLookup(std::move(req));
+      });
+  rpc::RegisterTyped<UnregisterRequest, rpc::Void>(
+      *dispatch_, Method::kUnregister,
+      [this](UnregisterRequest req, const rpc::CallContext&) {
+        return HandleUnregister(std::move(req));
+      });
+  rpc::RegisterTyped<ListRequest, ListResponse>(
+      *dispatch_, Method::kList,
+      [this](ListRequest req, const rpc::CallContext&) {
+        return HandleList(std::move(req));
+      });
+  // The bootstrap capability: the only well-known object in the system.
+  (void)server_->ExportObject(kNameServiceObject, dispatch_);
+}
+
+Status NameServer::RegisterDirect(const std::string& name, NameRecord record,
+                                  bool overwrite) {
+  if (name.empty()) {
+    return InvalidArgumentError("record name must not be empty");
+  }
+  if (!overwrite && records_.contains(name) && Sweep(name)) {
+    return AlreadyExistsError("name already bound: " + name);
+  }
+  Entry entry;
+  entry.expires_at = record.lease_ns == 0
+                         ? 0
+                         : server_->scheduler().now() + record.lease_ns;
+  entry.record = std::move(record);
+  records_[name] = std::move(entry);
+  return Status::Ok();
+}
+
+bool NameServer::Sweep(const std::string& name) {
+  const auto it = records_.find(name);
+  if (it == records_.end()) return false;
+  if (it->second.expires_at != 0 &&
+      it->second.expires_at <= server_->scheduler().now()) {
+    records_.erase(it);
+    return false;
+  }
+  return true;
+}
+
+sim::Co<Result<rpc::Void>> NameServer::HandleRegister(RegisterRequest req) {
+  const Status st = RegisterDirect(req.name, std::move(req.record),
+                                   req.overwrite);
+  if (!st.ok()) co_return st;
+  co_return rpc::Void{};
+}
+
+sim::Co<Result<LookupResponse>> NameServer::HandleLookup(LookupRequest req) {
+  if (!Sweep(req.name)) {
+    co_return NotFoundError("unbound name: " + req.name);
+  }
+  co_return LookupResponse{records_.at(req.name).record};
+}
+
+sim::Co<Result<rpc::Void>> NameServer::HandleUnregister(UnregisterRequest req) {
+  if (records_.erase(req.name) == 0) {
+    co_return NotFoundError("unbound name: " + req.name);
+  }
+  co_return rpc::Void{};
+}
+
+sim::Co<Result<ListResponse>> NameServer::HandleList(ListRequest req) {
+  ListResponse resp;
+  // Expired entries are skipped but only erased by their own lookups, so
+  // listing stays iterator-safe.
+  const SimTime now = server_->scheduler().now();
+  for (const auto& [name, entry] : records_) {
+    if (name.compare(0, req.prefix.size(), req.prefix) != 0) continue;
+    if (entry.expires_at != 0 && entry.expires_at <= now) continue;
+    resp.entries.emplace_back(name, entry.record);
+  }
+  co_return resp;
+}
+
+}  // namespace proxy::naming

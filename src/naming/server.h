@@ -1,0 +1,50 @@
+// Name server: the directory service of the runtime.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+
+#include "naming/protocol.h"
+#include "rpc/server.h"
+#include "rpc/stub.h"
+
+namespace proxy::naming {
+
+class NameServer {
+ public:
+  /// Exports the name service on `server` under kNameServiceObject.
+  explicit NameServer(rpc::RpcServer& server);
+
+  NameServer(const NameServer&) = delete;
+  NameServer& operator=(const NameServer&) = delete;
+
+  /// Direct (in-process) registration, used when wiring a topology up
+  /// before any client can speak RPC.
+  Status RegisterDirect(const std::string& name, NameRecord record,
+                        bool overwrite = false);
+
+  [[nodiscard]] std::size_t record_count() const noexcept {
+    return records_.size();
+  }
+
+ private:
+  struct Entry {
+    NameRecord record;
+    SimTime expires_at = 0;  // 0 = never
+  };
+
+  /// Drops `name` if its lease expired; returns true if still live.
+  bool Sweep(const std::string& name);
+
+  sim::Co<Result<rpc::Void>> HandleRegister(RegisterRequest req);
+  sim::Co<Result<LookupResponse>> HandleLookup(LookupRequest req);
+  sim::Co<Result<rpc::Void>> HandleUnregister(UnregisterRequest req);
+  sim::Co<Result<ListResponse>> HandleList(ListRequest req);
+
+  rpc::RpcServer* server_;
+  std::shared_ptr<rpc::Dispatch> dispatch_;
+  std::map<std::string, Entry> records_;
+};
+
+}  // namespace proxy::naming

@@ -1,0 +1,44 @@
+// Network-visible address of an endpoint: (node, port).
+#pragma once
+
+#include <functional>
+#include <string>
+
+#include "common/id.h"
+#include "serde/traits.h"
+
+namespace proxy::net {
+
+struct Address {
+  NodeId node;
+  PortId port;
+
+  PROXY_SERDE_FIELDS(node, port)
+
+  friend bool operator==(const Address& a, const Address& b) noexcept {
+    return a.node == b.node && a.port == b.port;
+  }
+  friend bool operator!=(const Address& a, const Address& b) noexcept {
+    return !(a == b);
+  }
+  friend bool operator<(const Address& a, const Address& b) noexcept {
+    if (a.node != b.node) return a.node < b.node;
+    return a.port < b.port;
+  }
+
+  [[nodiscard]] std::string ToString() const {
+    return "n" + std::to_string(node.value()) + ":p" +
+           std::to_string(port.value());
+  }
+};
+
+}  // namespace proxy::net
+
+namespace std {
+template <>
+struct hash<proxy::net::Address> {
+  size_t operator()(const proxy::net::Address& a) const noexcept {
+    return (static_cast<size_t>(a.node.value()) << 32) ^ a.port.value();
+  }
+};
+}  // namespace std

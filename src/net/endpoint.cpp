@@ -1,0 +1,82 @@
+#include "net/endpoint.h"
+
+#include "common/log.h"
+#include "serde/message.h"
+#include "serde/reader.h"
+#include "serde/writer.h"
+
+namespace proxy::net {
+
+Status Endpoint::Send(const Address& to, Bytes payload) {
+  return stack_->SendFrom(addr_, to, std::move(payload));
+}
+
+NodeStack::NodeStack(sim::Network& network, NodeId node)
+    : network_(&network), node_(node) {
+  network_->AttachReceiver(
+      node, [this](NodeId from, PortId to_port, Bytes framed) {
+        OnNetworkDeliver(from, to_port, std::move(framed));
+      });
+}
+
+Endpoint* NodeStack::OpenEndpoint(PortId port) {
+  auto [it, inserted] = endpoints_.try_emplace(port);
+  if (!inserted) return nullptr;
+  it->second.reset(new Endpoint(*this, Address{node_, port}));
+  return it->second.get();
+}
+
+Endpoint* NodeStack::OpenEphemeral() {
+  for (;;) {
+    const PortId port(next_ephemeral_++);
+    if (auto* ep = OpenEndpoint(port)) return ep;
+  }
+}
+
+void NodeStack::CloseEndpoint(PortId port) { endpoints_.erase(port); }
+
+Status NodeStack::SendFrom(const Address& from, const Address& to,
+                           Bytes payload) {
+  if (payload.size() > Endpoint::kMaxPayload) {
+    return ResourceExhaustedError("datagram exceeds max payload");
+  }
+  // Header: source port, then the payload, all inside a CRC envelope.
+  serde::Writer w(payload.size() + 16);
+  w.WriteVarint(from.port.value());
+  w.WriteRaw(View(payload));
+  return network_->Send(from.node, to.node, to.port,
+                        serde::WrapEnvelope(View(w.buffer())));
+}
+
+void NodeStack::OnNetworkDeliver(NodeId from_node, PortId to_port,
+                                 Bytes framed) {
+  auto unwrapped = serde::UnwrapEnvelope(View(framed));
+  if (!unwrapped.ok()) {
+    ++rejected_;
+    PROXY_LOG(kDebug, scheduler().now(), "net",
+              "rejected datagram on node " << node_.value() << ": "
+                                           << unwrapped.status().ToString());
+    return;
+  }
+  serde::Reader r(View(*unwrapped));
+  std::uint64_t src_port = 0;
+  if (!r.ReadVarint(src_port).ok() || src_port > 0xffffffffULL) {
+    ++rejected_;
+    return;
+  }
+  BytesView body;
+  if (!r.ReadRaw(r.remaining(), body).ok()) {
+    ++rejected_;
+    return;
+  }
+  const auto it = endpoints_.find(to_port);
+  if (it == endpoints_.end()) {
+    PROXY_LOG(kTrace, scheduler().now(), "net",
+              "no endpoint on port " << to_port.value() << "; dropping");
+    return;
+  }
+  const Address from{from_node, PortId(static_cast<std::uint32_t>(src_port))};
+  it->second->Deliver(from, Bytes(body.begin(), body.end()));
+}
+
+}  // namespace proxy::net

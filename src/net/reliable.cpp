@@ -1,0 +1,157 @@
+#include "net/reliable.h"
+
+#include "common/log.h"
+#include "serde/reader.h"
+#include "serde/writer.h"
+
+namespace proxy::net {
+
+ReliableChannel::ReliableChannel(Endpoint& endpoint, Params params)
+    : endpoint_(&endpoint), params_(params) {
+  endpoint_->SetHandler([this](const Address& from, Bytes payload) {
+    OnDatagram(from, std::move(payload));
+  });
+}
+
+Status ReliableChannel::Send(const Address& to, Bytes payload) {
+  SendState& st = senders_[to];
+  if (st.failed) return UnavailableError("peer declared unreachable");
+  if (st.in_flight.size() >= params_.window) {
+    return ResourceExhaustedError("ARQ window full");
+  }
+  const std::uint64_t seq = st.next_seq++;
+  st.in_flight.push_back(std::move(payload));
+
+  // Transmit immediately (the whole window is always in flight).
+  serde::Writer w;
+  w.WriteU8(static_cast<std::uint8_t>(MsgType::kData));
+  w.WriteVarint(seq);
+  w.WriteBytes(View(st.in_flight.back()));
+  stats_.data_sent++;
+  PROXY_RETURN_IF_ERROR(endpoint_->Send(to, w.Take()));
+  if (st.timer == sim::kInvalidTimer) ArmTimer(to, st);
+  return Status::Ok();
+}
+
+std::size_t ReliableChannel::OutstandingTo(const Address& to) const {
+  const auto it = senders_.find(to);
+  return it == senders_.end() ? 0 : it->second.in_flight.size();
+}
+
+void ReliableChannel::OnDatagram(const Address& from, Bytes payload) {
+  serde::Reader r(View(payload));
+  std::uint8_t type = 0;
+  if (!r.ReadU8(type).ok()) return;
+  if (type == static_cast<std::uint8_t>(MsgType::kData)) {
+    std::uint64_t seq = 0;
+    Bytes body;
+    if (!r.ReadVarint(seq).ok() || !r.ReadBytes(body).ok()) return;
+    OnData(from, seq, std::move(body));
+  } else if (type == static_cast<std::uint8_t>(MsgType::kAck)) {
+    std::uint64_t ack = 0;
+    if (!r.ReadVarint(ack).ok()) return;
+    OnAck(from, ack);
+  }
+}
+
+void ReliableChannel::OnData(const Address& from, std::uint64_t seq,
+                             Bytes payload) {
+  RecvState& st = receivers_[from];
+  if (seq < st.expected) {
+    // Duplicate of something already delivered: re-ack so the sender can
+    // advance (its ack may have been lost).
+    stats_.duplicates_dropped++;
+    SendAck(from, st.expected);
+    return;
+  }
+  if (seq > st.expected) {
+    // Out of order: buffer (bounded by the sender window) and re-ack.
+    if (st.out_of_order.size() < params_.window) {
+      st.out_of_order.emplace(seq, std::move(payload));
+    }
+    SendAck(from, st.expected);
+    return;
+  }
+  // In order: deliver, then drain any buffered successors.
+  stats_.delivered++;
+  st.expected++;
+  if (handler_) handler_(from, std::move(payload));
+  for (auto it = st.out_of_order.begin();
+       it != st.out_of_order.end() && it->first == st.expected;) {
+    stats_.delivered++;
+    st.expected++;
+    Bytes next = std::move(it->second);
+    it = st.out_of_order.erase(it);
+    if (handler_) handler_(from, std::move(next));
+  }
+  SendAck(from, st.expected);
+}
+
+void ReliableChannel::OnAck(const Address& from, std::uint64_t ack) {
+  const auto it = senders_.find(from);
+  if (it == senders_.end()) return;
+  SendState& st = it->second;
+  if (ack <= st.base) return;  // stale
+  const std::uint64_t advanced = std::min(ack, st.next_seq) - st.base;
+  for (std::uint64_t i = 0; i < advanced && !st.in_flight.empty(); ++i) {
+    st.in_flight.pop_front();
+  }
+  st.base += advanced;
+  st.retries = 0;  // progress resets the failure countdown
+  if (st.timer != sim::kInvalidTimer) {
+    endpoint_->scheduler().Cancel(st.timer);
+    st.timer = sim::kInvalidTimer;
+  }
+  if (!st.in_flight.empty()) ArmTimer(from, st);
+}
+
+void ReliableChannel::TransmitWindow(const Address& to, SendState& st,
+                                     bool is_retransmit) {
+  std::uint64_t seq = st.base;
+  for (const Bytes& payload : st.in_flight) {
+    serde::Writer w;
+    w.WriteU8(static_cast<std::uint8_t>(MsgType::kData));
+    w.WriteVarint(seq++);
+    w.WriteBytes(View(payload));
+    if (is_retransmit) {
+      stats_.retransmits++;
+    } else {
+      stats_.data_sent++;
+    }
+    (void)endpoint_->Send(to, w.Take());
+  }
+}
+
+void ReliableChannel::ArmTimer(const Address& to, SendState& st) {
+  st.timer = endpoint_->scheduler().PostAfter(
+      params_.retransmit_timeout, [this, to] { OnTimeout(to); });
+}
+
+void ReliableChannel::OnTimeout(const Address& to) {
+  const auto it = senders_.find(to);
+  if (it == senders_.end()) return;
+  SendState& st = it->second;
+  st.timer = sim::kInvalidTimer;
+  if (st.in_flight.empty()) return;
+  if (++st.retries > params_.max_retries) {
+    st.failed = true;
+    st.in_flight.clear();
+    stats_.peers_failed++;
+    PROXY_LOG(kInfo, endpoint_->scheduler().now(), "arq",
+              "peer " << to.ToString() << " declared unreachable");
+    if (on_failure_) on_failure_(to);
+    return;
+  }
+  TransmitWindow(to, st, /*is_retransmit=*/true);
+  ArmTimer(to, st);
+}
+
+void ReliableChannel::SendAck(const Address& to, std::uint64_t expected) {
+  serde::Writer w;
+  w.WriteU8(static_cast<std::uint8_t>(MsgType::kAck));
+  w.WriteVarint(expected);
+  stats_.acks_sent++;
+  (void)endpoint_->Send(to, w.Take());
+}
+
+}  // namespace proxy::net

@@ -1,0 +1,101 @@
+// Reliable, ordered delivery over unreliable datagrams.
+//
+// A go-back-N ARQ with cumulative acks and duplicate suppression. One
+// channel serves many peers; state is kept per peer address. This is the
+// transport used where a service needs an ordered stream (e.g. cache
+// invalidation callbacks); the RPC runtime instead does its own
+// retry/dedup because request/response needs no ordering.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <unordered_map>
+
+#include "common/bytes.h"
+#include "common/status.h"
+#include "net/endpoint.h"
+#include "sim/scheduler.h"
+
+namespace proxy::net {
+
+/// ARQ tuning knobs (namespace-scope so it can be a default argument).
+struct ArqParams {
+  SimDuration retransmit_timeout = Milliseconds(10);
+  int max_retries = 10;
+  std::size_t window = 32;  // in-flight messages per peer
+};
+
+class ReliableChannel {
+ public:
+  using Handler = std::function<void(const Address& from, Bytes payload)>;
+  /// Notified when a peer exhausts retries (e.g. partitioned away).
+  using FailureHandler = std::function<void(const Address& peer)>;
+
+  using Params = ArqParams;
+
+  struct Stats {
+    std::uint64_t data_sent = 0;
+    std::uint64_t retransmits = 0;
+    std::uint64_t acks_sent = 0;
+    std::uint64_t duplicates_dropped = 0;
+    std::uint64_t delivered = 0;
+    std::uint64_t peers_failed = 0;
+  };
+
+  /// Takes over the endpoint's handler.
+  explicit ReliableChannel(Endpoint& endpoint, Params params = {});
+
+  ReliableChannel(const ReliableChannel&) = delete;
+  ReliableChannel& operator=(const ReliableChannel&) = delete;
+
+  void SetHandler(Handler handler) { handler_ = std::move(handler); }
+  void SetFailureHandler(FailureHandler handler) {
+    on_failure_ = std::move(handler);
+  }
+
+  /// Queues `payload` for ordered delivery to `to`. Fails only if the
+  /// peer's send queue is full or the peer was already declared dead.
+  Status Send(const Address& to, Bytes payload);
+
+  [[nodiscard]] const Stats& stats() const noexcept { return stats_; }
+
+  /// In-flight + queued messages toward `to` (for tests and backpressure).
+  [[nodiscard]] std::size_t OutstandingTo(const Address& to) const;
+
+ private:
+  enum class MsgType : std::uint8_t { kData = 1, kAck = 2 };
+
+  struct SendState {
+    std::uint64_t next_seq = 0;   // next seq to assign
+    std::uint64_t base = 0;       // oldest unacked seq
+    std::deque<Bytes> in_flight;  // payloads [base, next_seq)
+    sim::TimerId timer = sim::kInvalidTimer;
+    int retries = 0;
+    bool failed = false;
+  };
+
+  struct RecvState {
+    std::uint64_t expected = 0;
+    std::map<std::uint64_t, Bytes> out_of_order;
+  };
+
+  void OnDatagram(const Address& from, Bytes payload);
+  void OnData(const Address& from, std::uint64_t seq, Bytes payload);
+  void OnAck(const Address& from, std::uint64_t ack);
+  void TransmitWindow(const Address& to, SendState& st, bool is_retransmit);
+  void ArmTimer(const Address& to, SendState& st);
+  void OnTimeout(const Address& to);
+  void SendAck(const Address& to, std::uint64_t expected);
+
+  Endpoint* endpoint_;
+  Params params_;
+  Handler handler_;
+  FailureHandler on_failure_;
+  Stats stats_;
+  std::unordered_map<Address, SendState> senders_;
+  std::unordered_map<Address, RecvState> receivers_;
+};
+
+}  // namespace proxy::net

@@ -1,0 +1,115 @@
+#include "rpc/client.h"
+
+#include <utility>
+
+#include "common/log.h"
+
+namespace proxy::rpc {
+
+RpcClient::RpcClient(net::Endpoint& endpoint, std::uint64_t nonce)
+    : endpoint_(&endpoint), nonce_(nonce) {
+  endpoint_->SetHandler([this](const net::Address& from, Bytes payload) {
+    OnDatagram(from, std::move(payload));
+  });
+}
+
+sim::Future<RpcResult> RpcClient::Call(const net::Address& to,
+                                       ObjectId object, std::uint32_t method,
+                                       Bytes args,
+                                       const CallOptions& options) {
+  stats_.calls_started++;
+  const std::uint64_t seq = next_seq_++;
+
+  RequestFrame frame;
+  frame.call = CallId{nonce_, seq};
+  frame.object = object;
+  frame.method = method;
+  frame.args = std::move(args);
+
+  auto [it, inserted] = pending_.try_emplace(seq, scheduler());
+  PendingCall& call = it->second;
+  call.dest = to;
+  call.encoded_request = EncodeRequest(frame);
+  call.options = options;
+  call.attempts = 1;
+
+  auto future = call.promise.future();
+
+  const Status sent = endpoint_->Send(to, call.encoded_request);
+  if (!sent.ok()) {
+    // Local send failure (unknown node, oversized): fail immediately.
+    Finish(seq, sent);
+    return future;
+  }
+  call.timer = scheduler().PostAfter(options.retry_interval,
+                                     [this, seq] { OnRetryTimer(seq); });
+  return future;
+}
+
+void RpcClient::OnDatagram(const net::Address& from, Bytes payload) {
+  (void)from;
+  auto reply = DecodeReply(View(payload));
+  if (!reply.ok()) {
+    PROXY_LOG(kDebug, scheduler().now(), "rpc",
+              "undecodable reply: " << reply.status().ToString());
+    return;
+  }
+  if (reply->call.client_nonce != nonce_) {
+    stats_.stray_replies++;
+    return;
+  }
+  const auto it = pending_.find(reply->call.seq);
+  if (it == pending_.end()) {
+    // Duplicate reply to a retransmission of a call that already finished.
+    stats_.stray_replies++;
+    return;
+  }
+  if (reply->code == StatusCode::kOk) {
+    Finish(reply->call.seq,
+           RpcResult(Status::Ok(), std::move(reply->result)));
+  } else if (reply->code == StatusCode::kObjectMoved) {
+    // Forwarding hint: the payload carries the new location; the caller
+    // (typically a proxy) rebinds and retries.
+    Finish(reply->call.seq, RpcResult(ObjectMovedError(reply->error_message),
+                                      std::move(reply->result)));
+  } else {
+    Finish(reply->call.seq, Status(reply->code, reply->error_message));
+  }
+}
+
+void RpcClient::OnRetryTimer(std::uint64_t seq) {
+  const auto it = pending_.find(seq);
+  if (it == pending_.end()) return;
+  PendingCall& call = it->second;
+  call.timer = sim::kInvalidTimer;
+  if (call.attempts > call.options.max_retries) {
+    stats_.timeouts++;
+    Finish(seq, TimeoutError("no reply after " +
+                             std::to_string(call.options.max_retries) +
+                             " retries"));
+    return;
+  }
+  call.attempts++;
+  stats_.retransmissions++;
+  (void)endpoint_->Send(call.dest, call.encoded_request);
+  call.timer = scheduler().PostAfter(call.options.retry_interval,
+                                     [this, seq] { OnRetryTimer(seq); });
+}
+
+void RpcClient::Finish(std::uint64_t seq, RpcResult outcome) {
+  const auto it = pending_.find(seq);
+  if (it == pending_.end()) return;
+  if (outcome.ok()) {
+    stats_.calls_ok++;
+  } else {
+    stats_.calls_failed++;
+  }
+  if (it->second.timer != sim::kInvalidTimer) {
+    scheduler().Cancel(it->second.timer);
+  }
+  auto promise = it->second.promise;  // keep alive past erase
+  pending_.erase(it);
+  promise.Set(std::move(outcome));
+}
+
+}  // namespace proxy::rpc

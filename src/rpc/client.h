@@ -1,0 +1,85 @@
+// RPC client runtime.
+//
+// One RpcClient serves a whole context: it owns an endpoint, matches
+// replies to outstanding calls, retransmits on timeout (the server's
+// duplicate filter makes this safe — together they give at-most-once
+// execution), and fails calls whose retry budget is exhausted.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "common/bytes.h"
+#include "common/status.h"
+#include "net/endpoint.h"
+#include "rpc/frame.h"
+#include "sim/future.h"
+
+namespace proxy::rpc {
+
+/// Per-call knobs. `retry_interval` is the retransmission period; the
+/// call fails with TIMEOUT after `max_retries` retransmissions go
+/// unanswered.
+struct CallOptions {
+  SimDuration retry_interval = Milliseconds(20);
+  int max_retries = 5;
+};
+
+struct ClientStats {
+  std::uint64_t calls_started = 0;
+  std::uint64_t calls_ok = 0;
+  std::uint64_t calls_failed = 0;  // non-OK outcome delivered to caller
+  std::uint64_t retransmissions = 0;
+  std::uint64_t timeouts = 0;      // calls failed specifically by timeout
+  std::uint64_t stray_replies = 0; // reply for an unknown/finished call
+};
+
+class RpcClient {
+ public:
+  /// Takes over the endpoint's handler. `nonce` must be unique among all
+  /// clients in the system (mint it from a seeded Rng).
+  RpcClient(net::Endpoint& endpoint, std::uint64_t nonce);
+
+  RpcClient(const RpcClient&) = delete;
+  RpcClient& operator=(const RpcClient&) = delete;
+
+  /// Invokes `method` on `object` at `to`. The future resolves with the
+  /// reply payload, the server's error, or TIMEOUT. An OBJECT_MOVED
+  /// outcome carries the forwarding hint in `payload`.
+  sim::Future<RpcResult> Call(const net::Address& to, ObjectId object,
+                              std::uint32_t method, Bytes args,
+                              const CallOptions& options = {});
+
+  [[nodiscard]] const ClientStats& stats() const noexcept { return stats_; }
+  [[nodiscard]] net::Address address() const noexcept {
+    return endpoint_->address();
+  }
+  [[nodiscard]] std::uint64_t nonce() const noexcept { return nonce_; }
+  [[nodiscard]] sim::Scheduler& scheduler() noexcept {
+    return endpoint_->scheduler();
+  }
+
+ private:
+  struct PendingCall {
+    sim::Promise<RpcResult> promise;
+    net::Address dest;
+    Bytes encoded_request;  // kept for retransmission
+    CallOptions options;
+    int attempts = 0;
+    sim::TimerId timer = sim::kInvalidTimer;
+
+    explicit PendingCall(sim::Scheduler& sched) : promise(sched) {}
+  };
+
+  void OnDatagram(const net::Address& from, Bytes payload);
+  void OnRetryTimer(std::uint64_t seq);
+  void Finish(std::uint64_t seq, RpcResult outcome);
+
+  net::Endpoint* endpoint_;
+  std::uint64_t nonce_;
+  std::uint64_t next_seq_ = 1;
+  ClientStats stats_;
+  std::unordered_map<std::uint64_t, PendingCall> pending_;  // by seq
+};
+
+}  // namespace proxy::rpc

@@ -1,0 +1,60 @@
+#include "rpc/frame.h"
+
+#include "serde/reader.h"
+#include "serde/writer.h"
+
+namespace proxy::rpc {
+
+namespace {
+
+template <typename Frame>
+Bytes EncodeWithTag(FrameType type, const Frame& frame) {
+  serde::Writer w;
+  w.WriteU8(static_cast<std::uint8_t>(type));
+  serde::Serialize(w, frame);
+  return w.Take();
+}
+
+template <typename Frame>
+Result<Frame> DecodeAfterTag(FrameType expected, BytesView data) {
+  serde::Reader r(data);
+  std::uint8_t tag = 0;
+  PROXY_RETURN_IF_ERROR(r.ReadU8(tag));
+  if (tag != static_cast<std::uint8_t>(expected)) {
+    return CorruptError("unexpected frame type");
+  }
+  Frame frame;
+  PROXY_RETURN_IF_ERROR(serde::Deserialize(r, frame));
+  PROXY_RETURN_IF_ERROR(r.ExpectEnd());
+  return frame;
+}
+
+}  // namespace
+
+Bytes EncodeRequest(const RequestFrame& frame) {
+  return EncodeWithTag(FrameType::kRequest, frame);
+}
+
+Bytes EncodeReply(const ReplyFrame& frame) {
+  return EncodeWithTag(FrameType::kReply, frame);
+}
+
+Result<FrameType> PeekFrameType(BytesView data) {
+  if (data.empty()) return CorruptError("empty frame");
+  const auto tag = data[0];
+  if (tag != static_cast<std::uint8_t>(FrameType::kRequest) &&
+      tag != static_cast<std::uint8_t>(FrameType::kReply)) {
+    return CorruptError("unknown frame type");
+  }
+  return static_cast<FrameType>(tag);
+}
+
+Result<RequestFrame> DecodeRequest(BytesView data) {
+  return DecodeAfterTag<RequestFrame>(FrameType::kRequest, data);
+}
+
+Result<ReplyFrame> DecodeReply(BytesView data) {
+  return DecodeAfterTag<ReplyFrame>(FrameType::kReply, data);
+}
+
+}  // namespace proxy::rpc

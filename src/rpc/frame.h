@@ -1,0 +1,74 @@
+// RPC wire frames.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/bytes.h"
+#include "common/id.h"
+#include "common/status.h"
+#include "serde/traits.h"
+
+namespace proxy::rpc {
+
+enum class FrameType : std::uint8_t {
+  kRequest = 1,
+  kReply = 2,
+};
+
+/// Globally unique call identity: the client instance's random nonce plus
+/// a per-client sequence number. Retransmissions reuse the id, which is
+/// what lets the server suppress duplicate executions (at-most-once).
+struct CallId {
+  std::uint64_t client_nonce = 0;
+  std::uint64_t seq = 0;
+
+  PROXY_SERDE_FIELDS(client_nonce, seq)
+
+  friend bool operator==(const CallId& a, const CallId& b) noexcept {
+    return a.client_nonce == b.client_nonce && a.seq == b.seq;
+  }
+};
+
+struct RequestFrame {
+  CallId call;
+  ObjectId object;        // target object within the server context
+  std::uint32_t method = 0;
+  Bytes args;
+
+  PROXY_SERDE_FIELDS(call, object, method, args)
+};
+
+struct ReplyFrame {
+  CallId call;
+  StatusCode code = StatusCode::kOk;
+  std::string error_message;  // empty when code == kOk
+  Bytes result;               // empty unless code == kOk or kObjectMoved
+
+  PROXY_SERDE_FIELDS(call, code, error_message, result)
+};
+
+/// Outcome of one RPC as seen by the caller. `payload` is the reply body
+/// when the status is OK, and the forwarding hint (an encoded new
+/// binding) when the status is OBJECT_MOVED; empty otherwise.
+struct RpcResult {
+  Status status;
+  Bytes payload;
+
+  RpcResult() = default;
+  RpcResult(Status s) : status(std::move(s)) {}  // NOLINT(implicit)
+  RpcResult(Status s, Bytes p) : status(std::move(s)), payload(std::move(p)) {}
+
+  [[nodiscard]] bool ok() const noexcept { return status.ok(); }
+};
+
+/// Encodes a frame with its type tag.
+Bytes EncodeRequest(const RequestFrame& frame);
+Bytes EncodeReply(const ReplyFrame& frame);
+
+/// Decodes the type tag, then the matching frame.
+Result<FrameType> PeekFrameType(BytesView data);
+Result<RequestFrame> DecodeRequest(BytesView data);
+Result<ReplyFrame> DecodeReply(BytesView data);
+
+}  // namespace proxy::rpc

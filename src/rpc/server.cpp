@@ -1,0 +1,146 @@
+#include "rpc/server.h"
+
+#include <utility>
+
+#include "common/log.h"
+
+namespace proxy::rpc {
+
+RpcServer::RpcServer(net::Endpoint& endpoint)
+    : RpcServer(endpoint, Params{}) {}
+
+RpcServer::RpcServer(net::Endpoint& endpoint, Params params)
+    : endpoint_(&endpoint), params_(params) {
+  endpoint_->SetHandler([this](const net::Address& from, Bytes payload) {
+    OnDatagram(from, std::move(payload));
+  });
+}
+
+Status RpcServer::ExportObject(ObjectId id, std::shared_ptr<Dispatch> dispatch) {
+  if (id.IsNil()) return InvalidArgumentError("nil object id");
+  const auto [it, inserted] = objects_.emplace(id, std::move(dispatch));
+  (void)it;
+  if (!inserted) return AlreadyExistsError("object already exported");
+  forwarding_.erase(id);
+  return Status::Ok();
+}
+
+Status RpcServer::RemoveObject(ObjectId id) {
+  if (objects_.erase(id) == 0) return NotFoundError("object not exported");
+  return Status::Ok();
+}
+
+void RpcServer::SetForwarding(ObjectId id, Bytes hint) {
+  forwarding_[id] = std::move(hint);
+}
+
+void RpcServer::Revoke(ObjectId id) {
+  objects_.erase(id);
+  forwarding_.erase(id);
+  revoked_.insert(id);
+}
+
+void RpcServer::OnDatagram(const net::Address& from, Bytes payload) {
+  auto request = DecodeRequest(View(payload));
+  if (!request.ok()) {
+    PROXY_LOG(kDebug, scheduler().now(), "rpc",
+              "undecodable request: " << request.status().ToString());
+    return;
+  }
+  stats_.requests_received++;
+
+  ClientHistory& hist = history_[request->call.client_nonce];
+  const std::uint64_t seq = request->call.seq;
+
+  // At-most-once: answer retransmissions from the cache...
+  if (const auto cached = hist.replies.find(seq);
+      cached != hist.replies.end()) {
+    stats_.duplicate_suppressed++;
+    (void)endpoint_->Send(from, cached->second);
+    return;
+  }
+  // ...and drop duplicates of calls still executing (the eventual reply
+  // will answer both transmissions).
+  if (hist.in_progress.contains(seq)) {
+    stats_.in_progress_dropped++;
+    return;
+  }
+
+  // Revoked capability: refuse before any dispatch work.
+  if (revoked_.contains(request->object)) {
+    ReplyFrame reply;
+    reply.call = request->call;
+    reply.code = StatusCode::kPermissionDenied;
+    reply.error_message = "capability revoked";
+    (void)endpoint_->Send(from, EncodeReply(reply));
+    return;
+  }
+
+  // Migrated object? Answer with the forwarding hint without executing.
+  if (const auto fwd = forwarding_.find(request->object);
+      fwd != forwarding_.end()) {
+    ReplyFrame reply;
+    reply.call = request->call;
+    reply.code = StatusCode::kObjectMoved;
+    reply.error_message = "object migrated";
+    reply.result = fwd->second;
+    (void)endpoint_->Send(from, EncodeReply(reply));
+    return;
+  }
+
+  hist.in_progress.emplace(seq, true);
+  // Detach the execution coroutine; it replies and updates the cache.
+  (void)sim::Spawn(scheduler(), Execute(from, std::move(*request)));
+}
+
+sim::Co<void> RpcServer::Execute(net::Address from, RequestFrame request) {
+  Result<Bytes> outcome = InternalError("uninitialized outcome");
+
+  const auto obj = objects_.find(request.object);
+  if (obj == objects_.end()) {
+    stats_.unknown_object++;
+    outcome = NotFoundError("no such object: " + request.object.ToString());
+  } else if (const Method* method = obj->second->Find(request.method);
+             method == nullptr) {
+    stats_.unknown_method++;
+    outcome = NotFoundError("no such method: " + std::to_string(request.method));
+  } else {
+    stats_.executions++;
+    CallContext ctx{from, request.call, scheduler().now()};
+    outcome = co_await (*method)(std::move(request.args), ctx);
+  }
+
+  SendReply(from, request.call, outcome);
+
+  ClientHistory& hist = history_[request.call.client_nonce];
+  hist.in_progress.erase(request.call.seq);
+}
+
+void RpcServer::SendReply(const net::Address& to, const CallId& call,
+                          const Result<Bytes>& outcome) {
+  ReplyFrame reply;
+  reply.call = call;
+  if (outcome.ok()) {
+    reply.code = StatusCode::kOk;
+    reply.result = outcome.value();
+  } else {
+    reply.code = outcome.status().code();
+    reply.error_message = outcome.status().message();
+  }
+  Bytes encoded = EncodeReply(reply);
+  CacheReply(call.client_nonce, call.seq, encoded);
+  (void)endpoint_->Send(to, std::move(encoded));
+}
+
+void RpcServer::CacheReply(std::uint64_t nonce, std::uint64_t seq,
+                           Bytes encoded) {
+  ClientHistory& hist = history_[nonce];
+  hist.replies[seq] = std::move(encoded);
+  hist.order.push_back(seq);
+  while (hist.order.size() > params_.reply_cache_per_client) {
+    hist.replies.erase(hist.order.front());
+    hist.order.pop_front();
+  }
+}
+
+}  // namespace proxy::rpc

@@ -1,0 +1,139 @@
+// RPC server runtime.
+//
+// An RpcServer owns an endpoint and a table of exported objects, each
+// with a method dispatch table. Handlers are coroutines, so a method can
+// itself perform RPCs or sleep over simulated time. The server keeps a
+// bounded per-client reply cache: a retransmitted request whose execution
+// already finished gets the cached reply instead of re-executing — the
+// server half of at-most-once semantics.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "common/bytes.h"
+#include "common/status.h"
+#include "net/endpoint.h"
+#include "rpc/frame.h"
+#include "sim/task.h"
+
+namespace proxy::rpc {
+
+/// Ambient information handed to every method handler.
+struct CallContext {
+  net::Address client;
+  CallId call_id;
+  SimTime received_at = 0;
+};
+
+/// A method handler: decoded-by-the-callee args in, reply payload out.
+using Method =
+    std::function<sim::Co<Result<Bytes>>(Bytes args, const CallContext& ctx)>;
+
+/// Dispatch table of one exported object.
+class Dispatch {
+ public:
+  /// Registers a handler; replaces any previous binding of `method`.
+  void Register(std::uint32_t method, Method handler) {
+    methods_[method] = std::move(handler);
+  }
+
+  [[nodiscard]] const Method* Find(std::uint32_t method) const {
+    const auto it = methods_.find(method);
+    return it == methods_.end() ? nullptr : &it->second;
+  }
+
+  [[nodiscard]] std::size_t method_count() const noexcept {
+    return methods_.size();
+  }
+
+ private:
+  std::unordered_map<std::uint32_t, Method> methods_;
+};
+
+struct ServerStats {
+  std::uint64_t requests_received = 0;
+  std::uint64_t executions = 0;          // handlers actually run
+  std::uint64_t duplicate_suppressed = 0; // answered from the reply cache
+  std::uint64_t in_progress_dropped = 0; // duplicate while still executing
+  std::uint64_t unknown_object = 0;
+  std::uint64_t unknown_method = 0;
+};
+
+class RpcServer {
+ public:
+  struct Params {
+    std::size_t reply_cache_per_client = 128;
+  };
+
+  /// Takes over the endpoint's handler.
+  explicit RpcServer(net::Endpoint& endpoint);
+  RpcServer(net::Endpoint& endpoint, Params params);
+
+  RpcServer(const RpcServer&) = delete;
+  RpcServer& operator=(const RpcServer&) = delete;
+
+  /// Exports `object` under `id`. The dispatch table is shared so the
+  /// owner may keep registering methods afterwards.
+  Status ExportObject(ObjectId id, std::shared_ptr<Dispatch> dispatch);
+
+  Status RemoveObject(ObjectId id);
+
+  /// Installs a forwarding address for a migrated object: requests for
+  /// `id` are answered with OBJECT_MOVED carrying `hint` (an encoded
+  /// binding the proxy layer understands).
+  void SetForwarding(ObjectId id, Bytes hint);
+
+  /// Removes a forwarding hint (e.g. when a migration is rolled back).
+  void ClearForwarding(ObjectId id) { forwarding_.erase(id); }
+
+  /// Revokes `id`: the object is removed (if present) and all future
+  /// requests for it are answered with PERMISSION_DENIED. Revocation of
+  /// an id is permanent for the life of the server.
+  void Revoke(ObjectId id);
+
+  [[nodiscard]] bool IsRevoked(ObjectId id) const {
+    return revoked_.contains(id);
+  }
+
+  [[nodiscard]] bool HasObject(ObjectId id) const {
+    return objects_.contains(id);
+  }
+
+  [[nodiscard]] const ServerStats& stats() const noexcept { return stats_; }
+  [[nodiscard]] net::Address address() const noexcept {
+    return endpoint_->address();
+  }
+  [[nodiscard]] sim::Scheduler& scheduler() noexcept {
+    return endpoint_->scheduler();
+  }
+
+ private:
+  struct ClientHistory {
+    // Finished calls: seq -> encoded reply, bounded FIFO.
+    std::unordered_map<std::uint64_t, Bytes> replies;
+    std::deque<std::uint64_t> order;
+    // Calls still executing.
+    std::unordered_map<std::uint64_t, bool> in_progress;
+  };
+
+  void OnDatagram(const net::Address& from, Bytes payload);
+  sim::Co<void> Execute(net::Address from, RequestFrame request);
+  void SendReply(const net::Address& to, const CallId& call,
+                 const Result<Bytes>& outcome);
+  void CacheReply(std::uint64_t nonce, std::uint64_t seq, Bytes encoded);
+
+  net::Endpoint* endpoint_;
+  Params params_;
+  ServerStats stats_;
+  std::unordered_map<ObjectId, std::shared_ptr<Dispatch>> objects_;
+  std::unordered_map<ObjectId, Bytes> forwarding_;
+  std::unordered_set<ObjectId> revoked_;
+  std::unordered_map<std::uint64_t, ClientHistory> history_;  // by nonce
+};
+
+}  // namespace proxy::rpc

@@ -1,0 +1,46 @@
+#include "serde/message.h"
+
+#include "serde/reader.h"
+#include "serde/wire.h"
+#include "serde/writer.h"
+
+namespace proxy::serde {
+
+Bytes WrapEnvelope(BytesView payload) {
+  Writer w(payload.size() + 16);
+  w.WriteU16(kEnvelopeMagic);
+  w.WriteU8(kEnvelopeVersion);
+  w.WriteU32(Crc32c(payload));
+  w.WriteBytes(payload);
+  return w.Take();
+}
+
+Result<Bytes> UnwrapEnvelope(BytesView framed) {
+  Reader r(framed);
+  std::uint16_t magic = 0;
+  PROXY_RETURN_IF_ERROR(r.ReadU16(magic));
+  if (magic != kEnvelopeMagic) return CorruptError("bad envelope magic");
+  std::uint8_t version = 0;
+  PROXY_RETURN_IF_ERROR(r.ReadU8(version));
+  if (version != kEnvelopeVersion) {
+    return CorruptError("unsupported envelope version");
+  }
+  std::uint32_t crc = 0;
+  PROXY_RETURN_IF_ERROR(r.ReadU32(crc));
+  Bytes payload;
+  PROXY_RETURN_IF_ERROR(r.ReadBytes(payload));
+  PROXY_RETURN_IF_ERROR(r.ExpectEnd());
+  if (Crc32c(View(payload)) != crc) {
+    return CorruptError("envelope checksum mismatch");
+  }
+  return payload;
+}
+
+std::size_t EnvelopeOverhead(std::size_t payload_size) {
+  // magic + version + crc + varint length prefix.
+  std::size_t varint = 1;
+  for (std::size_t v = payload_size; v >= 0x80; v >>= 7) ++varint;
+  return 2 + 1 + 4 + varint;
+}
+
+}  // namespace proxy::serde

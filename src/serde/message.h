@@ -1,0 +1,29 @@
+// Message envelope.
+//
+// Every datagram the runtime puts on the (simulated) wire is wrapped in
+// an envelope carrying a magic number, a format version and a CRC, so a
+// receiver can reject foreign, stale, or corrupted traffic before
+// interpreting a single payload byte. Corruption injection in tests
+// exercises this path.
+#pragma once
+
+#include <cstdint>
+
+#include "common/bytes.h"
+#include "common/status.h"
+
+namespace proxy::serde {
+
+inline constexpr std::uint16_t kEnvelopeMagic = 0x5053;  // "PS"
+inline constexpr std::uint8_t kEnvelopeVersion = 1;
+
+/// Wraps `payload` in an envelope: magic(2) version(1) crc(4) len payload.
+Bytes WrapEnvelope(BytesView payload);
+
+/// Validates and strips the envelope, returning the payload.
+Result<Bytes> UnwrapEnvelope(BytesView framed);
+
+/// Size overhead added by WrapEnvelope for a payload of `n` bytes.
+std::size_t EnvelopeOverhead(std::size_t payload_size);
+
+}  // namespace proxy::serde

@@ -1,0 +1,127 @@
+// Deserializing archive.
+//
+// Every read is bounds-checked and returns Status: decode failures from a
+// hostile or corrupted peer are *expected* conditions at a trust boundary,
+// never undefined behaviour.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/bytes.h"
+#include "common/status.h"
+#include "serde/wire.h"
+
+namespace proxy::serde {
+
+class Reader {
+ public:
+  explicit Reader(BytesView data) noexcept : data_(data) {}
+
+  [[nodiscard]] std::size_t remaining() const noexcept {
+    return data_.size() - pos_;
+  }
+  [[nodiscard]] bool AtEnd() const noexcept { return pos_ == data_.size(); }
+  [[nodiscard]] std::size_t position() const noexcept { return pos_; }
+
+  Status ReadU8(std::uint8_t& out) {
+    PROXY_RETURN_IF_ERROR(Need(1));
+    out = data_[pos_++];
+    return Status::Ok();
+  }
+
+  Status ReadU16(std::uint16_t& out) {
+    PROXY_RETURN_IF_ERROR(Need(2));
+    out = GetFixed16(data_, pos_);
+    pos_ += 2;
+    return Status::Ok();
+  }
+
+  Status ReadU32(std::uint32_t& out) {
+    PROXY_RETURN_IF_ERROR(Need(4));
+    out = GetFixed32(data_, pos_);
+    pos_ += 4;
+    return Status::Ok();
+  }
+
+  Status ReadU64(std::uint64_t& out) {
+    PROXY_RETURN_IF_ERROR(Need(8));
+    out = GetFixed64(data_, pos_);
+    pos_ += 8;
+    return Status::Ok();
+  }
+
+  Status ReadVarint(std::uint64_t& out) {
+    if (!GetVarint(data_, pos_, out)) {
+      return CorruptError("truncated or overlong varint");
+    }
+    return Status::Ok();
+  }
+
+  Status ReadSigned(std::int64_t& out) {
+    std::uint64_t raw = 0;
+    PROXY_RETURN_IF_ERROR(ReadVarint(raw));
+    out = ZigZagDecode(raw);
+    return Status::Ok();
+  }
+
+  Status ReadBool(bool& out) {
+    std::uint8_t b = 0;
+    PROXY_RETURN_IF_ERROR(ReadU8(b));
+    if (b > 1) return CorruptError("bool byte out of range");
+    out = b != 0;
+    return Status::Ok();
+  }
+
+  Status ReadDouble(double& out) {
+    std::uint64_t bits = 0;
+    PROXY_RETURN_IF_ERROR(ReadU64(bits));
+    __builtin_memcpy(&out, &bits, sizeof out);
+    return Status::Ok();
+  }
+
+  Status ReadBytes(Bytes& out) {
+    std::uint64_t len = 0;
+    PROXY_RETURN_IF_ERROR(ReadVarint(len));
+    PROXY_RETURN_IF_ERROR(Need(len));
+    out.assign(data_.begin() + static_cast<std::ptrdiff_t>(pos_),
+               data_.begin() + static_cast<std::ptrdiff_t>(pos_ + len));
+    pos_ += len;
+    return Status::Ok();
+  }
+
+  Status ReadString(std::string& out) {
+    std::uint64_t len = 0;
+    PROXY_RETURN_IF_ERROR(ReadVarint(len));
+    PROXY_RETURN_IF_ERROR(Need(len));
+    out.assign(reinterpret_cast<const char*>(data_.data()) + pos_, len);
+    pos_ += len;
+    return Status::Ok();
+  }
+
+  /// View over the next `len` bytes without copying; advances.
+  Status ReadRaw(std::size_t len, BytesView& out) {
+    PROXY_RETURN_IF_ERROR(Need(len));
+    out = data_.subspan(pos_, len);
+    pos_ += len;
+    return Status::Ok();
+  }
+
+  /// Fails unless the whole input was consumed — catches messages with
+  /// trailing garbage.
+  Status ExpectEnd() const {
+    if (!AtEnd()) return CorruptError("trailing bytes after message");
+    return Status::Ok();
+  }
+
+ private:
+  Status Need(std::uint64_t n) const {
+    if (n > remaining()) return CorruptError("unexpected end of input");
+    return Status::Ok();
+  }
+
+  BytesView data_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace proxy::serde

@@ -1,0 +1,100 @@
+// Wire-format evolution.
+//
+// A service that upgrades its proxy protocol (the whole point of the
+// proxy principle) usually also evolves its message types. VersionedBody
+// gives messages a skippable envelope: the encoder writes a version tag
+// and a length-prefixed body; a decoder built from older code can read
+// the fields it knows and *skip the rest*, and a decoder built from newer
+// code can detect that optional trailing fields are absent.
+//
+// Usage:
+//   Writer w;
+//   VersionedWriter vw(w, /*version=*/2);
+//   serde::Serialize(vw.body(), old_fields...);   // v1 fields
+//   serde::Serialize(vw.body(), new_field);       // added in v2
+//   vw.Finish();
+//
+//   VersionedReader vr;
+//   PROXY_RETURN_IF_ERROR(vr.Open(reader));
+//   PROXY_RETURN_IF_ERROR(serde::Deserialize(vr.body(), old_fields...));
+//   if (vr.version() >= 2 && !vr.body().AtEnd()) { ... read new_field ... }
+//   PROXY_RETURN_IF_ERROR(vr.Close(reader));      // skips unread tail
+#pragma once
+
+#include <cstdint>
+
+#include "serde/reader.h"
+#include "serde/writer.h"
+
+namespace proxy::serde {
+
+/// Encodes `version` and a length-prefixed body built via body().
+class VersionedWriter {
+ public:
+  VersionedWriter(Writer& out, std::uint32_t version)
+      : out_(&out), version_(version) {}
+
+  VersionedWriter(const VersionedWriter&) = delete;
+  VersionedWriter& operator=(const VersionedWriter&) = delete;
+
+  /// The archive the message's fields are written into.
+  [[nodiscard]] Writer& body() noexcept { return body_; }
+
+  /// Seals the envelope into the outer writer. Call exactly once.
+  void Finish() {
+    out_->WriteVarint(version_);
+    out_->WriteBytes(View(body_.buffer()));
+    out_ = nullptr;
+  }
+
+  ~VersionedWriter() {
+    // Forgetting Finish() would silently drop the message; fail loudly.
+    if (out_ != nullptr) std::abort();
+  }
+
+ private:
+  Writer* out_;
+  std::uint32_t version_;
+  Writer body_;
+};
+
+/// Decodes a VersionedWriter envelope, tolerating unknown trailing
+/// fields (forward compatibility) and absent new fields (backward).
+class VersionedReader {
+ public:
+  /// Reads the version tag and the body extent from `outer`.
+  Status Open(Reader& outer) {
+    std::uint64_t version = 0;
+    PROXY_RETURN_IF_ERROR(outer.ReadVarint(version));
+    if (version > 0xffffffffULL) return CorruptError("version overflow");
+    version_ = static_cast<std::uint32_t>(version);
+    Bytes body;
+    PROXY_RETURN_IF_ERROR(outer.ReadBytes(body));
+    body_bytes_ = std::move(body);
+    body_.emplace(View(body_bytes_));
+    return Status::Ok();
+  }
+
+  [[nodiscard]] std::uint32_t version() const noexcept { return version_; }
+
+  /// The archive the known fields are read from. Position tracks how far
+  /// this build's schema knowledge reaches; the tail may remain.
+  [[nodiscard]] Reader& body() {
+    return *body_;
+  }
+
+  /// Ends the message: unread tail bytes (fields from a newer schema) are
+  /// skipped rather than treated as corruption.
+  Status Close() {
+    if (!body_.has_value()) return InternalError("Close before Open");
+    body_.reset();
+    return Status::Ok();
+  }
+
+ private:
+  std::uint32_t version_ = 0;
+  Bytes body_bytes_;
+  std::optional<Reader> body_;
+};
+
+}  // namespace proxy::serde

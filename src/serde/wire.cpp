@@ -1,0 +1,98 @@
+#include "serde/wire.h"
+
+#include <array>
+
+namespace proxy::serde {
+
+void PutFixed16(Bytes& out, std::uint16_t v) {
+  out.push_back(static_cast<std::uint8_t>(v));
+  out.push_back(static_cast<std::uint8_t>(v >> 8));
+}
+
+void PutFixed32(Bytes& out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+  }
+}
+
+void PutFixed64(Bytes& out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+  }
+}
+
+std::uint16_t GetFixed16(BytesView in, std::size_t pos) noexcept {
+  return static_cast<std::uint16_t>(in[pos]) |
+         static_cast<std::uint16_t>(in[pos + 1]) << 8;
+}
+
+std::uint32_t GetFixed32(BytesView in, std::size_t pos) noexcept {
+  std::uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) {
+    v |= static_cast<std::uint32_t>(in[pos + i]) << (8 * i);
+  }
+  return v;
+}
+
+std::uint64_t GetFixed64(BytesView in, std::size_t pos) noexcept {
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) {
+    v |= static_cast<std::uint64_t>(in[pos + i]) << (8 * i);
+  }
+  return v;
+}
+
+void PutVarint(Bytes& out, std::uint64_t v) {
+  while (v >= 0x80) {
+    out.push_back(static_cast<std::uint8_t>(v) | 0x80);
+    v >>= 7;
+  }
+  out.push_back(static_cast<std::uint8_t>(v));
+}
+
+bool GetVarint(BytesView in, std::size_t& pos, std::uint64_t& out) noexcept {
+  std::uint64_t result = 0;
+  int shift = 0;
+  std::size_t p = pos;
+  while (p < in.size() && shift < 64) {
+    const std::uint8_t byte = in[p++];
+    result |= static_cast<std::uint64_t>(byte & 0x7f) << shift;
+    if ((byte & 0x80) == 0) {
+      // Reject non-canonical 10th-byte overflow.
+      if (shift == 63 && byte > 1) return false;
+      pos = p;
+      out = result;
+      return true;
+    }
+    shift += 7;
+  }
+  return false;  // truncated or too long
+}
+
+namespace {
+
+std::array<std::uint32_t, 256> MakeCrcTable() {
+  std::array<std::uint32_t, 256> table{};
+  constexpr std::uint32_t kPoly = 0x82f63b78;  // reversed Castagnoli
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t crc = i;
+    for (int k = 0; k < 8; ++k) {
+      crc = (crc >> 1) ^ ((crc & 1) ? kPoly : 0);
+    }
+    table[i] = crc;
+  }
+  return table;
+}
+
+}  // namespace
+
+std::uint32_t Crc32c(BytesView data) noexcept {
+  static const auto kTable = MakeCrcTable();
+  std::uint32_t crc = 0xffffffff;
+  for (const std::uint8_t b : data) {
+    crc = (crc >> 8) ^ kTable[(crc ^ b) & 0xff];
+  }
+  return crc ^ 0xffffffff;
+}
+
+}  // namespace proxy::serde

@@ -1,0 +1,46 @@
+// Wire-format primitives.
+//
+// The format is explicitly little-endian with LEB128 varints, so encoded
+// bytes mean the same thing on every (simulated) node regardless of host
+// architecture — the marshalling concern the RPC literature calls
+// "ensuring addresses and representations have a valid interpretation at
+// the remote site".
+#pragma once
+
+#include <cstdint>
+
+#include "common/bytes.h"
+
+namespace proxy::serde {
+
+/// Appends a fixed-width little-endian integer.
+void PutFixed16(Bytes& out, std::uint16_t v);
+void PutFixed32(Bytes& out, std::uint32_t v);
+void PutFixed64(Bytes& out, std::uint64_t v);
+
+/// Reads a fixed-width little-endian integer at `pos`; caller checks
+/// bounds beforehand.
+std::uint16_t GetFixed16(BytesView in, std::size_t pos) noexcept;
+std::uint32_t GetFixed32(BytesView in, std::size_t pos) noexcept;
+std::uint64_t GetFixed64(BytesView in, std::size_t pos) noexcept;
+
+/// LEB128 unsigned varint (1..10 bytes).
+void PutVarint(Bytes& out, std::uint64_t v);
+
+/// Decodes a varint at `pos`; on success advances `pos` and returns true.
+bool GetVarint(BytesView in, std::size_t& pos, std::uint64_t& out) noexcept;
+
+/// ZigZag mapping for signed values.
+constexpr std::uint64_t ZigZagEncode(std::int64_t v) noexcept {
+  return (static_cast<std::uint64_t>(v) << 1) ^
+         static_cast<std::uint64_t>(v >> 63);
+}
+constexpr std::int64_t ZigZagDecode(std::uint64_t v) noexcept {
+  return static_cast<std::int64_t>((v >> 1) ^ (~(v & 1) + 1));
+}
+
+/// CRC-32 (Castagnoli polynomial), used by the frame layer to detect
+/// corruption injected by tests.
+std::uint32_t Crc32c(BytesView data) noexcept;
+
+}  // namespace proxy::serde

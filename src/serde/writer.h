@@ -1,0 +1,58 @@
+// Serializing archive.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+#include "common/bytes.h"
+#include "serde/wire.h"
+
+namespace proxy::serde {
+
+/// Append-only encoder. Methods never fail; size limits are enforced at
+/// the framing/transport boundary.
+class Writer {
+ public:
+  Writer() = default;
+  explicit Writer(std::size_t reserve) { buf_.reserve(reserve); }
+
+  void WriteU8(std::uint8_t v) { buf_.push_back(v); }
+  void WriteU16(std::uint16_t v) { PutFixed16(buf_, v); }
+  void WriteU32(std::uint32_t v) { PutFixed32(buf_, v); }
+  void WriteU64(std::uint64_t v) { PutFixed64(buf_, v); }
+  void WriteVarint(std::uint64_t v) { PutVarint(buf_, v); }
+  void WriteSigned(std::int64_t v) { PutVarint(buf_, ZigZagEncode(v)); }
+  void WriteBool(bool v) { buf_.push_back(v ? 1 : 0); }
+
+  void WriteDouble(double v) {
+    std::uint64_t bits;
+    static_assert(sizeof bits == sizeof v);
+    __builtin_memcpy(&bits, &v, sizeof bits);
+    PutFixed64(buf_, bits);
+  }
+
+  /// Length-prefixed byte string.
+  void WriteBytes(BytesView v) {
+    PutVarint(buf_, v.size());
+    buf_.insert(buf_.end(), v.begin(), v.end());
+  }
+
+  void WriteString(std::string_view v) {
+    PutVarint(buf_, v.size());
+    buf_.insert(buf_.end(), v.begin(), v.end());
+  }
+
+  /// Raw append without a length prefix (for already-framed payloads).
+  void WriteRaw(BytesView v) { buf_.insert(buf_.end(), v.begin(), v.end()); }
+
+  [[nodiscard]] std::size_t size() const noexcept { return buf_.size(); }
+  [[nodiscard]] const Bytes& buffer() const noexcept { return buf_; }
+
+  /// Moves the encoded bytes out; the writer is empty afterwards.
+  [[nodiscard]] Bytes Take() noexcept { return std::move(buf_); }
+
+ private:
+  Bytes buf_;
+};
+
+}  // namespace proxy::serde

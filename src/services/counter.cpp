@@ -1,0 +1,163 @@
+#include "services/counter.h"
+
+#include "core/factory.h"
+#include "serde/reader.h"
+#include "serde/writer.h"
+
+namespace proxy::services {
+
+using counterwire::IncrementRequest;
+using counterwire::ValueResponse;
+
+sim::Co<Result<std::int64_t>> CounterService::Increment(std::int64_t delta) {
+  value_ += delta;
+  co_return value_;
+}
+
+sim::Co<Result<std::int64_t>> CounterService::Read() { co_return value_; }
+
+Bytes CounterService::SnapshotState() const {
+  serde::Writer w;
+  w.WriteSigned(value_);
+  return w.Take();
+}
+
+Status CounterService::RestoreState(BytesView state) {
+  serde::Reader r(state);
+  PROXY_RETURN_IF_ERROR(r.ReadSigned(value_));
+  return r.ExpectEnd();
+}
+
+std::shared_ptr<rpc::Dispatch> MakeCounterDispatch(
+    std::shared_ptr<CounterService> impl) {
+  auto dispatch = std::make_shared<rpc::Dispatch>();
+  rpc::RegisterTyped<IncrementRequest, ValueResponse>(
+      *dispatch, counterwire::kIncrement,
+      [impl](IncrementRequest req,
+             const rpc::CallContext&) -> sim::Co<Result<ValueResponse>> {
+        Result<std::int64_t> value = co_await impl->Increment(req.delta);
+        if (!value.ok()) co_return value.status();
+        co_return ValueResponse{*value};
+      });
+  rpc::RegisterTyped<rpc::Void, ValueResponse>(
+      *dispatch, counterwire::kRead,
+      [impl](rpc::Void,
+             const rpc::CallContext&) -> sim::Co<Result<ValueResponse>> {
+        Result<std::int64_t> value = co_await impl->Read();
+        if (!value.ok()) co_return value.status();
+        co_return ValueResponse{*value};
+      });
+  return dispatch;
+}
+
+Result<CounterExport> ExportCounterService(core::Context& context,
+                                           std::uint32_t protocol,
+                                           std::int64_t initial) {
+  auto impl = std::make_shared<CounterService>(initial);
+  auto dispatch = MakeCounterDispatch(impl);
+  PROXY_ASSIGN_OR_RETURN(
+      auto exported,
+      core::ServiceExport<ICounter>::Create(context, impl, dispatch, protocol,
+                                            impl));
+  return CounterExport{std::move(impl), exported.binding()};
+}
+
+sim::Co<Result<std::int64_t>> CounterStub::Increment(std::int64_t delta) {
+  IncrementRequest req{delta};
+  Result<ValueResponse> resp =
+      co_await Call<ValueResponse>(counterwire::kIncrement, std::move(req));
+  if (!resp.ok()) co_return resp.status();
+  co_return resp->value;
+}
+
+sim::Co<Result<std::int64_t>> CounterStub::Read() {
+  Result<ValueResponse> resp =
+      co_await Call<ValueResponse>(counterwire::kRead, rpc::Void{});
+  if (!resp.ok()) co_return resp.status();
+  co_return resp->value;
+}
+
+sim::Co<Result<std::shared_ptr<ICounter>>> CounterDsmProxy::EnsureLocal() {
+  core::Context& ctx = context();
+  const InterfaceId iface = InterfaceIdOf(ICounter::kInterfaceName);
+
+  for (int attempt = 0; attempt < 3; ++attempt) {
+    // Resident already? (Either pulled earlier, or by a sibling proxy.)
+    if (const auto* entry = ctx.FindLocal(binding().object)) {
+      if (entry->iface != iface) {
+        co_return FailedPreconditionError("local object has wrong interface");
+      }
+      co_return std::static_pointer_cast<ICounter>(entry->impl);
+    }
+
+    Result<core::ServiceBinding> pulled =
+        co_await ctx.migration().Pull(binding());
+    if (pulled.ok()) {
+      pulls_++;
+      continue;  // loop re-probes the local registry
+    }
+    if (pulled.status().code() == StatusCode::kNotFound) {
+      // The object moved since we last saw it: a plain call follows the
+      // forwarding chain and refreshes our binding, then we retry.
+      Result<Bytes> probe =
+          co_await CallRaw(counterwire::kRead,
+                           serde::EncodeToBytes(rpc::Void{}));
+      if (!probe.ok()) co_return probe.status();
+      continue;
+    }
+    co_return pulled.status();
+  }
+  co_return UnavailableError("object kept moving; pull did not converge");
+}
+
+sim::Co<Result<std::int64_t>> CounterDsmProxy::Increment(std::int64_t delta) {
+  Result<std::shared_ptr<ICounter>> local = co_await EnsureLocal();
+  if (!local.ok()) co_return local.status();
+  co_return co_await (*local)->Increment(delta);
+}
+
+sim::Co<Result<std::int64_t>> CounterDsmProxy::Read() {
+  Result<std::shared_ptr<ICounter>> local = co_await EnsureLocal();
+  if (!local.ok()) co_return local.status();
+  co_return co_await (*local)->Read();
+}
+
+void RegisterCounterFactories() {
+  const InterfaceId iface = InterfaceIdOf(ICounter::kInterfaceName);
+  auto& proxies = core::ProxyFactoryRegistry::Instance();
+  if (!proxies.Has(iface, 1)) {
+    (void)proxies.Register(
+        iface, 1, [](core::Context& ctx, const core::ServiceBinding& b) {
+          return std::static_pointer_cast<void>(
+              std::static_pointer_cast<ICounter>(
+                  std::make_shared<CounterStub>(ctx, b)));
+        });
+  }
+  if (!proxies.Has(iface, 2)) {
+    (void)proxies.Register(
+        iface, 2, [](core::Context& ctx, const core::ServiceBinding& b) {
+          return std::static_pointer_cast<void>(
+              std::static_pointer_cast<ICounter>(
+                  std::make_shared<CounterDsmProxy>(ctx, b)));
+        });
+  }
+  auto& servers = core::ServerObjectFactoryRegistry::Instance();
+  if (!servers.Has(iface)) {
+    (void)servers.Register(
+        iface,
+        [](core::Context& ctx, ObjectId id, std::uint32_t protocol,
+           Bytes state) -> Result<core::ServiceBinding> {
+          auto impl = std::make_shared<CounterService>();
+          PROXY_RETURN_IF_ERROR(impl->RestoreState(View(state)));
+          auto dispatch = MakeCounterDispatch(impl);
+          PROXY_ASSIGN_OR_RETURN(
+              auto exported,
+              core::ServiceExport<ICounter>::CreateWithId(ctx, id, impl,
+                                                          dispatch, protocol,
+                                                          impl));
+          return exported.binding();
+        });
+  }
+}
+
+}  // namespace proxy::services

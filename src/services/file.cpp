@@ -1,0 +1,513 @@
+#include "services/file.h"
+
+#include <algorithm>
+
+#include "core/factory.h"
+#include "serde/reader.h"
+#include "serde/traits.h"
+#include "serde/writer.h"
+
+namespace proxy::services {
+
+using filewire::InvalidateRangeMessage;
+using filewire::ReadRequest;
+using filewire::ReadResponse;
+using filewire::SizeResponse;
+using filewire::SubscribeRequest;
+using filewire::TruncateRequest;
+using filewire::WriteRequest;
+using filewire::WriteVecRequest;
+
+// --- server ---
+
+sim::Co<Result<Bytes>> FileService::Read(std::uint64_t offset,
+                                         std::uint32_t length) {
+  if (offset >= content_.size()) co_return Bytes{};
+  const std::uint64_t end =
+      std::min<std::uint64_t>(offset + length, content_.size());
+  co_return Bytes(content_.begin() + static_cast<std::ptrdiff_t>(offset),
+                  content_.begin() + static_cast<std::ptrdiff_t>(end));
+}
+
+Status FileService::ApplyWrite(std::uint64_t offset, const Bytes& data) {
+  const std::uint64_t end = offset + data.size();
+  if (end > kMaxFileSize) {
+    return ResourceExhaustedError("write exceeds max file size");
+  }
+  if (end > content_.size()) content_.resize(end, 0);
+  std::copy(data.begin(), data.end(),
+            content_.begin() + static_cast<std::ptrdiff_t>(offset));
+  return Status::Ok();
+}
+
+sim::Co<Result<rpc::Void>> FileService::Write(std::uint64_t offset,
+                                              Bytes data) {
+  co_return co_await WriteExcluding(offset, std::move(data), ObjectId{});
+}
+
+sim::Co<Result<rpc::Void>> FileService::WriteExcluding(std::uint64_t offset,
+                                                       Bytes data,
+                                                       ObjectId exclude) {
+  const std::uint64_t length = data.size();
+  const Status st = ApplyWrite(offset, data);
+  if (!st.ok()) co_return st;
+  NotifyInvalidate(offset, length, exclude);
+  co_return rpc::Void{};
+}
+
+sim::Co<Result<std::uint64_t>> FileService::Size() {
+  co_return static_cast<std::uint64_t>(content_.size());
+}
+
+sim::Co<Result<rpc::Void>> FileService::Truncate(std::uint64_t size) {
+  co_return co_await TruncateExcluding(size, ObjectId{});
+}
+
+sim::Co<Result<rpc::Void>> FileService::TruncateExcluding(std::uint64_t size,
+                                                          ObjectId exclude) {
+  if (size > kMaxFileSize) {
+    co_return ResourceExhaustedError("truncate exceeds max file size");
+  }
+  content_.resize(size, 0);
+  NotifyInvalidate(size, 0, exclude);  // 0 length = "to end of file"
+  co_return rpc::Void{};
+}
+
+sim::Co<Result<rpc::Void>> FileService::WriteVec(
+    std::vector<WriteRequest> writes) {
+  for (const auto& w : writes) {
+    const Status st = ApplyWrite(w.offset, w.data);
+    if (!st.ok()) co_return st;
+  }
+  // One invalidation covering the whole touched range; the writes in a
+  // batch share one excluded sink (they come from one proxy).
+  if (!writes.empty()) {
+    std::uint64_t lo = UINT64_MAX;
+    std::uint64_t hi = 0;
+    for (const auto& w : writes) {
+      lo = std::min(lo, w.offset);
+      hi = std::max(hi, w.offset + w.data.size());
+    }
+    NotifyInvalidate(lo, hi - lo, writes.front().exclude_sink);
+  }
+  co_return rpc::Void{};
+}
+
+Status FileService::Subscribe(const net::Address& sink_server,
+                              ObjectId sink_object) {
+  for (const auto& sub : subscribers_) {
+    if (sub.sink_object == sink_object) {
+      return AlreadyExistsError("sink already subscribed");
+    }
+  }
+  subscribers_.push_back(Subscriber{sink_server, sink_object});
+  return Status::Ok();
+}
+
+void FileService::NotifyInvalidate(std::uint64_t offset,
+                                   std::uint64_t length, ObjectId exclude) {
+  if (subscribers_.empty()) return;
+  const Bytes msg =
+      serde::EncodeToBytes(InvalidateRangeMessage{offset, length});
+  for (const auto& sub : subscribers_) {
+    if (!exclude.IsNil() && sub.sink_object == exclude) continue;
+    (void)context_->client().Call(sub.sink_server, sub.sink_object,
+                                  filewire::SinkMethod::kInvalidateRange, msg);
+  }
+}
+
+Bytes FileService::SnapshotState() const {
+  serde::Writer w;
+  serde::Serialize(w, content_);
+  serde::Serialize(w, subscribers_);
+  return w.Take();
+}
+
+Status FileService::RestoreState(BytesView state) {
+  serde::Reader r(state);
+  PROXY_RETURN_IF_ERROR(serde::Deserialize(r, content_));
+  PROXY_RETURN_IF_ERROR(serde::Deserialize(r, subscribers_));
+  return r.ExpectEnd();
+}
+
+void FileService::FillPattern(std::uint64_t size, std::uint8_t seed) {
+  content_.resize(size);
+  std::uint8_t v = seed;
+  for (auto& b : content_) {
+    b = v;
+    v = static_cast<std::uint8_t>(v * 31 + 7);
+  }
+}
+
+std::shared_ptr<rpc::Dispatch> MakeFileDispatch(
+    std::shared_ptr<FileService> impl) {
+  auto dispatch = std::make_shared<rpc::Dispatch>();
+  rpc::RegisterTyped<ReadRequest, ReadResponse>(
+      *dispatch, filewire::kRead,
+      [impl](ReadRequest req,
+             const rpc::CallContext&) -> sim::Co<Result<ReadResponse>> {
+        Result<Bytes> data = co_await impl->Read(req.offset, req.length);
+        if (!data.ok()) co_return data.status();
+        co_return ReadResponse{std::move(*data)};
+      });
+  rpc::RegisterTyped<WriteRequest, rpc::Void>(
+      *dispatch, filewire::kWrite,
+      [impl](WriteRequest req, const rpc::CallContext&) {
+        return impl->WriteExcluding(req.offset, std::move(req.data),
+                                    req.exclude_sink);
+      });
+  rpc::RegisterTyped<rpc::Void, SizeResponse>(
+      *dispatch, filewire::kSize,
+      [impl](rpc::Void, const rpc::CallContext&)
+          -> sim::Co<Result<SizeResponse>> {
+        Result<std::uint64_t> size = co_await impl->Size();
+        if (!size.ok()) co_return size.status();
+        co_return SizeResponse{*size};
+      });
+  rpc::RegisterTyped<TruncateRequest, rpc::Void>(
+      *dispatch, filewire::kTruncate,
+      [impl](TruncateRequest req, const rpc::CallContext&) {
+        return impl->TruncateExcluding(req.size, req.exclude_sink);
+      });
+  rpc::RegisterTyped<SubscribeRequest, rpc::Void>(
+      *dispatch, filewire::kSubscribe,
+      [impl](SubscribeRequest req,
+             const rpc::CallContext&) -> sim::Co<Result<rpc::Void>> {
+        const Status st = impl->Subscribe(req.sink_server, req.sink_object);
+        if (!st.ok()) co_return st;
+        co_return rpc::Void{};
+      });
+  rpc::RegisterTyped<WriteVecRequest, rpc::Void>(
+      *dispatch, filewire::kWriteVec,
+      [impl](WriteVecRequest req, const rpc::CallContext&) {
+        return impl->WriteVec(std::move(req.writes));
+      });
+  return dispatch;
+}
+
+Result<FileExport> ExportFileService(core::Context& context,
+                                     std::uint32_t protocol) {
+  auto impl = std::make_shared<FileService>(context);
+  auto dispatch = MakeFileDispatch(impl);
+  PROXY_ASSIGN_OR_RETURN(
+      auto exported,
+      core::ServiceExport<IFile>::Create(context, impl, dispatch, protocol,
+                                         impl));
+  return FileExport{std::move(impl), exported.binding()};
+}
+
+// --- protocol 1: stub ---
+
+sim::Co<Result<Bytes>> FileStub::Read(std::uint64_t offset,
+                                      std::uint32_t length) {
+  ReadRequest req{offset, length};
+  Result<ReadResponse> resp =
+      co_await Call<ReadResponse>(filewire::kRead, std::move(req));
+  if (!resp.ok()) co_return resp.status();
+  co_return std::move(resp->data);
+}
+
+sim::Co<Result<rpc::Void>> FileStub::Write(std::uint64_t offset, Bytes data) {
+  WriteRequest req{offset, std::move(data)};
+  co_return co_await Call<rpc::Void>(filewire::kWrite, std::move(req));
+}
+
+sim::Co<Result<std::uint64_t>> FileStub::Size() {
+  Result<SizeResponse> resp =
+      co_await Call<SizeResponse>(filewire::kSize, rpc::Void{});
+  if (!resp.ok()) co_return resp.status();
+  co_return resp->size;
+}
+
+sim::Co<Result<rpc::Void>> FileStub::Truncate(std::uint64_t size) {
+  TruncateRequest req{size};
+  co_return co_await Call<rpc::Void>(filewire::kTruncate, std::move(req));
+}
+
+// --- protocol 2: caching proxy ---
+
+FileCachingProxy::FileCachingProxy(core::Context& context,
+                                   core::ServiceBinding binding,
+                                   FileCacheParams params)
+    : core::ProxyBase(context, std::move(binding)),
+      params_(params),
+      blocks_(params.capacity_blocks),
+      sink_id_(context.MintObjectId()),
+      sink_dispatch_(std::make_shared<rpc::Dispatch>()) {
+  sink_dispatch_->Register(
+      filewire::SinkMethod::kInvalidateRange,
+      [this](Bytes args, const rpc::CallContext&) -> sim::Co<Result<Bytes>> {
+        Result<InvalidateRangeMessage> msg =
+            serde::DecodeFromBytes<InvalidateRangeMessage>(View(args));
+        if (!msg.ok()) co_return msg.status();
+        OnInvalidateRange(msg->offset, msg->length);
+        co_return serde::EncodeToBytes(rpc::Void{});
+      });
+  (void)this->context().server().ExportObject(sink_id_, sink_dispatch_);
+}
+
+FileCachingProxy::~FileCachingProxy() {
+  (void)context().server().RemoveObject(sink_id_);
+}
+
+sim::Co<Status> FileCachingProxy::EnsureSubscribed() {
+  if (!params_.subscribe_invalidations || subscribed_ ||
+      subscribe_in_flight_) {
+    co_return Status::Ok();
+  }
+  subscribe_in_flight_ = true;
+  SubscribeRequest req{context().server_address(), sink_id_};
+  Result<rpc::Void> resp =
+      co_await Call<rpc::Void>(filewire::kSubscribe, std::move(req));
+  subscribe_in_flight_ = false;
+  if (resp.ok() || resp.status().code() == StatusCode::kAlreadyExists) {
+    subscribed_ = true;
+    co_return Status::Ok();
+  }
+  co_return resp.status();
+}
+
+void FileCachingProxy::OnInvalidateRange(std::uint64_t offset,
+                                         std::uint64_t length) {
+  const std::uint64_t bs = params_.block_size;
+  if (length == 0) {
+    // Truncate: everything at or after `offset` is suspect.
+    std::vector<std::uint64_t> doomed;
+    blocks_.ForEach([&](std::uint64_t block, const Bytes&) {
+      if ((block + 1) * bs > offset) doomed.push_back(block);
+    });
+    for (const auto block : doomed) blocks_.Invalidate(block);
+    return;
+  }
+  const std::uint64_t first = offset / bs;
+  const std::uint64_t last = (offset + length - 1) / bs;
+  for (std::uint64_t block = first; block <= last; ++block) {
+    blocks_.Invalidate(block);
+  }
+}
+
+sim::Co<Result<Bytes>> FileCachingProxy::FetchBlock(std::uint64_t block) {
+  const std::uint64_t bs = params_.block_size;
+  ReadRequest req{block * bs, static_cast<std::uint32_t>(bs)};
+  Result<ReadResponse> resp =
+      co_await Call<ReadResponse>(filewire::kRead, std::move(req));
+  if (!resp.ok()) co_return resp.status();
+  co_return std::move(resp->data);
+}
+
+void FileCachingProxy::Prefetch(std::uint64_t block) {
+  if (!params_.prefetch_next) return;
+  if (blocks_.Peek(block) != nullptr) return;
+  if (inflight_.contains(block)) return;  // already on the wire
+  prefetches_++;
+  (void)sim::Spawn(context().scheduler(), PrefetchTask(block));
+}
+
+sim::Co<void> FileCachingProxy::PrefetchTask(std::uint64_t block) {
+  sim::Promise<bool> done(context().scheduler());
+  inflight_.emplace(block, done.future());
+  Result<Bytes> data = co_await FetchBlock(block);
+  if (data.ok() && !data->empty()) blocks_.Put(block, std::move(*data));
+  inflight_.erase(block);
+  done.Set(true);
+}
+
+sim::Co<Result<Bytes>> FileCachingProxy::Read(std::uint64_t offset,
+                                              std::uint32_t length) {
+  const Status sub = co_await EnsureSubscribed();
+  if (!sub.ok()) co_return sub;
+
+  const std::uint64_t bs = params_.block_size;
+  Bytes out;
+  out.reserve(length);
+  std::uint64_t pos = offset;
+  const std::uint64_t want_end = offset + length;
+
+  while (pos < want_end) {
+    const std::uint64_t block = pos / bs;
+    const std::uint64_t in_block = pos % bs;
+
+    std::optional<Bytes> cached = blocks_.Get(block);
+    if (!cached) {
+      // A prefetch may already be fetching this block: wait for it
+      // rather than issuing a duplicate transfer.
+      const auto inflight = inflight_.find(block);
+      if (inflight != inflight_.end()) {
+        sim::Future<bool> landed = inflight->second;
+        (void)co_await landed;
+        cached = blocks_.Get(block);
+      }
+    }
+    if (!cached) {
+      Result<Bytes> fetched = co_await FetchBlock(block);
+      if (!fetched.ok()) co_return fetched.status();
+      cached = std::move(*fetched);
+      blocks_.Put(block, *cached);
+    }
+    if (pos / bs == block) Prefetch(block + 1);
+    // Short block = EOF inside this block.
+    if (in_block >= cached->size()) break;
+    const std::uint64_t take =
+        std::min<std::uint64_t>(want_end - pos, cached->size() - in_block);
+    out.insert(out.end(),
+               cached->begin() + static_cast<std::ptrdiff_t>(in_block),
+               cached->begin() + static_cast<std::ptrdiff_t>(in_block + take));
+    pos += take;
+    if (cached->size() < bs) break;  // EOF block
+  }
+  co_return out;
+}
+
+sim::Co<Result<rpc::Void>> FileCachingProxy::Write(std::uint64_t offset,
+                                                   Bytes data) {
+  const Status sub = co_await EnsureSubscribed();
+  if (!sub.ok()) co_return sub;
+  // Write-through with in-place patching: our own data is authoritative,
+  // so cached blocks are updated rather than dropped, and the server
+  // skips our sink in its invalidation fan-out.
+  PatchBlocks(offset, data);
+  WriteRequest req{offset, std::move(data), sink_id_};
+  co_return co_await Call<rpc::Void>(filewire::kWrite, std::move(req));
+}
+
+void FileCachingProxy::PatchBlocks(std::uint64_t offset, const Bytes& data) {
+  if (data.empty()) return;
+  const std::uint64_t bs = params_.block_size;
+  const std::uint64_t first = offset / bs;
+  const std::uint64_t last = (offset + data.size() - 1) / bs;
+  for (std::uint64_t block = first; block <= last; ++block) {
+    Bytes* cached = blocks_.Mutable(block);
+    if (cached == nullptr) continue;
+    const std::uint64_t block_start = block * bs;
+    const std::uint64_t lo = std::max(offset, block_start);
+    const std::uint64_t hi =
+        std::min<std::uint64_t>(offset + data.size(), block_start + bs);
+    const std::uint64_t local_hi = hi - block_start;
+    // A write may extend the file into this block: grow the cached copy
+    // with the same zero fill the server applies.
+    if (cached->size() < local_hi) cached->resize(local_hi, 0);
+    std::copy(data.begin() + static_cast<std::ptrdiff_t>(lo - offset),
+              data.begin() + static_cast<std::ptrdiff_t>(hi - offset),
+              cached->begin() + static_cast<std::ptrdiff_t>(lo - block_start));
+  }
+}
+
+sim::Co<Result<std::uint64_t>> FileCachingProxy::Size() {
+  Result<SizeResponse> resp =
+      co_await Call<SizeResponse>(filewire::kSize, rpc::Void{});
+  if (!resp.ok()) co_return resp.status();
+  co_return resp->size;
+}
+
+sim::Co<Result<rpc::Void>> FileCachingProxy::Truncate(std::uint64_t size) {
+  // Truncation is rare: dropping the tail locally is simpler than
+  // trimming blocks, and self-exclusion keeps the fan-out quiet.
+  OnInvalidateRange(size, 0);
+  TruncateRequest req{size, sink_id_};
+  co_return co_await Call<rpc::Void>(filewire::kTruncate, std::move(req));
+}
+
+// --- protocol 3: batching proxy ---
+
+FileBatchProxy::FileBatchProxy(core::Context& context,
+                               core::ServiceBinding binding,
+                               FileBatchParams params)
+    : FileCachingProxy(context, std::move(binding), params.cache),
+      fb_params_(params),
+      batcher_(
+          context.scheduler(),
+          [this](std::vector<WriteRequest> batch) {
+            return FlushBatch(std::move(batch));
+          },
+          params.max_batch, params.flush_window) {}
+
+sim::Co<Status> FileBatchProxy::FlushBatch(std::vector<WriteRequest> batch) {
+  WriteVecRequest req{std::move(batch)};
+  Result<rpc::Void> resp =
+      co_await Call<rpc::Void>(filewire::kWriteVec, std::move(req));
+  co_return resp.status();
+}
+
+sim::Co<Result<Bytes>> FileBatchProxy::Read(std::uint64_t offset,
+                                            std::uint32_t length) {
+  // Order reads after buffered writes (no dependency tracking: flush all).
+  const Status flushed = co_await FlushWrites();
+  if (!flushed.ok()) co_return flushed;
+  co_return co_await FileCachingProxy::Read(offset, length);
+}
+
+sim::Co<Result<rpc::Void>> FileBatchProxy::Write(std::uint64_t offset,
+                                                 Bytes data) {
+  PatchBlocks(offset, data);
+  (void)batcher_.Add(WriteRequest{offset, std::move(data), sink_id_});
+  co_return rpc::Void{};
+}
+
+sim::Co<Result<std::uint64_t>> FileBatchProxy::Size() {
+  const Status flushed = co_await FlushWrites();
+  if (!flushed.ok()) co_return flushed;
+  co_return co_await FileCachingProxy::Size();
+}
+
+sim::Co<Result<rpc::Void>> FileBatchProxy::Truncate(std::uint64_t size) {
+  const Status flushed = co_await FlushWrites();
+  if (!flushed.ok()) co_return flushed;
+  co_return co_await FileCachingProxy::Truncate(size);
+}
+
+sim::Co<Status> FileBatchProxy::FlushWrites() {
+  while (batcher_.pending() > 0) {
+    const Status st = co_await batcher_.Flush();
+    if (!st.ok()) co_return st;
+  }
+  co_return Status::Ok();
+}
+
+// --- factories ---
+
+void RegisterFileFactories() {
+  const InterfaceId iface = InterfaceIdOf(IFile::kInterfaceName);
+  auto& proxies = core::ProxyFactoryRegistry::Instance();
+  if (!proxies.Has(iface, 1)) {
+    (void)proxies.Register(
+        iface, 1, [](core::Context& ctx, const core::ServiceBinding& b) {
+          return std::static_pointer_cast<void>(
+              std::static_pointer_cast<IFile>(
+                  std::make_shared<FileStub>(ctx, b)));
+        });
+  }
+  if (!proxies.Has(iface, 2)) {
+    (void)proxies.Register(
+        iface, 2, [](core::Context& ctx, const core::ServiceBinding& b) {
+          return std::static_pointer_cast<void>(
+              std::static_pointer_cast<IFile>(
+                  std::make_shared<FileCachingProxy>(ctx, b)));
+        });
+  }
+  if (!proxies.Has(iface, 3)) {
+    (void)proxies.Register(
+        iface, 3, [](core::Context& ctx, const core::ServiceBinding& b) {
+          return std::static_pointer_cast<void>(
+              std::static_pointer_cast<IFile>(
+                  std::make_shared<FileBatchProxy>(ctx, b)));
+        });
+  }
+  auto& servers = core::ServerObjectFactoryRegistry::Instance();
+  if (!servers.Has(iface)) {
+    (void)servers.Register(
+        iface,
+        [](core::Context& ctx, ObjectId id, std::uint32_t protocol,
+           Bytes state) -> Result<core::ServiceBinding> {
+          auto impl = std::make_shared<FileService>(ctx);
+          PROXY_RETURN_IF_ERROR(impl->RestoreState(View(state)));
+          auto dispatch = MakeFileDispatch(impl);
+          PROXY_ASSIGN_OR_RETURN(
+              auto exported,
+              core::ServiceExport<IFile>::CreateWithId(ctx, id, impl, dispatch,
+                                                       protocol, impl));
+          return exported.binding();
+        });
+  }
+}
+
+}  // namespace proxy::services

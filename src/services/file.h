@@ -1,0 +1,258 @@
+// File service.
+//
+// A remote byte array with read/write/size/truncate — the service the
+// 1986 literature's canonical proxy example (a caching file proxy) is
+// about. Three proxy protocols behind one IFile interface:
+//
+//   protocol 1 — FileStub          every operation is one RPC
+//   protocol 2 — FileCachingProxy  4 KiB block cache with sequential
+//                                  prefetch and server-driven
+//                                  range invalidation
+//   protocol 3 — FileBatchProxy    caching + coalesced write-behind
+//
+// The protocol-swap experiment (T4) runs byte-identical client code
+// against all three: only the service's advertised protocol changes.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "core/batcher.h"
+#include "core/cache.h"
+#include "core/export.h"
+#include "core/proxy.h"
+#include "core/runtime.h"
+#include "rpc/stub.h"
+#include "sim/task.h"
+
+namespace proxy::services {
+
+class IFile {
+ public:
+  static constexpr std::string_view kInterfaceName = "proxy.services.File";
+
+  virtual ~IFile() = default;
+
+  /// Reads up to `length` bytes at `offset` (short read at EOF).
+  virtual sim::Co<Result<Bytes>> Read(std::uint64_t offset,
+                                      std::uint32_t length) = 0;
+  virtual sim::Co<Result<rpc::Void>> Write(std::uint64_t offset,
+                                           Bytes data) = 0;
+  virtual sim::Co<Result<std::uint64_t>> Size() = 0;
+  virtual sim::Co<Result<rpc::Void>> Truncate(std::uint64_t size) = 0;
+};
+
+namespace filewire {
+
+enum Method : std::uint32_t {
+  kRead = 1,
+  kWrite = 2,
+  kSize = 3,
+  kTruncate = 4,
+  kSubscribe = 5,
+  kWriteVec = 6,
+};
+
+enum SinkMethod : std::uint32_t {
+  kInvalidateRange = 1,
+};
+
+struct ReadRequest {
+  std::uint64_t offset = 0;
+  std::uint32_t length = 0;
+  PROXY_SERDE_FIELDS(offset, length)
+};
+struct ReadResponse {
+  Bytes data;
+  PROXY_SERDE_FIELDS(data)
+};
+struct WriteRequest {
+  std::uint64_t offset = 0;
+  Bytes data;
+  ObjectId exclude_sink;  // writer's own sink: skipped by invalidation
+  PROXY_SERDE_FIELDS(offset, data, exclude_sink)
+};
+struct SizeResponse {
+  std::uint64_t size = 0;
+  PROXY_SERDE_FIELDS(size)
+};
+struct TruncateRequest {
+  std::uint64_t size = 0;
+  ObjectId exclude_sink;
+  PROXY_SERDE_FIELDS(size, exclude_sink)
+};
+struct SubscribeRequest {
+  net::Address sink_server;
+  ObjectId sink_object;
+  PROXY_SERDE_FIELDS(sink_server, sink_object)
+};
+struct WriteVecRequest {
+  std::vector<WriteRequest> writes;
+  PROXY_SERDE_FIELDS(writes)
+};
+struct InvalidateRangeMessage {
+  std::uint64_t offset = 0;
+  std::uint64_t length = 0;  // 0 = to end of file (truncate)
+  PROXY_SERDE_FIELDS(offset, length)
+};
+
+}  // namespace filewire
+
+class FileService : public IFile, public core::IMigratable {
+ public:
+  explicit FileService(core::Context& context) : context_(&context) {}
+
+  sim::Co<Result<Bytes>> Read(std::uint64_t offset,
+                              std::uint32_t length) override;
+  sim::Co<Result<rpc::Void>> Write(std::uint64_t offset, Bytes data) override;
+  sim::Co<Result<std::uint64_t>> Size() override;
+  sim::Co<Result<rpc::Void>> Truncate(std::uint64_t size) override;
+
+  sim::Co<Result<rpc::Void>> WriteVec(
+      std::vector<filewire::WriteRequest> writes);
+
+  /// Mutations with writer exclusion (see kv.h for the rationale).
+  sim::Co<Result<rpc::Void>> WriteExcluding(std::uint64_t offset, Bytes data,
+                                            ObjectId exclude);
+  sim::Co<Result<rpc::Void>> TruncateExcluding(std::uint64_t size,
+                                               ObjectId exclude);
+
+  Status Subscribe(const net::Address& sink_server, ObjectId sink_object);
+
+  [[nodiscard]] Bytes SnapshotState() const override;
+  Status RestoreState(BytesView state);
+
+  /// Test/bench helper: fills the file with `size` deterministic bytes.
+  void FillPattern(std::uint64_t size, std::uint8_t seed = 7);
+
+  static constexpr std::uint64_t kMaxFileSize = 64ULL << 20;  // 64 MiB
+
+ private:
+  struct Subscriber {
+    net::Address sink_server;
+    ObjectId sink_object;
+    PROXY_SERDE_FIELDS(sink_server, sink_object)
+  };
+
+  void NotifyInvalidate(std::uint64_t offset, std::uint64_t length,
+                        ObjectId exclude);
+  Status ApplyWrite(std::uint64_t offset, const Bytes& data);
+
+  core::Context* context_;
+  Bytes content_;
+  std::vector<Subscriber> subscribers_;
+};
+
+std::shared_ptr<rpc::Dispatch> MakeFileDispatch(
+    std::shared_ptr<FileService> impl);
+
+struct FileExport {
+  std::shared_ptr<FileService> impl;
+  core::ServiceBinding binding;
+};
+Result<FileExport> ExportFileService(core::Context& context,
+                                     std::uint32_t protocol = 1);
+
+/// Protocol 1: plain stub.
+class FileStub : public IFile, public core::ProxyBase {
+ public:
+  FileStub(core::Context& context, core::ServiceBinding binding)
+      : core::ProxyBase(context, std::move(binding)) {}
+
+  sim::Co<Result<Bytes>> Read(std::uint64_t offset,
+                              std::uint32_t length) override;
+  sim::Co<Result<rpc::Void>> Write(std::uint64_t offset, Bytes data) override;
+  sim::Co<Result<std::uint64_t>> Size() override;
+  sim::Co<Result<rpc::Void>> Truncate(std::uint64_t size) override;
+};
+
+struct FileCacheParams {
+  std::size_t block_size = 4096;
+  std::size_t capacity_blocks = 256;
+  bool prefetch_next = true;
+  bool subscribe_invalidations = true;
+};
+
+/// Protocol 2: block cache + prefetch + range invalidation.
+class FileCachingProxy : public IFile, public core::ProxyBase {
+ public:
+  FileCachingProxy(core::Context& context, core::ServiceBinding binding,
+                   FileCacheParams params = {});
+  ~FileCachingProxy() override;
+
+  sim::Co<Result<Bytes>> Read(std::uint64_t offset,
+                              std::uint32_t length) override;
+  sim::Co<Result<rpc::Void>> Write(std::uint64_t offset, Bytes data) override;
+  sim::Co<Result<std::uint64_t>> Size() override;
+  sim::Co<Result<rpc::Void>> Truncate(std::uint64_t size) override;
+
+  [[nodiscard]] const core::CacheStats& cache_stats() const noexcept {
+    return blocks_.stats();
+  }
+
+ protected:
+  sim::Co<Status> EnsureSubscribed();
+  void OnInvalidateRange(std::uint64_t offset, std::uint64_t length);
+
+  /// Fetches one block (block_size bytes at block*block_size) remotely.
+  sim::Co<Result<Bytes>> FetchBlock(std::uint64_t block);
+
+  /// Kicks an asynchronous prefetch of `block` (fire and forget).
+  void Prefetch(std::uint64_t block);
+  sim::Co<void> PrefetchTask(std::uint64_t block);
+
+  /// Applies one of our own writes to the cached blocks in place, so a
+  /// write does not evict data we can keep coherent ourselves.
+  void PatchBlocks(std::uint64_t offset, const Bytes& data);
+
+  FileCacheParams params_;
+  core::LruCache<std::uint64_t, Bytes> blocks_;  // block index -> data
+  // Blocks with a prefetch in flight: a demand read awaits the existing
+  // fetch instead of issuing a duplicate. (One waiter suffices: demand
+  // reads are serialized per proxy.)
+  std::unordered_map<std::uint64_t, sim::Future<bool>> inflight_;
+  ObjectId sink_id_;
+  std::shared_ptr<rpc::Dispatch> sink_dispatch_;
+  bool subscribed_ = false;
+  bool subscribe_in_flight_ = false;
+  std::uint64_t prefetches_ = 0;
+};
+
+struct FileBatchParams {
+  FileCacheParams cache;
+  std::size_t max_batch = 8;
+  SimDuration flush_window = Milliseconds(5);
+};
+
+/// Protocol 3: caching + coalesced write-behind.
+class FileBatchProxy : public FileCachingProxy {
+ public:
+  FileBatchProxy(core::Context& context, core::ServiceBinding binding,
+                 FileBatchParams params = {});
+
+  sim::Co<Result<Bytes>> Read(std::uint64_t offset,
+                              std::uint32_t length) override;
+  sim::Co<Result<rpc::Void>> Write(std::uint64_t offset, Bytes data) override;
+  sim::Co<Result<std::uint64_t>> Size() override;
+  sim::Co<Result<rpc::Void>> Truncate(std::uint64_t size) override;
+
+  sim::Co<Status> FlushWrites();
+
+  [[nodiscard]] const core::BatcherStats& batch_stats() const noexcept {
+    return batcher_.stats();
+  }
+
+ private:
+  sim::Co<Status> FlushBatch(std::vector<filewire::WriteRequest> batch);
+
+  FileBatchParams fb_params_;
+  core::Batcher<filewire::WriteRequest> batcher_;
+};
+
+void RegisterFileFactories();
+
+}  // namespace proxy::services

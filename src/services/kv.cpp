@@ -1,0 +1,432 @@
+#include "services/kv.h"
+
+#include <utility>
+
+#include "common/log.h"
+#include "core/factory.h"
+#include "serde/reader.h"
+#include "serde/traits.h"
+#include "serde/writer.h"
+
+namespace proxy::services {
+
+using kvwire::BatchPutRequest;
+using kvwire::DelRequest;
+using kvwire::DelResponse;
+using kvwire::GetRequest;
+using kvwire::GetResponse;
+using kvwire::InvalidateMessage;
+using kvwire::PutRequest;
+using kvwire::SizeResponse;
+using kvwire::SubscribeRequest;
+
+// --- server ---
+
+sim::Co<Result<std::optional<std::string>>> KvService::Get(std::string key) {
+  const auto it = data_.find(key);
+  if (it == data_.end()) co_return std::optional<std::string>{};
+  co_return std::optional<std::string>{it->second};
+}
+
+sim::Co<Result<rpc::Void>> KvService::Put(std::string key, std::string value) {
+  co_return co_await PutExcluding(std::move(key), std::move(value),
+                                  ObjectId{});
+}
+
+sim::Co<Result<rpc::Void>> KvService::PutExcluding(std::string key,
+                                                   std::string value,
+                                                   ObjectId exclude) {
+  data_[key] = std::move(value);
+  NotifyInvalidate({std::move(key)}, exclude);
+  co_return rpc::Void{};
+}
+
+sim::Co<Result<bool>> KvService::Del(std::string key) {
+  co_return co_await DelExcluding(std::move(key), ObjectId{});
+}
+
+sim::Co<Result<bool>> KvService::DelExcluding(std::string key,
+                                              ObjectId exclude) {
+  const bool existed = data_.erase(key) > 0;
+  if (existed) NotifyInvalidate({std::move(key)}, exclude);
+  co_return existed;
+}
+
+sim::Co<Result<std::uint64_t>> KvService::Size() {
+  co_return static_cast<std::uint64_t>(data_.size());
+}
+
+sim::Co<Result<rpc::Void>> KvService::BatchPut(
+    std::vector<std::pair<std::string, std::string>> entries,
+    ObjectId exclude) {
+  std::vector<std::string> changed;
+  changed.reserve(entries.size());
+  for (auto& [key, value] : entries) {
+    data_[key] = std::move(value);
+    changed.push_back(key);
+  }
+  NotifyInvalidate(std::move(changed), exclude);
+  co_return rpc::Void{};
+}
+
+Status KvService::Subscribe(const net::Address& sink_server,
+                            ObjectId sink_object) {
+  for (const auto& sub : subscribers_) {
+    if (sub.sink_object == sink_object) {
+      return AlreadyExistsError("sink already subscribed");
+    }
+  }
+  subscribers_.push_back(Subscriber{sink_server, sink_object});
+  return Status::Ok();
+}
+
+Status KvService::Unsubscribe(ObjectId sink_object) {
+  for (auto it = subscribers_.begin(); it != subscribers_.end(); ++it) {
+    if (it->sink_object == sink_object) {
+      subscribers_.erase(it);
+      return Status::Ok();
+    }
+  }
+  return NotFoundError("sink not subscribed");
+}
+
+void KvService::NotifyInvalidate(std::vector<std::string> keys,
+                                 ObjectId exclude) {
+  if (subscribers_.empty() || keys.empty()) return;
+  const Bytes msg = serde::EncodeToBytes(InvalidateMessage{std::move(keys)});
+  for (const auto& sub : subscribers_) {
+    if (!exclude.IsNil() && sub.sink_object == exclude) continue;
+    invalidations_sent_++;
+    // Fire-and-forget: the future is dropped; a lost invalidation only
+    // costs a subscriber staleness until its next miss.
+    (void)context_->client().Call(sub.sink_server, sub.sink_object,
+                                  kvwire::SinkMethod::kInvalidate, msg);
+  }
+}
+
+Bytes KvService::SnapshotState() const {
+  serde::Writer w;
+  serde::Serialize(w, data_);
+  serde::Serialize(w, subscribers_);
+  return w.Take();
+}
+
+Status KvService::RestoreState(BytesView state) {
+  serde::Reader r(state);
+  PROXY_RETURN_IF_ERROR(serde::Deserialize(r, data_));
+  PROXY_RETURN_IF_ERROR(serde::Deserialize(r, subscribers_));
+  return r.ExpectEnd();
+}
+
+std::shared_ptr<rpc::Dispatch> MakeKvDispatch(
+    std::shared_ptr<KvService> impl) {
+  auto dispatch = std::make_shared<rpc::Dispatch>();
+  rpc::RegisterTyped<GetRequest, GetResponse>(
+      *dispatch, kvwire::kGet,
+      [impl](GetRequest req, const rpc::CallContext&)
+          -> sim::Co<Result<GetResponse>> {
+        Result<std::optional<std::string>> value =
+            co_await impl->Get(std::move(req.key));
+        if (!value.ok()) co_return value.status();
+        co_return GetResponse{std::move(*value)};
+      });
+  rpc::RegisterTyped<PutRequest, rpc::Void>(
+      *dispatch, kvwire::kPut,
+      [impl](PutRequest req, const rpc::CallContext&) {
+        return impl->PutExcluding(std::move(req.key), std::move(req.value),
+                                  req.exclude_sink);
+      });
+  rpc::RegisterTyped<DelRequest, DelResponse>(
+      *dispatch, kvwire::kDel,
+      [impl](DelRequest req,
+             const rpc::CallContext&) -> sim::Co<Result<DelResponse>> {
+        Result<bool> existed =
+            co_await impl->DelExcluding(std::move(req.key), req.exclude_sink);
+        if (!existed.ok()) co_return existed.status();
+        co_return DelResponse{*existed};
+      });
+  rpc::RegisterTyped<rpc::Void, SizeResponse>(
+      *dispatch, kvwire::kSize,
+      [impl](rpc::Void, const rpc::CallContext&)
+          -> sim::Co<Result<SizeResponse>> {
+        Result<std::uint64_t> size = co_await impl->Size();
+        if (!size.ok()) co_return size.status();
+        co_return SizeResponse{*size};
+      });
+  rpc::RegisterTyped<SubscribeRequest, rpc::Void>(
+      *dispatch, kvwire::kSubscribe,
+      [impl](SubscribeRequest req,
+             const rpc::CallContext&) -> sim::Co<Result<rpc::Void>> {
+        const Status st = impl->Subscribe(req.sink_server, req.sink_object);
+        if (!st.ok()) co_return st;
+        co_return rpc::Void{};
+      });
+  rpc::RegisterTyped<SubscribeRequest, rpc::Void>(
+      *dispatch, kvwire::kUnsubscribe,
+      [impl](SubscribeRequest req,
+             const rpc::CallContext&) -> sim::Co<Result<rpc::Void>> {
+        const Status st = impl->Unsubscribe(req.sink_object);
+        if (!st.ok()) co_return st;
+        co_return rpc::Void{};
+      });
+  rpc::RegisterTyped<BatchPutRequest, rpc::Void>(
+      *dispatch, kvwire::kBatchPut,
+      [impl](BatchPutRequest req, const rpc::CallContext&) {
+        return impl->BatchPut(std::move(req.entries), req.exclude_sink);
+      });
+  return dispatch;
+}
+
+Result<KvExport> ExportKvService(core::Context& context,
+                                 std::uint32_t protocol) {
+  auto impl = std::make_shared<KvService>(context);
+  auto dispatch = MakeKvDispatch(impl);
+  PROXY_ASSIGN_OR_RETURN(
+      auto exported,
+      core::ServiceExport<IKeyValue>::Create(context, impl, dispatch, protocol,
+                                             impl));
+  return KvExport{std::move(impl), exported.binding()};
+}
+
+// --- protocol 1: stub ---
+
+sim::Co<Result<std::optional<std::string>>> KvStub::Get(std::string key) {
+  GetRequest req{std::move(key)};
+  Result<GetResponse> resp =
+      co_await Call<GetResponse>(kvwire::kGet, std::move(req));
+  if (!resp.ok()) co_return resp.status();
+  co_return std::move(resp->value);
+}
+
+sim::Co<Result<rpc::Void>> KvStub::Put(std::string key, std::string value) {
+  PutRequest req{std::move(key), std::move(value)};
+  co_return co_await Call<rpc::Void>(kvwire::kPut, std::move(req));
+}
+
+sim::Co<Result<bool>> KvStub::Del(std::string key) {
+  DelRequest req{std::move(key)};
+  Result<DelResponse> resp =
+      co_await Call<DelResponse>(kvwire::kDel, std::move(req));
+  if (!resp.ok()) co_return resp.status();
+  co_return resp->existed;
+}
+
+sim::Co<Result<std::uint64_t>> KvStub::Size() {
+  Result<SizeResponse> resp =
+      co_await Call<SizeResponse>(kvwire::kSize, rpc::Void{});
+  if (!resp.ok()) co_return resp.status();
+  co_return resp->size;
+}
+
+// --- protocol 2: caching proxy ---
+
+KvCachingProxy::KvCachingProxy(core::Context& context,
+                               core::ServiceBinding binding,
+                               KvCacheParams params)
+    : core::ProxyBase(context, std::move(binding)),
+      params_(params),
+      cache_(params.capacity),
+      sink_id_(context.MintObjectId()),
+      sink_dispatch_(std::make_shared<rpc::Dispatch>()) {
+  // The invalidation sink: a server-side object living in the *client's*
+  // context. The KV server calls it when keys change.
+  sink_dispatch_->Register(
+      kvwire::SinkMethod::kInvalidate,
+      [this](Bytes args, const rpc::CallContext&) -> sim::Co<Result<Bytes>> {
+        Result<InvalidateMessage> msg =
+            serde::DecodeFromBytes<InvalidateMessage>(View(args));
+        if (!msg.ok()) co_return msg.status();
+        OnInvalidate(msg->keys);
+        co_return serde::EncodeToBytes(rpc::Void{});
+      });
+  (void)this->context().server().ExportObject(sink_id_, sink_dispatch_);
+}
+
+KvCachingProxy::~KvCachingProxy() {
+  (void)context().server().RemoveObject(sink_id_);
+}
+
+sim::Co<Status> KvCachingProxy::EnsureSubscribed() {
+  if (!params_.subscribe_invalidations || subscribed_ ||
+      subscribe_in_flight_) {
+    co_return Status::Ok();
+  }
+  subscribe_in_flight_ = true;
+  SubscribeRequest req{context().server_address(), sink_id_};
+  Result<rpc::Void> resp =
+      co_await Call<rpc::Void>(kvwire::kSubscribe, std::move(req));
+  subscribe_in_flight_ = false;
+  if (resp.ok() || resp.status().code() == StatusCode::kAlreadyExists) {
+    subscribed_ = true;
+    co_return Status::Ok();
+  }
+  co_return resp.status();
+}
+
+void KvCachingProxy::OnInvalidate(const std::vector<std::string>& keys) {
+  for (const auto& key : keys) cache_.Invalidate(key);
+}
+
+sim::Co<Result<std::optional<std::string>>> KvCachingProxy::Get(
+    std::string key) {
+  const Status sub = co_await EnsureSubscribed();
+  if (!sub.ok()) co_return sub;
+  if (auto cached = cache_.Get(key)) co_return std::move(*cached);
+
+  GetRequest req{key};
+  Result<GetResponse> resp =
+      co_await Call<GetResponse>(kvwire::kGet, std::move(req));
+  if (!resp.ok()) co_return resp.status();
+  cache_.Put(key, resp->value);  // negative results are cached too
+  co_return std::move(resp->value);
+}
+
+sim::Co<Result<rpc::Void>> KvCachingProxy::Put(std::string key,
+                                               std::string value) {
+  const Status sub = co_await EnsureSubscribed();
+  if (!sub.ok()) co_return sub;
+  PutRequest req{key, value, sink_id_};
+  Result<rpc::Void> resp =
+      co_await Call<rpc::Void>(kvwire::kPut, std::move(req));
+  if (!resp.ok()) co_return resp.status();
+  // Write-through: the cache reflects the acknowledged write immediately.
+  cache_.Put(std::move(key), std::optional<std::string>(std::move(value)));
+  co_return rpc::Void{};
+}
+
+sim::Co<Result<bool>> KvCachingProxy::Del(std::string key) {
+  DelRequest req{key, sink_id_};
+  Result<DelResponse> resp =
+      co_await Call<DelResponse>(kvwire::kDel, std::move(req));
+  if (!resp.ok()) co_return resp.status();
+  cache_.Put(std::move(key), std::optional<std::string>{});
+  co_return resp->existed;
+}
+
+sim::Co<Result<std::uint64_t>> KvCachingProxy::Size() {
+  Result<SizeResponse> resp =
+      co_await Call<SizeResponse>(kvwire::kSize, rpc::Void{});
+  if (!resp.ok()) co_return resp.status();
+  co_return resp->size;
+}
+
+// --- protocol 3: write-back proxy ---
+
+KvWriteBackProxy::KvWriteBackProxy(core::Context& context,
+                                   core::ServiceBinding binding,
+                                   KvWriteBackParams params)
+    : KvCachingProxy(context, std::move(binding), params.cache),
+      wb_params_(params),
+      batcher_(
+          context.scheduler(),
+          [this](std::vector<std::pair<std::string, std::string>> batch) {
+            return FlushBatch(std::move(batch));
+          },
+          params.max_batch, params.flush_window) {}
+
+sim::Co<Status> KvWriteBackProxy::FlushBatch(
+    std::vector<std::pair<std::string, std::string>> batch) {
+  // Later puts to the same key may have superseded buffered values; ship
+  // the freshest value per key, preserving first-write order.
+  for (auto& [key, value] : batch) {
+    const auto it = dirty_.find(key);
+    if (it != dirty_.end()) value = it->second;
+  }
+  BatchPutRequest req{batch, sink_id_};
+  Result<rpc::Void> resp =
+      co_await Call<rpc::Void>(kvwire::kBatchPut, std::move(req));
+  if (!resp.ok()) co_return resp.status();
+  // A key is clean only if no Put re-dirtied it while the flush was in
+  // flight: compare the buffered value against what we shipped.
+  for (const auto& [key, shipped] : batch) {
+    const auto it = dirty_.find(key);
+    if (it != dirty_.end() && it->second == shipped) dirty_.erase(it);
+  }
+  co_return Status::Ok();
+}
+
+sim::Co<Result<std::optional<std::string>>> KvWriteBackProxy::Get(
+    std::string key) {
+  // Read-your-writes: dirty keys are served from the buffer.
+  if (const auto it = dirty_.find(key); it != dirty_.end()) {
+    co_return std::optional<std::string>(it->second);
+  }
+  co_return co_await KvCachingProxy::Get(std::move(key));
+}
+
+sim::Co<Result<rpc::Void>> KvWriteBackProxy::Put(std::string key,
+                                                 std::string value) {
+  dirty_[key] = value;
+  // Keep the read cache coherent ourselves: the server will skip our
+  // sink when this write's invalidation fans out.
+  cache_.Put(key, std::optional<std::string>(value));
+  // Write-behind: acknowledge immediately; the per-item future is
+  // dropped — callers needing durability use FlushWrites().
+  (void)batcher_.Add(std::make_pair(std::move(key), std::move(value)));
+  co_return rpc::Void{};
+}
+
+sim::Co<Result<bool>> KvWriteBackProxy::Del(std::string key) {
+  // Deletions are ordering-sensitive: flush the buffer first.
+  const Status flushed = co_await FlushWrites();
+  if (!flushed.ok()) co_return flushed;
+  co_return co_await KvCachingProxy::Del(std::move(key));
+}
+
+sim::Co<Status> KvWriteBackProxy::FlushWrites() {
+  // Puts may race the flush; drain until nothing is pending.
+  while (batcher_.pending() > 0) {
+    const Status st = co_await batcher_.Flush();
+    if (!st.ok()) co_return st;
+  }
+  co_return Status::Ok();
+}
+
+// --- factories ---
+
+void RegisterKvFactories() {
+  const InterfaceId iface = InterfaceIdOf(IKeyValue::kInterfaceName);
+  auto& proxies = core::ProxyFactoryRegistry::Instance();
+  if (!proxies.Has(iface, 1)) {
+    (void)proxies.Register(
+        iface, 1, [](core::Context& ctx, const core::ServiceBinding& b) {
+          return std::static_pointer_cast<void>(
+              std::static_pointer_cast<IKeyValue>(
+                  std::make_shared<KvStub>(ctx, b)));
+        });
+  }
+  if (!proxies.Has(iface, 2)) {
+    (void)proxies.Register(
+        iface, 2, [](core::Context& ctx, const core::ServiceBinding& b) {
+          return std::static_pointer_cast<void>(
+              std::static_pointer_cast<IKeyValue>(
+                  std::make_shared<KvCachingProxy>(ctx, b)));
+        });
+  }
+  if (!proxies.Has(iface, 3)) {
+    (void)proxies.Register(
+        iface, 3, [](core::Context& ctx, const core::ServiceBinding& b) {
+          return std::static_pointer_cast<void>(
+              std::static_pointer_cast<IKeyValue>(
+                  std::make_shared<KvWriteBackProxy>(ctx, b)));
+        });
+  }
+  auto& servers = core::ServerObjectFactoryRegistry::Instance();
+  if (!servers.Has(iface)) {
+    (void)servers.Register(
+        iface,
+        [](core::Context& ctx, ObjectId id, std::uint32_t protocol,
+           Bytes state) -> Result<core::ServiceBinding> {
+          auto impl = std::make_shared<KvService>(ctx);
+          PROXY_RETURN_IF_ERROR(impl->RestoreState(View(state)));
+          auto dispatch = MakeKvDispatch(impl);
+          PROXY_ASSIGN_OR_RETURN(
+              auto exported,
+              core::ServiceExport<IKeyValue>::CreateWithId(
+                  ctx, id, impl, dispatch, protocol, impl));
+          return exported.binding();
+        });
+  }
+}
+
+}  // namespace proxy::services

@@ -1,0 +1,275 @@
+// Key-value store service.
+//
+// The workhorse service of the experiment suite. One abstract interface
+// (IKeyValue), one server implementation, and three *proxy protocols*
+// that clients absorb transparently through Bind<IKeyValue>():
+//
+//   protocol 1 — KvStub           plain RPC per operation (the baseline)
+//   protocol 2 — KvCachingProxy   client-side read cache, write-through,
+//                                 server-driven invalidation
+//   protocol 3 — KvWriteBackProxy caching + buffered writes flushed in
+//                                 batches (write-behind)
+//
+// The server supports invalidation subscriptions: a caching proxy exports
+// a small "sink" object in its own context and registers it; the server
+// notifies every sink when a key changes. That a *client* context can
+// host server-side objects at all is itself the proxy principle at work.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/batcher.h"
+#include "core/cache.h"
+#include "core/export.h"
+#include "core/proxy.h"
+#include "core/runtime.h"
+#include "rpc/stub.h"
+#include "sim/task.h"
+
+namespace proxy::services {
+
+/// Abstract key-value interface — all a client ever sees.
+class IKeyValue {
+ public:
+  static constexpr std::string_view kInterfaceName = "proxy.services.KeyValue";
+
+  virtual ~IKeyValue() = default;
+
+  virtual sim::Co<Result<std::optional<std::string>>> Get(std::string key) = 0;
+  virtual sim::Co<Result<rpc::Void>> Put(std::string key,
+                                         std::string value) = 0;
+  /// Returns true if the key existed.
+  virtual sim::Co<Result<bool>> Del(std::string key) = 0;
+  virtual sim::Co<Result<std::uint64_t>> Size() = 0;
+};
+
+// --- wire protocol ---
+
+namespace kvwire {
+
+enum Method : std::uint32_t {
+  kGet = 1,
+  kPut = 2,
+  kDel = 3,
+  kSize = 4,
+  kSubscribe = 5,
+  kUnsubscribe = 6,
+  kBatchPut = 7,
+};
+
+/// Method id on a subscriber's sink object.
+enum SinkMethod : std::uint32_t {
+  kInvalidate = 1,
+};
+
+struct GetRequest {
+  std::string key;
+  PROXY_SERDE_FIELDS(key)
+};
+struct GetResponse {
+  std::optional<std::string> value;
+  PROXY_SERDE_FIELDS(value)
+};
+struct PutRequest {
+  std::string key;
+  std::string value;
+  ObjectId exclude_sink;  // writer's own sink: skipped by invalidation
+  PROXY_SERDE_FIELDS(key, value, exclude_sink)
+};
+struct DelRequest {
+  std::string key;
+  ObjectId exclude_sink;
+  PROXY_SERDE_FIELDS(key, exclude_sink)
+};
+struct DelResponse {
+  bool existed = false;
+  PROXY_SERDE_FIELDS(existed)
+};
+struct SizeResponse {
+  std::uint64_t size = 0;
+  PROXY_SERDE_FIELDS(size)
+};
+struct SubscribeRequest {
+  net::Address sink_server;
+  ObjectId sink_object;
+  PROXY_SERDE_FIELDS(sink_server, sink_object)
+};
+struct BatchPutRequest {
+  std::vector<std::pair<std::string, std::string>> entries;
+  ObjectId exclude_sink;
+  PROXY_SERDE_FIELDS(entries, exclude_sink)
+};
+struct InvalidateMessage {
+  std::vector<std::string> keys;
+  PROXY_SERDE_FIELDS(keys)
+};
+
+}  // namespace kvwire
+
+// --- server ---
+
+/// Server implementation. Also usable directly (same-context binding).
+class KvService : public IKeyValue, public core::IMigratable {
+ public:
+  explicit KvService(core::Context& context) : context_(&context) {}
+
+  // IKeyValue
+  sim::Co<Result<std::optional<std::string>>> Get(std::string key) override;
+  sim::Co<Result<rpc::Void>> Put(std::string key, std::string value) override;
+  sim::Co<Result<bool>> Del(std::string key) override;
+  sim::Co<Result<std::uint64_t>> Size() override;
+
+  /// Mutation entry points with writer exclusion: the subscriber whose
+  /// sink is `exclude` already reflects the write locally (it made it)
+  /// and is skipped by the invalidation fan-out.
+  sim::Co<Result<rpc::Void>> PutExcluding(std::string key, std::string value,
+                                          ObjectId exclude);
+  sim::Co<Result<bool>> DelExcluding(std::string key, ObjectId exclude);
+
+  /// Applies many puts as one unit (the write-back flush path).
+  sim::Co<Result<rpc::Void>> BatchPut(
+      std::vector<std::pair<std::string, std::string>> entries,
+      ObjectId exclude = ObjectId{});
+
+  Status Subscribe(const net::Address& sink_server, ObjectId sink_object);
+  Status Unsubscribe(ObjectId sink_object);
+
+  // IMigratable: data plus subscriber list travel together.
+  [[nodiscard]] Bytes SnapshotState() const override;
+  Status RestoreState(BytesView state);
+
+  [[nodiscard]] std::size_t subscriber_count() const noexcept {
+    return subscribers_.size();
+  }
+  [[nodiscard]] std::uint64_t invalidations_sent() const noexcept {
+    return invalidations_sent_;
+  }
+
+  /// Rebinds the service to a new hosting context (after migration).
+  void AttachContext(core::Context& context) { context_ = &context; }
+
+ private:
+  struct Subscriber {
+    net::Address sink_server;
+    ObjectId sink_object;
+    PROXY_SERDE_FIELDS(sink_server, sink_object)
+  };
+
+  /// Fire-and-forget invalidation fan-out for changed keys, skipping the
+  /// writer's own sink.
+  void NotifyInvalidate(std::vector<std::string> keys, ObjectId exclude);
+
+  core::Context* context_;
+  std::map<std::string, std::string> data_;
+  std::vector<Subscriber> subscribers_;
+  std::uint64_t invalidations_sent_ = 0;
+};
+
+/// Builds the skeleton (dispatch table) for a KvService.
+std::shared_ptr<rpc::Dispatch> MakeKvDispatch(std::shared_ptr<KvService> impl);
+
+/// Creates, exports and optionally publishes a KV service in `context`,
+/// advertising proxy protocol `protocol` (1, 2 or 3).
+struct KvExport {
+  std::shared_ptr<KvService> impl;
+  core::ServiceBinding binding;
+};
+Result<KvExport> ExportKvService(core::Context& context,
+                                 std::uint32_t protocol = 1);
+
+// --- proxies ---
+
+/// Protocol 1: the classic stub. Marshal, send, unmarshal — nothing else.
+class KvStub : public IKeyValue, public core::ProxyBase {
+ public:
+  KvStub(core::Context& context, core::ServiceBinding binding)
+      : core::ProxyBase(context, std::move(binding)) {}
+
+  sim::Co<Result<std::optional<std::string>>> Get(std::string key) override;
+  sim::Co<Result<rpc::Void>> Put(std::string key, std::string value) override;
+  sim::Co<Result<bool>> Del(std::string key) override;
+  sim::Co<Result<std::uint64_t>> Size() override;
+};
+
+/// Tuning for the caching proxies.
+struct KvCacheParams {
+  std::size_t capacity = 1024;
+  bool subscribe_invalidations = true;
+};
+
+/// Protocol 2: read cache + write-through + server invalidation.
+class KvCachingProxy : public IKeyValue, public core::ProxyBase {
+ public:
+  KvCachingProxy(core::Context& context, core::ServiceBinding binding,
+                 KvCacheParams params = {});
+  ~KvCachingProxy() override;
+
+  sim::Co<Result<std::optional<std::string>>> Get(std::string key) override;
+  sim::Co<Result<rpc::Void>> Put(std::string key, std::string value) override;
+  sim::Co<Result<bool>> Del(std::string key) override;
+  sim::Co<Result<std::uint64_t>> Size() override;
+
+  [[nodiscard]] const core::CacheStats& cache_stats() const noexcept {
+    return cache_.stats();
+  }
+
+ protected:
+  /// Registers the invalidation sink with the server (first call only).
+  sim::Co<Status> EnsureSubscribed();
+
+  void OnInvalidate(const std::vector<std::string>& keys);
+
+  KvCacheParams params_;
+  // Cached values: present-with-value or known-absent (negative entry).
+  core::LruCache<std::string, std::optional<std::string>> cache_;
+  ObjectId sink_id_;
+  std::shared_ptr<rpc::Dispatch> sink_dispatch_;
+  bool subscribed_ = false;
+  bool subscribe_in_flight_ = false;
+};
+
+/// Tuning for the write-back proxy.
+struct KvWriteBackParams {
+  KvCacheParams cache;
+  std::size_t max_batch = 16;
+  SimDuration flush_window = Milliseconds(5);
+};
+
+/// Protocol 3: caching + write-behind. Puts accumulate locally and flush
+/// as BatchPut; reads of dirty keys are served from the buffer.
+class KvWriteBackProxy : public KvCachingProxy {
+ public:
+  KvWriteBackProxy(core::Context& context, core::ServiceBinding binding,
+                   KvWriteBackParams params = {});
+
+  sim::Co<Result<std::optional<std::string>>> Get(std::string key) override;
+  sim::Co<Result<rpc::Void>> Put(std::string key, std::string value) override;
+  sim::Co<Result<bool>> Del(std::string key) override;
+
+  /// Forces buffered writes out (also called before Del and Size).
+  sim::Co<Status> FlushWrites();
+
+  [[nodiscard]] const core::BatcherStats& batch_stats() const noexcept {
+    return batcher_.stats();
+  }
+
+ private:
+  sim::Co<Status> FlushBatch(
+      std::vector<std::pair<std::string, std::string>> batch);
+
+  KvWriteBackParams wb_params_;
+  std::map<std::string, std::string> dirty_;  // newest value per key
+  core::Batcher<std::pair<std::string, std::string>> batcher_;
+};
+
+/// Registers KV proxy factories (protocols 1-3) and the server-object
+/// factory (for migration). Idempotent.
+void RegisterKvFactories();
+
+}  // namespace proxy::services

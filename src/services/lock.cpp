@@ -1,0 +1,152 @@
+#include "services/lock.h"
+
+#include "core/factory.h"
+
+namespace proxy::services {
+
+using lockwire::HolderRequest;
+using lockwire::HolderResponse;
+using lockwire::LockRequest;
+using lockwire::TryAcquireResponse;
+
+sim::Co<Result<bool>> LockServiceImpl::TryAcquire(std::string name,
+                                                  std::uint64_t owner) {
+  LockState& lock = locks_[name];
+  if (lock.holder.has_value()) co_return lock.holder == owner;
+  lock.holder = owner;
+  co_return true;
+}
+
+sim::Co<Result<rpc::Void>> LockServiceImpl::Acquire(std::string name,
+                                                    std::uint64_t owner) {
+  LockState& lock = locks_[name];
+  if (!lock.holder.has_value()) {
+    lock.holder = owner;
+    co_return rpc::Void{};
+  }
+  if (lock.holder == owner) co_return rpc::Void{};  // re-entrant
+  // Park this handler until Release hands the lock over.
+  sim::Promise<bool> granted(*scheduler_);
+  auto future = granted.future();
+  lock.waiters.emplace_back(owner, std::move(granted));
+  (void)co_await future;
+  co_return rpc::Void{};
+}
+
+sim::Co<Result<rpc::Void>> LockServiceImpl::Release(std::string name,
+                                                    std::uint64_t owner) {
+  const auto it = locks_.find(name);
+  if (it == locks_.end() || !it->second.holder.has_value()) {
+    co_return FailedPreconditionError("lock not held: " + name);
+  }
+  LockState& lock = it->second;
+  if (lock.holder != owner) {
+    co_return PermissionDeniedError("lock held by another owner: " + name);
+  }
+  if (lock.waiters.empty()) {
+    lock.holder.reset();
+    co_return rpc::Void{};
+  }
+  // FIFO hand-over.
+  auto [next_owner, promise] = std::move(lock.waiters.front());
+  lock.waiters.pop_front();
+  lock.holder = next_owner;
+  promise.Set(true);
+  co_return rpc::Void{};
+}
+
+sim::Co<Result<std::optional<std::uint64_t>>> LockServiceImpl::Holder(
+    std::string name) {
+  const auto it = locks_.find(name);
+  if (it == locks_.end()) co_return std::optional<std::uint64_t>{};
+  co_return it->second.holder;
+}
+
+std::shared_ptr<rpc::Dispatch> MakeLockDispatch(
+    std::shared_ptr<LockServiceImpl> impl) {
+  auto dispatch = std::make_shared<rpc::Dispatch>();
+  rpc::RegisterTyped<LockRequest, TryAcquireResponse>(
+      *dispatch, lockwire::kTryAcquire,
+      [impl](LockRequest req,
+             const rpc::CallContext&) -> sim::Co<Result<TryAcquireResponse>> {
+        Result<bool> acquired =
+            co_await impl->TryAcquire(std::move(req.name), req.owner);
+        if (!acquired.ok()) co_return acquired.status();
+        co_return TryAcquireResponse{*acquired};
+      });
+  rpc::RegisterTyped<LockRequest, rpc::Void>(
+      *dispatch, lockwire::kAcquire,
+      [impl](LockRequest req, const rpc::CallContext&) {
+        return impl->Acquire(std::move(req.name), req.owner);
+      });
+  rpc::RegisterTyped<LockRequest, rpc::Void>(
+      *dispatch, lockwire::kRelease,
+      [impl](LockRequest req, const rpc::CallContext&) {
+        return impl->Release(std::move(req.name), req.owner);
+      });
+  rpc::RegisterTyped<HolderRequest, HolderResponse>(
+      *dispatch, lockwire::kHolder,
+      [impl](HolderRequest req,
+             const rpc::CallContext&) -> sim::Co<Result<HolderResponse>> {
+        Result<std::optional<std::uint64_t>> holder =
+            co_await impl->Holder(std::move(req.name));
+        if (!holder.ok()) co_return holder.status();
+        co_return HolderResponse{*holder};
+      });
+  return dispatch;
+}
+
+Result<LockExport> ExportLockService(core::Context& context) {
+  auto impl = std::make_shared<LockServiceImpl>(context.scheduler());
+  auto dispatch = MakeLockDispatch(impl);
+  PROXY_ASSIGN_OR_RETURN(
+      auto exported,
+      core::ServiceExport<ILockService>::Create(context, impl, dispatch,
+                                                /*protocol=*/1));
+  return LockExport{std::move(impl), exported.binding()};
+}
+
+sim::Co<Result<bool>> LockStub::TryAcquire(std::string name,
+                                           std::uint64_t owner) {
+  LockRequest req{std::move(name), owner};
+  Result<TryAcquireResponse> resp = co_await Call<TryAcquireResponse>(
+      lockwire::kTryAcquire, std::move(req));
+  if (!resp.ok()) co_return resp.status();
+  co_return resp->acquired;
+}
+
+sim::Co<Result<rpc::Void>> LockStub::Acquire(std::string name,
+                                             std::uint64_t owner) {
+  LockRequest req{std::move(name), owner};
+  co_return co_await Call<rpc::Void>(lockwire::kAcquire, std::move(req));
+}
+
+sim::Co<Result<rpc::Void>> LockStub::Release(std::string name,
+                                             std::uint64_t owner) {
+  LockRequest req{std::move(name), owner};
+  co_return co_await Call<rpc::Void>(lockwire::kRelease, std::move(req));
+}
+
+sim::Co<Result<std::optional<std::uint64_t>>> LockStub::Holder(
+    std::string name) {
+  HolderRequest req{std::move(name)};
+  Result<HolderResponse> resp =
+      co_await Call<HolderResponse>(lockwire::kHolder, std::move(req));
+  if (!resp.ok()) co_return resp.status();
+  co_return resp->holder;
+}
+
+void RegisterLockFactories() {
+  const InterfaceId iface = InterfaceIdOf(ILockService::kInterfaceName);
+  auto& proxies = core::ProxyFactoryRegistry::Instance();
+  if (!proxies.Has(iface, 1)) {
+    (void)proxies.Register(
+        iface, 1, [](core::Context& ctx, const core::ServiceBinding& b) {
+          return std::static_pointer_cast<void>(
+              std::static_pointer_cast<ILockService>(
+                  std::make_shared<LockStub>(ctx, b)));
+        });
+  }
+}
+
+}  // namespace proxy::services

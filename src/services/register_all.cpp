@@ -1,0 +1,21 @@
+#include "services/register_all.h"
+
+#include "services/counter.h"
+#include "services/file.h"
+#include "services/kv.h"
+#include "services/lock.h"
+#include "services/replicated_kv.h"
+#include "services/spooler.h"
+
+namespace proxy::services {
+
+void RegisterAllServices() {
+  RegisterKvFactories();
+  RegisterCounterFactories();
+  RegisterFileFactories();
+  RegisterLockFactories();
+  RegisterReplicatedKvFactories();
+  RegisterSpoolerFactories();
+}
+
+}  // namespace proxy::services

@@ -1,0 +1,9 @@
+// One-call registration of every service's proxy and server factories.
+#pragma once
+
+namespace proxy::services {
+
+/// Idempotent; call once at program start (examples, tests, benches).
+void RegisterAllServices();
+
+}  // namespace proxy::services

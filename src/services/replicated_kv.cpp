@@ -1,0 +1,267 @@
+#include "services/replicated_kv.h"
+
+#include "core/factory.h"
+
+namespace proxy::services {
+
+using kvwire::BatchPutRequest;
+using kvwire::DelRequest;
+using kvwire::DelResponse;
+using kvwire::GetRequest;
+using kvwire::GetResponse;
+using kvwire::PutRequest;
+using kvwire::ReplicaListResponse;
+using kvwire::SizeResponse;
+using kvwire::SubscribeRequest;
+
+// --- coordinator -------------------------------------------------------
+
+sim::Co<Result<std::optional<std::string>>> KvReplicaCoordinator::Get(
+    std::string key) {
+  co_return co_await local_->Get(std::move(key));
+}
+
+sim::Co<Result<std::uint64_t>> KvReplicaCoordinator::Size() {
+  co_return co_await local_->Size();
+}
+
+sim::Co<Status> KvReplicaCoordinator::Mirror(
+    std::vector<std::pair<std::string, std::string>> entries,
+    std::vector<std::string> deletes) {
+  // Write-all: every backup must acknowledge before the client does.
+  // (Sequential for determinism; the simulated RTTs still dominate.)
+  for (const auto& backup : backups_) {
+    if (!entries.empty()) {
+      BatchPutRequest req{entries, ObjectId{}};
+      rpc::RpcResult r = co_await context_->client().Call(
+          backup.server, backup.object, kvwire::kBatchPut,
+          serde::EncodeToBytes(req));
+      if (!r.ok()) {
+        replication_failures_++;
+        co_return UnavailableError("backup unreachable: " +
+                                   r.status.ToString());
+      }
+    }
+    for (const auto& key : deletes) {
+      DelRequest req{key, ObjectId{}};
+      rpc::RpcResult r = co_await context_->client().Call(
+          backup.server, backup.object, kvwire::kDel,
+          serde::EncodeToBytes(req));
+      if (!r.ok()) {
+        replication_failures_++;
+        co_return UnavailableError("backup unreachable: " +
+                                   r.status.ToString());
+      }
+    }
+  }
+  co_return Status::Ok();
+}
+
+sim::Co<Result<rpc::Void>> KvReplicaCoordinator::Put(std::string key,
+                                                     std::string value) {
+  Result<rpc::Void> applied = co_await local_->Put(key, value);
+  if (!applied.ok()) co_return applied.status();
+  std::vector<std::pair<std::string, std::string>> entries;
+  entries.emplace_back(std::move(key), std::move(value));
+  std::vector<std::string> deletes;
+  const Status mirrored =
+      co_await Mirror(std::move(entries), std::move(deletes));
+  if (!mirrored.ok()) co_return mirrored;
+  co_return rpc::Void{};
+}
+
+sim::Co<Result<bool>> KvReplicaCoordinator::Del(std::string key) {
+  Result<bool> existed = co_await local_->Del(key);
+  if (!existed.ok()) co_return existed.status();
+  std::vector<std::pair<std::string, std::string>> entries;
+  std::vector<std::string> deletes;
+  deletes.push_back(std::move(key));
+  const Status mirrored =
+      co_await Mirror(std::move(entries), std::move(deletes));
+  if (!mirrored.ok()) co_return mirrored;
+  co_return *existed;
+}
+
+sim::Co<Result<ReplicaListResponse>>
+KvReplicaCoordinator::HandleGetReplicas() {
+  ReplicaListResponse resp;
+  resp.replicas.push_back(self_);
+  for (const auto& b : backups_) resp.replicas.push_back(b);
+  co_return resp;
+}
+
+std::shared_ptr<rpc::Dispatch> MakeReplicatedKvDispatch(
+    std::shared_ptr<KvReplicaCoordinator> impl) {
+  auto dispatch = std::make_shared<rpc::Dispatch>();
+  rpc::RegisterTyped<GetRequest, GetResponse>(
+      *dispatch, kvwire::kGet,
+      [impl](GetRequest req,
+             const rpc::CallContext&) -> sim::Co<Result<GetResponse>> {
+        Result<std::optional<std::string>> value =
+            co_await impl->Get(std::move(req.key));
+        if (!value.ok()) co_return value.status();
+        co_return GetResponse{std::move(*value)};
+      });
+  rpc::RegisterTyped<PutRequest, rpc::Void>(
+      *dispatch, kvwire::kPut,
+      [impl](PutRequest req, const rpc::CallContext&) {
+        return impl->Put(std::move(req.key), std::move(req.value));
+      });
+  rpc::RegisterTyped<DelRequest, DelResponse>(
+      *dispatch, kvwire::kDel,
+      [impl](DelRequest req,
+             const rpc::CallContext&) -> sim::Co<Result<DelResponse>> {
+        Result<bool> existed = co_await impl->Del(std::move(req.key));
+        if (!existed.ok()) co_return existed.status();
+        co_return DelResponse{*existed};
+      });
+  rpc::RegisterTyped<rpc::Void, SizeResponse>(
+      *dispatch, kvwire::kSize,
+      [impl](rpc::Void, const rpc::CallContext&)
+          -> sim::Co<Result<SizeResponse>> {
+        Result<std::uint64_t> size = co_await impl->Size();
+        if (!size.ok()) co_return size.status();
+        co_return SizeResponse{*size};
+      });
+  rpc::RegisterTyped<SubscribeRequest, rpc::Void>(
+      *dispatch, kvwire::kSubscribe,
+      [impl](SubscribeRequest req,
+             const rpc::CallContext&) -> sim::Co<Result<rpc::Void>> {
+        const Status st =
+            impl->local()->Subscribe(req.sink_server, req.sink_object);
+        if (!st.ok()) co_return st;
+        co_return rpc::Void{};
+      });
+  rpc::RegisterTyped<rpc::Void, ReplicaListResponse>(
+      *dispatch, kvwire::kGetReplicas,
+      [impl](rpc::Void, const rpc::CallContext&) {
+        return impl->HandleGetReplicas();
+      });
+  return dispatch;
+}
+
+Result<ReplicatedKvExport> ExportReplicatedKv(
+    core::Context& primary_ctx, std::vector<core::Context*> backup_ctxs) {
+  ReplicatedKvExport out;
+
+  auto primary = std::make_shared<KvReplicaCoordinator>(primary_ctx);
+  for (core::Context* ctx : backup_ctxs) {
+    auto backup_impl = std::make_shared<KvService>(*ctx);
+    auto dispatch = MakeKvDispatch(backup_impl);
+    PROXY_ASSIGN_OR_RETURN(
+        auto exported,
+        core::ServiceExport<IKeyValue>::Create(*ctx, backup_impl, dispatch,
+                                               /*protocol=*/1, backup_impl));
+    primary->AddBackup(exported.binding());
+    out.backup_bindings.push_back(exported.binding());
+    out.backup_impls.push_back(std::move(backup_impl));
+  }
+
+  auto dispatch = MakeReplicatedKvDispatch(primary);
+  PROXY_ASSIGN_OR_RETURN(
+      auto exported,
+      core::ServiceExport<IKeyValue>::Create(primary_ctx, primary, dispatch,
+                                             /*protocol=*/4));
+  primary->SetSelfBinding(exported.binding());
+  out.primary = std::move(primary);
+  out.binding = exported.binding();
+  return out;
+}
+
+// --- failover proxy ----------------------------------------------------
+
+sim::Co<Status> KvFailoverProxy::EnsureReplicaList() {
+  if (!replicas_.empty()) co_return Status::Ok();
+  Result<Bytes> raw = co_await CallRaw(kvwire::kGetReplicas,
+                                       serde::EncodeToBytes(rpc::Void{}));
+  if (!raw.ok()) co_return raw.status();
+  Result<ReplicaListResponse> resp =
+      serde::DecodeFromBytes<ReplicaListResponse>(View(*raw));
+  if (!resp.ok()) co_return resp.status();
+  if (resp->replicas.empty()) {
+    co_return FailedPreconditionError("empty replica list");
+  }
+  replicas_ = std::move(resp->replicas);
+  co_return Status::Ok();
+}
+
+template <typename Resp, typename Req>
+sim::Co<Result<Resp>> KvFailoverProxy::ReadCall(std::uint32_t method,
+                                                Req req) {
+  const Status ready = co_await EnsureReplicaList();
+  if (!ready.ok()) co_return ready;
+
+  const Bytes args = serde::EncodeToBytes(req);
+  Status last = UnavailableError("no replicas");
+  for (std::size_t i = 0; i < replicas_.size(); ++i) {
+    const std::size_t idx = (preferred_ + i) % replicas_.size();
+    const core::ServiceBinding& replica = replicas_[idx];
+    rpc::RpcResult raw = co_await context().client().Call(
+        replica.server, replica.object, method, args, options_);
+    if (raw.ok()) {
+      if (idx != preferred_) {
+        failovers_++;
+        preferred_ = idx;  // stick with the replica that answered
+      }
+      co_return serde::DecodeFromBytes<Resp>(View(raw.payload));
+    }
+    // Only liveness failures trigger failover; semantic errors are final.
+    if (raw.status.code() != StatusCode::kTimeout &&
+        raw.status.code() != StatusCode::kUnavailable) {
+      co_return raw.status;
+    }
+    last = raw.status;
+  }
+  co_return last;
+}
+
+sim::Co<Result<std::optional<std::string>>> KvFailoverProxy::Get(
+    std::string key) {
+  GetRequest req{std::move(key)};  // named: see stub.h "GCC note"
+  Result<GetResponse> resp =
+      co_await ReadCall<GetResponse>(kvwire::kGet, std::move(req));
+  if (!resp.ok()) co_return resp.status();
+  co_return std::move(resp->value);
+}
+
+sim::Co<Result<std::uint64_t>> KvFailoverProxy::Size() {
+  Result<SizeResponse> resp =
+      co_await ReadCall<SizeResponse>(kvwire::kSize, rpc::Void{});
+  if (!resp.ok()) co_return resp.status();
+  co_return resp->size;
+}
+
+sim::Co<Result<rpc::Void>> KvFailoverProxy::Put(std::string key,
+                                                std::string value) {
+  // Writes need the primary (single-writer). No failover: surfacing the
+  // outage beats silently diverging replicas. Primary election is listed
+  // as future work in DESIGN.md. Discovery still happens opportunistically
+  // so that a later read can fail over even if the primary dies first.
+  (void)co_await EnsureReplicaList();
+  PutRequest req{std::move(key), std::move(value), ObjectId{}};
+  co_return co_await Call<rpc::Void>(kvwire::kPut, std::move(req));
+}
+
+sim::Co<Result<bool>> KvFailoverProxy::Del(std::string key) {
+  (void)co_await EnsureReplicaList();
+  DelRequest req{std::move(key), ObjectId{}};
+  Result<DelResponse> resp =
+      co_await Call<DelResponse>(kvwire::kDel, std::move(req));
+  if (!resp.ok()) co_return resp.status();
+  co_return resp->existed;
+}
+
+void RegisterReplicatedKvFactories() {
+  const InterfaceId iface = InterfaceIdOf(IKeyValue::kInterfaceName);
+  auto& proxies = core::ProxyFactoryRegistry::Instance();
+  if (!proxies.Has(iface, 4)) {
+    (void)proxies.Register(
+        iface, 4, [](core::Context& ctx, const core::ServiceBinding& b) {
+          return std::static_pointer_cast<void>(
+              std::static_pointer_cast<IKeyValue>(
+                  std::make_shared<KvFailoverProxy>(ctx, b)));
+        });
+  }
+}
+
+}  // namespace proxy::services

@@ -1,0 +1,144 @@
+// Replicated key-value service — the "additional transparencies" layer.
+//
+// The 1986 argument: once every client/service interaction goes through
+// a proxy, *replication* can be introduced by the service alone. This
+// module proves it for the KV interface:
+//
+//   server side   A primary KvReplicaCoordinator applies writes locally
+//                 and forwards them synchronously to backup KvService
+//                 replicas (primary-backup, write-all / read-one).
+//   client side   KvFailoverProxy (IKeyValue protocol 4) learns the
+//                 replica set at first use; reads prefer the primary but
+//                 fail over to backups when it is unreachable; writes
+//                 require the primary (single-writer consistency).
+//
+// Clients keep calling Get/Put on the same IKeyValue they always had.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "core/export.h"
+#include "core/proxy.h"
+#include "core/runtime.h"
+#include "services/kv.h"
+
+namespace proxy::services {
+
+namespace kvwire {
+
+/// Extra methods the replication coordinator adds to the KV protocol.
+enum ReplicationMethod : std::uint32_t {
+  kGetReplicas = 20,
+  kReplicateBatch = 21,
+};
+
+struct ReplicaListResponse {
+  std::vector<core::ServiceBinding> replicas;  // [0] is the primary
+  PROXY_SERDE_FIELDS(replicas)
+};
+
+}  // namespace kvwire
+
+/// The primary: an IKeyValue whose mutations are mirrored to backups
+/// before they are acknowledged (write-all).
+class KvReplicaCoordinator : public IKeyValue {
+ public:
+  explicit KvReplicaCoordinator(core::Context& context)
+      : context_(&context), local_(std::make_shared<KvService>(context)) {}
+
+  sim::Co<Result<std::optional<std::string>>> Get(std::string key) override;
+  sim::Co<Result<rpc::Void>> Put(std::string key, std::string value) override;
+  sim::Co<Result<bool>> Del(std::string key) override;
+  sim::Co<Result<std::uint64_t>> Size() override;
+
+  /// Registers a backup replica (a plain KvService exported elsewhere).
+  void AddBackup(const core::ServiceBinding& backup) {
+    backups_.push_back(backup);
+  }
+
+  [[nodiscard]] const std::vector<core::ServiceBinding>& backups()
+      const noexcept {
+    return backups_;
+  }
+  [[nodiscard]] const std::shared_ptr<KvService>& local() const noexcept {
+    return local_;
+  }
+
+  /// Binding of this coordinator (set by ExportReplicatedKv).
+  void SetSelfBinding(const core::ServiceBinding& self) { self_ = self; }
+
+  sim::Co<Result<kvwire::ReplicaListResponse>> HandleGetReplicas();
+
+  [[nodiscard]] std::uint64_t replication_failures() const noexcept {
+    return replication_failures_;
+  }
+
+ private:
+  /// Mirrors one batch to every backup; fails if any backup fails (the
+  /// write-all policy keeps backups exact, so reads may go anywhere).
+  sim::Co<Status> Mirror(
+      std::vector<std::pair<std::string, std::string>> entries,
+      std::vector<std::string> deletes);
+
+  core::Context* context_;
+  std::shared_ptr<KvService> local_;
+  core::ServiceBinding self_;
+  std::vector<core::ServiceBinding> backups_;
+  std::uint64_t replication_failures_ = 0;
+};
+
+/// Builds the coordinator's skeleton: the full KV dispatch (backed by the
+/// coordinator so mutations replicate) plus the replica-list method.
+std::shared_ptr<rpc::Dispatch> MakeReplicatedKvDispatch(
+    std::shared_ptr<KvReplicaCoordinator> impl);
+
+struct ReplicatedKvExport {
+  std::shared_ptr<KvReplicaCoordinator> primary;
+  core::ServiceBinding binding;                  // advertises protocol 4
+  std::vector<core::ServiceBinding> backup_bindings;
+  std::vector<std::shared_ptr<KvService>> backup_impls;
+};
+
+/// Exports a primary in `primary_ctx` and one backup KvService in each
+/// of `backup_ctxs`, wires replication, and returns the primary binding.
+Result<ReplicatedKvExport> ExportReplicatedKv(
+    core::Context& primary_ctx, std::vector<core::Context*> backup_ctxs);
+
+/// Protocol 4: replication-aware proxy. Reads fail over across replicas;
+/// writes go to the primary.
+class KvFailoverProxy : public IKeyValue, public core::ProxyBase {
+ public:
+  KvFailoverProxy(core::Context& context, core::ServiceBinding binding)
+      : core::ProxyBase(context, std::move(binding)) {
+    // Fail over quickly rather than retrying one dead replica forever.
+    rpc::CallOptions impatient;
+    impatient.retry_interval = Milliseconds(10);
+    impatient.max_retries = 2;
+    set_call_options(impatient);
+  }
+
+  sim::Co<Result<std::optional<std::string>>> Get(std::string key) override;
+  sim::Co<Result<rpc::Void>> Put(std::string key, std::string value) override;
+  sim::Co<Result<bool>> Del(std::string key) override;
+  sim::Co<Result<std::uint64_t>> Size() override;
+
+  [[nodiscard]] std::uint64_t failovers() const noexcept { return failovers_; }
+
+ private:
+  /// Fetches the replica set on first use.
+  sim::Co<Status> EnsureReplicaList();
+
+  /// Read path: try replicas starting with the preferred one.
+  template <typename Resp, typename Req>
+  sim::Co<Result<Resp>> ReadCall(std::uint32_t method, Req req);
+
+  std::vector<core::ServiceBinding> replicas_;  // [0] = primary
+  std::size_t preferred_ = 0;                   // sticky last-good replica
+  std::uint64_t failovers_ = 0;
+};
+
+void RegisterReplicatedKvFactories();
+
+}  // namespace proxy::services

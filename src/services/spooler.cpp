@@ -1,0 +1,177 @@
+#include "services/spooler.h"
+
+#include "core/factory.h"
+
+namespace proxy::services {
+
+using spoolwire::CountResponse;
+using spoolwire::IdResponse;
+using spoolwire::SubmitManyRequest;
+using spoolwire::SubmitRequest;
+
+sim::Co<void> SpoolerService::ProcessJobs(std::uint64_t count) {
+  // The device works through jobs one by one over simulated time.
+  for (std::uint64_t i = 0; i < count; ++i) {
+    co_await sim::SleepFor(*scheduler_, per_job_cost_);
+    completed_++;
+  }
+}
+
+sim::Co<Result<std::uint64_t>> SpoolerService::Submit(SpoolJob job) {
+  (void)job;
+  const std::uint64_t id = next_id_++;
+  (void)sim::Spawn(*scheduler_, ProcessJobs(1));
+  co_return id;
+}
+
+sim::Co<Result<std::uint64_t>> SpoolerService::SubmitMany(
+    std::vector<SpoolJob> jobs) {
+  if (jobs.empty()) co_return InvalidArgumentError("empty job batch");
+  const std::uint64_t first = next_id_;
+  next_id_ += jobs.size();
+  (void)sim::Spawn(*scheduler_, ProcessJobs(jobs.size()));
+  co_return first;
+}
+
+sim::Co<Result<std::uint64_t>> SpoolerService::CompletedCount() {
+  co_return completed_;
+}
+
+std::shared_ptr<rpc::Dispatch> MakeSpoolerDispatch(
+    std::shared_ptr<SpoolerService> impl) {
+  auto dispatch = std::make_shared<rpc::Dispatch>();
+  rpc::RegisterTyped<SubmitRequest, IdResponse>(
+      *dispatch, spoolwire::kSubmit,
+      [impl](SubmitRequest req,
+             const rpc::CallContext&) -> sim::Co<Result<IdResponse>> {
+        Result<std::uint64_t> id = co_await impl->Submit(std::move(req.job));
+        if (!id.ok()) co_return id.status();
+        co_return IdResponse{*id};
+      });
+  rpc::RegisterTyped<SubmitManyRequest, IdResponse>(
+      *dispatch, spoolwire::kSubmitMany,
+      [impl](SubmitManyRequest req,
+             const rpc::CallContext&) -> sim::Co<Result<IdResponse>> {
+        Result<std::uint64_t> id =
+            co_await impl->SubmitMany(std::move(req.jobs));
+        if (!id.ok()) co_return id.status();
+        co_return IdResponse{*id};
+      });
+  rpc::RegisterTyped<rpc::Void, CountResponse>(
+      *dispatch, spoolwire::kCompleted,
+      [impl](rpc::Void,
+             const rpc::CallContext&) -> sim::Co<Result<CountResponse>> {
+        Result<std::uint64_t> count = co_await impl->CompletedCount();
+        if (!count.ok()) co_return count.status();
+        co_return CountResponse{*count};
+      });
+  return dispatch;
+}
+
+Result<SpoolerExport> ExportSpoolerService(core::Context& context,
+                                           std::uint32_t protocol) {
+  auto impl = std::make_shared<SpoolerService>(context.scheduler());
+  auto dispatch = MakeSpoolerDispatch(impl);
+  PROXY_ASSIGN_OR_RETURN(
+      auto exported,
+      core::ServiceExport<ISpooler>::Create(context, impl, dispatch,
+                                            protocol));
+  return SpoolerExport{std::move(impl), exported.binding()};
+}
+
+sim::Co<Result<std::uint64_t>> SpoolerStub::Submit(SpoolJob job) {
+  SubmitRequest req{std::move(job)};
+  Result<IdResponse> resp =
+      co_await Call<IdResponse>(spoolwire::kSubmit, std::move(req));
+  if (!resp.ok()) co_return resp.status();
+  co_return resp->id;
+}
+
+sim::Co<Result<std::uint64_t>> SpoolerStub::SubmitMany(
+    std::vector<SpoolJob> jobs) {
+  SubmitManyRequest req{std::move(jobs)};
+  Result<IdResponse> resp =
+      co_await Call<IdResponse>(spoolwire::kSubmitMany, std::move(req));
+  if (!resp.ok()) co_return resp.status();
+  co_return resp->id;
+}
+
+sim::Co<Result<std::uint64_t>> SpoolerStub::CompletedCount() {
+  Result<CountResponse> resp =
+      co_await Call<CountResponse>(spoolwire::kCompleted, rpc::Void{});
+  if (!resp.ok()) co_return resp.status();
+  co_return resp->count;
+}
+
+SpoolerBatchProxy::SpoolerBatchProxy(core::Context& context,
+                                     core::ServiceBinding binding,
+                                     SpoolerBatchParams params)
+    : core::ProxyBase(context, std::move(binding)),
+      params_(params),
+      batcher_(
+          context.scheduler(),
+          [this](std::vector<SpoolJob> batch) {
+            return FlushBatch(std::move(batch));
+          },
+          params.max_batch, params.flush_window) {}
+
+sim::Co<Status> SpoolerBatchProxy::FlushBatch(std::vector<SpoolJob> batch) {
+  SubmitManyRequest req{std::move(batch)};
+  Result<IdResponse> resp =
+      co_await Call<IdResponse>(spoolwire::kSubmitMany, std::move(req));
+  co_return resp.status();
+}
+
+sim::Co<Result<std::uint64_t>> SpoolerBatchProxy::Submit(SpoolJob job) {
+  const std::uint64_t id = local_seq_++;
+  (void)batcher_.Add(std::move(job));
+  co_return id;
+}
+
+sim::Co<Result<std::uint64_t>> SpoolerBatchProxy::SubmitMany(
+    std::vector<SpoolJob> jobs) {
+  const std::uint64_t first = local_seq_;
+  local_seq_ += jobs.size();
+  for (auto& job : jobs) (void)batcher_.Add(std::move(job));
+  co_return first;
+}
+
+sim::Co<Result<std::uint64_t>> SpoolerBatchProxy::CompletedCount() {
+  const Status flushed = co_await Flush();
+  if (!flushed.ok()) co_return flushed;
+  Result<CountResponse> resp =
+      co_await Call<CountResponse>(spoolwire::kCompleted, rpc::Void{});
+  if (!resp.ok()) co_return resp.status();
+  co_return resp->count;
+}
+
+sim::Co<Status> SpoolerBatchProxy::Flush() {
+  while (batcher_.pending() > 0) {
+    const Status st = co_await batcher_.Flush();
+    if (!st.ok()) co_return st;
+  }
+  co_return Status::Ok();
+}
+
+void RegisterSpoolerFactories() {
+  const InterfaceId iface = InterfaceIdOf(ISpooler::kInterfaceName);
+  auto& proxies = core::ProxyFactoryRegistry::Instance();
+  if (!proxies.Has(iface, 1)) {
+    (void)proxies.Register(
+        iface, 1, [](core::Context& ctx, const core::ServiceBinding& b) {
+          return std::static_pointer_cast<void>(
+              std::static_pointer_cast<ISpooler>(
+                  std::make_shared<SpoolerStub>(ctx, b)));
+        });
+  }
+  if (!proxies.Has(iface, 2)) {
+    (void)proxies.Register(
+        iface, 2, [](core::Context& ctx, const core::ServiceBinding& b) {
+          return std::static_pointer_cast<void>(
+              std::static_pointer_cast<ISpooler>(
+                  std::make_shared<SpoolerBatchProxy>(ctx, b)));
+        });
+  }
+}
+
+}  // namespace proxy::services

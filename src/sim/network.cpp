@@ -1,0 +1,125 @@
+#include "sim/network.h"
+
+#include <algorithm>
+#include <cassert>
+#include <utility>
+
+#include "common/log.h"
+
+namespace proxy::sim {
+
+Network::Network(Scheduler& sched, std::uint64_t seed)
+    : sched_(&sched), rng_(seed) {}
+
+NodeId Network::AddNode(std::string name) {
+  const NodeId id(static_cast<std::uint32_t>(nodes_.size()));
+  nodes_.push_back(std::move(name));
+  receivers_.emplace_back();
+  return id;
+}
+
+const std::string& Network::node_name(NodeId id) const {
+  assert(id.value() < nodes_.size());
+  return nodes_[id.value()];
+}
+
+void Network::AttachReceiver(NodeId node, DeliveryFn fn) {
+  assert(node.value() < receivers_.size());
+  receivers_[node.value()] = std::move(fn);
+}
+
+void Network::SetLink(NodeId a, NodeId b, const LinkParams& params) {
+  links_[LinkKey(a, b)].params = params;
+  links_[LinkKey(b, a)].params = params;
+}
+
+void Network::SetPartitioned(NodeId a, NodeId b, bool partitioned) {
+  const auto key = LinkKey(NodeId(std::min(a.value(), b.value())),
+                           NodeId(std::max(a.value(), b.value())));
+  partitioned_[key] = partitioned;
+}
+
+bool Network::IsPartitioned(NodeId a, NodeId b) const {
+  const auto key = LinkKey(NodeId(std::min(a.value(), b.value())),
+                           NodeId(std::max(a.value(), b.value())));
+  const auto it = partitioned_.find(key);
+  return it != partitioned_.end() && it->second;
+}
+
+Network::DirectedLink& Network::LinkFor(NodeId from, NodeId to) {
+  auto [it, inserted] = links_.try_emplace(LinkKey(from, to));
+  if (inserted) it->second.params = default_link_;
+  return it->second;
+}
+
+Status Network::Send(NodeId from, NodeId to, PortId to_port, Bytes payload) {
+  if (from.value() >= nodes_.size() || to.value() >= nodes_.size()) {
+    return InvalidArgumentError("send to/from unknown node");
+  }
+  stats_.messages_sent++;
+  stats_.bytes_sent += payload.size();
+
+  if (from == to) {
+    // Loopback: fixed context-switch cost plus a copy cost per KiB.
+    stats_.loopback_messages++;
+    const SimDuration delay =
+        loopback_.fixed + loopback_.per_kib * (payload.size() / 1024);
+    sched_->PostAfter(delay, [this, from, to, to_port,
+                              payload = std::move(payload)]() mutable {
+      Deliver(from, to, to_port, std::move(payload));
+    });
+    return Status::Ok();
+  }
+
+  if (IsPartitioned(from, to)) {
+    stats_.messages_dropped++;
+    PROXY_LOG(kTrace, sched_->now(), "net",
+              "drop (partition) " << node_name(from) << "->" << node_name(to));
+    return Status::Ok();  // datagram semantics: sender does not learn
+  }
+
+  DirectedLink& link = LinkFor(from, to);
+  if (rng_.Chance(link.params.loss)) {
+    stats_.messages_dropped++;
+    PROXY_LOG(kTrace, sched_->now(), "net",
+              "drop (loss) " << node_name(from) << "->" << node_name(to));
+    return Status::Ok();
+  }
+
+  // Store-and-forward: the link transmits one message at a time.
+  const double bits = static_cast<double>(payload.size()) * 8.0;
+  const auto transmit = static_cast<SimDuration>(
+      bits / link.params.bandwidth_bps * 1e9);
+  const SimTime start = std::max(sched_->now(), link.busy_until);
+  link.busy_until = start + transmit;
+  const SimDuration jitter =
+      link.params.jitter == 0
+          ? 0
+          : rng_.UniformU64(link.params.jitter + 1);
+  const SimTime arrival = link.busy_until + link.params.latency + jitter;
+
+  sched_->PostAt(arrival, [this, from, to, to_port,
+                           payload = std::move(payload)]() mutable {
+    // A partition raised while in flight also eats the message.
+    if (IsPartitioned(from, to)) {
+      stats_.messages_dropped++;
+      return;
+    }
+    Deliver(from, to, to_port, std::move(payload));
+  });
+  return Status::Ok();
+}
+
+void Network::Deliver(NodeId from, NodeId to, PortId to_port, Bytes payload) {
+  stats_.messages_delivered++;
+  stats_.bytes_delivered += payload.size();
+  auto& receiver = receivers_[to.value()];
+  if (!receiver) {
+    PROXY_LOG(kDebug, sched_->now(), "net",
+              "no receiver attached on " << node_name(to) << "; dropping");
+    return;
+  }
+  receiver(from, to_port, std::move(payload));
+}
+
+}  // namespace proxy::sim

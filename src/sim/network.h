@@ -1,0 +1,122 @@
+// Simulated network.
+//
+// Nodes are connected by point-to-point links with configurable latency,
+// bandwidth, jitter and loss. Delivery is store-and-forward: each
+// directed link transmits one message at a time, so bandwidth contention
+// and queueing delay emerge naturally. Same-node sends go through a
+// loopback path with a small fixed cost (the "same machine, different
+// context" case the lightweight-RPC experiment measures).
+//
+// This is the substitute for the 1986 paper's real LAN (see DESIGN.md
+// "Substitutions"): experiments sweep the link parameters instead of
+// being pinned to one piece of 1986 hardware.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/bytes.h"
+#include "common/clock.h"
+#include "common/id.h"
+#include "common/rng.h"
+#include "common/status.h"
+#include "sim/scheduler.h"
+
+namespace proxy::sim {
+
+/// Characteristics of one direction of a link.
+struct LinkParams {
+  SimDuration latency = Microseconds(100);  // propagation delay
+  double bandwidth_bps = 10e6;              // 10 Mb/s: 1986-era Ethernet
+  SimDuration jitter = 0;                   // uniform extra delay [0, jitter]
+  double loss = 0.0;                        // drop probability per message
+};
+
+/// Cost of the in-node loopback path (context switch + copy).
+struct LoopbackParams {
+  SimDuration fixed = Microseconds(5);
+  SimDuration per_kib = Microseconds(1);
+};
+
+struct NetStats {
+  std::uint64_t messages_sent = 0;
+  std::uint64_t messages_delivered = 0;
+  std::uint64_t messages_dropped = 0;   // loss or partition
+  std::uint64_t bytes_sent = 0;
+  std::uint64_t bytes_delivered = 0;
+  std::uint64_t loopback_messages = 0;
+
+  void Reset() { *this = NetStats{}; }
+};
+
+class Network {
+ public:
+  /// Called on message arrival at a node: (source node, destination port,
+  /// payload). The net layer demultiplexes ports to endpoints.
+  using DeliveryFn =
+      std::function<void(NodeId from, PortId to_port, Bytes payload)>;
+
+  Network(Scheduler& sched, std::uint64_t seed);
+
+  /// Adds a node; returns its id. Ids are dense, starting at 0.
+  NodeId AddNode(std::string name);
+
+  [[nodiscard]] std::size_t node_count() const noexcept {
+    return nodes_.size();
+  }
+  [[nodiscard]] const std::string& node_name(NodeId id) const;
+
+  /// Registers the receive hook for a node (one per node).
+  void AttachReceiver(NodeId node, DeliveryFn fn);
+
+  /// Sets the parameters for both directions of the (a, b) link.
+  void SetLink(NodeId a, NodeId b, const LinkParams& params);
+
+  /// Default used by node pairs without an explicit SetLink.
+  void SetDefaultLink(const LinkParams& params) { default_link_ = params; }
+
+  void SetLoopback(const LoopbackParams& params) { loopback_ = params; }
+
+  /// Cuts or heals connectivity between two nodes. While partitioned,
+  /// messages are silently dropped (as on a real network).
+  void SetPartitioned(NodeId a, NodeId b, bool partitioned);
+  [[nodiscard]] bool IsPartitioned(NodeId a, NodeId b) const;
+
+  /// Queues `payload` for delivery to `to_port` on node `to`. Returns
+  /// InvalidArgument for unknown nodes; loss and partition are *not*
+  /// errors at the sender (datagram semantics).
+  Status Send(NodeId from, NodeId to, PortId to_port, Bytes payload);
+
+  [[nodiscard]] const NetStats& stats() const noexcept { return stats_; }
+  NetStats& mutable_stats() noexcept { return stats_; }
+
+  [[nodiscard]] Scheduler& scheduler() noexcept { return *sched_; }
+
+ private:
+  struct DirectedLink {
+    LinkParams params;
+    SimTime busy_until = 0;  // store-and-forward serialization point
+  };
+
+  static std::uint64_t LinkKey(NodeId a, NodeId b) noexcept {
+    return (static_cast<std::uint64_t>(a.value()) << 32) | b.value();
+  }
+
+  DirectedLink& LinkFor(NodeId from, NodeId to);
+  void Deliver(NodeId from, NodeId to, PortId to_port, Bytes payload);
+
+  Scheduler* sched_;
+  Rng rng_;
+  LinkParams default_link_;
+  LoopbackParams loopback_;
+  std::vector<std::string> nodes_;
+  std::vector<DeliveryFn> receivers_;
+  std::unordered_map<std::uint64_t, DirectedLink> links_;
+  std::unordered_map<std::uint64_t, bool> partitioned_;  // undirected key
+  NetStats stats_;
+};
+
+}  // namespace proxy::sim

@@ -1,0 +1,72 @@
+#include "sim/scheduler.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace proxy::sim {
+
+namespace {
+Scheduler* g_current = nullptr;
+}  // namespace
+
+Scheduler* Scheduler::Current() noexcept { return g_current; }
+
+void Scheduler::MakeCurrent() noexcept { g_current = this; }
+
+TimerId Scheduler::PostAt(SimTime t, std::function<void()> fn) {
+  g_current = this;
+  const TimerId id = next_id_++;
+  heap_.push(Event{std::max(t, now_), id, std::move(fn)});
+  pending_.insert(id);
+  return id;
+}
+
+bool Scheduler::Cancel(TimerId id) {
+  // Lazy cancellation: forget the id; the heap entry is dropped when it
+  // reaches the top.
+  return pending_.erase(id) > 0;
+}
+
+void Scheduler::SkipCancelled() {
+  while (!heap_.empty() && !pending_.contains(heap_.top().id)) {
+    heap_.pop();
+  }
+}
+
+bool Scheduler::Step() {
+  g_current = this;
+  SkipCancelled();
+  if (heap_.empty()) return false;
+  // Move the event out before running it: the handler may schedule more.
+  Event ev = std::move(const_cast<Event&>(heap_.top()));
+  heap_.pop();
+  pending_.erase(ev.id);
+  now_ = ev.time;
+  ++events_run_;
+  ev.fn();
+  return true;
+}
+
+void Scheduler::Run() {
+  while (Step()) {
+  }
+}
+
+bool Scheduler::RunUntil(const std::function<bool()>& pred) {
+  while (!pred()) {
+    if (!Step()) return pred();
+  }
+  return true;
+}
+
+void Scheduler::RunFor(SimDuration d) {
+  const SimTime deadline = now_ + d;
+  for (;;) {
+    SkipCancelled();
+    if (heap_.empty() || heap_.top().time > deadline) break;
+    Step();
+  }
+  now_ = deadline;
+}
+
+}  // namespace proxy::sim

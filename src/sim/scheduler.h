@@ -1,0 +1,101 @@
+// Deterministic discrete-event scheduler.
+//
+// All concurrency in the runtime is cooperative: coroutines and callbacks
+// are interleaved by this single-threaded event loop over *virtual* time.
+// Two runs with the same seed execute the same events in the same order,
+// which is what makes every test and benchmark replayable.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_set>
+#include <vector>
+
+#include "common/clock.h"
+
+namespace proxy::sim {
+
+/// Handle for cancelling a scheduled event.
+using TimerId = std::uint64_t;
+inline constexpr TimerId kInvalidTimer = 0;
+
+class Scheduler {
+ public:
+  Scheduler() = default;
+  Scheduler(const Scheduler&) = delete;
+  Scheduler& operator=(const Scheduler&) = delete;
+
+  /// The scheduler currently driving events. Set by Step() and by
+  /// Spawn(); used by coroutine plumbing that has no other way to reach
+  /// its event loop (the runtime is single-threaded by design).
+  static Scheduler* Current() noexcept;
+
+  /// Marks this scheduler as the current one (normally automatic).
+  void MakeCurrent() noexcept;
+
+  /// Current virtual time.
+  [[nodiscard]] SimTime now() const noexcept { return now_; }
+
+  /// Schedules `fn` at the current time (after already-queued events at
+  /// this instant — FIFO among equal timestamps).
+  TimerId Post(std::function<void()> fn) { return PostAt(now_, std::move(fn)); }
+
+  /// Schedules `fn` at absolute virtual time `t` (clamped to now).
+  TimerId PostAt(SimTime t, std::function<void()> fn);
+
+  /// Schedules `fn` after a delay.
+  TimerId PostAfter(SimDuration d, std::function<void()> fn) {
+    return PostAt(now_ + d, std::move(fn));
+  }
+
+  /// Cancels a pending event. Returns true if it had not yet fired;
+  /// cancelling a fired or unknown id is a no-op.
+  bool Cancel(TimerId id);
+
+  /// Runs the earliest event. Returns false if the queue is empty.
+  bool Step();
+
+  /// Runs until the queue drains.
+  void Run();
+
+  /// Runs until `pred()` is true or the queue drains; returns pred().
+  bool RunUntil(const std::function<bool()>& pred);
+
+  /// Runs events with timestamp <= now + d, then advances time to it.
+  void RunFor(SimDuration d);
+
+  /// Number of events executed since construction.
+  [[nodiscard]] std::uint64_t events_run() const noexcept {
+    return events_run_;
+  }
+
+  /// Live (non-cancelled) events still queued.
+  [[nodiscard]] std::size_t pending() const noexcept {
+    return pending_.size();
+  }
+
+ private:
+  struct Event {
+    SimTime time = 0;
+    TimerId id = 0;            // also the FIFO tiebreak (monotonic)
+    std::function<void()> fn;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const noexcept {
+      if (a.time != b.time) return a.time > b.time;
+      return a.id > b.id;
+    }
+  };
+
+  /// Pops cancelled events off the top of the heap.
+  void SkipCancelled();
+
+  SimTime now_ = 0;
+  TimerId next_id_ = 1;
+  std::uint64_t events_run_ = 0;
+  std::priority_queue<Event, std::vector<Event>, Later> heap_;
+  std::unordered_set<TimerId> pending_;  // ids queued and not cancelled
+};
+
+}  // namespace proxy::sim

@@ -1,0 +1,226 @@
+// Unit tests for src/common: error model, ids, rng, hexdump, time.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+#include <vector>
+
+#include "common/bytes.h"
+#include "common/clock.h"
+#include "common/hexdump.h"
+#include "common/id.h"
+#include "common/rng.h"
+#include "common/status.h"
+
+namespace proxy {
+namespace {
+
+TEST(Status, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(Status, ErrorCarriesCodeAndMessage) {
+  const Status s = TimeoutError("no reply");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kTimeout);
+  EXPECT_EQ(s.message(), "no reply");
+  EXPECT_EQ(s.ToString(), "TIMEOUT: no reply");
+}
+
+TEST(Status, EveryConstructorMatchesItsCode) {
+  EXPECT_EQ(TimeoutError("").code(), StatusCode::kTimeout);
+  EXPECT_EQ(UnavailableError("").code(), StatusCode::kUnavailable);
+  EXPECT_EQ(NotFoundError("").code(), StatusCode::kNotFound);
+  EXPECT_EQ(AlreadyExistsError("").code(), StatusCode::kAlreadyExists);
+  EXPECT_EQ(PermissionDeniedError("").code(), StatusCode::kPermissionDenied);
+  EXPECT_EQ(InvalidArgumentError("").code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(CorruptError("").code(), StatusCode::kCorrupt);
+  EXPECT_EQ(ObjectMovedError("").code(), StatusCode::kObjectMoved);
+  EXPECT_EQ(CancelledError("").code(), StatusCode::kCancelled);
+  EXPECT_EQ(ResourceExhaustedError("").code(), StatusCode::kResourceExhausted);
+  EXPECT_EQ(FailedPreconditionError("").code(),
+            StatusCode::kFailedPrecondition);
+  EXPECT_EQ(InternalError("").code(), StatusCode::kInternal);
+}
+
+TEST(Status, CodeNamesAreStable) {
+  EXPECT_EQ(StatusCodeName(StatusCode::kOk), "OK");
+  EXPECT_EQ(StatusCodeName(StatusCode::kObjectMoved), "OBJECT_MOVED");
+  EXPECT_EQ(StatusCodeName(StatusCode::kPermissionDenied),
+            "PERMISSION_DENIED");
+}
+
+TEST(Result, HoldsValue) {
+  Result<int> r(7);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, 7);
+  EXPECT_TRUE(r.status().ok());
+}
+
+TEST(Result, HoldsError) {
+  Result<int> r = NotFoundError("gone");
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(r.value_or(-1), -1);
+}
+
+TEST(Result, OkStatusIsPromotedToInternalError) {
+  Result<int> r = Status::Ok();  // misuse: value-less OK
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInternal);
+}
+
+TEST(Result, MapTransformsValueAndPropagatesError) {
+  Result<int> ok(21);
+  auto doubled = std::move(ok).map([](int v) { return v * 2; });
+  ASSERT_TRUE(doubled.ok());
+  EXPECT_EQ(*doubled, 42);
+
+  Result<int> err = TimeoutError("t");
+  auto mapped = std::move(err).map([](int v) { return v * 2; });
+  EXPECT_EQ(mapped.status().code(), StatusCode::kTimeout);
+}
+
+TEST(Result, AssignOrReturnMacro) {
+  auto inner = [](bool fail) -> Result<int> {
+    if (fail) return InvalidArgumentError("boom");
+    return 5;
+  };
+  auto outer = [&](bool fail) -> Result<int> {
+    PROXY_ASSIGN_OR_RETURN(int v, inner(fail));
+    return v + 1;
+  };
+  EXPECT_EQ(*outer(false), 6);
+  EXPECT_EQ(outer(true).status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(Ids, StrongIdsCompare) {
+  NodeId a(1), b(2), a2(1);
+  EXPECT_EQ(a, a2);
+  EXPECT_NE(a, b);
+  EXPECT_LT(a, b);
+}
+
+TEST(Ids, ObjectIdNilAndFormat) {
+  ObjectId nil;
+  EXPECT_TRUE(nil.IsNil());
+  ObjectId id{0x1234, 0xabcd};
+  EXPECT_FALSE(id.IsNil());
+  EXPECT_EQ(id.ToString(), "0000000000001234-000000000000abcd");
+}
+
+TEST(Ids, InterfaceIdIsStableHash) {
+  constexpr InterfaceId a = InterfaceIdOf("proxy.services.KeyValue");
+  constexpr InterfaceId b = InterfaceIdOf("proxy.services.KeyValue");
+  constexpr InterfaceId c = InterfaceIdOf("proxy.services.File");
+  static_assert(a == b);
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c);
+}
+
+TEST(Rng, DeterministicAcrossInstances) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.NextU64(), b.NextU64());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += (a.NextU64() == b.NextU64());
+  EXPECT_LT(same, 2);
+}
+
+TEST(Rng, UniformBoundsRespected) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.UniformU64(17), 17u);
+    const auto v = rng.UniformInt(-5, 5);
+    EXPECT_GE(v, -5);
+    EXPECT_LE(v, 5);
+    const double d = rng.UniformDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+  EXPECT_EQ(rng.UniformU64(0), 0u);
+  EXPECT_EQ(rng.UniformInt(3, 3), 3);
+}
+
+TEST(Rng, ChanceExtremes) {
+  Rng rng(9);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.Chance(0.0));
+    EXPECT_TRUE(rng.Chance(1.0));
+  }
+}
+
+TEST(Rng, ChanceRoughlyCalibrated) {
+  Rng rng(11);
+  int hits = 0;
+  constexpr int kTrials = 20000;
+  for (int i = 0; i < kTrials; ++i) hits += rng.Chance(0.3);
+  EXPECT_NEAR(static_cast<double>(hits) / kTrials, 0.3, 0.02);
+}
+
+TEST(Rng, ExponentialMeanRoughlyCorrect) {
+  Rng rng(13);
+  double sum = 0;
+  constexpr int kTrials = 20000;
+  for (int i = 0; i < kTrials; ++i) sum += rng.Exponential(5.0);
+  EXPECT_NEAR(sum / kTrials, 5.0, 0.25);
+}
+
+TEST(Zipf, RanksWithinBoundsAndSkewed) {
+  ZipfGenerator zipf(100, 1.0, 17);
+  std::vector<int> counts(100, 0);
+  for (int i = 0; i < 50000; ++i) {
+    const auto rank = zipf.Next();
+    ASSERT_LT(rank, 100u);
+    counts[rank]++;
+  }
+  // Rank 0 should be roughly twice as popular as rank 1 (1/1 vs 1/2).
+  EXPECT_GT(counts[0], counts[1]);
+  EXPECT_NEAR(static_cast<double>(counts[0]) / counts[1], 2.0, 0.4);
+  // And overwhelmingly more popular than the tail.
+  EXPECT_GT(counts[0], counts[99] * 10);
+}
+
+TEST(Zipf, SkewZeroIsUniform) {
+  ZipfGenerator zipf(10, 0.0, 19);
+  std::vector<int> counts(10, 0);
+  for (int i = 0; i < 20000; ++i) counts[zipf.Next()]++;
+  for (int c : counts) EXPECT_NEAR(c, 2000, 300);
+}
+
+TEST(Bytes, Conversions) {
+  const Bytes b = ToBytes("abc");
+  EXPECT_EQ(b.size(), 3u);
+  EXPECT_EQ(ToString(View(b)), "abc");
+}
+
+TEST(HexDump, FormatsAndTruncates) {
+  Bytes data;
+  for (int i = 0; i < 20; ++i) data.push_back(static_cast<std::uint8_t>(i));
+  const std::string dump = HexDump(View(data), 16);
+  EXPECT_NE(dump.find("0000:"), std::string::npos);
+  EXPECT_NE(dump.find("more bytes"), std::string::npos);
+
+  EXPECT_EQ(HexString(View(ToBytes("AB")), 32), "4142");
+  EXPECT_NE(HexString(View(data), 4).find("…"), std::string::npos);
+}
+
+TEST(Clock, UnitHelpersAndFormatting) {
+  EXPECT_EQ(Microseconds(1), 1000u);
+  EXPECT_EQ(Milliseconds(1), 1000'000u);
+  EXPECT_EQ(Seconds(1), 1000'000'000u);
+  EXPECT_DOUBLE_EQ(ToMicros(1500), 1.5);
+  EXPECT_EQ(FormatDuration(500), "500ns");
+  EXPECT_EQ(FormatDuration(Microseconds(2)), "2.000us");
+  EXPECT_EQ(FormatDuration(Milliseconds(3)), "3.000ms");
+  EXPECT_EQ(FormatDuration(Seconds(4)), "4.000s");
+}
+
+}  // namespace
+}  // namespace proxy

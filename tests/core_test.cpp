@@ -1,0 +1,294 @@
+// Tests for the core runtime: contexts, unforgeable references, binding
+// (direct vs proxy), factories, export/publish/revoke.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "core/export.h"
+#include "core/factory.h"
+#include "core/runtime.h"
+#include "services/counter.h"
+#include "services/kv.h"
+#include "test_util.h"
+
+namespace proxy::core {
+namespace {
+
+using services::CounterService;
+using services::ICounter;
+using services::IKeyValue;
+using proxy::testing::TestWorld;
+
+TEST(Runtime, ContextsGetDistinctEndpoints) {
+  Runtime rt;
+  const NodeId n = rt.AddNode("n");
+  rt.StartNameService(n);
+  Context& c1 = rt.CreateContext(n, "c1");
+  Context& c2 = rt.CreateContext(n, "c2");
+  EXPECT_NE(c1.server_address(), c2.server_address());
+  EXPECT_NE(c1.id(), c2.id());
+  EXPECT_EQ(c1.node(), c2.node());
+}
+
+TEST(Runtime, MintedObjectIdsAreUniqueAndNonNil) {
+  Runtime rt;
+  const NodeId n = rt.AddNode("n");
+  Context& ctx = rt.CreateContext(n, "c");
+  std::set<ObjectId> seen;
+  for (int i = 0; i < 1000; ++i) {
+    const ObjectId id = ctx.MintObjectId();
+    EXPECT_FALSE(id.IsNil());
+    EXPECT_TRUE(seen.insert(id).second);
+  }
+}
+
+TEST(Runtime, SameSeedSameIds) {
+  auto mint = [](std::uint64_t seed) {
+    Runtime::Params p;
+    p.seed = seed;
+    Runtime rt(p);
+    Context& ctx = rt.CreateContext(rt.AddNode("n"), "c");
+    return ctx.MintObjectId();
+  };
+  EXPECT_EQ(mint(1), mint(1));
+  EXPECT_NE(mint(1), mint(2));
+}
+
+TEST(Context, LocalRegistryBasics) {
+  Runtime rt;
+  Context& ctx = rt.CreateContext(rt.AddNode("n"), "c");
+  auto impl = std::make_shared<CounterService>(5);
+  const ObjectId id = ctx.MintObjectId();
+  const InterfaceId iface = InterfaceIdOf(ICounter::kInterfaceName);
+
+  ASSERT_TRUE(ctx.RegisterLocal(id, iface, impl).ok());
+  EXPECT_EQ(ctx.RegisterLocal(id, iface, impl).code(),
+            StatusCode::kAlreadyExists);
+  EXPECT_FALSE(ctx.RegisterLocal(ObjectId{}, iface, impl).ok());
+  EXPECT_FALSE(ctx.RegisterLocal(ctx.MintObjectId(), iface, nullptr).ok());
+
+  const auto* entry = ctx.FindLocal(id);
+  ASSERT_NE(entry, nullptr);
+  EXPECT_EQ(entry->iface, iface);
+  EXPECT_EQ(ctx.local_object_count(), 1u);
+
+  ctx.UnregisterLocal(id);
+  EXPECT_EQ(ctx.FindLocal(id), nullptr);
+}
+
+TEST(Runtime, FindObjectOnNodeSearchesAllContexts) {
+  Runtime rt;
+  const NodeId n = rt.AddNode("n");
+  const NodeId other = rt.AddNode("other");
+  Context& c1 = rt.CreateContext(n, "c1");
+  Context& c2 = rt.CreateContext(n, "c2");
+  (void)c1;
+  auto impl = std::make_shared<CounterService>();
+  const ObjectId id = c2.MintObjectId();
+  ASSERT_TRUE(c2.RegisterLocal(id, InterfaceIdOf(ICounter::kInterfaceName),
+                               impl).ok());
+  auto hit = rt.FindObjectOnNode(n, id);
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(hit->context, &c2);
+  EXPECT_FALSE(rt.FindObjectOnNode(other, id).has_value());
+  EXPECT_FALSE(rt.FindObjectOnNode(n, ObjectId{9, 9}).has_value());
+}
+
+TEST(FactoryRegistry, RegisterAndCreate) {
+  services::RegisterAllServices();
+  auto& registry = ProxyFactoryRegistry::Instance();
+  const InterfaceId kv = InterfaceIdOf(IKeyValue::kInterfaceName);
+  EXPECT_TRUE(registry.Has(kv, 1));
+  EXPECT_TRUE(registry.Has(kv, 2));
+  EXPECT_TRUE(registry.Has(kv, 3));
+  EXPECT_FALSE(registry.Has(kv, 99));
+  EXPECT_FALSE(registry.Has(InterfaceIdOf("no.such.Interface"), 1));
+
+  // Re-registration of a taken slot is refused.
+  const Status dup = registry.Register(
+      kv, 1, [](Context&, const ServiceBinding&) { return nullptr; });
+  EXPECT_EQ(dup.code(), StatusCode::kAlreadyExists);
+  EXPECT_FALSE(registry.Register(kv, 98, nullptr).ok());
+}
+
+TEST(FactoryRegistry, CreateUnknownProtocolFails) {
+  services::RegisterAllServices();
+  Runtime rt;
+  Context& ctx = rt.CreateContext(rt.AddNode("n"), "c");
+  ServiceBinding b;
+  b.interface = InterfaceIdOf(IKeyValue::kInterfaceName);
+  b.protocol = 42;
+  const auto created = ProxyFactoryRegistry::Instance().Create(ctx, b);
+  EXPECT_EQ(created.status().code(), StatusCode::kNotFound);
+}
+
+TEST(Bind, DirectWhenObjectIsLocal) {
+  TestWorld w;
+  auto exported = services::ExportCounterService(*w.server_ctx, 1, 10);
+  ASSERT_OK(exported);
+  w.Publish("counter", exported->binding);
+
+  // Binding from the hosting context returns the implementation itself.
+  auto body = [&]() -> sim::Co<void> {
+    Result<std::shared_ptr<ICounter>> bound =
+        co_await Bind<ICounter>(*w.server_ctx, "counter");
+    CO_ASSERT_OK(bound);
+    EXPECT_EQ(bound->get(),
+              static_cast<ICounter*>(exported->impl.get()));
+  };
+  w.Run(body);
+}
+
+TEST(Bind, ProxyWhenRemoteAndDirectWhenDisallowed) {
+  TestWorld w;
+  auto exported = services::ExportCounterService(*w.server_ctx, 1, 10);
+  ASSERT_OK(exported);
+  w.Publish("counter", exported->binding);
+
+  auto body = [&]() -> sim::Co<void> {
+    // Remote client: must get a proxy, and it must work.
+    Result<std::shared_ptr<ICounter>> remote =
+        co_await Bind<ICounter>(*w.client_ctx, "counter");
+    CO_ASSERT_OK(remote);
+    EXPECT_NE(remote->get(), static_cast<ICounter*>(exported->impl.get()));
+    Result<std::int64_t> v = co_await (*remote)->Increment(5);
+    CO_ASSERT_OK(v);
+    EXPECT_EQ(*v, 15);
+
+    // Even locally, allow_direct=false forces a proxy.
+    BindOptions opts;
+    opts.allow_direct = false;
+    Result<std::shared_ptr<ICounter>> forced =
+        co_await Bind<ICounter>(*w.server_ctx, "counter", opts);
+    CO_ASSERT_OK(forced);
+    EXPECT_NE(forced->get(), static_cast<ICounter*>(exported->impl.get()));
+    Result<std::int64_t> v2 = co_await (*forced)->Read();
+    CO_ASSERT_OK(v2);
+    EXPECT_EQ(*v2, 15);
+  };
+  w.Run(body);
+}
+
+TEST(Bind, InterfaceMismatchRefused) {
+  TestWorld w;
+  auto exported = services::ExportCounterService(*w.server_ctx, 1);
+  ASSERT_OK(exported);
+  w.Publish("counter", exported->binding);
+
+  auto body = [&]() -> sim::Co<void> {
+    Result<std::shared_ptr<IKeyValue>> wrong =
+        co_await Bind<IKeyValue>(*w.client_ctx, "counter");
+    EXPECT_EQ(wrong.status().code(), StatusCode::kFailedPrecondition);
+  };
+  w.Run(body);
+}
+
+TEST(Bind, UnboundNameFails) {
+  TestWorld w;
+  auto body = [&]() -> sim::Co<void> {
+    Result<std::shared_ptr<ICounter>> missing =
+        co_await Bind<ICounter>(*w.client_ctx, "nothing/here");
+    EXPECT_EQ(missing.status().code(), StatusCode::kNotFound);
+  };
+  w.Run(body);
+}
+
+TEST(Bind, ProtocolOverrideSelectsDifferentProxy) {
+  TestWorld w;
+  auto exported = services::ExportKvService(*w.server_ctx, /*protocol=*/1);
+  ASSERT_OK(exported);
+  w.Publish("kv", exported->binding);
+
+  auto body = [&]() -> sim::Co<void> {
+    BindOptions opts;
+    opts.protocol_override = 2;  // caching proxy instead of stub
+    Result<std::shared_ptr<IKeyValue>> kv =
+        co_await Bind<IKeyValue>(*w.client_ctx, "kv", opts);
+    CO_ASSERT_OK(kv);
+    // A caching proxy serves the second read locally: message count stays
+    // flat between the two reads.
+    CO_ASSERT_OK(co_await (*kv)->Put("k", "v"));
+    CO_ASSERT_OK(co_await (*kv)->Get("k"));
+    const auto msgs_before = w.rt->network().stats().messages_sent;
+    CO_ASSERT_OK(co_await (*kv)->Get("k"));
+    EXPECT_EQ(w.rt->network().stats().messages_sent, msgs_before);
+  };
+  w.Run(body);
+}
+
+TEST(ServiceExport, RevokeCutsEveryProxyOff) {
+  TestWorld w;
+  auto impl = std::make_shared<CounterService>(1);
+  auto dispatch = services::MakeCounterDispatch(impl);
+  auto exported = ServiceExport<ICounter>::Create(*w.server_ctx, impl,
+                                                  dispatch, 1, impl);
+  ASSERT_OK(exported);
+  w.Publish("rev", exported->binding());
+
+  auto body = [&]() -> sim::Co<void> {
+    Result<std::shared_ptr<ICounter>> bound =
+        co_await Bind<ICounter>(*w.client_ctx, "rev");
+    CO_ASSERT_OK(bound);
+    CO_ASSERT_OK(co_await (*bound)->Read());
+    exported->Revoke();
+    Result<std::int64_t> denied = co_await (*bound)->Read();
+    EXPECT_EQ(denied.status().code(), StatusCode::kPermissionDenied);
+  };
+  w.Run(body);
+}
+
+TEST(ServiceExport, WithdrawMakesNotFoundNotDenied) {
+  TestWorld w;
+  auto impl = std::make_shared<CounterService>(1);
+  auto dispatch = services::MakeCounterDispatch(impl);
+  auto exported = ServiceExport<ICounter>::Create(*w.server_ctx, impl,
+                                                  dispatch, 1, impl);
+  ASSERT_OK(exported);
+  w.Publish("wd", exported->binding());
+
+  auto body = [&]() -> sim::Co<void> {
+    Result<std::shared_ptr<ICounter>> bound =
+        co_await Bind<ICounter>(*w.client_ctx, "wd");
+    CO_ASSERT_OK(bound);
+    exported->Withdraw();
+    Result<std::int64_t> gone = co_await (*bound)->Read();
+    EXPECT_EQ(gone.status().code(), StatusCode::kNotFound);
+  };
+  w.Run(body);
+}
+
+TEST(ServiceExport, PublishThenBindByName) {
+  TestWorld w;
+  auto impl = std::make_shared<CounterService>(3);
+  auto dispatch = services::MakeCounterDispatch(impl);
+  auto exported = ServiceExport<ICounter>::Create(*w.server_ctx, impl,
+                                                  dispatch, 1, impl);
+  ASSERT_OK(exported);
+
+  auto body = [&]() -> sim::Co<void> {
+    CO_ASSERT_OK(co_await exported->Publish("pub/counter"));
+    Result<std::shared_ptr<ICounter>> bound =
+        co_await Bind<ICounter>(*w.client_ctx, "pub/counter");
+    CO_ASSERT_OK(bound);
+    Result<std::int64_t> v = co_await (*bound)->Read();
+    CO_ASSERT_OK(v);
+    EXPECT_EQ(*v, 3);
+  };
+  w.Run(body);
+}
+
+TEST(Binding, ToStringAndEquality) {
+  ServiceBinding a;
+  a.server = net::Address{NodeId(1), PortId(2)};
+  a.object = ObjectId{3, 4};
+  a.interface = InterfaceIdOf("x");
+  a.protocol = 2;
+  ServiceBinding b = a;
+  EXPECT_EQ(a, b);
+  b.protocol = 3;
+  EXPECT_FALSE(a == b);
+  EXPECT_NE(a.ToString().find("proto2"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace proxy::core

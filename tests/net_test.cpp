@@ -1,0 +1,259 @@
+// Unit tests for the transport layer: endpoints, demultiplexing, envelope
+// validation at the trust boundary, and the reliable (ARQ) channel.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "net/endpoint.h"
+#include "net/reliable.h"
+#include "sim/network.h"
+
+namespace proxy::net {
+namespace {
+
+struct NetFixture : public ::testing::Test {
+  NetFixture() : net(sched, 7), stack_a(nullptr), stack_b(nullptr) {
+    node_a = net.AddNode("a");
+    node_b = net.AddNode("b");
+    stack_a = std::make_unique<NodeStack>(net, node_a);
+    stack_b = std::make_unique<NodeStack>(net, node_b);
+  }
+
+  sim::Scheduler sched;
+  sim::Network net;
+  NodeId node_a, node_b;
+  std::unique_ptr<NodeStack> stack_a, stack_b;
+};
+
+TEST_F(NetFixture, DatagramCarriesSourceAddress) {
+  Endpoint* sender = stack_a->OpenEndpoint(PortId(10));
+  Endpoint* receiver = stack_b->OpenEndpoint(PortId(20));
+  ASSERT_NE(sender, nullptr);
+  ASSERT_NE(receiver, nullptr);
+
+  Address seen_from{};
+  Bytes seen_payload;
+  receiver->SetHandler([&](const Address& from, Bytes payload) {
+    seen_from = from;
+    seen_payload = std::move(payload);
+  });
+
+  ASSERT_TRUE(sender->Send(receiver->address(), ToBytes("ping")).ok());
+  sched.Run();
+
+  EXPECT_EQ(seen_from, sender->address());
+  EXPECT_EQ(ToString(View(seen_payload)), "ping");
+}
+
+TEST_F(NetFixture, ReplyPathWorks) {
+  Endpoint* a = stack_a->OpenEndpoint(PortId(1));
+  Endpoint* b = stack_b->OpenEndpoint(PortId(2));
+  std::string got;
+  b->SetHandler([&](const Address& from, Bytes) {
+    (void)b->Send(from, ToBytes("pong"));
+  });
+  a->SetHandler([&](const Address&, Bytes payload) {
+    got = ToString(View(payload));
+  });
+  ASSERT_TRUE(a->Send(b->address(), ToBytes("ping")).ok());
+  sched.Run();
+  EXPECT_EQ(got, "pong");
+}
+
+TEST_F(NetFixture, PortCollisionAndEphemeralAllocation) {
+  EXPECT_NE(stack_a->OpenEndpoint(PortId(5)), nullptr);
+  EXPECT_EQ(stack_a->OpenEndpoint(PortId(5)), nullptr);  // taken
+  Endpoint* e1 = stack_a->OpenEphemeral();
+  Endpoint* e2 = stack_a->OpenEphemeral();
+  ASSERT_NE(e1, nullptr);
+  ASSERT_NE(e2, nullptr);
+  EXPECT_NE(e1->address().port, e2->address().port);
+}
+
+TEST_F(NetFixture, CloseStopsDelivery) {
+  Endpoint* a = stack_a->OpenEndpoint(PortId(1));
+  Endpoint* b = stack_b->OpenEndpoint(PortId(2));
+  int received = 0;
+  b->SetHandler([&](const Address&, Bytes) { ++received; });
+  const Address b_addr = b->address();
+  ASSERT_TRUE(a->Send(b_addr, ToBytes("one")).ok());
+  sched.Run();
+  stack_b->CloseEndpoint(PortId(2));
+  ASSERT_TRUE(a->Send(b_addr, ToBytes("two")).ok());
+  sched.Run();
+  EXPECT_EQ(received, 1);
+}
+
+TEST_F(NetFixture, CorruptedDatagramRejectedAtBoundary) {
+  Endpoint* a = stack_a->OpenEndpoint(PortId(1));
+  Endpoint* b = stack_b->OpenEndpoint(PortId(2));
+  int received = 0;
+  b->SetHandler([&](const Address&, Bytes) { ++received; });
+
+  // Bypass the endpoint framing: inject garbage directly at L1.
+  ASSERT_TRUE(net.Send(node_a, node_b, b->address().port,
+                       ToBytes("not an envelope")).ok());
+  // And a valid send for contrast.
+  ASSERT_TRUE(a->Send(b->address(), ToBytes("good")).ok());
+  sched.Run();
+  EXPECT_EQ(received, 1);
+  EXPECT_EQ(stack_b->rejected_datagrams(), 1u);
+}
+
+TEST_F(NetFixture, OversizedPayloadRefusedLocally) {
+  Endpoint* a = stack_a->OpenEndpoint(PortId(1));
+  const Status st =
+      a->Send(Address{node_b, PortId(2)}, Bytes(Endpoint::kMaxPayload + 1, 0));
+  EXPECT_EQ(st.code(), StatusCode::kResourceExhausted);
+}
+
+TEST_F(NetFixture, MessageToUnboundPortIsDropped) {
+  Endpoint* a = stack_a->OpenEndpoint(PortId(1));
+  ASSERT_TRUE(a->Send(Address{node_b, PortId(777)}, ToBytes("void")).ok());
+  sched.Run();  // must not crash; silently dropped
+  EXPECT_EQ(net.stats().messages_delivered, 1u);  // delivered to stack, no ep
+}
+
+// --- reliable channel ---
+
+struct ArqFixture : public NetFixture {
+  ArqFixture() {
+    ep_a = stack_a->OpenEndpoint(PortId(1));
+    ep_b = stack_b->OpenEndpoint(PortId(2));
+    ArqParams params;
+    params.retransmit_timeout = Milliseconds(5);
+    params.max_retries = 20;
+    chan_a = std::make_unique<ReliableChannel>(*ep_a, params);
+    chan_b = std::make_unique<ReliableChannel>(*ep_b, params);
+    chan_b->SetHandler([this](const Address&, Bytes payload) {
+      received.push_back(ToString(View(payload)));
+    });
+  }
+
+  Endpoint* ep_a;
+  Endpoint* ep_b;
+  std::unique_ptr<ReliableChannel> chan_a, chan_b;
+  std::vector<std::string> received;
+};
+
+TEST_F(ArqFixture, InOrderDeliveryOnCleanLink) {
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_TRUE(chan_a->Send(ep_b->address(),
+                             ToBytes("msg" + std::to_string(i))).ok());
+  }
+  sched.Run();
+  ASSERT_EQ(received.size(), 10u);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(received[i], "msg" + std::to_string(i));
+  EXPECT_EQ(chan_a->stats().retransmits, 0u);
+}
+
+TEST_F(ArqFixture, LossyLinkStillDeliversAllInOrder) {
+  sim::LinkParams lossy;
+  lossy.loss = 0.3;
+  net.SetLink(node_a, node_b, lossy);
+  for (int i = 0; i < 30; ++i) {
+    // Window is 32, all fit.
+    ASSERT_TRUE(chan_a->Send(ep_b->address(),
+                             ToBytes("m" + std::to_string(i))).ok());
+  }
+  sched.Run();
+  ASSERT_EQ(received.size(), 30u);
+  for (int i = 0; i < 30; ++i) EXPECT_EQ(received[i], "m" + std::to_string(i));
+  EXPECT_GT(chan_a->stats().retransmits, 0u);
+}
+
+TEST_F(ArqFixture, ReorderingLinkDeliversInOrder) {
+  sim::LinkParams jittery;
+  jittery.latency = Microseconds(100);
+  jittery.jitter = Microseconds(500);  // heavy reordering
+  net.SetLink(node_a, node_b, jittery);
+  for (int i = 0; i < 20; ++i) {
+    ASSERT_TRUE(chan_a->Send(ep_b->address(),
+                             ToBytes("r" + std::to_string(i))).ok());
+  }
+  sched.Run();
+  ASSERT_EQ(received.size(), 20u);
+  for (int i = 0; i < 20; ++i) EXPECT_EQ(received[i], "r" + std::to_string(i));
+}
+
+TEST_F(ArqFixture, DuplicatesSuppressed) {
+  sim::LinkParams lossy;
+  lossy.loss = 0.4;  // many retransmits => many duplicate arrivals
+  net.SetLink(node_a, node_b, lossy);
+  for (int i = 0; i < 20; ++i) {
+    ASSERT_TRUE(chan_a->Send(ep_b->address(),
+                             ToBytes("d" + std::to_string(i))).ok());
+  }
+  sched.Run();
+  EXPECT_EQ(received.size(), 20u);  // exactly once each
+  EXPECT_EQ(chan_b->stats().delivered, 20u);
+}
+
+TEST_F(ArqFixture, WindowFullRejects) {
+  net.SetPartitioned(node_a, node_b, true);  // nothing ever acks
+  Status last;
+  std::size_t accepted = 0;
+  for (int i = 0; i < 40; ++i) {
+    last = chan_a->Send(ep_b->address(), ToBytes("x"));
+    if (last.ok()) ++accepted;
+  }
+  EXPECT_EQ(accepted, 32u);  // default window
+  EXPECT_EQ(last.code(), StatusCode::kResourceExhausted);
+}
+
+TEST_F(ArqFixture, PeerDeclaredDeadAfterRetryBudget) {
+  net.SetPartitioned(node_a, node_b, true);
+  bool failed = false;
+  chan_a->SetFailureHandler([&](const Address&) { failed = true; });
+  ASSERT_TRUE(chan_a->Send(ep_b->address(), ToBytes("doomed")).ok());
+  sched.Run();
+  EXPECT_TRUE(failed);
+  EXPECT_EQ(chan_a->stats().peers_failed, 1u);
+  // Further sends are refused immediately.
+  EXPECT_EQ(chan_a->Send(ep_b->address(), ToBytes("more")).code(),
+            StatusCode::kUnavailable);
+}
+
+TEST_F(ArqFixture, ProgressResetsRetryBudget) {
+  sim::LinkParams lossy;
+  lossy.loss = 0.5;
+  net.SetLink(node_a, node_b, lossy);
+  // Far more messages than the retry budget could survive without the
+  // reset-on-progress rule.
+  int sent = 0;
+  for (int round = 0; round < 20; ++round) {
+    for (int i = 0; i < 8; ++i) {
+      if (chan_a->Send(ep_b->address(), ToBytes("p")).ok()) ++sent;
+    }
+    sched.RunFor(Milliseconds(50));
+  }
+  sched.Run();
+  EXPECT_EQ(chan_a->stats().peers_failed, 0u);
+  EXPECT_EQ(received.size(), static_cast<std::size_t>(sent));
+}
+
+TEST_F(ArqFixture, TwoDirectionsAreIndependent) {
+  std::vector<std::string> received_at_a;
+  chan_a->SetHandler([&](const Address&, Bytes payload) {
+    received_at_a.push_back(ToString(View(payload)));
+  });
+  ASSERT_TRUE(chan_a->Send(ep_b->address(), ToBytes("a->b")).ok());
+  ASSERT_TRUE(chan_b->Send(ep_a->address(), ToBytes("b->a")).ok());
+  sched.Run();
+  ASSERT_EQ(received.size(), 1u);
+  ASSERT_EQ(received_at_a.size(), 1u);
+  EXPECT_EQ(received[0], "a->b");
+  EXPECT_EQ(received_at_a[0], "b->a");
+}
+
+TEST_F(ArqFixture, OutstandingDrainsToZero) {
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_TRUE(chan_a->Send(ep_b->address(), ToBytes("o")).ok());
+  }
+  EXPECT_EQ(chan_a->OutstandingTo(ep_b->address()), 5u);
+  sched.Run();
+  EXPECT_EQ(chan_a->OutstandingTo(ep_b->address()), 0u);
+}
+
+}  // namespace
+}  // namespace proxy::net

@@ -1,0 +1,238 @@
+// Replicated KV tests: write-all mirroring, read failover, stickiness,
+// write unavailability semantics, and chaos (random partitions) runs.
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "core/factory.h"
+#include "services/replicated_kv.h"
+#include "test_util.h"
+
+namespace proxy::services {
+namespace {
+
+using core::Bind;
+using core::BindOptions;
+using proxy::testing::TestWorld;
+
+struct ReplicaWorld {
+  ReplicaWorld() : w(77) {
+    // Primary on the server node; two backups on their own nodes.
+    backup_node_1 = w.rt->AddNode("backup-1");
+    backup_node_2 = w.rt->AddNode("backup-2");
+    backup_ctx_1 = &w.rt->CreateContext(backup_node_1, "backup-ctx-1");
+    backup_ctx_2 = &w.rt->CreateContext(backup_node_2, "backup-ctx-2");
+    auto exported =
+        ExportReplicatedKv(*w.server_ctx, {backup_ctx_1, backup_ctx_2});
+    EXPECT_TRUE(exported.ok());
+    exp = std::move(*exported);
+    w.Publish("rkv", exp.binding);
+  }
+
+  std::shared_ptr<IKeyValue> BindProxy(core::Context& ctx) {
+    std::shared_ptr<IKeyValue> out;
+    auto body = [&]() -> sim::Co<void> {
+      BindOptions opts;
+      opts.allow_direct = false;
+      Result<std::shared_ptr<IKeyValue>> kv =
+          co_await Bind<IKeyValue>(ctx, "rkv", opts);
+      CO_ASSERT_OK(kv);
+      out = *kv;
+    };
+    w.Run(body);
+    return out;
+  }
+
+  TestWorld w;
+  NodeId backup_node_1, backup_node_2;
+  core::Context* backup_ctx_1 = nullptr;
+  core::Context* backup_ctx_2 = nullptr;
+  ReplicatedKvExport exp;
+};
+
+TEST(ReplicationTest, BindInstallsFailoverProxy) {
+  ReplicaWorld rw;
+  auto kv = rw.BindProxy(*rw.w.client_ctx);
+  EXPECT_NE(dynamic_cast<KvFailoverProxy*>(kv.get()), nullptr);
+}
+
+TEST(ReplicationTest, WritesReachEveryReplica) {
+  ReplicaWorld rw;
+  auto kv = rw.BindProxy(*rw.w.client_ctx);
+
+  auto body = [&]() -> sim::Co<void> {
+    CO_ASSERT_OK(co_await kv->Put("k1", "v1"));
+    CO_ASSERT_OK(co_await kv->Put("k2", "v2"));
+    // Both backups hold the data (checked directly on the impls).
+    for (auto& backup : rw.exp.backup_impls) {
+      Result<std::optional<std::string>> got = co_await backup->Get("k1");
+      CO_ASSERT_OK(got);
+      EXPECT_EQ(got->value(), "v1");
+    }
+  };
+  rw.w.Run(body);
+}
+
+TEST(ReplicationTest, DeleteReplicates) {
+  ReplicaWorld rw;
+  auto kv = rw.BindProxy(*rw.w.client_ctx);
+
+  auto body = [&]() -> sim::Co<void> {
+    CO_ASSERT_OK(co_await kv->Put("gone", "soon"));
+    Result<bool> deleted = co_await kv->Del("gone");
+    CO_ASSERT_OK(deleted);
+    EXPECT_TRUE(*deleted);
+    for (auto& backup : rw.exp.backup_impls) {
+      Result<std::optional<std::string>> got = co_await backup->Get("gone");
+      CO_ASSERT_OK(got);
+      EXPECT_FALSE(got->has_value());
+    }
+  };
+  rw.w.Run(body);
+}
+
+TEST(ReplicationTest, ReadsFailOverWhenPrimaryPartitions) {
+  ReplicaWorld rw;
+  auto kv = rw.BindProxy(*rw.w.client_ctx);
+
+  auto body = [&]() -> sim::Co<void> {
+    CO_ASSERT_OK(co_await kv->Put("stable", "data"));
+    // Force replica discovery before the partition.
+    CO_ASSERT_OK(co_await kv->Get("stable"));
+
+    // Cut the client off from the primary only.
+    rw.w.rt->network().SetPartitioned(rw.w.client_node, rw.w.server_node,
+                                      true);
+    Result<std::optional<std::string>> got = co_await kv->Get("stable");
+    CO_ASSERT_OK(got);
+    EXPECT_EQ(got->value(), "data");  // served by a backup
+  };
+  rw.w.Run(body);
+
+  auto* proxy = dynamic_cast<KvFailoverProxy*>(kv.get());
+  EXPECT_GE(proxy->failovers(), 1u);
+}
+
+TEST(ReplicationTest, FailoverSticksToHealthyReplica) {
+  ReplicaWorld rw;
+  auto kv = rw.BindProxy(*rw.w.client_ctx);
+
+  auto body = [&]() -> sim::Co<void> {
+    CO_ASSERT_OK(co_await kv->Put("k", "v"));
+    CO_ASSERT_OK(co_await kv->Get("k"));
+    rw.w.rt->network().SetPartitioned(rw.w.client_node, rw.w.server_node,
+                                      true);
+    // First read pays the failover; subsequent ones go straight to the
+    // healthy replica (no repeated timeout on the dead primary).
+    CO_ASSERT_OK(co_await kv->Get("k"));
+    const SimTime before = rw.w.rt->scheduler().now();
+    CO_ASSERT_OK(co_await kv->Get("k"));
+    const SimDuration second = rw.w.rt->scheduler().now() - before;
+    EXPECT_LT(second, Milliseconds(5));  // no timeout in the path
+  };
+  rw.w.Run(body);
+  auto* proxy = dynamic_cast<KvFailoverProxy*>(kv.get());
+  EXPECT_EQ(proxy->failovers(), 1u);
+}
+
+TEST(ReplicationTest, WritesFailWhenPrimaryUnreachable) {
+  ReplicaWorld rw;
+  auto kv = rw.BindProxy(*rw.w.client_ctx);
+
+  auto body = [&]() -> sim::Co<void> {
+    CO_ASSERT_OK(co_await kv->Put("k", "v"));
+    rw.w.rt->network().SetPartitioned(rw.w.client_node, rw.w.server_node,
+                                      true);
+    Result<rpc::Void> write = co_await kv->Put("k", "v2");
+    EXPECT_EQ(write.status().code(), StatusCode::kTimeout);
+    // Reads still work (failover), and see the last replicated value.
+    Result<std::optional<std::string>> got = co_await kv->Get("k");
+    CO_ASSERT_OK(got);
+    EXPECT_EQ(got->value(), "v");
+  };
+  rw.w.Run(body);
+}
+
+TEST(ReplicationTest, WriteFailsIfBackupUnreachable) {
+  // Write-all: a write must not be acknowledged while a backup is down.
+  ReplicaWorld rw;
+  auto kv = rw.BindProxy(*rw.w.client_ctx);
+
+  auto body = [&]() -> sim::Co<void> {
+    CO_ASSERT_OK(co_await kv->Put("k", "v"));
+    rw.w.rt->network().SetPartitioned(rw.w.server_node, rw.backup_node_1,
+                                      true);
+    Result<rpc::Void> write = co_await kv->Put("k", "v2");
+    EXPECT_FALSE(write.ok());
+  };
+  rw.w.Run(body);
+  // The client gives up before the primary's own mirror attempt times
+  // out; drain the remaining events so the failure is recorded.
+  rw.w.rt->scheduler().Run();
+  EXPECT_GT(rw.exp.primary->replication_failures(), 0u);
+}
+
+TEST(ReplicationChaos, ReadsSurviveRandomSingleLinkPartitions) {
+  // Chaos: every few ms a random client<->replica link flips; at most one
+  // replica is unreachable at any time, so reads must always succeed.
+  ReplicaWorld rw;
+  auto kv = rw.BindProxy(*rw.w.client_ctx);
+
+  auto& net = rw.w.rt->network();
+  const NodeId replicas[] = {rw.w.server_node, rw.backup_node_1,
+                             rw.backup_node_2};
+  const NodeId client = rw.w.client_node;
+
+  auto chaos = [&]() -> sim::Co<void> {
+    Rng rng(4242);
+    NodeId cut = replicas[0];
+    bool active = false;
+    for (int i = 0; i < 40; ++i) {
+      co_await sim::SleepFor(rw.w.rt->scheduler(), Milliseconds(8));
+      if (active) net.SetPartitioned(client, cut, false);
+      cut = replicas[rng.UniformU64(3)];
+      net.SetPartitioned(client, cut, true);
+      active = true;
+    }
+    if (active) net.SetPartitioned(client, cut, false);
+  };
+
+  int reads_ok = 0;
+  int reads_total = 0;
+  auto reader = [&]() -> sim::Co<void> {
+    CO_ASSERT_OK(co_await kv->Put("chaos", "value"));
+    for (int i = 0; i < 100; ++i) {
+      Result<std::optional<std::string>> got = co_await kv->Get("chaos");
+      ++reads_total;
+      if (got.ok() && got->has_value() && got->value() == "value") ++reads_ok;
+      co_await sim::SleepFor(rw.w.rt->scheduler(), Milliseconds(3));
+    }
+  };
+
+  (void)sim::Spawn(rw.w.rt->scheduler(), chaos());
+  (void)sim::Spawn(rw.w.rt->scheduler(), reader());
+  rw.w.rt->scheduler().Run();
+
+  EXPECT_EQ(reads_total, 100);
+  EXPECT_EQ(reads_ok, 100);  // failover masked every partition
+}
+
+TEST(ReplicationTest, SemanticErrorsDoNotTriggerFailover) {
+  ReplicaWorld rw;
+  auto kv = rw.BindProxy(*rw.w.client_ctx);
+
+  auto body = [&]() -> sim::Co<void> {
+    // A Get for a missing key is OK-with-nullopt, not an error; but a
+    // Del of a missing key returns existed=false — also not a transport
+    // error. Verify neither bumps the failover counter.
+    CO_ASSERT_OK(co_await kv->Get("missing"));
+    Result<bool> del = co_await kv->Del("missing");
+    CO_ASSERT_OK(del);
+    EXPECT_FALSE(*del);
+  };
+  rw.w.Run(body);
+  auto* proxy = dynamic_cast<KvFailoverProxy*>(kv.get());
+  EXPECT_EQ(proxy->failovers(), 0u);
+}
+
+}  // namespace
+}  // namespace proxy::services

@@ -1,0 +1,297 @@
+// Unit tests for the RPC runtime: dispatch, timeouts, retries, and the
+// at-most-once guarantee under loss.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+
+#include "net/endpoint.h"
+#include "rpc/client.h"
+#include "rpc/frame.h"
+#include "rpc/server.h"
+#include "rpc/stub.h"
+#include "serde/traits.h"
+#include "sim/network.h"
+#include "sim/task.h"
+
+namespace proxy::rpc {
+namespace {
+
+struct EchoRequest {
+  std::string text;
+  std::uint32_t repeat = 1;
+  PROXY_SERDE_FIELDS(text, repeat)
+};
+struct EchoResponse {
+  std::string text;
+  PROXY_SERDE_FIELDS(text)
+};
+
+struct RpcFixture : public ::testing::Test {
+  RpcFixture() : net(sched, 11) {
+    node_a = net.AddNode("client-node");
+    node_b = net.AddNode("server-node");
+    stack_a = std::make_unique<net::NodeStack>(net, node_a);
+    stack_b = std::make_unique<net::NodeStack>(net, node_b);
+    client = std::make_unique<RpcClient>(*stack_a->OpenEphemeral(), 0xC11E);
+    server_ep = stack_b->OpenEndpoint(PortId(40));
+    server = std::make_unique<RpcServer>(*server_ep);
+
+    object = ObjectId{1, 2};
+    auto dispatch = std::make_shared<Dispatch>();
+    RegisterTyped<EchoRequest, EchoResponse>(
+        *dispatch, 1,
+        [this](EchoRequest req,
+               const CallContext&) -> sim::Co<Result<EchoResponse>> {
+          ++executions;
+          std::string out;
+          for (std::uint32_t i = 0; i < req.repeat; ++i) out += req.text;
+          co_return EchoResponse{out};
+        });
+    // A slow method exercising coroutine handlers.
+    RegisterTyped<EchoRequest, EchoResponse>(
+        *dispatch, 2,
+        [this](EchoRequest req,
+               const CallContext&) -> sim::Co<Result<EchoResponse>> {
+          co_await sim::SleepFor(sched, Milliseconds(30));
+          co_return EchoResponse{req.text};
+        });
+    // A method that fails.
+    RegisterTyped<EchoRequest, EchoResponse>(
+        *dispatch, 3,
+        [](EchoRequest, const CallContext&) -> sim::Co<Result<EchoResponse>> {
+          co_return FailedPreconditionError("nope");
+        });
+    EXPECT_TRUE(server->ExportObject(object, dispatch).ok());
+  }
+
+  /// Drives the scheduler until the call completes; returns its result.
+  RpcResult CallSync(std::uint32_t method, const EchoRequest& req,
+                     const CallOptions& options = {}) {
+    auto future = client->Call(server_ep->address(), object, method,
+                               serde::EncodeToBytes(req), options);
+    sched.RunUntil([&] { return future.ready(); });
+    return future.take();
+  }
+
+  sim::Scheduler sched;
+  sim::Network net;
+  NodeId node_a, node_b;
+  std::unique_ptr<net::NodeStack> stack_a, stack_b;
+  std::unique_ptr<RpcClient> client;
+  net::Endpoint* server_ep = nullptr;
+  std::unique_ptr<RpcServer> server;
+  ObjectId object;
+  int executions = 0;
+};
+
+TEST_F(RpcFixture, BasicCallRoundTrips) {
+  const RpcResult r = CallSync(1, EchoRequest{"hi", 3});
+  ASSERT_TRUE(r.ok()) << r.status.ToString();
+  const auto resp = serde::DecodeFromBytes<EchoResponse>(View(r.payload));
+  ASSERT_TRUE(resp.ok());
+  EXPECT_EQ(resp->text, "hihihi");
+  EXPECT_EQ(executions, 1);
+  EXPECT_EQ(client->stats().calls_ok, 1u);
+}
+
+TEST_F(RpcFixture, UnknownObjectIsNotFound) {
+  auto future = client->Call(server_ep->address(), ObjectId{9, 9}, 1,
+                             serde::EncodeToBytes(EchoRequest{"x", 1}));
+  sched.RunUntil([&] { return future.ready(); });
+  EXPECT_EQ(future.take().status.code(), StatusCode::kNotFound);
+  EXPECT_EQ(server->stats().unknown_object, 1u);
+}
+
+TEST_F(RpcFixture, UnknownMethodIsNotFound) {
+  const RpcResult r = CallSync(77, EchoRequest{"x", 1});
+  EXPECT_EQ(r.status.code(), StatusCode::kNotFound);
+  EXPECT_EQ(server->stats().unknown_method, 1u);
+}
+
+TEST_F(RpcFixture, ServerErrorPropagates) {
+  const RpcResult r = CallSync(3, EchoRequest{"x", 1});
+  EXPECT_EQ(r.status.code(), StatusCode::kFailedPrecondition);
+  EXPECT_EQ(r.status.message(), "nope");
+}
+
+TEST_F(RpcFixture, MalformedArgsRejectedByTypedSkeleton) {
+  auto future = client->Call(server_ep->address(), object, 1,
+                             ToBytes("\xff\xff garbage"));
+  sched.RunUntil([&] { return future.ready(); });
+  EXPECT_EQ(future.take().status.code(), StatusCode::kCorrupt);
+  EXPECT_EQ(executions, 0);
+}
+
+TEST_F(RpcFixture, SlowHandlerDoesNotBlockOthers) {
+  auto slow = client->Call(server_ep->address(), object, 2,
+                           serde::EncodeToBytes(EchoRequest{"slow", 1}));
+  auto fast = client->Call(server_ep->address(), object, 1,
+                           serde::EncodeToBytes(EchoRequest{"fast", 1}));
+  sched.RunUntil([&] { return fast.ready(); });
+  EXPECT_FALSE(slow.ready());  // still sleeping server-side
+  sched.RunUntil([&] { return slow.ready(); });
+  EXPECT_TRUE(slow.take().ok());
+}
+
+TEST_F(RpcFixture, TimeoutAfterRetryBudget) {
+  net.SetPartitioned(node_a, node_b, true);
+  CallOptions options;
+  options.retry_interval = Milliseconds(10);
+  options.max_retries = 3;
+  const RpcResult r = CallSync(1, EchoRequest{"x", 1}, options);
+  EXPECT_EQ(r.status.code(), StatusCode::kTimeout);
+  EXPECT_EQ(client->stats().retransmissions, 3u);
+  EXPECT_EQ(client->stats().timeouts, 1u);
+}
+
+TEST_F(RpcFixture, RetransmissionSurvivesRequestLoss) {
+  sim::LinkParams lossy;
+  lossy.loss = 0.5;
+  net.SetLink(node_a, node_b, lossy);
+  CallOptions options;
+  options.retry_interval = Milliseconds(5);
+  options.max_retries = 30;
+  int ok_calls = 0;
+  for (int i = 0; i < 20; ++i) {
+    const RpcResult r = CallSync(1, EchoRequest{"r", 1}, options);
+    if (r.ok()) ++ok_calls;
+  }
+  EXPECT_EQ(ok_calls, 20);
+}
+
+TEST_F(RpcFixture, AtMostOnceUnderHeavyLoss) {
+  sim::LinkParams lossy;
+  lossy.loss = 0.4;
+  net.SetLink(node_a, node_b, lossy);
+  CallOptions options;
+  options.retry_interval = Milliseconds(5);
+  options.max_retries = 50;
+  for (int i = 0; i < 25; ++i) {
+    const RpcResult r = CallSync(1, EchoRequest{"once", 1}, options);
+    ASSERT_TRUE(r.ok());
+  }
+  // Retransmissions happened, yet each call executed exactly once.
+  EXPECT_GT(client->stats().retransmissions, 0u);
+  EXPECT_EQ(executions, 25);
+  EXPECT_GT(server->stats().duplicate_suppressed +
+                server->stats().in_progress_dropped,
+            0u);
+}
+
+TEST_F(RpcFixture, DuplicateOfInFlightCallNotReExecuted) {
+  // Slow method + aggressive retry: duplicates arrive while the handler
+  // still runs; they must be dropped, and the final reply answers all.
+  CallOptions options;
+  options.retry_interval = Milliseconds(5);  // handler takes 30ms
+  options.max_retries = 20;
+  const RpcResult r = CallSync(2, EchoRequest{"inflight", 1}, options);
+  ASSERT_TRUE(r.ok());
+  EXPECT_GT(server->stats().in_progress_dropped, 0u);
+  EXPECT_EQ(server->stats().executions, 1u);
+}
+
+TEST_F(RpcFixture, RevokedObjectAnswersPermissionDenied) {
+  server->Revoke(object);
+  const RpcResult r = CallSync(1, EchoRequest{"x", 1});
+  EXPECT_EQ(r.status.code(), StatusCode::kPermissionDenied);
+  EXPECT_TRUE(server->IsRevoked(object));
+  EXPECT_EQ(executions, 0);
+}
+
+TEST_F(RpcFixture, ReExportAfterRevokeIsRefusedByRevocationCheck) {
+  server->Revoke(object);
+  // Revocation is permanent: even re-exporting does not resurrect.
+  auto dispatch = std::make_shared<Dispatch>();
+  EXPECT_TRUE(server->ExportObject(object, dispatch).ok());
+  const RpcResult r = CallSync(1, EchoRequest{"x", 1});
+  EXPECT_EQ(r.status.code(), StatusCode::kPermissionDenied);
+}
+
+TEST_F(RpcFixture, ForwardingAnswersObjectMoved) {
+  ASSERT_TRUE(server->RemoveObject(object).ok());
+  server->SetForwarding(object, ToBytes("new-binding-hint"));
+  const RpcResult r = CallSync(1, EchoRequest{"x", 1});
+  EXPECT_EQ(r.status.code(), StatusCode::kObjectMoved);
+  EXPECT_EQ(ToString(View(r.payload)), "new-binding-hint");
+  server->ClearForwarding(object);
+  const RpcResult r2 = CallSync(1, EchoRequest{"x", 1});
+  EXPECT_EQ(r2.status.code(), StatusCode::kNotFound);
+}
+
+TEST_F(RpcFixture, RemoveObjectMakesItNotFound) {
+  EXPECT_TRUE(server->RemoveObject(object).ok());
+  const RpcResult r = CallSync(1, EchoRequest{"x", 1});
+  EXPECT_EQ(r.status.code(), StatusCode::kNotFound);
+  EXPECT_FALSE(server->RemoveObject(object).ok());
+}
+
+TEST_F(RpcFixture, ReplyCacheBoundedEviction) {
+  RpcServer::Params params;
+  params.reply_cache_per_client = 4;
+  net::Endpoint* ep2 = stack_b->OpenEndpoint(PortId(41));
+  RpcServer small_server(*ep2, params);
+  ObjectId obj{5, 5};
+  auto dispatch = std::make_shared<Dispatch>();
+  int execs = 0;
+  RegisterTyped<EchoRequest, EchoResponse>(
+      *dispatch, 1,
+      [&execs](EchoRequest req,
+               const CallContext&) -> sim::Co<Result<EchoResponse>> {
+        ++execs;
+        co_return EchoResponse{req.text};
+      });
+  ASSERT_TRUE(small_server.ExportObject(obj, dispatch).ok());
+  for (int i = 0; i < 10; ++i) {
+    auto f = client->Call(ep2->address(), obj, 1,
+                          serde::EncodeToBytes(EchoRequest{"c", 1}));
+    sched.RunUntil([&] { return f.ready(); });
+    ASSERT_TRUE(f.take().ok());
+  }
+  EXPECT_EQ(execs, 10);  // cache holds replies, not executions
+}
+
+TEST_F(RpcFixture, StrayReplyIgnored) {
+  // A reply with a foreign nonce must be counted and dropped.
+  ReplyFrame reply;
+  reply.call = CallId{0xDEAD, 1};
+  reply.code = StatusCode::kOk;
+  net::Endpoint* rogue = stack_b->OpenEphemeral();
+  ASSERT_TRUE(
+      rogue->Send(client->address(), EncodeReply(reply)).ok());
+  sched.Run();
+  EXPECT_EQ(client->stats().stray_replies, 1u);
+}
+
+TEST(FrameCodec, RequestReplyRoundTrip) {
+  RequestFrame req;
+  req.call = CallId{0xAB, 7};
+  req.object = ObjectId{1, 2};
+  req.method = 9;
+  req.args = ToBytes("args");
+  const Bytes encoded = EncodeRequest(req);
+  ASSERT_TRUE(PeekFrameType(View(encoded)).ok());
+  EXPECT_EQ(*PeekFrameType(View(encoded)), FrameType::kRequest);
+  const auto decoded = DecodeRequest(View(encoded));
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded->call.client_nonce, 0xABu);
+  EXPECT_EQ(decoded->method, 9u);
+  EXPECT_EQ(ToString(View(decoded->args)), "args");
+
+  ReplyFrame reply;
+  reply.call = req.call;
+  reply.code = StatusCode::kNotFound;
+  reply.error_message = "gone";
+  const Bytes encoded_reply = EncodeReply(reply);
+  const auto decoded_reply = DecodeReply(View(encoded_reply));
+  ASSERT_TRUE(decoded_reply.ok());
+  EXPECT_EQ(decoded_reply->code, StatusCode::kNotFound);
+  EXPECT_EQ(decoded_reply->error_message, "gone");
+  // Cross-decoding fails cleanly.
+  EXPECT_FALSE(DecodeRequest(View(encoded_reply)).ok());
+  EXPECT_FALSE(DecodeReply(View(encoded)).ok());
+  EXPECT_FALSE(PeekFrameType(BytesView{}).ok());
+}
+
+}  // namespace
+}  // namespace proxy::rpc

@@ -1,0 +1,318 @@
+// Unit + property tests for the wire format and archives.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <limits>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "net/address.h"
+#include "serde/message.h"
+#include "serde/reader.h"
+#include "serde/traits.h"
+#include "serde/wire.h"
+#include "serde/writer.h"
+
+namespace proxy::serde {
+namespace {
+
+TEST(Wire, FixedWidthRoundTrip) {
+  Bytes buf;
+  PutFixed16(buf, 0xBEEF);
+  PutFixed32(buf, 0xDEADBEEF);
+  PutFixed64(buf, 0x0123456789ABCDEFULL);
+  EXPECT_EQ(buf.size(), 14u);
+  EXPECT_EQ(GetFixed16(View(buf), 0), 0xBEEF);
+  EXPECT_EQ(GetFixed32(View(buf), 2), 0xDEADBEEF);
+  EXPECT_EQ(GetFixed64(View(buf), 6), 0x0123456789ABCDEFULL);
+  // Explicit little-endian layout.
+  EXPECT_EQ(buf[0], 0xEF);
+  EXPECT_EQ(buf[1], 0xBE);
+}
+
+TEST(Wire, VarintRoundTripEdgeValues) {
+  const std::uint64_t cases[] = {
+      0, 1, 127, 128, 300, 16383, 16384,
+      0xffffffffULL, 0xffffffffffffffffULL};
+  for (const auto v : cases) {
+    Bytes buf;
+    PutVarint(buf, v);
+    std::size_t pos = 0;
+    std::uint64_t out = 0;
+    ASSERT_TRUE(GetVarint(View(buf), pos, out)) << v;
+    EXPECT_EQ(out, v);
+    EXPECT_EQ(pos, buf.size());
+  }
+}
+
+TEST(Wire, VarintSizes) {
+  Bytes one, two, ten;
+  PutVarint(one, 127);
+  PutVarint(two, 128);
+  PutVarint(ten, 0xffffffffffffffffULL);
+  EXPECT_EQ(one.size(), 1u);
+  EXPECT_EQ(two.size(), 2u);
+  EXPECT_EQ(ten.size(), 10u);
+}
+
+TEST(Wire, TruncatedVarintRejected) {
+  Bytes buf;
+  PutVarint(buf, 1ULL << 40);
+  buf.pop_back();
+  std::size_t pos = 0;
+  std::uint64_t out = 0;
+  EXPECT_FALSE(GetVarint(View(buf), pos, out));
+}
+
+TEST(Wire, OverlongVarintRejected) {
+  // Ten bytes of continuation with high garbage in byte 10.
+  Bytes buf(9, 0x80);
+  buf.push_back(0x7f);  // would need > 64 bits
+  std::size_t pos = 0;
+  std::uint64_t out = 0;
+  EXPECT_FALSE(GetVarint(View(buf), pos, out));
+}
+
+TEST(Wire, ZigZag) {
+  EXPECT_EQ(ZigZagEncode(0), 0u);
+  EXPECT_EQ(ZigZagEncode(-1), 1u);
+  EXPECT_EQ(ZigZagEncode(1), 2u);
+  EXPECT_EQ(ZigZagEncode(-2), 3u);
+  const std::int64_t cases[] = {0, 1, -1, 42, -42,
+                                std::numeric_limits<std::int64_t>::max(),
+                                std::numeric_limits<std::int64_t>::min()};
+  for (const auto v : cases) {
+    EXPECT_EQ(ZigZagDecode(ZigZagEncode(v)), v) << v;
+  }
+}
+
+TEST(Wire, Crc32cKnownVector) {
+  // "123456789" -> 0xE3069283 (CRC-32C check value).
+  const Bytes data = ToBytes("123456789");
+  EXPECT_EQ(Crc32c(View(data)), 0xE3069283u);
+  EXPECT_EQ(Crc32c(BytesView{}), 0u);
+}
+
+template <typename T>
+T RoundTrip(const T& value) {
+  const Bytes encoded = EncodeToBytes(value);
+  auto decoded = DecodeFromBytes<T>(View(encoded));
+  EXPECT_TRUE(decoded.ok()) << decoded.status().ToString();
+  return std::move(decoded).value();
+}
+
+TEST(Traits, PrimitivesRoundTrip) {
+  EXPECT_EQ(RoundTrip<std::uint8_t>(200), 200);
+  EXPECT_EQ(RoundTrip<std::uint16_t>(0xBEEF), 0xBEEF);
+  EXPECT_EQ(RoundTrip<std::uint32_t>(0xDEADBEEF), 0xDEADBEEFu);
+  EXPECT_EQ(RoundTrip<std::uint64_t>(1ULL << 60), 1ULL << 60);
+  EXPECT_EQ(RoundTrip<std::int32_t>(-12345), -12345);
+  EXPECT_EQ(RoundTrip<std::int64_t>(-(1LL << 50)), -(1LL << 50));
+  EXPECT_EQ(RoundTrip<bool>(true), true);
+  EXPECT_EQ(RoundTrip<bool>(false), false);
+  EXPECT_DOUBLE_EQ(RoundTrip<double>(3.14159), 3.14159);
+  EXPECT_EQ(RoundTrip<std::string>("hello"), "hello");
+  EXPECT_EQ(RoundTrip<std::string>(""), "");
+}
+
+TEST(Traits, ContainersRoundTrip) {
+  EXPECT_EQ(RoundTrip(std::vector<std::uint32_t>{1, 2, 3}),
+            (std::vector<std::uint32_t>{1, 2, 3}));
+  EXPECT_EQ(RoundTrip(std::vector<std::string>{"a", "bb", ""}),
+            (std::vector<std::string>{"a", "bb", ""}));
+  EXPECT_EQ(RoundTrip(std::optional<std::string>{}), std::nullopt);
+  EXPECT_EQ(RoundTrip(std::optional<std::string>{"x"}),
+            std::optional<std::string>{"x"});
+  const std::map<std::string, std::uint64_t> m{{"a", 1}, {"b", 2}};
+  EXPECT_EQ(RoundTrip(m), m);
+  const std::pair<std::string, bool> p{"k", true};
+  EXPECT_EQ(RoundTrip(p), p);
+  EXPECT_EQ(RoundTrip(Bytes{1, 2, 3}), (Bytes{1, 2, 3}));
+}
+
+TEST(Traits, NestedContainersRoundTrip) {
+  const std::vector<std::vector<std::string>> nested{{"a"}, {}, {"b", "c"}};
+  EXPECT_EQ(RoundTrip(nested), nested);
+  const std::vector<std::pair<std::string, std::optional<std::uint32_t>>>
+      complex_value{{"x", 1u}, {"y", std::nullopt}};
+  EXPECT_EQ(RoundTrip(complex_value), complex_value);
+}
+
+struct Inner {
+  std::uint32_t a = 0;
+  std::string b;
+  PROXY_SERDE_FIELDS(a, b)
+  friend bool operator==(const Inner&, const Inner&) = default;
+};
+
+struct Outer {
+  Inner inner;
+  std::vector<Inner> list;
+  std::optional<Inner> maybe;
+  bool flag = false;
+  PROXY_SERDE_FIELDS(inner, list, maybe, flag)
+  friend bool operator==(const Outer&, const Outer&) = default;
+};
+
+TEST(Traits, WireStructsNestRoundTrip) {
+  Outer o;
+  o.inner = Inner{7, "seven"};
+  o.list = {Inner{1, "one"}, Inner{2, "two"}};
+  o.maybe = Inner{3, "three"};
+  o.flag = true;
+  EXPECT_EQ(RoundTrip(o), o);
+}
+
+TEST(Traits, IdsRoundTrip) {
+  EXPECT_EQ(RoundTrip(NodeId(5)), NodeId(5));
+  EXPECT_EQ(RoundTrip(PortId(0xffffffff)), PortId(0xffffffff));
+  EXPECT_EQ(RoundTrip(InterfaceIdOf("foo")), InterfaceIdOf("foo"));
+  const ObjectId id{0x1111, 0x2222};
+  EXPECT_EQ(RoundTrip(id), id);
+  const net::Address addr{NodeId(3), PortId(9)};
+  EXPECT_EQ(RoundTrip(addr), addr);
+}
+
+enum class Color : std::uint8_t { kRed = 1, kBlue = 2 };
+
+TEST(Traits, EnumsRoundTrip) {
+  EXPECT_EQ(RoundTrip(Color::kBlue), Color::kBlue);
+}
+
+TEST(Traits, TrailingGarbageRejected) {
+  Bytes encoded = EncodeToBytes(std::string("hi"));
+  encoded.push_back(0x00);
+  const auto decoded = DecodeFromBytes<std::string>(View(encoded));
+  EXPECT_EQ(decoded.status().code(), StatusCode::kCorrupt);
+}
+
+TEST(Traits, TruncationRejectedEverywhere) {
+  Outer o;
+  o.inner = Inner{7, "seven"};
+  o.list = {Inner{1, "one"}};
+  const Bytes full = EncodeToBytes(o);
+  // Every strict prefix must fail cleanly, never crash.
+  for (std::size_t cut = 0; cut < full.size(); ++cut) {
+    const BytesView prefix(full.data(), cut);
+    const auto decoded = DecodeFromBytes<Outer>(prefix);
+    EXPECT_FALSE(decoded.ok()) << "prefix length " << cut;
+  }
+}
+
+TEST(Traits, HostileLengthDoesNotAllocate) {
+  // A vector claiming 2^60 elements but providing none.
+  Bytes evil;
+  PutVarint(evil, 1ULL << 60);
+  const auto decoded = DecodeFromBytes<std::vector<std::string>>(View(evil));
+  EXPECT_EQ(decoded.status().code(), StatusCode::kCorrupt);
+}
+
+TEST(Traits, RandomBitFlipsNeverCrash) {
+  Outer o;
+  o.inner = Inner{42, "the answer"};
+  o.list = {Inner{1, "one"}, Inner{2, "two"}, Inner{3, "three"}};
+  o.maybe = Inner{9, "nine"};
+  const Bytes good = EncodeToBytes(o);
+
+  Rng rng(1234);
+  int decode_failures = 0;
+  for (int trial = 0; trial < 500; ++trial) {
+    Bytes bad = good;
+    const auto byte_idx = rng.UniformU64(bad.size());
+    bad[byte_idx] ^= static_cast<std::uint8_t>(1u << rng.UniformU64(8));
+    const auto decoded = DecodeFromBytes<Outer>(View(bad));
+    if (!decoded.ok()) ++decode_failures;
+    // OK results are acceptable (the flip may hit a value byte) — the
+    // invariant is "no crash, no UB", enforced by running at all.
+  }
+  EXPECT_GT(decode_failures, 0);
+}
+
+TEST(Envelope, RoundTrip) {
+  const Bytes payload = ToBytes("payload bytes");
+  const Bytes framed = WrapEnvelope(View(payload));
+  EXPECT_EQ(framed.size(), payload.size() + EnvelopeOverhead(payload.size()));
+  const auto unwrapped = UnwrapEnvelope(View(framed));
+  ASSERT_TRUE(unwrapped.ok());
+  EXPECT_EQ(*unwrapped, payload);
+}
+
+TEST(Envelope, DetectsCorruption) {
+  const Bytes payload = ToBytes("payload bytes");
+  Bytes framed = WrapEnvelope(View(payload));
+  // Flip a payload bit: CRC must catch it.
+  framed[framed.size() - 1] ^= 0x01;
+  EXPECT_EQ(UnwrapEnvelope(View(framed)).status().code(),
+            StatusCode::kCorrupt);
+}
+
+TEST(Envelope, RejectsBadMagicAndVersion) {
+  const Bytes payload = ToBytes("x");
+  Bytes framed = WrapEnvelope(View(payload));
+  Bytes bad_magic = framed;
+  bad_magic[0] ^= 0xff;
+  EXPECT_FALSE(UnwrapEnvelope(View(bad_magic)).ok());
+  Bytes bad_version = framed;
+  bad_version[2] = 99;
+  EXPECT_FALSE(UnwrapEnvelope(View(bad_version)).ok());
+  EXPECT_FALSE(UnwrapEnvelope(BytesView{}).ok());
+}
+
+// Property sweep: random nested values round-trip across seeds.
+class SerdePropertyTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(SerdePropertyTest, RandomOuterRoundTrips) {
+  Rng rng(GetParam());
+  for (int trial = 0; trial < 50; ++trial) {
+    Outer o;
+    o.inner.a = static_cast<std::uint32_t>(rng.NextU64());
+    o.inner.b = std::string(rng.UniformU64(64), 'x');
+    const auto n = rng.UniformU64(8);
+    for (std::uint64_t i = 0; i < n; ++i) {
+      o.list.push_back(Inner{static_cast<std::uint32_t>(rng.NextU64()),
+                             std::string(rng.UniformU64(32), 'y')});
+    }
+    if (rng.Chance(0.5)) o.maybe = Inner{1, "m"};
+    o.flag = rng.Chance(0.5);
+    EXPECT_EQ(RoundTrip(o), o);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SerdePropertyTest,
+                         ::testing::Values(1, 2, 3, 5, 8, 13, 21, 34));
+
+TEST(Reader, ReadRawAndPosition) {
+  Bytes buf = ToBytes("abcdef");
+  Reader r(View(buf));
+  BytesView head;
+  ASSERT_TRUE(r.ReadRaw(2, head).ok());
+  EXPECT_EQ(ToString(head), "ab");
+  EXPECT_EQ(r.position(), 2u);
+  EXPECT_EQ(r.remaining(), 4u);
+  BytesView rest;
+  ASSERT_TRUE(r.ReadRaw(r.remaining(), rest).ok());
+  EXPECT_TRUE(r.AtEnd());
+  EXPECT_TRUE(r.ExpectEnd().ok());
+  EXPECT_FALSE(r.ReadRaw(1, head).ok());
+}
+
+TEST(Reader, BoolByteRangeChecked) {
+  Bytes buf{2};
+  Reader r(View(buf));
+  bool b = false;
+  EXPECT_EQ(r.ReadBool(b).code(), StatusCode::kCorrupt);
+}
+
+TEST(Writer, TakeResetsBuffer) {
+  Writer w;
+  w.WriteU32(7);
+  const Bytes first = w.Take();
+  EXPECT_FALSE(first.empty());
+  EXPECT_EQ(w.size(), 0u);
+}
+
+}  // namespace
+}  // namespace proxy::serde

@@ -1,0 +1,152 @@
+// Unit tests for the discrete-event scheduler.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/scheduler.h"
+
+namespace proxy::sim {
+namespace {
+
+TEST(Scheduler, StartsAtTimeZero) {
+  Scheduler s;
+  EXPECT_EQ(s.now(), 0u);
+  EXPECT_EQ(s.pending(), 0u);
+}
+
+TEST(Scheduler, RunsEventsInTimeOrder) {
+  Scheduler s;
+  std::vector<int> order;
+  s.PostAt(300, [&] { order.push_back(3); });
+  s.PostAt(100, [&] { order.push_back(1); });
+  s.PostAt(200, [&] { order.push_back(2); });
+  s.Run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(s.now(), 300u);
+}
+
+TEST(Scheduler, FifoAmongEqualTimestamps) {
+  Scheduler s;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    s.PostAt(50, [&order, i] { order.push_back(i); });
+  }
+  s.Run();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[i], i);
+}
+
+TEST(Scheduler, PostInThePastClampsToNow) {
+  Scheduler s;
+  SimTime seen = 1;
+  s.PostAt(100, [&] {
+    s.PostAt(10, [&] { seen = s.now(); });  // 10 < now
+  });
+  s.Run();
+  EXPECT_EQ(seen, 100u);
+}
+
+TEST(Scheduler, HandlersMayScheduleMoreEvents) {
+  Scheduler s;
+  int depth = 0;
+  std::function<void()> recurse = [&] {
+    if (++depth < 5) s.PostAfter(10, recurse);
+  };
+  s.PostAfter(10, recurse);
+  s.Run();
+  EXPECT_EQ(depth, 5);
+  EXPECT_EQ(s.now(), 50u);
+}
+
+TEST(Scheduler, CancelPreventsExecution) {
+  Scheduler s;
+  bool ran = false;
+  const TimerId id = s.PostAt(10, [&] { ran = true; });
+  EXPECT_TRUE(s.Cancel(id));
+  s.Run();
+  EXPECT_FALSE(ran);
+  EXPECT_EQ(s.events_run(), 0u);
+}
+
+TEST(Scheduler, CancelOfFiredTimerIsNoop) {
+  Scheduler s;
+  const TimerId id = s.PostAt(10, [] {});
+  s.Run();
+  EXPECT_FALSE(s.Cancel(id));
+}
+
+TEST(Scheduler, CancelUnknownIdIsNoop) {
+  Scheduler s;
+  EXPECT_FALSE(s.Cancel(kInvalidTimer));
+  EXPECT_FALSE(s.Cancel(9999));
+}
+
+TEST(Scheduler, DoubleCancelReturnsFalse) {
+  Scheduler s;
+  const TimerId id = s.PostAt(10, [] {});
+  EXPECT_TRUE(s.Cancel(id));
+  EXPECT_FALSE(s.Cancel(id));
+}
+
+TEST(Scheduler, RunUntilStopsAtPredicate) {
+  Scheduler s;
+  int count = 0;
+  for (int i = 1; i <= 10; ++i) {
+    s.PostAt(static_cast<SimTime>(i) * 10, [&] { ++count; });
+  }
+  const bool reached = s.RunUntil([&] { return count == 4; });
+  EXPECT_TRUE(reached);
+  EXPECT_EQ(count, 4);
+  EXPECT_EQ(s.now(), 40u);
+  s.Run();
+  EXPECT_EQ(count, 10);
+}
+
+TEST(Scheduler, RunUntilReturnsFalseWhenQueueDrains) {
+  Scheduler s;
+  s.PostAt(10, [] {});
+  EXPECT_FALSE(s.RunUntil([] { return false; }));
+}
+
+TEST(Scheduler, RunForAdvancesTimeEvenWithoutEvents) {
+  Scheduler s;
+  s.RunFor(Milliseconds(5));
+  EXPECT_EQ(s.now(), Milliseconds(5));
+}
+
+TEST(Scheduler, RunForExecutesOnlyEventsWithinWindow) {
+  Scheduler s;
+  int ran = 0;
+  s.PostAt(100, [&] { ++ran; });
+  s.PostAt(200, [&] { ++ran; });
+  s.PostAt(300, [&] { ++ran; });
+  s.RunFor(250);
+  EXPECT_EQ(ran, 2);
+  EXPECT_EQ(s.now(), 250u);
+  EXPECT_EQ(s.pending(), 1u);
+}
+
+TEST(Scheduler, EventsRunCounter) {
+  Scheduler s;
+  for (int i = 0; i < 7; ++i) s.Post([] {});
+  s.Run();
+  EXPECT_EQ(s.events_run(), 7u);
+}
+
+TEST(Scheduler, CurrentIsSetWhileStepping) {
+  Scheduler s;
+  Scheduler* seen = nullptr;
+  s.Post([&] { seen = Scheduler::Current(); });
+  s.Run();
+  EXPECT_EQ(seen, &s);
+}
+
+TEST(Scheduler, StepReturnsFalseOnEmptyQueue) {
+  Scheduler s;
+  EXPECT_FALSE(s.Step());
+  s.Post([] {});
+  EXPECT_TRUE(s.Step());
+  EXPECT_FALSE(s.Step());
+}
+
+}  // namespace
+}  // namespace proxy::sim

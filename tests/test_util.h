@@ -1,0 +1,98 @@
+// Shared fixtures for the test suite.
+#pragma once
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+
+#include "core/export.h"
+#include "core/factory.h"
+#include "core/runtime.h"
+#include "services/register_all.h"
+
+namespace proxy::testing {
+
+/// A ready-to-use two-node world: name service on the server node, one
+/// server context and one client context. Most service tests start here.
+class TestWorld {
+ public:
+  explicit TestWorld(std::uint64_t seed = 42,
+                     sim::LinkParams link = sim::LinkParams{}) {
+    services::RegisterAllServices();
+    core::Runtime::Params params;
+    params.seed = seed;
+    params.default_link = link;
+    rt = std::make_unique<core::Runtime>(params);
+    server_node = rt->AddNode("server-node");
+    client_node = rt->AddNode("client-node");
+    rt->StartNameService(server_node);
+    server_ctx = &rt->CreateContext(server_node, "server");
+    client_ctx = &rt->CreateContext(client_node, "client");
+  }
+
+  /// Publishes a binding under `name` (driving the scheduler).
+  void Publish(const std::string& name, const core::ServiceBinding& binding) {
+    auto body = [this, &name, &binding]() -> sim::Co<void> {
+      Result<rpc::Void> ok =
+          co_await server_ctx->names().RegisterService(name, binding);
+      EXPECT_TRUE(ok.ok()) << ok.status().ToString();
+    };
+    Run(body);
+  }
+
+  /// Runs a *named* coroutine lambda to completion. The lambda must be an
+  /// lvalue (see DESIGN.md toolchain notes on lambda coroutines).
+  template <typename L>
+  void Run(L& lambda) {
+    rt->Run(lambda());
+  }
+
+  std::unique_ptr<core::Runtime> rt;
+  NodeId server_node;
+  NodeId client_node;
+  core::Context* server_ctx = nullptr;
+  core::Context* client_ctx = nullptr;
+};
+
+// gtest's ASSERT_* macros expand to `return;`, which is ill-formed inside
+// a coroutine. CO_ASSERT_* are the coroutine-safe equivalents: they record
+// the failure and co_return.
+#define CO_ASSERT_TRUE(cond)                    \
+  do {                                          \
+    if (!(cond)) {                              \
+      ADD_FAILURE() << "expected true: " #cond; \
+      co_return;                                \
+    }                                           \
+  } while (false)
+
+#define CO_ASSERT_OK(expr)                                             \
+  do {                                                                 \
+    const auto& _r = (expr);                                           \
+    if (!_r.ok()) {                                                    \
+      ADD_FAILURE() << #expr << " failed: "                            \
+                    << ::proxy::testing::StatusOf(_r).ToString();      \
+      co_return;                                                       \
+    }                                                                  \
+  } while (false)
+
+inline const Status& StatusOf(const Status& s) { return s; }
+template <typename T>
+Status StatusOf(const Result<T>& r) {
+  return r.status();
+}
+
+/// Expects a Status or Result<T> to be OK, printing the status otherwise.
+#define EXPECT_OK(expr)                                               \
+  do {                                                                \
+    const auto& _r = (expr);                                          \
+    EXPECT_TRUE(_r.ok()) << ::proxy::testing::StatusOf(_r).ToString(); \
+  } while (false)
+
+#define ASSERT_OK(expr)                                               \
+  do {                                                                \
+    const auto& _r = (expr);                                          \
+    ASSERT_TRUE(_r.ok()) << ::proxy::testing::StatusOf(_r).ToString(); \
+  } while (false)
+
+}  // namespace proxy::testing
