@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_cache_readratio"
+  "../bench/bench_cache_readratio.pdb"
+  "CMakeFiles/bench_cache_readratio.dir/bench_cache_readratio.cpp.o"
+  "CMakeFiles/bench_cache_readratio.dir/bench_cache_readratio.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_cache_readratio.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_cache_sharing"
+  "../bench/bench_cache_sharing.pdb"
+  "CMakeFiles/bench_cache_sharing.dir/bench_cache_sharing.cpp.o"
+  "CMakeFiles/bench_cache_sharing.dir/bench_cache_sharing.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_cache_sharing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

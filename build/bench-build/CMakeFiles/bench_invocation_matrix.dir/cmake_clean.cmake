@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_invocation_matrix"
+  "../bench/bench_invocation_matrix.pdb"
+  "CMakeFiles/bench_invocation_matrix.dir/bench_invocation_matrix.cpp.o"
+  "CMakeFiles/bench_invocation_matrix.dir/bench_invocation_matrix.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_invocation_matrix.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_lrpc"
+  "../bench/bench_lrpc.pdb"
+  "CMakeFiles/bench_lrpc.dir/bench_lrpc.cpp.o"
+  "CMakeFiles/bench_lrpc.dir/bench_lrpc.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_lrpc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

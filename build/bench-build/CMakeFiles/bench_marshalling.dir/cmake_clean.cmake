@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_marshalling"
+  "../bench/bench_marshalling.pdb"
+  "CMakeFiles/bench_marshalling.dir/bench_marshalling.cpp.o"
+  "CMakeFiles/bench_marshalling.dir/bench_marshalling.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_marshalling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

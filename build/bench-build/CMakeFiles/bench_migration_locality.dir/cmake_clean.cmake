@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_migration_locality"
+  "../bench/bench_migration_locality.pdb"
+  "CMakeFiles/bench_migration_locality.dir/bench_migration_locality.cpp.o"
+  "CMakeFiles/bench_migration_locality.dir/bench_migration_locality.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_migration_locality.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

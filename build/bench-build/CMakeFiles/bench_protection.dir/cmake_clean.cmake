@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_protection"
+  "../bench/bench_protection.pdb"
+  "CMakeFiles/bench_protection.dir/bench_protection.cpp.o"
+  "CMakeFiles/bench_protection.dir/bench_protection.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_protection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_protocol_swap"
+  "../bench/bench_protocol_swap.pdb"
+  "CMakeFiles/bench_protocol_swap.dir/bench_protocol_swap.cpp.o"
+  "CMakeFiles/bench_protocol_swap.dir/bench_protocol_swap.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_protocol_swap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../examples/file_cache"
+  "../examples/file_cache.pdb"
+  "CMakeFiles/file_cache.dir/file_cache.cpp.o"
+  "CMakeFiles/file_cache.dir/file_cache.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/file_cache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../examples/migration_demo"
+  "../examples/migration_demo.pdb"
+  "CMakeFiles/migration_demo.dir/migration_demo.cpp.o"
+  "CMakeFiles/migration_demo.dir/migration_demo.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/migration_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../examples/naming_walk"
+  "../examples/naming_walk.pdb"
+  "CMakeFiles/naming_walk.dir/naming_walk.cpp.o"
+  "CMakeFiles/naming_walk.dir/naming_walk.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/naming_walk.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../examples/protocol_swap"
+  "../examples/protocol_swap.pdb"
+  "CMakeFiles/protocol_swap.dir/protocol_swap.cpp.o"
+  "CMakeFiles/protocol_swap.dir/protocol_swap.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/protocol_swap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/proxy_common.dir/hexdump.cpp.o"
+  "CMakeFiles/proxy_common.dir/hexdump.cpp.o.d"
+  "CMakeFiles/proxy_common.dir/id.cpp.o"
+  "CMakeFiles/proxy_common.dir/id.cpp.o.d"
+  "CMakeFiles/proxy_common.dir/log.cpp.o"
+  "CMakeFiles/proxy_common.dir/log.cpp.o.d"
+  "CMakeFiles/proxy_common.dir/rng.cpp.o"
+  "CMakeFiles/proxy_common.dir/rng.cpp.o.d"
+  "CMakeFiles/proxy_common.dir/status.cpp.o"
+  "CMakeFiles/proxy_common.dir/status.cpp.o.d"
+  "libproxy_common.a"
+  "libproxy_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/proxy_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/proxy_core.dir/factory.cpp.o"
+  "CMakeFiles/proxy_core.dir/factory.cpp.o.d"
+  "CMakeFiles/proxy_core.dir/migration.cpp.o"
+  "CMakeFiles/proxy_core.dir/migration.cpp.o.d"
+  "CMakeFiles/proxy_core.dir/runtime.cpp.o"
+  "CMakeFiles/proxy_core.dir/runtime.cpp.o.d"
+  "libproxy_core.a"
+  "libproxy_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/proxy_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/proxy_naming.dir/client.cpp.o"
+  "CMakeFiles/proxy_naming.dir/client.cpp.o.d"
+  "CMakeFiles/proxy_naming.dir/server.cpp.o"
+  "CMakeFiles/proxy_naming.dir/server.cpp.o.d"
+  "libproxy_naming.a"
+  "libproxy_naming.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/proxy_naming.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libproxy_naming.a"
+)

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/net/endpoint.cpp" "src/net/CMakeFiles/proxy_net.dir/endpoint.cpp.o" "gcc" "src/net/CMakeFiles/proxy_net.dir/endpoint.cpp.o.d"
+  "/root/repo/src/net/reliable.cpp" "src/net/CMakeFiles/proxy_net.dir/reliable.cpp.o" "gcc" "src/net/CMakeFiles/proxy_net.dir/reliable.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/proxy_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/proxy_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/serde/CMakeFiles/proxy_serde.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/proxy_net.dir/endpoint.cpp.o"
+  "CMakeFiles/proxy_net.dir/endpoint.cpp.o.d"
+  "CMakeFiles/proxy_net.dir/reliable.cpp.o"
+  "CMakeFiles/proxy_net.dir/reliable.cpp.o.d"
+  "libproxy_net.a"
+  "libproxy_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/proxy_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/proxy_rpc.dir/client.cpp.o"
+  "CMakeFiles/proxy_rpc.dir/client.cpp.o.d"
+  "CMakeFiles/proxy_rpc.dir/frame.cpp.o"
+  "CMakeFiles/proxy_rpc.dir/frame.cpp.o.d"
+  "CMakeFiles/proxy_rpc.dir/server.cpp.o"
+  "CMakeFiles/proxy_rpc.dir/server.cpp.o.d"
+  "libproxy_rpc.a"
+  "libproxy_rpc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/proxy_rpc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

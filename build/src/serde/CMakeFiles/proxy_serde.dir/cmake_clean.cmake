@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/proxy_serde.dir/message.cpp.o"
+  "CMakeFiles/proxy_serde.dir/message.cpp.o.d"
+  "CMakeFiles/proxy_serde.dir/wire.cpp.o"
+  "CMakeFiles/proxy_serde.dir/wire.cpp.o.d"
+  "libproxy_serde.a"
+  "libproxy_serde.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/proxy_serde.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/proxy_services.dir/counter.cpp.o"
+  "CMakeFiles/proxy_services.dir/counter.cpp.o.d"
+  "CMakeFiles/proxy_services.dir/file.cpp.o"
+  "CMakeFiles/proxy_services.dir/file.cpp.o.d"
+  "CMakeFiles/proxy_services.dir/kv.cpp.o"
+  "CMakeFiles/proxy_services.dir/kv.cpp.o.d"
+  "CMakeFiles/proxy_services.dir/lock.cpp.o"
+  "CMakeFiles/proxy_services.dir/lock.cpp.o.d"
+  "CMakeFiles/proxy_services.dir/register_all.cpp.o"
+  "CMakeFiles/proxy_services.dir/register_all.cpp.o.d"
+  "CMakeFiles/proxy_services.dir/replicated_kv.cpp.o"
+  "CMakeFiles/proxy_services.dir/replicated_kv.cpp.o.d"
+  "CMakeFiles/proxy_services.dir/spooler.cpp.o"
+  "CMakeFiles/proxy_services.dir/spooler.cpp.o.d"
+  "libproxy_services.a"
+  "libproxy_services.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/proxy_services.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

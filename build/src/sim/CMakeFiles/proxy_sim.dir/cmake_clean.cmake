@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/proxy_sim.dir/network.cpp.o"
+  "CMakeFiles/proxy_sim.dir/network.cpp.o.d"
+  "CMakeFiles/proxy_sim.dir/scheduler.cpp.o"
+  "CMakeFiles/proxy_sim.dir/scheduler.cpp.o.d"
+  "libproxy_sim.a"
+  "libproxy_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/proxy_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cache_batcher_test.dir/cache_batcher_test.cpp.o"
+  "CMakeFiles/cache_batcher_test.dir/cache_batcher_test.cpp.o.d"
+  "cache_batcher_test"
+  "cache_batcher_test.pdb"
+  "cache_batcher_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cache_batcher_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

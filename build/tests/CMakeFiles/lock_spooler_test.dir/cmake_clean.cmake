@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lock_spooler_test.dir/lock_spooler_test.cpp.o"
+  "CMakeFiles/lock_spooler_test.dir/lock_spooler_test.cpp.o.d"
+  "lock_spooler_test"
+  "lock_spooler_test.pdb"
+  "lock_spooler_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lock_spooler_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/versioned_lease_test.dir/versioned_lease_test.cpp.o"
+  "CMakeFiles/versioned_lease_test.dir/versioned_lease_test.cpp.o.d"
+  "versioned_lease_test"
+  "versioned_lease_test.pdb"
+  "versioned_lease_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/versioned_lease_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
