@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_fault_recovery.cpp" "bench-build/CMakeFiles/bench_fault_recovery.dir/bench_fault_recovery.cpp.o" "gcc" "bench-build/CMakeFiles/bench_fault_recovery.dir/bench_fault_recovery.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/services/CMakeFiles/proxy_services.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/proxy_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/naming/CMakeFiles/proxy_naming.dir/DependInfo.cmake"
+  "/root/repo/build/src/rpc/CMakeFiles/proxy_rpc.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/proxy_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/serde/CMakeFiles/proxy_serde.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/proxy_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/proxy_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -218,14 +218,14 @@ examples-build/CMakeFiles/quickstart.dir/quickstart.cpp.o: \
  /root/repo/src/common/status.h /usr/include/c++/12/variant \
  /usr/include/c++/12/bits/parse_numbers.h /root/repo/src/serde/reader.h \
  /root/repo/src/serde/wire.h /root/repo/src/serde/writer.h \
- /root/repo/src/core/runtime.h /root/repo/src/common/rng.h \
- /root/repo/src/naming/client.h /root/repo/src/naming/protocol.h \
- /root/repo/src/rpc/stub.h /root/repo/src/rpc/client.h \
- /root/repo/src/net/endpoint.h /root/repo/src/sim/network.h \
- /root/repo/src/sim/scheduler.h /usr/include/c++/12/queue \
- /usr/include/c++/12/deque /usr/include/c++/12/bits/stl_deque.h \
- /usr/include/c++/12/bits/deque.tcc /usr/include/c++/12/bits/stl_queue.h \
- /usr/include/c++/12/unordered_set \
+ /root/repo/src/core/proxy.h /root/repo/src/core/runtime.h \
+ /root/repo/src/common/rng.h /root/repo/src/naming/client.h \
+ /root/repo/src/naming/protocol.h /root/repo/src/rpc/stub.h \
+ /root/repo/src/rpc/client.h /root/repo/src/net/endpoint.h \
+ /root/repo/src/sim/network.h /root/repo/src/sim/scheduler.h \
+ /usr/include/c++/12/queue /usr/include/c++/12/deque \
+ /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
+ /usr/include/c++/12/bits/stl_queue.h /usr/include/c++/12/unordered_set \
  /usr/include/c++/12/bits/unordered_set.h /root/repo/src/rpc/frame.h \
  /root/repo/src/sim/future.h /usr/include/c++/12/cassert \
  /usr/include/assert.h /usr/include/c++/12/coroutine \
@@ -234,5 +234,4 @@ examples-build/CMakeFiles/quickstart.dir/quickstart.cpp.o: \
  /root/repo/src/core/batcher.h /root/repo/src/core/cache.h \
  /usr/include/c++/12/list /usr/include/c++/12/bits/stl_list.h \
  /usr/include/c++/12/bits/list.tcc /root/repo/src/core/export.h \
- /root/repo/src/core/migration.h /root/repo/src/core/proxy.h \
- /root/repo/src/services/register_all.h
+ /root/repo/src/core/migration.h /root/repo/src/services/register_all.h

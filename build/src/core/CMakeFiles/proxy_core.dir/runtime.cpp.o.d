@@ -233,4 +233,4 @@ src/core/CMakeFiles/proxy_core.dir/runtime.cpp.o: \
  /usr/include/c++/12/sstream /usr/include/c++/12/istream \
  /usr/include/c++/12/bits/istream.tcc \
  /usr/include/c++/12/bits/sstream.tcc /root/repo/src/core/migration.h \
- /root/repo/src/core/factory.h
+ /root/repo/src/core/factory.h /root/repo/src/core/proxy.h

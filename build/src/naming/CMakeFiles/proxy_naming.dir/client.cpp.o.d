@@ -151,7 +151,8 @@ src/naming/CMakeFiles/proxy_naming.dir/client.cpp.o: \
  /usr/include/c++/12/bits/parse_numbers.h /root/repo/src/serde/reader.h \
  /root/repo/src/serde/wire.h /root/repo/src/serde/writer.h \
  /root/repo/src/rpc/stub.h /root/repo/src/rpc/client.h \
- /root/repo/src/net/endpoint.h /usr/include/c++/12/memory \
+ /root/repo/src/common/rng.h /root/repo/src/net/endpoint.h \
+ /usr/include/c++/12/memory \
  /usr/include/c++/12/bits/stl_raw_storage_iter.h \
  /usr/include/c++/12/bits/align.h /usr/include/c++/12/bit \
  /usr/include/c++/12/bits/unique_ptr.h /usr/include/c++/12/ostream \
@@ -221,10 +222,10 @@ src/naming/CMakeFiles/proxy_naming.dir/client.cpp.o: \
  /usr/include/c++/12/bits/uses_allocator_args.h \
  /usr/include/c++/12/pstl/glue_memory_defs.h \
  /usr/include/c++/12/pstl/execution_defs.h /root/repo/src/sim/network.h \
- /root/repo/src/common/rng.h /root/repo/src/sim/scheduler.h \
- /usr/include/c++/12/queue /usr/include/c++/12/deque \
- /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
- /usr/include/c++/12/bits/stl_queue.h /usr/include/c++/12/unordered_set \
+ /root/repo/src/sim/scheduler.h /usr/include/c++/12/queue \
+ /usr/include/c++/12/deque /usr/include/c++/12/bits/stl_deque.h \
+ /usr/include/c++/12/bits/deque.tcc /usr/include/c++/12/bits/stl_queue.h \
+ /usr/include/c++/12/unordered_set \
  /usr/include/c++/12/bits/unordered_set.h /root/repo/src/rpc/frame.h \
  /root/repo/src/sim/future.h /usr/include/c++/12/cassert \
  /usr/include/assert.h /usr/include/c++/12/coroutine \

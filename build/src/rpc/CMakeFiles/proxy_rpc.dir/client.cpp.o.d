@@ -131,9 +131,9 @@ src/rpc/CMakeFiles/proxy_rpc.dir/client.cpp.o: \
  /usr/include/c++/12/bits/stl_uninitialized.h \
  /usr/include/c++/12/bits/stl_vector.h \
  /usr/include/c++/12/bits/stl_bvector.h \
- /usr/include/c++/12/bits/vector.tcc /root/repo/src/common/status.h \
- /usr/include/c++/12/optional /usr/include/c++/12/exception \
- /usr/include/c++/12/bits/exception_ptr.h \
+ /usr/include/c++/12/bits/vector.tcc /root/repo/src/common/rng.h \
+ /root/repo/src/common/status.h /usr/include/c++/12/optional \
+ /usr/include/c++/12/exception /usr/include/c++/12/bits/exception_ptr.h \
  /usr/include/c++/12/bits/cxxabi_init_exception.h \
  /usr/include/c++/12/typeinfo /usr/include/c++/12/bits/nested_exception.h \
  /usr/include/c++/12/utility /usr/include/c++/12/bits/stl_relops.h \
@@ -220,13 +220,16 @@ src/rpc/CMakeFiles/proxy_rpc.dir/client.cpp.o: \
  /usr/include/c++/12/bits/stl_multimap.h /root/repo/src/common/clock.h \
  /root/repo/src/serde/reader.h /root/repo/src/serde/wire.h \
  /root/repo/src/serde/writer.h /root/repo/src/sim/network.h \
- /root/repo/src/common/rng.h /root/repo/src/sim/scheduler.h \
- /usr/include/c++/12/queue /usr/include/c++/12/deque \
- /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
- /usr/include/c++/12/bits/stl_queue.h /usr/include/c++/12/unordered_set \
+ /root/repo/src/sim/scheduler.h /usr/include/c++/12/queue \
+ /usr/include/c++/12/deque /usr/include/c++/12/bits/stl_deque.h \
+ /usr/include/c++/12/bits/deque.tcc /usr/include/c++/12/bits/stl_queue.h \
+ /usr/include/c++/12/unordered_set \
  /usr/include/c++/12/bits/unordered_set.h /root/repo/src/rpc/frame.h \
  /root/repo/src/sim/future.h /usr/include/c++/12/cassert \
  /usr/include/assert.h /usr/include/c++/12/coroutine \
+ /usr/include/c++/12/algorithm /usr/include/c++/12/bits/ranges_algo.h \
+ /usr/include/c++/12/bits/ranges_util.h \
+ /usr/include/c++/12/pstl/glue_algorithm_defs.h \
  /root/repo/src/common/log.h /usr/include/c++/12/sstream \
  /usr/include/c++/12/istream /usr/include/c++/12/bits/istream.tcc \
  /usr/include/c++/12/bits/sstream.tcc

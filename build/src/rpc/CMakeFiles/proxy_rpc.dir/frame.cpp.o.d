@@ -123,9 +123,9 @@ src/rpc/CMakeFiles/proxy_rpc.dir/frame.cpp.o: \
  /usr/include/c++/12/bits/stl_uninitialized.h \
  /usr/include/c++/12/bits/stl_vector.h \
  /usr/include/c++/12/bits/stl_bvector.h \
- /usr/include/c++/12/bits/vector.tcc /root/repo/src/common/id.h \
- /usr/include/c++/12/functional /usr/include/c++/12/tuple \
- /usr/include/c++/12/bits/uses_allocator.h \
+ /usr/include/c++/12/bits/vector.tcc /root/repo/src/common/clock.h \
+ /root/repo/src/common/id.h /usr/include/c++/12/functional \
+ /usr/include/c++/12/tuple /usr/include/c++/12/bits/uses_allocator.h \
  /usr/include/c++/12/bits/std_function.h /usr/include/c++/12/typeinfo \
  /usr/include/c++/12/unordered_map \
  /usr/include/c++/12/ext/aligned_buffer.h \
@@ -147,6 +147,6 @@ src/rpc/CMakeFiles/proxy_rpc.dir/frame.cpp.o: \
  /usr/include/c++/12/bits/parse_numbers.h /root/repo/src/serde/traits.h \
  /usr/include/c++/12/map /usr/include/c++/12/bits/stl_tree.h \
  /usr/include/c++/12/bits/stl_map.h \
- /usr/include/c++/12/bits/stl_multimap.h /root/repo/src/common/clock.h \
- /root/repo/src/serde/reader.h /root/repo/src/serde/wire.h \
- /root/repo/src/serde/writer.h
+ /usr/include/c++/12/bits/stl_multimap.h /root/repo/src/serde/reader.h \
+ /root/repo/src/serde/wire.h /root/repo/src/serde/writer.h \
+ /root/repo/src/serde/versioned.h

@@ -229,12 +229,12 @@ src/services/CMakeFiles/proxy_services.dir/file.cpp.o: \
  /usr/include/c++/12/cstddef /root/repo/src/serde/reader.h \
  /root/repo/src/serde/wire.h /root/repo/src/serde/writer.h \
  /root/repo/src/core/migration.h /root/repo/src/core/factory.h \
- /root/repo/src/core/runtime.h /root/repo/src/common/rng.h \
- /root/repo/src/naming/client.h /root/repo/src/naming/protocol.h \
- /root/repo/src/rpc/stub.h /root/repo/src/rpc/client.h \
- /root/repo/src/net/endpoint.h /root/repo/src/sim/network.h \
- /root/repo/src/rpc/frame.h /root/repo/src/rpc/server.h \
- /root/repo/src/naming/server.h /root/repo/src/core/proxy.h \
+ /root/repo/src/core/proxy.h /root/repo/src/core/runtime.h \
+ /root/repo/src/common/rng.h /root/repo/src/naming/client.h \
+ /root/repo/src/naming/protocol.h /root/repo/src/rpc/stub.h \
+ /root/repo/src/rpc/client.h /root/repo/src/net/endpoint.h \
+ /root/repo/src/sim/network.h /root/repo/src/rpc/frame.h \
+ /root/repo/src/rpc/server.h /root/repo/src/naming/server.h \
  /usr/include/c++/12/algorithm /usr/include/c++/12/bits/ranges_algo.h \
  /usr/include/c++/12/bits/ranges_util.h \
  /usr/include/c++/12/pstl/glue_algorithm_defs.h

@@ -300,20 +300,19 @@ tests/CMakeFiles/core_test.dir/core_test.cpp.o: \
  /root/repo/src/common/status.h /root/repo/src/serde/reader.h \
  /root/repo/src/serde/wire.h /root/repo/src/serde/writer.h \
  /root/repo/src/core/migration.h /root/repo/src/core/factory.h \
- /root/repo/src/core/runtime.h /root/repo/src/common/rng.h \
- /root/repo/src/naming/client.h /root/repo/src/naming/protocol.h \
- /root/repo/src/rpc/stub.h /root/repo/src/rpc/client.h \
- /root/repo/src/net/endpoint.h /root/repo/src/sim/network.h \
- /root/repo/src/sim/scheduler.h /usr/include/c++/12/queue \
- /usr/include/c++/12/deque /usr/include/c++/12/bits/stl_deque.h \
- /usr/include/c++/12/bits/deque.tcc /usr/include/c++/12/bits/stl_queue.h \
- /usr/include/c++/12/unordered_set \
+ /root/repo/src/core/proxy.h /root/repo/src/core/runtime.h \
+ /root/repo/src/common/rng.h /root/repo/src/naming/client.h \
+ /root/repo/src/naming/protocol.h /root/repo/src/rpc/stub.h \
+ /root/repo/src/rpc/client.h /root/repo/src/net/endpoint.h \
+ /root/repo/src/sim/network.h /root/repo/src/sim/scheduler.h \
+ /usr/include/c++/12/queue /usr/include/c++/12/deque \
+ /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
+ /usr/include/c++/12/bits/stl_queue.h /usr/include/c++/12/unordered_set \
  /usr/include/c++/12/bits/unordered_set.h /root/repo/src/rpc/frame.h \
  /root/repo/src/sim/future.h /usr/include/c++/12/coroutine \
  /root/repo/src/rpc/server.h /root/repo/src/sim/task.h \
  /root/repo/src/naming/server.h /root/repo/src/services/counter.h \
- /root/repo/src/core/proxy.h /root/repo/src/services/kv.h \
- /root/repo/src/core/batcher.h /root/repo/src/core/cache.h \
- /usr/include/c++/12/list /usr/include/c++/12/bits/stl_list.h \
- /usr/include/c++/12/bits/list.tcc /root/repo/tests/test_util.h \
- /root/repo/src/services/register_all.h
+ /root/repo/src/services/kv.h /root/repo/src/core/batcher.h \
+ /root/repo/src/core/cache.h /usr/include/c++/12/list \
+ /usr/include/c++/12/bits/stl_list.h /usr/include/c++/12/bits/list.tcc \
+ /root/repo/tests/test_util.h /root/repo/src/services/register_all.h

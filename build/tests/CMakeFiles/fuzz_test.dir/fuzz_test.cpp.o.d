@@ -311,8 +311,8 @@ tests/CMakeFiles/fuzz_test.dir/fuzz_test.cpp.o: \
  /root/repo/src/core/cache.h /usr/include/c++/12/list \
  /usr/include/c++/12/bits/stl_list.h /usr/include/c++/12/bits/list.tcc \
  /root/repo/src/core/export.h /root/repo/src/core/migration.h \
- /root/repo/src/core/factory.h /root/repo/src/core/runtime.h \
- /root/repo/src/naming/client.h /root/repo/src/rpc/stub.h \
- /root/repo/src/rpc/client.h /root/repo/src/rpc/server.h \
- /root/repo/src/naming/server.h /root/repo/src/core/proxy.h \
+ /root/repo/src/core/factory.h /root/repo/src/core/proxy.h \
+ /root/repo/src/core/runtime.h /root/repo/src/naming/client.h \
+ /root/repo/src/rpc/stub.h /root/repo/src/rpc/client.h \
+ /root/repo/src/rpc/server.h /root/repo/src/naming/server.h \
  /root/repo/src/services/kv.h

@@ -311,4 +311,5 @@ tests/CMakeFiles/naming_test.dir/naming_test.cpp.o: \
  /root/repo/src/rpc/server.h /root/repo/src/sim/task.h \
  /root/repo/src/naming/server.h /root/repo/tests/test_util.h \
  /root/repo/src/core/export.h /root/repo/src/core/migration.h \
- /root/repo/src/core/factory.h /root/repo/src/services/register_all.h
+ /root/repo/src/core/factory.h /root/repo/src/core/proxy.h \
+ /root/repo/src/services/register_all.h

@@ -306,4 +306,5 @@ tests/CMakeFiles/rpc_test.dir/rpc_test.cpp.o: \
  /usr/include/c++/12/bits/unordered_set.h /root/repo/src/rpc/client.h \
  /root/repo/src/rpc/frame.h /root/repo/src/sim/future.h \
  /usr/include/c++/12/coroutine /root/repo/src/rpc/server.h \
- /root/repo/src/sim/task.h /root/repo/src/rpc/stub.h
+ /root/repo/src/sim/task.h /root/repo/src/rpc/stub.h \
+ /root/repo/src/serde/versioned.h

@@ -313,4 +313,4 @@ tests/CMakeFiles/versioned_lease_test.dir/versioned_lease_test.cpp.o: \
  /root/repo/src/naming/server.h /root/repo/src/serde/versioned.h \
  /root/repo/tests/test_util.h /root/repo/src/core/export.h \
  /root/repo/src/core/migration.h /root/repo/src/core/factory.h \
- /root/repo/src/services/register_all.h
+ /root/repo/src/core/proxy.h /root/repo/src/services/register_all.h

@@ -22,5 +22,6 @@ include("/root/repo/build/tests/integration_test[1]_include.cmake")
 include("/root/repo/build/tests/property_test[1]_include.cmake")
 include("/root/repo/build/tests/replication_test[1]_include.cmake")
 include("/root/repo/build/tests/versioned_lease_test[1]_include.cmake")
+include("/root/repo/build/tests/fault_injection_test[1]_include.cmake")
 include("/root/repo/build/tests/fuzz_test[1]_include.cmake")
 include("/root/repo/build/tests/edge_cases_test[1]_include.cmake")

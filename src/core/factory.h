@@ -21,6 +21,7 @@
 #include <unordered_map>
 
 #include "core/binding.h"
+#include "core/proxy.h"
 #include "core/runtime.h"
 #include "sim/task.h"
 
@@ -130,11 +131,26 @@ sim::Co<Result<std::shared_ptr<I>>> Bind(Context& context, std::string path,
     Result<ServiceBinding> binding =
         co_await context.cached_names().ResolvePath(path);
     if (!binding.ok()) co_return binding.status();
-    co_return BindObject<I>(context, std::move(*binding), options);
+    Result<std::shared_ptr<I>> bound =
+        BindObject<I>(context, std::move(*binding), options);
+    if (bound.ok()) {
+      // Name-bound proxies can re-resolve after a host failure.
+      if (auto* proxy = dynamic_cast<ProxyBase*>(bound->get())) {
+        proxy->set_name_path(path);
+      }
+    }
+    co_return bound;
   }
   Result<ServiceBinding> binding = co_await context.names().ResolvePath(path);
   if (!binding.ok()) co_return binding.status();
-  co_return BindObject<I>(context, std::move(*binding), options);
+  Result<std::shared_ptr<I>> bound =
+      BindObject<I>(context, std::move(*binding), options);
+  if (bound.ok()) {
+    if (auto* proxy = dynamic_cast<ProxyBase*>(bound->get())) {
+      proxy->set_name_path(path);
+    }
+  }
+  co_return bound;
 }
 
 }  // namespace proxy::core

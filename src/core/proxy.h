@@ -2,11 +2,18 @@
 //
 // A proxy lives in the client's context, implements the service's
 // interface, and encapsulates the service's distribution protocol. The
-// base class provides the one behaviour every proxy shares: transparent
-// recovery when the target migrates. A call that comes back OBJECT_MOVED
-// carries a forwarding hint (an encoded ServiceBinding); the proxy
-// rebinds and retries, following forwarding chains up to a bounded depth,
-// without the client ever observing the move.
+// base class provides the behaviour every proxy shares: transparent
+// recovery when the target moves or its host becomes unreachable.
+//
+// A call that comes back OBJECT_MOVED carries a forwarding hint (an
+// encoded ServiceBinding); the proxy rebinds and retries, following
+// forwarding chains up to a bounded depth, without the client ever
+// observing the move. A call that fails with TIMEOUT/UNAVAILABLE — the
+// host may be partitioned away or gone for good — triggers one
+// re-resolution through the name service (when the proxy knows the name
+// it was bound under): if the authoritative binding has changed, the
+// proxy adopts it and retries instead of erroring forever against a dead
+// address.
 //
 // Everything beyond that — caching, batching, write-back, migrate-on-use
 // — is a subclass's private protocol with its service (see
@@ -14,6 +21,7 @@
 #pragma once
 
 #include <cstdint>
+#include <string>
 #include <utility>
 
 #include "core/binding.h"
@@ -29,6 +37,7 @@ struct ProxyStats {
   std::uint64_t calls = 0;
   std::uint64_t rebinds = 0;       // OBJECT_MOVED recoveries
   std::uint64_t failed_calls = 0;  // non-OK outcomes surfaced to the client
+  std::uint64_t recoveries = 0;    // name-service rebinds after a failure
 };
 
 class ProxyBase {
@@ -53,6 +62,14 @@ class ProxyBase {
     options_ = options;
   }
 
+  /// Remembers the name-service path this proxy was bound under, enabling
+  /// re-resolution when the host stops answering. Set by Bind(); empty
+  /// (no failure rebinding) for proxies built from a raw binding.
+  void set_name_path(std::string path) { name_path_ = std::move(path); }
+  [[nodiscard]] const std::string& name_path() const noexcept {
+    return name_path_;
+  }
+
  protected:
   /// Typed remote call with transparent rebinding on OBJECT_MOVED.
   template <typename Resp, typename Req>
@@ -66,24 +83,47 @@ class ProxyBase {
   /// Untyped variant for proxies that marshal manually.
   sim::Co<Result<Bytes>> CallRaw(std::uint32_t method, Bytes args) {
     stats_.calls++;
+    bool recovery_tried = false;
     for (int hop = 0; hop <= kMaxForwardHops; ++hop) {
       rpc::RpcResult raw = co_await context_->client().Call(
           binding_.server, binding_.object, method, args, options_);
       if (raw.ok()) co_return std::move(raw.payload);
-      if (raw.status.code() != StatusCode::kObjectMoved) {
-        stats_.failed_calls++;
-        co_return raw.status;
+      if (raw.status.code() == StatusCode::kObjectMoved) {
+        // Follow the forwarding hint: adopt the new binding and retry.
+        Result<ServiceBinding> fwd =
+            serde::DecodeFromBytes<ServiceBinding>(View(raw.payload));
+        if (!fwd.ok()) {
+          stats_.failed_calls++;
+          co_return fwd.status();
+        }
+        stats_.rebinds++;
+        binding_.server = fwd->server;
+        binding_.object = fwd->object;
+        continue;
       }
-      // Follow the forwarding hint: adopt the new binding and retry.
-      Result<ServiceBinding> fwd =
-          serde::DecodeFromBytes<ServiceBinding>(View(raw.payload));
-      if (!fwd.ok()) {
-        stats_.failed_calls++;
-        co_return fwd.status();
+      // The host stopped answering (or the breaker declared it down):
+      // ask the name service where the object lives *now*. The cached
+      // entry is what just failed, so bypass the cache. A single attempt
+      // per call: if the fresh binding is unchanged the failure stands.
+      if ((raw.status.code() == StatusCode::kTimeout ||
+           raw.status.code() == StatusCode::kUnavailable) &&
+          !name_path_.empty() && !recovery_tried) {
+        recovery_tried = true;
+        context_->cached_names().Invalidate(name_path_);
+        Result<ServiceBinding> fresh =
+            co_await context_->names().ResolvePath(name_path_);
+        if (fresh.ok() && fresh->interface == binding_.interface &&
+            !(fresh->server == binding_.server &&
+              fresh->object == binding_.object)) {
+          stats_.rebinds++;
+          stats_.recoveries++;
+          binding_.server = fresh->server;
+          binding_.object = fresh->object;
+          continue;
+        }
       }
-      stats_.rebinds++;
-      binding_.server = fwd->server;
-      binding_.object = fwd->object;
+      stats_.failed_calls++;
+      co_return raw.status;
     }
     stats_.failed_calls++;
     co_return UnavailableError("forwarding chain exceeded " +
@@ -96,6 +136,7 @@ class ProxyBase {
   Context* context_;
   ServiceBinding binding_;
   ProxyStats stats_;
+  std::string name_path_;
 };
 
 }  // namespace proxy::core

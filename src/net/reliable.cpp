@@ -6,6 +6,19 @@
 
 namespace proxy::net {
 
+namespace {
+
+Bytes EncodeSeqMessage(std::uint8_t type, std::uint64_t seq,
+                       const Bytes* payload) {
+  serde::Writer w;
+  w.WriteU8(type);
+  w.WriteVarint(seq);
+  if (payload != nullptr) w.WriteBytes(View(*payload));
+  return w.Take();
+}
+
+}  // namespace
+
 ReliableChannel::ReliableChannel(Endpoint& endpoint, Params params)
     : endpoint_(&endpoint), params_(params) {
   endpoint_->SetHandler([this](const Address& from, Bytes payload) {
@@ -19,18 +32,52 @@ Status ReliableChannel::Send(const Address& to, Bytes payload) {
   if (st.in_flight.size() >= params_.window) {
     return ResourceExhaustedError("ARQ window full");
   }
-  const std::uint64_t seq = st.next_seq++;
-  st.in_flight.push_back(std::move(payload));
-
-  // Transmit immediately (the whole window is always in flight).
-  serde::Writer w;
-  w.WriteU8(static_cast<std::uint8_t>(MsgType::kData));
-  w.WriteVarint(seq);
-  w.WriteBytes(View(st.in_flight.back()));
+  // Transmit immediately (the whole window is always in flight) — and
+  // only on success queue the payload and consume a sequence number. A
+  // local send failure must leave no trace, or the caller would see an
+  // error while the message stays queued for retransmission and the peer
+  // receives it anyway.
+  PROXY_RETURN_IF_ERROR(endpoint_->Send(
+      to, EncodeSeqMessage(static_cast<std::uint8_t>(MsgType::kData),
+                           st.next_seq, &payload)));
   stats_.data_sent++;
-  PROXY_RETURN_IF_ERROR(endpoint_->Send(to, w.Take()));
+  st.next_seq++;
+  st.in_flight.push_back(std::move(payload));
   if (st.timer == sim::kInvalidTimer) ArmTimer(to, st);
   return Status::Ok();
+}
+
+Status ReliableChannel::Probe(const Address& to) {
+  const auto it = senders_.find(to);
+  if (it == senders_.end() || !it->second.failed) {
+    return FailedPreconditionError("peer is not in the failed state");
+  }
+  SendProbe(to, it->second);
+  return Status::Ok();
+}
+
+void ReliableChannel::ResetPeer(const Address& peer) {
+  const auto it = senders_.find(peer);
+  if (it == senders_.end()) return;
+  SendState& st = it->second;
+  if (st.timer != sim::kInvalidTimer) {
+    endpoint_->scheduler().Cancel(st.timer);
+    st.timer = sim::kInvalidTimer;
+  }
+  // Drop unacknowledged state but keep the sequence space monotonic: the
+  // resync probe moves the receiver's `expected` forward to the new base,
+  // so the two sides agree again without replaying stale duplicates.
+  st.in_flight.clear();
+  st.base = st.next_seq;
+  st.retries = 0;
+  st.probes = 0;
+  st.failed = false;
+  SendProbe(peer, st);
+}
+
+bool ReliableChannel::IsFailed(const Address& peer) const {
+  const auto it = senders_.find(peer);
+  return it != senders_.end() && it->second.failed;
 }
 
 std::size_t ReliableChannel::OutstandingTo(const Address& to) const {
@@ -51,6 +98,10 @@ void ReliableChannel::OnDatagram(const Address& from, Bytes payload) {
     std::uint64_t ack = 0;
     if (!r.ReadVarint(ack).ok()) return;
     OnAck(from, ack);
+  } else if (type == static_cast<std::uint8_t>(MsgType::kProbe)) {
+    std::uint64_t seq = 0;
+    if (!r.ReadVarint(seq).ok()) return;
+    OnProbe(from, seq);
   }
 }
 
@@ -91,6 +142,12 @@ void ReliableChannel::OnAck(const Address& from, std::uint64_t ack) {
   const auto it = senders_.find(from);
   if (it == senders_.end()) return;
   SendState& st = it->second;
+  if (st.failed) {
+    // Any ack at or past the (advanced) base proves the peer healed and
+    // is synchronized with our sequence space.
+    if (ack >= st.base) Recover(from, st);
+    return;
+  }
   if (ack <= st.base) return;  // stale
   const std::uint64_t advanced = std::min(ack, st.next_seq) - st.base;
   for (std::uint64_t i = 0; i < advanced && !st.in_flight.empty(); ++i) {
@@ -105,20 +162,31 @@ void ReliableChannel::OnAck(const Address& from, std::uint64_t ack) {
   if (!st.in_flight.empty()) ArmTimer(from, st);
 }
 
+void ReliableChannel::OnProbe(const Address& from, std::uint64_t seq) {
+  // Resync: the sender dropped everything below `seq`; expecting less
+  // would deadlock both sides. Never move backwards — a stale probe
+  // reordered behind fresh data must not reopen the duplicate window.
+  RecvState& st = receivers_[from];
+  if (seq > st.expected) {
+    st.expected = seq;
+    st.out_of_order.erase(st.out_of_order.begin(),
+                          st.out_of_order.lower_bound(seq));
+  }
+  SendAck(from, st.expected);
+}
+
 void ReliableChannel::TransmitWindow(const Address& to, SendState& st,
                                      bool is_retransmit) {
   std::uint64_t seq = st.base;
   for (const Bytes& payload : st.in_flight) {
-    serde::Writer w;
-    w.WriteU8(static_cast<std::uint8_t>(MsgType::kData));
-    w.WriteVarint(seq++);
-    w.WriteBytes(View(payload));
     if (is_retransmit) {
       stats_.retransmits++;
     } else {
       stats_.data_sent++;
     }
-    (void)endpoint_->Send(to, w.Take());
+    (void)endpoint_->Send(
+        to, EncodeSeqMessage(static_cast<std::uint8_t>(MsgType::kData), seq++,
+                             &payload));
   }
 }
 
@@ -132,18 +200,70 @@ void ReliableChannel::OnTimeout(const Address& to) {
   if (it == senders_.end()) return;
   SendState& st = it->second;
   st.timer = sim::kInvalidTimer;
-  if (st.in_flight.empty()) return;
+  if (st.failed || st.in_flight.empty()) return;
   if (++st.retries > params_.max_retries) {
-    st.failed = true;
-    st.in_flight.clear();
-    stats_.peers_failed++;
-    PROXY_LOG(kInfo, endpoint_->scheduler().now(), "arq",
-              "peer " << to.ToString() << " declared unreachable");
-    if (on_failure_) on_failure_(to);
+    DeclareFailed(to, st);
     return;
   }
   TransmitWindow(to, st, /*is_retransmit=*/true);
   ArmTimer(to, st);
+}
+
+void ReliableChannel::DeclareFailed(const Address& to, SendState& st) {
+  st.failed = true;
+  // The queued messages are lost for good — advance the sequence window
+  // past them so a later recovery starts from agreed, monotonic counters
+  // instead of desyncing with the receiver's `expected`.
+  st.in_flight.clear();
+  st.base = st.next_seq;
+  st.retries = 0;
+  st.probes = 0;
+  stats_.peers_failed++;
+  PROXY_LOG(kInfo, endpoint_->scheduler().now(), "arq",
+            "peer " << to.ToString() << " declared unreachable");
+  if (on_failure_) on_failure_(to);
+  if (params_.probe_interval > 0) {
+    st.timer = endpoint_->scheduler().PostAfter(
+        params_.probe_interval, [this, to] { OnProbeTimer(to); });
+  }
+}
+
+void ReliableChannel::OnProbeTimer(const Address& to) {
+  const auto it = senders_.find(to);
+  if (it == senders_.end()) return;
+  SendState& st = it->second;
+  st.timer = sim::kInvalidTimer;
+  if (!st.failed) return;  // recovered in the meantime
+  if (params_.max_probes > 0 && st.probes >= params_.max_probes) {
+    PROXY_LOG(kInfo, endpoint_->scheduler().now(), "arq",
+              "giving up probing " << to.ToString());
+    return;
+  }
+  SendProbe(to, st);
+  st.timer = endpoint_->scheduler().PostAfter(
+      params_.probe_interval, [this, to] { OnProbeTimer(to); });
+}
+
+void ReliableChannel::SendProbe(const Address& to, SendState& st) {
+  st.probes++;
+  stats_.probes_sent++;
+  (void)endpoint_->Send(
+      to, EncodeSeqMessage(static_cast<std::uint8_t>(MsgType::kProbe),
+                           st.next_seq, nullptr));
+}
+
+void ReliableChannel::Recover(const Address& from, SendState& st) {
+  st.failed = false;
+  st.retries = 0;
+  st.probes = 0;
+  if (st.timer != sim::kInvalidTimer) {
+    endpoint_->scheduler().Cancel(st.timer);  // pending probe timer
+    st.timer = sim::kInvalidTimer;
+  }
+  stats_.peers_recovered++;
+  PROXY_LOG(kInfo, endpoint_->scheduler().now(), "arq",
+            "peer " << from.ToString() << " reachable again");
+  if (on_recovery_) on_recovery_(from);
 }
 
 void ReliableChannel::SendAck(const Address& to, std::uint64_t expected) {

@@ -5,6 +5,15 @@
 // transport used where a service needs an ordered stream (e.g. cache
 // invalidation callbacks); the RPC runtime instead does its own
 // retry/dedup because request/response needs no ordering.
+//
+// A peer that exhausts its retry budget is declared failed: its queued
+// messages are dropped (the failure handler tells the layer above) and
+// its sequence window is advanced past them, so the counters stay
+// monotonic. Failure is no longer terminal: the channel can probe the
+// peer (explicitly via Probe()/ResetPeer(), or automatically when
+// `probe_interval` is set) with a resync message carrying the sender's
+// next sequence number; an ack from the healed peer re-opens the lane and
+// fires the recovery handler.
 #pragma once
 
 #include <cstdint>
@@ -25,6 +34,12 @@ struct ArqParams {
   SimDuration retransmit_timeout = Milliseconds(10);
   int max_retries = 10;
   std::size_t window = 32;  // in-flight messages per peer
+  /// Probe cadence toward a failed peer; 0 disables automatic probing
+  /// (recovery then requires an explicit Probe()/ResetPeer()).
+  SimDuration probe_interval = 0;
+  /// Automatic probes sent per failure episode before giving up; 0 means
+  /// keep probing until the peer answers.
+  int max_probes = 0;
 };
 
 class ReliableChannel {
@@ -32,6 +47,8 @@ class ReliableChannel {
   using Handler = std::function<void(const Address& from, Bytes payload)>;
   /// Notified when a peer exhausts retries (e.g. partitioned away).
   using FailureHandler = std::function<void(const Address& peer)>;
+  /// Notified when a failed peer answers a probe and is reachable again.
+  using RecoveryHandler = std::function<void(const Address& peer)>;
 
   using Params = ArqParams;
 
@@ -42,6 +59,8 @@ class ReliableChannel {
     std::uint64_t duplicates_dropped = 0;
     std::uint64_t delivered = 0;
     std::uint64_t peers_failed = 0;
+    std::uint64_t peers_recovered = 0;
+    std::uint64_t probes_sent = 0;
   };
 
   /// Takes over the endpoint's handler.
@@ -54,10 +73,30 @@ class ReliableChannel {
   void SetFailureHandler(FailureHandler handler) {
     on_failure_ = std::move(handler);
   }
+  void SetRecoveryHandler(RecoveryHandler handler) {
+    on_recovery_ = std::move(handler);
+  }
 
   /// Queues `payload` for ordered delivery to `to`. Fails only if the
-  /// peer's send queue is full or the peer was already declared dead.
+  /// peer's send queue is full, the peer is currently declared dead, or
+  /// the local endpoint refuses the datagram (oversized, unknown node) —
+  /// in which case nothing is queued and the sequence space is untouched.
   Status Send(const Address& to, Bytes payload);
+
+  /// Sends one probe/resync datagram toward a failed peer. An ack from
+  /// the peer clears the failure and fires the recovery handler. Returns
+  /// FAILED_PRECONDITION if the peer is not in the failed state.
+  Status Probe(const Address& to);
+
+  /// Forcibly clears `peer`'s failure state and resynchronizes: pending
+  /// retransmission state is dropped, the sequence window advances past
+  /// it, and a resync probe tells the receiver to expect the new base.
+  /// The lane is immediately usable again (the normal retry path will
+  /// re-declare failure if the peer is still dead).
+  void ResetPeer(const Address& peer);
+
+  /// True while `peer` is declared unreachable.
+  [[nodiscard]] bool IsFailed(const Address& peer) const;
 
   [[nodiscard]] const Stats& stats() const noexcept { return stats_; }
 
@@ -65,7 +104,7 @@ class ReliableChannel {
   [[nodiscard]] std::size_t OutstandingTo(const Address& to) const;
 
  private:
-  enum class MsgType : std::uint8_t { kData = 1, kAck = 2 };
+  enum class MsgType : std::uint8_t { kData = 1, kAck = 2, kProbe = 3 };
 
   struct SendState {
     std::uint64_t next_seq = 0;   // next seq to assign
@@ -73,6 +112,7 @@ class ReliableChannel {
     std::deque<Bytes> in_flight;  // payloads [base, next_seq)
     sim::TimerId timer = sim::kInvalidTimer;
     int retries = 0;
+    int probes = 0;               // probes sent this failure episode
     bool failed = false;
   };
 
@@ -84,15 +124,21 @@ class ReliableChannel {
   void OnDatagram(const Address& from, Bytes payload);
   void OnData(const Address& from, std::uint64_t seq, Bytes payload);
   void OnAck(const Address& from, std::uint64_t ack);
+  void OnProbe(const Address& from, std::uint64_t seq);
   void TransmitWindow(const Address& to, SendState& st, bool is_retransmit);
   void ArmTimer(const Address& to, SendState& st);
   void OnTimeout(const Address& to);
+  void OnProbeTimer(const Address& to);
   void SendAck(const Address& to, std::uint64_t expected);
+  void SendProbe(const Address& to, SendState& st);
+  void DeclareFailed(const Address& to, SendState& st);
+  void Recover(const Address& from, SendState& st);
 
   Endpoint* endpoint_;
   Params params_;
   Handler handler_;
   FailureHandler on_failure_;
+  RecoveryHandler on_recovery_;
   Stats stats_;
   std::unordered_map<Address, SendState> senders_;
   std::unordered_map<Address, RecvState> receivers_;

@@ -1,5 +1,6 @@
 #include "rpc/client.h"
 
+#include <algorithm>
 #include <utility>
 
 #include "common/log.h"
@@ -7,10 +8,26 @@
 namespace proxy::rpc {
 
 RpcClient::RpcClient(net::Endpoint& endpoint, std::uint64_t nonce)
-    : endpoint_(&endpoint), nonce_(nonce) {
+    : RpcClient(endpoint, nonce, BreakerParams{}) {}
+
+RpcClient::RpcClient(net::Endpoint& endpoint, std::uint64_t nonce,
+                     BreakerParams breaker)
+    : endpoint_(&endpoint), nonce_(nonce), rng_(nonce ^ 0x9e3779b97f4a7c15ULL),
+      breaker_params_(breaker) {
   endpoint_->SetHandler([this](const net::Address& from, Bytes payload) {
     OnDatagram(from, std::move(payload));
   });
+}
+
+bool RpcClient::CircuitOpen(const net::Address& dest) const {
+  const auto it = breakers_.find(dest);
+  if (it == breakers_.end() || !it->second.open) return false;
+  const Breaker& br = it->second;
+  // Open but cooled down and not yet probing: the next call is admitted.
+  if (!br.probing && endpoint_->scheduler().now() >= br.open_until) {
+    return false;
+  }
+  return true;
 }
 
 sim::Future<RpcResult> RpcClient::Call(const net::Address& to,
@@ -20,20 +37,38 @@ sim::Future<RpcResult> RpcClient::Call(const net::Address& to,
   stats_.calls_started++;
   const std::uint64_t seq = next_seq_++;
 
+  auto [it, inserted] = pending_.try_emplace(seq, scheduler());
+  PendingCall& call = it->second;
+  call.dest = to;
+  call.options = options;
+  call.attempts = 1;
+
+  auto future = call.promise.future();
+
+  // Circuit breaker: while open, fail fast instead of feeding a retry
+  // storm into a partition. Once the cooldown elapses, exactly one call
+  // is admitted as the half-open probe.
+  Breaker& br = breakers_[to];
+  if (br.open) {
+    if (br.probing || scheduler().now() < br.open_until) {
+      stats_.breaker_fast_fails++;
+      Finish(seq, UnavailableError("circuit open to " + to.ToString()));
+      return future;
+    }
+    br.probing = true;
+    call.is_probe = true;
+  }
+
   RequestFrame frame;
   frame.call = CallId{nonce_, seq};
   frame.object = object;
   frame.method = method;
   frame.args = std::move(args);
-
-  auto [it, inserted] = pending_.try_emplace(seq, scheduler());
-  PendingCall& call = it->second;
-  call.dest = to;
+  if (options.deadline > 0) {
+    call.deadline = scheduler().now() + options.deadline;
+    frame.deadline = call.deadline;
+  }
   call.encoded_request = EncodeRequest(frame);
-  call.options = options;
-  call.attempts = 1;
-
-  auto future = call.promise.future();
 
   const Status sent = endpoint_->Send(to, call.encoded_request);
   if (!sent.ok()) {
@@ -43,11 +78,14 @@ sim::Future<RpcResult> RpcClient::Call(const net::Address& to,
   }
   call.timer = scheduler().PostAfter(options.retry_interval,
                                      [this, seq] { OnRetryTimer(seq); });
+  if (call.deadline != 0) {
+    call.deadline_timer = scheduler().PostAfter(
+        options.deadline, [this, seq] { OnDeadline(seq); });
+  }
   return future;
 }
 
 void RpcClient::OnDatagram(const net::Address& from, Bytes payload) {
-  (void)from;
   auto reply = DecodeReply(View(payload));
   if (!reply.ok()) {
     PROXY_LOG(kDebug, scheduler().now(), "rpc",
@@ -64,6 +102,20 @@ void RpcClient::OnDatagram(const net::Address& from, Bytes payload) {
     stats_.stray_replies++;
     return;
   }
+  // Reply authentication: an attacker who guesses the nonce+seq must not
+  // be able to complete (and thereby corrupt) a call from a third
+  // address. Only the destination we called may answer.
+  if (from != it->second.dest) {
+    stats_.stray_replies++;
+    stats_.spoofed_replies++;
+    PROXY_LOG(kDebug, scheduler().now(), "rpc",
+              "reply for call " << reply->call.seq << " from "
+                                << from.ToString() << ", expected "
+                                << it->second.dest.ToString());
+    return;
+  }
+  // Any authentic reply proves the destination reachable.
+  BreakerOnContact(it->second.dest);
   if (reply->code == StatusCode::kOk) {
     Finish(reply->call.seq,
            RpcResult(Status::Ok(), std::move(reply->result)));
@@ -77,37 +129,136 @@ void RpcClient::OnDatagram(const net::Address& from, Bytes payload) {
   }
 }
 
+SimDuration RpcClient::NextBackoff(PendingCall& call) {
+  const SimDuration base = call.options.retry_interval;
+  const SimDuration cap = call.options.max_backoff != 0
+                              ? call.options.max_backoff
+                              : 16 * base;
+  SimDuration next;
+  if (!call.options.backoff_jitter) {
+    next = call.prev_backoff == 0 ? base : call.prev_backoff * 2;
+  } else if (call.prev_backoff == 0) {
+    next = base;
+  } else {
+    // Decorrelated jitter: uniform in [base, 3 × previous]. Spreads a
+    // fleet of synchronized retriers apart within a few attempts.
+    const SimDuration hi = std::max(base, call.prev_backoff * 3);
+    next = base + rng_.UniformU64(hi - base + 1);
+  }
+  next = std::min(next, std::max(base, cap));
+  call.prev_backoff = next;
+  return next;
+}
+
+void RpcClient::TimeOutCall(std::uint64_t seq, PendingCall& call,
+                            std::string why) {
+  stats_.timeouts++;
+  BreakerOnTimeout(call.dest, call.is_probe);
+  Finish(seq, TimeoutError(std::move(why)));
+}
+
 void RpcClient::OnRetryTimer(std::uint64_t seq) {
   const auto it = pending_.find(seq);
   if (it == pending_.end()) return;
   PendingCall& call = it->second;
   call.timer = sim::kInvalidTimer;
+  if (call.deadline != 0 && scheduler().now() >= call.deadline) {
+    // The deadline timer fires at the same instant; resolve here so the
+    // call never outlives its budget.
+    stats_.deadline_expirations++;
+    TimeOutCall(seq, call, "deadline exceeded");
+    return;
+  }
   if (call.attempts > call.options.max_retries) {
-    stats_.timeouts++;
-    Finish(seq, TimeoutError("no reply after " +
-                             std::to_string(call.options.max_retries) +
-                             " retries"));
+    TimeOutCall(seq, call,
+                "no reply after " +
+                    std::to_string(call.options.max_retries) + " retries");
     return;
   }
   call.attempts++;
   stats_.retransmissions++;
   (void)endpoint_->Send(call.dest, call.encoded_request);
-  call.timer = scheduler().PostAfter(call.options.retry_interval,
+  const SimDuration backoff = NextBackoff(call);
+  if (call.deadline != 0 &&
+      scheduler().now() + backoff >= call.deadline) {
+    // No point arming a retry past the deadline; the deadline timer
+    // finishes the call.
+    return;
+  }
+  call.timer = scheduler().PostAfter(backoff,
                                      [this, seq] { OnRetryTimer(seq); });
+}
+
+void RpcClient::OnDeadline(std::uint64_t seq) {
+  const auto it = pending_.find(seq);
+  if (it == pending_.end()) return;
+  it->second.deadline_timer = sim::kInvalidTimer;
+  stats_.deadline_expirations++;
+  TimeOutCall(seq, it->second, "deadline exceeded");
+}
+
+void RpcClient::BreakerOnContact(const net::Address& dest) {
+  Breaker& br = breakers_[dest];
+  br.consecutive_timeouts = 0;
+  br.open = false;
+  br.probing = false;
+  br.cooldown = 0;
+}
+
+void RpcClient::BreakerOnTimeout(const net::Address& dest, bool was_probe) {
+  Breaker& br = breakers_[dest];
+  br.consecutive_timeouts++;
+  const SimTime now = scheduler().now();
+  if (br.open) {
+    if (was_probe) {
+      // Half-open probe went unanswered: re-open, longer cooldown.
+      br.probing = false;
+      br.cooldown = std::min(
+          breaker_params_.max_cooldown,
+          static_cast<SimDuration>(static_cast<double>(br.cooldown) *
+                                   breaker_params_.cooldown_growth));
+      br.open_until = now + br.cooldown;
+      stats_.breaker_opens++;
+    }
+    return;
+  }
+  if (br.consecutive_timeouts >= breaker_params_.open_after) {
+    br.open = true;
+    br.probing = false;
+    br.cooldown = breaker_params_.cooldown;
+    br.open_until = now + br.cooldown;
+    stats_.breaker_opens++;
+    PROXY_LOG(kInfo, now, "rpc",
+              "circuit to " << dest.ToString() << " opened after "
+                            << br.consecutive_timeouts
+                            << " consecutive timeouts");
+  }
 }
 
 void RpcClient::Finish(std::uint64_t seq, RpcResult outcome) {
   const auto it = pending_.find(seq);
   if (it == pending_.end()) return;
+  PendingCall& call = it->second;
   if (outcome.ok()) {
     stats_.calls_ok++;
   } else {
     stats_.calls_failed++;
   }
-  if (it->second.timer != sim::kInvalidTimer) {
-    scheduler().Cancel(it->second.timer);
+  if (call.timer != sim::kInvalidTimer) {
+    scheduler().Cancel(call.timer);
   }
-  auto promise = it->second.promise;  // keep alive past erase
+  if (call.deadline_timer != sim::kInvalidTimer) {
+    scheduler().Cancel(call.deadline_timer);
+  }
+  if (call.is_probe) {
+    // Whatever ended the probe (contact, timeout, or a local error), the
+    // half-open slot must not stay occupied.
+    const auto br = breakers_.find(call.dest);
+    if (br != breakers_.end() && br->second.open) {
+      br->second.probing = false;
+    }
+  }
+  auto promise = call.promise;  // keep alive past erase
   pending_.erase(it);
   promise.Set(std::move(outcome));
 }

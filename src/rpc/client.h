@@ -4,12 +4,27 @@
 // replies to outstanding calls, retransmits on timeout (the server's
 // duplicate filter makes this safe — together they give at-most-once
 // execution), and fails calls whose retry budget is exhausted.
+//
+// The retry policy is the client's, not the application's (the proxy
+// principle: robustness lives behind the invocation boundary):
+//   - retransmission intervals grow exponentially with decorrelated
+//     jitter, drawn from a generator seeded by the client nonce, so a
+//     fleet of clients facing the same outage does not retry in lockstep
+//     (and every run is still replayable);
+//   - an optional per-call deadline bounds the total time a call may
+//     spend, is enforced locally (fail fast, cancel retries) and is
+//     carried on the wire so the server can skip expired work;
+//   - a per-destination circuit breaker opens after a run of consecutive
+//     timeouts, fails subsequent calls immediately (UNAVAILABLE), and
+//     lets a single half-open probe through after a cooldown — retry
+//     storms cannot amplify under partition.
 #pragma once
 
 #include <cstdint>
 #include <unordered_map>
 
 #include "common/bytes.h"
+#include "common/rng.h"
 #include "common/status.h"
 #include "net/endpoint.h"
 #include "rpc/frame.h"
@@ -17,12 +32,24 @@
 
 namespace proxy::rpc {
 
-/// Per-call knobs. `retry_interval` is the retransmission period; the
-/// call fails with TIMEOUT after `max_retries` retransmissions go
-/// unanswered.
+/// Per-call knobs. `retry_interval` is the *initial* retransmission
+/// backoff; each unanswered attempt grows the backoff exponentially (with
+/// decorrelated jitter unless `backoff_jitter` is off) up to
+/// `max_backoff`. The call fails with TIMEOUT after `max_retries`
+/// retransmissions go unanswered, or when `deadline` elapses, whichever
+/// comes first.
 struct CallOptions {
   SimDuration retry_interval = Milliseconds(20);
   int max_retries = 5;
+  /// Cap on a single backoff step; 0 means 16 × retry_interval.
+  SimDuration max_backoff = 0;
+  /// Decorrelated jitter (uniform in [base, 3 × previous]); when off the
+  /// backoff is a plain doubling — only tests that assert exact retry
+  /// timing should turn this off.
+  bool backoff_jitter = true;
+  /// Total budget for the call, measured from Call(); 0 = none. Encoded
+  /// on the wire as an absolute expiry so the server sheds expired work.
+  SimDuration deadline = 0;
 };
 
 struct ClientStats {
@@ -32,13 +59,33 @@ struct ClientStats {
   std::uint64_t retransmissions = 0;
   std::uint64_t timeouts = 0;      // calls failed specifically by timeout
   std::uint64_t stray_replies = 0; // reply for an unknown/finished call
+  std::uint64_t spoofed_replies = 0;  // reply from an address != call dest
+  std::uint64_t deadline_expirations = 0;  // timeouts caused by `deadline`
+  std::uint64_t breaker_opens = 0;      // closed/half-open → open edges
+  std::uint64_t breaker_fast_fails = 0; // calls rejected while open
 };
 
 class RpcClient {
  public:
+  /// Per-destination circuit breaker tuning. The breaker opens after
+  /// `open_after` *consecutive* call timeouts to one address; while open,
+  /// calls to that address fail immediately with UNAVAILABLE. After
+  /// `cooldown` one probe call is let through (half-open): a reply of any
+  /// kind closes the breaker, another timeout re-opens it with the
+  /// cooldown grown by `cooldown_growth` (capped at `max_cooldown`).
+  struct BreakerParams {
+    int open_after = 5;
+    SimDuration cooldown = Milliseconds(100);
+    double cooldown_growth = 2.0;
+    SimDuration max_cooldown = Seconds(2);
+  };
+
   /// Takes over the endpoint's handler. `nonce` must be unique among all
-  /// clients in the system (mint it from a seeded Rng).
+  /// clients in the system (mint it from a seeded Rng); it also seeds the
+  /// client's jitter generator.
   RpcClient(net::Endpoint& endpoint, std::uint64_t nonce);
+  RpcClient(net::Endpoint& endpoint, std::uint64_t nonce,
+            BreakerParams breaker);
 
   RpcClient(const RpcClient&) = delete;
   RpcClient& operator=(const RpcClient&) = delete;
@@ -49,6 +96,15 @@ class RpcClient {
   sim::Future<RpcResult> Call(const net::Address& to, ObjectId object,
                               std::uint32_t method, Bytes args,
                               const CallOptions& options = {});
+
+  /// Replaces the breaker tuning (existing per-destination state is kept).
+  void set_breaker_params(const BreakerParams& params) noexcept {
+    breaker_params_ = params;
+  }
+
+  /// True while the breaker for `dest` rejects calls (open, cooldown not
+  /// yet elapsed, or a half-open probe already in flight).
+  [[nodiscard]] bool CircuitOpen(const net::Address& dest) const;
 
   [[nodiscard]] const ClientStats& stats() const noexcept { return stats_; }
   [[nodiscard]] net::Address address() const noexcept {
@@ -66,20 +122,46 @@ class RpcClient {
     Bytes encoded_request;  // kept for retransmission
     CallOptions options;
     int attempts = 0;
+    SimTime deadline = 0;          // absolute; 0 = none
+    SimDuration prev_backoff = 0;  // last interval (decorrelated jitter)
+    bool is_probe = false;         // this call is a half-open breaker probe
     sim::TimerId timer = sim::kInvalidTimer;
+    sim::TimerId deadline_timer = sim::kInvalidTimer;
 
     explicit PendingCall(sim::Scheduler& sched) : promise(sched) {}
   };
 
+  struct Breaker {
+    int consecutive_timeouts = 0;
+    bool open = false;
+    bool probing = false;        // half-open probe in flight
+    SimTime open_until = 0;
+    SimDuration cooldown = 0;    // current cooldown (grows on re-open)
+  };
+
   void OnDatagram(const net::Address& from, Bytes payload);
   void OnRetryTimer(std::uint64_t seq);
+  void OnDeadline(std::uint64_t seq);
   void Finish(std::uint64_t seq, RpcResult outcome);
+
+  /// Next retransmission interval for `call` (exponential, jittered).
+  SimDuration NextBackoff(PendingCall& call);
+
+  /// Fails `seq` with TIMEOUT and feeds the breaker.
+  void TimeOutCall(std::uint64_t seq, PendingCall& call, std::string why);
+
+  // Breaker transitions.
+  void BreakerOnContact(const net::Address& dest);
+  void BreakerOnTimeout(const net::Address& dest, bool was_probe);
 
   net::Endpoint* endpoint_;
   std::uint64_t nonce_;
   std::uint64_t next_seq_ = 1;
+  Rng rng_;  // jitter; seeded from the nonce, so runs stay replayable
+  BreakerParams breaker_params_;
   ClientStats stats_;
   std::unordered_map<std::uint64_t, PendingCall> pending_;  // by seq
+  std::unordered_map<net::Address, Breaker> breakers_;      // by destination
 };
 
 }  // namespace proxy::rpc

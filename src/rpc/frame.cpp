@@ -1,6 +1,7 @@
 #include "rpc/frame.h"
 
 #include "serde/reader.h"
+#include "serde/versioned.h"
 #include "serde/writer.h"
 
 namespace proxy::rpc {
@@ -32,7 +33,13 @@ Result<Frame> DecodeAfterTag(FrameType expected, BytesView data) {
 }  // namespace
 
 Bytes EncodeRequest(const RequestFrame& frame) {
-  return EncodeWithTag(FrameType::kRequest, frame);
+  serde::Writer w;
+  w.WriteU8(static_cast<std::uint8_t>(FrameType::kRequest));
+  serde::VersionedWriter vw(w, kRequestWireVersion);
+  serde::Serialize(vw.body(), frame);       // v1 fields
+  vw.body().WriteVarint(frame.deadline);    // v2: absolute expiry, 0 = none
+  vw.Finish();
+  return w.Take();
 }
 
 Bytes EncodeReply(const ReplyFrame& frame) {
@@ -50,7 +57,22 @@ Result<FrameType> PeekFrameType(BytesView data) {
 }
 
 Result<RequestFrame> DecodeRequest(BytesView data) {
-  return DecodeAfterTag<RequestFrame>(FrameType::kRequest, data);
+  serde::Reader r(data);
+  std::uint8_t tag = 0;
+  PROXY_RETURN_IF_ERROR(r.ReadU8(tag));
+  if (tag != static_cast<std::uint8_t>(FrameType::kRequest)) {
+    return CorruptError("unexpected frame type");
+  }
+  serde::VersionedReader vr;
+  PROXY_RETURN_IF_ERROR(vr.Open(r));
+  RequestFrame frame;
+  PROXY_RETURN_IF_ERROR(serde::Deserialize(vr.body(), frame));
+  if (vr.version() >= 2 && !vr.body().AtEnd()) {
+    PROXY_RETURN_IF_ERROR(vr.body().ReadVarint(frame.deadline));
+  }
+  PROXY_RETURN_IF_ERROR(vr.Close());  // skips fields from newer versions
+  PROXY_RETURN_IF_ERROR(r.ExpectEnd());
+  return frame;
 }
 
 Result<ReplyFrame> DecodeReply(BytesView data) {

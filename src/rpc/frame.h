@@ -5,6 +5,7 @@
 #include <string>
 
 #include "common/bytes.h"
+#include "common/clock.h"
 #include "common/id.h"
 #include "common/status.h"
 #include "serde/traits.h"
@@ -15,6 +16,11 @@ enum class FrameType : std::uint8_t {
   kRequest = 1,
   kReply = 2,
 };
+
+/// Version of the request frame's VersionedBody envelope. v1 carried
+/// (call, object, method, args); v2 appended `deadline`. Decoders accept
+/// any version: older fields are read, unknown trailing fields skipped.
+inline constexpr std::uint32_t kRequestWireVersion = 2;
 
 /// Globally unique call identity: the client instance's random nonce plus
 /// a per-client sequence number. Retransmissions reuse the id, which is
@@ -35,7 +41,13 @@ struct RequestFrame {
   ObjectId object;        // target object within the server context
   std::uint32_t method = 0;
   Bytes args;
+  /// Absolute virtual time after which the caller no longer wants the
+  /// result; 0 means no deadline. Carried on the wire (since v2) so the
+  /// server can skip dispatching work whose reply nobody will read.
+  SimTime deadline = 0;
 
+  // v1 fields only — `deadline` is appended manually under the versioned
+  // envelope (see EncodeRequest/DecodeRequest).
   PROXY_SERDE_FIELDS(call, object, method, args)
 };
 

@@ -66,6 +66,19 @@ void RpcServer::OnDatagram(const net::Address& from, Bytes payload) {
     return;
   }
 
+  // Deadline already passed: the caller has given up on this call, so
+  // executing it would only burn server time. Answer TIMEOUT (uncached —
+  // any retransmission carries the same expired deadline).
+  if (request->deadline != 0 && scheduler().now() >= request->deadline) {
+    stats_.expired_dropped++;
+    ReplyFrame reply;
+    reply.call = request->call;
+    reply.code = StatusCode::kTimeout;
+    reply.error_message = "deadline expired before dispatch";
+    (void)endpoint_->Send(from, EncodeReply(reply));
+    return;
+  }
+
   // Revoked capability: refuse before any dispatch work.
   if (revoked_.contains(request->object)) {
     ReplyFrame reply;

@@ -62,6 +62,7 @@ struct ServerStats {
   std::uint64_t in_progress_dropped = 0; // duplicate while still executing
   std::uint64_t unknown_object = 0;
   std::uint64_t unknown_method = 0;
+  std::uint64_t expired_dropped = 0;  // deadline passed before dispatch
 };
 
 class RpcServer {

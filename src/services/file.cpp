@@ -208,7 +208,7 @@ sim::Co<Result<Bytes>> FileStub::Read(std::uint64_t offset,
 }
 
 sim::Co<Result<rpc::Void>> FileStub::Write(std::uint64_t offset, Bytes data) {
-  WriteRequest req{offset, std::move(data)};
+  WriteRequest req{offset, std::move(data), ObjectId{}};
   co_return co_await Call<rpc::Void>(filewire::kWrite, std::move(req));
 }
 
@@ -220,7 +220,7 @@ sim::Co<Result<std::uint64_t>> FileStub::Size() {
 }
 
 sim::Co<Result<rpc::Void>> FileStub::Truncate(std::uint64_t size) {
-  TruncateRequest req{size};
+  TruncateRequest req{size, ObjectId{}};
   co_return co_await Call<rpc::Void>(filewire::kTruncate, std::move(req));
 }
 

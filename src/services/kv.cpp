@@ -199,12 +199,12 @@ sim::Co<Result<std::optional<std::string>>> KvStub::Get(std::string key) {
 }
 
 sim::Co<Result<rpc::Void>> KvStub::Put(std::string key, std::string value) {
-  PutRequest req{std::move(key), std::move(value)};
+  PutRequest req{std::move(key), std::move(value), ObjectId{}};
   co_return co_await Call<rpc::Void>(kvwire::kPut, std::move(req));
 }
 
 sim::Co<Result<bool>> KvStub::Del(std::string key) {
-  DelRequest req{std::move(key)};
+  DelRequest req{std::move(key), ObjectId{}};
   Result<DelResponse> resp =
       co_await Call<DelResponse>(kvwire::kDel, std::move(req));
   if (!resp.ok()) co_return resp.status();

@@ -1,0 +1,310 @@
+// Fault-injection suite: the invocation path under loss, partition, and
+// recovery. Exercises deadline enforcement (calls complete or fail
+// TIMEOUT, never hang), the circuit breaker's full lifecycle, bounded
+// retry traffic during an outage, and proxy rebinding through the name
+// service after a host failure. Every scenario is deterministic: the
+// network and the client's jitter generator are seeded.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/factory.h"
+#include "core/proxy.h"
+#include "core/runtime.h"
+#include "net/endpoint.h"
+#include "rpc/client.h"
+#include "rpc/server.h"
+#include "rpc/stub.h"
+#include "serde/traits.h"
+#include "services/counter.h"
+#include "services/register_all.h"
+#include "sim/network.h"
+#include "sim/task.h"
+#include "test_util.h"
+
+namespace proxy {
+namespace {
+
+struct PingRequest {
+  std::uint32_t id = 0;
+  PROXY_SERDE_FIELDS(id)
+};
+struct PingResponse {
+  std::uint32_t id = 0;
+  PROXY_SERDE_FIELDS(id)
+};
+
+/// A minimal client/server pair on two nodes, with controllable breaker
+/// tuning. Not a TEST_F fixture so one test can build several worlds
+/// (e.g. a loss grid).
+struct RpcWorld {
+  explicit RpcWorld(std::uint64_t seed,
+                    rpc::RpcClient::BreakerParams breaker =
+                        rpc::RpcClient::BreakerParams{})
+      : net(sched, seed) {
+    node_client = net.AddNode("client");
+    node_server = net.AddNode("server");
+    stack_client = std::make_unique<net::NodeStack>(net, node_client);
+    stack_server = std::make_unique<net::NodeStack>(net, node_server);
+    client = std::make_unique<rpc::RpcClient>(*stack_client->OpenEphemeral(),
+                                              seed ^ 0xFA17u, breaker);
+    server_ep = stack_server->OpenEndpoint(PortId(40));
+    server = std::make_unique<rpc::RpcServer>(*server_ep);
+    object = ObjectId{1, 1};
+    auto dispatch = std::make_shared<rpc::Dispatch>();
+    rpc::RegisterTyped<PingRequest, PingResponse>(
+        *dispatch, 1,
+        [](PingRequest req,
+           const rpc::CallContext&) -> sim::Co<Result<PingResponse>> {
+          co_return PingResponse{req.id};
+        });
+    EXPECT_TRUE(server->ExportObject(object, dispatch).ok());
+  }
+
+  rpc::RpcResult CallSync(std::uint32_t id, const rpc::CallOptions& options) {
+    auto future = client->Call(server_ep->address(), object, 1,
+                               serde::EncodeToBytes(PingRequest{id}), options);
+    sched.RunUntil([&] { return future.ready(); });
+    return future.take();
+  }
+
+  void Partition(bool on) { net.SetPartitioned(node_client, node_server, on); }
+
+  sim::Scheduler sched;
+  sim::Network net;
+  NodeId node_client, node_server;
+  std::unique_ptr<net::NodeStack> stack_client, stack_server;
+  std::unique_ptr<rpc::RpcClient> client;
+  net::Endpoint* server_ep = nullptr;
+  std::unique_ptr<rpc::RpcServer> server;
+  ObjectId object;
+};
+
+TEST(FaultInjection, LossyCallsCompleteOrTimeoutWithinDeadline) {
+  const double losses[] = {0.2, 0.35, 0.5};
+  for (const double loss : losses) {
+    // Breaker disabled: this test isolates the deadline guarantee.
+    rpc::RpcClient::BreakerParams no_breaker;
+    no_breaker.open_after = 1 << 30;
+    RpcWorld w(/*seed=*/1000 + static_cast<std::uint64_t>(loss * 100),
+               no_breaker);
+    sim::LinkParams lossy;
+    lossy.loss = loss;
+    w.net.SetLink(w.node_client, w.node_server, lossy);
+
+    rpc::CallOptions options;
+    options.retry_interval = Milliseconds(5);
+    options.max_retries = 1000;  // deadline is the only terminator
+    options.deadline = Milliseconds(200);
+    int ok = 0;
+    for (std::uint32_t i = 0; i < 30; ++i) {
+      const SimTime start = w.sched.now();
+      const rpc::RpcResult r = w.CallSync(i, options);
+      const SimDuration elapsed = w.sched.now() - start;
+      // The deadline bounds every outcome; nothing hangs past it.
+      ASSERT_LE(elapsed, options.deadline) << "loss=" << loss << " call " << i;
+      ASSERT_TRUE(r.ok() || r.status.code() == StatusCode::kTimeout)
+          << "loss=" << loss << ": " << r.status.ToString();
+      if (r.ok()) ++ok;
+    }
+    // Retransmission makes most calls land even at 50% loss.
+    EXPECT_GE(ok, 20) << "loss=" << loss;
+    if (loss >= 0.3) {
+      EXPECT_GT(w.client->stats().retransmissions, 0u);
+    }
+  }
+}
+
+TEST(FaultInjection, BreakerLifecycleOpenProbeGrowReclose) {
+  rpc::RpcClient::BreakerParams tuning;
+  tuning.open_after = 3;
+  tuning.cooldown = Milliseconds(50);
+  tuning.cooldown_growth = 2.0;
+  tuning.max_cooldown = Milliseconds(400);
+  RpcWorld w(/*seed=*/7, tuning);
+
+  rpc::CallOptions options;
+  options.retry_interval = Milliseconds(10);
+  options.max_retries = 100;
+  options.deadline = Milliseconds(30);
+
+  w.Partition(true);
+  // Three consecutive timeouts open the breaker; each costs its full
+  // deadline.
+  for (std::uint32_t i = 0; i < 3; ++i) {
+    const SimTime start = w.sched.now();
+    EXPECT_EQ(w.CallSync(i, options).status.code(), StatusCode::kTimeout);
+    EXPECT_EQ(w.sched.now() - start, options.deadline);
+  }
+  EXPECT_TRUE(w.client->CircuitOpen(w.server_ep->address()));
+  EXPECT_EQ(w.client->stats().breaker_opens, 1u);
+
+  // While open, calls fail immediately — no deadline is burned.
+  {
+    const SimTime start = w.sched.now();
+    EXPECT_EQ(w.CallSync(10, options).status.code(),
+              StatusCode::kUnavailable);
+    EXPECT_EQ(w.sched.now(), start);
+  }
+  EXPECT_EQ(w.client->stats().breaker_fast_fails, 1u);
+
+  // After the cooldown one probe is admitted; the partition still holds,
+  // so it times out and the breaker re-opens with a grown cooldown.
+  w.sched.RunFor(tuning.cooldown);
+  EXPECT_FALSE(w.client->CircuitOpen(w.server_ep->address()));
+  EXPECT_EQ(w.CallSync(11, options).status.code(), StatusCode::kTimeout);
+  EXPECT_EQ(w.client->stats().breaker_opens, 2u);
+  EXPECT_EQ(w.CallSync(12, options).status.code(), StatusCode::kUnavailable);
+
+  // Cooldown grew to 100ms: after the *old* cooldown it is still open.
+  w.sched.RunFor(tuning.cooldown);
+  EXPECT_TRUE(w.client->CircuitOpen(w.server_ep->address()));
+  EXPECT_EQ(w.CallSync(13, options).status.code(), StatusCode::kUnavailable);
+
+  // Heal; once the grown cooldown elapses the probe goes through, closes
+  // the breaker, and normal traffic resumes.
+  w.Partition(false);
+  w.sched.RunFor(tuning.cooldown);
+  EXPECT_TRUE(w.CallSync(14, options).ok());
+  EXPECT_FALSE(w.client->CircuitOpen(w.server_ep->address()));
+  EXPECT_TRUE(w.CallSync(15, options).ok());
+  EXPECT_EQ(w.client->stats().breaker_opens, 2u);
+}
+
+TEST(FaultInjection, BreakerBoundsRetryTrafficDuringOutage) {
+  rpc::RpcClient::BreakerParams tuning;  // defaults: open after 5, 100ms
+  RpcWorld w(/*seed=*/21, tuning);
+  w.Partition(true);
+
+  rpc::CallOptions options;
+  options.retry_interval = Milliseconds(10);
+  options.max_retries = 100;
+  options.deadline = Milliseconds(40);
+
+  // A client that keeps calling through a 2-second outage: one call every
+  // 20ms. Without the breaker each would burn its full retry schedule.
+  std::vector<sim::Future<rpc::RpcResult>> futures;
+  futures.reserve(100);
+  for (std::uint32_t i = 0; i < 100; ++i) {
+    futures.push_back(w.client->Call(w.server_ep->address(), w.object, 1,
+                                     serde::EncodeToBytes(PingRequest{i}),
+                                     options));
+    w.sched.RunFor(Milliseconds(20));
+  }
+  w.sched.Run();
+  for (auto& f : futures) {
+    ASSERT_TRUE(f.ready());
+    const StatusCode code = f.take().status.code();
+    EXPECT_TRUE(code == StatusCode::kTimeout ||
+                code == StatusCode::kUnavailable);
+  }
+  const rpc::ClientStats& stats = w.client->stats();
+  EXPECT_EQ(stats.calls_started, 100u);
+  // Most calls were shed instantly; only the pre-open window and the
+  // occasional half-open probe actually hit the wire.
+  EXPECT_GE(stats.breaker_fast_fails, 70u);
+  EXPECT_LE(stats.timeouts, 25u);
+  EXPECT_LE(stats.retransmissions, 60u);  // vs ~300 with per-call retries
+
+  // The outage heals. Calls keep coming; once the breaker's cooldown
+  // expires, its probe succeeds and goodput returns — bounded by the
+  // breaker's max cooldown, not by the length of the outage.
+  w.Partition(false);
+  const SimTime healed = w.sched.now();
+  SimTime first_success = 0;
+  for (std::uint32_t i = 0; i < 200 && first_success == 0; ++i) {
+    if (w.CallSync(1000 + i, options).ok()) {
+      first_success = w.sched.now();
+      break;
+    }
+    w.sched.RunFor(Milliseconds(20));
+  }
+  ASSERT_NE(first_success, SimTime{0}) << "service never recovered";
+  EXPECT_LE(first_success - healed, tuning.max_cooldown + options.deadline);
+  EXPECT_FALSE(w.client->CircuitOpen(w.server_ep->address()));
+}
+
+TEST(FaultInjection, ProxyRebindsThroughNameServiceAfterHostFailure) {
+  services::RegisterAllServices();
+  core::Runtime::Params params;
+  params.seed = 33;
+  core::Runtime rt(params);
+  const NodeId ns_node = rt.AddNode("ns");
+  const NodeId host1 = rt.AddNode("host1");
+  const NodeId host2 = rt.AddNode("host2");
+  const NodeId client_node = rt.AddNode("client");
+  rt.StartNameService(ns_node);
+  core::Context& s1 = rt.CreateContext(host1, "s1");
+  core::Context& s2 = rt.CreateContext(host2, "s2");
+  core::Context& c = rt.CreateContext(client_node, "client");
+
+  auto exported1 = services::ExportCounterService(s1, /*protocol=*/1,
+                                                  /*initial=*/1);
+  ASSERT_OK(exported1);
+  auto publish1 = [&]() -> sim::Co<void> {
+    auto ok = co_await s1.names().RegisterService("ctr", exported1->binding);
+    CO_ASSERT_OK(ok);
+  };
+  rt.Run(publish1());
+
+  std::shared_ptr<services::ICounter> counter;
+  auto bind = [&]() -> sim::Co<void> {
+    auto bound = co_await core::Bind<services::ICounter>(c, "ctr");
+    CO_ASSERT_OK(bound);
+    counter = *bound;
+    auto v = co_await counter->Read();
+    CO_ASSERT_OK(v);
+    EXPECT_EQ(*v, 1);
+  };
+  rt.Run(bind());
+  ASSERT_NE(counter, nullptr);
+  auto* proxy = dynamic_cast<core::ProxyBase*>(counter.get());
+  ASSERT_NE(proxy, nullptr);
+  EXPECT_EQ(proxy->name_path(), "ctr");
+  rpc::CallOptions impatient;
+  impatient.retry_interval = Milliseconds(10);
+  impatient.max_retries = 100;
+  impatient.deadline = Milliseconds(60);
+  proxy->set_call_options(impatient);
+
+  // The service is re-homed on host2 and the authoritative name updated
+  // (a failover manager would do this; here the test plays that role).
+  auto exported2 = services::ExportCounterService(s2, /*protocol=*/1,
+                                                  /*initial=*/2);
+  ASSERT_OK(exported2);
+  auto republish = [&]() -> sim::Co<void> {
+    auto gone = co_await s2.names().Unregister("ctr");
+    CO_ASSERT_OK(gone);
+    auto ok = co_await s2.names().RegisterService("ctr", exported2->binding);
+    CO_ASSERT_OK(ok);
+  };
+  rt.Run(republish());
+
+  // host1 drops off the network. The proxy's next call times out against
+  // the stale binding, re-resolves "ctr" through the (reachable) name
+  // service, rebinds to host2, and completes — the client code never sees
+  // the failure.
+  rt.network().SetPartitioned(client_node, host1, true);
+  auto call_through_failure = [&]() -> sim::Co<void> {
+    auto v = co_await counter->Increment(10);
+    CO_ASSERT_OK(v);
+    EXPECT_EQ(*v, 12);  // served by the host2 replica
+  };
+  rt.Run(call_through_failure());
+  EXPECT_EQ(proxy->proxy_stats().recoveries, 1u);
+  EXPECT_EQ(proxy->binding().server, exported2->binding.server);
+
+  // Subsequent calls go straight to the new home — no re-resolution.
+  auto steady = [&]() -> sim::Co<void> {
+    auto v = co_await counter->Read();
+    CO_ASSERT_OK(v);
+    EXPECT_EQ(*v, 12);
+  };
+  rt.Run(steady());
+  EXPECT_EQ(proxy->proxy_stats().recoveries, 1u);
+}
+
+}  // namespace
+}  // namespace proxy

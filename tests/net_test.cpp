@@ -255,5 +255,101 @@ TEST_F(ArqFixture, OutstandingDrainsToZero) {
   EXPECT_EQ(chan_a->OutstandingTo(ep_b->address()), 0u);
 }
 
+TEST_F(ArqFixture, LocalSendFailureLeavesNoTrace) {
+  // A payload the endpoint refuses must not consume a sequence number or
+  // sit in the retransmission queue (where it would fail forever and
+  // eventually poison the peer).
+  const Status st = chan_a->Send(ep_b->address(),
+                                 Bytes(Endpoint::kMaxPayload + 1, 0));
+  EXPECT_EQ(st.code(), StatusCode::kResourceExhausted);
+  EXPECT_EQ(chan_a->OutstandingTo(ep_b->address()), 0u);
+
+  // The lane is untouched: subsequent traffic sequences from zero and
+  // flows normally.
+  ASSERT_TRUE(chan_a->Send(ep_b->address(), ToBytes("after0")).ok());
+  ASSERT_TRUE(chan_a->Send(ep_b->address(), ToBytes("after1")).ok());
+  sched.Run();
+  ASSERT_EQ(received.size(), 2u);
+  EXPECT_EQ(received[0], "after0");
+  EXPECT_EQ(received[1], "after1");
+  EXPECT_EQ(chan_a->stats().peers_failed, 0u);
+}
+
+TEST_F(ArqFixture, ResetPeerResynchronizesSequences) {
+  net.SetPartitioned(node_a, node_b, true);
+  ASSERT_TRUE(chan_a->Send(ep_b->address(), ToBytes("lost0")).ok());
+  ASSERT_TRUE(chan_a->Send(ep_b->address(), ToBytes("lost1")).ok());
+  sched.Run();  // retry budget exhausts, peer declared failed
+  ASSERT_TRUE(chan_a->IsFailed(ep_b->address()));
+  EXPECT_EQ(chan_a->Probe(ep_b->address()).ok(), true);  // allowed: failed
+
+  net.SetPartitioned(node_a, node_b, false);
+  chan_a->ResetPeer(ep_b->address());
+  EXPECT_FALSE(chan_a->IsFailed(ep_b->address()));
+  // The dropped messages consumed seqs 0-1; new traffic starts at 2. The
+  // resync probe moves the receiver's `expected` forward so delivery
+  // resumes exactly with the new messages — no hole, no duplicates.
+  for (int i = 0; i < 3; ++i) {
+    ASSERT_TRUE(chan_a->Send(ep_b->address(),
+                             ToBytes("new" + std::to_string(i))).ok());
+  }
+  sched.Run();
+  ASSERT_EQ(received.size(), 3u);
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_EQ(received[i], "new" + std::to_string(i));
+  }
+  EXPECT_EQ(chan_a->OutstandingTo(ep_b->address()), 0u);
+}
+
+TEST_F(ArqFixture, ProbeRequiresFailedState) {
+  EXPECT_EQ(chan_a->Probe(ep_b->address()).code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST_F(ArqFixture, AutomaticProbesRecoverHealedPeer) {
+  ArqParams probing;
+  probing.retransmit_timeout = Milliseconds(5);
+  probing.max_retries = 5;
+  probing.probe_interval = Milliseconds(20);
+  Endpoint* ep_a2 = stack_a->OpenEndpoint(PortId(3));
+  ReliableChannel prober(*ep_a2, probing);
+  Address recovered{};
+  prober.SetRecoveryHandler([&](const Address& peer) { recovered = peer; });
+
+  net.SetPartitioned(node_a, node_b, true);
+  ASSERT_TRUE(prober.Send(ep_b->address(), ToBytes("into the void")).ok());
+  sched.RunFor(Milliseconds(200));  // budget exhausts; probing begins
+  ASSERT_TRUE(prober.IsFailed(ep_b->address()));
+  EXPECT_GT(prober.stats().probes_sent, 0u);
+
+  net.SetPartitioned(node_a, node_b, false);
+  sched.RunFor(Milliseconds(50));  // next probe gets through and is acked
+  EXPECT_FALSE(prober.IsFailed(ep_b->address()));
+  EXPECT_EQ(recovered, ep_b->address());
+  EXPECT_EQ(prober.stats().peers_recovered, 1u);
+
+  // Recovery stopped the probe timer; the scheduler drains, and the lane
+  // carries traffic again.
+  ASSERT_TRUE(prober.Send(ep_b->address(), ToBytes("back")).ok());
+  sched.Run();
+  ASSERT_FALSE(received.empty());
+  EXPECT_EQ(received.back(), "back");
+}
+
+TEST_F(ArqFixture, ProbeBudgetBoundsFailedPeerTraffic) {
+  ArqParams probing;
+  probing.retransmit_timeout = Milliseconds(5);
+  probing.max_retries = 5;
+  probing.probe_interval = Milliseconds(20);
+  probing.max_probes = 3;
+  Endpoint* ep_a2 = stack_a->OpenEndpoint(PortId(4));
+  ReliableChannel prober(*ep_a2, probing);
+  net.SetPartitioned(node_a, node_b, true);
+  ASSERT_TRUE(prober.Send(ep_b->address(), ToBytes("doomed")).ok());
+  sched.Run();  // terminates: probing gives up after max_probes
+  EXPECT_TRUE(prober.IsFailed(ep_b->address()));
+  EXPECT_EQ(prober.stats().probes_sent, 3u);
+}
+
 }  // namespace
 }  // namespace proxy::net

@@ -11,6 +11,8 @@
 #include "rpc/server.h"
 #include "rpc/stub.h"
 #include "serde/traits.h"
+#include "serde/versioned.h"
+#include "serde/writer.h"
 #include "sim/network.h"
 #include "sim/task.h"
 
@@ -251,6 +253,66 @@ TEST_F(RpcFixture, ReplyCacheBoundedEviction) {
   EXPECT_EQ(execs, 10);  // cache holds replies, not executions
 }
 
+TEST_F(RpcFixture, SpoofedReplyFromWrongAddressRejected) {
+  // An attacker who guesses the nonce and sequence number must not be
+  // able to answer a call from a third address. Start a slow call so the
+  // forged reply races the genuine one.
+  auto future = client->Call(server_ep->address(), object, 2,
+                             serde::EncodeToBytes(EchoRequest{"real", 1}));
+  sched.RunFor(Milliseconds(5));  // request delivered, handler sleeping
+  ASSERT_FALSE(future.ready());
+
+  ReplyFrame forged;
+  forged.call = CallId{client->nonce(), 1};  // correctly guessed identity
+  forged.code = StatusCode::kOk;
+  forged.result = serde::EncodeToBytes(EchoResponse{"forged"});
+  net::Endpoint* rogue = stack_b->OpenEphemeral();
+  ASSERT_TRUE(rogue->Send(client->address(), EncodeReply(forged)).ok());
+
+  sched.RunUntil([&] { return future.ready(); });
+  const RpcResult r = future.take();
+  ASSERT_TRUE(r.ok());
+  const auto resp = serde::DecodeFromBytes<EchoResponse>(View(r.payload));
+  ASSERT_TRUE(resp.ok());
+  EXPECT_EQ(resp->text, "real");  // the forgery did not complete the call
+  EXPECT_EQ(client->stats().spoofed_replies, 1u);
+  EXPECT_GE(client->stats().stray_replies, 1u);
+}
+
+TEST_F(RpcFixture, DeadlineFailsFastUnderPartition) {
+  net.SetPartitioned(node_a, node_b, true);
+  CallOptions options;
+  options.retry_interval = Milliseconds(10);
+  options.max_retries = 1000;  // the deadline, not the budget, must end it
+  options.deadline = Milliseconds(50);
+  const SimTime start = sched.now();
+  const RpcResult r = CallSync(1, EchoRequest{"x", 1}, options);
+  EXPECT_EQ(r.status.code(), StatusCode::kTimeout);
+  EXPECT_EQ(sched.now() - start, Milliseconds(50));
+  EXPECT_GE(client->stats().deadline_expirations, 1u);
+  // Retries stopped with the call: nothing left in the event queue but
+  // in-flight datagrams, which drain without reviving the call.
+  sched.Run();
+  EXPECT_EQ(client->stats().calls_failed, 1u);
+}
+
+TEST_F(RpcFixture, ServerShedsExpiredRequests) {
+  // A slow link delivers the request after its deadline already passed:
+  // the server must answer TIMEOUT without dispatching the handler.
+  sim::LinkParams slow;
+  slow.latency = Milliseconds(100);
+  net.SetLink(node_a, node_b, slow);
+  CallOptions options;
+  options.retry_interval = Milliseconds(200);  // no retransmission noise
+  options.max_retries = 0;
+  options.deadline = Milliseconds(20);
+  const RpcResult r = CallSync(1, EchoRequest{"late", 1}, options);
+  EXPECT_EQ(r.status.code(), StatusCode::kTimeout);
+  sched.Run();  // let the late request reach the server
+  EXPECT_EQ(server->stats().expired_dropped, 1u);
+  EXPECT_EQ(executions, 0);
+}
+
 TEST_F(RpcFixture, StrayReplyIgnored) {
   // A reply with a foreign nonce must be counted and dropped.
   ReplyFrame reply;
@@ -291,6 +353,50 @@ TEST(FrameCodec, RequestReplyRoundTrip) {
   EXPECT_FALSE(DecodeRequest(View(encoded_reply)).ok());
   EXPECT_FALSE(DecodeReply(View(encoded)).ok());
   EXPECT_FALSE(PeekFrameType(BytesView{}).ok());
+}
+
+TEST(FrameCodec, RequestWireVersionCompatibility) {
+  RequestFrame frame;
+  frame.call = CallId{0xAB, 7};
+  frame.object = ObjectId{1, 2};
+  frame.method = 9;
+  frame.args = ToBytes("args");
+
+  // A v1 peer omits the deadline entirely; current code must decode the
+  // frame and leave the deadline at "none".
+  serde::Writer v1;
+  v1.WriteU8(static_cast<std::uint8_t>(FrameType::kRequest));
+  {
+    serde::VersionedWriter vw(v1, 1);
+    serde::Serialize(vw.body(), frame);
+    vw.Finish();
+  }
+  const auto from_v1 = DecodeRequest(View(v1.buffer()));
+  ASSERT_TRUE(from_v1.ok()) << from_v1.status().ToString();
+  EXPECT_EQ(from_v1->method, 9u);
+  EXPECT_EQ(from_v1->deadline, SimTime{0});
+
+  // A hypothetical v3 peer appends fields we do not know; they must be
+  // skipped, with the v2 deadline still understood.
+  serde::Writer v3;
+  v3.WriteU8(static_cast<std::uint8_t>(FrameType::kRequest));
+  {
+    serde::VersionedWriter vw(v3, 3);
+    serde::Serialize(vw.body(), frame);
+    vw.body().WriteVarint(Milliseconds(25));  // v2: deadline
+    vw.body().WriteString("field-from-the-future");
+    vw.Finish();
+  }
+  const auto from_v3 = DecodeRequest(View(v3.buffer()));
+  ASSERT_TRUE(from_v3.ok()) << from_v3.status().ToString();
+  EXPECT_EQ(from_v3->deadline, Milliseconds(25));
+  EXPECT_EQ(ToString(View(from_v3->args)), "args");
+
+  // Today's encoder round-trips the deadline.
+  frame.deadline = Milliseconds(40);
+  const auto round = DecodeRequest(View(EncodeRequest(frame)));
+  ASSERT_TRUE(round.ok());
+  EXPECT_EQ(round->deadline, Milliseconds(40));
 }
 
 }  // namespace
