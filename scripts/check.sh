@@ -1,0 +1,35 @@
+#!/usr/bin/env bash
+# One-command verification: configure + build the default preset, run the
+# full test suite (which includes the 32-seed chaos smoke), then run a
+# 128-seed chaos sweep with the chaos_explore driver. Any violation fails
+# the script and prints the reproducing seed.
+#
+#   scripts/check.sh              # default preset
+#   PRESET=asan-chaos scripts/check.sh   # sanitized build, chaos tests only
+#   SEEDS=512 scripts/check.sh    # longer sweep
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+PRESET="${PRESET:-default}"
+SEEDS="${SEEDS:-128}"
+
+echo "== configure ($PRESET) =="
+cmake --preset "$PRESET"
+
+echo "== build =="
+cmake --build --preset "$PRESET" -j "$(nproc)"
+
+echo "== ctest =="
+ctest --preset "$PRESET" -j "$(nproc)"
+
+case "$PRESET" in
+  asan-ubsan) BUILD_DIR="build-asan" ;;
+  asan-chaos) BUILD_DIR="build-asan-chaos" ;;
+  *) BUILD_DIR="build" ;;
+esac
+
+echo "== chaos sweep ($SEEDS seeds) =="
+"./$BUILD_DIR/tools/chaos_explore" --seeds="$SEEDS"
+
+echo "== OK =="

@@ -1,0 +1,100 @@
+// The adversary: applies a fault schedule to a running world.
+//
+// Arm() posts every episode's onset on the scheduler; each onset applies
+// its perturbation (through the Network's injection hooks) and schedules
+// its own restore. HealAll() force-undoes whatever is still active —
+// the harness calls it after the horizon so recovery invariants are
+// checked against a genuinely healed network.
+//
+// The ReplySpoofer is the adversary's accomplice for the reply-
+// authentication invariant: from a rogue node it forges well-formed RPC
+// replies carrying the *real* client nonce (a white-box attacker) and a
+// sweep of plausible sequence numbers. With reply authentication on,
+// every forgery must bounce off the from-address check; with it off (the
+// deliberately reintroduced PR-1 bug) a forgery completes a pending call
+// with a poisoned value and the history checkers light up.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <vector>
+
+#include "chaos/fault.h"
+#include "chaos/trace.h"
+#include "core/runtime.h"
+#include "net/endpoint.h"
+
+namespace proxy::chaos {
+
+class ReplySpoofer {
+ public:
+  struct Target {
+    net::Address client;       // the victim client's RPC endpoint
+    std::uint64_t nonce = 0;   // its (known to a white-box attacker) nonce
+  };
+
+  /// Poison value carried by forged counter replies: far outside any
+  /// reachable counter value, so a completed forgery is unmissable.
+  static constexpr std::int64_t kPoisonValue = 1LL << 42;
+
+  /// Sequence numbers swept per burst, from 1 upward. Covers every call
+  /// a workload client issues in one run.
+  static constexpr std::uint64_t kSeqSweep = 768;
+
+  explicit ReplySpoofer(net::Endpoint& endpoint) : endpoint_(&endpoint) {}
+
+  void SetTargets(std::vector<Target> targets) {
+    targets_ = std::move(targets);
+  }
+
+  /// Forges kSeqSweep replies at `targets_[client_index]`.
+  void Burst(std::uint32_t client_index);
+
+  [[nodiscard]] std::uint64_t forged() const noexcept { return forged_; }
+
+ private:
+  net::Endpoint* endpoint_;
+  std::vector<Target> targets_;
+  std::uint64_t forged_ = 0;
+};
+
+class Adversary {
+ public:
+  /// `spoofer` may be null (spoof events are then skipped).
+  Adversary(core::Runtime& runtime, TraceRecorder& trace,
+            ReplySpoofer* spoofer, std::vector<FaultEvent> schedule);
+
+  Adversary(const Adversary&) = delete;
+  Adversary& operator=(const Adversary&) = delete;
+
+  /// Posts every episode onset. Call once, before driving the sim.
+  void Arm();
+
+  /// Undoes every still-active episode and clears every partition and
+  /// pause, restoring a fully connected world. Loss/jitter bursts are
+  /// restored to their pre-burst parameters; permanent churn stays (it
+  /// only retunes performance, not connectivity).
+  void HealAll();
+
+  [[nodiscard]] const std::vector<FaultEvent>& schedule() const noexcept {
+    return schedule_;
+  }
+  [[nodiscard]] std::size_t applied() const noexcept { return applied_; }
+
+ private:
+  void Apply(const FaultEvent& ev);
+  /// Registers an undo closure and schedules it to run (once) after
+  /// `duration`; HealAll runs whatever has not fired yet.
+  void ScheduleRestore(SimDuration duration, std::function<void()> undo);
+
+  core::Runtime* runtime_;
+  TraceRecorder* trace_;
+  ReplySpoofer* spoofer_;
+  std::vector<FaultEvent> schedule_;
+  std::size_t applied_ = 0;
+  std::uint64_t next_undo_ = 0;
+  std::map<std::uint64_t, std::function<void()>> active_undos_;
+};
+
+}  // namespace proxy::chaos

@@ -1,0 +1,102 @@
+#include "chaos/fault.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "common/rng.h"
+
+namespace proxy::chaos {
+
+std::string FaultEvent::ToString() const {
+  std::ostringstream out;
+  out << FormatDuration(at) << " ";
+  switch (kind) {
+    case FaultKind::kPartition:
+      out << "partition n" << a << "<->n" << b << " for "
+          << FormatDuration(duration);
+      break;
+    case FaultKind::kIsolate:
+      out << "isolate n" << a << " for " << FormatDuration(duration);
+      break;
+    case FaultKind::kPause:
+      out << "pause n" << a << " for " << FormatDuration(duration);
+      break;
+    case FaultKind::kLossBurst:
+      out << "loss n" << a << "<->n" << b << " p=" << loss << " for "
+          << FormatDuration(duration);
+      break;
+    case FaultKind::kJitterBurst:
+      out << "jitter n" << a << "<->n" << b << " +" << FormatDuration(jitter)
+          << " for " << FormatDuration(duration);
+      break;
+    case FaultKind::kLinkChurn:
+      out << "churn n" << a << "<->n" << b << " latency="
+          << FormatDuration(latency) << " jitter=" << FormatDuration(jitter);
+      break;
+    case FaultKind::kSpoofBurst:
+      out << "spoof-burst at client " << a;
+      break;
+  }
+  return out.str();
+}
+
+std::vector<FaultEvent> GenerateSchedule(std::uint64_t seed,
+                                         std::uint32_t node_count,
+                                         std::uint32_t client_count,
+                                         const AdversaryParams& params) {
+  std::vector<FaultEvent> schedule;
+  if (node_count < 2) return schedule;
+  Rng rng(SplitMix64(seed ^ 0xadf0cafeULL).Next());
+
+  SimTime t = 0;
+  for (;;) {
+    // Episode onsets arrive with a mean gap; +1 keeps time advancing.
+    t += rng.UniformU64(2 * params.mean_gap) + 1;
+    if (t >= params.horizon) break;
+
+    FaultEvent ev;
+    ev.at = t;
+    // Episodes never outlive the horizon: the post-horizon world is
+    // healed by construction, which is what the recovery invariants
+    // (breaker re-close, final availability) quantify over.
+    const SimDuration max_len =
+        std::min<SimDuration>(params.max_fault_len, params.horizon - t);
+    ev.duration = rng.UniformU64(max_len) + 1;
+    ev.a = static_cast<std::uint32_t>(rng.UniformU64(node_count));
+    do {
+      ev.b = static_cast<std::uint32_t>(rng.UniformU64(node_count));
+    } while (ev.b == ev.a);
+
+    std::uint64_t roll = rng.UniformU64(100);
+    if (roll >= 90 && (!params.spoof || client_count == 0)) {
+      roll = 40;  // redistribute the spoof share onto loss bursts
+    }
+    if (roll < 20) {
+      ev.kind = FaultKind::kPartition;
+    } else if (roll < 30) {
+      ev.kind = FaultKind::kIsolate;
+    } else if (roll < 40) {
+      ev.kind = FaultKind::kPause;
+    } else if (roll < 65) {
+      ev.kind = FaultKind::kLossBurst;
+      ev.loss = 0.3 + (params.max_loss - 0.3) * rng.UniformDouble();
+    } else if (roll < 80) {
+      ev.kind = FaultKind::kJitterBurst;
+      ev.jitter = rng.UniformU64(params.max_extra_jitter) + 1;
+    } else if (roll < 90) {
+      ev.kind = FaultKind::kLinkChurn;
+      ev.duration = 0;
+      ev.latency = Microseconds(20) + rng.UniformU64(Microseconds(980));
+      ev.jitter = rng.UniformU64(params.max_extra_jitter + 1);
+    } else {
+      ev.kind = FaultKind::kSpoofBurst;
+      ev.duration = 0;
+      ev.a = static_cast<std::uint32_t>(rng.UniformU64(client_count));
+      ev.b = 0;
+    }
+    schedule.push_back(ev);
+  }
+  return schedule;
+}
+
+}  // namespace proxy::chaos

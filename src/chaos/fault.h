@@ -1,0 +1,64 @@
+// Fault schedules: the adversary's playbook as data.
+//
+// A fault schedule is a flat list of timed episodes generated from a
+// seed by a pure function. Keeping it a value (rather than inline random
+// draws while the sim runs) is what makes exploration minimizable: the
+// ddmin pass in minimize.h deletes entries and re-runs, and a deleted
+// episode removes both its onset and its restore.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/clock.h"
+
+namespace proxy::chaos {
+
+enum class FaultKind : std::uint8_t {
+  kPartition = 1,   // cut nodes a<->b for `duration`, then heal
+  kIsolate = 2,     // cut node a from every other node for `duration`
+  kPause = 3,       // hold node a's inbound messages for `duration`
+  kLossBurst = 4,   // link a<->b drops with probability `loss` for `duration`
+  kJitterBurst = 5, // link a<->b gains up-to-`jitter` reordering delay
+  kLinkChurn = 6,   // permanently retune link a<->b latency/jitter
+  kSpoofBurst = 7,  // forge replies at workload client index `a`
+};
+
+struct FaultEvent {
+  SimTime at = 0;
+  FaultKind kind = FaultKind::kPartition;
+  std::uint32_t a = 0;       // node id (or client index for kSpoofBurst)
+  std::uint32_t b = 0;       // peer node id, when the fault is a link fault
+  SimDuration duration = 0;  // episode length; 0 for permanent churn
+  double loss = 0.0;         // kLossBurst
+  SimDuration latency = 0;   // kLinkChurn
+  SimDuration jitter = 0;    // kJitterBurst / kLinkChurn
+
+  [[nodiscard]] std::string ToString() const;
+};
+
+/// Adversary tuning. The generated schedule confines every episode to
+/// [0, horizon]; the harness runs the workload through that window and
+/// heals whatever is left before checking recovery invariants.
+struct AdversaryParams {
+  SimDuration horizon = Milliseconds(1200);
+  SimDuration mean_gap = Milliseconds(25);      // between episode onsets
+  SimDuration max_fault_len = Milliseconds(150);
+  double max_loss = 0.9;
+  SimDuration max_extra_jitter = Milliseconds(2);
+  /// Include reply-spoofing bursts. Harmless while reply authentication
+  /// is on (they must be rejected); the teeth of the reintroduced-bug
+  /// acceptance check when it is off.
+  bool spoof = true;
+};
+
+/// Pure: (seed, topology, params) -> schedule. `node_count` spans every
+/// node in the world (name service, servers, clients, probes);
+/// `client_count` scopes spoof-burst targets.
+std::vector<FaultEvent> GenerateSchedule(std::uint64_t seed,
+                                         std::uint32_t node_count,
+                                         std::uint32_t client_count,
+                                         const AdversaryParams& params);
+
+}  // namespace proxy::chaos

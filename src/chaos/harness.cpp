@@ -1,0 +1,258 @@
+#include "chaos/harness.h"
+
+#include <algorithm>
+#include <memory>
+#include <sstream>
+#include <utility>
+
+#include "chaos/adversary.h"
+#include "chaos/trace.h"
+#include "core/export.h"
+#include "core/runtime.h"
+#include "net/reliable.h"
+#include "services/counter.h"
+#include "services/kv.h"
+#include "services/lock.h"
+#include "services/register_all.h"
+#include "sim/future.h"
+#include "sim/task.h"
+
+namespace proxy::chaos {
+
+namespace {
+
+constexpr SimDuration kArqSendGap = Milliseconds(2);
+constexpr SimDuration kSettle = Milliseconds(300);
+constexpr SimDuration kRecloseGap = Milliseconds(250);
+constexpr int kRecloseAttempts = 40;
+
+Bytes EncodeSeq(std::uint64_t seq) {
+  Bytes out(8);
+  for (int i = 0; i < 8; ++i) {
+    out[i] = static_cast<std::uint8_t>(seq >> (8 * i));
+  }
+  return out;
+}
+
+std::uint64_t DecodeSeq(const Bytes& payload) {
+  std::uint64_t seq = 0;
+  for (int i = 0; i < 8; ++i) {
+    seq |= static_cast<std::uint64_t>(payload[i]) << (8 * i);
+  }
+  return seq;
+}
+
+void Append(std::vector<Violation>& into, std::vector<Violation> more) {
+  for (Violation& v : more) into.push_back(std::move(v));
+}
+
+}  // namespace
+
+std::string ChaosReport::Summary() const {
+  std::ostringstream out;
+  out << "seed=" << seed << " fp=" << std::hex << fingerprint << std::dec
+      << " events=" << trace_events << " faults=" << faults_applied << "/"
+      << schedule.size() << " ops=" << history_ops
+      << " ctr=" << final_counter << " forged=" << forged_replies
+      << " rejected=" << spoofed_rejected << " arq=" << arq_delivered
+      << " violations=" << violations.size();
+  for (const Violation& v : violations) out << "\n  " << v.ToString();
+  return out.str();
+}
+
+ChaosReport RunChaos(const ChaosOptions& options) {
+  services::RegisterAllServices();
+
+  ChaosReport report;
+  report.seed = options.seed;
+
+  // The recorder outlives the Runtime (reverse destruction order): the
+  // scheduler/network hooks it installs stay valid to the last event.
+  TraceRecorder trace(options.trace_tail);
+
+  core::Runtime::Params params;
+  params.seed = options.seed;
+  core::Runtime rt(params);
+  sim::Scheduler& sched = rt.scheduler();
+  trace.Attach(sched, rt.network());
+
+  // --- topology ---
+  const NodeId ns_node = rt.AddNode("ns");
+  const NodeId srv_a_node = rt.AddNode("srv-a");  // counter + lock
+  const NodeId srv_b_node = rt.AddNode("srv-b");  // kv
+  std::vector<NodeId> client_nodes;
+  for (std::uint32_t i = 0; i < options.workload.clients; ++i) {
+    client_nodes.push_back(rt.AddNode("client-" + std::to_string(i)));
+  }
+  const NodeId rogue_node = rt.AddNode("rogue");
+  const NodeId arq_src_node = rt.AddNode("arq-src");
+  const NodeId arq_dst_node = rt.AddNode("arq-dst");
+  const auto node_count = static_cast<std::uint32_t>(rt.network().node_count());
+
+  rt.StartNameService(ns_node);
+  core::Context& srv_a = rt.CreateContext(srv_a_node, "srv-a");
+  core::Context& srv_b = rt.CreateContext(srv_b_node, "srv-b");
+
+  Result<services::CounterExport> ctr =
+      services::ExportCounterService(srv_a, /*protocol=*/1, /*initial=*/0);
+  Result<services::LockExport> lock = services::ExportLockService(srv_a);
+  Result<services::KvExport> kv =
+      services::ExportKvService(srv_b, /*protocol=*/1);
+  if (!ctr.ok() || !lock.ok() || !kv.ok()) {
+    report.violations.push_back({"harness-setup", "service export failed"});
+    return report;
+  }
+
+  bool setup_ok = true;
+  auto publish = [&]() -> sim::Co<void> {
+    Result<rpc::Void> a = co_await srv_a.names().RegisterService(
+        "chaos/ctr", ctr->binding);
+    Result<rpc::Void> b = co_await srv_a.names().RegisterService(
+        "chaos/lock", lock->binding);
+    Result<rpc::Void> c = co_await srv_b.names().RegisterService(
+        "chaos/kv", kv->binding);
+    setup_ok = a.ok() && b.ok() && c.ok();
+  };
+  rt.Run(publish());
+
+  // --- workload clients ---
+  std::vector<std::unique_ptr<WorkloadClient>> clients;
+  for (std::uint32_t i = 0; i < options.workload.clients; ++i) {
+    core::Context& ctx =
+        rt.CreateContext(client_nodes[i], "client-" + std::to_string(i));
+    if (options.bug == Bug::kReplyAuth) {
+      ctx.client().set_testing_reply_auth(false);
+    }
+    clients.push_back(
+        std::make_unique<WorkloadClient>(ctx, i, options.seed));
+  }
+
+  auto bind_all = [&]() -> sim::Co<void> {
+    for (auto& client : clients) {
+      Result<rpc::Void> bound = co_await client->BindAll(options.workload);
+      if (!bound.ok()) setup_ok = false;
+    }
+  };
+  rt.Run(bind_all());
+  if (!setup_ok) {
+    report.violations.push_back(
+        {"harness-setup", "publish or pre-chaos bind failed"});
+    return report;
+  }
+
+  // --- ARQ probe stream (covers the ordered-transport invariant) ---
+  net::Endpoint* arq_src = rt.stack(arq_src_node).OpenEphemeral();
+  net::Endpoint* arq_dst = rt.stack(arq_dst_node).OpenEphemeral();
+  net::ArqParams arq_params;
+  arq_params.probe_interval = Milliseconds(20);
+  net::ReliableChannel arq_tx(*arq_src, arq_params);
+  net::ReliableChannel arq_rx(*arq_dst, arq_params);
+  std::vector<std::uint64_t> arq_received;
+  arq_rx.SetHandler([&arq_received](const net::Address&, Bytes payload) {
+    if (payload.size() == 8) arq_received.push_back(DecodeSeq(payload));
+  });
+  const net::Address arq_dst_addr = arq_dst->address();
+  const SimDuration horizon = options.adversary.horizon;
+  auto arq_pump = [&]() -> sim::Co<void> {
+    std::uint64_t next = 1;
+    while (sched.now() < horizon) {
+      // A refused send (peer declared failed, queue full) skips the
+      // sequence number: the receiver sees a gap, never a regression.
+      (void)arq_tx.Send(arq_dst_addr, EncodeSeq(next));
+      ++next;
+      co_await sim::SleepFor(sched, kArqSendGap);
+    }
+  };
+  sim::Future<bool> arq_done = sim::Spawn(sched, arq_pump());
+
+  // --- adversary ---
+  net::Endpoint* rogue = rt.stack(rogue_node).OpenEphemeral();
+  ReplySpoofer spoofer(*rogue);
+  {
+    std::vector<ReplySpoofer::Target> targets;
+    for (auto& client : clients) {
+      rpc::RpcClient& rpc = client->context().client();
+      targets.push_back({rpc.address(), rpc.nonce()});
+    }
+    spoofer.SetTargets(std::move(targets));
+  }
+
+  std::vector<FaultEvent> schedule =
+      options.schedule.has_value()
+          ? *options.schedule
+          : GenerateSchedule(options.seed, node_count,
+                             options.workload.clients, options.adversary);
+  Adversary adversary(rt, trace, &spoofer, std::move(schedule));
+  adversary.Arm();
+
+  // --- drive: workload through the fault window ---
+  History history;
+  std::vector<sim::Future<bool>> runs;
+  for (auto& client : clients) {
+    runs.push_back(
+        sim::Spawn(sched, client->Run(options.workload, history)));
+  }
+  sched.RunUntil([&runs] {
+    return std::all_of(runs.begin(), runs.end(),
+                       [](const sim::Future<bool>& f) { return f.ready(); });
+  });
+  // Let the rest of the fault window elapse (a fast workload can finish
+  // before the last scheduled onsets; their restores must still fire).
+  if (sched.now() < horizon) sched.RunFor(horizon - sched.now());
+  sched.RunUntil([&arq_done] { return arq_done.ready(); });
+
+  adversary.HealAll();
+  trace.Note(sched.now(), "heal-complete; settling");
+  sched.RunFor(kSettle);
+
+  // --- recovery: every client must reach the counter again (breakers
+  // reclose after their cooldown; partitions are gone) ---
+  std::int64_t final_counter = -1;
+  auto finale = [&]() -> sim::Co<void> {
+    for (auto& client : clients) {
+      bool reached = false;
+      for (int attempt = 0; attempt < kRecloseAttempts && !reached;
+           ++attempt) {
+        Result<std::int64_t> r = co_await client->counter()->Read();
+        if (r.ok()) {
+          reached = true;
+          final_counter = *r;
+        } else {
+          co_await sim::SleepFor(sched, kRecloseGap);
+        }
+      }
+      if (!reached) {
+        report.violations.push_back(
+            {"breaker-reclose",
+             "client " + std::to_string(client->index()) +
+                 " cannot reach the counter after heal-all"});
+      }
+    }
+  };
+  rt.Run(finale());
+
+  // --- verdict ---
+  Append(report.violations, CheckCounter(history, final_counter));
+  Append(report.violations, CheckKv(history));
+  Append(report.violations, CheckLocks(history));
+  Append(report.violations, CheckArqStream(arq_received));
+
+  report.fingerprint = trace.fingerprint();
+  report.trace_events = trace.events();
+  report.schedule = adversary.schedule();
+  report.faults_applied = adversary.applied();
+  report.history_ops = history.ops.size();
+  report.final_counter = final_counter;
+  report.forged_replies = spoofer.forged();
+  for (auto& client : clients) {
+    report.spoofed_rejected +=
+        client->context().client().stats().spoofed_replies;
+  }
+  report.arq_delivered = arq_received.size();
+  if (!report.violations.empty()) {
+    report.trace_tail = trace.DumpTail(64);
+  }
+  return report;
+}
+
+}  // namespace proxy::chaos

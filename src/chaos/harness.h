@@ -1,0 +1,72 @@
+// The chaos harness: one seed in, one verdict out.
+//
+// RunChaos(options) builds a fresh simulated world (name service, a
+// counter+lock server, a KV server, N workload clients, a rogue spoofer
+// node, and an ARQ probe stream on two more nodes), arms the adversary
+// with the seed's fault schedule, drives the workload through the fault
+// window, heals everything, and then checks every global invariant
+// against the recorded history. The entire run — topology, workload,
+// faults, message timing — is a pure function of ChaosOptions, so a
+// violating seed replays byte-identically (same trace fingerprint) and
+// its schedule can be minimized by re-running subsets.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "chaos/fault.h"
+#include "chaos/invariants.h"
+#include "chaos/workload.h"
+
+namespace proxy::chaos {
+
+/// Deliberately reintroducible regressions, for proving the harness has
+/// teeth: a sweep that cannot catch a known-bad build catches nothing.
+enum class Bug : std::uint8_t {
+  kNone = 0,
+  /// Disables the RPC client's reply from-address check (the PR-1
+  /// hardening): any host that guesses nonce+seq completes a call.
+  kReplyAuth = 1,
+};
+
+struct ChaosOptions {
+  std::uint64_t seed = 1;
+  WorkloadParams workload;
+  AdversaryParams adversary;
+  /// Overrides the seed-generated fault schedule (the minimizer re-runs
+  /// subsets through here). nullopt = GenerateSchedule(seed, ...).
+  std::optional<std::vector<FaultEvent>> schedule;
+  Bug bug = Bug::kNone;
+  /// Human-readable trace records kept for diagnosis.
+  std::size_t trace_tail = 2048;
+};
+
+struct ChaosReport {
+  std::uint64_t seed = 0;
+  std::vector<Violation> violations;
+
+  /// Rolling hash over every scheduler step, network message event, and
+  /// injection note — equal across runs iff the interleaving was
+  /// identical.
+  std::uint64_t fingerprint = 0;
+  std::uint64_t trace_events = 0;
+
+  std::vector<FaultEvent> schedule;  // as executed
+  std::size_t faults_applied = 0;
+  std::size_t history_ops = 0;
+  std::int64_t final_counter = -1;
+  std::uint64_t forged_replies = 0;    // sent by the spoofer
+  std::uint64_t spoofed_rejected = 0;  // bounced off reply authentication
+  std::uint64_t arq_delivered = 0;     // probe stream messages received
+  std::string trace_tail;              // populated when violations exist
+
+  [[nodiscard]] bool ok() const noexcept { return violations.empty(); }
+  [[nodiscard]] std::string Summary() const;
+};
+
+/// Runs one complete chaos scenario. Deterministic in `options`.
+ChaosReport RunChaos(const ChaosOptions& options);
+
+}  // namespace proxy::chaos

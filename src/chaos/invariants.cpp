@@ -1,0 +1,220 @@
+#include "chaos/invariants.h"
+
+#include <algorithm>
+#include <limits>
+#include <map>
+#include <sstream>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace proxy::chaos {
+
+namespace {
+
+std::string OpName(const OpRecord& op) {
+  std::ostringstream out;
+  out << "c" << op.client << "/op" << op.op;
+  return out.str();
+}
+
+}  // namespace
+
+std::vector<Violation> CheckCounter(const History& history,
+                                    std::int64_t final_value) {
+  std::vector<Violation> out;
+
+  // Acknowledged counter operations, i.e. those that returned a value.
+  std::vector<const OpRecord*> acked;
+  std::int64_t ok_incs = 0;
+  std::int64_t unknown_incs = 0;
+  for (const OpRecord& op : history.ops) {
+    if (op.kind != OpKind::kCtrInc && op.kind != OpKind::kCtrRead) continue;
+    if (op.outcome == OpOutcome::kOk) {
+      acked.push_back(&op);
+      if (op.kind == OpKind::kCtrInc) ++ok_incs;
+    } else if (op.kind == OpKind::kCtrInc) {
+      ++unknown_incs;
+    }
+  }
+
+  // Unit increments are distinct: two acks of the same value is a lost
+  // update (or a forged reply).
+  std::unordered_map<std::int64_t, const OpRecord*> inc_values;
+  for (const OpRecord* op : acked) {
+    if (op->kind != OpKind::kCtrInc) continue;
+    const auto [it, inserted] = inc_values.emplace(op->number, op);
+    if (!inserted) {
+      out.push_back({"counter-linearizable",
+                     "increments " + OpName(*it->second) + " and " +
+                         OpName(*op) + " both returned " +
+                         std::to_string(op->number)});
+    }
+  }
+
+  // Real-time order: if op1 completed before op2 started, op2's value
+  // must not be smaller (and an increment must strictly exceed it). The
+  // max over completed ops dominates, so one sweep suffices.
+  std::vector<const OpRecord*> by_start = acked;
+  std::sort(by_start.begin(), by_start.end(),
+            [](const OpRecord* a, const OpRecord* b) {
+              return a->start < b->start;
+            });
+  std::vector<const OpRecord*> by_end = acked;
+  std::sort(by_end.begin(), by_end.end(),
+            [](const OpRecord* a, const OpRecord* b) {
+              return a->end < b->end;
+            });
+  std::size_t completed = 0;
+  std::int64_t max_completed = std::numeric_limits<std::int64_t>::min();
+  const OpRecord* max_op = nullptr;
+  for (const OpRecord* op : by_start) {
+    while (completed < by_end.size() && by_end[completed]->end < op->start) {
+      if (by_end[completed]->number > max_completed) {
+        max_completed = by_end[completed]->number;
+        max_op = by_end[completed];
+      }
+      ++completed;
+    }
+    if (max_op == nullptr) continue;
+    const std::int64_t floor =
+        op->kind == OpKind::kCtrInc ? max_completed + 1 : max_completed;
+    if (op->number < floor) {
+      out.push_back({"counter-linearizable",
+                     OpName(*op) + " returned " + std::to_string(op->number) +
+                         " after " + OpName(*max_op) + " had completed with " +
+                         std::to_string(max_completed)});
+    }
+  }
+
+  // Final-state accounting: every acknowledged increment executed, every
+  // failed one may have; nothing else moves the counter.
+  if (final_value >= 0) {
+    std::int64_t max_acked = 0;
+    for (const OpRecord* op : acked) max_acked = std::max(max_acked, op->number);
+    if (final_value < ok_incs || final_value > ok_incs + unknown_incs) {
+      out.push_back({"counter-final-bound",
+                     "final value " + std::to_string(final_value) +
+                         " outside [" + std::to_string(ok_incs) + ", " +
+                         std::to_string(ok_incs + unknown_incs) + "]"});
+    }
+    if (final_value < max_acked) {
+      out.push_back({"counter-final-bound",
+                     "final value " + std::to_string(final_value) +
+                         " below acknowledged value " +
+                         std::to_string(max_acked)});
+    }
+  }
+  return out;
+}
+
+std::vector<Violation> CheckKv(const History& history) {
+  std::vector<Violation> out;
+
+  // Every value any Put *attempted* (an unacknowledged Put may still have
+  // executed), with its start time.
+  struct Written {
+    SimTime start;
+  };
+  std::unordered_map<std::string, std::unordered_map<std::string, Written>>
+      writes;  // key -> value -> earliest start
+  for (const OpRecord& op : history.ops) {
+    if (op.kind != OpKind::kKvPut) continue;
+    auto& per_key = writes[op.key];
+    const auto it = per_key.find(op.value);
+    if (it == per_key.end()) {
+      per_key.emplace(op.value, Written{op.start});
+    } else {
+      it->second.start = std::min(it->second.start, op.start);
+    }
+  }
+
+  for (const OpRecord& op : history.ops) {
+    if (op.kind != OpKind::kKvGet || op.outcome != OpOutcome::kOk) continue;
+    if (!op.flag) continue;  // absent is always admissible
+    const Written* written = nullptr;
+    if (const auto key_it = writes.find(op.key); key_it != writes.end()) {
+      if (const auto val_it = key_it->second.find(op.value);
+          val_it != key_it->second.end()) {
+        written = &val_it->second;
+      }
+    }
+    if (written == nullptr) {
+      out.push_back({"kv-integrity",
+                     OpName(op) + " read \"" + op.value + "\" from \"" +
+                         op.key + "\", which no Put ever wrote"});
+      continue;
+    }
+    if (written->start >= op.end) {
+      out.push_back({"kv-integrity",
+                     OpName(op) + " read \"" + op.value + "\" from \"" +
+                         op.key + "\" before its Put started"});
+    }
+  }
+  return out;
+}
+
+std::vector<Violation> CheckLocks(const History& history) {
+  std::vector<Violation> out;
+
+  // Definite-hold intervals: [successful TryAcquire completion, first
+  // subsequent Release *start* by the same client]. Outside that window
+  // the client may have lost the lock without knowing (a timed-out
+  // Release can still have executed), so only the definite window is
+  // checked for mutual exclusion.
+  struct Hold {
+    std::uint32_t client;
+    SimTime from;
+    SimTime until;
+  };
+  std::map<std::string, std::vector<Hold>> holds;
+  std::map<std::pair<std::string, std::uint32_t>, std::size_t> open;
+
+  for (const OpRecord& op : history.ops) {
+    if (op.kind == OpKind::kLockTry && op.outcome == OpOutcome::kOk &&
+        op.flag) {
+      auto& per_lock = holds[op.key];
+      open[{op.key, op.client}] = per_lock.size();
+      per_lock.push_back(
+          Hold{op.client, op.end, std::numeric_limits<SimTime>::max()});
+    } else if (op.kind == OpKind::kLockRelease) {
+      const auto it = open.find({op.key, op.client});
+      if (it == open.end()) continue;
+      Hold& hold = holds[op.key][it->second];
+      hold.until = std::min(hold.until, op.start);
+      open.erase(it);
+    }
+  }
+
+  for (auto& [name, intervals] : holds) {
+    std::sort(intervals.begin(), intervals.end(),
+              [](const Hold& a, const Hold& b) { return a.from < b.from; });
+    for (std::size_t i = 1; i < intervals.size(); ++i) {
+      const Hold& prev = intervals[i - 1];
+      const Hold& cur = intervals[i];
+      if (prev.client != cur.client && cur.from < prev.until) {
+        out.push_back({"lock-mutex",
+                       "lock \"" + name + "\" held by client " +
+                           std::to_string(prev.client) + " and client " +
+                           std::to_string(cur.client) +
+                           " simultaneously at " + FormatDuration(cur.from)});
+      }
+    }
+  }
+  return out;
+}
+
+std::vector<Violation> CheckArqStream(
+    const std::vector<std::uint64_t>& received) {
+  std::vector<Violation> out;
+  for (std::size_t i = 1; i < received.size(); ++i) {
+    if (received[i] <= received[i - 1]) {
+      out.push_back({"arq-order",
+                     "sequence regressed: #" + std::to_string(received[i]) +
+                         " delivered after #" +
+                         std::to_string(received[i - 1])});
+    }
+  }
+  return out;
+}
+
+}  // namespace proxy::chaos

@@ -1,0 +1,85 @@
+// Operation history and global invariant checkers.
+//
+// The workload records every operation it issues (kind, key/value,
+// virtual start/end, outcome); at the run's quiescent point the checkers
+// validate global properties over the whole history. Every check is
+// *sound under uncertainty*: an operation that failed (timeout,
+// breaker shed, decode error) may or may not have executed server-side,
+// so the checkers only flag states no correct execution could produce.
+//
+//   counter-linearizable   unit increments return distinct values, and a
+//                          value never runs backwards across real-time
+//                          ordered operations
+//   counter-final-bound    final value within [acks, acks + unknowns] and
+//                          >= every acknowledged value
+//   kv-integrity           a Get only ever returns a value some Put with
+//                          that key actually wrote, and never one whose
+//                          Put started after the Get completed
+//   lock-mutex             definite-hold intervals of different owners
+//                          never overlap
+//   arq-order              a ReliableChannel stream arrives strictly
+//                          ascending (ordered, duplicate-free; gaps only
+//                          from declared-failure drops)
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/clock.h"
+
+namespace proxy::chaos {
+
+enum class OpKind : std::uint8_t {
+  kCtrInc = 1,
+  kCtrRead = 2,
+  kKvPut = 3,
+  kKvGet = 4,
+  kLockTry = 5,
+  kLockRelease = 6,
+};
+
+enum class OpOutcome : std::uint8_t {
+  kOk = 1,
+  kFailed = 2,  // timeout / shed / error: may or may not have executed
+};
+
+struct OpRecord {
+  std::uint32_t client = 0;
+  std::uint64_t op = 0;       // per-client sequence
+  OpKind kind = OpKind::kCtrInc;
+  OpOutcome outcome = OpOutcome::kFailed;
+  SimTime start = 0;
+  SimTime end = 0;
+  std::string key;            // kv key / lock name
+  std::string value;          // kv value written or read ("" = absent)
+  std::int64_t number = 0;    // counter value returned
+  bool flag = false;          // kKvGet: value present; kLockTry: acquired
+};
+
+struct History {
+  std::vector<OpRecord> ops;
+
+  OpRecord& Append(OpRecord r) {
+    ops.push_back(std::move(r));
+    return ops.back();
+  }
+};
+
+struct Violation {
+  std::string invariant;  // stable name, e.g. "counter-linearizable"
+  std::string detail;
+
+  [[nodiscard]] std::string ToString() const {
+    return invariant + ": " + detail;
+  }
+};
+
+std::vector<Violation> CheckCounter(const History& history,
+                                    std::int64_t final_value);
+std::vector<Violation> CheckKv(const History& history);
+std::vector<Violation> CheckLocks(const History& history);
+std::vector<Violation> CheckArqStream(
+    const std::vector<std::uint64_t>& received);
+
+}  // namespace proxy::chaos

@@ -1,0 +1,40 @@
+#include "chaos/trace.h"
+
+#include <sstream>
+
+namespace proxy::chaos {
+
+void TraceRecorder::Attach(sim::Scheduler& sched, sim::Network& net) {
+  sched.SetStepHook([this](SimTime t, sim::TimerId id) {
+    Fold(t);
+    Fold(id);
+  });
+  net.SetTraceHook([this](sim::NetTraceKind kind, NodeId from, NodeId to,
+                          PortId to_port, std::size_t bytes) {
+    Fold((static_cast<std::uint64_t>(kind) << 56) ^
+         (static_cast<std::uint64_t>(from.value()) << 40) ^
+         (static_cast<std::uint64_t>(to.value()) << 24) ^
+         (static_cast<std::uint64_t>(to_port.value()) << 8) ^ bytes);
+  });
+}
+
+void TraceRecorder::Note(SimTime time, std::string text) {
+  Fold(time);
+  Fold(Fnv1a(text));
+  tail_.push_back(Record{time, std::move(text)});
+  if (tail_.size() > keep_tail_) tail_.pop_front();
+}
+
+std::string TraceRecorder::DumpTail(std::size_t max_lines) const {
+  std::ostringstream out;
+  const std::size_t skip =
+      tail_.size() > max_lines ? tail_.size() - max_lines : 0;
+  std::size_t i = 0;
+  for (const Record& r : tail_) {
+    if (i++ < skip) continue;
+    out << FormatDuration(r.time) << "  " << r.text << "\n";
+  }
+  return out.str();
+}
+
+}  // namespace proxy::chaos

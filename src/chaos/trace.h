@@ -1,0 +1,75 @@
+// Structured event trace for chaos runs.
+//
+// A TraceRecorder hooks the Scheduler (every executed event) and the
+// Network (every message send/deliver/drop/hold/release), and takes
+// explicit notes from the adversary and the harness (fault injections,
+// workload milestones, invariant checkpoints). Two artifacts come out:
+//
+//   - a rolling 64-bit fingerprint folded over *every* observed event:
+//     two runs share it iff they executed the identical interleaving,
+//     which is the replays-byte-identically check a reported seed must
+//     pass before anyone starts debugging it;
+//   - a bounded tail of human-readable records for diagnosis, so a
+//     violating run can print what the system was doing when it broke.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <string>
+
+#include "common/clock.h"
+#include "sim/network.h"
+#include "sim/scheduler.h"
+
+namespace proxy::chaos {
+
+class TraceRecorder {
+ public:
+  struct Record {
+    SimTime time = 0;
+    std::string text;
+  };
+
+  explicit TraceRecorder(std::size_t keep_tail = 2048)
+      : keep_tail_(keep_tail) {}
+
+  TraceRecorder(const TraceRecorder&) = delete;
+  TraceRecorder& operator=(const TraceRecorder&) = delete;
+
+  /// Installs the scheduler and network hooks. The recorder must outlive
+  /// both (the harness declares it before the Runtime).
+  void Attach(sim::Scheduler& sched, sim::Network& net);
+
+  /// Appends a named record — folded into the fingerprint and kept in
+  /// the tail. Used for fault injections and harness milestones.
+  void Note(SimTime time, std::string text);
+
+  /// Fingerprint over every observed scheduler event, network message
+  /// event, and note, in order.
+  [[nodiscard]] std::uint64_t fingerprint() const noexcept { return fp_; }
+
+  /// Total events folded (scheduler steps + network events + notes).
+  [[nodiscard]] std::uint64_t events() const noexcept { return events_; }
+
+  [[nodiscard]] const std::deque<Record>& tail() const noexcept {
+    return tail_;
+  }
+
+  /// Renders the last `max_lines` records, one per line.
+  [[nodiscard]] std::string DumpTail(std::size_t max_lines) const;
+
+ private:
+  void Fold(std::uint64_t v) noexcept {
+    // FNV-1a-style mix; order-sensitive by construction.
+    fp_ = (fp_ ^ v) * 0x100000001b3ULL;
+    fp_ ^= fp_ >> 29;
+    ++events_;
+  }
+
+  std::size_t keep_tail_;
+  std::uint64_t fp_ = 0xcbf29ce484222325ULL;
+  std::uint64_t events_ = 0;
+  std::deque<Record> tail_;
+};
+
+}  // namespace proxy::chaos

@@ -1,0 +1,128 @@
+#include "chaos/workload.h"
+
+#include <string>
+#include <utility>
+
+#include "core/factory.h"
+#include "core/proxy.h"
+#include "sim/future.h"
+
+namespace proxy::chaos {
+
+namespace {
+
+/// Applies the workload call options when the bound object is a proxy
+/// (it always is here: workload clients never share a node with a
+/// service, so the direct path cannot be taken).
+void Tune(void* obj_as_proxy, const rpc::CallOptions& options) {
+  if (auto* proxy = static_cast<core::ProxyBase*>(obj_as_proxy)) {
+    proxy->set_call_options(options);
+  }
+}
+
+}  // namespace
+
+sim::Co<Result<rpc::Void>> WorkloadClient::BindAll(
+    const WorkloadParams& params) {
+  core::BindOptions opts;
+  opts.allow_direct = false;
+  Result<std::shared_ptr<services::ICounter>> counter =
+      co_await core::Bind<services::ICounter>(*context_, "chaos/ctr", opts);
+  if (!counter.ok()) co_return counter.status();
+  counter_ = *counter;
+  Result<std::shared_ptr<services::IKeyValue>> kv =
+      co_await core::Bind<services::IKeyValue>(*context_, "chaos/kv", opts);
+  if (!kv.ok()) co_return kv.status();
+  kv_ = *kv;
+  Result<std::shared_ptr<services::ILockService>> lock =
+      co_await core::Bind<services::ILockService>(*context_, "chaos/lock",
+                                                  opts);
+  if (!lock.ok()) co_return lock.status();
+  lock_ = *lock;
+
+  Tune(dynamic_cast<core::ProxyBase*>(counter_.get()), params.call);
+  Tune(dynamic_cast<core::ProxyBase*>(kv_.get()), params.call);
+  Tune(dynamic_cast<core::ProxyBase*>(lock_.get()), params.call);
+  co_return rpc::Void{};
+}
+
+OpRecord& WorkloadClient::Record(History& history, OpKind kind,
+                                 SimTime start) {
+  OpRecord r;
+  r.client = index_;
+  r.op = next_op_++;
+  r.kind = kind;
+  r.start = start;
+  r.end = context_->scheduler().now();
+  return history.Append(std::move(r));
+}
+
+sim::Co<void> WorkloadClient::Run(const WorkloadParams& params,
+                                  History& history) {
+  sim::Scheduler& sched = context_->scheduler();
+  for (std::uint32_t i = 0; i < params.ops_per_client; ++i) {
+    co_await sim::SleepFor(sched, rng_.UniformU64(params.max_think + 1));
+    const std::uint64_t roll = rng_.UniformU64(100);
+    const SimTime start = sched.now();
+
+    if (roll < 40) {
+      Result<std::int64_t> r = co_await counter_->Increment(1);
+      OpRecord& rec = Record(history, OpKind::kCtrInc, start);
+      rec.outcome = r.ok() ? OpOutcome::kOk : OpOutcome::kFailed;
+      if (r.ok()) rec.number = *r;
+    } else if (roll < 55) {
+      Result<std::int64_t> r = co_await counter_->Read();
+      OpRecord& rec = Record(history, OpKind::kCtrRead, start);
+      rec.outcome = r.ok() ? OpOutcome::kOk : OpOutcome::kFailed;
+      if (r.ok()) rec.number = *r;
+    } else if (roll < 75) {
+      const std::string key =
+          "k" + std::to_string(rng_.UniformU64(params.kv_keys));
+      const std::string value =
+          "c" + std::to_string(index_) + "-o" + std::to_string(next_op_);
+      Result<rpc::Void> r = co_await kv_->Put(key, value);
+      OpRecord& rec = Record(history, OpKind::kKvPut, start);
+      rec.outcome = r.ok() ? OpOutcome::kOk : OpOutcome::kFailed;
+      rec.key = key;
+      rec.value = value;
+    } else if (roll < 90) {
+      const std::string key =
+          "k" + std::to_string(rng_.UniformU64(params.kv_keys));
+      Result<std::optional<std::string>> r = co_await kv_->Get(key);
+      OpRecord& rec = Record(history, OpKind::kKvGet, start);
+      rec.outcome = r.ok() ? OpOutcome::kOk : OpOutcome::kFailed;
+      rec.key = key;
+      if (r.ok() && r->has_value()) {
+        rec.flag = true;
+        rec.value = **r;
+      }
+    } else {
+      const std::string name =
+          "l" + std::to_string(rng_.UniformU64(params.lock_names));
+      const std::uint64_t owner = index_ + 1;  // 0 is "no owner"
+      Result<bool> acquired = co_await lock_->TryAcquire(name, owner);
+      {
+        OpRecord& rec = Record(history, OpKind::kLockTry, start);
+        rec.outcome = acquired.ok() ? OpOutcome::kOk : OpOutcome::kFailed;
+        rec.key = name;
+        rec.flag = acquired.ok() && *acquired;
+      }
+      if (acquired.ok() && *acquired) {
+        co_await sim::SleepFor(sched, rng_.UniformU64(Milliseconds(3)));
+        // The definite-hold interval ends at the *first* release attempt;
+        // retry a couple of times so the lock usually frees for real.
+        for (int attempt = 0; attempt < 3; ++attempt) {
+          const SimTime rel_start = sched.now();
+          Result<rpc::Void> released = co_await lock_->Release(name, owner);
+          OpRecord& rec = Record(history, OpKind::kLockRelease, rel_start);
+          rec.outcome = released.ok() ? OpOutcome::kOk : OpOutcome::kFailed;
+          rec.key = name;
+          if (released.ok()) break;
+        }
+      }
+    }
+  }
+  done_ = true;
+}
+
+}  // namespace proxy::chaos

@@ -1,0 +1,82 @@
+// Concurrent workload over the proxy invocation path.
+//
+// Each workload client is a coroutine on its own node, bound through the
+// name service to the shared counter, KV, and lock services. It issues a
+// seeded random mix of operations with per-call deadlines (so every
+// operation terminates under any fault pattern) and records each one in
+// the shared History for the invariant checkers.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "chaos/invariants.h"
+#include "common/rng.h"
+#include "core/runtime.h"
+#include "rpc/client.h"
+#include "services/counter.h"
+#include "services/kv.h"
+#include "services/lock.h"
+#include "sim/task.h"
+
+namespace proxy::chaos {
+
+struct WorkloadParams {
+  std::uint32_t clients = 4;
+  std::uint32_t ops_per_client = 60;
+  SimDuration max_think = Milliseconds(8);  // uniform gap between ops
+  std::uint32_t kv_keys = 8;                // small space -> contention
+  std::uint32_t lock_names = 2;
+  rpc::CallOptions call;                    // per-op budget
+
+  WorkloadParams() {
+    call.retry_interval = Milliseconds(4);
+    call.max_retries = 64;
+    call.deadline = Milliseconds(120);
+  }
+};
+
+/// One workload client: its context, proxies, and op generator state.
+class WorkloadClient {
+ public:
+  WorkloadClient(core::Context& context, std::uint32_t index,
+                 std::uint64_t seed)
+      : context_(&context),
+        index_(index),
+        rng_(SplitMix64(seed ^ (0x10ad0000ULL + index)).Next()) {}
+
+  /// Binds the three service proxies through the name service and applies
+  /// the workload call options. Run to completion before the adversary
+  /// is armed (chaos targets the invocation path, not bootstrap).
+  sim::Co<Result<rpc::Void>> BindAll(const WorkloadParams& params);
+
+  /// Issues the op mix, recording every operation into `history`.
+  sim::Co<void> Run(const WorkloadParams& params, History& history);
+
+  [[nodiscard]] core::Context& context() noexcept { return *context_; }
+  [[nodiscard]] std::uint32_t index() const noexcept { return index_; }
+  [[nodiscard]] bool done() const noexcept { return done_; }
+
+  [[nodiscard]] services::ICounter* counter() noexcept {
+    return counter_.get();
+  }
+  [[nodiscard]] services::IKeyValue* kv() noexcept { return kv_.get(); }
+  [[nodiscard]] services::ILockService* lock() noexcept {
+    return lock_.get();
+  }
+
+ private:
+  OpRecord& Record(History& history, OpKind kind, SimTime start);
+
+  core::Context* context_;
+  std::uint32_t index_;
+  Rng rng_;
+  std::uint64_t next_op_ = 0;
+  bool done_ = false;
+  std::shared_ptr<services::ICounter> counter_;
+  std::shared_ptr<services::IKeyValue> kv_;
+  std::shared_ptr<services::ILockService> lock_;
+};
+
+}  // namespace proxy::chaos

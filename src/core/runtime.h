@@ -8,6 +8,7 @@
 // reference out of thin air, which is what makes references capabilities.
 #pragma once
 
+#include <cassert>
 #include <memory>
 #include <optional>
 #include <string>
@@ -152,6 +153,13 @@ class Runtime {
   [[nodiscard]] const std::vector<std::unique_ptr<Context>>& contexts()
       const noexcept {
     return contexts_;
+  }
+
+  /// The per-node network stack. Lets harness code (chaos probes, raw
+  /// transport streams) open endpoints on a node outside any context.
+  [[nodiscard]] net::NodeStack& stack(NodeId node) {
+    assert(node.value() < stacks_.size() && "unknown node");
+    return *stacks_[node.value()];
   }
 
   /// Locates an object in any context on `node` (the direct-invocation

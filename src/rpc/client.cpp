@@ -105,7 +105,7 @@ void RpcClient::OnDatagram(const net::Address& from, Bytes payload) {
   // Reply authentication: an attacker who guesses the nonce+seq must not
   // be able to complete (and thereby corrupt) a call from a third
   // address. Only the destination we called may answer.
-  if (from != it->second.dest) {
+  if (reply_auth_ && from != it->second.dest) {
     stats_.stray_replies++;
     stats_.spoofed_replies++;
     PROXY_LOG(kDebug, scheduler().now(), "rpc",

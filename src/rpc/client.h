@@ -102,6 +102,14 @@ class RpcClient {
     breaker_params_ = params;
   }
 
+  /// Chaos-harness fault hook: turning reply authentication off
+  /// reintroduces the pre-hardening spoofing bug (any host that guesses
+  /// nonce+seq can complete a call), so the chaos sweep can prove it
+  /// detects that regression. Never disable outside adversarial tests.
+  void set_testing_reply_auth(bool enabled) noexcept {
+    reply_auth_ = enabled;
+  }
+
   /// True while the breaker for `dest` rejects calls (open, cooldown not
   /// yet elapsed, or a half-open probe already in flight).
   [[nodiscard]] bool CircuitOpen(const net::Address& dest) const;
@@ -157,6 +165,7 @@ class RpcClient {
   net::Endpoint* endpoint_;
   std::uint64_t nonce_;
   std::uint64_t next_seq_ = 1;
+  bool reply_auth_ = true;
   Rng rng_;  // jitter; seeded from the nonce, so runs stay replayable
   BreakerParams breaker_params_;
   ClientStats stats_;

@@ -46,6 +46,35 @@ bool Network::IsPartitioned(NodeId a, NodeId b) const {
   return it != partitioned_.end() && it->second;
 }
 
+void Network::SetNodePaused(NodeId node, bool paused) {
+  if (paused) {
+    paused_.try_emplace(node.value());
+    return;
+  }
+  const auto it = paused_.find(node.value());
+  if (it == paused_.end()) return;
+  std::vector<HeldMessage> backlog = std::move(it->second);
+  paused_.erase(it);
+  // Re-inject the backlog in arrival order at the current instant: the
+  // stalled process wakes up and drains everything at once.
+  for (auto& held : backlog) {
+    sched_->Post([this, node, held = std::move(held)]() mutable {
+      Trace(NetTraceKind::kRelease, held.from, node, held.to_port,
+            held.payload.size());
+      Deliver(held.from, node, held.to_port, std::move(held.payload));
+    });
+  }
+}
+
+bool Network::IsNodePaused(NodeId node) const {
+  return paused_.contains(node.value());
+}
+
+LinkParams Network::link_params(NodeId from, NodeId to) const {
+  const auto it = links_.find(LinkKey(from, to));
+  return it == links_.end() ? default_link_ : it->second.params;
+}
+
 Network::DirectedLink& Network::LinkFor(NodeId from, NodeId to) {
   auto [it, inserted] = links_.try_emplace(LinkKey(from, to));
   if (inserted) it->second.params = default_link_;
@@ -58,6 +87,7 @@ Status Network::Send(NodeId from, NodeId to, PortId to_port, Bytes payload) {
   }
   stats_.messages_sent++;
   stats_.bytes_sent += payload.size();
+  Trace(NetTraceKind::kSend, from, to, to_port, payload.size());
 
   if (from == to) {
     // Loopback: fixed context-switch cost plus a copy cost per KiB.
@@ -73,6 +103,7 @@ Status Network::Send(NodeId from, NodeId to, PortId to_port, Bytes payload) {
 
   if (IsPartitioned(from, to)) {
     stats_.messages_dropped++;
+    Trace(NetTraceKind::kDropPartition, from, to, to_port, payload.size());
     PROXY_LOG(kTrace, sched_->now(), "net",
               "drop (partition) " << node_name(from) << "->" << node_name(to));
     return Status::Ok();  // datagram semantics: sender does not learn
@@ -81,6 +112,7 @@ Status Network::Send(NodeId from, NodeId to, PortId to_port, Bytes payload) {
   DirectedLink& link = LinkFor(from, to);
   if (rng_.Chance(link.params.loss)) {
     stats_.messages_dropped++;
+    Trace(NetTraceKind::kDropLoss, from, to, to_port, payload.size());
     PROXY_LOG(kTrace, sched_->now(), "net",
               "drop (loss) " << node_name(from) << "->" << node_name(to));
     return Status::Ok();
@@ -103,6 +135,7 @@ Status Network::Send(NodeId from, NodeId to, PortId to_port, Bytes payload) {
     // A partition raised while in flight also eats the message.
     if (IsPartitioned(from, to)) {
       stats_.messages_dropped++;
+      Trace(NetTraceKind::kDropPartition, from, to, to_port, payload.size());
       return;
     }
     Deliver(from, to, to_port, std::move(payload));
@@ -111,8 +144,15 @@ Status Network::Send(NodeId from, NodeId to, PortId to_port, Bytes payload) {
 }
 
 void Network::Deliver(NodeId from, NodeId to, PortId to_port, Bytes payload) {
+  if (const auto it = paused_.find(to.value()); it != paused_.end()) {
+    stats_.messages_held++;
+    Trace(NetTraceKind::kHold, from, to, to_port, payload.size());
+    it->second.push_back(HeldMessage{from, to_port, std::move(payload)});
+    return;
+  }
   stats_.messages_delivered++;
   stats_.bytes_delivered += payload.size();
+  Trace(NetTraceKind::kDeliver, from, to, to_port, payload.size());
   auto& receiver = receivers_[to.value()];
   if (!receiver) {
     PROXY_LOG(kDebug, sched_->now(), "net",

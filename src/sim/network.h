@@ -48,8 +48,19 @@ struct NetStats {
   std::uint64_t bytes_sent = 0;
   std::uint64_t bytes_delivered = 0;
   std::uint64_t loopback_messages = 0;
+  std::uint64_t messages_held = 0;      // delayed by a paused node
 
   void Reset() { *this = NetStats{}; }
+};
+
+/// What happened to a message, as seen by the trace hook.
+enum class NetTraceKind : std::uint8_t {
+  kSend = 1,
+  kDeliver = 2,
+  kDropLoss = 3,
+  kDropPartition = 4,
+  kHold = 5,     // destination paused; queued for later delivery
+  kRelease = 6,  // held message re-injected on unpause
 };
 
 class Network {
@@ -85,6 +96,28 @@ class Network {
   void SetPartitioned(NodeId a, NodeId b, bool partitioned);
   [[nodiscard]] bool IsPartitioned(NodeId a, NodeId b) const;
 
+  /// Drops every partition at once (the chaos harness's heal-all).
+  void ClearPartitions() { partitioned_.clear(); }
+
+  /// Pauses a node: arriving messages are held (in arrival order) instead
+  /// of delivered, modeling a stalled process whose peers see silence.
+  /// Unpausing re-injects the backlog at the current instant — the burst
+  /// of delayed, batched delivery a real stall produces.
+  void SetNodePaused(NodeId node, bool paused);
+  [[nodiscard]] bool IsNodePaused(NodeId node) const;
+
+  /// Effective parameters of the (from, to) direction — the explicit
+  /// SetLink value or the default. Lets fault injectors perturb a link
+  /// and restore what was there before.
+  [[nodiscard]] LinkParams link_params(NodeId from, NodeId to) const;
+
+  /// Observation hook for every message event (send, deliver, drop,
+  /// hold, release). Installed by the chaos trace recorder; unset in
+  /// normal operation.
+  using TraceHook = std::function<void(NetTraceKind, NodeId from, NodeId to,
+                                       PortId to_port, std::size_t bytes)>;
+  void SetTraceHook(TraceHook hook) { trace_hook_ = std::move(hook); }
+
   /// Queues `payload` for delivery to `to_port` on node `to`. Returns
   /// InvalidArgument for unknown nodes; loss and partition are *not*
   /// errors at the sender (datagram semantics).
@@ -105,8 +138,18 @@ class Network {
     return (static_cast<std::uint64_t>(a.value()) << 32) | b.value();
   }
 
+  struct HeldMessage {
+    NodeId from;
+    PortId to_port;
+    Bytes payload;
+  };
+
   DirectedLink& LinkFor(NodeId from, NodeId to);
   void Deliver(NodeId from, NodeId to, PortId to_port, Bytes payload);
+  void Trace(NetTraceKind kind, NodeId from, NodeId to, PortId to_port,
+             std::size_t bytes) {
+    if (trace_hook_) trace_hook_(kind, from, to, to_port, bytes);
+  }
 
   Scheduler* sched_;
   Rng rng_;
@@ -116,7 +159,9 @@ class Network {
   std::vector<DeliveryFn> receivers_;
   std::unordered_map<std::uint64_t, DirectedLink> links_;
   std::unordered_map<std::uint64_t, bool> partitioned_;  // undirected key
+  std::unordered_map<std::uint32_t, std::vector<HeldMessage>> paused_;
   NetStats stats_;
+  TraceHook trace_hook_;
 };
 
 }  // namespace proxy::sim

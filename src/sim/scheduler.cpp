@@ -43,6 +43,7 @@ bool Scheduler::Step() {
   pending_.erase(ev.id);
   now_ = ev.time;
   ++events_run_;
+  if (step_hook_) step_hook_(ev.time, ev.id);
   ev.fn();
   return true;
 }

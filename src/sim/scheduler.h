@@ -75,6 +75,13 @@ class Scheduler {
     return pending_.size();
   }
 
+  /// Observation hook: called once per executed event, before its
+  /// callback runs, with (virtual time, timer id). Installed by the chaos
+  /// harness's trace recorder to fingerprint a run's exact event
+  /// interleaving; unset in normal operation (one branch per event).
+  using StepHook = std::function<void(SimTime, TimerId)>;
+  void SetStepHook(StepHook hook) { step_hook_ = std::move(hook); }
+
  private:
   struct Event {
     SimTime time = 0;
@@ -93,6 +100,7 @@ class Scheduler {
 
   SimTime now_ = 0;
   TimerId next_id_ = 1;
+  StepHook step_hook_;
   std::uint64_t events_run_ = 0;
   std::priority_queue<Event, std::vector<Event>, Later> heap_;
   std::unordered_set<TimerId> pending_;  // ids queued and not cancelled

@@ -1,0 +1,336 @@
+// Chaos harness suite: the smoke sweep (ctest label `chaos`), replay
+// determinism, the reintroduced-bug catch, schedule minimization, and
+// unit coverage for the invariant checkers and schedule generator.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "chaos/fault.h"
+#include "chaos/harness.h"
+#include "chaos/invariants.h"
+#include "chaos/minimize.h"
+#include "chaos/trace.h"
+#include "test_util.h"
+
+namespace proxy::chaos {
+namespace {
+
+bool HasInvariant(const ChaosReport& report, const std::string& name) {
+  return std::any_of(
+      report.violations.begin(), report.violations.end(),
+      [&name](const Violation& v) { return v.invariant == name; });
+}
+
+/// Finds a seed whose run (with `bug`) violates some invariant.
+/// Returns 0 if none found in [1, limit].
+std::uint64_t FirstViolatingSeed(Bug bug, std::uint64_t limit,
+                                 ChaosReport* out = nullptr) {
+  for (std::uint64_t seed = 1; seed <= limit; ++seed) {
+    ChaosOptions options;
+    options.seed = seed;
+    options.bug = bug;
+    ChaosReport report = RunChaos(options);
+    if (!report.ok()) {
+      if (out != nullptr) *out = std::move(report);
+      return seed;
+    }
+  }
+  return 0;
+}
+
+// --- the smoke sweep: tier-1's standing chaos coverage ---
+
+TEST(ChaosSmoke, ThirtyTwoSeedsHoldEveryInvariant) {
+  for (std::uint64_t seed = 1; seed <= 32; ++seed) {
+    ChaosOptions options;
+    options.seed = seed;
+    ChaosReport report = RunChaos(options);
+    EXPECT_TRUE(report.ok()) << report.Summary() << "\n" << report.trace_tail;
+    // The run did real work: faults fired, ops completed, the ARQ stream
+    // flowed, and (most seeds) forged replies bounced off authentication.
+    EXPECT_GT(report.faults_applied, 0u) << "seed " << seed;
+    EXPECT_GT(report.history_ops, 0u) << "seed " << seed;
+    EXPECT_GT(report.arq_delivered, 0u) << "seed " << seed;
+    EXPECT_GE(report.final_counter, 0) << "seed " << seed;
+  }
+}
+
+// --- replay determinism ---
+
+TEST(ChaosReplay, SameSeedReplaysByteIdentically) {
+  ChaosOptions options;
+  options.seed = 5;
+  const ChaosReport first = RunChaos(options);
+  const ChaosReport second = RunChaos(options);
+  EXPECT_EQ(first.fingerprint, second.fingerprint);
+  EXPECT_EQ(first.trace_events, second.trace_events);
+  EXPECT_EQ(first.history_ops, second.history_ops);
+  EXPECT_EQ(first.final_counter, second.final_counter);
+  EXPECT_EQ(first.violations.size(), second.violations.size());
+}
+
+TEST(ChaosReplay, DifferentSeedsDiverge) {
+  ChaosOptions a, b;
+  a.seed = 6;
+  b.seed = 7;
+  EXPECT_NE(RunChaos(a).fingerprint, RunChaos(b).fingerprint);
+}
+
+// --- the harness has teeth: a known-bad build is caught ---
+
+TEST(ChaosBugCatch, ReplyAuthRegressionCaughtAndReplaysIdentically) {
+  ChaosReport violating;
+  const std::uint64_t seed = FirstViolatingSeed(Bug::kReplyAuth,
+                                                /*limit=*/256, &violating);
+  ASSERT_NE(seed, 0u) << "reply-auth bug not caught within 256 seeds";
+  EXPECT_FALSE(violating.violations.empty());
+
+  // The reported seed replays the identical violating trace, twice.
+  ChaosOptions options;
+  options.seed = seed;
+  options.bug = Bug::kReplyAuth;
+  const ChaosReport replay1 = RunChaos(options);
+  const ChaosReport replay2 = RunChaos(options);
+  EXPECT_EQ(replay1.fingerprint, violating.fingerprint);
+  EXPECT_EQ(replay2.fingerprint, violating.fingerprint);
+  EXPECT_EQ(replay1.trace_events, violating.trace_events);
+  EXPECT_EQ(replay1.violations.size(), violating.violations.size());
+  EXPECT_EQ(replay2.violations.size(), violating.violations.size());
+}
+
+TEST(ChaosBugCatch, SpoofedRepliesAreRejectedOnMain) {
+  // With authentication on, some sweep seed must show forged replies
+  // arriving for pending calls and bouncing off the from-address check.
+  std::uint64_t rejected = 0;
+  for (std::uint64_t seed = 1; seed <= 16; ++seed) {
+    ChaosOptions options;
+    options.seed = seed;
+    ChaosReport report = RunChaos(options);
+    EXPECT_TRUE(report.ok()) << report.Summary();
+    EXPECT_GT(report.forged_replies, 0u);
+    rejected += report.spoofed_rejected;
+  }
+  EXPECT_GT(rejected, 0u);
+}
+
+// --- minimization ---
+
+TEST(ChaosMinimize, ShrinksScheduleAndPreservesInvariant) {
+  ChaosReport violating;
+  const std::uint64_t seed = FirstViolatingSeed(Bug::kReplyAuth,
+                                                /*limit=*/256, &violating);
+  ASSERT_NE(seed, 0u);
+  ASSERT_GT(violating.schedule.size(), 1u);
+  const std::string invariant = violating.violations.front().invariant;
+
+  ChaosOptions options;
+  options.seed = seed;
+  options.bug = Bug::kReplyAuth;
+  const MinimizeResult min =
+      MinimizeSchedule(options, violating.schedule, invariant);
+  EXPECT_LT(min.schedule.size(), violating.schedule.size());
+  EXPECT_GT(min.schedule.size(), 0u);
+  EXPECT_TRUE(HasInvariant(min.report, invariant))
+      << "minimized schedule no longer violates " << invariant;
+}
+
+// --- fault schedule generation ---
+
+TEST(ChaosSchedule, GenerationIsPureInTheSeed) {
+  const AdversaryParams params;
+  const auto a = GenerateSchedule(41, 10, 4, params);
+  const auto b = GenerateSchedule(41, 10, 4, params);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].ToString(), b[i].ToString());
+  }
+  auto render = [](const std::vector<FaultEvent>& s) {
+    std::string out;
+    for (const FaultEvent& ev : s) out += ev.ToString() + "\n";
+    return out;
+  };
+  EXPECT_NE(render(a), render(GenerateSchedule(42, 10, 4, params)));
+}
+
+TEST(ChaosSchedule, EpisodesStayInsideTheHorizon) {
+  AdversaryParams params;
+  params.horizon = Milliseconds(500);
+  const auto schedule = GenerateSchedule(9, 8, 4, params);
+  EXPECT_FALSE(schedule.empty());
+  for (const FaultEvent& ev : schedule) {
+    EXPECT_LE(ev.at, params.horizon);
+    EXPECT_LE(ev.at + ev.duration, params.horizon);
+  }
+}
+
+// --- invariant checkers (synthetic histories) ---
+
+OpRecord Op(std::uint32_t client, OpKind kind, OpOutcome outcome,
+            SimTime start, SimTime end) {
+  OpRecord r;
+  r.client = client;
+  r.kind = kind;
+  r.outcome = outcome;
+  r.start = start;
+  r.end = end;
+  return r;
+}
+
+TEST(ChaosInvariants, CounterDuplicateAckIsAViolation) {
+  History h;
+  OpRecord a = Op(0, OpKind::kCtrInc, OpOutcome::kOk, 0, 10);
+  a.number = 1;
+  OpRecord b = Op(1, OpKind::kCtrInc, OpOutcome::kOk, 20, 30);
+  b.number = 1;  // same value acked twice: a lost update
+  h.Append(a);
+  h.Append(b);
+  const auto violations = CheckCounter(h, 2);
+  ASSERT_FALSE(violations.empty());
+  EXPECT_EQ(violations.front().invariant, "counter-linearizable");
+}
+
+TEST(ChaosInvariants, CounterValueNeverRunsBackwards) {
+  History h;
+  OpRecord a = Op(0, OpKind::kCtrInc, OpOutcome::kOk, 0, 10);
+  a.number = 5;
+  OpRecord b = Op(1, OpKind::kCtrRead, OpOutcome::kOk, 20, 30);
+  b.number = 3;  // reads 3 after 5 was acknowledged and completed
+  h.Append(a);
+  h.Append(b);
+  EXPECT_TRUE(HasInvariant({.violations = CheckCounter(h, 5)},
+                           "counter-linearizable"));
+}
+
+TEST(ChaosInvariants, CounterFinalValueBounds) {
+  History h;
+  OpRecord a = Op(0, OpKind::kCtrInc, OpOutcome::kOk, 0, 10);
+  a.number = 1;
+  OpRecord b = Op(1, OpKind::kCtrInc, OpOutcome::kFailed, 20, 30);
+  h.Append(a);
+  h.Append(b);
+  // 1 acked + 1 unknown: final value must land in [1, 2].
+  EXPECT_TRUE(CheckCounter(h, 1).empty());
+  EXPECT_TRUE(CheckCounter(h, 2).empty());
+  EXPECT_FALSE(CheckCounter(h, 0).empty());
+  EXPECT_FALSE(CheckCounter(h, 3).empty());
+}
+
+TEST(ChaosInvariants, CleanCounterHistoryPasses) {
+  History h;
+  OpRecord a = Op(0, OpKind::kCtrInc, OpOutcome::kOk, 0, 10);
+  a.number = 1;
+  OpRecord b = Op(1, OpKind::kCtrInc, OpOutcome::kOk, 5, 15);
+  b.number = 2;
+  OpRecord c = Op(0, OpKind::kCtrRead, OpOutcome::kOk, 20, 25);
+  c.number = 2;
+  h.Append(a);
+  h.Append(b);
+  h.Append(c);
+  EXPECT_TRUE(CheckCounter(h, 2).empty());
+}
+
+TEST(ChaosInvariants, KvPhantomReadIsAViolation) {
+  History h;
+  OpRecord put = Op(0, OpKind::kKvPut, OpOutcome::kOk, 0, 10);
+  put.key = "k";
+  put.value = "real";
+  OpRecord get = Op(1, OpKind::kKvGet, OpOutcome::kOk, 20, 30);
+  get.key = "k";
+  get.value = "phantom";  // nobody ever wrote this
+  get.flag = true;
+  h.Append(put);
+  h.Append(get);
+  const auto violations = CheckKv(h);
+  ASSERT_FALSE(violations.empty());
+  EXPECT_EQ(violations.front().invariant, "kv-integrity");
+  // A failed Put still makes its value admissible (it may have executed).
+  History h2;
+  OpRecord lost = Op(0, OpKind::kKvPut, OpOutcome::kFailed, 0, 10);
+  lost.key = "k";
+  lost.value = "maybe";
+  OpRecord read = Op(1, OpKind::kKvGet, OpOutcome::kOk, 20, 30);
+  read.key = "k";
+  read.value = "maybe";
+  read.flag = true;
+  h2.Append(lost);
+  h2.Append(read);
+  EXPECT_TRUE(CheckKv(h2).empty());
+}
+
+TEST(ChaosInvariants, LockOverlappingDefiniteHoldsAreAViolation) {
+  History h;
+  OpRecord a = Op(0, OpKind::kLockTry, OpOutcome::kOk, 0, 10);
+  a.key = "l";
+  a.flag = true;
+  OpRecord b = Op(1, OpKind::kLockTry, OpOutcome::kOk, 15, 20);
+  b.key = "l";
+  b.flag = true;  // granted while client 0 definitely still holds it
+  OpRecord rel_a = Op(0, OpKind::kLockRelease, OpOutcome::kOk, 40, 45);
+  rel_a.key = "l";
+  OpRecord rel_b = Op(1, OpKind::kLockRelease, OpOutcome::kOk, 50, 55);
+  rel_b.key = "l";
+  h.Append(a);
+  h.Append(b);
+  h.Append(rel_a);
+  h.Append(rel_b);
+  const auto violations = CheckLocks(h);
+  ASSERT_FALSE(violations.empty());
+  EXPECT_EQ(violations.front().invariant, "lock-mutex");
+
+  // Sequential holds are fine.
+  History h2;
+  OpRecord c = Op(1, OpKind::kLockTry, OpOutcome::kOk, 46, 48);
+  c.key = "l";
+  c.flag = true;
+  h2.Append(a);
+  h2.Append(rel_a);
+  h2.Append(c);
+  h2.Append(rel_b);
+  EXPECT_TRUE(CheckLocks(h2).empty());
+}
+
+TEST(ChaosInvariants, ArqRegressionOrDuplicateIsAViolation) {
+  EXPECT_TRUE(CheckArqStream({1, 2, 5, 9}).empty());  // gaps are fine
+  EXPECT_FALSE(CheckArqStream({1, 2, 2}).empty());    // duplicate
+  EXPECT_FALSE(CheckArqStream({1, 3, 2}).empty());    // reorder
+}
+
+// --- trace recorder on the shared raw-RPC fixture ---
+
+TEST(ChaosTrace, RecorderFingerprintsSharedFixtureRuns) {
+  auto run = [](std::uint64_t seed) {
+    TraceRecorder trace;
+    proxy::testing::RpcWorld w(seed);
+    trace.Attach(w.sched, w.net);
+    sim::LinkParams lossy;
+    lossy.loss = 0.3;
+    w.net.SetLink(w.node_client, w.node_server, lossy);
+    rpc::CallOptions options;
+    options.retry_interval = Milliseconds(5);
+    options.max_retries = 50;
+    for (std::uint32_t i = 0; i < 10; ++i) {
+      EXPECT_TRUE(w.CallSync(i, options).ok());
+    }
+    return std::pair(trace.fingerprint(), trace.events());
+  };
+  const auto a = run(123);
+  const auto b = run(123);
+  EXPECT_EQ(a, b);  // same seed, same interleaving, same fingerprint
+  EXPECT_GT(a.second, 0u);
+  EXPECT_NE(run(124).first, a.first);
+}
+
+TEST(ChaosTrace, NotesAreOrderSensitive) {
+  TraceRecorder a, b;
+  a.Note(1, "x");
+  a.Note(2, "y");
+  b.Note(2, "y");
+  b.Note(1, "x");
+  EXPECT_NE(a.fingerprint(), b.fingerprint());
+  EXPECT_EQ(a.events(), b.events());
+}
+
+}  // namespace
+}  // namespace proxy::chaos

@@ -27,60 +27,10 @@
 namespace proxy {
 namespace {
 
-struct PingRequest {
-  std::uint32_t id = 0;
-  PROXY_SERDE_FIELDS(id)
-};
-struct PingResponse {
-  std::uint32_t id = 0;
-  PROXY_SERDE_FIELDS(id)
-};
-
-/// A minimal client/server pair on two nodes, with controllable breaker
-/// tuning. Not a TEST_F fixture so one test can build several worlds
-/// (e.g. a loss grid).
-struct RpcWorld {
-  explicit RpcWorld(std::uint64_t seed,
-                    rpc::RpcClient::BreakerParams breaker =
-                        rpc::RpcClient::BreakerParams{})
-      : net(sched, seed) {
-    node_client = net.AddNode("client");
-    node_server = net.AddNode("server");
-    stack_client = std::make_unique<net::NodeStack>(net, node_client);
-    stack_server = std::make_unique<net::NodeStack>(net, node_server);
-    client = std::make_unique<rpc::RpcClient>(*stack_client->OpenEphemeral(),
-                                              seed ^ 0xFA17u, breaker);
-    server_ep = stack_server->OpenEndpoint(PortId(40));
-    server = std::make_unique<rpc::RpcServer>(*server_ep);
-    object = ObjectId{1, 1};
-    auto dispatch = std::make_shared<rpc::Dispatch>();
-    rpc::RegisterTyped<PingRequest, PingResponse>(
-        *dispatch, 1,
-        [](PingRequest req,
-           const rpc::CallContext&) -> sim::Co<Result<PingResponse>> {
-          co_return PingResponse{req.id};
-        });
-    EXPECT_TRUE(server->ExportObject(object, dispatch).ok());
-  }
-
-  rpc::RpcResult CallSync(std::uint32_t id, const rpc::CallOptions& options) {
-    auto future = client->Call(server_ep->address(), object, 1,
-                               serde::EncodeToBytes(PingRequest{id}), options);
-    sched.RunUntil([&] { return future.ready(); });
-    return future.take();
-  }
-
-  void Partition(bool on) { net.SetPartitioned(node_client, node_server, on); }
-
-  sim::Scheduler sched;
-  sim::Network net;
-  NodeId node_client, node_server;
-  std::unique_ptr<net::NodeStack> stack_client, stack_server;
-  std::unique_ptr<rpc::RpcClient> client;
-  net::Endpoint* server_ep = nullptr;
-  std::unique_ptr<rpc::RpcServer> server;
-  ObjectId object;
-};
+// The two-node RPC pair and its ping wire structs live in test_util.h
+// (shared with the chaos suite).
+using proxy::testing::PingRequest;
+using proxy::testing::RpcWorld;
 
 TEST(FaultInjection, LossyCallsCompleteOrTimeoutWithinDeadline) {
   const double losses[] = {0.2, 0.35, 0.5};

@@ -29,17 +29,7 @@ struct ReplicaWorld {
   }
 
   std::shared_ptr<IKeyValue> BindProxy(core::Context& ctx) {
-    std::shared_ptr<IKeyValue> out;
-    auto body = [&]() -> sim::Co<void> {
-      BindOptions opts;
-      opts.allow_direct = false;
-      Result<std::shared_ptr<IKeyValue>> kv =
-          co_await Bind<IKeyValue>(ctx, "rkv", opts);
-      CO_ASSERT_OK(kv);
-      out = *kv;
-    };
-    w.Run(body);
-    return out;
+    return proxy::testing::BindByName<IKeyValue>(w, ctx, "rkv");
   }
 
   TestWorld w;

@@ -1,0 +1,164 @@
+// chaos_explore: seed-swept fault exploration from the command line.
+//
+//   chaos_explore --seeds=256             sweep seeds 1..256, report violations
+//   chaos_explore --seed=17               run one seed, print its report
+//   chaos_explore --seed=17 --replay      run it twice, prove the fingerprints
+//                                         (and violations) are identical
+//   chaos_explore --seed=17 --minimize    shrink the fault schedule to a
+//                                         1-minimal subset that still fails
+//   chaos_explore ... --bug=reply-auth    reintroduce the pre-hardening reply
+//                                         spoofing bug (the sweep must catch it)
+//
+// Exit status: 0 when every run was clean (or, under --minimize, when the
+// minimizer reproduced and shrank a failure); 1 when violations were found
+// by a sweep, or a replay diverged, or a --minimize target did not fail.
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "chaos/harness.h"
+#include "chaos/minimize.h"
+
+namespace {
+
+using proxy::chaos::Bug;
+using proxy::chaos::ChaosOptions;
+using proxy::chaos::ChaosReport;
+using proxy::chaos::FaultEvent;
+using proxy::chaos::MinimizeResult;
+
+struct Args {
+  std::uint64_t seeds = 0;      // sweep count (seeds 1..N)
+  std::uint64_t seed = 0;       // single seed
+  bool replay = false;
+  bool minimize = false;
+  Bug bug = Bug::kNone;
+  std::uint64_t first_seed = 1;
+};
+
+bool ParseU64(const char* s, std::uint64_t& out) {
+  char* end = nullptr;
+  const unsigned long long v = std::strtoull(s, &end, 10);
+  if (end == s || *end != '\0') return false;
+  out = v;
+  return true;
+}
+
+bool Parse(int argc, char** argv, Args& args) {
+  for (int i = 1; i < argc; ++i) {
+    const char* a = argv[i];
+    if (std::strncmp(a, "--seeds=", 8) == 0) {
+      if (!ParseU64(a + 8, args.seeds)) return false;
+    } else if (std::strncmp(a, "--seed=", 7) == 0) {
+      if (!ParseU64(a + 7, args.seed)) return false;
+    } else if (std::strncmp(a, "--first-seed=", 13) == 0) {
+      if (!ParseU64(a + 13, args.first_seed)) return false;
+    } else if (std::strcmp(a, "--replay") == 0) {
+      args.replay = true;
+    } else if (std::strcmp(a, "--minimize") == 0) {
+      args.minimize = true;
+    } else if (std::strcmp(a, "--bug=reply-auth") == 0) {
+      args.bug = Bug::kReplyAuth;
+    } else if (std::strcmp(a, "--bug=none") == 0) {
+      args.bug = Bug::kNone;
+    } else {
+      std::fprintf(stderr, "unknown argument: %s\n", a);
+      return false;
+    }
+  }
+  if ((args.seeds == 0) == (args.seed == 0)) {
+    std::fprintf(stderr, "exactly one of --seeds=N or --seed=S required\n");
+    return false;
+  }
+  return true;
+}
+
+ChaosOptions MakeOptions(std::uint64_t seed, Bug bug) {
+  ChaosOptions options;
+  options.seed = seed;
+  options.bug = bug;
+  return options;
+}
+
+int RunSweep(const Args& args) {
+  std::uint64_t violated = 0;
+  for (std::uint64_t s = args.first_seed; s < args.first_seed + args.seeds;
+       ++s) {
+    ChaosReport report = proxy::chaos::RunChaos(MakeOptions(s, args.bug));
+    if (report.ok()) {
+      if (s % 32 == 0) {
+        std::printf("seed %llu ok (%s)\n",
+                    static_cast<unsigned long long>(s),
+                    report.Summary().c_str());
+      }
+      continue;
+    }
+    ++violated;
+    std::printf("VIOLATION at seed %llu\n%s\n",
+                static_cast<unsigned long long>(s),
+                report.Summary().c_str());
+    if (!report.trace_tail.empty()) {
+      std::printf("--- trace tail ---\n%s\n", report.trace_tail.c_str());
+    }
+    std::printf("reproduce with: chaos_explore --seed=%llu%s\n",
+                static_cast<unsigned long long>(s),
+                args.bug == Bug::kReplyAuth ? " --bug=reply-auth" : "");
+  }
+  std::printf("sweep: %llu seeds, %llu violating\n",
+              static_cast<unsigned long long>(args.seeds),
+              static_cast<unsigned long long>(violated));
+  return violated == 0 ? 0 : 1;
+}
+
+int RunSingle(const Args& args) {
+  ChaosReport report =
+      proxy::chaos::RunChaos(MakeOptions(args.seed, args.bug));
+  std::printf("%s\n", report.Summary().c_str());
+  if (!report.trace_tail.empty()) {
+    std::printf("--- trace tail ---\n%s\n", report.trace_tail.c_str());
+  }
+
+  if (args.replay) {
+    ChaosReport second =
+        proxy::chaos::RunChaos(MakeOptions(args.seed, args.bug));
+    const bool identical = second.fingerprint == report.fingerprint &&
+                           second.trace_events == report.trace_events &&
+                           second.violations.size() ==
+                               report.violations.size();
+    std::printf("replay: fp=%llx events=%llu -> %s\n",
+                static_cast<unsigned long long>(second.fingerprint),
+                static_cast<unsigned long long>(second.trace_events),
+                identical ? "IDENTICAL" : "DIVERGED");
+    if (!identical) return 1;
+  }
+
+  if (args.minimize) {
+    if (report.ok()) {
+      std::printf("minimize: seed is clean, nothing to shrink\n");
+      return 1;
+    }
+    const std::string& invariant = report.violations.front().invariant;
+    MinimizeResult min = proxy::chaos::MinimizeSchedule(
+        MakeOptions(args.seed, args.bug), report.schedule, invariant);
+    std::printf(
+        "minimize: %zu -> %zu fault events (%zu runs, %s) still violating "
+        "%s\n",
+        report.schedule.size(), min.schedule.size(), min.runs,
+        min.converged ? "1-minimal" : "budget hit", invariant.c_str());
+    for (const FaultEvent& ev : min.schedule) {
+      std::printf("  %s\n", ev.ToString().c_str());
+    }
+    return 0;
+  }
+  return report.ok() ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Args args;
+  if (!Parse(argc, argv, args)) return 2;
+  return args.seed != 0 ? RunSingle(args) : RunSweep(args);
+}
