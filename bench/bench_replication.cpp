@@ -109,6 +109,88 @@ Sample Run(bool replicated, double down_pct) {
   return s;
 }
 
+// --- F7b: failover latency vs lease TTL ---
+//
+// Named-mode group of three replicas; the primary is crash-stopped while
+// a writer hammers Put through the unchanged IKeyValue proxy. The
+// blackout is the wall of virtual time from the crash to the first
+// acknowledged write against the promoted backup — dominated by the
+// lease TTL (failure detection), not by the promotion handshake.
+
+struct FailoverSample {
+  SimDuration blackout = 0;
+  int failed_writes = 0;
+  std::uint64_t promotions = 0;
+  std::uint64_t epoch = 0;
+};
+
+FailoverSample RunFailover(SimDuration ttl) {
+  World w(/*seed=*/67);
+  sim::Scheduler& sched = w.rt->scheduler();
+  // Replicas on their own nodes: the name service node cannot crash.
+  const NodeId n1 = w.rt->AddNode("kv-1");
+  const NodeId n2 = w.rt->AddNode("kv-2");
+  const NodeId n3 = w.rt->AddNode("kv-3");
+  core::Context& c1 = w.rt->CreateContext(n1, "kv-1");
+  core::Context& c2 = w.rt->CreateContext(n2, "kv-2");
+  core::Context& c3 = w.rt->CreateContext(n3, "kv-3");
+
+  ReplicatedKvParams p;
+  p.name = "kv-ha";
+  p.lease.ttl_ns = ttl;
+  p.lease.renew_fraction = 0.4;
+  p.lease.max_consecutive_failures = 2;
+  p.watch_interval = ttl / 3;
+  p.promote_stagger = Milliseconds(25);
+  p.rejoin_interval = Milliseconds(60);
+  p.mirror.retry_interval = Milliseconds(6);
+  p.mirror.max_retries = 2;
+  p.mirror.deadline = Milliseconds(40);
+  auto exported = ExportReplicatedKv(c1, {&c2, &c3}, p);
+  if (!exported.ok()) std::abort();
+  sched.RunFor(Milliseconds(30));  // lease heartbeat publishes the name
+
+  std::shared_ptr<IKeyValue> kv;
+  auto setup = [&]() -> sim::Co<void> {
+    core::BindOptions opts;
+    opts.allow_direct = false;
+    Result<std::shared_ptr<IKeyValue>> bound =
+        co_await core::Bind<IKeyValue>(*w.client_ctx, "kv-ha", opts);
+    if (!bound.ok()) std::abort();
+    kv = *bound;
+    rpc::CallOptions impatient;
+    impatient.retry_interval = Milliseconds(5);
+    impatient.max_retries = 1;
+    if (auto* fo = dynamic_cast<KvFailoverProxy*>(kv.get())) {
+      fo->set_call_options(impatient);
+    }
+    (void)co_await kv->Put("the-key", "the-value");
+    (void)co_await kv->Get("the-key");  // warm discovery/caches
+  };
+  w.rt->Run(setup());
+
+  FailoverSample s;
+  auto drive = [&]() -> sim::Co<void> {
+    w.rt->CrashNode(n1);
+    const SimTime crash_at = sched.now();
+    for (;;) {
+      Result<rpc::Void> write = co_await kv->Put("the-key", "rewritten");
+      if (write.ok()) {
+        s.blackout = sched.now() - crash_at;
+        break;
+      }
+      ++s.failed_writes;
+      co_await sim::SleepFor(sched, Milliseconds(2));
+    }
+  };
+  w.rt->Run(drive());
+  for (const auto& replica : exported->replicas) {
+    s.promotions += replica->promotions();
+    if (replica->epoch() > s.epoch) s.epoch = replica->epoch();
+  }
+  return s;
+}
+
 }  // namespace
 
 int main() {
@@ -137,5 +219,27 @@ int main() {
       "fraction of reads (each costs a timeout first); the replicated\n"
       "service answers everything — the proxy masks the partition by\n"
       "failing over, and sticks to a healthy replica between flaps.\n");
+
+  std::printf(
+      "\nF7b: failover latency — the primary is crash-stopped under write\n"
+      "load; blackout is crash -> first acknowledged write on the promoted\n"
+      "backup, through the same client proxy\n");
+  Table failover("write blackout vs lease TTL",
+                 {"lease TTL", "blackout", "failed writes", "promotions",
+                  "final epoch"});
+  for (const SimDuration ttl :
+       {Milliseconds(100), Milliseconds(200), Milliseconds(400)}) {
+    const FailoverSample s = RunFailover(ttl);
+    failover.AddRow({FmtDur(ttl), FmtDur(s.blackout),
+                     FmtInt(s.failed_writes),
+                     FmtInt(static_cast<int>(s.promotions)),
+                     FmtInt(static_cast<int>(s.epoch))});
+  }
+  failover.Print();
+
+  std::printf(
+      "\nShape check: blackout tracks the lease TTL (failure detection)\n"
+      "plus a small promotion constant; writes fail cleanly during the\n"
+      "window and succeed — exactly once acknowledged — after it.\n");
   return 0;
 }

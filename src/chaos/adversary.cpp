@@ -126,6 +126,16 @@ void Adversary::Apply(const FaultEvent& ev) {
       if (spoofer_ != nullptr) spoofer_->Burst(ev.a);
       break;
     }
+    case FaultKind::kCrashRestart: {
+      const NodeId a(ev.a);
+      runtime_->CrashNode(a);
+      ScheduleRestore(ev.duration, [this, a] {
+        runtime_->RestartNode(a);
+        trace_->Note(runtime_->scheduler().now(),
+                     "heal: restart n" + std::to_string(a.value()));
+      });
+      break;
+    }
   }
 }
 
@@ -134,12 +144,14 @@ void Adversary::HealAll() {
   std::map<std::uint64_t, std::function<void()>> undos;
   undos.swap(active_undos_);
   for (auto& [token, fn] : undos) fn();
-  // Belt and braces: a fully connected, unpaused world.
+  // Belt and braces: a fully connected, unpaused world with every node
+  // running (a crashed node restarts empty and resyncs).
   sim::Network& net = runtime_->network();
   net.ClearPartitions();
   const auto n = static_cast<std::uint32_t>(net.node_count());
   for (std::uint32_t node = 0; node < n; ++node) {
     net.SetNodePaused(NodeId(node), false);
+    if (net.IsNodeCrashed(NodeId(node))) runtime_->RestartNode(NodeId(node));
   }
   trace_->Note(runtime_->scheduler().now(), "heal-all");
 }

@@ -36,6 +36,9 @@ std::string FaultEvent::ToString() const {
     case FaultKind::kSpoofBurst:
       out << "spoof-burst at client " << a;
       break;
+    case FaultKind::kCrashRestart:
+      out << "crash n" << a << " for " << FormatDuration(duration);
+      break;
   }
   return out.str();
 }
@@ -95,6 +98,29 @@ std::vector<FaultEvent> GenerateSchedule(std::uint64_t seed,
       ev.b = 0;
     }
     schedule.push_back(ev);
+  }
+
+  // Crash-restart episodes run on their own timeline, drawn from a
+  // separate stream so adding/removing them never perturbs the link
+  // faults of the same seed. Sequential generation makes them
+  // non-overlapping by construction (see AdversaryParams::crash_targets).
+  if (!params.crash_targets.empty()) {
+    Rng crash_rng(SplitMix64(seed ^ 0xc4a54e57ULL).Next());
+    SimTime ct = 0;
+    for (;;) {
+      ct += crash_rng.UniformU64(2 * params.mean_crash_gap) + 1;
+      if (ct >= params.horizon) break;
+      FaultEvent ev;
+      ev.at = ct;
+      ev.kind = FaultKind::kCrashRestart;
+      ev.a = params.crash_targets[crash_rng.UniformU64(
+          params.crash_targets.size())];
+      const SimDuration max_len =
+          std::min<SimDuration>(params.max_crash_len, params.horizon - ct);
+      ev.duration = crash_rng.UniformU64(max_len) + 1;
+      schedule.push_back(ev);
+      ct += ev.duration;  // the next crash starts after this restart
+    }
   }
   return schedule;
 }

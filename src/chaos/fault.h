@@ -23,6 +23,7 @@ enum class FaultKind : std::uint8_t {
   kJitterBurst = 5, // link a<->b gains up-to-`jitter` reordering delay
   kLinkChurn = 6,   // permanently retune link a<->b latency/jitter
   kSpoofBurst = 7,  // forge replies at workload client index `a`
+  kCrashRestart = 8,  // crash-stop node a for `duration`, then restart it
 };
 
 struct FaultEvent {
@@ -51,6 +52,15 @@ struct AdversaryParams {
   /// is on (they must be rejected); the teeth of the reintroduced-bug
   /// acceptance check when it is off.
   bool spoof = true;
+  /// Nodes eligible for crash-restart episodes (the replicated-kv
+  /// replica nodes in the standard harness). Empty = no crash faults.
+  /// Crash episodes are generated on their own timeline and never
+  /// overlap each other — at most one node is down at any instant, the
+  /// crash-stop budget the replication layer's durability argument (and
+  /// therefore the kv-durability checker) assumes.
+  std::vector<std::uint32_t> crash_targets;
+  SimDuration max_crash_len = Milliseconds(250);
+  SimDuration mean_crash_gap = Milliseconds(280);
 };
 
 /// Pure: (seed, topology, params) -> schedule. `node_count` spans every

@@ -14,6 +14,7 @@
 #include "services/kv.h"
 #include "services/lock.h"
 #include "services/register_all.h"
+#include "services/replicated_kv.h"
 #include "sim/future.h"
 #include "sim/task.h"
 
@@ -55,6 +56,8 @@ std::string ChaosReport::Summary() const {
       << schedule.size() << " ops=" << history_ops
       << " ctr=" << final_counter << " forged=" << forged_replies
       << " rejected=" << spoofed_rejected << " arq=" << arq_delivered
+      << " promotions=" << kv_promotions << " epoch=" << kv_max_epoch
+      << " fenced=" << kv_fenced
       << " violations=" << violations.size();
   for (const Violation& v : violations) out << "\n  " << v.ToString();
   return out.str();
@@ -79,7 +82,9 @@ ChaosReport RunChaos(const ChaosOptions& options) {
   // --- topology ---
   const NodeId ns_node = rt.AddNode("ns");
   const NodeId srv_a_node = rt.AddNode("srv-a");  // counter + lock
-  const NodeId srv_b_node = rt.AddNode("srv-b");  // kv
+  const NodeId srv_b_node = rt.AddNode("srv-b");  // kv primary
+  const NodeId srv_c_node = rt.AddNode("srv-c");  // kv backup
+  const NodeId srv_d_node = rt.AddNode("srv-d");  // kv backup
   std::vector<NodeId> client_nodes;
   for (std::uint32_t i = 0; i < options.workload.clients; ++i) {
     client_nodes.push_back(rt.AddNode("client-" + std::to_string(i)));
@@ -92,12 +97,36 @@ ChaosReport RunChaos(const ChaosOptions& options) {
   rt.StartNameService(ns_node);
   core::Context& srv_a = rt.CreateContext(srv_a_node, "srv-a");
   core::Context& srv_b = rt.CreateContext(srv_b_node, "srv-b");
+  core::Context& srv_c = rt.CreateContext(srv_c_node, "srv-c");
+  core::Context& srv_d = rt.CreateContext(srv_d_node, "srv-d");
 
   Result<services::CounterExport> ctr =
       services::ExportCounterService(srv_a, /*protocol=*/1, /*initial=*/0);
   Result<services::LockExport> lock = services::ExportLockService(srv_a);
-  Result<services::KvExport> kv =
-      services::ExportKvService(srv_b, /*protocol=*/1);
+
+  // The KV is a 3-way replicated group with automatic failover under the
+  // name "chaos/kv": the primary's lease maintainer owns the name record,
+  // and the chaos-tuned timers keep promotion well inside a crash episode.
+  services::ReplicatedKvParams rparams;
+  rparams.name = "chaos/kv";
+  // Failure detection + promotion must fit inside a link-fault episode
+  // (max_fault_len, 150ms): a partition or isolation that cuts the
+  // primary off from the name service long enough deposes it while it is
+  // still alive and client-reachable — the stale-primary scenario epoch
+  // fencing exists for. With a 150ms TTL nothing but a crash (250ms)
+  // ever promoted, and fencing went unexercised.
+  rparams.lease.ttl_ns = Milliseconds(60);
+  rparams.lease.renew_fraction = 0.4;
+  rparams.lease.max_consecutive_failures = 2;
+  rparams.watch_interval = Milliseconds(20);
+  rparams.promote_stagger = Milliseconds(10);
+  rparams.rejoin_interval = Milliseconds(30);
+  rparams.mirror.retry_interval = Milliseconds(6);
+  rparams.mirror.max_retries = 2;
+  rparams.mirror.deadline = Milliseconds(40);
+  rparams.testing_disable_fencing = options.bug == Bug::kStalePrimary;
+  Result<services::ReplicatedKvExport> kv =
+      services::ExportReplicatedKv(srv_b, {&srv_c, &srv_d}, rparams);
   if (!ctr.ok() || !lock.ok() || !kv.ok()) {
     report.violations.push_back({"harness-setup", "service export failed"});
     return report;
@@ -109,11 +138,12 @@ ChaosReport RunChaos(const ChaosOptions& options) {
         "chaos/ctr", ctr->binding);
     Result<rpc::Void> b = co_await srv_a.names().RegisterService(
         "chaos/lock", lock->binding);
-    Result<rpc::Void> c = co_await srv_b.names().RegisterService(
-        "chaos/kv", kv->binding);
-    setup_ok = a.ok() && b.ok() && c.ok();
+    setup_ok = a.ok() && b.ok();
   };
   rt.Run(publish());
+  // "chaos/kv" is registered by the primary's lease heartbeat, not here;
+  // give it a beat to land before the clients bind through the name.
+  sched.RunFor(Milliseconds(20));
 
   // --- workload clients ---
   std::vector<std::unique_ptr<WorkloadClient>> clients;
@@ -177,11 +207,18 @@ ChaosReport RunChaos(const ChaosOptions& options) {
     spoofer.SetTargets(std::move(targets));
   }
 
+  // Crash-restart targets default to the replica nodes (never the name
+  // service); a caller-supplied list wins.
+  AdversaryParams adversary_params = options.adversary;
+  if (adversary_params.crash_targets.empty()) {
+    adversary_params.crash_targets = {srv_b_node.value(), srv_c_node.value(),
+                                      srv_d_node.value()};
+  }
   std::vector<FaultEvent> schedule =
       options.schedule.has_value()
           ? *options.schedule
           : GenerateSchedule(options.seed, node_count,
-                             options.workload.clients, options.adversary);
+                             options.workload.clients, adversary_params);
   Adversary adversary(rt, trace, &spoofer, std::move(schedule));
   adversary.Arm();
 
@@ -236,6 +273,8 @@ ChaosReport RunChaos(const ChaosOptions& options) {
   Append(report.violations, CheckKv(history));
   Append(report.violations, CheckLocks(history));
   Append(report.violations, CheckArqStream(arq_received));
+  Append(report.violations, CheckKvDurability(history));
+  Append(report.violations, CheckKvEpochs(history));
 
   report.fingerprint = trace.fingerprint();
   report.trace_events = trace.events();
@@ -249,6 +288,15 @@ ChaosReport RunChaos(const ChaosOptions& options) {
         client->context().client().stats().spoofed_replies;
   }
   report.arq_delivered = arq_received.size();
+  {
+    std::vector<services::KvReplica*> replicas{kv->primary.get()};
+    for (auto& backup : kv->backup_impls) replicas.push_back(backup.get());
+    for (services::KvReplica* replica : replicas) {
+      report.kv_promotions += replica->promotions();
+      report.kv_max_epoch = std::max(report.kv_max_epoch, replica->epoch());
+      report.kv_fenced += replica->fenced_rejections();
+    }
+  }
   if (!report.violations.empty()) {
     report.trace_tail = trace.DumpTail(64);
   }

@@ -29,6 +29,10 @@ enum class Bug : std::uint8_t {
   /// Disables the RPC client's reply from-address check (the PR-1
   /// hardening): any host that guesses nonce+seq completes a call.
   kReplyAuth = 1,
+  /// Disables epoch fencing in the replicated KV: a deposed primary
+  /// ignores higher-epoch batches and keeps acknowledging writes at its
+  /// stale epoch. Caught by kv-epoch-regression / kv-durability.
+  kStalePrimary = 2,
 };
 
 struct ChaosOptions {
@@ -60,6 +64,9 @@ struct ChaosReport {
   std::uint64_t forged_replies = 0;    // sent by the spoofer
   std::uint64_t spoofed_rejected = 0;  // bounced off reply authentication
   std::uint64_t arq_delivered = 0;     // probe stream messages received
+  std::uint64_t kv_promotions = 0;     // primary takeovers across replicas
+  std::uint64_t kv_max_epoch = 0;      // highest epoch any replica reached
+  std::uint64_t kv_fenced = 0;         // stale-epoch requests rejected
   std::string trace_tail;              // populated when violations exist
 
   [[nodiscard]] bool ok() const noexcept { return violations.empty(); }

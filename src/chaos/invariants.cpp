@@ -203,6 +203,99 @@ std::vector<Violation> CheckLocks(const History& history) {
   return out;
 }
 
+std::vector<Violation> CheckKvDurability(const History& history) {
+  std::vector<Violation> out;
+
+  // Acknowledged, epoch-stamped Puts. The workload never deletes, so once
+  // a Put for a key is acknowledged, "absent" is only defensible from a
+  // replica still serving an older epoch than the ack's.
+  std::vector<const OpRecord*> puts;
+  for (const OpRecord& op : history.ops) {
+    if (op.kind == OpKind::kKvPut && op.outcome == OpOutcome::kOk &&
+        op.epoch != 0) {
+      puts.push_back(&op);
+    }
+  }
+
+  for (const OpRecord& get : history.ops) {
+    if (get.kind != OpKind::kKvGet || get.outcome != OpOutcome::kOk ||
+        get.epoch == 0 || get.flag) {
+      continue;  // only epoch-stamped absent reads can violate durability
+    }
+    for (const OpRecord* put : puts) {
+      if (put->key != get.key) continue;
+      if (put->end >= get.start) continue;     // not real-time ordered
+      if (get.epoch < put->epoch) continue;    // stale-epoch server: exempt
+      out.push_back({"kv-durability",
+                     OpName(get) + " (epoch " + std::to_string(get.epoch) +
+                         ") found \"" + get.key + "\" absent after " +
+                         OpName(*put) + " was acknowledged at epoch " +
+                         std::to_string(put->epoch)});
+      break;  // one witness per Get is enough
+    }
+  }
+  return out;
+}
+
+std::vector<Violation> CheckKvEpochs(const History& history) {
+  std::vector<Violation> out;
+
+  std::vector<const OpRecord*> puts;
+  for (const OpRecord& op : history.ops) {
+    if (op.kind == OpKind::kKvPut && op.outcome == OpOutcome::kOk &&
+        op.epoch != 0) {
+      puts.push_back(&op);
+    }
+  }
+
+  // Split-brain: one acknowledging replica per epoch. Epochs only move by
+  // view changes, and a view has a single primary, so two distinct ackers
+  // under the same epoch means two nodes believed they led the same view.
+  std::unordered_map<std::uint64_t, const OpRecord*> acker_by_epoch;
+  for (const OpRecord* op : puts) {
+    const auto [it, inserted] = acker_by_epoch.emplace(op->epoch, op);
+    if (!inserted && it->second->acker != op->acker) {
+      out.push_back({"kv-split-brain",
+                     OpName(*it->second) + " and " + OpName(*op) +
+                         " were acknowledged by different replicas under "
+                         "epoch " +
+                         std::to_string(op->epoch)});
+    }
+  }
+
+  // Epoch regression: across real-time ordered acks, the serving epoch
+  // never decreases. A fenced-off ex-primary that keeps acknowledging
+  // writes at its old epoch after its successor's reign began lands here.
+  std::vector<const OpRecord*> by_start = puts;
+  std::sort(by_start.begin(), by_start.end(),
+            [](const OpRecord* a, const OpRecord* b) {
+              return a->start < b->start;
+            });
+  std::vector<const OpRecord*> by_end = puts;
+  std::sort(by_end.begin(), by_end.end(),
+            [](const OpRecord* a, const OpRecord* b) { return a->end < b->end; });
+  std::size_t completed = 0;
+  std::uint64_t max_epoch = 0;
+  const OpRecord* max_op = nullptr;
+  for (const OpRecord* op : by_start) {
+    while (completed < by_end.size() && by_end[completed]->end < op->start) {
+      if (by_end[completed]->epoch > max_epoch) {
+        max_epoch = by_end[completed]->epoch;
+        max_op = by_end[completed];
+      }
+      ++completed;
+    }
+    if (max_op != nullptr && op->epoch < max_epoch) {
+      out.push_back({"kv-epoch-regression",
+                     OpName(*op) + " was acknowledged at epoch " +
+                         std::to_string(op->epoch) + " after " +
+                         OpName(*max_op) + " completed at epoch " +
+                         std::to_string(max_epoch)});
+    }
+  }
+  return out;
+}
+
 std::vector<Violation> CheckArqStream(
     const std::vector<std::uint64_t>& received) {
   std::vector<Violation> out;

@@ -55,6 +55,12 @@ struct OpRecord {
   std::string value;          // kv value written or read ("" = absent)
   std::int64_t number = 0;    // counter value returned
   bool flag = false;          // kKvGet: value present; kLockTry: acquired
+  /// Replication epoch reported by the replica that served a successful
+  /// kv operation (0 when the op failed or the service is unreplicated).
+  std::uint64_t epoch = 0;
+  /// Identity (folded object id) of the replica that acknowledged a
+  /// successful kv Put — the split-brain checker's evidence.
+  std::uint64_t acker = 0;
 };
 
 struct History {
@@ -81,5 +87,22 @@ std::vector<Violation> CheckKv(const History& history);
 std::vector<Violation> CheckLocks(const History& history);
 std::vector<Violation> CheckArqStream(
     const std::vector<std::uint64_t>& received);
+
+/// Replication invariants over the epoch-stamped kv history. Both only
+/// consider operations that carry an epoch (epoch != 0).
+///
+/// kv-durability: an acknowledged Put is never missing from a later Get
+/// answered at an epoch >= the ack's epoch. (A Get served at a lower
+/// epoch may legitimately come from a stale, evicted replica; the
+/// workload issues no deletes, so "absent" is otherwise indefensible.)
+std::vector<Violation> CheckKvDurability(const History& history);
+
+/// kv-split-brain: two different replicas never acknowledge writes under
+/// the same epoch.
+/// kv-epoch-regression: across real-time ordered acknowledged Puts (one
+/// completes before the other starts), the acknowledging epoch never
+/// decreases — a deposed primary that keeps acknowledging after its
+/// successor took over shows up here.
+std::vector<Violation> CheckKvEpochs(const History& history);
 
 }  // namespace proxy::chaos

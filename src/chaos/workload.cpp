@@ -5,6 +5,7 @@
 
 #include "core/factory.h"
 #include "core/proxy.h"
+#include "services/replicated_kv.h"
 #include "sim/future.h"
 
 namespace proxy::chaos {
@@ -43,6 +44,7 @@ sim::Co<Result<rpc::Void>> WorkloadClient::BindAll(
   Tune(dynamic_cast<core::ProxyBase*>(counter_.get()), params.call);
   Tune(dynamic_cast<core::ProxyBase*>(kv_.get()), params.call);
   Tune(dynamic_cast<core::ProxyBase*>(lock_.get()), params.call);
+  kv_failover_ = dynamic_cast<services::KvFailoverProxy*>(kv_.get());
   co_return rpc::Void{};
 }
 
@@ -85,6 +87,11 @@ sim::Co<void> WorkloadClient::Run(const WorkloadParams& params,
       rec.outcome = r.ok() ? OpOutcome::kOk : OpOutcome::kFailed;
       rec.key = key;
       rec.value = value;
+      if (r.ok() && kv_failover_ != nullptr) {
+        rec.epoch = kv_failover_->last_op_epoch();
+        const ObjectId acker = kv_failover_->last_write_acker();
+        rec.acker = acker.hi ^ acker.lo;
+      }
     } else if (roll < 90) {
       const std::string key =
           "k" + std::to_string(rng_.UniformU64(params.kv_keys));
@@ -95,6 +102,9 @@ sim::Co<void> WorkloadClient::Run(const WorkloadParams& params,
       if (r.ok() && r->has_value()) {
         rec.flag = true;
         rec.value = **r;
+      }
+      if (r.ok() && kv_failover_ != nullptr) {
+        rec.epoch = kv_failover_->last_op_epoch();
       }
     } else {
       const std::string name =

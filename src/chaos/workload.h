@@ -20,6 +20,10 @@
 #include "services/lock.h"
 #include "sim/task.h"
 
+namespace proxy::services {
+class KvFailoverProxy;
+}  // namespace proxy::services
+
 namespace proxy::chaos {
 
 struct WorkloadParams {
@@ -77,6 +81,10 @@ class WorkloadClient {
   std::shared_ptr<services::ICounter> counter_;
   std::shared_ptr<services::IKeyValue> kv_;
   std::shared_ptr<services::ILockService> lock_;
+  /// Non-owning view of kv_ when the bound proxy speaks the replicated
+  /// protocol; lets ops record the serving epoch and acknowledging
+  /// replica for the replication invariants. Null for a plain KvProxy.
+  services::KvFailoverProxy* kv_failover_ = nullptr;
 };
 
 }  // namespace proxy::chaos

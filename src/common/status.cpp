@@ -17,6 +17,7 @@ std::string_view StatusCodeName(StatusCode code) noexcept {
     case StatusCode::kResourceExhausted: return "RESOURCE_EXHAUSTED";
     case StatusCode::kFailedPrecondition: return "FAILED_PRECONDITION";
     case StatusCode::kInternal: return "INTERNAL";
+    case StatusCode::kFenced: return "FENCED";
   }
   return "UNKNOWN";
 }
@@ -65,6 +66,9 @@ Status FailedPreconditionError(std::string msg) {
 }
 Status InternalError(std::string msg) {
   return {StatusCode::kInternal, std::move(msg)};
+}
+Status FencedError(std::string msg) {
+  return {StatusCode::kFenced, std::move(msg)};
 }
 
 }  // namespace proxy

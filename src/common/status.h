@@ -29,6 +29,7 @@ enum class StatusCode : std::uint8_t {
   kResourceExhausted,  // queue full, message too large, etc.
   kFailedPrecondition, // valid request in the wrong state (e.g. lock not held)
   kInternal,           // invariant violation reported instead of aborting
+  kFenced,             // request carried a stale replication epoch
 };
 
 /// Human-readable, stable name of a code ("TIMEOUT", "NOT_FOUND", ...).
@@ -74,6 +75,7 @@ Status CancelledError(std::string msg);
 Status ResourceExhaustedError(std::string msg);
 Status FailedPreconditionError(std::string msg);
 Status InternalError(std::string msg);
+Status FencedError(std::string msg);
 
 /// Result<T> is either a value or a non-OK Status.
 template <typename T>

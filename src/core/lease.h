@@ -7,12 +7,14 @@
 // point the service has effectively lost its name).
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <memory>
 #include <string>
 
 #include "core/binding.h"
 #include "core/runtime.h"
+#include "naming/client.h"
 #include "sim/task.h"
 
 namespace proxy::core {
@@ -70,9 +72,24 @@ class LeaseMaintainer {
   // the maintainer being destroyed mid-heartbeat (it then observes
   // `stopped` and winds down).
   static sim::Co<void> HeartbeatLoop(std::shared_ptr<State> st) {
+    const auto period = static_cast<SimDuration>(
+        st->params.renew_fraction * static_cast<double>(st->params.ttl_ns));
+    // A renewal attempt must never outlive its own period: otherwise a
+    // partitioned owner takes several backed-off timeouts — far more
+    // than the TTL — to notice it lost the name, and failover stalls.
+    // Dedicated stub so the deadline does not leak into other users of
+    // the context-wide name client.
+    naming::NameClient names(st->context->client(),
+                             st->context->names().server());
+    rpc::CallOptions bounded;
+    bounded.retry_interval = std::max<SimDuration>(period / 8, 1);
+    bounded.max_retries = 8;
+    bounded.deadline = period;
+    names.set_call_options(bounded);
+
     int failures = 0;
     while (!st->stopped) {
-      Result<rpc::Void> renewed = co_await st->context->names().RegisterService(
+      Result<rpc::Void> renewed = co_await names.RegisterService(
           st->name, st->binding, st->params.ttl_ns);
       if (renewed.ok()) {
         failures = 0;
@@ -81,8 +98,6 @@ class LeaseMaintainer {
         st->lost = true;
         co_return;
       }
-      const auto period = static_cast<SimDuration>(
-          st->params.renew_fraction * static_cast<double>(st->params.ttl_ns));
       co_await sim::SleepFor(st->context->scheduler(), period);
     }
   }

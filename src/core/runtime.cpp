@@ -52,6 +52,22 @@ const Context::LocalEntry* Context::FindLocal(ObjectId id) const {
   return it == locals_.end() ? nullptr : &it->second;
 }
 
+void Context::NotifyCrash() {
+  crashed_ = true;
+  // Services first (they mark themselves dead), then the RPC runtime:
+  // outstanding calls fail so coroutines blocked on them unwind, and
+  // in-flight server executions are abandoned along with the reply cache.
+  for (auto& handler : crash_handlers_) handler();
+  rpc_client_->Reset(UnavailableError("node crashed"));
+  rpc_server_->Reset();
+  cached_names_->Clear();
+}
+
+void Context::NotifyRestart() {
+  crashed_ = false;
+  for (auto& handler : restart_handlers_) handler();
+}
+
 Runtime::Runtime(Params params)
     : params_(params),
       network_(scheduler_, params.seed),
@@ -102,6 +118,27 @@ Context& Runtime::StartNameService(NodeId node) {
                                             naming::kNameServiceObject);
   }
   return ctx;
+}
+
+void Runtime::CrashNode(NodeId node) {
+  assert((name_server_ == nullptr ||
+          name_server_addr_.node != node) &&
+         "crashing the name-service node is not supported");
+  if (network_.IsNodeCrashed(node)) return;
+  // Cut the network first so nothing a crash handler does can leak a
+  // message out of the dying node.
+  network_.SetNodeCrashed(node, true);
+  for (auto& ctx : contexts_) {
+    if (ctx->node() == node) ctx->NotifyCrash();
+  }
+}
+
+void Runtime::RestartNode(NodeId node) {
+  if (!network_.IsNodeCrashed(node)) return;
+  network_.SetNodeCrashed(node, false);
+  for (auto& ctx : contexts_) {
+    if (ctx->node() == node) ctx->NotifyRestart();
+  }
 }
 
 std::optional<Runtime::LocalHit> Runtime::FindObjectOnNode(NodeId node,

@@ -9,6 +9,7 @@
 #pragma once
 
 #include <cassert>
+#include <functional>
 #include <memory>
 #include <optional>
 #include <string>
@@ -93,8 +94,26 @@ class Context {
   /// exported) on first use. Defined in migration.cpp.
   MigrationManager& migration();
 
+  /// Crash-stop hooks. Services register handlers so volatile state dies
+  /// with the node: crash handlers run when the node crash-stops (after
+  /// the network cut, before RPC state is torn down — mark yourself dead
+  /// first), restart handlers when it comes back empty (kick off rejoin).
+  /// Handlers run in registration order and stay registered across
+  /// crashes — a context may crash and restart many times per run.
+  void OnCrash(std::function<void()> handler) {
+    crash_handlers_.push_back(std::move(handler));
+  }
+  void OnRestart(std::function<void()> handler) {
+    restart_handlers_.push_back(std::move(handler));
+  }
+
+  [[nodiscard]] bool crashed() const noexcept { return crashed_; }
+
  private:
   friend class Runtime;
+
+  void NotifyCrash();
+  void NotifyRestart();
   Context(Runtime& runtime, ContextId id, NodeId node, std::string name,
           net::NodeStack& stack, std::uint64_t client_nonce,
           const net::Address& name_server);
@@ -112,6 +131,9 @@ class Context {
   std::unique_ptr<naming::CachingNameClient> cached_names_;
   std::unique_ptr<MigrationManager> migration_;
   std::unordered_map<ObjectId, LocalEntry> locals_;
+  std::vector<std::function<void()>> crash_handlers_;
+  std::vector<std::function<void()>> restart_handlers_;
+  bool crashed_ = false;
 };
 
 class Runtime {
@@ -142,6 +164,16 @@ class Runtime {
   /// Creates a context on `node` hosting the system name service on the
   /// conventional port. Must be called once, before contexts bind names.
   Context& StartNameService(NodeId node);
+
+  /// Crash-stops `node`: all in-flight messages to/from it are lost, its
+  /// contexts' crash handlers run, outstanding RPCs fail locally and
+  /// server-side executions are abandoned. The node stays dark until
+  /// RestartNode. Crashing the name-service node is not supported.
+  void CrashNode(NodeId node);
+
+  /// Brings a crashed node back with empty volatile state (crash-stop,
+  /// then rejoin): restart handlers run so services can resync.
+  void RestartNode(NodeId node);
 
   [[nodiscard]] net::Address name_server_address() const {
     return name_server_addr_;

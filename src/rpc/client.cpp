@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <utility>
+#include <vector>
 
 #include "common/log.h"
 
@@ -195,6 +196,15 @@ void RpcClient::OnDeadline(std::uint64_t seq) {
   it->second.deadline_timer = sim::kInvalidTimer;
   stats_.deadline_expirations++;
   TimeOutCall(seq, it->second, "deadline exceeded");
+}
+
+void RpcClient::Reset(const Status& status) {
+  std::vector<std::uint64_t> seqs;
+  seqs.reserve(pending_.size());
+  for (const auto& [seq, call] : pending_) seqs.push_back(seq);
+  std::sort(seqs.begin(), seqs.end());
+  for (const std::uint64_t seq : seqs) Finish(seq, status);
+  breakers_.clear();
 }
 
 void RpcClient::BreakerOnContact(const net::Address& dest) {

@@ -114,6 +114,13 @@ class RpcClient {
   /// yet elapsed, or a half-open probe already in flight).
   [[nodiscard]] bool CircuitOpen(const net::Address& dest) const;
 
+  /// Crash-stop support: fails every outstanding call with `status` (in
+  /// ascending seq order, for replay determinism) and forgets all
+  /// per-destination breaker state. The nonce and seq counter survive so
+  /// a restarted process cannot collide with its pre-crash calls in peer
+  /// reply caches.
+  void Reset(const Status& status);
+
   [[nodiscard]] const ClientStats& stats() const noexcept { return stats_; }
   [[nodiscard]] net::Address address() const noexcept {
     return endpoint_->address();

@@ -40,6 +40,11 @@ void RpcServer::Revoke(ObjectId id) {
   revoked_.insert(id);
 }
 
+void RpcServer::Reset() {
+  generation_++;
+  history_.clear();
+}
+
 void RpcServer::OnDatagram(const net::Address& from, Bytes payload) {
   auto request = DecodeRequest(View(payload));
   if (!request.ok()) {
@@ -107,6 +112,7 @@ void RpcServer::OnDatagram(const net::Address& from, Bytes payload) {
 }
 
 sim::Co<void> RpcServer::Execute(net::Address from, RequestFrame request) {
+  const std::uint64_t born = generation_;
   Result<Bytes> outcome = InternalError("uninitialized outcome");
 
   const auto obj = objects_.find(request.object);
@@ -122,6 +128,10 @@ sim::Co<void> RpcServer::Execute(net::Address from, RequestFrame request) {
     CallContext ctx{from, request.call, scheduler().now()};
     outcome = co_await (*method)(std::move(request.args), ctx);
   }
+
+  // The process crashed while this handler ran: the execution dies with
+  // it — no reply, no cache entry.
+  if (born != generation_) co_return;
 
   SendReply(from, request.call, outcome);
 

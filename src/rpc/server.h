@@ -105,6 +105,13 @@ class RpcServer {
     return objects_.contains(id);
   }
 
+  /// Crash-stop support: drops the at-most-once reply cache and abandons
+  /// every in-flight execution — a handler started before the crash never
+  /// replies or touches the cache, exactly as if the process died mid-call.
+  /// Exported objects stay registered; the owning service decides what of
+  /// its own state survives via Context crash handlers.
+  void Reset();
+
   [[nodiscard]] const ServerStats& stats() const noexcept { return stats_; }
   [[nodiscard]] net::Address address() const noexcept {
     return endpoint_->address();
@@ -131,6 +138,7 @@ class RpcServer {
   net::Endpoint* endpoint_;
   Params params_;
   ServerStats stats_;
+  std::uint64_t generation_ = 0;  // bumped by Reset(); fences executions
   std::unordered_map<ObjectId, std::shared_ptr<Dispatch>> objects_;
   std::unordered_map<ObjectId, Bytes> forwarding_;
   std::unordered_set<ObjectId> revoked_;

@@ -1,97 +1,542 @@
 #include "services/replicated_kv.h"
 
+#include <algorithm>
+#include <utility>
+
+#include "common/log.h"
 #include "core/factory.h"
 
 namespace proxy::services {
 
-using kvwire::BatchPutRequest;
 using kvwire::DelRequest;
 using kvwire::DelResponse;
+using kvwire::EpochDelResponse;
+using kvwire::EpochGetResponse;
+using kvwire::EpochPutResponse;
 using kvwire::GetRequest;
 using kvwire::GetResponse;
+using kvwire::JoinRequest;
+using kvwire::JoinResponse;
 using kvwire::PutRequest;
 using kvwire::ReplicaListResponse;
+using kvwire::ReplicateBatchRequest;
 using kvwire::SizeResponse;
+using kvwire::StatusResponse;
 using kvwire::SubscribeRequest;
 
-// --- coordinator -------------------------------------------------------
+namespace {
 
-sim::Co<Result<std::optional<std::string>>> KvReplicaCoordinator::Get(
-    std::string key) {
-  co_return co_await local_->Get(std::move(key));
+bool SameObject(const core::ServiceBinding& a, const core::ServiceBinding& b) {
+  return a.object == b.object;
 }
 
-sim::Co<Result<std::uint64_t>> KvReplicaCoordinator::Size() {
-  co_return co_await local_->Size();
+}  // namespace
+
+// --- replica: configuration and lifecycle ------------------------------
+
+void KvReplica::Configure(core::ServiceBinding self,
+                          std::vector<core::ServiceBinding> all_replicas,
+                          ReplicaRole role) {
+  self_ = self;
+  all_replicas_ = std::move(all_replicas);
+  active_ = all_replicas_;  // [0] is the initial primary by construction
+  role_ = role;
+  epoch_ = 1;
 }
 
-sim::Co<Status> KvReplicaCoordinator::Mirror(
+void KvReplica::StartFailover() {
+  if (role_ == ReplicaRole::kPrimary) {
+    lease_ = std::make_unique<core::LeaseMaintainer>(*context_, params_.name,
+                                                     self_, params_.lease);
+  }
+  auto self = shared_from_this();
+  context_->OnCrash([self] {
+    // Crash-stop: every bit of volatile state dies with the process. The
+    // static replica list is configuration and survives (a restarted
+    // process re-reads its config); data, role, epoch and view do not.
+    self->store_ = std::make_shared<KvService>(*self->context_);
+    self->role_ = ReplicaRole::kBackup;
+    self->syncing_ = true;
+    self->joining_ = false;
+    self->inflight_writes_ = 0;
+    self->epoch_ = 0;
+    self->active_.clear();
+    if (self->lease_) {
+      self->lease_->Stop();
+      self->lease_.reset();
+    }
+  });
+  (void)sim::Spawn(context_->scheduler(), WatchdogLoop(self));
+}
+
+void KvReplica::StepDown(bool resync) {
+  role_ = ReplicaRole::kBackup;
+  if (resync) syncing_ = true;
+  if (lease_) {
+    lease_->Stop();
+    lease_.reset();
+  }
+  PROXY_LOG(kInfo, context_->scheduler().now(), "rkv",
+            "replica " << self_.object.ToString() << " stepped down"
+                       << (resync ? " (resync)" : ""));
+}
+
+bool KvReplica::InReplicaList(
+    const std::vector<core::ServiceBinding>& list) const {
+  return std::any_of(list.begin(), list.end(), [this](const auto& r) {
+    return SameObject(r, self_);
+  });
+}
+
+bool KvReplica::InActiveSet(const core::ServiceBinding& peer) const {
+  return std::any_of(active_.begin(), active_.end(), [&](const auto& r) {
+    return SameObject(r, peer);
+  });
+}
+
+// --- replica: data path ------------------------------------------------
+
+sim::Co<Result<std::optional<std::string>>> KvReplica::Get(std::string key) {
+  if (syncing_) co_return UnavailableError("replica syncing");
+  co_return co_await store_->Get(std::move(key));
+}
+
+sim::Co<Result<std::uint64_t>> KvReplica::Size() {
+  if (syncing_) co_return UnavailableError("replica syncing");
+  co_return co_await store_->Size();
+}
+
+sim::Co<Status> KvReplica::SendBatch(const core::ServiceBinding& peer,
+                                     const ReplicateBatchRequest& req) {
+  rpc::RpcResult r = co_await context_->client().Call(
+      peer.server, peer.object, kvwire::kReplicateBatch,
+      serde::EncodeToBytes(req), params_.mirror);
+  co_return r.status;
+}
+
+sim::Co<Status> KvReplica::Mirror(
     std::vector<std::pair<std::string, std::string>> entries,
     std::vector<std::string> deletes) {
-  // Write-all: every backup must acknowledge before the client does.
-  // (Sequential for determinism; the simulated RTTs still dominate.)
-  for (const auto& backup : backups_) {
-    if (!entries.empty()) {
-      BatchPutRequest req{entries, ObjectId{}};
-      rpc::RpcResult r = co_await context_->client().Call(
-          backup.server, backup.object, kvwire::kBatchPut,
-          serde::EncodeToBytes(req));
-      if (!r.ok()) {
+  const bool named = !params_.name.empty();
+  ReplicateBatchRequest req;
+  req.epoch = epoch_;
+  req.replicas = active_;
+  req.entries = std::move(entries);
+  req.deletes = std::move(deletes);
+
+  // Write-all over the active set: every active peer must acknowledge
+  // before the client does (so any active replica can later promote
+  // without losing an acknowledged write).
+  std::vector<core::ServiceBinding> survivors{self_};
+  bool lost_any = false;
+  for (const auto& peer : active_) {
+    if (SameObject(peer, self_)) continue;
+    const Status st = co_await SendBatch(peer, req);
+    if (st.ok()) {
+      survivors.push_back(peer);
+      continue;
+    }
+    if (st.code() == StatusCode::kFenced) {
+      // A peer under a newer epoch refused us: we have been deposed.
+      StepDown(/*resync=*/true);
+      co_return FencedError("deposed: peer reports a newer epoch than " +
+                            std::to_string(epoch_));
+    }
+    replication_failures_++;
+    if (!named) {
+      // Static mode keeps the strict PR-2 semantics: any unreachable
+      // backup fails the write outright.
+      co_return UnavailableError("backup unreachable: " + st.ToString());
+    }
+    lost_any = true;
+  }
+
+  if (lost_any) {
+    if (survivors.size() < 2) {
+      // Never acknowledge a write this primary alone holds: a single
+      // crash could then lose acknowledged data. The local apply stands
+      // (the client sees a failure, which may or may not have executed —
+      // the ambiguity every checker already tolerates) and the watchdog
+      // probe walks the evicted replicas back in before writes resume.
+      co_return UnavailableError("no reachable backup to mirror to");
+    }
+    // Evict the unreachable peers under a bumped epoch and re-announce
+    // the same (idempotent) batch so the survivors adopt the new view.
+    // The evicted replica is fenced out: it can neither promote (it will
+    // see a newer epoch when it polls) nor rejoin the active set without
+    // a snapshot resync.
+    epoch_++;
+    active_ = std::move(survivors);
+    req.epoch = epoch_;
+    req.replicas = active_;
+    std::vector<core::ServiceBinding> confirmed{self_};
+    for (const auto& peer : active_) {
+      if (SameObject(peer, self_)) continue;
+      const Status st = co_await SendBatch(peer, req);
+      if (st.ok()) {
+        confirmed.push_back(peer);
+      } else if (st.code() == StatusCode::kFenced) {
+        StepDown(/*resync=*/true);
+        co_return FencedError("deposed during eviction re-announce");
+      } else {
+        // Died between the two passes: evict it too. The remaining
+        // peers learn the final view with the next mirrored batch.
         replication_failures_++;
-        co_return UnavailableError("backup unreachable: " +
-                                   r.status.ToString());
       }
     }
-    for (const auto& key : deletes) {
-      DelRequest req{key, ObjectId{}};
-      rpc::RpcResult r = co_await context_->client().Call(
-          backup.server, backup.object, kvwire::kDel,
-          serde::EncodeToBytes(req));
-      if (!r.ok()) {
-        replication_failures_++;
-        co_return UnavailableError("backup unreachable: " +
-                                   r.status.ToString());
-      }
+    if (confirmed.size() < 2) {
+      co_return UnavailableError("no reachable backup to mirror to");
+    }
+    if (confirmed.size() != active_.size()) {
+      epoch_++;
+      active_ = std::move(confirmed);
     }
   }
   co_return Status::Ok();
 }
 
-sim::Co<Result<rpc::Void>> KvReplicaCoordinator::Put(std::string key,
-                                                     std::string value) {
-  Result<rpc::Void> applied = co_await local_->Put(key, value);
-  if (!applied.ok()) co_return applied.status();
+sim::Co<Result<rpc::Void>> KvReplica::Put(std::string key, std::string value) {
+  if (syncing_) co_return UnavailableError("replica syncing");
+  if (role_ != ReplicaRole::kPrimary) {
+    co_return UnavailableError("not the primary");
+  }
+  if (joining_) co_return UnavailableError("snapshot join in progress");
+  inflight_writes_++;
+  Result<rpc::Void> applied = co_await store_->Put(key, value);
+  if (!applied.ok()) {
+    inflight_writes_--;
+    co_return applied.status();
+  }
   std::vector<std::pair<std::string, std::string>> entries;
   entries.emplace_back(std::move(key), std::move(value));
-  std::vector<std::string> deletes;
-  const Status mirrored =
-      co_await Mirror(std::move(entries), std::move(deletes));
+  const Status mirrored = co_await Mirror(std::move(entries), {});
+  inflight_writes_--;
   if (!mirrored.ok()) co_return mirrored;
   co_return rpc::Void{};
 }
 
-sim::Co<Result<bool>> KvReplicaCoordinator::Del(std::string key) {
-  Result<bool> existed = co_await local_->Del(key);
-  if (!existed.ok()) co_return existed.status();
-  std::vector<std::pair<std::string, std::string>> entries;
+sim::Co<Result<bool>> KvReplica::Del(std::string key) {
+  if (syncing_) co_return UnavailableError("replica syncing");
+  if (role_ != ReplicaRole::kPrimary) {
+    co_return UnavailableError("not the primary");
+  }
+  if (joining_) co_return UnavailableError("snapshot join in progress");
+  inflight_writes_++;
+  Result<bool> existed = co_await store_->Del(key);
+  if (!existed.ok()) {
+    inflight_writes_--;
+    co_return existed.status();
+  }
   std::vector<std::string> deletes;
   deletes.push_back(std::move(key));
-  const Status mirrored =
-      co_await Mirror(std::move(entries), std::move(deletes));
+  const Status mirrored = co_await Mirror({}, std::move(deletes));
+  inflight_writes_--;
   if (!mirrored.ok()) co_return mirrored;
   co_return *existed;
 }
 
-sim::Co<Result<ReplicaListResponse>>
-KvReplicaCoordinator::HandleGetReplicas() {
+// --- replica: wire handlers --------------------------------------------
+
+sim::Co<Result<ReplicaListResponse>> KvReplica::HandleGetReplicas() {
+  if (syncing_) co_return UnavailableError("replica syncing");
   ReplicaListResponse resp;
-  resp.replicas.push_back(self_);
-  for (const auto& b : backups_) resp.replicas.push_back(b);
+  resp.epoch = epoch_;
+  resp.replicas = active_;
   co_return resp;
 }
 
+sim::Co<Result<StatusResponse>> KvReplica::HandleGetStatus() {
+  StatusResponse resp;
+  resp.epoch = epoch_;
+  resp.is_primary = role_ == ReplicaRole::kPrimary && !syncing_;
+  resp.syncing = syncing_;
+  co_return resp;
+}
+
+sim::Co<Result<rpc::Void>> KvReplica::HandleReplicateBatch(
+    ReplicateBatchRequest req) {
+  if (syncing_) {
+    // Mid-resync our store is a mix of old and new state; acknowledging
+    // a batch we may later overwrite with the snapshot would fake
+    // durability. Refuse until the join completes.
+    co_return UnavailableError("replica syncing");
+  }
+  const bool fencing = !params_.testing_disable_fencing;
+  if (fencing && req.epoch < epoch_) {
+    fenced_rejections_++;
+    co_return FencedError("stale epoch " + std::to_string(req.epoch) +
+                          " < " + std::to_string(epoch_));
+  }
+  if (req.epoch >= epoch_) {
+    if (!InReplicaList(req.replicas)) {
+      if (fencing && role_ == ReplicaRole::kPrimary) {
+        // An evicted ex-primary must fully step down: keeping the lease
+        // maintainer alive would let its overwrite-renewals steal the
+        // name back from the successor after a partition heals.
+        StepDown(/*resync=*/true);
+        co_return UnavailableError("evicted from the active set");
+      }
+      if (fencing || role_ != ReplicaRole::kPrimary) {
+        // A newer view evicted us (our ack was lost, or we were cut
+        // off): our data may be behind, so resync before serving again.
+        syncing_ = true;
+        co_return UnavailableError("evicted from the active set");
+      }
+      // Bug mode: a stale primary shrugs off its eviction and keeps
+      // acting as primary — the split-brain the sweep must catch.
+    }
+    if (fencing || role_ == ReplicaRole::kBackup) {
+      if (req.epoch > epoch_ && role_ == ReplicaRole::kPrimary) {
+        // A successor announced a newer epoch that still includes us, so
+        // our data is current: become a serving backup, no resync.
+        StepDown(/*resync=*/false);
+      }
+      epoch_ = req.epoch;
+      active_ = req.replicas;
+    }
+    // With fencing disabled a (stale) primary keeps its role and epoch —
+    // the reintroduced bug the chaos sweep must catch.
+  }
+  if (!req.entries.empty()) {
+    Result<rpc::Void> applied = co_await store_->BatchPut(req.entries);
+    if (!applied.ok()) co_return applied.status();
+  }
+  for (const auto& key : req.deletes) {
+    Result<bool> deleted = co_await store_->Del(key);
+    if (!deleted.ok()) co_return deleted.status();
+  }
+  co_return rpc::Void{};
+}
+
+sim::Co<Result<JoinResponse>> KvReplica::HandleJoin(JoinRequest req) {
+  if (role_ != ReplicaRole::kPrimary || syncing_) {
+    co_return UnavailableError("not the primary");
+  }
+  // Pause writes while the snapshot is cut so the joiner cannot miss a
+  // concurrently mirrored batch (writes racing the join fail unacked).
+  joining_ = true;
+  for (int i = 0; i < 64 && inflight_writes_ > 0; ++i) {
+    co_await sim::SleepFor(context_->scheduler(), Milliseconds(1));
+  }
+  if (inflight_writes_ > 0) {
+    joining_ = false;
+    co_return UnavailableError("write drain timed out");
+  }
+  if (!std::any_of(active_.begin(), active_.end(), [&](const auto& r) {
+        return SameObject(r, req.joiner);
+      })) {
+    // Re-admit in static-configuration order, primary first, so every
+    // replica agrees on backup ranks (the promotion stagger).
+    std::vector<core::ServiceBinding> next{self_};
+    for (const auto& r : all_replicas_) {
+      if (SameObject(r, self_)) continue;
+      const bool was_active =
+          std::any_of(active_.begin(), active_.end(), [&](const auto& a) {
+            return SameObject(a, r);
+          });
+      if (was_active || SameObject(r, req.joiner)) next.push_back(r);
+    }
+    active_ = std::move(next);
+  }
+  JoinResponse resp;
+  resp.epoch = epoch_;
+  resp.snapshot = store_->SnapshotState();
+  resp.replicas = active_;
+  joining_ = false;
+  co_return resp;
+}
+
+// --- replica: watchdog (promotion, rejoin, lease loss) -----------------
+
+sim::Co<void> KvReplica::WatchdogLoop(std::shared_ptr<KvReplica> self) {
+  sim::Scheduler& sched = self->context_->scheduler();
+  while (!self->stopped_) {
+    co_await sim::SleepFor(sched, self->syncing_
+                                      ? self->params_.rejoin_interval
+                                      : self->params_.watch_interval);
+    if (self->stopped_) co_return;
+    if (self->context_->crashed()) continue;
+    if (self->syncing_) {
+      co_await self->TryRejoin();
+      continue;
+    }
+    if (self->role_ == ReplicaRole::kPrimary) {
+      if (self->lease_ && self->lease_->lost() &&
+          !self->params_.testing_disable_fencing) {
+        // Renewal failed repeatedly: the record may have expired and a
+        // backup may already own the name. Our data is complete up to
+        // our last ack, so serve on as a backup; epoch fencing corrects
+        // us if a successor exists.
+        self->StepDown(/*resync=*/false);
+        continue;
+      }
+      // Probe configured replicas that fell out of the active set: an
+      // evicted replica that never saw its eviction (it was partitioned
+      // at the time) learns from the empty announce that it must resync.
+      for (const auto& peer : self->all_replicas_) {
+        if (self->InActiveSet(peer) || SameObject(peer, self->self_)) {
+          continue;
+        }
+        ReplicateBatchRequest probe;
+        probe.epoch = self->epoch_;
+        probe.replicas = self->active_;
+        (void)co_await self->SendBatch(peer, probe);
+        if (self->role_ != ReplicaRole::kPrimary) break;  // deposed mid-probe
+      }
+      continue;
+    }
+    co_await self->TryPromote();
+  }
+}
+
+sim::Co<void> KvReplica::TryPromote() {
+  Result<naming::NameRecord> rec =
+      co_await context_->names().Lookup(params_.name);
+  if (rec.ok() || rec.status().code() != StatusCode::kNotFound) {
+    // A primary is registered (possibly our own stale record, which will
+    // expire unrenewed), or the name service is unreachable. Wait.
+    co_return;
+  }
+  // The lease lapsed. Before claiming, poll the other replicas. The poll
+  // enforces election safety under the crash-stop model (at most one
+  // node down at a time):
+  //   - a reachable peer under a newer epoch means we were evicted while
+  //     cut off — promoting would resurrect stale data, so resync;
+  //   - more than one unreachable peer means we cannot tell a partition
+  //     from the one allowed crash — someone we cannot see may hold
+  //     newer acknowledged writes, so wait;
+  //   - with exactly one peer unreachable (presumed crashed) we still
+  //     need one reachable *serving* peer as a witness that our data is
+  //     current; a syncing peer knows nothing.
+  std::size_t unreachable = 0;
+  bool serving_witness = false;
+  for (const auto& peer : all_replicas_) {
+    if (SameObject(peer, self_)) continue;
+    rpc::RpcResult r = co_await context_->client().Call(
+        peer.server, peer.object, kvwire::kGetStatus,
+        serde::EncodeToBytes(rpc::Void{}), params_.mirror);
+    if (!r.ok()) {
+      ++unreachable;
+      continue;
+    }
+    Result<StatusResponse> st =
+        serde::DecodeFromBytes<StatusResponse>(View(r.payload));
+    if (!st.ok()) {
+      ++unreachable;
+      continue;
+    }
+    if (st->epoch > epoch_) {
+      syncing_ = true;
+      co_return;
+    }
+    if (!st->syncing) serving_witness = true;
+  }
+  if (unreachable > 1) co_return;
+  if (unreachable == 1 && !serving_witness) co_return;
+  // Stagger by backup rank so the lowest-ranked live backup claims first.
+  std::size_t rank = active_.size();
+  for (std::size_t i = 0; i < active_.size(); ++i) {
+    if (SameObject(active_[i], self_)) {
+      rank = i;
+      break;
+    }
+  }
+  if (rank > 1) {
+    co_await sim::SleepFor(context_->scheduler(),
+                           static_cast<SimDuration>(rank - 1) *
+                               params_.promote_stagger);
+  }
+  if (stopped_ || context_->crashed() || syncing_ ||
+      role_ != ReplicaRole::kBackup) {
+    co_return;
+  }
+  rec = co_await context_->names().Lookup(params_.name);
+  if (rec.ok() || rec.status().code() != StatusCode::kNotFound) co_return;
+
+  // Claim the name: first-register-wins arbitration at the name server.
+  naming::NameRecord claim;
+  claim.kind = naming::RecordKind::kService;
+  claim.binding = self_;
+  claim.lease_ns = params_.lease.ttl_ns;
+  Result<rpc::Void> won = co_await context_->names().Register(
+      params_.name, claim, /*overwrite=*/false);
+  if (!won.ok()) co_return;  // lost the race, or the name service flaked
+
+  // Promoted. Announce the new epoch to the previous view; peers that do
+  // not answer (typically the dead old primary) are evicted.
+  promotions_++;
+  role_ = ReplicaRole::kPrimary;
+  epoch_++;
+  std::vector<core::ServiceBinding> view{self_};
+  for (const auto& r : active_) {
+    if (!SameObject(r, self_)) view.push_back(r);
+  }
+  active_ = std::move(view);
+  PROXY_LOG(kInfo, context_->scheduler().now(), "rkv",
+            "replica " << self_.object.ToString() << " promoted to primary"
+                       << " at epoch " << epoch_);
+  ReplicateBatchRequest announce;
+  announce.epoch = epoch_;
+  announce.replicas = active_;
+  std::vector<core::ServiceBinding> survivors{self_};
+  for (const auto& peer : active_) {
+    if (SameObject(peer, self_)) continue;
+    const Status st = co_await SendBatch(peer, announce);
+    if (st.ok()) {
+      survivors.push_back(peer);
+    } else if (st.code() == StatusCode::kFenced) {
+      // Someone is ahead of us after all: undo the claim and resync.
+      StepDown(/*resync=*/true);
+      co_return;
+    }
+  }
+  if (survivors.size() != active_.size()) {
+    epoch_++;
+    active_ = survivors;
+    announce.epoch = epoch_;
+    announce.replicas = active_;
+    for (const auto& peer : active_) {
+      if (SameObject(peer, self_)) continue;
+      (void)co_await SendBatch(peer, announce);
+    }
+  }
+  // Keep the name from now on.
+  lease_ = std::make_unique<core::LeaseMaintainer>(*context_, params_.name,
+                                                   self_, params_.lease);
+}
+
+sim::Co<void> KvReplica::TryRejoin() {
+  Result<naming::NameRecord> rec =
+      co_await context_->names().Lookup(params_.name);
+  if (!rec.ok() || rec->kind != naming::RecordKind::kService) co_return;
+  if (SameObject(rec->binding, self_)) co_return;  // our own stale record
+
+  JoinRequest req;
+  req.joiner = self_;
+  rpc::RpcResult r = co_await context_->client().Call(
+      rec->binding.server, rec->binding.object, kvwire::kJoin,
+      serde::EncodeToBytes(req), params_.mirror);
+  if (!r.ok()) co_return;
+  Result<JoinResponse> resp =
+      serde::DecodeFromBytes<JoinResponse>(View(r.payload));
+  if (!resp.ok()) co_return;
+  if (context_->crashed() || stopped_) co_return;  // crashed mid-join
+
+  const Status installed = store_->RestoreState(View(resp->snapshot));
+  if (!installed.ok()) co_return;
+  epoch_ = resp->epoch;
+  active_ = resp->replicas;
+  role_ = ReplicaRole::kBackup;
+  syncing_ = false;
+  PROXY_LOG(kInfo, context_->scheduler().now(), "rkv",
+            "replica " << self_.object.ToString()
+                       << " rejoined at epoch " << epoch_);
+}
+
+// --- skeleton ----------------------------------------------------------
+
 std::shared_ptr<rpc::Dispatch> MakeReplicatedKvDispatch(
-    std::shared_ptr<KvReplicaCoordinator> impl) {
+    std::shared_ptr<KvReplica> impl) {
   auto dispatch = std::make_shared<rpc::Dispatch>();
   rpc::RegisterTyped<GetRequest, GetResponse>(
       *dispatch, kvwire::kGet,
@@ -137,90 +582,214 @@ std::shared_ptr<rpc::Dispatch> MakeReplicatedKvDispatch(
       [impl](rpc::Void, const rpc::CallContext&) {
         return impl->HandleGetReplicas();
       });
+  rpc::RegisterTyped<ReplicateBatchRequest, rpc::Void>(
+      *dispatch, kvwire::kReplicateBatch,
+      [impl](ReplicateBatchRequest req, const rpc::CallContext&) {
+        return impl->HandleReplicateBatch(std::move(req));
+      });
+  rpc::RegisterTyped<JoinRequest, JoinResponse>(
+      *dispatch, kvwire::kJoin,
+      [impl](JoinRequest req, const rpc::CallContext&) {
+        return impl->HandleJoin(std::move(req));
+      });
+  rpc::RegisterTyped<rpc::Void, StatusResponse>(
+      *dispatch, kvwire::kGetStatus,
+      [impl](rpc::Void, const rpc::CallContext&) {
+        return impl->HandleGetStatus();
+      });
+  rpc::RegisterTyped<PutRequest, EpochPutResponse>(
+      *dispatch, kvwire::kEpochPut,
+      [impl](PutRequest req,
+             const rpc::CallContext&) -> sim::Co<Result<EpochPutResponse>> {
+        Result<rpc::Void> applied =
+            co_await impl->Put(std::move(req.key), std::move(req.value));
+        if (!applied.ok()) co_return applied.status();
+        co_return EpochPutResponse{impl->epoch()};
+      });
+  rpc::RegisterTyped<DelRequest, EpochDelResponse>(
+      *dispatch, kvwire::kEpochDel,
+      [impl](DelRequest req,
+             const rpc::CallContext&) -> sim::Co<Result<EpochDelResponse>> {
+        Result<bool> existed = co_await impl->Del(std::move(req.key));
+        if (!existed.ok()) co_return existed.status();
+        co_return EpochDelResponse{*existed, impl->epoch()};
+      });
+  rpc::RegisterTyped<GetRequest, EpochGetResponse>(
+      *dispatch, kvwire::kEpochGet,
+      [impl](GetRequest req,
+             const rpc::CallContext&) -> sim::Co<Result<EpochGetResponse>> {
+        Result<std::optional<std::string>> value =
+            co_await impl->Get(std::move(req.key));
+        if (!value.ok()) co_return value.status();
+        co_return EpochGetResponse{std::move(*value), impl->epoch()};
+      });
   return dispatch;
 }
 
 Result<ReplicatedKvExport> ExportReplicatedKv(
-    core::Context& primary_ctx, std::vector<core::Context*> backup_ctxs) {
+    core::Context& primary_ctx, std::vector<core::Context*> backup_ctxs,
+    ReplicatedKvParams params) {
   ReplicatedKvExport out;
+  std::vector<core::Context*> ctxs{&primary_ctx};
+  ctxs.insert(ctxs.end(), backup_ctxs.begin(), backup_ctxs.end());
 
-  auto primary = std::make_shared<KvReplicaCoordinator>(primary_ctx);
-  for (core::Context* ctx : backup_ctxs) {
-    auto backup_impl = std::make_shared<KvService>(*ctx);
-    auto dispatch = MakeKvDispatch(backup_impl);
+  std::vector<core::ServiceBinding> bindings;
+  for (core::Context* ctx : ctxs) {
+    auto impl = std::make_shared<KvReplica>(*ctx, params);
+    auto dispatch = MakeReplicatedKvDispatch(impl);
     PROXY_ASSIGN_OR_RETURN(
         auto exported,
-        core::ServiceExport<IKeyValue>::Create(*ctx, backup_impl, dispatch,
-                                               /*protocol=*/1, backup_impl));
-    primary->AddBackup(exported.binding());
-    out.backup_bindings.push_back(exported.binding());
-    out.backup_impls.push_back(std::move(backup_impl));
+        core::ServiceExport<IKeyValue>::Create(*ctx, impl, dispatch,
+                                               /*protocol=*/4));
+    bindings.push_back(exported.binding());
+    out.replicas.push_back(std::move(impl));
   }
-
-  auto dispatch = MakeReplicatedKvDispatch(primary);
-  PROXY_ASSIGN_OR_RETURN(
-      auto exported,
-      core::ServiceExport<IKeyValue>::Create(primary_ctx, primary, dispatch,
-                                             /*protocol=*/4));
-  primary->SetSelfBinding(exported.binding());
-  out.primary = std::move(primary);
-  out.binding = exported.binding();
+  for (std::size_t i = 0; i < out.replicas.size(); ++i) {
+    out.replicas[i]->Configure(
+        bindings[i], bindings,
+        i == 0 ? ReplicaRole::kPrimary : ReplicaRole::kBackup);
+  }
+  if (!params.name.empty()) {
+    for (auto& replica : out.replicas) replica->StartFailover();
+  }
+  out.primary = out.replicas[0];
+  out.binding = bindings[0];
+  out.backup_bindings.assign(bindings.begin() + 1, bindings.end());
+  out.backup_impls.assign(out.replicas.begin() + 1, out.replicas.end());
   return out;
 }
 
 // --- failover proxy ----------------------------------------------------
 
-sim::Co<Status> KvFailoverProxy::EnsureReplicaList() {
-  if (!replicas_.empty()) co_return Status::Ok();
+sim::Co<Status> KvFailoverProxy::EnsureReplicaList(bool force) {
+  if (!force && !replicas_.empty()) co_return Status::Ok();
+  const std::vector<core::ServiceBinding> known = replicas_;
+  if (force) {
+    replicas_.clear();
+    list_refreshes_++;
+  }
+  // Ask the bound primary first; CallRaw re-resolves the service name if
+  // the bound address stopped answering (the new primary re-registers
+  // the name when it promotes).
+  Result<ReplicaListResponse> resp = FailedPreconditionError("unset");
   Result<Bytes> raw = co_await CallRaw(kvwire::kGetReplicas,
                                        serde::EncodeToBytes(rpc::Void{}));
-  if (!raw.ok()) co_return raw.status();
-  Result<ReplicaListResponse> resp =
-      serde::DecodeFromBytes<ReplicaListResponse>(View(*raw));
+  if (raw.ok()) {
+    resp = serde::DecodeFromBytes<ReplicaListResponse>(View(*raw));
+  } else {
+    resp = raw.status();
+    // The primary is dark and the name not (yet) re-registered: any
+    // replica we already knew about can serve its view of the list.
+    for (const auto& replica : known) {
+      rpc::RpcResult alt = co_await context().client().Call(
+          replica.server, replica.object, kvwire::kGetReplicas,
+          serde::EncodeToBytes(rpc::Void{}), options_);
+      if (!alt.ok()) continue;
+      Result<ReplicaListResponse> decoded =
+          serde::DecodeFromBytes<ReplicaListResponse>(View(alt.payload));
+      if (decoded.ok()) {
+        resp = std::move(decoded);
+        break;
+      }
+    }
+  }
   if (!resp.ok()) co_return resp.status();
   if (resp->replicas.empty()) {
     co_return FailedPreconditionError("empty replica list");
   }
   replicas_ = std::move(resp->replicas);
+  list_epoch_ = resp->epoch;
+  preferred_ = 0;
   co_return Status::Ok();
 }
 
 template <typename Resp, typename Req>
 sim::Co<Result<Resp>> KvFailoverProxy::ReadCall(std::uint32_t method,
                                                 Req req) {
-  const Status ready = co_await EnsureReplicaList();
+  const Status ready = co_await EnsureReplicaList(false);
   if (!ready.ok()) co_return ready;
 
   const Bytes args = serde::EncodeToBytes(req);
   Status last = UnavailableError("no replicas");
-  for (std::size_t i = 0; i < replicas_.size(); ++i) {
-    const std::size_t idx = (preferred_ + i) % replicas_.size();
-    const core::ServiceBinding& replica = replicas_[idx];
-    rpc::RpcResult raw = co_await context().client().Call(
-        replica.server, replica.object, method, args, options_);
-    if (raw.ok()) {
-      if (idx != preferred_) {
-        failovers_++;
-        preferred_ = idx;  // stick with the replica that answered
+  for (int pass = 0; pass < 2; ++pass) {
+    for (std::size_t i = 0; i < replicas_.size(); ++i) {
+      const std::size_t idx = (preferred_ + i) % replicas_.size();
+      const core::ServiceBinding& replica = replicas_[idx];
+      rpc::RpcResult raw = co_await context().client().Call(
+          replica.server, replica.object, method, args, options_);
+      if (raw.ok()) {
+        if (idx != preferred_) {
+          failovers_++;
+          preferred_ = idx;  // stick with the replica that answered
+        }
+        co_return serde::DecodeFromBytes<Resp>(View(raw.payload));
       }
-      co_return serde::DecodeFromBytes<Resp>(View(raw.payload));
+      // Only liveness failures trigger failover; semantic errors are
+      // final.
+      if (raw.status.code() != StatusCode::kTimeout &&
+          raw.status.code() != StatusCode::kUnavailable) {
+        co_return raw.status;
+      }
+      last = raw.status;
     }
-    // Only liveness failures trigger failover; semantic errors are final.
-    if (raw.status.code() != StatusCode::kTimeout &&
-        raw.status.code() != StatusCode::kUnavailable) {
-      co_return raw.status;
+    if (pass == 0) {
+      // Every cached replica failed: the whole set may have moved on
+      // (failover reshuffled it, or our list is from a dead epoch).
+      // Re-fetch once and give the fresh set one more chance.
+      const Status refreshed = co_await EnsureReplicaList(true);
+      if (!refreshed.ok()) co_return last;
     }
-    last = raw.status;
   }
   co_return last;
+}
+
+template <typename Resp, typename Req>
+sim::Co<Result<Resp>> KvFailoverProxy::WriteCall(std::uint32_t method,
+                                                 Req req) {
+  const Bytes args = serde::EncodeToBytes(req);
+  // If every pass fails, report the FIRST actual write attempt's status:
+  // once that attempt times out, the client's circuit breaker to the dead
+  // primary opens and later passes fast-fail with UNAVAILABLE ("circuit
+  // open"), which would mask the honest diagnosis (e.g. TIMEOUT on a
+  // partitioned primary).
+  Status verdict = UnavailableError("no replicas");
+  bool attempted = false;
+  for (int pass = 0; pass < kWritePasses; ++pass) {
+    const Status ready = co_await EnsureReplicaList(pass > 0);
+    if (!ready.ok()) {
+      if (!attempted) verdict = ready;
+      continue;
+    }
+    const core::ServiceBinding primary = replicas_[0];
+    rpc::RpcResult raw = co_await context().client().Call(
+        primary.server, primary.object, method, args, options_);
+    if (raw.ok()) {
+      last_write_acker_ = primary.object;
+      co_return serde::DecodeFromBytes<Resp>(View(raw.payload));
+    }
+    const StatusCode code = raw.status.code();
+    // FENCED means our primary is deposed; UNAVAILABLE/TIMEOUT may mean
+    // the same (a backup refusing writes, a dead node). All three:
+    // refresh the list and follow the new primary.
+    if (code != StatusCode::kTimeout && code != StatusCode::kUnavailable &&
+        code != StatusCode::kFenced) {
+      co_return raw.status;
+    }
+    if (!attempted) {
+      verdict = raw.status;
+      attempted = true;
+    }
+  }
+  co_return verdict;
 }
 
 sim::Co<Result<std::optional<std::string>>> KvFailoverProxy::Get(
     std::string key) {
   GetRequest req{std::move(key)};  // named: see stub.h "GCC note"
-  Result<GetResponse> resp =
-      co_await ReadCall<GetResponse>(kvwire::kGet, std::move(req));
+  Result<EpochGetResponse> resp =
+      co_await ReadCall<EpochGetResponse>(kvwire::kEpochGet, std::move(req));
   if (!resp.ok()) co_return resp.status();
+  last_op_epoch_ = resp->epoch;
   co_return std::move(resp->value);
 }
 
@@ -233,21 +802,20 @@ sim::Co<Result<std::uint64_t>> KvFailoverProxy::Size() {
 
 sim::Co<Result<rpc::Void>> KvFailoverProxy::Put(std::string key,
                                                 std::string value) {
-  // Writes need the primary (single-writer). No failover: surfacing the
-  // outage beats silently diverging replicas. Primary election is listed
-  // as future work in DESIGN.md. Discovery still happens opportunistically
-  // so that a later read can fail over even if the primary dies first.
-  (void)co_await EnsureReplicaList();
   PutRequest req{std::move(key), std::move(value), ObjectId{}};
-  co_return co_await Call<rpc::Void>(kvwire::kPut, std::move(req));
+  Result<EpochPutResponse> resp =
+      co_await WriteCall<EpochPutResponse>(kvwire::kEpochPut, std::move(req));
+  if (!resp.ok()) co_return resp.status();
+  last_op_epoch_ = resp->epoch;
+  co_return rpc::Void{};
 }
 
 sim::Co<Result<bool>> KvFailoverProxy::Del(std::string key) {
-  (void)co_await EnsureReplicaList();
   DelRequest req{std::move(key), ObjectId{}};
-  Result<DelResponse> resp =
-      co_await Call<DelResponse>(kvwire::kDel, std::move(req));
+  Result<EpochDelResponse> resp =
+      co_await WriteCall<EpochDelResponse>(kvwire::kEpochDel, std::move(req));
   if (!resp.ok()) co_return resp.status();
+  last_op_epoch_ = resp->epoch;
   co_return resp->existed;
 }
 

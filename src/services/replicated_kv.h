@@ -2,24 +2,38 @@
 //
 // The 1986 argument: once every client/service interaction goes through
 // a proxy, *replication* can be introduced by the service alone. This
-// module proves it for the KV interface:
+// module proves it for the KV interface, including recovery from the
+// loss of the primary:
 //
-//   server side   A primary KvReplicaCoordinator applies writes locally
-//                 and forwards them synchronously to backup KvService
-//                 replicas (primary-backup, write-all / read-one).
+//   server side   Symmetric KvReplica objects, one per node. At any
+//                 instant one of them is the primary: it applies writes
+//                 locally and mirrors them synchronously to every other
+//                 *active* replica (primary-backup, write-all/read-one)
+//                 under a monotonically increasing **epoch**. The
+//                 primary holds the service name under a leased
+//                 registration (core::LeaseMaintainer); when the lease
+//                 lapses, the lowest-ranked live backup re-registers the
+//                 name (first-register-wins at the NameServer) and
+//                 promotes itself at epoch+1. A deposed or restarted
+//                 primary that still tries to mirror gets FENCED and
+//                 steps down; restarted replicas rejoin empty and catch
+//                 up via a snapshot resync before serving again.
 //   client side   KvFailoverProxy (IKeyValue protocol 4) learns the
-//                 replica set at first use; reads prefer the primary but
-//                 fail over to backups when it is unreachable; writes
-//                 require the primary (single-writer consistency).
+//                 epoch-stamped replica set at first use; reads prefer
+//                 the primary but fail over to backups; writes follow
+//                 the primary across failovers by re-fetching the
+//                 replica list on FENCED/UNAVAILABLE.
 //
 // Clients keep calling Get/Put on the same IKeyValue they always had.
 #pragma once
 
 #include <cstdint>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "core/export.h"
+#include "core/lease.h"
 #include "core/proxy.h"
 #include "core/runtime.h"
 #include "services/kv.h"
@@ -28,86 +42,236 @@ namespace proxy::services {
 
 namespace kvwire {
 
-/// Extra methods the replication coordinator adds to the KV protocol.
+/// Extra methods every replica adds to the KV protocol.
 enum ReplicationMethod : std::uint32_t {
   kGetReplicas = 20,
   kReplicateBatch = 21,
+  kJoin = 22,
+  kGetStatus = 23,
+  // Epoch-stamped data operations: same semantics as kGet/kPut/kDel but
+  // the response carries the serving replica's epoch, which the failover
+  // proxy records (and the chaos durability invariant consumes).
+  kEpochPut = 24,
+  kEpochDel = 25,
+  kEpochGet = 26,
 };
 
 struct ReplicaListResponse {
+  std::uint64_t epoch = 0;
   std::vector<core::ServiceBinding> replicas;  // [0] is the primary
-  PROXY_SERDE_FIELDS(replicas)
+  PROXY_SERDE_FIELDS(epoch, replicas)
+};
+
+/// One mirrored mutation batch. `replicas` is the primary's active set
+/// ([0] = the primary itself): receivers adopt it as their view of the
+/// membership, and a receiver that no longer appears in it knows it has
+/// been evicted and must resync before serving again.
+struct ReplicateBatchRequest {
+  std::uint64_t epoch = 0;
+  std::vector<core::ServiceBinding> replicas;
+  std::vector<std::pair<std::string, std::string>> entries;
+  std::vector<std::string> deletes;
+  PROXY_SERDE_FIELDS(epoch, replicas, entries, deletes)
+};
+
+struct JoinRequest {
+  core::ServiceBinding joiner;
+  PROXY_SERDE_FIELDS(joiner)
+};
+
+struct JoinResponse {
+  std::uint64_t epoch = 0;
+  Bytes snapshot;  // KvService::SnapshotState() of the primary
+  std::vector<core::ServiceBinding> replicas;
+  PROXY_SERDE_FIELDS(epoch, snapshot, replicas)
+};
+
+struct StatusResponse {
+  std::uint64_t epoch = 0;
+  bool is_primary = false;
+  bool syncing = false;
+  PROXY_SERDE_FIELDS(epoch, is_primary, syncing)
+};
+
+struct EpochPutResponse {
+  std::uint64_t epoch = 0;
+  PROXY_SERDE_FIELDS(epoch)
+};
+
+struct EpochDelResponse {
+  bool existed = false;
+  std::uint64_t epoch = 0;
+  PROXY_SERDE_FIELDS(existed, epoch)
+};
+
+struct EpochGetResponse {
+  std::optional<std::string> value;
+  std::uint64_t epoch = 0;
+  PROXY_SERDE_FIELDS(value, epoch)
 };
 
 }  // namespace kvwire
 
-/// The primary: an IKeyValue whose mutations are mirrored to backups
-/// before they are acknowledged (write-all).
-class KvReplicaCoordinator : public IKeyValue {
- public:
-  explicit KvReplicaCoordinator(core::Context& context)
-      : context_(&context), local_(std::make_shared<KvService>(context)) {}
+/// Failover tuning. The defaults suit the unit tests; the chaos harness
+/// shrinks everything so a full crash → promote → rejoin cycle fits in
+/// its horizon.
+struct ReplicatedKvParams {
+  /// Name the primary holds under lease. Empty = static mode: no lease,
+  /// no promotion, no fencing state machine — the PR-2 behaviour.
+  std::string name;
+  core::LeaseParams lease{.ttl_ns = Milliseconds(400),
+                          .renew_fraction = 0.35,
+                          .max_consecutive_failures = 3};
+  /// Backup watchdog poll period (lease-expiry detection latency).
+  SimDuration watch_interval = Milliseconds(120);
+  /// Extra wait per backup rank before claiming the name, so the
+  /// lowest-ranked live backup wins without a register race in the
+  /// common case (the race itself is still arbitrated by the server).
+  SimDuration promote_stagger = Milliseconds(40);
+  /// Retry period of a syncing replica looking for a primary to join.
+  SimDuration rejoin_interval = Milliseconds(60);
+  /// Mirror/announce call budget (per peer).
+  rpc::CallOptions mirror{.retry_interval = Milliseconds(8),
+                          .max_retries = 2,
+                          .deadline = Milliseconds(60)};
+  /// Chaos-harness fault hook: suppresses epoch fencing *and* the
+  /// lease-lost step-down, reintroducing the static-primary bug this PR
+  /// fixes (a deposed primary keeps accepting writes). The sweep must
+  /// catch the resulting split-brain/durability violations.
+  bool testing_disable_fencing = false;
+};
 
+enum class ReplicaRole : std::uint8_t { kPrimary, kBackup };
+
+/// One replica of the replicated KV. All replicas run the same code and
+/// export the same dispatch; role, epoch and the active set are dynamic.
+class KvReplica : public IKeyValue,
+                  public std::enable_shared_from_this<KvReplica> {
+ public:
+  KvReplica(core::Context& context, ReplicatedKvParams params)
+      : context_(&context), params_(std::move(params)),
+        store_(std::make_shared<KvService>(context)) {}
+
+  // IKeyValue (primary path; backups serve reads, refuse writes).
   sim::Co<Result<std::optional<std::string>>> Get(std::string key) override;
   sim::Co<Result<rpc::Void>> Put(std::string key, std::string value) override;
   sim::Co<Result<bool>> Del(std::string key) override;
   sim::Co<Result<std::uint64_t>> Size() override;
 
-  /// Registers a backup replica (a plain KvService exported elsewhere).
-  void AddBackup(const core::ServiceBinding& backup) {
-    backups_.push_back(backup);
-  }
-
-  [[nodiscard]] const std::vector<core::ServiceBinding>& backups()
-      const noexcept {
-    return backups_;
-  }
-  [[nodiscard]] const std::shared_ptr<KvService>& local() const noexcept {
-    return local_;
-  }
-
-  /// Binding of this coordinator (set by ExportReplicatedKv).
-  void SetSelfBinding(const core::ServiceBinding& self) { self_ = self; }
-
+  // Wire handlers (wired up by MakeReplicatedKvDispatch).
   sim::Co<Result<kvwire::ReplicaListResponse>> HandleGetReplicas();
+  sim::Co<Result<rpc::Void>> HandleReplicateBatch(
+      kvwire::ReplicateBatchRequest req);
+  sim::Co<Result<kvwire::JoinResponse>> HandleJoin(kvwire::JoinRequest req);
+  sim::Co<Result<kvwire::StatusResponse>> HandleGetStatus();
 
+  /// Installs the static replica set ([0] = initial primary) and this
+  /// replica's own binding; called once by ExportReplicatedKv.
+  void Configure(core::ServiceBinding self,
+                 std::vector<core::ServiceBinding> all_replicas,
+                 ReplicaRole role);
+
+  /// Starts the failover machinery (lease heartbeat on the primary, the
+  /// watchdog everywhere) and registers crash/restart handlers. Only
+  /// called in named mode.
+  void StartFailover();
+
+  /// Stops background loops (test teardown).
+  void Stop() { stopped_ = true; }
+
+  [[nodiscard]] ReplicaRole role() const noexcept { return role_; }
+  [[nodiscard]] std::uint64_t epoch() const noexcept { return epoch_; }
+  [[nodiscard]] bool syncing() const noexcept { return syncing_; }
+  [[nodiscard]] std::uint64_t promotions() const noexcept {
+    return promotions_;
+  }
+  [[nodiscard]] std::uint64_t fenced_rejections() const noexcept {
+    return fenced_rejections_;
+  }
   [[nodiscard]] std::uint64_t replication_failures() const noexcept {
     return replication_failures_;
   }
+  [[nodiscard]] const std::shared_ptr<KvService>& local() const noexcept {
+    return store_;
+  }
+  [[nodiscard]] const core::ServiceBinding& self_binding() const noexcept {
+    return self_;
+  }
 
  private:
-  /// Mirrors one batch to every backup; fails if any backup fails (the
-  /// write-all policy keeps backups exact, so reads may go anywhere).
+  /// Mirrors one batch to every active peer. In named mode a peer that
+  /// fails liveness is evicted under a bumped epoch and the batch is
+  /// re-announced to the survivors; in static mode any failure fails the
+  /// write (the strict write-all the PR-2 tests pin down). A FENCED
+  /// reply deposes this primary.
   sim::Co<Status> Mirror(
       std::vector<std::pair<std::string, std::string>> entries,
       std::vector<std::string> deletes);
 
+  /// Sends `req` to `peer`, returns the raw outcome status.
+  sim::Co<Status> SendBatch(const core::ServiceBinding& peer,
+                            const kvwire::ReplicateBatchRequest& req);
+
+  /// The deposed-primary transition: drop the lease, become a syncing
+  /// backup, and let the rejoin path pull fresh state.
+  void StepDown(bool resync);
+
+  /// Watchdog: on backups, detects a lapsed primary lease and promotes;
+  /// on the primary, notices a lost lease; on a syncing replica, drives
+  /// the snapshot rejoin.
+  static sim::Co<void> WatchdogLoop(std::shared_ptr<KvReplica> self);
+  sim::Co<void> TryPromote();
+  sim::Co<void> TryRejoin();
+
+  [[nodiscard]] bool InReplicaList(
+      const std::vector<core::ServiceBinding>& list) const;
+  [[nodiscard]] bool InActiveSet(const core::ServiceBinding& peer) const;
+
   core::Context* context_;
-  std::shared_ptr<KvService> local_;
+  ReplicatedKvParams params_;
+  std::shared_ptr<KvService> store_;
   core::ServiceBinding self_;
-  std::vector<core::ServiceBinding> backups_;
+  std::vector<core::ServiceBinding> all_replicas_;  // static config
+  std::vector<core::ServiceBinding> active_;        // [0] = primary
+  ReplicaRole role_ = ReplicaRole::kPrimary;
+  std::uint64_t epoch_ = 1;
+  bool syncing_ = false;
+  bool joining_ = false;   // primary: a snapshot join is in progress
+  int inflight_writes_ = 0;
+  bool stopped_ = false;
+  std::unique_ptr<core::LeaseMaintainer> lease_;  // primary only
   std::uint64_t replication_failures_ = 0;
+  std::uint64_t fenced_rejections_ = 0;
+  std::uint64_t promotions_ = 0;
 };
 
-/// Builds the coordinator's skeleton: the full KV dispatch (backed by the
-/// coordinator so mutations replicate) plus the replica-list method.
+/// Builds a replica's skeleton: the full KV dispatch plus the
+/// replication methods.
 std::shared_ptr<rpc::Dispatch> MakeReplicatedKvDispatch(
-    std::shared_ptr<KvReplicaCoordinator> impl);
+    std::shared_ptr<KvReplica> impl);
 
 struct ReplicatedKvExport {
-  std::shared_ptr<KvReplicaCoordinator> primary;
+  std::shared_ptr<KvReplica> primary;
   core::ServiceBinding binding;                  // advertises protocol 4
   std::vector<core::ServiceBinding> backup_bindings;
-  std::vector<std::shared_ptr<KvService>> backup_impls;
+  std::vector<std::shared_ptr<KvReplica>> backup_impls;
+  std::vector<std::shared_ptr<KvReplica>> replicas;  // all, [0] = primary
 };
 
-/// Exports a primary in `primary_ctx` and one backup KvService in each
-/// of `backup_ctxs`, wires replication, and returns the primary binding.
+/// Exports one replica per context ([primary_ctx] + backup_ctxs), wires
+/// replication, and returns the initial primary's binding. With a
+/// non-empty `params.name` the export also publishes the name under a
+/// lease and arms automatic failover (the name must not be separately
+/// published by the caller in that mode).
 Result<ReplicatedKvExport> ExportReplicatedKv(
-    core::Context& primary_ctx, std::vector<core::Context*> backup_ctxs);
+    core::Context& primary_ctx, std::vector<core::Context*> backup_ctxs,
+    ReplicatedKvParams params = {});
 
 /// Protocol 4: replication-aware proxy. Reads fail over across replicas;
-/// writes go to the primary.
+/// writes follow the primary across epochs. When a full pass over the
+/// cached replica list fails — or the primary answers FENCED — the proxy
+/// invalidates the list and re-fetches it (through the name service if
+/// the bound address itself is dead) before retrying.
 class KvFailoverProxy : public IKeyValue, public core::ProxyBase {
  public:
   KvFailoverProxy(core::Context& context, core::ServiceBinding binding)
@@ -125,18 +289,45 @@ class KvFailoverProxy : public IKeyValue, public core::ProxyBase {
   sim::Co<Result<std::uint64_t>> Size() override;
 
   [[nodiscard]] std::uint64_t failovers() const noexcept { return failovers_; }
+  [[nodiscard]] std::uint64_t list_refreshes() const noexcept {
+    return list_refreshes_;
+  }
+  /// Epoch of the replica that served the last completed operation (for
+  /// reads/writes via the epoch-stamped methods), and the object that
+  /// acknowledged the last write — the observables the chaos invariants
+  /// are built from.
+  [[nodiscard]] std::uint64_t last_op_epoch() const noexcept {
+    return last_op_epoch_;
+  }
+  [[nodiscard]] ObjectId last_write_acker() const noexcept {
+    return last_write_acker_;
+  }
 
  private:
-  /// Fetches the replica set on first use.
-  sim::Co<Status> EnsureReplicaList();
+  /// Fetches the replica set on first use; with `force`, drops the cache
+  /// and re-fetches — first through the bound primary (which re-resolves
+  /// the name if dead), then by asking each previously known replica.
+  sim::Co<Status> EnsureReplicaList(bool force);
 
-  /// Read path: try replicas starting with the preferred one.
+  /// Read path: try replicas starting with the preferred one; after a
+  /// full failed pass, refresh the list once and run one more pass.
   template <typename Resp, typename Req>
   sim::Co<Result<Resp>> ReadCall(std::uint32_t method, Req req);
+
+  /// Write path: the primary only, but re-discover the primary (bounded
+  /// number of times) on FENCED/UNAVAILABLE/TIMEOUT.
+  template <typename Resp, typename Req>
+  sim::Co<Result<Resp>> WriteCall(std::uint32_t method, Req req);
+
+  static constexpr int kWritePasses = 3;
 
   std::vector<core::ServiceBinding> replicas_;  // [0] = primary
   std::size_t preferred_ = 0;                   // sticky last-good replica
   std::uint64_t failovers_ = 0;
+  std::uint64_t list_refreshes_ = 0;
+  std::uint64_t list_epoch_ = 0;
+  std::uint64_t last_op_epoch_ = 0;
+  ObjectId last_write_acker_{};
 };
 
 void RegisterReplicatedKvFactories();

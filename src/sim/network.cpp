@@ -15,6 +15,8 @@ NodeId Network::AddNode(std::string name) {
   const NodeId id(static_cast<std::uint32_t>(nodes_.size()));
   nodes_.push_back(std::move(name));
   receivers_.emplace_back();
+  crashed_.push_back(false);
+  incarnation_.push_back(0);
   return id;
 }
 
@@ -70,6 +72,26 @@ bool Network::IsNodePaused(NodeId node) const {
   return paused_.contains(node.value());
 }
 
+void Network::SetNodeCrashed(NodeId node, bool crashed) {
+  assert(node.value() < nodes_.size());
+  if (crashed_[node.value()] == crashed) return;
+  crashed_[node.value()] = crashed;
+  if (crashed) {
+    incarnation_[node.value()]++;
+    // Any backlog held for a paused node dies with the process.
+    paused_.erase(node.value());
+    Trace(NetTraceKind::kCrash, node, node, PortId(0), 0);
+    PROXY_LOG(kDebug, sched_->now(), "net", "crash " << node_name(node));
+  } else {
+    Trace(NetTraceKind::kRestart, node, node, PortId(0), 0);
+    PROXY_LOG(kDebug, sched_->now(), "net", "restart " << node_name(node));
+  }
+}
+
+bool Network::IsNodeCrashed(NodeId node) const {
+  return node.value() < crashed_.size() && crashed_[node.value()];
+}
+
 LinkParams Network::link_params(NodeId from, NodeId to) const {
   const auto it = links_.find(LinkKey(from, to));
   return it == links_.end() ? default_link_ : it->second.params;
@@ -89,13 +111,26 @@ Status Network::Send(NodeId from, NodeId to, PortId to_port, Bytes payload) {
   stats_.bytes_sent += payload.size();
   Trace(NetTraceKind::kSend, from, to, to_port, payload.size());
 
+  if (crashed_[from.value()] || crashed_[to.value()]) {
+    stats_.messages_dropped++;
+    Trace(NetTraceKind::kDropCrash, from, to, to_port, payload.size());
+    return Status::Ok();  // datagram semantics: sender does not learn
+  }
+  const std::uint64_t dest_incarnation = incarnation_[to.value()];
+
   if (from == to) {
     // Loopback: fixed context-switch cost plus a copy cost per KiB.
     stats_.loopback_messages++;
     const SimDuration delay =
         loopback_.fixed + loopback_.per_kib * (payload.size() / 1024);
-    sched_->PostAfter(delay, [this, from, to, to_port,
+    sched_->PostAfter(delay, [this, from, to, to_port, dest_incarnation,
                               payload = std::move(payload)]() mutable {
+      if (crashed_[to.value()] ||
+          incarnation_[to.value()] != dest_incarnation) {
+        stats_.messages_dropped++;
+        Trace(NetTraceKind::kDropCrash, from, to, to_port, payload.size());
+        return;
+      }
       Deliver(from, to, to_port, std::move(payload));
     });
     return Status::Ok();
@@ -130,12 +165,20 @@ Status Network::Send(NodeId from, NodeId to, PortId to_port, Bytes payload) {
           : rng_.UniformU64(link.params.jitter + 1);
   const SimTime arrival = link.busy_until + link.params.latency + jitter;
 
-  sched_->PostAt(arrival, [this, from, to, to_port,
+  sched_->PostAt(arrival, [this, from, to, to_port, dest_incarnation,
                            payload = std::move(payload)]() mutable {
     // A partition raised while in flight also eats the message.
     if (IsPartitioned(from, to)) {
       stats_.messages_dropped++;
       Trace(NetTraceKind::kDropPartition, from, to, to_port, payload.size());
+      return;
+    }
+    // So does a crash of either endpoint: mail addressed to a dead
+    // incarnation is lost even if the node restarted in the meantime.
+    if (crashed_[to.value()] ||
+        incarnation_[to.value()] != dest_incarnation) {
+      stats_.messages_dropped++;
+      Trace(NetTraceKind::kDropCrash, from, to, to_port, payload.size());
       return;
     }
     Deliver(from, to, to_port, std::move(payload));

@@ -59,8 +59,11 @@ enum class NetTraceKind : std::uint8_t {
   kDeliver = 2,
   kDropLoss = 3,
   kDropPartition = 4,
-  kHold = 5,     // destination paused; queued for later delivery
-  kRelease = 6,  // held message re-injected on unpause
+  kHold = 5,       // destination paused; queued for later delivery
+  kRelease = 6,    // held message re-injected on unpause
+  kCrash = 7,      // node crash-stopped (in-flight + held messages die)
+  kRestart = 8,    // node came back empty
+  kDropCrash = 9,  // message lost because an endpoint was crashed
 };
 
 class Network {
@@ -105,6 +108,15 @@ class Network {
   /// of delayed, batched delivery a real stall produces.
   void SetNodePaused(NodeId node, bool paused);
   [[nodiscard]] bool IsNodePaused(NodeId node) const;
+
+  /// Crash-stops a node: every in-flight message to or from it is lost
+  /// (even ones that would arrive after a restart — the old incarnation
+  /// is gone), its held backlog is discarded, and new sends to/from it
+  /// vanish silently. Restarting clears the flag; the node rejoins with
+  /// no memory of its past (crash-stop, then rejoin). Both transitions
+  /// are traced so replay fingerprints cover them.
+  void SetNodeCrashed(NodeId node, bool crashed);
+  [[nodiscard]] bool IsNodeCrashed(NodeId node) const;
 
   /// Effective parameters of the (from, to) direction — the explicit
   /// SetLink value or the default. Lets fault injectors perturb a link
@@ -160,6 +172,11 @@ class Network {
   std::unordered_map<std::uint64_t, DirectedLink> links_;
   std::unordered_map<std::uint64_t, bool> partitioned_;  // undirected key
   std::unordered_map<std::uint32_t, std::vector<HeldMessage>> paused_;
+  std::vector<bool> crashed_;
+  // Bumped on every crash; a message captures its destination's value at
+  // send time and is dropped on arrival if it no longer matches, so mail
+  // addressed to a dead incarnation never reaches the restarted node.
+  std::vector<std::uint64_t> incarnation_;
   NetStats stats_;
   TraceHook trace_hook_;
 };

@@ -8,6 +8,9 @@
 //                                         1-minimal subset that still fails
 //   chaos_explore ... --bug=reply-auth    reintroduce the pre-hardening reply
 //                                         spoofing bug (the sweep must catch it)
+//   chaos_explore ... --bug=stale-primary disable epoch fencing: a deposed kv
+//                                         primary keeps acknowledging writes
+//   chaos_explore --help                  usage, including every known bug
 //
 // Exit status: 0 when every run was clean (or, under --minimize, when the
 // minimizer reproduced and shrank a failure); 1 when violations were found
@@ -46,10 +49,39 @@ bool ParseU64(const char* s, std::uint64_t& out) {
   return true;
 }
 
+void PrintUsage(std::FILE* out) {
+  std::fprintf(out,
+               "usage: chaos_explore (--seeds=N | --seed=S) [options]\n"
+               "\n"
+               "  --seeds=N          sweep seeds 1..N (see --first-seed)\n"
+               "  --seed=S           run a single seed and print its report\n"
+               "  --first-seed=F     start a sweep at seed F (default 1)\n"
+               "  --replay           run the seed twice; fingerprints must "
+               "match\n"
+               "  --minimize         ddmin the fault schedule to a 1-minimal "
+               "failing subset\n"
+               "  --bug=NAME         reintroduce a known bug (the sweep must "
+               "catch it):\n"
+               "      none           no bug (default)\n"
+               "      reply-auth     disable RPC reply source "
+               "authentication;\n"
+               "                     forged replies complete calls "
+               "(counter-linearizable)\n"
+               "      stale-primary  disable replicated-kv epoch fencing; a "
+               "deposed\n"
+               "                     primary keeps acknowledging writes\n"
+               "                     (kv-epoch-regression / kv-durability / "
+               "kv-split-brain)\n"
+               "  --help             this text\n");
+}
+
 bool Parse(int argc, char** argv, Args& args) {
   for (int i = 1; i < argc; ++i) {
     const char* a = argv[i];
-    if (std::strncmp(a, "--seeds=", 8) == 0) {
+    if (std::strcmp(a, "--help") == 0 || std::strcmp(a, "-h") == 0) {
+      PrintUsage(stdout);
+      std::exit(0);
+    } else if (std::strncmp(a, "--seeds=", 8) == 0) {
       if (!ParseU64(a + 8, args.seeds)) return false;
     } else if (std::strncmp(a, "--seed=", 7) == 0) {
       if (!ParseU64(a + 7, args.seed)) return false;
@@ -61,10 +93,13 @@ bool Parse(int argc, char** argv, Args& args) {
       args.minimize = true;
     } else if (std::strcmp(a, "--bug=reply-auth") == 0) {
       args.bug = Bug::kReplyAuth;
+    } else if (std::strcmp(a, "--bug=stale-primary") == 0) {
+      args.bug = Bug::kStalePrimary;
     } else if (std::strcmp(a, "--bug=none") == 0) {
       args.bug = Bug::kNone;
     } else {
       std::fprintf(stderr, "unknown argument: %s\n", a);
+      PrintUsage(stderr);
       return false;
     }
   }
@@ -102,9 +137,11 @@ int RunSweep(const Args& args) {
     if (!report.trace_tail.empty()) {
       std::printf("--- trace tail ---\n%s\n", report.trace_tail.c_str());
     }
+    const char* bug_flag = "";
+    if (args.bug == Bug::kReplyAuth) bug_flag = " --bug=reply-auth";
+    if (args.bug == Bug::kStalePrimary) bug_flag = " --bug=stale-primary";
     std::printf("reproduce with: chaos_explore --seed=%llu%s\n",
-                static_cast<unsigned long long>(s),
-                args.bug == Bug::kReplyAuth ? " --bug=reply-auth" : "");
+                static_cast<unsigned long long>(s), bug_flag);
   }
   std::printf("sweep: %llu seeds, %llu violating\n",
               static_cast<unsigned long long>(args.seeds),
