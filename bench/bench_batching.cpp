@@ -48,10 +48,10 @@ Sample Run(std::uint32_t protocol, SimDuration window, std::size_t max_batch) {
 
   std::shared_ptr<ISpooler> spool;
   auto bind = [&]() -> sim::Co<void> {
-    core::BindOptions opts;
+    core::AcquireOptions opts;
     opts.allow_direct = false;
     Result<std::shared_ptr<ISpooler>> s =
-        co_await core::Bind<ISpooler>(*w.client_ctx, "spool", opts);
+        co_await core::Acquire<ISpooler>(*w.client_ctx, "spool", opts);
     if (s.ok()) spool = *s;
   };
   w.rt->Run(bind());

@@ -51,7 +51,7 @@ Sample RunOne(std::uint32_t protocol, double read_ratio) {
   std::shared_ptr<IKeyValue> kv;
   auto bind = [&]() -> sim::Co<void> {
     Result<std::shared_ptr<IKeyValue>> b =
-        co_await core::Bind<IKeyValue>(*w.client_ctx, "kv");
+        co_await core::Acquire<IKeyValue>(*w.client_ctx, "kv");
     if (b.ok()) kv = *b;
   };
   w.rt->Run(bind());

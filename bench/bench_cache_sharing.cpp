@@ -61,10 +61,10 @@ Sample Run(std::uint32_t protocol, int sharers) {
   std::vector<std::shared_ptr<IKeyValue>> proxies(sharers);
   auto bind_all = [&]() -> sim::Co<void> {
     for (int i = 0; i < sharers; ++i) {
-      core::BindOptions opts;
+      core::AcquireOptions opts;
       opts.allow_direct = false;
       Result<std::shared_ptr<IKeyValue>> b =
-          co_await core::Bind<IKeyValue>(*contexts[i], "kv", opts);
+          co_await core::Acquire<IKeyValue>(*contexts[i], "kv", opts);
       if (b.ok()) proxies[i] = *b;
     }
   };

@@ -23,6 +23,7 @@
 
 #include "bench_util.h"
 #include "net/endpoint.h"
+#include "obs/metrics.h"
 #include "rpc/client.h"
 #include "rpc/server.h"
 #include "rpc/stub.h"
@@ -67,6 +68,17 @@ struct FaultWorld {
           co_return PingResponse{req.id};
         });
     if (!server->ExportObject(object, dispatch).ok()) std::abort();
+    client->BindMetrics(metrics);
+    server->BindMetrics(metrics);
+  }
+
+  /// Same observability footer contract as bench::World (this bench
+  /// builds a raw client/server pair, so it carries its own registry).
+  ~FaultWorld() {
+    if (const char* flag = std::getenv("PROXY_BENCH_METRICS");
+        flag != nullptr && flag[0] == '1') {
+      std::printf("%s", metrics.RenderTable().c_str());
+    }
   }
 
   sim::Future<rpc::RpcResult> Start(std::uint32_t id,
@@ -85,6 +97,7 @@ struct FaultWorld {
 
   sim::Scheduler sched;
   sim::Network net;
+  obs::MetricsRegistry metrics;
   NodeId node_client, node_server;
   std::unique_ptr<net::NodeStack> stack_client, stack_server;
   std::unique_ptr<rpc::RpcClient> client;

@@ -49,11 +49,11 @@ Sample RunStrategy(std::uint32_t protocol, bool same_context, int k) {
 
   std::shared_ptr<ICounter> ctr;
   auto bind = [&]() -> sim::Co<void> {
-    core::BindOptions opts;
+    core::AcquireOptions opts;
     opts.protocol_override = protocol;
     opts.allow_direct = same_context;
     Result<std::shared_ptr<ICounter>> c =
-        co_await core::Bind<ICounter>(ctx, "ctr", opts);
+        co_await core::Acquire<ICounter>(ctx, "ctr", opts);
     if (c.ok()) ctr = *c;
   };
   w.rt->Run(bind());

@@ -54,10 +54,10 @@ Sample Run(double loss) {
 
   std::shared_ptr<ICounter> ctr;
   auto bind = [&]() -> sim::Co<void> {
-    core::BindOptions opts;
+    core::AcquireOptions opts;
     opts.allow_direct = false;
     Result<std::shared_ptr<ICounter>> c =
-        co_await core::Bind<ICounter>(*w.client_ctx, "ctr", opts);
+        co_await core::Acquire<ICounter>(*w.client_ctx, "ctr", opts);
     if (c.ok()) ctr = *c;
   };
   w.rt->Run(bind());

@@ -38,7 +38,7 @@ Sample Run(int placement) {  // 0 same-context, 1 same-node, 2 remote
   w.Publish("ctr", exported->binding);
 
   core::Context* ctx = nullptr;
-  core::BindOptions opts;
+  core::AcquireOptions opts;
   switch (placement) {
     case 0:
       ctx = w.server_ctx;  // the hosting context itself
@@ -57,7 +57,7 @@ Sample Run(int placement) {  // 0 same-context, 1 same-node, 2 remote
   std::shared_ptr<ICounter> ctr;
   auto bind = [&]() -> sim::Co<void> {
     Result<std::shared_ptr<ICounter>> c =
-        co_await core::Bind<ICounter>(*ctx, "ctr", opts);
+        co_await core::Acquire<ICounter>(*ctx, "ctr", opts);
     if (c.ok()) ctr = *c;
   };
   w.rt->Run(bind());

@@ -61,13 +61,13 @@ Sample Run(std::uint32_t protocol, int burst_len) {
 
   std::shared_ptr<ICounter> ctr_b, ctr_c;
   auto bind = [&]() -> sim::Co<void> {
-    core::BindOptions opts;
+    core::AcquireOptions opts;
     opts.protocol_override = protocol;
     opts.allow_direct = false;
     Result<std::shared_ptr<ICounter>> b =
-        co_await core::Bind<ICounter>(ctx_b, "ctr", opts);
+        co_await core::Acquire<ICounter>(ctx_b, "ctr", opts);
     Result<std::shared_ptr<ICounter>> c =
-        co_await core::Bind<ICounter>(ctx_c, "ctr", opts);
+        co_await core::Acquire<ICounter>(ctx_c, "ctr", opts);
     if (b.ok()) ctr_b = *b;
     if (c.ok()) ctr_c = *c;
   };

@@ -39,10 +39,10 @@ int main() {
 
   std::shared_ptr<ILockService> lock;
   auto bind = [&]() -> sim::Co<void> {
-    core::BindOptions opts;
+    core::AcquireOptions opts;
     opts.allow_direct = false;
     Result<std::shared_ptr<ILockService>> l =
-        co_await core::Bind<ILockService>(*w.client_ctx, "locks", opts);
+        co_await core::Acquire<ILockService>(*w.client_ctx, "locks", opts);
     if (l.ok()) lock = *l;
   };
   w.rt->Run(bind());

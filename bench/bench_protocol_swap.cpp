@@ -3,7 +3,7 @@
 // One scripted client session (a read-heavy file editing workload) runs
 // against the file service under its three advertised protocols. The
 // client binary is byte-identical across rows — only the ServiceBinding's
-// protocol field changes, and Bind<IFile>() installs a different proxy.
+// protocol field changes, and Acquire<IFile>() installs a different proxy.
 // The table reports what the swap buys. tests/file_test.cpp proves the
 // *results* are identical; this bench shows the cost difference.
 
@@ -59,10 +59,10 @@ Sample Run(std::uint32_t protocol) {
   auto bind = [&]() -> sim::Co<void> {
     // NOTE: no protocol override — the client takes whatever the service
     // advertises. That is the whole point of T4.
-    core::BindOptions opts;
+    core::AcquireOptions opts;
     opts.allow_direct = false;
     Result<std::shared_ptr<IFile>> f =
-        co_await core::Bind<IFile>(*w.client_ctx, "file", opts);
+        co_await core::Acquire<IFile>(*w.client_ctx, "file", opts);
     if (f.ok()) file = *f;
   };
   w.rt->Run(bind());

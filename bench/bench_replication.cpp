@@ -76,10 +76,10 @@ Sample Run(bool replicated, double down_pct) {
   }
 
   auto setup = [&]() -> sim::Co<void> {
-    core::BindOptions opts;
+    core::AcquireOptions opts;
     opts.allow_direct = false;
     Result<std::shared_ptr<IKeyValue>> bound =
-        co_await core::Bind<IKeyValue>(*w.client_ctx, "kv", opts);
+        co_await core::Acquire<IKeyValue>(*w.client_ctx, "kv", opts);
     if (!bound.ok()) std::abort();
     kv = *bound;
     // Same impatience for both, fair comparison: a call gives up after
@@ -152,10 +152,10 @@ FailoverSample RunFailover(SimDuration ttl) {
 
   std::shared_ptr<IKeyValue> kv;
   auto setup = [&]() -> sim::Co<void> {
-    core::BindOptions opts;
+    core::AcquireOptions opts;
     opts.allow_direct = false;
     Result<std::shared_ptr<IKeyValue>> bound =
-        co_await core::Bind<IKeyValue>(*w.client_ctx, "kv-ha", opts);
+        co_await core::Acquire<IKeyValue>(*w.client_ctx, "kv-ha", opts);
     if (!bound.ok()) std::abort();
     kv = *bound;
     rpc::CallOptions impatient;

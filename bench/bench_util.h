@@ -7,6 +7,7 @@
 #pragma once
 
 #include <cstdio>
+#include <cstdlib>
 #include <memory>
 #include <string>
 #include <vector>
@@ -37,6 +38,17 @@ class World {
     client_ctx = &rt->CreateContext(client_node, "client");
   }
 
+  /// With PROXY_BENCH_METRICS=1 every bench world dumps its metric
+  /// registry when it winds down — the observability footer CI uses to
+  /// prove the benches exercise the instrumented paths (histograms must
+  /// not be empty). Off by default so table output stays clean.
+  ~World() {
+    if (const char* flag = std::getenv("PROXY_BENCH_METRICS");
+        flag != nullptr && flag[0] == '1') {
+      PrintMetrics();
+    }
+  }
+
   void Publish(const std::string& name, const core::ServiceBinding& binding) {
     auto body = [&]() -> sim::Co<void> {
       Result<rpc::Void> ok =
@@ -56,6 +68,14 @@ class World {
     const SimTime start = rt->scheduler().now();
     rt->Run(std::move(co));
     return rt->scheduler().now() - start;
+  }
+
+  /// Dumps the Runtime's metric registry (counters + latency histograms)
+  /// after the workload — every bench ends with the same observability
+  /// footer so runs are comparable across commits. Deterministic for a
+  /// given seed.
+  void PrintMetrics() const {
+    std::printf("%s", rt->metrics().RenderTable().c_str());
   }
 
   std::unique_ptr<core::Runtime> rt;

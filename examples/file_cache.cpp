@@ -28,12 +28,12 @@ sim::Co<void> Demo(core::Runtime& rt, core::Context& reader_ctx,
                    core::Context& writer_ctx) {
   // The reader takes whatever proxy the service advertises (caching).
   Result<std::shared_ptr<IFile>> reader =
-      co_await core::Bind<IFile>(reader_ctx, "files/report");
+      co_await core::Acquire<IFile>(reader_ctx, "files/report");
   // The writer forces the plain stub, to show interop across protocols.
-  core::BindOptions stub_opts;
+  core::AcquireOptions stub_opts;
   stub_opts.protocol_override = 1;
   Result<std::shared_ptr<IFile>> writer =
-      co_await core::Bind<IFile>(writer_ctx, "files/report", stub_opts);
+      co_await core::Acquire<IFile>(writer_ctx, "files/report", stub_opts);
   if (!reader.ok() || !writer.ok()) {
     std::printf("bind failed\n");
     co_return;

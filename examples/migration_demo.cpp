@@ -76,10 +76,10 @@ int main() {
 
   std::shared_ptr<ICounter> ctr;
   auto bind = [&]() -> sim::Co<void> {
-    core::BindOptions opts;
+    core::AcquireOptions opts;
     opts.allow_direct = false;
     Result<std::shared_ptr<ICounter>> c =
-        co_await core::Bind<ICounter>(client_ctx, "counter", opts);
+        co_await core::Acquire<ICounter>(client_ctx, "counter", opts);
     if (c.ok()) ctr = *c;
   };
   rt.Run(bind());

@@ -37,7 +37,7 @@ sim::Co<void> ClientSession(core::Runtime& rt, core::Context& ctx) {
 
   // Deep resolution: two referral hops, then bind and use.
   Result<std::shared_ptr<IKeyValue>> kv =
-      co_await core::Bind<IKeyValue>(ctx, "eng/config");
+      co_await core::Acquire<IKeyValue>(ctx, "eng/config");
   if (!kv.ok()) {
     std::printf("bind eng/config failed: %s\n",
                 kv.status().ToString().c_str());
@@ -50,7 +50,7 @@ sim::Co<void> ClientSession(core::Runtime& rt, core::Context& ctx) {
               flags.ok() && flags->has_value() ? flags->value().c_str() : "?");
 
   Result<std::shared_ptr<ISpooler>> printer =
-      co_await core::Bind<ISpooler>(ctx, "ops/printer");
+      co_await core::Acquire<ISpooler>(ctx, "ops/printer");
   if (printer.ok()) {
     SpoolJob job{"quarterly-report.ps", Bytes(256, 0x1)};
     Result<std::uint64_t> id = co_await (*printer)->Submit(std::move(job));
@@ -61,7 +61,7 @@ sim::Co<void> ClientSession(core::Runtime& rt, core::Context& ctx) {
   // The caching name client makes repeat resolutions free.
   const auto msgs = rt.network().stats().messages_sent;
   for (int i = 0; i < 5; ++i) {
-    (void)co_await core::Bind<IKeyValue>(ctx, "eng/config");
+    (void)co_await core::Acquire<IKeyValue>(ctx, "eng/config");
   }
   std::printf("5 re-binds of eng/config cost %llu network messages "
               "(name cache + local registry)\n",

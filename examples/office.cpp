@@ -38,13 +38,13 @@ struct Desk {
 sim::Co<bool> SitDown(core::Context& ctx, std::string user, Desk* desk) {
   desk->user = std::move(user);
   Result<std::shared_ptr<IFile>> docs =
-      co_await core::Bind<IFile>(ctx, "office/documents");
+      co_await core::Acquire<IFile>(ctx, "office/documents");
   Result<std::shared_ptr<IKeyValue>> meta =
-      co_await core::Bind<IKeyValue>(ctx, "office/metadata");
+      co_await core::Acquire<IKeyValue>(ctx, "office/metadata");
   Result<std::shared_ptr<ILockService>> locks =
-      co_await core::Bind<ILockService>(ctx, "office/locks");
+      co_await core::Acquire<ILockService>(ctx, "office/locks");
   Result<std::shared_ptr<ISpooler>> printer =
-      co_await core::Bind<ISpooler>(ctx, "office/printer");
+      co_await core::Acquire<ISpooler>(ctx, "office/printer");
   if (!docs.ok() || !meta.ok() || !locks.ok() || !printer.ok()) {
     co_return false;
   }

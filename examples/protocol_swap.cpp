@@ -21,7 +21,7 @@ namespace {
 // ----- the "frozen" client binary -------------------------------------
 sim::Co<void> RunClient(core::Context& ctx) {
   Result<std::shared_ptr<IKeyValue>> kv =
-      co_await core::Bind<IKeyValue>(ctx, "settings");
+      co_await core::Acquire<IKeyValue>(ctx, "settings");
   if (!kv.ok()) co_return;
   // A config-store-ish workload: write a few keys, read them many times.
   for (int i = 0; i < 8; ++i) {
@@ -82,7 +82,7 @@ int main() {
   }
   std::printf(
       "\nThe client was not recompiled, relinked, or even restarted with\n"
-      "flags — Bind<IKeyValue>() installed whichever proxy the service\n"
+      "flags — Acquire<IKeyValue>() installed whichever proxy the service\n"
       "named in its binding. That is the proxy principle's encapsulation\n"
       "argument, measured.\n");
   return 0;

@@ -25,7 +25,7 @@ namespace {
 sim::Co<void> RunClient(core::Context& client_ctx) {
   // Bind by name: the proxy is installed by the service's factory.
   Result<std::shared_ptr<IKeyValue>> kv =
-      co_await core::Bind<IKeyValue>(client_ctx, "kv/main");
+      co_await core::Acquire<IKeyValue>(client_ctx, "kv/main");
   if (!kv.ok()) {
     std::printf("bind failed: %s\n", kv.status().ToString().c_str());
     co_return;

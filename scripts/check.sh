@@ -2,7 +2,12 @@
 # One-command verification: configure + build the default preset, run the
 # full test suite (which includes the 32-seed chaos smoke), then run a
 # 128-seed chaos sweep with the chaos_explore driver. Any violation fails
-# the script and prints the reproducing seed.
+# the script and prints the reproducing seed. After the sweep, three
+# observability gates: the obs unit suite runs under every preset (the
+# asan-chaos ctest filter would otherwise skip it), a seeded
+# chaos_explore --metrics --trace --replay must render byte-identical
+# metrics and span trees twice, and every bench must emit a non-empty
+# latency histogram under PROXY_BENCH_METRICS=1.
 #
 #   scripts/check.sh              # default preset
 #   PRESET=asan-chaos scripts/check.sh   # sanitized build, chaos tests only
@@ -29,7 +34,38 @@ case "$PRESET" in
   *) BUILD_DIR="build" ;;
 esac
 
+# Suspended coroutine frames (replica watchdogs, rejoins parked on RPCs
+# to crashed peers) are not destroyed at harness teardown — a known
+# limitation; the chaos tests run with the same setting (tests/CMakeLists).
+export ASAN_OPTIONS=detect_leaks=0
+
 echo "== chaos sweep ($SEEDS seeds) =="
 "./$BUILD_DIR/tools/chaos_explore" --seeds="$SEEDS"
+
+echo "== obs unit tests =="
+"./$BUILD_DIR/tests/obs_test" --gtest_brief=1
+
+echo "== observability replay determinism =="
+# --replay exits non-zero unless metrics tables AND span trees match
+# byte-for-byte across the two runs.
+"./$BUILD_DIR/tools/chaos_explore" --seed=7 --metrics --trace --replay \
+  > /dev/null
+
+echo "== bench histogram gate =="
+# Every simulator bench must exercise the instrumented call path: its
+# metrics footer has to contain a latency histogram with count >= 1.
+# (bench_marshalling is exempt: pure-CPU google-benchmark, no RPC.)
+for bench in "./$BUILD_DIR"/bench/bench_*; do
+  [ -x "$bench" ] || continue
+  name="$(basename "$bench")"
+  [ "$name" = "bench_marshalling" ] && continue
+  # Capture, then grep: under pipefail a `bench | grep -q` pipeline fails
+  # with SIGPIPE when grep matches early and the bench keeps writing.
+  out="$(PROXY_BENCH_METRICS=1 "$bench" 2>/dev/null)"
+  if ! grep -q "call_ns count=[1-9]" <<< "$out"; then
+    echo "FAIL: $name emitted no non-empty latency histogram"
+    exit 1
+  fi
+done
 
 echo "== OK =="

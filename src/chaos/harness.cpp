@@ -76,6 +76,7 @@ ChaosReport RunChaos(const ChaosOptions& options) {
   core::Runtime::Params params;
   params.seed = options.seed;
   core::Runtime rt(params);
+  if (options.collect_spans) rt.spans().set_enabled(true);
   sim::Scheduler& sched = rt.scheduler();
   trace.Attach(sched, rt.network());
 
@@ -299,6 +300,16 @@ ChaosReport RunChaos(const ChaosOptions& options) {
   }
   if (!report.violations.empty()) {
     report.trace_tail = trace.DumpTail(64);
+  }
+  if (options.collect_metrics) {
+    report.metrics_table = rt.metrics().RenderTable();
+    report.metrics_json = rt.metrics().RenderJson();
+  }
+  if (options.collect_spans) {
+    report.span_trees = options.trace_filter != 0
+                            ? rt.spans().RenderTree(options.trace_filter)
+                            : rt.spans().RenderAll();
+    report.trace_ids = rt.spans().TraceIds();
   }
   return report;
 }

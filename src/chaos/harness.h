@@ -45,6 +45,13 @@ struct ChaosOptions {
   Bug bug = Bug::kNone;
   /// Human-readable trace records kept for diagnosis.
   std::size_t trace_tail = 2048;
+  /// Export the Runtime's MetricsRegistry into the report (table + JSON).
+  bool collect_metrics = false;
+  /// Enable the SpanRecorder for the whole run and render the call trees
+  /// into the report. Deterministic: same seed, byte-identical render.
+  bool collect_spans = false;
+  /// With collect_spans: render only this trace id (0 = every tree).
+  std::uint64_t trace_filter = 0;
 };
 
 struct ChaosReport {
@@ -68,6 +75,10 @@ struct ChaosReport {
   std::uint64_t kv_max_epoch = 0;      // highest epoch any replica reached
   std::uint64_t kv_fenced = 0;         // stale-epoch requests rejected
   std::string trace_tail;              // populated when violations exist
+  std::string metrics_table;           // collect_metrics: RenderTable()
+  std::string metrics_json;            // collect_metrics: RenderJson()
+  std::string span_trees;              // collect_spans: RenderAll()
+  std::vector<std::uint64_t> trace_ids;  // collect_spans: every trace id
 
   [[nodiscard]] bool ok() const noexcept { return violations.empty(); }
   [[nodiscard]] std::string Summary() const;

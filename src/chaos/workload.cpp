@@ -10,40 +10,27 @@
 
 namespace proxy::chaos {
 
-namespace {
-
-/// Applies the workload call options when the bound object is a proxy
-/// (it always is here: workload clients never share a node with a
-/// service, so the direct path cannot be taken).
-void Tune(void* obj_as_proxy, const rpc::CallOptions& options) {
-  if (auto* proxy = static_cast<core::ProxyBase*>(obj_as_proxy)) {
-    proxy->set_call_options(options);
-  }
-}
-
-}  // namespace
-
 sim::Co<Result<rpc::Void>> WorkloadClient::BindAll(
     const WorkloadParams& params) {
-  core::BindOptions opts;
+  core::AcquireOptions opts;
   opts.allow_direct = false;
+  // Call policy is declared at acquisition: every proxy the workload
+  // acquires gets the chaos-tuned options.
+  opts.call = params.call;
   Result<std::shared_ptr<services::ICounter>> counter =
-      co_await core::Bind<services::ICounter>(*context_, "chaos/ctr", opts);
+      co_await core::Acquire<services::ICounter>(*context_, "chaos/ctr", opts);
   if (!counter.ok()) co_return counter.status();
   counter_ = *counter;
   Result<std::shared_ptr<services::IKeyValue>> kv =
-      co_await core::Bind<services::IKeyValue>(*context_, "chaos/kv", opts);
+      co_await core::Acquire<services::IKeyValue>(*context_, "chaos/kv", opts);
   if (!kv.ok()) co_return kv.status();
   kv_ = *kv;
   Result<std::shared_ptr<services::ILockService>> lock =
-      co_await core::Bind<services::ILockService>(*context_, "chaos/lock",
+      co_await core::Acquire<services::ILockService>(*context_, "chaos/lock",
                                                   opts);
   if (!lock.ok()) co_return lock.status();
   lock_ = *lock;
 
-  Tune(dynamic_cast<core::ProxyBase*>(counter_.get()), params.call);
-  Tune(dynamic_cast<core::ProxyBase*>(kv_.get()), params.call);
-  Tune(dynamic_cast<core::ProxyBase*>(lock_.get()), params.call);
   kv_failover_ = dynamic_cast<services::KvFailoverProxy*>(kv_.get());
   co_return rpc::Void{};
 }

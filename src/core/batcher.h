@@ -8,21 +8,25 @@
 
 #include <cstdint>
 #include <functional>
+#include <string>
 #include <utility>
 #include <vector>
 
 #include "common/status.h"
+#include "obs/metrics.h"
 #include "sim/future.h"
 #include "sim/task.h"
 
 namespace proxy::core {
 
+/// Batcher tallies as obs::Counter cells (attachable to a
+/// MetricsRegistry via Batcher::BindMetrics).
 struct BatcherStats {
-  std::uint64_t items = 0;
-  std::uint64_t batches = 0;
-  std::uint64_t size_flushes = 0;    // triggered by max_items
-  std::uint64_t window_flushes = 0;  // triggered by the timer
-  std::uint64_t manual_flushes = 0;
+  obs::Counter items;
+  obs::Counter batches;
+  obs::Counter size_flushes;    // triggered by max_items
+  obs::Counter window_flushes;  // triggered by the timer
+  obs::Counter manual_flushes;
 };
 
 template <typename Item>
@@ -82,6 +86,24 @@ class Batcher {
     return pending_.size();
   }
   [[nodiscard]] const BatcherStats& stats() const noexcept { return stats_; }
+
+  /// Attaches the tallies to `registry` as <prefix>.items / .batches /
+  /// .size_flushes / .window_flushes / .manual_flushes.
+  void BindMetrics(obs::MetricsRegistry& registry, const std::string& prefix) {
+    registry.Attach(prefix + ".items", &stats_.items);
+    registry.Attach(prefix + ".batches", &stats_.batches);
+    registry.Attach(prefix + ".size_flushes", &stats_.size_flushes);
+    registry.Attach(prefix + ".window_flushes", &stats_.window_flushes);
+    registry.Attach(prefix + ".manual_flushes", &stats_.manual_flushes);
+  }
+  void DetachMetrics(obs::MetricsRegistry& registry,
+                     const std::string& prefix) {
+    registry.Detach(prefix + ".items", &stats_.items);
+    registry.Detach(prefix + ".batches", &stats_.batches);
+    registry.Detach(prefix + ".size_flushes", &stats_.size_flushes);
+    registry.Detach(prefix + ".window_flushes", &stats_.window_flushes);
+    registry.Detach(prefix + ".manual_flushes", &stats_.manual_flushes);
+  }
 
  private:
   sim::Co<void> RunFlush(std::vector<Item> batch,

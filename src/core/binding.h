@@ -5,7 +5,7 @@
 // from. `protocol` is the service's advertised proxy-protocol version —
 // the hook that lets a service upgrade its distribution protocol (plain
 // stub -> caching -> batching) without touching any client source: the
-// client's Bind<I>() simply instantiates whichever proxy the service
+// client's Acquire<I>() simply instantiates whichever proxy the service
 // names (the "dynamic installation" half of the proxy principle).
 #pragma once
 

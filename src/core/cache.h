@@ -4,19 +4,24 @@
 #include <cstdint>
 #include <list>
 #include <optional>
+#include <string>
 #include <unordered_map>
+
+#include "obs/metrics.h"
 
 namespace proxy::core {
 
+/// Cache tallies as obs::Counter cells (accessors unchanged; attachable
+/// to a MetricsRegistry via LruCache::BindMetrics).
 struct CacheStats {
-  std::uint64_t hits = 0;
-  std::uint64_t misses = 0;
-  std::uint64_t evictions = 0;
-  std::uint64_t invalidations = 0;
+  obs::Counter hits;
+  obs::Counter misses;
+  obs::Counter evictions;
+  obs::Counter invalidations;
 
   [[nodiscard]] double hit_rate() const noexcept {
-    const auto total = hits + misses;
-    return total == 0 ? 0.0 : static_cast<double>(hits) / total;
+    const auto total = hits.value() + misses.value();
+    return total == 0 ? 0.0 : static_cast<double>(hits.value()) / total;
   }
 };
 
@@ -90,6 +95,23 @@ class LruCache {
   [[nodiscard]] std::size_t size() const noexcept { return index_.size(); }
   [[nodiscard]] std::size_t capacity() const noexcept { return capacity_; }
   [[nodiscard]] const CacheStats& stats() const noexcept { return stats_; }
+
+  /// Attaches the tallies to `registry` as <prefix>.hits / .misses /
+  /// .evictions / .invalidations. The cache must outlive the registry or
+  /// DetachMetrics first.
+  void BindMetrics(obs::MetricsRegistry& registry, const std::string& prefix) {
+    registry.Attach(prefix + ".hits", &stats_.hits);
+    registry.Attach(prefix + ".misses", &stats_.misses);
+    registry.Attach(prefix + ".evictions", &stats_.evictions);
+    registry.Attach(prefix + ".invalidations", &stats_.invalidations);
+  }
+  void DetachMetrics(obs::MetricsRegistry& registry,
+                     const std::string& prefix) {
+    registry.Detach(prefix + ".hits", &stats_.hits);
+    registry.Detach(prefix + ".misses", &stats_.misses);
+    registry.Detach(prefix + ".evictions", &stats_.evictions);
+    registry.Detach(prefix + ".invalidations", &stats_.invalidations);
+  }
 
   /// Iterates entries most-recent first.
   template <typename Fn>

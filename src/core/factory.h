@@ -1,13 +1,15 @@
-// Proxy installation: factory registries and Bind.
+// Proxy installation: factory registries and Acquire.
 //
 // In the 1986 system, binding to a service causes proxy *code* to be
 // installed in the client's context, chosen by the service. C++ cannot
 // ship native code safely, so the equivalent mechanism is a registry:
 // services register, per (interface, protocol-version), a factory that
-// instantiates their proxy inside a given context. Bind<I>() resolves a
-// name to a ServiceBinding, verifies the interface, and asks the registry
-// for the proxy the *service* advertised — the client names only the
-// abstract interface I.
+// instantiates their proxy inside a given context. Acquire<I>() resolves
+// a name to a ServiceBinding, verifies the interface, and asks the
+// registry for the proxy the *service* advertised — the client names only
+// the abstract interface I. Acquire is the ONE acquisition path: cached
+// vs authoritative resolution, direct/local shortcut, protocol override
+// and call-policy tuning are all AcquireOptions knobs, not separate APIs.
 //
 // A parallel registry of server-object factories serves migration: a
 // context receiving an object rebuilds the implementation from its
@@ -17,6 +19,7 @@
 #include <functional>
 #include <map>
 #include <memory>
+#include <optional>
 #include <string>
 #include <unordered_map>
 
@@ -81,21 +84,28 @@ class ServerObjectFactoryRegistry {
   std::unordered_map<InterfaceId, ServerObjectFactory> factories_;
 };
 
-/// Binding knobs. `allow_direct` lets Bind return the implementation
-/// itself when the object lives in the caller's own context (the paper's
-/// "a local object is its own proxy"). `protocol_override` forces a proxy
-/// protocol regardless of what the service advertises (benchmarks use it
-/// to compare protocols on one service).
-struct BindOptions {
+/// Acquisition knobs. `allow_direct` lets Acquire return the
+/// implementation itself when the object lives in the caller's own
+/// context (the paper's "a local object is its own proxy").
+/// `protocol_override` forces a proxy protocol regardless of what the
+/// service advertises (benchmarks use it to compare protocols on one
+/// service). `call` (when set) becomes the proxy's ambient
+/// rpc::CallOptions — deadline, retry budget, breaker opt-out — so call
+/// policy is declared at acquisition instead of patched on afterwards.
+/// `trace` threads a causal context through the name resolution itself.
+struct AcquireOptions {
   bool allow_direct = true;
   bool use_name_cache = true;
   std::uint32_t protocol_override = 0;  // 0 = respect the service
+  std::optional<rpc::CallOptions> call;
+  obs::TraceContext trace;
 };
 
-/// Binds to a ServiceBinding already in hand.
+/// Binds to a ServiceBinding already in hand (no name resolution). The
+/// building block Acquire and migration share.
 template <typename I>
 Result<std::shared_ptr<I>> BindObject(Context& context, ServiceBinding binding,
-                                      const BindOptions& options = {}) {
+                                      const AcquireOptions& options = {}) {
   if (binding.interface != InterfaceIdOf(I::kInterfaceName)) {
     return FailedPreconditionError(
         std::string("binding is not a ") + std::string(I::kInterfaceName));
@@ -115,37 +125,42 @@ Result<std::shared_ptr<I>> BindObject(Context& context, ServiceBinding binding,
   PROXY_ASSIGN_OR_RETURN(
       std::shared_ptr<void> proxy,
       ProxyFactoryRegistry::Instance().Create(context, binding));
-  return std::static_pointer_cast<I>(std::move(proxy));
+  std::shared_ptr<I> typed = std::static_pointer_cast<I>(std::move(proxy));
+  if (options.call.has_value()) {
+    if (auto* base = dynamic_cast<ProxyBase*>(typed.get())) {
+      base->set_call_options(*options.call);
+    }
+  }
+  return typed;
 }
 
-/// Resolves `path` in the name service, then binds. This is the ordinary
-/// way a client acquires a service.
+/// THE way a client acquires a service: resolves `path` in the name
+/// service (cached or authoritative per options), verifies the
+/// interface, instantiates the advertised proxy, and arms it for
+/// failure re-resolution. Replaces the old Bind / cached-Bind /
+/// test-BindByName trio.
 ///
-/// (The two resolve paths are separate statements, not a conditional
+/// (The two resolve branches are separate statements, not a conditional
 /// expression: `cond ? co_await a : co_await b` miscompiles under GCC 12
 /// — see DESIGN.md toolchain notes.)
 template <typename I>
-sim::Co<Result<std::shared_ptr<I>>> Bind(Context& context, std::string path,
-                                         BindOptions options = {}) {
+sim::Co<Result<std::shared_ptr<I>>> Acquire(Context& context, std::string path,
+                                            AcquireOptions options = {}) {
+  Result<ServiceBinding> binding = InternalError("unresolved");
   if (options.use_name_cache) {
-    Result<ServiceBinding> binding =
-        co_await context.cached_names().ResolvePath(path);
-    if (!binding.ok()) co_return binding.status();
-    Result<std::shared_ptr<I>> bound =
-        BindObject<I>(context, std::move(*binding), options);
-    if (bound.ok()) {
-      // Name-bound proxies can re-resolve after a host failure.
-      if (auto* proxy = dynamic_cast<ProxyBase*>(bound->get())) {
-        proxy->set_name_path(path);
-      }
-    }
-    co_return bound;
+    Result<ServiceBinding> resolved =
+        co_await context.cached_names().ResolvePath(path, options.trace);
+    binding = std::move(resolved);
+  } else {
+    Result<ServiceBinding> resolved =
+        co_await context.names().ResolvePath(path, 16, options.trace);
+    binding = std::move(resolved);
   }
-  Result<ServiceBinding> binding = co_await context.names().ResolvePath(path);
   if (!binding.ok()) co_return binding.status();
   Result<std::shared_ptr<I>> bound =
       BindObject<I>(context, std::move(*binding), options);
   if (bound.ok()) {
+    // Name-bound proxies can re-resolve after a host failure.
     if (auto* proxy = dynamic_cast<ProxyBase*>(bound->get())) {
       proxy->set_name_path(path);
     }

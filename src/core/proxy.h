@@ -26,6 +26,8 @@
 
 #include "core/binding.h"
 #include "core/runtime.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "rpc/client.h"
 #include "rpc/stub.h"
 #include "serde/traits.h"
@@ -33,11 +35,14 @@
 
 namespace proxy::core {
 
+/// Per-proxy tallies (obs::Counter cells, so the pre-existing accessor
+/// idiom `proxy_stats().calls == 3u` keeps working). The system-wide
+/// aggregates live in the Runtime registry under core.proxy.*.
 struct ProxyStats {
-  std::uint64_t calls = 0;
-  std::uint64_t rebinds = 0;       // OBJECT_MOVED recoveries
-  std::uint64_t failed_calls = 0;  // non-OK outcomes surfaced to the client
-  std::uint64_t recoveries = 0;    // name-service rebinds after a failure
+  obs::Counter calls;
+  obs::Counter rebinds;       // OBJECT_MOVED recoveries
+  obs::Counter failed_calls;  // non-OK outcomes surfaced to the client
+  obs::Counter recoveries;    // name-service rebinds after a failure
 };
 
 class ProxyBase {
@@ -46,7 +51,13 @@ class ProxyBase {
   static constexpr int kMaxForwardHops = 8;
 
   ProxyBase(Context& context, ServiceBinding binding)
-      : context_(&context), binding_(std::move(binding)) {}
+      : context_(&context),
+        binding_(std::move(binding)),
+        agg_calls_(context.metrics().counter("core.proxy.calls")),
+        agg_rebinds_(context.metrics().counter("core.proxy.rebinds")),
+        agg_failed_(context.metrics().counter("core.proxy.failed_calls")),
+        agg_recoveries_(context.metrics().counter("core.proxy.recoveries")),
+        call_latency_(context.metrics().histogram("core.proxy.call_ns")) {}
 
   virtual ~ProxyBase() = default;
 
@@ -63,7 +74,7 @@ class ProxyBase {
   }
 
   /// Remembers the name-service path this proxy was bound under, enabling
-  /// re-resolution when the host stops answering. Set by Bind(); empty
+  /// re-resolution when the host stops answering. Set by Acquire(); empty
   /// (no failure rebinding) for proxies built from a raw binding.
   void set_name_path(std::string path) { name_path_ = std::move(path); }
   [[nodiscard]] const std::string& name_path() const noexcept {
@@ -71,34 +82,75 @@ class ProxyBase {
   }
 
  protected:
-  /// Typed remote call with transparent rebinding on OBJECT_MOVED.
+  /// Typed remote call with transparent rebinding on OBJECT_MOVED, using
+  /// the proxy's ambient options.
   template <typename Resp, typename Req>
   sim::Co<Result<Resp>> Call(std::uint32_t method, Req req) {
     Bytes args = serde::EncodeToBytes(req);
-    Result<Bytes> raw = co_await CallRaw(method, std::move(args));
+    Result<Bytes> raw = co_await CallRaw(method, std::move(args), options_);
+    if (!raw.ok()) co_return raw.status();
+    co_return serde::DecodeFromBytes<Resp>(View(*raw));
+  }
+
+  /// Typed remote call with explicit per-call options — the same
+  /// rpc::CallOptions RpcClient::Call takes, so deadline / retry budget /
+  /// breaker opt-out / trace tune uniformly at every layer.
+  template <typename Resp, typename Req>
+  sim::Co<Result<Resp>> Call(std::uint32_t method, Req req,
+                             rpc::CallOptions options) {
+    Bytes args = serde::EncodeToBytes(req);
+    Result<Bytes> raw =
+        co_await CallRaw(method, std::move(args), std::move(options));
     if (!raw.ok()) co_return raw.status();
     co_return serde::DecodeFromBytes<Resp>(View(*raw));
   }
 
   /// Untyped variant for proxies that marshal manually.
   sim::Co<Result<Bytes>> CallRaw(std::uint32_t method, Bytes args) {
+    co_return co_await CallRaw(method, std::move(args), options_);
+  }
+
+  /// The invocation loop, and the system's measurement point: the proxy
+  /// is where a call's whole story (forwarding hops, recoveries, final
+  /// latency) is visible, so this is where the span opens and closes.
+  sim::Co<Result<Bytes>> CallRaw(std::uint32_t method, Bytes args,
+                                 rpc::CallOptions options) {
     stats_.calls++;
+    agg_calls_++;
+    const SimTime started = context_->scheduler().now();
+    obs::SpanRecorder& spans = context_->spans();
+    // Root of a fresh trace when the caller carried none; child span
+    // otherwise. Inactive (and all recorder calls no-ops) when recording
+    // is off.
+    const obs::TraceContext span =
+        spans.Begin(options.trace, "proxy m" + std::to_string(method), started);
+    if (span.active()) options.trace = span;
+
+    Result<Bytes> outcome = UnavailableError(
+        "forwarding chain exceeded " + std::to_string(kMaxForwardHops) +
+        " hops");
     bool recovery_tried = false;
     for (int hop = 0; hop <= kMaxForwardHops; ++hop) {
       rpc::RpcResult raw = co_await context_->client().Call(
-          binding_.server, binding_.object, method, args, options_);
-      if (raw.ok()) co_return std::move(raw.payload);
+          binding_.server, binding_.object, method, args, options);
+      if (raw.ok()) {
+        outcome = std::move(raw.payload);
+        break;
+      }
       if (raw.status.code() == StatusCode::kObjectMoved) {
         // Follow the forwarding hint: adopt the new binding and retry.
         Result<ServiceBinding> fwd =
             serde::DecodeFromBytes<ServiceBinding>(View(raw.payload));
         if (!fwd.ok()) {
-          stats_.failed_calls++;
-          co_return fwd.status();
+          outcome = fwd.status();
+          break;
         }
         stats_.rebinds++;
+        agg_rebinds_++;
         binding_.server = fwd->server;
         binding_.object = fwd->object;
+        spans.Annotate(span, context_->scheduler().now(),
+                       "rebind -> " + binding_.server.ToString());
         continue;
       }
       // The host stopped answering (or the breaker declared it down):
@@ -111,23 +163,34 @@ class ProxyBase {
         recovery_tried = true;
         context_->cached_names().Invalidate(name_path_);
         Result<ServiceBinding> fresh =
-            co_await context_->names().ResolvePath(name_path_);
+            co_await context_->names().ResolvePath(name_path_, 16,
+                                                   options.trace);
         if (fresh.ok() && fresh->interface == binding_.interface &&
             !(fresh->server == binding_.server &&
               fresh->object == binding_.object)) {
           stats_.rebinds++;
           stats_.recoveries++;
+          agg_rebinds_++;
+          agg_recoveries_++;
           binding_.server = fresh->server;
           binding_.object = fresh->object;
+          spans.Annotate(span, context_->scheduler().now(),
+                         "recovered via " + name_path_ + " -> " +
+                             binding_.server.ToString());
           continue;
         }
       }
-      stats_.failed_calls++;
-      co_return raw.status;
+      outcome = raw.status;
+      break;
     }
-    stats_.failed_calls++;
-    co_return UnavailableError("forwarding chain exceeded " +
-                               std::to_string(kMaxForwardHops) + " hops");
+    if (!outcome.ok()) {
+      stats_.failed_calls++;
+      agg_failed_++;
+    }
+    const SimTime ended = context_->scheduler().now();
+    call_latency_.Record(ended - started);
+    spans.End(span, ended, outcome.status());
+    co_return outcome;
   }
 
   rpc::CallOptions options_;
@@ -137,6 +200,13 @@ class ProxyBase {
   ServiceBinding binding_;
   ProxyStats stats_;
   std::string name_path_;
+  // Runtime-registry aggregate cells (valid for the Runtime's lifetime,
+  // which outlives every proxy it hosts).
+  obs::Counter& agg_calls_;
+  obs::Counter& agg_rebinds_;
+  obs::Counter& agg_failed_;
+  obs::Counter& agg_recoveries_;
+  obs::Histogram& call_latency_;
 };
 
 }  // namespace proxy::core

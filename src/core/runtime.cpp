@@ -19,9 +19,20 @@ Context::Context(Runtime& runtime, ContextId id, NodeId node, std::string name,
   names_ = std::make_unique<naming::NameClient>(*rpc_client_, name_server);
   cached_names_ = std::make_unique<naming::CachingNameClient>(
       *rpc_client_, name_server);
+  // Every context reports into the runtime's one registry and recorder.
+  rpc_client_->BindMetrics(runtime.metrics());
+  rpc_server_->BindMetrics(runtime.metrics());
+  rpc_server_->set_span_recorder(&runtime.spans());
+  cached_names_->BindMetrics(runtime.metrics());
 }
 
 sim::Scheduler& Context::scheduler() noexcept { return runtime_->scheduler(); }
+
+obs::MetricsRegistry& Context::metrics() noexcept {
+  return runtime_->metrics();
+}
+
+obs::SpanRecorder& Context::spans() noexcept { return runtime_->spans(); }
 
 ObjectId Context::MintObjectId() {
   ObjectId id;

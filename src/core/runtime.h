@@ -20,6 +20,8 @@
 #include "common/rng.h"
 #include "core/binding.h"
 #include "naming/client.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "naming/server.h"
 #include "net/endpoint.h"
 #include "rpc/client.h"
@@ -66,6 +68,11 @@ class Context {
   [[nodiscard]] naming::CachingNameClient& cached_names() noexcept {
     return *cached_names_;
   }
+
+  /// The Runtime-wide instrumentation surfaces (one registry, one span
+  /// recorder per simulated system — DESIGN.md §12).
+  [[nodiscard]] obs::MetricsRegistry& metrics() noexcept;
+  [[nodiscard]] obs::SpanRecorder& spans() noexcept;
 
   /// Mints a fresh sparse object id (unforgeable by construction).
   ObjectId MintObjectId();
@@ -155,6 +162,13 @@ class Runtime {
   [[nodiscard]] sim::Network& network() noexcept { return network_; }
   [[nodiscard]] Rng& rng() noexcept { return rng_; }
 
+  /// The one MetricsRegistry of this simulated system: every context's
+  /// RPC runtime, every proxy, cache and replica reports here, so a
+  /// seeded run exports byte-identical numbers on every replay.
+  [[nodiscard]] obs::MetricsRegistry& metrics() noexcept { return metrics_; }
+  /// The one SpanRecorder (disabled until spans().set_enabled(true)).
+  [[nodiscard]] obs::SpanRecorder& spans() noexcept { return spans_; }
+
   /// Adds a node (a machine) to the system.
   NodeId AddNode(std::string name);
 
@@ -225,6 +239,8 @@ class Runtime {
   sim::Scheduler scheduler_;
   sim::Network network_;
   Rng rng_;
+  obs::MetricsRegistry metrics_;
+  obs::SpanRecorder spans_;
   std::vector<std::unique_ptr<net::NodeStack>> stacks_;  // by node id
   std::vector<std::unique_ptr<Context>> contexts_;
   std::unique_ptr<rpc::RpcServer> name_server_rpc_;

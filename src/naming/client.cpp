@@ -31,14 +31,17 @@ NameClient::List(std::string prefix) {
   co_return std::move(resp->entries);
 }
 
-sim::Co<Result<core::ServiceBinding>> NameClient::ResolvePath(std::string path,
-                                                              int max_hops) {
+sim::Co<Result<core::ServiceBinding>> NameClient::ResolvePath(
+    std::string path, int max_hops, obs::TraceContext trace) {
   // Walk the path, hopping servers at directory referrals. A server may
   // store names containing '/' directly, so at each hop the whole
   // remaining path is tried as one record first; only on a miss is it
   // split at the first '/' into (directory, rest). The walk uses a
   // scratch stub so this client's own binding is untouched.
   NameClient cursor(client(), server());
+  rpc::CallOptions walk_options = call_options();
+  walk_options.trace = trace;
+  cursor.set_call_options(walk_options);
   std::size_t start = 0;
   for (int hop = 0; hop < max_hops; ++hop) {
     std::string rest = path.substr(start);
@@ -81,7 +84,7 @@ sim::Co<Result<rpc::Void>> NameClient::RegisterService(
 }
 
 sim::Co<Result<core::ServiceBinding>> CachingNameClient::ResolvePath(
-    std::string path) {
+    std::string path, obs::TraceContext trace) {
   const auto it = cache_.find(path);
   if (it != cache_.end() && (it->second.expires_at == 0 ||
                              it->second.expires_at > scheduler_->now())) {
@@ -90,7 +93,7 @@ sim::Co<Result<core::ServiceBinding>> CachingNameClient::ResolvePath(
   }
   ++misses_;
   Result<core::ServiceBinding> resolved =
-      co_await inner_.ResolvePath(path);
+      co_await inner_.ResolvePath(path, 16, trace);
   if (resolved.ok()) {
     cache_[path] = CacheEntry{*resolved, scheduler_->now() + ttl_};
   }

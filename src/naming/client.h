@@ -12,6 +12,8 @@
 #include <vector>
 
 #include "naming/protocol.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "rpc/stub.h"
 
 namespace proxy::naming {
@@ -29,9 +31,11 @@ class NameClient : public rpc::StubBase {
       std::string prefix);
 
   /// Resolves a '/'-separated path, following directory referrals across
-  /// federated name servers. At most `max_hops` referrals.
-  sim::Co<Result<core::ServiceBinding>> ResolvePath(std::string path,
-                                                    int max_hops = 16);
+  /// federated name servers. At most `max_hops` referrals. When `trace`
+  /// is active, every lookup of the walk carries it — nested
+  /// re-resolution shows up as children in the caller's span tree.
+  sim::Co<Result<core::ServiceBinding>> ResolvePath(
+      std::string path, int max_hops = 16, obs::TraceContext trace = {});
 
   /// Convenience: registers a service-binding leaf record.
   sim::Co<Result<rpc::Void>> RegisterService(std::string name,
@@ -49,13 +53,20 @@ class CachingNameClient {
       : inner_(client, name_server), ttl_(ttl),
         scheduler_(&client.scheduler()) {}
 
-  sim::Co<Result<core::ServiceBinding>> ResolvePath(std::string path);
+  sim::Co<Result<core::ServiceBinding>> ResolvePath(
+      std::string path, obs::TraceContext trace = {});
 
   /// Drops a cached path (on OBJECT_MOVED / UNAVAILABLE, callers should
   /// invalidate and re-resolve).
   void Invalidate(const std::string& path) { cache_.erase(path); }
 
   void Clear() { cache_.clear(); }
+
+  /// Attaches the cache tallies to `registry` as naming.cache.*.
+  void BindMetrics(obs::MetricsRegistry& registry) {
+    registry.Attach("naming.cache.hits", &hits_);
+    registry.Attach("naming.cache.misses", &misses_);
+  }
 
   [[nodiscard]] std::uint64_t hits() const noexcept { return hits_; }
   [[nodiscard]] std::uint64_t misses() const noexcept { return misses_; }
@@ -72,8 +83,8 @@ class CachingNameClient {
   SimDuration ttl_;
   sim::Scheduler* scheduler_;
   std::unordered_map<std::string, CacheEntry> cache_;
-  std::uint64_t hits_ = 0;
-  std::uint64_t misses_ = 0;
+  obs::Counter hits_;
+  obs::Counter misses_;
 };
 
 }  // namespace proxy::naming

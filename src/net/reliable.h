@@ -25,6 +25,7 @@
 #include "common/bytes.h"
 #include "common/status.h"
 #include "net/endpoint.h"
+#include "obs/metrics.h"
 #include "sim/scheduler.h"
 
 namespace proxy::net {
@@ -53,14 +54,14 @@ class ReliableChannel {
   using Params = ArqParams;
 
   struct Stats {
-    std::uint64_t data_sent = 0;
-    std::uint64_t retransmits = 0;
-    std::uint64_t acks_sent = 0;
-    std::uint64_t duplicates_dropped = 0;
-    std::uint64_t delivered = 0;
-    std::uint64_t peers_failed = 0;
-    std::uint64_t peers_recovered = 0;
-    std::uint64_t probes_sent = 0;
+    obs::Counter data_sent;
+    obs::Counter retransmits;
+    obs::Counter acks_sent;
+    obs::Counter duplicates_dropped;
+    obs::Counter delivered;
+    obs::Counter peers_failed;
+    obs::Counter peers_recovered;
+    obs::Counter probes_sent;
   };
 
   /// Takes over the endpoint's handler.
@@ -99,6 +100,18 @@ class ReliableChannel {
   [[nodiscard]] bool IsFailed(const Address& peer) const;
 
   [[nodiscard]] const Stats& stats() const noexcept { return stats_; }
+
+  /// Attaches the tallies to `registry` as net.arq.*.
+  void BindMetrics(obs::MetricsRegistry& registry) {
+    registry.Attach("net.arq.data_sent", &stats_.data_sent);
+    registry.Attach("net.arq.retransmits", &stats_.retransmits);
+    registry.Attach("net.arq.acks_sent", &stats_.acks_sent);
+    registry.Attach("net.arq.duplicates_dropped", &stats_.duplicates_dropped);
+    registry.Attach("net.arq.delivered", &stats_.delivered);
+    registry.Attach("net.arq.peers_failed", &stats_.peers_failed);
+    registry.Attach("net.arq.peers_recovered", &stats_.peers_recovered);
+    registry.Attach("net.arq.probes_sent", &stats_.probes_sent);
+  }
 
   /// In-flight + queued messages toward `to` (for tests and backpressure).
   [[nodiscard]] std::size_t OutstandingTo(const Address& to) const;

@@ -1,0 +1,146 @@
+#include "obs/trace.h"
+
+#include <algorithm>
+#include <sstream>
+
+namespace proxy::obs {
+
+TraceContext SpanRecorder::Begin(const TraceContext& parent, std::string name,
+                                 SimTime now) {
+  if (!enabled_) return TraceContext{};
+  if (spans_.size() >= capacity_) {
+    dropped_++;
+    return TraceContext{};
+  }
+  TraceContext ctx;
+  ctx.trace_id = parent.active() ? parent.trace_id : NextId();
+  ctx.span_id = NextId();
+  ctx.parent_span_id = parent.active() ? parent.span_id : 0;
+  Span span;
+  span.ctx = ctx;
+  span.name = std::move(name);
+  span.start = now;
+  by_span_id_[ctx.span_id] = spans_.size();
+  spans_.push_back(std::move(span));
+  return ctx;
+}
+
+void SpanRecorder::Annotate(const TraceContext& span, SimTime now,
+                            std::string note) {
+  if (!enabled_ || !span.active()) return;
+  const auto it = by_span_id_.find(span.span_id);
+  if (it == by_span_id_.end()) return;
+  spans_[it->second].notes.emplace_back(now, std::move(note));
+}
+
+void SpanRecorder::End(const TraceContext& span, SimTime now,
+                       const Status& status) {
+  if (!enabled_ || !span.active()) return;
+  const auto it = by_span_id_.find(span.span_id);
+  if (it == by_span_id_.end()) return;
+  Span& s = spans_[it->second];
+  s.end = now;
+  s.status = std::string(StatusCodeName(status.code()));
+}
+
+void SpanRecorder::Event(SimTime now, std::string text) {
+  if (!enabled_) return;
+  if (events_.size() >= capacity_) {
+    dropped_++;
+    return;
+  }
+  events_.emplace_back(now, std::move(text));
+}
+
+std::vector<std::uint64_t> SpanRecorder::TraceIds() const {
+  std::vector<std::uint64_t> ids;
+  for (const Span& s : spans_) ids.push_back(s.ctx.trace_id);
+  std::sort(ids.begin(), ids.end());
+  ids.erase(std::unique(ids.begin(), ids.end()), ids.end());
+  return ids;
+}
+
+namespace {
+
+void RenderSpan(std::ostringstream& os, const Span& span,
+                const std::multimap<std::uint64_t, const Span*>& children,
+                int depth) {
+  for (int i = 0; i < depth; ++i) os << "  ";
+  os << "[" << span.ctx.span_id << "] " << span.name << " t="
+     << FormatDuration(span.start);
+  if (span.end >= span.start && !span.status.empty()) {
+    os << "+" << FormatDuration(span.end - span.start) << " " << span.status;
+  } else {
+    os << " OPEN";
+  }
+  os << "\n";
+  for (const auto& [t, note] : span.notes) {
+    for (int i = 0; i < depth + 1; ++i) os << "  ";
+    os << "@" << FormatDuration(t) << " " << note << "\n";
+  }
+  // Children sorted by (start, span_id): deterministic tree layout.
+  std::vector<const Span*> kids;
+  const auto [lo, hi] = children.equal_range(span.ctx.span_id);
+  for (auto it = lo; it != hi; ++it) kids.push_back(it->second);
+  std::sort(kids.begin(), kids.end(), [](const Span* a, const Span* b) {
+    return a->start != b->start ? a->start < b->start
+                                : a->ctx.span_id < b->ctx.span_id;
+  });
+  for (const Span* kid : kids) RenderSpan(os, *kid, children, depth + 1);
+}
+
+}  // namespace
+
+std::string SpanRecorder::RenderTree(std::uint64_t trace_id) const {
+  std::vector<const Span*> roots;
+  std::multimap<std::uint64_t, const Span*> children;
+  for (const Span& s : spans_) {
+    if (s.ctx.trace_id != trace_id) continue;
+    if (s.ctx.parent_span_id == 0) {
+      roots.push_back(&s);
+    } else {
+      children.emplace(s.ctx.parent_span_id, &s);
+    }
+  }
+  // Orphans (parent span never recorded — e.g. dropped at capacity)
+  // surface as roots rather than vanishing.
+  for (auto& [parent, span] : children) {
+    const bool parent_known =
+        by_span_id_.contains(parent) &&
+        spans_[by_span_id_.at(parent)].ctx.trace_id == trace_id;
+    if (!parent_known) roots.push_back(span);
+  }
+  std::sort(roots.begin(), roots.end(), [](const Span* a, const Span* b) {
+    return a->start != b->start ? a->start < b->start
+                                : a->ctx.span_id < b->ctx.span_id;
+  });
+  std::ostringstream os;
+  os << "trace " << trace_id << "\n";
+  for (const Span* root : roots) RenderSpan(os, *root, children, 1);
+  return os.str();
+}
+
+std::string SpanRecorder::RenderAll() const {
+  std::ostringstream os;
+  for (const std::uint64_t id : TraceIds()) os << RenderTree(id);
+  if (!events_.empty()) {
+    os << "--- events ---\n";
+    for (const auto& [t, text] : events_) {
+      os << "@" << FormatDuration(t) << " " << text << "\n";
+    }
+  }
+  if (dropped_ > 0) {
+    os << "(" << dropped_ << " spans/events dropped at capacity)\n";
+  }
+  return os.str();
+}
+
+void SpanRecorder::Clear() {
+  spans_.clear();
+  by_span_id_.clear();
+  events_.clear();
+  dropped_ = 0;
+  next_id_ = 1;
+}
+
+}  // namespace proxy::obs

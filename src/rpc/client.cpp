@@ -20,6 +20,22 @@ RpcClient::RpcClient(net::Endpoint& endpoint, std::uint64_t nonce,
   });
 }
 
+void RpcClient::BindMetrics(obs::MetricsRegistry& registry) {
+  registry.Attach("rpc.client.calls_started", &stats_.calls_started);
+  registry.Attach("rpc.client.calls_ok", &stats_.calls_ok);
+  registry.Attach("rpc.client.calls_failed", &stats_.calls_failed);
+  registry.Attach("rpc.client.retransmissions", &stats_.retransmissions);
+  registry.Attach("rpc.client.timeouts", &stats_.timeouts);
+  registry.Attach("rpc.client.stray_replies", &stats_.stray_replies);
+  registry.Attach("rpc.client.spoofed_replies", &stats_.spoofed_replies);
+  registry.Attach("rpc.client.deadline_expirations",
+                  &stats_.deadline_expirations);
+  registry.Attach("rpc.client.breaker_opens", &stats_.breaker_opens);
+  registry.Attach("rpc.client.breaker_fast_fails",
+                  &stats_.breaker_fast_fails);
+  registry.Attach("rpc.client.call_ns", &call_latency_);
+}
+
 bool RpcClient::CircuitOpen(const net::Address& dest) const {
   const auto it = breakers_.find(dest);
   if (it == breakers_.end() || !it->second.open) return false;
@@ -43,21 +59,25 @@ sim::Future<RpcResult> RpcClient::Call(const net::Address& to,
   call.dest = to;
   call.options = options;
   call.attempts = 1;
+  call.started_at = scheduler().now();
 
   auto future = call.promise.future();
 
   // Circuit breaker: while open, fail fast instead of feeding a retry
   // storm into a partition. Once the cooldown elapses, exactly one call
-  // is admitted as the half-open probe.
-  Breaker& br = breakers_[to];
-  if (br.open) {
-    if (br.probing || scheduler().now() < br.open_until) {
-      stats_.breaker_fast_fails++;
-      Finish(seq, UnavailableError("circuit open to " + to.ToString()));
-      return future;
+  // is admitted as the half-open probe. A bypass_breaker call ignores
+  // the breaker entirely (and, symmetrically, never feeds it).
+  if (!options.bypass_breaker) {
+    Breaker& br = breakers_[to];
+    if (br.open) {
+      if (br.probing || scheduler().now() < br.open_until) {
+        stats_.breaker_fast_fails++;
+        Finish(seq, UnavailableError("circuit open to " + to.ToString()));
+        return future;
+      }
+      br.probing = true;
+      call.is_probe = true;
     }
-    br.probing = true;
-    call.is_probe = true;
   }
 
   RequestFrame frame;
@@ -65,6 +85,7 @@ sim::Future<RpcResult> RpcClient::Call(const net::Address& to,
   frame.object = object;
   frame.method = method;
   frame.args = std::move(args);
+  frame.trace = options.trace;
   if (options.deadline > 0) {
     call.deadline = scheduler().now() + options.deadline;
     frame.deadline = call.deadline;
@@ -154,7 +175,9 @@ SimDuration RpcClient::NextBackoff(PendingCall& call) {
 void RpcClient::TimeOutCall(std::uint64_t seq, PendingCall& call,
                             std::string why) {
   stats_.timeouts++;
-  BreakerOnTimeout(call.dest, call.is_probe);
+  if (!call.options.bypass_breaker) {
+    BreakerOnTimeout(call.dest, call.is_probe);
+  }
   Finish(seq, TimeoutError(std::move(why)));
 }
 
@@ -254,6 +277,7 @@ void RpcClient::Finish(std::uint64_t seq, RpcResult outcome) {
   } else {
     stats_.calls_failed++;
   }
+  call_latency_.Record(scheduler().now() - call.started_at);
   if (call.timer != sim::kInvalidTimer) {
     scheduler().Cancel(call.timer);
   }

@@ -27,17 +27,29 @@
 #include "common/rng.h"
 #include "common/status.h"
 #include "net/endpoint.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "rpc/frame.h"
 #include "sim/future.h"
 
 namespace proxy::rpc {
 
-/// Per-call knobs. `retry_interval` is the *initial* retransmission
-/// backoff; each unanswered attempt grows the backoff exponentially (with
-/// decorrelated jitter unless `backoff_jitter` is off) up to
-/// `max_backoff`. The call fails with TIMEOUT after `max_retries`
-/// retransmissions go unanswered, or when `deadline` elapses, whichever
-/// comes first.
+/// Per-call knobs — THE call-policy surface of the system. One
+/// CallOptions value is accepted identically by RpcClient::Call, by
+/// core::ProxyBase (ambient via set_call_options, or per call), and by
+/// the failover proxies; there is no other way to tune a call.
+///
+/// `retry_interval` is the *initial* retransmission backoff; each
+/// unanswered attempt grows the backoff exponentially (with decorrelated
+/// jitter unless `backoff_jitter` is off) up to `max_backoff`. The call
+/// fails with TIMEOUT after `max_retries` retransmissions go unanswered,
+/// or when `deadline` elapses, whichever comes first.
+///
+/// The With* builders cover the common policy axes:
+///     auto opts = rpc::CallOptions{}
+///                     .WithDeadline(Milliseconds(50))
+///                     .WithRetries(2)
+///                     .WithoutBreaker();
 struct CallOptions {
   SimDuration retry_interval = Milliseconds(20);
   int max_retries = 5;
@@ -50,19 +62,53 @@ struct CallOptions {
   /// Total budget for the call, measured from Call(); 0 = none. Encoded
   /// on the wire as an absolute expiry so the server sheds expired work.
   SimDuration deadline = 0;
+  /// Breaker opt-out: the call neither fast-fails while the breaker is
+  /// open nor feeds the breaker's timeout tally (liveness probes and
+  /// lease heartbeats must see the real link, not the breaker's memory).
+  bool bypass_breaker = false;
+  /// Causal trace the request carries (frame v4); inactive = untraced.
+  obs::TraceContext trace = {};
+
+  CallOptions& WithDeadline(SimDuration d) noexcept {
+    deadline = d;
+    return *this;
+  }
+  CallOptions& WithRetries(int n) noexcept {
+    max_retries = n;
+    return *this;
+  }
+  CallOptions& WithRetryInterval(SimDuration d) noexcept {
+    retry_interval = d;
+    return *this;
+  }
+  CallOptions& WithMaxBackoff(SimDuration d) noexcept {
+    max_backoff = d;
+    return *this;
+  }
+  CallOptions& WithoutBreaker() noexcept {
+    bypass_breaker = true;
+    return *this;
+  }
+  CallOptions& WithTrace(const obs::TraceContext& t) noexcept {
+    trace = t;
+    return *this;
+  }
 };
 
+/// Client-side tallies. The cells are obs::Counter so the same storage
+/// the accessors expose is what BindMetrics attaches to the Runtime's
+/// MetricsRegistry — one counter, two views.
 struct ClientStats {
-  std::uint64_t calls_started = 0;
-  std::uint64_t calls_ok = 0;
-  std::uint64_t calls_failed = 0;  // non-OK outcome delivered to caller
-  std::uint64_t retransmissions = 0;
-  std::uint64_t timeouts = 0;      // calls failed specifically by timeout
-  std::uint64_t stray_replies = 0; // reply for an unknown/finished call
-  std::uint64_t spoofed_replies = 0;  // reply from an address != call dest
-  std::uint64_t deadline_expirations = 0;  // timeouts caused by `deadline`
-  std::uint64_t breaker_opens = 0;      // closed/half-open → open edges
-  std::uint64_t breaker_fast_fails = 0; // calls rejected while open
+  obs::Counter calls_started;
+  obs::Counter calls_ok;
+  obs::Counter calls_failed;  // non-OK outcome delivered to caller
+  obs::Counter retransmissions;
+  obs::Counter timeouts;       // calls failed specifically by timeout
+  obs::Counter stray_replies;  // reply for an unknown/finished call
+  obs::Counter spoofed_replies;  // reply from an address != call dest
+  obs::Counter deadline_expirations;  // timeouts caused by `deadline`
+  obs::Counter breaker_opens;       // closed/half-open → open edges
+  obs::Counter breaker_fast_fails;  // calls rejected while open
 };
 
 class RpcClient {
@@ -102,6 +148,12 @@ class RpcClient {
     breaker_params_ = params;
   }
 
+  /// Attaches this client's counters and latency histogram to `registry`
+  /// under the rpc.client.* names. Called once by the owning Context;
+  /// clients built outside a Runtime simply never attach (their stats
+  /// remain readable through stats()).
+  void BindMetrics(obs::MetricsRegistry& registry);
+
   /// Chaos-harness fault hook: turning reply authentication off
   /// reintroduces the pre-hardening spoofing bug (any host that guesses
   /// nonce+seq can complete a call), so the chaos sweep can prove it
@@ -137,6 +189,7 @@ class RpcClient {
     Bytes encoded_request;  // kept for retransmission
     CallOptions options;
     int attempts = 0;
+    SimTime started_at = 0;        // Call() entry, for the latency histogram
     SimTime deadline = 0;          // absolute; 0 = none
     SimDuration prev_backoff = 0;  // last interval (decorrelated jitter)
     bool is_probe = false;         // this call is a half-open breaker probe
@@ -176,6 +229,9 @@ class RpcClient {
   Rng rng_;  // jitter; seeded from the nonce, so runs stay replayable
   BreakerParams breaker_params_;
   ClientStats stats_;
+  /// End-to-end call latency (Call() to outcome), including retries and
+  /// breaker fast-fails — what the caller actually waited.
+  obs::Histogram call_latency_;
   std::unordered_map<std::uint64_t, PendingCall> pending_;  // by seq
   std::unordered_map<net::Address, Breaker> breakers_;      // by destination
 };

@@ -38,6 +38,9 @@ Bytes EncodeRequest(const RequestFrame& frame) {
   serde::VersionedWriter vw(w, kRequestWireVersion);
   serde::Serialize(vw.body(), frame);       // v1 fields
   vw.body().WriteVarint(frame.deadline);    // v2: absolute expiry, 0 = none
+  vw.body().WriteVarint(frame.trace.trace_id);         // v4: causal trace
+  vw.body().WriteVarint(frame.trace.span_id);
+  vw.body().WriteVarint(frame.trace.parent_span_id);
   vw.Finish();
   return w.Take();
 }
@@ -69,6 +72,13 @@ Result<RequestFrame> DecodeRequest(BytesView data) {
   PROXY_RETURN_IF_ERROR(serde::Deserialize(vr.body(), frame));
   if (vr.version() >= 2 && !vr.body().AtEnd()) {
     PROXY_RETURN_IF_ERROR(vr.body().ReadVarint(frame.deadline));
+  }
+  if (vr.version() >= kTraceWireVersion && !vr.body().AtEnd()) {
+    // The trace triple travels as a unit: a v4 body with only part of it
+    // is corrupt, not "a shorter version".
+    PROXY_RETURN_IF_ERROR(vr.body().ReadVarint(frame.trace.trace_id));
+    PROXY_RETURN_IF_ERROR(vr.body().ReadVarint(frame.trace.span_id));
+    PROXY_RETURN_IF_ERROR(vr.body().ReadVarint(frame.trace.parent_span_id));
   }
   PROXY_RETURN_IF_ERROR(vr.Close());  // skips fields from newer versions
   PROXY_RETURN_IF_ERROR(r.ExpectEnd());

@@ -8,6 +8,7 @@
 #include "common/clock.h"
 #include "common/id.h"
 #include "common/status.h"
+#include "obs/trace.h"
 #include "serde/traits.h"
 
 namespace proxy::rpc {
@@ -18,9 +19,17 @@ enum class FrameType : std::uint8_t {
 };
 
 /// Version of the request frame's VersionedBody envelope. v1 carried
-/// (call, object, method, args); v2 appended `deadline`. Decoders accept
-/// any version: older fields are read, unknown trailing fields skipped.
-inline constexpr std::uint32_t kRequestWireVersion = 2;
+/// (call, object, method, args); v2 appended `deadline`; v4 appended the
+/// causal trace triple (trace_id, span_id, parent_span_id). v3 is
+/// reserved — the wire-evolution tests used it as the "hypothetical
+/// newer sender" whose trailing fields a v2 decoder must skip, so its
+/// encodings must stay meaningless. Decoders accept any version: older
+/// fields are read, unknown trailing fields skipped, absent new fields
+/// default (deadline 0 = none, all-zero trace = untraced).
+inline constexpr std::uint32_t kRequestWireVersion = 4;
+
+/// First version whose envelope carries the trace triple.
+inline constexpr std::uint32_t kTraceWireVersion = 4;
 
 /// Globally unique call identity: the client instance's random nonce plus
 /// a per-client sequence number. Retransmissions reuse the id, which is
@@ -45,9 +54,15 @@ struct RequestFrame {
   /// result; 0 means no deadline. Carried on the wire (since v2) so the
   /// server can skip dispatching work whose reply nobody will read.
   SimTime deadline = 0;
+  /// Causal trace of the call (since v4); all-zero = untraced. The
+  /// server hands it to the handler, which threads it through its own
+  /// downstream calls — that is what stitches forwarding chains,
+  /// re-resolution, and replication fan-out into one tree.
+  obs::TraceContext trace;
 
-  // v1 fields only — `deadline` is appended manually under the versioned
-  // envelope (see EncodeRequest/DecodeRequest).
+  // v1 fields only — `deadline` (v2) and `trace` (v4) are appended
+  // manually under the versioned envelope (see EncodeRequest/
+  // DecodeRequest).
   PROXY_SERDE_FIELDS(call, object, method, args)
 };
 

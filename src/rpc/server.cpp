@@ -1,5 +1,6 @@
 #include "rpc/server.h"
 
+#include <string>
 #include <utility>
 
 #include "common/log.h"
@@ -43,6 +44,20 @@ void RpcServer::Revoke(ObjectId id) {
 void RpcServer::Reset() {
   generation_++;
   history_.clear();
+}
+
+void RpcServer::BindMetrics(obs::MetricsRegistry& registry) {
+  registry.Attach("rpc.server.requests_received", &stats_.requests_received);
+  registry.Attach("rpc.server.executions", &stats_.executions);
+  registry.Attach("rpc.server.duplicate_suppressed",
+                  &stats_.duplicate_suppressed);
+  registry.Attach("rpc.server.in_progress_dropped",
+                  &stats_.in_progress_dropped);
+  registry.Attach("rpc.server.unknown_object", &stats_.unknown_object);
+  registry.Attach("rpc.server.unknown_method", &stats_.unknown_method);
+  registry.Attach("rpc.server.expired_dropped", &stats_.expired_dropped);
+  registry.Attach("rpc.server.queue_wait_ns", &queue_wait_);
+  registry.Attach("rpc.server.exec_ns", &exec_latency_);
 }
 
 void RpcServer::OnDatagram(const net::Address& from, Bytes payload) {
@@ -108,10 +123,12 @@ void RpcServer::OnDatagram(const net::Address& from, Bytes payload) {
 
   hist.in_progress.emplace(seq, true);
   // Detach the execution coroutine; it replies and updates the cache.
-  (void)sim::Spawn(scheduler(), Execute(from, std::move(*request)));
+  (void)sim::Spawn(scheduler(),
+                   Execute(from, std::move(*request), scheduler().now()));
 }
 
-sim::Co<void> RpcServer::Execute(net::Address from, RequestFrame request) {
+sim::Co<void> RpcServer::Execute(net::Address from, RequestFrame request,
+                                 SimTime received_at) {
   const std::uint64_t born = generation_;
   Result<Bytes> outcome = InternalError("uninitialized outcome");
 
@@ -125,8 +142,22 @@ sim::Co<void> RpcServer::Execute(net::Address from, RequestFrame request) {
     outcome = NotFoundError("no such method: " + std::to_string(request.method));
   } else {
     stats_.executions++;
-    CallContext ctx{from, request.call, scheduler().now()};
+    const SimTime dispatched = scheduler().now();
+    queue_wait_.Record(dispatched - received_at);
+    CallContext ctx{from, request.call, dispatched, request.trace};
+    if (spans_ != nullptr && request.trace.active()) {
+      // The execution is a child of the caller's wire span; the handler
+      // sees the child so its own downstream calls nest under it.
+      ctx.trace = spans_->Begin(
+          request.trace, "exec m" + std::to_string(request.method),
+          dispatched);
+    }
     outcome = co_await (*method)(std::move(request.args), ctx);
+    if (spans_ != nullptr && ctx.trace.active() &&
+        ctx.trace != request.trace) {
+      spans_->End(ctx.trace, scheduler().now(), outcome.status());
+    }
+    exec_latency_.Record(scheduler().now() - dispatched);
   }
 
   // The process crashed while this handler ran: the execution dies with

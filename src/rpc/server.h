@@ -18,6 +18,8 @@
 #include "common/bytes.h"
 #include "common/status.h"
 #include "net/endpoint.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "rpc/frame.h"
 #include "sim/task.h"
 
@@ -28,6 +30,11 @@ struct CallContext {
   net::Address client;
   CallId call_id;
   SimTime received_at = 0;
+  /// The server-side span of this execution (child of the caller's
+  /// wire span), or the raw wire context when no recorder is attached.
+  /// Handlers pass it into their own downstream CallOptions
+  /// (.WithTrace(ctx.trace)) to extend the causal tree.
+  obs::TraceContext trace;
 };
 
 /// A method handler: decoded-by-the-callee args in, reply payload out.
@@ -55,14 +62,16 @@ class Dispatch {
   std::unordered_map<std::uint32_t, Method> methods_;
 };
 
+/// Server-side tallies; obs::Counter cells, attachable to a registry
+/// (see RpcClient stats for the one-counter-two-views scheme).
 struct ServerStats {
-  std::uint64_t requests_received = 0;
-  std::uint64_t executions = 0;          // handlers actually run
-  std::uint64_t duplicate_suppressed = 0; // answered from the reply cache
-  std::uint64_t in_progress_dropped = 0; // duplicate while still executing
-  std::uint64_t unknown_object = 0;
-  std::uint64_t unknown_method = 0;
-  std::uint64_t expired_dropped = 0;  // deadline passed before dispatch
+  obs::Counter requests_received;
+  obs::Counter executions;            // handlers actually run
+  obs::Counter duplicate_suppressed;  // answered from the reply cache
+  obs::Counter in_progress_dropped;   // duplicate while still executing
+  obs::Counter unknown_object;
+  obs::Counter unknown_method;
+  obs::Counter expired_dropped;  // deadline passed before dispatch
 };
 
 class RpcServer {
@@ -112,6 +121,17 @@ class RpcServer {
   /// its own state survives via Context crash handlers.
   void Reset();
 
+  /// Attaches counters and the execution histograms to `registry` under
+  /// the rpc.server.* names (see RpcClient::BindMetrics).
+  void BindMetrics(obs::MetricsRegistry& registry);
+
+  /// Installs the Runtime's span recorder: each execution becomes a
+  /// child span of the request's wire trace, and handlers receive that
+  /// span in CallContext::trace. Null detaches.
+  void set_span_recorder(obs::SpanRecorder* recorder) noexcept {
+    spans_ = recorder;
+  }
+
   [[nodiscard]] const ServerStats& stats() const noexcept { return stats_; }
   [[nodiscard]] net::Address address() const noexcept {
     return endpoint_->address();
@@ -130,7 +150,8 @@ class RpcServer {
   };
 
   void OnDatagram(const net::Address& from, Bytes payload);
-  sim::Co<void> Execute(net::Address from, RequestFrame request);
+  sim::Co<void> Execute(net::Address from, RequestFrame request,
+                        SimTime received_at);
   void SendReply(const net::Address& to, const CallId& call,
                  const Result<Bytes>& outcome);
   void CacheReply(std::uint64_t nonce, std::uint64_t seq, Bytes encoded);
@@ -138,6 +159,10 @@ class RpcServer {
   net::Endpoint* endpoint_;
   Params params_;
   ServerStats stats_;
+  obs::SpanRecorder* spans_ = nullptr;
+  /// Receive-to-dispatch wait (scheduler queueing) and handler run time.
+  obs::Histogram queue_wait_;
+  obs::Histogram exec_latency_;
   std::uint64_t generation_ = 0;  // bumped by Reset(); fences executions
   std::unordered_map<ObjectId, std::shared_ptr<Dispatch>> objects_;
   std::unordered_map<ObjectId, Bytes> forwarding_;

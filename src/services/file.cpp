@@ -244,9 +244,13 @@ FileCachingProxy::FileCachingProxy(core::Context& context,
         co_return serde::EncodeToBytes(rpc::Void{});
       });
   (void)this->context().server().ExportObject(sink_id_, sink_dispatch_);
+  blocks_.BindMetrics(context.metrics(), "svc.file.cache");
+  context.metrics().Attach("svc.file.prefetches", &prefetches_);
 }
 
 FileCachingProxy::~FileCachingProxy() {
+  blocks_.DetachMetrics(context().metrics(), "svc.file.cache");
+  context().metrics().Detach("svc.file.prefetches", &prefetches_);
   (void)context().server().RemoveObject(sink_id_);
 }
 
@@ -419,7 +423,13 @@ FileBatchProxy::FileBatchProxy(core::Context& context,
           [this](std::vector<WriteRequest> batch) {
             return FlushBatch(std::move(batch));
           },
-          params.max_batch, params.flush_window) {}
+          params.max_batch, params.flush_window) {
+  batcher_.BindMetrics(context.metrics(), "svc.file.writeback");
+}
+
+FileBatchProxy::~FileBatchProxy() {
+  batcher_.DetachMetrics(context().metrics(), "svc.file.writeback");
+}
 
 sim::Co<Status> FileBatchProxy::FlushBatch(std::vector<WriteRequest> batch) {
   WriteVecRequest req{std::move(batch)};

@@ -219,7 +219,7 @@ class FileCachingProxy : public IFile, public core::ProxyBase {
   std::shared_ptr<rpc::Dispatch> sink_dispatch_;
   bool subscribed_ = false;
   bool subscribe_in_flight_ = false;
-  std::uint64_t prefetches_ = 0;
+  obs::Counter prefetches_;
 };
 
 struct FileBatchParams {
@@ -233,6 +233,7 @@ class FileBatchProxy : public FileCachingProxy {
  public:
   FileBatchProxy(core::Context& context, core::ServiceBinding binding,
                  FileBatchParams params = {});
+  ~FileBatchProxy() override;
 
   sim::Co<Result<Bytes>> Read(std::uint64_t offset,
                               std::uint32_t length) override;

@@ -240,9 +240,11 @@ KvCachingProxy::KvCachingProxy(core::Context& context,
         co_return serde::EncodeToBytes(rpc::Void{});
       });
   (void)this->context().server().ExportObject(sink_id_, sink_dispatch_);
+  cache_.BindMetrics(context.metrics(), "svc.kv.cache");
 }
 
 KvCachingProxy::~KvCachingProxy() {
+  cache_.DetachMetrics(context().metrics(), "svc.kv.cache");
   (void)context().server().RemoveObject(sink_id_);
 }
 
@@ -322,7 +324,13 @@ KvWriteBackProxy::KvWriteBackProxy(core::Context& context,
           [this](std::vector<std::pair<std::string, std::string>> batch) {
             return FlushBatch(std::move(batch));
           },
-          params.max_batch, params.flush_window) {}
+          params.max_batch, params.flush_window) {
+  batcher_.BindMetrics(context.metrics(), "svc.kv.writeback");
+}
+
+KvWriteBackProxy::~KvWriteBackProxy() {
+  batcher_.DetachMetrics(context().metrics(), "svc.kv.writeback");
+}
 
 sim::Co<Status> KvWriteBackProxy::FlushBatch(
     std::vector<std::pair<std::string, std::string>> batch) {

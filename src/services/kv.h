@@ -2,7 +2,7 @@
 //
 // The workhorse service of the experiment suite. One abstract interface
 // (IKeyValue), one server implementation, and three *proxy protocols*
-// that clients absorb transparently through Bind<IKeyValue>():
+// that clients absorb transparently through Acquire<IKeyValue>():
 //
 //   protocol 1 — KvStub           plain RPC per operation (the baseline)
 //   protocol 2 — KvCachingProxy   client-side read cache, write-through,
@@ -247,6 +247,7 @@ class KvWriteBackProxy : public KvCachingProxy {
  public:
   KvWriteBackProxy(core::Context& context, core::ServiceBinding binding,
                    KvWriteBackParams params = {});
+  ~KvWriteBackProxy() override;
 
   sim::Co<Result<std::optional<std::string>>> Get(std::string key) override;
   sim::Co<Result<rpc::Void>> Put(std::string key, std::string value) override;

@@ -79,6 +79,9 @@ void KvReplica::StepDown(bool resync) {
   PROXY_LOG(kInfo, context_->scheduler().now(), "rkv",
             "replica " << self_.object.ToString() << " stepped down"
                        << (resync ? " (resync)" : ""));
+  context_->spans().Event(context_->scheduler().now(),
+                          "rkv " + self_.object.ToString() + " step-down" +
+                              (resync ? " (resync)" : ""));
 }
 
 bool KvReplica::InReplicaList(
@@ -107,16 +110,19 @@ sim::Co<Result<std::uint64_t>> KvReplica::Size() {
 }
 
 sim::Co<Status> KvReplica::SendBatch(const core::ServiceBinding& peer,
-                                     const ReplicateBatchRequest& req) {
+                                     const ReplicateBatchRequest& req,
+                                     obs::TraceContext trace) {
+  rpc::CallOptions mirror = params_.mirror;
+  mirror.trace = trace;
   rpc::RpcResult r = co_await context_->client().Call(
       peer.server, peer.object, kvwire::kReplicateBatch,
-      serde::EncodeToBytes(req), params_.mirror);
+      serde::EncodeToBytes(req), mirror);
   co_return r.status;
 }
 
 sim::Co<Status> KvReplica::Mirror(
     std::vector<std::pair<std::string, std::string>> entries,
-    std::vector<std::string> deletes) {
+    std::vector<std::string> deletes, obs::TraceContext trace) {
   const bool named = !params_.name.empty();
   ReplicateBatchRequest req;
   req.epoch = epoch_;
@@ -127,11 +133,16 @@ sim::Co<Status> KvReplica::Mirror(
   // Write-all over the active set: every active peer must acknowledge
   // before the client does (so any active replica can later promote
   // without losing an acknowledged write).
+  //
+  // Iterate a snapshot: SendBatch suspends, and a concurrent write (or a
+  // fencing response) can reassign active_ while this frame is parked —
+  // a range-for over the member would read freed vector storage.
   std::vector<core::ServiceBinding> survivors{self_};
   bool lost_any = false;
-  for (const auto& peer : active_) {
+  const std::vector<core::ServiceBinding> mirror_view = active_;
+  for (const auto& peer : mirror_view) {
     if (SameObject(peer, self_)) continue;
-    const Status st = co_await SendBatch(peer, req);
+    const Status st = co_await SendBatch(peer, req, trace);
     if (st.ok()) {
       survivors.push_back(peer);
       continue;
@@ -166,13 +177,18 @@ sim::Co<Status> KvReplica::Mirror(
     // see a newer epoch when it polls) nor rejoin the active set without
     // a snapshot resync.
     epoch_++;
+    context_->spans().Event(context_->scheduler().now(),
+                            "rkv " + self_.object.ToString() +
+                                " epoch bump -> " + std::to_string(epoch_) +
+                                " (evicting unreachable backups)");
     active_ = std::move(survivors);
     req.epoch = epoch_;
     req.replicas = active_;
     std::vector<core::ServiceBinding> confirmed{self_};
-    for (const auto& peer : active_) {
+    const std::vector<core::ServiceBinding> reannounce_view = active_;
+    for (const auto& peer : reannounce_view) {
       if (SameObject(peer, self_)) continue;
-      const Status st = co_await SendBatch(peer, req);
+      const Status st = co_await SendBatch(peer, req, trace);
       if (st.ok()) {
         confirmed.push_back(peer);
       } else if (st.code() == StatusCode::kFenced) {
@@ -187,8 +203,12 @@ sim::Co<Status> KvReplica::Mirror(
     if (confirmed.size() < 2) {
       co_return UnavailableError("no reachable backup to mirror to");
     }
-    if (confirmed.size() != active_.size()) {
+    if (confirmed.size() != reannounce_view.size()) {
       epoch_++;
+      context_->spans().Event(context_->scheduler().now(),
+                              "rkv " + self_.object.ToString() +
+                                  " epoch bump -> " + std::to_string(epoch_) +
+                                  " (peer died during re-announce)");
       active_ = std::move(confirmed);
     }
   }
@@ -196,6 +216,11 @@ sim::Co<Status> KvReplica::Mirror(
 }
 
 sim::Co<Result<rpc::Void>> KvReplica::Put(std::string key, std::string value) {
+  co_return co_await Put(std::move(key), std::move(value), obs::TraceContext{});
+}
+
+sim::Co<Result<rpc::Void>> KvReplica::Put(std::string key, std::string value,
+                                          obs::TraceContext trace) {
   if (syncing_) co_return UnavailableError("replica syncing");
   if (role_ != ReplicaRole::kPrimary) {
     co_return UnavailableError("not the primary");
@@ -209,13 +234,18 @@ sim::Co<Result<rpc::Void>> KvReplica::Put(std::string key, std::string value) {
   }
   std::vector<std::pair<std::string, std::string>> entries;
   entries.emplace_back(std::move(key), std::move(value));
-  const Status mirrored = co_await Mirror(std::move(entries), {});
+  const Status mirrored = co_await Mirror(std::move(entries), {}, trace);
   inflight_writes_--;
   if (!mirrored.ok()) co_return mirrored;
   co_return rpc::Void{};
 }
 
 sim::Co<Result<bool>> KvReplica::Del(std::string key) {
+  co_return co_await Del(std::move(key), obs::TraceContext{});
+}
+
+sim::Co<Result<bool>> KvReplica::Del(std::string key,
+                                     obs::TraceContext trace) {
   if (syncing_) co_return UnavailableError("replica syncing");
   if (role_ != ReplicaRole::kPrimary) {
     co_return UnavailableError("not the primary");
@@ -229,7 +259,7 @@ sim::Co<Result<bool>> KvReplica::Del(std::string key) {
   }
   std::vector<std::string> deletes;
   deletes.push_back(std::move(key));
-  const Status mirrored = co_await Mirror({}, std::move(deletes));
+  const Status mirrored = co_await Mirror({}, std::move(deletes), trace);
   inflight_writes_--;
   if (!mirrored.ok()) co_return mirrored;
   co_return *existed;
@@ -264,6 +294,11 @@ sim::Co<Result<rpc::Void>> KvReplica::HandleReplicateBatch(
   const bool fencing = !params_.testing_disable_fencing;
   if (fencing && req.epoch < epoch_) {
     fenced_rejections_++;
+    context_->spans().Event(context_->scheduler().now(),
+                            "rkv " + self_.object.ToString() +
+                                " fenced stale batch: epoch " +
+                                std::to_string(req.epoch) + " < " +
+                                std::to_string(epoch_));
     co_return FencedError("stale epoch " + std::to_string(req.epoch) +
                           " < " + std::to_string(epoch_));
   }
@@ -380,7 +415,7 @@ sim::Co<void> KvReplica::WatchdogLoop(std::shared_ptr<KvReplica> self) {
         ReplicateBatchRequest probe;
         probe.epoch = self->epoch_;
         probe.replicas = self->active_;
-        (void)co_await self->SendBatch(peer, probe);
+        (void)co_await self->SendBatch(peer, probe, obs::TraceContext{});
         if (self->role_ != ReplicaRole::kPrimary) break;  // deposed mid-probe
       }
       continue;
@@ -475,13 +510,20 @@ sim::Co<void> KvReplica::TryPromote() {
   PROXY_LOG(kInfo, context_->scheduler().now(), "rkv",
             "replica " << self_.object.ToString() << " promoted to primary"
                        << " at epoch " << epoch_);
+  context_->spans().Event(context_->scheduler().now(),
+                          "rkv " + self_.object.ToString() +
+                              " promoted to primary at epoch " +
+                              std::to_string(epoch_));
   ReplicateBatchRequest announce;
   announce.epoch = epoch_;
   announce.replicas = active_;
+  // Snapshot before the awaited loops: active_ can be reassigned by a
+  // concurrent frame while SendBatch is suspended (see Mirror).
+  const std::vector<core::ServiceBinding> announce_view = active_;
   std::vector<core::ServiceBinding> survivors{self_};
-  for (const auto& peer : active_) {
+  for (const auto& peer : announce_view) {
     if (SameObject(peer, self_)) continue;
-    const Status st = co_await SendBatch(peer, announce);
+    const Status st = co_await SendBatch(peer, announce, obs::TraceContext{});
     if (st.ok()) {
       survivors.push_back(peer);
     } else if (st.code() == StatusCode::kFenced) {
@@ -490,14 +532,18 @@ sim::Co<void> KvReplica::TryPromote() {
       co_return;
     }
   }
-  if (survivors.size() != active_.size()) {
+  if (survivors.size() != announce_view.size()) {
     epoch_++;
+    context_->spans().Event(context_->scheduler().now(),
+                            "rkv " + self_.object.ToString() +
+                                " epoch bump -> " + std::to_string(epoch_) +
+                                " (old primary evicted on promote)");
     active_ = survivors;
     announce.epoch = epoch_;
     announce.replicas = active_;
-    for (const auto& peer : active_) {
+    for (const auto& peer : survivors) {
       if (SameObject(peer, self_)) continue;
-      (void)co_await SendBatch(peer, announce);
+      (void)co_await SendBatch(peer, announce, obs::TraceContext{});
     }
   }
   // Keep the name from now on.
@@ -531,6 +577,9 @@ sim::Co<void> KvReplica::TryRejoin() {
   PROXY_LOG(kInfo, context_->scheduler().now(), "rkv",
             "replica " << self_.object.ToString()
                        << " rejoined at epoch " << epoch_);
+  context_->spans().Event(context_->scheduler().now(),
+                          "rkv " + self_.object.ToString() +
+                              " rejoined at epoch " + std::to_string(epoch_));
 }
 
 // --- skeleton ----------------------------------------------------------
@@ -549,14 +598,15 @@ std::shared_ptr<rpc::Dispatch> MakeReplicatedKvDispatch(
       });
   rpc::RegisterTyped<PutRequest, rpc::Void>(
       *dispatch, kvwire::kPut,
-      [impl](PutRequest req, const rpc::CallContext&) {
-        return impl->Put(std::move(req.key), std::move(req.value));
+      [impl](PutRequest req, const rpc::CallContext& ctx) {
+        return impl->Put(std::move(req.key), std::move(req.value), ctx.trace);
       });
   rpc::RegisterTyped<DelRequest, DelResponse>(
       *dispatch, kvwire::kDel,
       [impl](DelRequest req,
-             const rpc::CallContext&) -> sim::Co<Result<DelResponse>> {
-        Result<bool> existed = co_await impl->Del(std::move(req.key));
+             const rpc::CallContext& ctx) -> sim::Co<Result<DelResponse>> {
+        Result<bool> existed = co_await impl->Del(std::move(req.key),
+                                                  ctx.trace);
         if (!existed.ok()) co_return existed.status();
         co_return DelResponse{*existed};
       });
@@ -600,17 +650,18 @@ std::shared_ptr<rpc::Dispatch> MakeReplicatedKvDispatch(
   rpc::RegisterTyped<PutRequest, EpochPutResponse>(
       *dispatch, kvwire::kEpochPut,
       [impl](PutRequest req,
-             const rpc::CallContext&) -> sim::Co<Result<EpochPutResponse>> {
-        Result<rpc::Void> applied =
-            co_await impl->Put(std::move(req.key), std::move(req.value));
+             const rpc::CallContext& ctx) -> sim::Co<Result<EpochPutResponse>> {
+        Result<rpc::Void> applied = co_await impl->Put(
+            std::move(req.key), std::move(req.value), ctx.trace);
         if (!applied.ok()) co_return applied.status();
         co_return EpochPutResponse{impl->epoch()};
       });
   rpc::RegisterTyped<DelRequest, EpochDelResponse>(
       *dispatch, kvwire::kEpochDel,
       [impl](DelRequest req,
-             const rpc::CallContext&) -> sim::Co<Result<EpochDelResponse>> {
-        Result<bool> existed = co_await impl->Del(std::move(req.key));
+             const rpc::CallContext& ctx) -> sim::Co<Result<EpochDelResponse>> {
+        Result<bool> existed = co_await impl->Del(std::move(req.key),
+                                                  ctx.trace);
         if (!existed.ok()) co_return existed.status();
         co_return EpochDelResponse{*existed, impl->epoch()};
       });
@@ -661,19 +712,24 @@ Result<ReplicatedKvExport> ExportReplicatedKv(
 
 // --- failover proxy ----------------------------------------------------
 
-sim::Co<Status> KvFailoverProxy::EnsureReplicaList(bool force) {
+sim::Co<Status> KvFailoverProxy::EnsureReplicaList(bool force,
+                                                   obs::TraceContext trace) {
   if (!force && !replicas_.empty()) co_return Status::Ok();
   const std::vector<core::ServiceBinding> known = replicas_;
   if (force) {
     replicas_.clear();
     list_refreshes_++;
+    context().spans().Annotate(trace, context().scheduler().now(),
+                               "replica list refresh");
   }
+  rpc::CallOptions traced = options_;
+  traced.trace = trace;
   // Ask the bound primary first; CallRaw re-resolves the service name if
   // the bound address stopped answering (the new primary re-registers
   // the name when it promotes).
   Result<ReplicaListResponse> resp = FailedPreconditionError("unset");
-  Result<Bytes> raw = co_await CallRaw(kvwire::kGetReplicas,
-                                       serde::EncodeToBytes(rpc::Void{}));
+  Result<Bytes> raw = co_await CallRaw(
+      kvwire::kGetReplicas, serde::EncodeToBytes(rpc::Void{}), traced);
   if (raw.ok()) {
     resp = serde::DecodeFromBytes<ReplicaListResponse>(View(*raw));
   } else {
@@ -683,7 +739,7 @@ sim::Co<Status> KvFailoverProxy::EnsureReplicaList(bool force) {
     for (const auto& replica : known) {
       rpc::RpcResult alt = co_await context().client().Call(
           replica.server, replica.object, kvwire::kGetReplicas,
-          serde::EncodeToBytes(rpc::Void{}), options_);
+          serde::EncodeToBytes(rpc::Void{}), traced);
       if (!alt.ok()) continue;
       Result<ReplicaListResponse> decoded =
           serde::DecodeFromBytes<ReplicaListResponse>(View(alt.payload));
@@ -706,46 +762,77 @@ sim::Co<Status> KvFailoverProxy::EnsureReplicaList(bool force) {
 template <typename Resp, typename Req>
 sim::Co<Result<Resp>> KvFailoverProxy::ReadCall(std::uint32_t method,
                                                 Req req) {
-  const Status ready = co_await EnsureReplicaList(false);
-  if (!ready.ok()) co_return ready;
+  obs::SpanRecorder& spans = context().spans();
+  const obs::TraceContext span =
+      spans.Begin(options_.trace, "rkv.read m" + std::to_string(method),
+                  context().scheduler().now());
+  rpc::CallOptions opts = options_;
+  if (span.active()) opts.trace = span;
 
-  const Bytes args = serde::EncodeToBytes(req);
+  Result<Resp> outcome = UnavailableError("no replicas");
+  bool done = false;
+  const Status ready = co_await EnsureReplicaList(false, span);
+  if (!ready.ok()) {
+    outcome = ready;
+    done = true;
+  }
+  Bytes args;
+  if (!done) args = serde::EncodeToBytes(req);
   Status last = UnavailableError("no replicas");
-  for (int pass = 0; pass < 2; ++pass) {
-    for (std::size_t i = 0; i < replicas_.size(); ++i) {
+  for (int pass = 0; pass < 2 && !done; ++pass) {
+    for (std::size_t i = 0; i < replicas_.size() && !done; ++i) {
       const std::size_t idx = (preferred_ + i) % replicas_.size();
       const core::ServiceBinding& replica = replicas_[idx];
       rpc::RpcResult raw = co_await context().client().Call(
-          replica.server, replica.object, method, args, options_);
+          replica.server, replica.object, method, args, opts);
       if (raw.ok()) {
         if (idx != preferred_) {
           failovers_++;
+          spans.Annotate(span, context().scheduler().now(),
+                         "failover -> replica " + std::to_string(idx));
           preferred_ = idx;  // stick with the replica that answered
         }
-        co_return serde::DecodeFromBytes<Resp>(View(raw.payload));
+        outcome = serde::DecodeFromBytes<Resp>(View(raw.payload));
+        done = true;
+        break;
       }
       // Only liveness failures trigger failover; semantic errors are
       // final.
       if (raw.status.code() != StatusCode::kTimeout &&
           raw.status.code() != StatusCode::kUnavailable) {
-        co_return raw.status;
+        outcome = raw.status;
+        done = true;
+        break;
       }
       last = raw.status;
     }
-    if (pass == 0) {
+    if (!done && pass == 0) {
       // Every cached replica failed: the whole set may have moved on
       // (failover reshuffled it, or our list is from a dead epoch).
       // Re-fetch once and give the fresh set one more chance.
-      const Status refreshed = co_await EnsureReplicaList(true);
-      if (!refreshed.ok()) co_return last;
+      const Status refreshed = co_await EnsureReplicaList(true, span);
+      if (!refreshed.ok()) {
+        outcome = last;
+        done = true;
+      }
+    } else if (!done && pass == 1) {
+      outcome = last;
     }
   }
-  co_return last;
+  spans.End(span, context().scheduler().now(), outcome.status());
+  co_return outcome;
 }
 
 template <typename Resp, typename Req>
 sim::Co<Result<Resp>> KvFailoverProxy::WriteCall(std::uint32_t method,
                                                  Req req) {
+  obs::SpanRecorder& spans = context().spans();
+  const obs::TraceContext span =
+      spans.Begin(options_.trace, "rkv.write m" + std::to_string(method),
+                  context().scheduler().now());
+  rpc::CallOptions opts = options_;
+  if (span.active()) opts.trace = span;
+
   const Bytes args = serde::EncodeToBytes(req);
   // If every pass fails, report the FIRST actual write attempt's status:
   // once that attempt times out, the client's circuit breaker to the dead
@@ -754,18 +841,22 @@ sim::Co<Result<Resp>> KvFailoverProxy::WriteCall(std::uint32_t method,
   // partitioned primary).
   Status verdict = UnavailableError("no replicas");
   bool attempted = false;
-  for (int pass = 0; pass < kWritePasses; ++pass) {
-    const Status ready = co_await EnsureReplicaList(pass > 0);
+  Result<Resp> outcome = UnavailableError("no replicas");
+  bool done = false;
+  for (int pass = 0; pass < kWritePasses && !done; ++pass) {
+    const Status ready = co_await EnsureReplicaList(pass > 0, span);
     if (!ready.ok()) {
       if (!attempted) verdict = ready;
       continue;
     }
     const core::ServiceBinding primary = replicas_[0];
     rpc::RpcResult raw = co_await context().client().Call(
-        primary.server, primary.object, method, args, options_);
+        primary.server, primary.object, method, args, opts);
     if (raw.ok()) {
       last_write_acker_ = primary.object;
-      co_return serde::DecodeFromBytes<Resp>(View(raw.payload));
+      outcome = serde::DecodeFromBytes<Resp>(View(raw.payload));
+      done = true;
+      break;
     }
     const StatusCode code = raw.status.code();
     // FENCED means our primary is deposed; UNAVAILABLE/TIMEOUT may mean
@@ -773,14 +864,22 @@ sim::Co<Result<Resp>> KvFailoverProxy::WriteCall(std::uint32_t method,
     // refresh the list and follow the new primary.
     if (code != StatusCode::kTimeout && code != StatusCode::kUnavailable &&
         code != StatusCode::kFenced) {
-      co_return raw.status;
+      outcome = raw.status;
+      done = true;
+      break;
+    }
+    if (code == StatusCode::kFenced) {
+      spans.Annotate(span, context().scheduler().now(),
+                     "primary fenced; following the new epoch");
     }
     if (!attempted) {
       verdict = raw.status;
       attempted = true;
     }
   }
-  co_return verdict;
+  if (!done) outcome = verdict;
+  spans.End(span, context().scheduler().now(), outcome.status());
+  co_return outcome;
 }
 
 sim::Co<Result<std::optional<std::string>>> KvFailoverProxy::Get(

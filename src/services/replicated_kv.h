@@ -150,13 +150,33 @@ class KvReplica : public IKeyValue,
  public:
   KvReplica(core::Context& context, ReplicatedKvParams params)
       : context_(&context), params_(std::move(params)),
-        store_(std::make_shared<KvService>(context)) {}
+        store_(std::make_shared<KvService>(context)) {
+    context_->metrics().Attach("svc.rkv.replication_failures",
+                               &replication_failures_);
+    context_->metrics().Attach("svc.rkv.fenced_rejections",
+                               &fenced_rejections_);
+    context_->metrics().Attach("svc.rkv.promotions", &promotions_);
+  }
+  ~KvReplica() override {
+    context_->metrics().Detach("svc.rkv.replication_failures",
+                               &replication_failures_);
+    context_->metrics().Detach("svc.rkv.fenced_rejections",
+                               &fenced_rejections_);
+    context_->metrics().Detach("svc.rkv.promotions", &promotions_);
+  }
 
   // IKeyValue (primary path; backups serve reads, refuse writes).
   sim::Co<Result<std::optional<std::string>>> Get(std::string key) override;
   sim::Co<Result<rpc::Void>> Put(std::string key, std::string value) override;
   sim::Co<Result<bool>> Del(std::string key) override;
   sim::Co<Result<std::uint64_t>> Size() override;
+
+  // Traced write paths: the server-side span of the client's request is
+  // threaded through the mirror fan-out, so every replica's apply hangs
+  // off the write that caused it in the call tree.
+  sim::Co<Result<rpc::Void>> Put(std::string key, std::string value,
+                                 obs::TraceContext trace);
+  sim::Co<Result<bool>> Del(std::string key, obs::TraceContext trace);
 
   // Wire handlers (wired up by MakeReplicatedKvDispatch).
   sim::Co<Result<kvwire::ReplicaListResponse>> HandleGetReplicas();
@@ -206,11 +226,13 @@ class KvReplica : public IKeyValue,
   /// reply deposes this primary.
   sim::Co<Status> Mirror(
       std::vector<std::pair<std::string, std::string>> entries,
-      std::vector<std::string> deletes);
+      std::vector<std::string> deletes, obs::TraceContext trace);
 
-  /// Sends `req` to `peer`, returns the raw outcome status.
+  /// Sends `req` to `peer`, returns the raw outcome status. The trace
+  /// rides in the mirror call options (replication fan-out propagation).
   sim::Co<Status> SendBatch(const core::ServiceBinding& peer,
-                            const kvwire::ReplicateBatchRequest& req);
+                            const kvwire::ReplicateBatchRequest& req,
+                            obs::TraceContext trace);
 
   /// The deposed-primary transition: drop the lease, become a syncing
   /// backup, and let the rejoin path pull fresh state.
@@ -240,9 +262,9 @@ class KvReplica : public IKeyValue,
   int inflight_writes_ = 0;
   bool stopped_ = false;
   std::unique_ptr<core::LeaseMaintainer> lease_;  // primary only
-  std::uint64_t replication_failures_ = 0;
-  std::uint64_t fenced_rejections_ = 0;
-  std::uint64_t promotions_ = 0;
+  obs::Counter replication_failures_;
+  obs::Counter fenced_rejections_;
+  obs::Counter promotions_;
 };
 
 /// Builds a replica's skeleton: the full KV dispatch plus the
@@ -277,10 +299,17 @@ class KvFailoverProxy : public IKeyValue, public core::ProxyBase {
   KvFailoverProxy(core::Context& context, core::ServiceBinding binding)
       : core::ProxyBase(context, std::move(binding)) {
     // Fail over quickly rather than retrying one dead replica forever.
-    rpc::CallOptions impatient;
-    impatient.retry_interval = Milliseconds(10);
-    impatient.max_retries = 2;
-    set_call_options(impatient);
+    set_call_options(rpc::CallOptions{}
+                         .WithRetryInterval(Milliseconds(10))
+                         .WithRetries(2));
+    this->context().metrics().Attach("svc.rkv.proxy.failovers", &failovers_);
+    this->context().metrics().Attach("svc.rkv.proxy.list_refreshes",
+                                     &list_refreshes_);
+  }
+  ~KvFailoverProxy() override {
+    context().metrics().Detach("svc.rkv.proxy.failovers", &failovers_);
+    context().metrics().Detach("svc.rkv.proxy.list_refreshes",
+                               &list_refreshes_);
   }
 
   sim::Co<Result<std::optional<std::string>>> Get(std::string key) override;
@@ -307,7 +336,7 @@ class KvFailoverProxy : public IKeyValue, public core::ProxyBase {
   /// Fetches the replica set on first use; with `force`, drops the cache
   /// and re-fetches — first through the bound primary (which re-resolves
   /// the name if dead), then by asking each previously known replica.
-  sim::Co<Status> EnsureReplicaList(bool force);
+  sim::Co<Status> EnsureReplicaList(bool force, obs::TraceContext trace = {});
 
   /// Read path: try replicas starting with the preferred one; after a
   /// full failed pass, refresh the list once and run one more pass.
@@ -323,8 +352,8 @@ class KvFailoverProxy : public IKeyValue, public core::ProxyBase {
 
   std::vector<core::ServiceBinding> replicas_;  // [0] = primary
   std::size_t preferred_ = 0;                   // sticky last-good replica
-  std::uint64_t failovers_ = 0;
-  std::uint64_t list_refreshes_ = 0;
+  obs::Counter failovers_;
+  obs::Counter list_refreshes_;
   std::uint64_t list_epoch_ = 0;
   std::uint64_t last_op_epoch_ = 0;
   ObjectId last_write_acker_{};

@@ -113,7 +113,13 @@ SpoolerBatchProxy::SpoolerBatchProxy(core::Context& context,
           [this](std::vector<SpoolJob> batch) {
             return FlushBatch(std::move(batch));
           },
-          params.max_batch, params.flush_window) {}
+          params.max_batch, params.flush_window) {
+  batcher_.BindMetrics(context.metrics(), "svc.spool.batch");
+}
+
+SpoolerBatchProxy::~SpoolerBatchProxy() {
+  batcher_.DetachMetrics(context().metrics(), "svc.spool.batch");
+}
 
 sim::Co<Status> SpoolerBatchProxy::FlushBatch(std::vector<SpoolJob> batch) {
   SubmitManyRequest req{std::move(batch)};

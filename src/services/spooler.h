@@ -127,6 +127,7 @@ class SpoolerBatchProxy : public ISpooler, public core::ProxyBase {
  public:
   SpoolerBatchProxy(core::Context& context, core::ServiceBinding binding,
                     SpoolerBatchParams params = {});
+  ~SpoolerBatchProxy() override;
 
   sim::Co<Result<std::uint64_t>> Submit(SpoolJob job) override;
   sim::Co<Result<std::uint64_t>> SubmitMany(

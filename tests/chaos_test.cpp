@@ -78,6 +78,38 @@ TEST(ChaosReplay, DifferentSeedsDiverge) {
   EXPECT_NE(RunChaos(a).fingerprint, RunChaos(b).fingerprint);
 }
 
+TEST(ChaosReplay, MetricsAndSpanTreesReplayByteIdentically) {
+  // The observability acceptance bar: a seeded run that exercises a full
+  // failover (seed 7 promotes a backup) must render the exact same
+  // metric tables and span trees on every replay — down to the byte.
+  ChaosOptions options;
+  options.seed = 7;
+  options.collect_metrics = true;
+  options.collect_spans = true;
+  const ChaosReport first = RunChaos(options);
+  const ChaosReport second = RunChaos(options);
+  EXPECT_EQ(first.fingerprint, second.fingerprint);
+  EXPECT_EQ(first.metrics_table, second.metrics_table);
+  EXPECT_EQ(first.metrics_json, second.metrics_json);
+  EXPECT_EQ(first.span_trees, second.span_trees);
+  EXPECT_EQ(first.trace_ids, second.trace_ids);
+
+  // The run actually produced observability output, not empty strings.
+  EXPECT_GE(first.kv_promotions, 1u) << "seed 7 is expected to fail over";
+  EXPECT_NE(first.metrics_table.find("rpc.client.call_ns"),
+            std::string::npos);
+  EXPECT_NE(first.metrics_table.find("core.proxy.calls"), std::string::npos);
+  EXPECT_NE(first.metrics_table.find("svc.rkv.promotions"),
+            std::string::npos);
+  EXPECT_FALSE(first.trace_ids.empty());
+  // Replication fan-out propagation: a traced write's mirror batches
+  // (method 21 = kReplicateBatch) appear as exec children in some tree.
+  EXPECT_NE(first.span_trees.find("rkv.write"), std::string::npos);
+  EXPECT_NE(first.span_trees.find("exec m21"), std::string::npos);
+  // Failover protocol events land in the span event log.
+  EXPECT_NE(first.span_trees.find("promoted to primary"), std::string::npos);
+}
+
 // --- the harness has teeth: a known-bad build is caught ---
 
 TEST(ChaosBugCatch, ReplyAuthRegressionCaughtAndReplaysIdentically) {

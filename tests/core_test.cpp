@@ -131,7 +131,7 @@ TEST(Bind, DirectWhenObjectIsLocal) {
   // Binding from the hosting context returns the implementation itself.
   auto body = [&]() -> sim::Co<void> {
     Result<std::shared_ptr<ICounter>> bound =
-        co_await Bind<ICounter>(*w.server_ctx, "counter");
+        co_await Acquire<ICounter>(*w.server_ctx, "counter");
     CO_ASSERT_OK(bound);
     EXPECT_EQ(bound->get(),
               static_cast<ICounter*>(exported->impl.get()));
@@ -148,7 +148,7 @@ TEST(Bind, ProxyWhenRemoteAndDirectWhenDisallowed) {
   auto body = [&]() -> sim::Co<void> {
     // Remote client: must get a proxy, and it must work.
     Result<std::shared_ptr<ICounter>> remote =
-        co_await Bind<ICounter>(*w.client_ctx, "counter");
+        co_await Acquire<ICounter>(*w.client_ctx, "counter");
     CO_ASSERT_OK(remote);
     EXPECT_NE(remote->get(), static_cast<ICounter*>(exported->impl.get()));
     Result<std::int64_t> v = co_await (*remote)->Increment(5);
@@ -156,10 +156,10 @@ TEST(Bind, ProxyWhenRemoteAndDirectWhenDisallowed) {
     EXPECT_EQ(*v, 15);
 
     // Even locally, allow_direct=false forces a proxy.
-    BindOptions opts;
+    AcquireOptions opts;
     opts.allow_direct = false;
     Result<std::shared_ptr<ICounter>> forced =
-        co_await Bind<ICounter>(*w.server_ctx, "counter", opts);
+        co_await Acquire<ICounter>(*w.server_ctx, "counter", opts);
     CO_ASSERT_OK(forced);
     EXPECT_NE(forced->get(), static_cast<ICounter*>(exported->impl.get()));
     Result<std::int64_t> v2 = co_await (*forced)->Read();
@@ -177,7 +177,7 @@ TEST(Bind, InterfaceMismatchRefused) {
 
   auto body = [&]() -> sim::Co<void> {
     Result<std::shared_ptr<IKeyValue>> wrong =
-        co_await Bind<IKeyValue>(*w.client_ctx, "counter");
+        co_await Acquire<IKeyValue>(*w.client_ctx, "counter");
     EXPECT_EQ(wrong.status().code(), StatusCode::kFailedPrecondition);
   };
   w.Run(body);
@@ -187,7 +187,7 @@ TEST(Bind, UnboundNameFails) {
   TestWorld w;
   auto body = [&]() -> sim::Co<void> {
     Result<std::shared_ptr<ICounter>> missing =
-        co_await Bind<ICounter>(*w.client_ctx, "nothing/here");
+        co_await Acquire<ICounter>(*w.client_ctx, "nothing/here");
     EXPECT_EQ(missing.status().code(), StatusCode::kNotFound);
   };
   w.Run(body);
@@ -200,10 +200,10 @@ TEST(Bind, ProtocolOverrideSelectsDifferentProxy) {
   w.Publish("kv", exported->binding);
 
   auto body = [&]() -> sim::Co<void> {
-    BindOptions opts;
+    AcquireOptions opts;
     opts.protocol_override = 2;  // caching proxy instead of stub
     Result<std::shared_ptr<IKeyValue>> kv =
-        co_await Bind<IKeyValue>(*w.client_ctx, "kv", opts);
+        co_await Acquire<IKeyValue>(*w.client_ctx, "kv", opts);
     CO_ASSERT_OK(kv);
     // A caching proxy serves the second read locally: message count stays
     // flat between the two reads.
@@ -227,7 +227,7 @@ TEST(ServiceExport, RevokeCutsEveryProxyOff) {
 
   auto body = [&]() -> sim::Co<void> {
     Result<std::shared_ptr<ICounter>> bound =
-        co_await Bind<ICounter>(*w.client_ctx, "rev");
+        co_await Acquire<ICounter>(*w.client_ctx, "rev");
     CO_ASSERT_OK(bound);
     CO_ASSERT_OK(co_await (*bound)->Read());
     exported->Revoke();
@@ -248,7 +248,7 @@ TEST(ServiceExport, WithdrawMakesNotFoundNotDenied) {
 
   auto body = [&]() -> sim::Co<void> {
     Result<std::shared_ptr<ICounter>> bound =
-        co_await Bind<ICounter>(*w.client_ctx, "wd");
+        co_await Acquire<ICounter>(*w.client_ctx, "wd");
     CO_ASSERT_OK(bound);
     exported->Withdraw();
     Result<std::int64_t> gone = co_await (*bound)->Read();
@@ -257,7 +257,7 @@ TEST(ServiceExport, WithdrawMakesNotFoundNotDenied) {
   w.Run(body);
 }
 
-TEST(ServiceExport, PublishThenBindByName) {
+TEST(ServiceExport, PublishThenAcquireByName) {
   TestWorld w;
   auto impl = std::make_shared<CounterService>(3);
   auto dispatch = services::MakeCounterDispatch(impl);
@@ -268,7 +268,7 @@ TEST(ServiceExport, PublishThenBindByName) {
   auto body = [&]() -> sim::Co<void> {
     CO_ASSERT_OK(co_await exported->Publish("pub/counter"));
     Result<std::shared_ptr<ICounter>> bound =
-        co_await Bind<ICounter>(*w.client_ctx, "pub/counter");
+        co_await Acquire<ICounter>(*w.client_ctx, "pub/counter");
     CO_ASSERT_OK(bound);
     Result<std::int64_t> v = co_await (*bound)->Read();
     CO_ASSERT_OK(v);

@@ -10,8 +10,8 @@
 namespace proxy::services {
 namespace {
 
-using core::Bind;
-using core::BindOptions;
+using core::Acquire;
+using core::AcquireOptions;
 using proxy::testing::TestWorld;
 
 std::shared_ptr<ICounter> BindCounter(TestWorld& w, core::Context& ctx,
@@ -19,11 +19,11 @@ std::shared_ptr<ICounter> BindCounter(TestWorld& w, core::Context& ctx,
                                       std::uint32_t protocol = 0) {
   std::shared_ptr<ICounter> out;
   auto body = [&]() -> sim::Co<void> {
-    BindOptions opts;
+    AcquireOptions opts;
     opts.protocol_override = protocol;
     opts.allow_direct = false;  // always exercise the proxy path
     Result<std::shared_ptr<ICounter>> c =
-        co_await Bind<ICounter>(ctx, name, opts);
+        co_await Acquire<ICounter>(ctx, name, opts);
     CO_ASSERT_OK(c);
     out = *c;
   };
@@ -286,11 +286,11 @@ TEST(MigrationTest, NameServiceRebindAfterMove) {
     CO_ASSERT_OK(moved);
     CO_ASSERT_OK(co_await target.names().RegisterService("ctr", *moved));
 
-    BindOptions opts;
+    AcquireOptions opts;
     opts.allow_direct = false;
     opts.use_name_cache = false;  // see the fresh record
     Result<std::shared_ptr<ICounter>> fresh =
-        co_await Bind<ICounter>(*w.client_ctx, "ctr", opts);
+        co_await Acquire<ICounter>(*w.client_ctx, "ctr", opts);
     CO_ASSERT_OK(fresh);
     CO_ASSERT_OK(co_await (*fresh)->Increment(1));
     auto* stub = dynamic_cast<CounterStub*>(fresh->get());

@@ -14,8 +14,8 @@
 namespace proxy {
 namespace {
 
-using core::Bind;
-using core::BindOptions;
+using core::Acquire;
+using core::AcquireOptions;
 using proxy::testing::TestWorld;
 using namespace proxy::services;  // NOLINT
 
@@ -30,12 +30,12 @@ TEST(EdgeCases, ReplyCachesAreIsolatedPerClient) {
   core::Context& other = w.rt->CreateContext(w.client_node, "other");
   std::shared_ptr<IKeyValue> kv1, kv2;
   auto bind = [&]() -> sim::Co<void> {
-    BindOptions opts;
+    AcquireOptions opts;
     opts.allow_direct = false;
     Result<std::shared_ptr<IKeyValue>> a =
-        co_await Bind<IKeyValue>(*w.client_ctx, "kv", opts);
+        co_await Acquire<IKeyValue>(*w.client_ctx, "kv", opts);
     Result<std::shared_ptr<IKeyValue>> b =
-        co_await Bind<IKeyValue>(other, "kv", opts);
+        co_await Acquire<IKeyValue>(other, "kv", opts);
     CO_ASSERT_OK(a);
     CO_ASSERT_OK(b);
     kv1 = *a;
@@ -65,10 +65,10 @@ TEST(EdgeCases, FileServiceMigratesWithContentAndSubscribers) {
 
   std::shared_ptr<IFile> file;
   auto bind = [&]() -> sim::Co<void> {
-    BindOptions opts;
+    AcquireOptions opts;
     opts.allow_direct = false;
     Result<std::shared_ptr<IFile>> f =
-        co_await Bind<IFile>(*w.client_ctx, "file", opts);
+        co_await Acquire<IFile>(*w.client_ctx, "file", opts);
     CO_ASSERT_OK(f);
     file = *f;
   };
@@ -111,10 +111,10 @@ TEST(EdgeCases, StaleNameCacheRecoversViaForwarding) {
   target.migration();
 
   auto body = [&]() -> sim::Co<void> {
-    BindOptions opts;
+    AcquireOptions opts;
     opts.allow_direct = false;
     Result<std::shared_ptr<ICounter>> first =
-        co_await Bind<ICounter>(*w.client_ctx, "ctr", opts);
+        co_await Acquire<ICounter>(*w.client_ctx, "ctr", opts);
     CO_ASSERT_OK(first);
     CO_ASSERT_OK(co_await (*first)->Read());
 
@@ -125,7 +125,7 @@ TEST(EdgeCases, StaleNameCacheRecoversViaForwarding) {
 
     // A *new* bind resolves from the (stale) name cache, yet works.
     Result<std::shared_ptr<ICounter>> second =
-        co_await Bind<ICounter>(*w.client_ctx, "ctr", opts);
+        co_await Acquire<ICounter>(*w.client_ctx, "ctr", opts);
     CO_ASSERT_OK(second);
     Result<std::int64_t> v = co_await (*second)->Read();
     CO_ASSERT_OK(v);
@@ -145,7 +145,7 @@ TEST(EdgeCases, BindingWithWrongProtocolNumberFailsCleanly) {
 
   auto body = [&]() -> sim::Co<void> {
     Result<std::shared_ptr<IKeyValue>> kv =
-        co_await Bind<IKeyValue>(*w.client_ctx, "bogus");
+        co_await Acquire<IKeyValue>(*w.client_ctx, "bogus");
     EXPECT_EQ(kv.status().code(), StatusCode::kNotFound);
   };
   w.Run(body);
@@ -180,7 +180,7 @@ TEST(EdgeCases, ZeroByteValuesAndOddKeysRoundTrip) {
 
   auto body = [&]() -> sim::Co<void> {
     Result<std::shared_ptr<IKeyValue>> kv =
-        co_await Bind<IKeyValue>(*w.client_ctx, "kv");
+        co_await Acquire<IKeyValue>(*w.client_ctx, "kv");
     CO_ASSERT_OK(kv);
     // Empty value, empty-ish keys, embedded NULs and slashes.
     const std::string weird_key = std::string("a\0b/c\xff", 6);
@@ -204,10 +204,10 @@ TEST(EdgeCases, LargePayloadCrossesTheWire) {
   w.Publish("file", exported->binding);
 
   auto body = [&]() -> sim::Co<void> {
-    BindOptions opts;
+    AcquireOptions opts;
     opts.allow_direct = false;
     Result<std::shared_ptr<IFile>> file =
-        co_await Bind<IFile>(*w.client_ctx, "file", opts);
+        co_await Acquire<IFile>(*w.client_ctx, "file", opts);
     CO_ASSERT_OK(file);
     // 512 KiB takes ~420ms to transmit at 10 Mb/s — far beyond the
     // default retry budget. A bulk-transfer client must be patient.
@@ -246,10 +246,10 @@ TEST(EdgeCases, ManyConcurrentClientsOneServer) {
   }
 
   auto client = [&](core::Context& ctx) -> sim::Co<void> {
-    BindOptions opts;
+    AcquireOptions opts;
     opts.allow_direct = false;
     Result<std::shared_ptr<ICounter>> ctr =
-        co_await Bind<ICounter>(ctx, "ctr", opts);
+        co_await Acquire<ICounter>(ctx, "ctr", opts);
     CO_ASSERT_OK(ctr);
     for (int i = 0; i < kOpsEach; ++i) {
       CO_ASSERT_OK(co_await (*ctr)->Increment(1));
@@ -265,7 +265,7 @@ TEST(EdgeCases, ManyConcurrentClientsOneServer) {
 
   auto verify = [&]() -> sim::Co<void> {
     Result<std::shared_ptr<ICounter>> ctr =
-        co_await Bind<ICounter>(*w.server_ctx, "ctr");
+        co_await Acquire<ICounter>(*w.server_ctx, "ctr");
     CO_ASSERT_OK(ctr);
     Result<std::int64_t> v = co_await (*ctr)->Read();
     CO_ASSERT_OK(v);
@@ -282,10 +282,10 @@ TEST(EdgeCases, WithdrawnNameYieldsCleanBindFailure) {
     CO_ASSERT_OK(co_await w.server_ctx->names().RegisterService(
         "ephemeral", exported->binding));
     CO_ASSERT_OK(co_await w.server_ctx->names().Unregister("ephemeral"));
-    BindOptions opts;
+    AcquireOptions opts;
     opts.use_name_cache = false;
     Result<std::shared_ptr<IKeyValue>> kv =
-        co_await Bind<IKeyValue>(*w.client_ctx, "ephemeral", opts);
+        co_await Acquire<IKeyValue>(*w.client_ctx, "ephemeral", opts);
     EXPECT_EQ(kv.status().code(), StatusCode::kNotFound);
   };
   w.Run(body);

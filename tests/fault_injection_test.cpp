@@ -201,7 +201,7 @@ TEST(FaultInjection, ProxyRebindsThroughNameServiceAfterHostFailure) {
 
   std::shared_ptr<services::ICounter> counter;
   auto bind = [&]() -> sim::Co<void> {
-    auto bound = co_await core::Bind<services::ICounter>(c, "ctr");
+    auto bound = co_await core::Acquire<services::ICounter>(c, "ctr");
     CO_ASSERT_OK(bound);
     counter = *bound;
     auto v = co_await counter->Read();

@@ -11,19 +11,19 @@
 namespace proxy::services {
 namespace {
 
-using core::Bind;
-using core::BindOptions;
+using core::Acquire;
+using core::AcquireOptions;
 using proxy::testing::TestWorld;
 
 std::shared_ptr<IFile> BindFile(TestWorld& w, const std::string& name,
                                 std::uint32_t protocol = 0) {
   std::shared_ptr<IFile> out;
   auto body = [&]() -> sim::Co<void> {
-    BindOptions opts;
+    AcquireOptions opts;
     opts.protocol_override = protocol;
     opts.allow_direct = false;
     Result<std::shared_ptr<IFile>> f =
-        co_await Bind<IFile>(*w.client_ctx, name, opts);
+        co_await Acquire<IFile>(*w.client_ctx, name, opts);
     CO_ASSERT_OK(f);
     out = *f;
   };
@@ -134,11 +134,11 @@ TEST(FileCachingTest, ReadSpanningBlocksAssembles) {
     CO_ASSERT_OK(chunk);
     CO_ASSERT_TRUE(chunk->size() == 6000u);
     // Compare against a stub read of the same range.
-    BindOptions opts;
+    AcquireOptions opts;
     opts.protocol_override = 1;
     opts.allow_direct = false;
     Result<std::shared_ptr<IFile>> stub =
-        co_await Bind<IFile>(*w.client_ctx, "file", opts);
+        co_await Acquire<IFile>(*w.client_ctx, "file", opts);
     CO_ASSERT_OK(stub);
     Result<Bytes> expected = co_await (*stub)->Read(3000, 6000);
     CO_ASSERT_OK(expected);
@@ -177,11 +177,11 @@ TEST(FileCachingTest, RemoteWriterInvalidatesThroughSubscription) {
   core::Context& writer_ctx = w.rt->CreateContext(w.client_node, "writer");
   std::shared_ptr<IFile> writer;
   auto bindw = [&]() -> sim::Co<void> {
-    BindOptions opts;
+    AcquireOptions opts;
     opts.protocol_override = 1;
     opts.allow_direct = false;
     Result<std::shared_ptr<IFile>> f =
-        co_await Bind<IFile>(writer_ctx, "file", opts);
+        co_await Acquire<IFile>(writer_ctx, "file", opts);
     CO_ASSERT_OK(f);
     writer = *f;
   };

@@ -1,8 +1,10 @@
 // Wire-evolution coverage for the RPC request frame's versioned envelope:
 // v1 frames (no deadline on the wire) decode with no deadline, v2 frames
-// round-trip it, hypothetical v3 frames with unknown trailing fields
-// still decode — and truncating an encoded frame at any byte either
-// decodes cleanly or fails with an error, never crashes or hangs.
+// round-trip it, v3 frames with unknown trailing fields still decode, v4
+// frames round-trip the causal trace triple (and pre-v4 senders decode
+// against the v4 reader with an inactive trace) — and truncating an
+// encoded frame at any byte either decodes cleanly or fails with an
+// error, never crashes or hangs.
 #include <gtest/gtest.h>
 
 #include <cstdint>
@@ -23,6 +25,14 @@ RequestFrame SampleRequest() {
   frame.method = 3;
   frame.args = Bytes{1, 2, 3, 4, 5};
   frame.deadline = Milliseconds(250);
+  return frame;
+}
+
+RequestFrame SampleTracedRequest() {
+  RequestFrame frame = SampleRequest();
+  frame.trace.trace_id = 0x1111222233334444ULL;
+  frame.trace.span_id = 0x5555666677778888ULL;
+  frame.trace.parent_span_id = 0x9999AAAABBBBCCCCULL;
   return frame;
 }
 
@@ -82,6 +92,52 @@ TEST(FrameRoundtrip, V3FrameWithUnknownTrailingFieldsDecodes) {
   ExpectV1FieldsMatch(*decoded, frame);
   EXPECT_EQ(decoded->deadline, frame.deadline)
       << "known v2 field read even when a v3 tail follows";
+}
+
+TEST(FrameRoundtrip, V4RoundTripsTraceContext) {
+  const RequestFrame frame = SampleTracedRequest();
+  const Result<RequestFrame> decoded =
+      DecodeRequest(View(EncodeRequest(frame)));
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  ExpectV1FieldsMatch(*decoded, frame);
+  EXPECT_EQ(decoded->trace.trace_id, frame.trace.trace_id);
+  EXPECT_EQ(decoded->trace.span_id, frame.trace.span_id);
+  EXPECT_EQ(decoded->trace.parent_span_id, frame.trace.parent_span_id);
+  EXPECT_TRUE(decoded->trace.active());
+}
+
+TEST(FrameRoundtrip, UntracedV4FrameDecodesInactive) {
+  const RequestFrame frame = SampleRequest();  // trace all-zero
+  const Result<RequestFrame> decoded =
+      DecodeRequest(View(EncodeRequest(frame)));
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_FALSE(decoded->trace.active());
+}
+
+TEST(FrameRoundtrip, PreV4FramesDecodeWithInactiveTrace) {
+  // A v2 or v3 sender cannot carry a trace; the v4 decoder must yield an
+  // inactive (all-zero) context, not garbage from the tail.
+  const RequestFrame frame = SampleRequest();
+  for (const std::uint32_t version : {1u, 2u, 3u}) {
+    const Bytes old = EncodeRequestAs(frame, version,
+                                      /*extra_fields=*/version == 3 ? 4 : 0);
+    const Result<RequestFrame> decoded = DecodeRequest(View(old));
+    ASSERT_TRUE(decoded.ok()) << "version " << version;
+    EXPECT_FALSE(decoded->trace.active()) << "version " << version;
+    EXPECT_EQ(decoded->trace.trace_id, 0u) << "version " << version;
+  }
+}
+
+TEST(FrameRoundtrip, TruncatedTracedRequestNeverDecodesAsValid) {
+  // The trace triple sits at the very end of the v4 body; every
+  // truncation point inside it must fail the whole decode (a frame with
+  // half a trace is a corrupt frame, not an untraced one).
+  const Bytes full = EncodeRequest(SampleTracedRequest());
+  for (std::size_t len = 0; len < full.size(); ++len) {
+    EXPECT_FALSE(DecodeRequest(BytesView(full.data(), len)).ok())
+        << "prefix of length " << len << " decoded";
+  }
+  EXPECT_TRUE(DecodeRequest(View(full)).ok());
 }
 
 TEST(FrameRoundtrip, ReplyFrameRoundTrips) {
@@ -152,11 +208,17 @@ TEST(FrameRoundtrip, RandomFramesRoundTripUnderRandomDeadlines) {
       b = static_cast<std::uint8_t>(rng.UniformU64(256));
     }
     frame.deadline = rng.UniformU64(Seconds(10));
+    frame.trace.trace_id = rng.UniformU64(~0ULL);
+    frame.trace.span_id = rng.UniformU64(~0ULL);
+    frame.trace.parent_span_id = rng.UniformU64(~0ULL);
     const Result<RequestFrame> decoded =
         DecodeRequest(View(EncodeRequest(frame)));
     ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
     ExpectV1FieldsMatch(*decoded, frame);
     EXPECT_EQ(decoded->deadline, frame.deadline);
+    EXPECT_EQ(decoded->trace.trace_id, frame.trace.trace_id);
+    EXPECT_EQ(decoded->trace.span_id, frame.trace.span_id);
+    EXPECT_EQ(decoded->trace.parent_span_id, frame.trace.parent_span_id);
   }
 }
 

@@ -16,8 +16,8 @@
 namespace proxy {
 namespace {
 
-using core::Bind;
-using core::BindOptions;
+using core::Acquire;
+using core::AcquireOptions;
 using proxy::testing::TestWorld;
 using namespace proxy::services;  // NOLINT
 
@@ -60,11 +60,11 @@ TEST(Integration, FullTopologyManyServicesManyClients) {
   auto client_work = [&](core::Context& ctx, std::uint64_t me,
                          std::uint64_t file_base) -> sim::Co<void> {
     Result<std::shared_ptr<IKeyValue>> kv =
-        co_await Bind<IKeyValue>(ctx, "svc/kv");
+        co_await Acquire<IKeyValue>(ctx, "svc/kv");
     Result<std::shared_ptr<IFile>> file =
-        co_await Bind<IFile>(ctx, "svc/file");
+        co_await Acquire<IFile>(ctx, "svc/file");
     Result<std::shared_ptr<ILockService>> lock =
-        co_await Bind<ILockService>(ctx, "svc/lock");
+        co_await Acquire<ILockService>(ctx, "svc/lock");
     CO_ASSERT_OK(kv);
     CO_ASSERT_OK(file);
     CO_ASSERT_OK(lock);
@@ -93,7 +93,7 @@ TEST(Integration, FullTopologyManyServicesManyClients) {
   // The lock made the read-modify-write atomic: exactly 20 increments.
   auto verify = [&]() -> sim::Co<void> {
     Result<std::shared_ptr<IKeyValue>> kv =
-        co_await Bind<IKeyValue>(kv_ctx, "svc/kv");
+        co_await Acquire<IKeyValue>(kv_ctx, "svc/kv");
     CO_ASSERT_OK(kv);
     Result<std::optional<std::string>> final_value =
         co_await (*kv)->Get("shared");
@@ -101,7 +101,7 @@ TEST(Integration, FullTopologyManyServicesManyClients) {
     EXPECT_EQ(final_value->value(), "20");
 
     Result<std::shared_ptr<IFile>> file =
-        co_await Bind<IFile>(file_ctx, "svc/file");
+        co_await Acquire<IFile>(file_ctx, "svc/file");
     CO_ASSERT_OK(file);
     Result<std::uint64_t> size = co_await (*file)->Size();
     CO_ASSERT_OK(size);
@@ -117,10 +117,10 @@ TEST(Integration, PartitionHealsAndCallsRecover) {
   w.Publish("ctr", exported->binding);
 
   auto body = [&]() -> sim::Co<void> {
-    BindOptions opts;
+    AcquireOptions opts;
     opts.allow_direct = false;
     Result<std::shared_ptr<ICounter>> ctr =
-        co_await Bind<ICounter>(*w.client_ctx, "ctr", opts);
+        co_await Acquire<ICounter>(*w.client_ctx, "ctr", opts);
     CO_ASSERT_OK(ctr);
     CO_ASSERT_OK(co_await (*ctr)->Increment(1));
 
@@ -153,10 +153,10 @@ TEST(Integration, MigrationUnderConcurrentTraffic) {
   std::int64_t observed_total = -1;
 
   auto client = [&]() -> sim::Co<void> {
-    BindOptions opts;
+    AcquireOptions opts;
     opts.allow_direct = false;
     Result<std::shared_ptr<ICounter>> ctr =
-        co_await Bind<ICounter>(*w.client_ctx, "ctr", opts);
+        co_await Acquire<ICounter>(*w.client_ctx, "ctr", opts);
     CO_ASSERT_OK(ctr);
     for (int i = 0; i < 50; ++i) {
       Result<std::int64_t> v = co_await (*ctr)->Increment(1);
@@ -199,10 +199,10 @@ TEST(Integration, LossyWanStillCorrect) {
   w.Publish("kv", exported->binding);
 
   auto body = [&]() -> sim::Co<void> {
-    BindOptions opts;
+    AcquireOptions opts;
     opts.allow_direct = false;
     Result<std::shared_ptr<IKeyValue>> kv =
-        co_await Bind<IKeyValue>(*w.client_ctx, "kv", opts);
+        co_await Acquire<IKeyValue>(*w.client_ctx, "kv", opts);
     CO_ASSERT_OK(kv);
     // Generous retry budget for the lossy WAN.
     auto* stub = dynamic_cast<KvStub*>(kv->get());
@@ -232,7 +232,7 @@ TEST(Integration, TwoRunsSameSeedIdenticalEventCountsAndTime) {
     w.Publish("kv", exported->binding);
     auto body = [&]() -> sim::Co<void> {
       Result<std::shared_ptr<IKeyValue>> kv =
-          co_await Bind<IKeyValue>(*w.client_ctx, "kv");
+          co_await Acquire<IKeyValue>(*w.client_ctx, "kv");
       CO_ASSERT_OK(kv);
       for (int i = 0; i < 25; ++i) {
         CO_ASSERT_OK(co_await (*kv)->Put("k" + std::to_string(i % 5), "v"));

@@ -10,18 +10,18 @@
 namespace proxy::services {
 namespace {
 
-using core::Bind;
-using core::BindOptions;
+using core::Acquire;
+using core::AcquireOptions;
 using proxy::testing::TestWorld;
 
 std::shared_ptr<IKeyValue> BindKv(TestWorld& w, const std::string& name,
                                   std::uint32_t protocol = 0) {
   std::shared_ptr<IKeyValue> out;
   auto body = [&]() -> sim::Co<void> {
-    BindOptions opts;
+    AcquireOptions opts;
     opts.protocol_override = protocol;
     Result<std::shared_ptr<IKeyValue>> kv =
-        co_await Bind<IKeyValue>(*w.client_ctx, name, opts);
+        co_await Acquire<IKeyValue>(*w.client_ctx, name, opts);
     CO_ASSERT_OK(kv);
     out = *kv;
   };
@@ -116,7 +116,7 @@ TEST(KvCachingTest, InvalidationKeepsSecondClientFresh) {
   std::shared_ptr<IKeyValue> kv2;
   auto bind2 = [&]() -> sim::Co<void> {
     Result<std::shared_ptr<IKeyValue>> kv =
-        co_await Bind<IKeyValue>(other_ctx, "kv");
+        co_await Acquire<IKeyValue>(other_ctx, "kv");
     CO_ASSERT_OK(kv);
     kv2 = *kv;
   };
@@ -212,10 +212,10 @@ TEST(KvWriteBackTest, WindowFlushShipsSmallBatches) {
     CO_ASSERT_OK(co_await kv->Put("lonely", "write"));
     co_await sim::SleepFor(w.rt->scheduler(), Milliseconds(50));
     // Verify server-side via an uncached second client.
-    BindOptions opts;
+    AcquireOptions opts;
     opts.protocol_override = 1;
     Result<std::shared_ptr<IKeyValue>> stub =
-        co_await Bind<IKeyValue>(*w.client_ctx, "kv", opts);
+        co_await Acquire<IKeyValue>(*w.client_ctx, "kv", opts);
     CO_ASSERT_OK(stub);
     Result<std::optional<std::string>> got = co_await (*stub)->Get("lonely");
     CO_ASSERT_OK(got);
@@ -259,10 +259,10 @@ TEST(KvWriteBackTest, LastWriteWinsWithinBuffer) {
     const Status flushed = co_await proxy->FlushWrites();
     CO_ASSERT_OK(flushed);
     // Server-side value is the freshest one.
-    BindOptions opts;
+    AcquireOptions opts;
     opts.protocol_override = 1;
     Result<std::shared_ptr<IKeyValue>> stub =
-        co_await Bind<IKeyValue>(*w.client_ctx, "kv", opts);
+        co_await Acquire<IKeyValue>(*w.client_ctx, "kv", opts);
     CO_ASSERT_OK(stub);
     Result<std::optional<std::string>> got = co_await (*stub)->Get("k");
     CO_ASSERT_OK(got);

@@ -12,17 +12,17 @@
 namespace proxy::services {
 namespace {
 
-using core::Bind;
-using core::BindOptions;
+using core::Acquire;
+using core::AcquireOptions;
 using proxy::testing::TestWorld;
 
 std::shared_ptr<ILockService> BindLock(TestWorld& w, core::Context& ctx) {
   std::shared_ptr<ILockService> out;
   auto body = [&]() -> sim::Co<void> {
-    BindOptions opts;
+    AcquireOptions opts;
     opts.allow_direct = false;
     Result<std::shared_ptr<ILockService>> l =
-        co_await Bind<ILockService>(ctx, "locks", opts);
+        co_await Acquire<ILockService>(ctx, "locks", opts);
     CO_ASSERT_OK(l);
     out = *l;
   };
@@ -127,11 +127,11 @@ std::shared_ptr<ISpooler> BindSpooler(TestWorld& w,
                                       std::uint32_t protocol = 0) {
   std::shared_ptr<ISpooler> out;
   auto body = [&]() -> sim::Co<void> {
-    BindOptions opts;
+    AcquireOptions opts;
     opts.protocol_override = protocol;
     opts.allow_direct = false;
     Result<std::shared_ptr<ISpooler>> s =
-        co_await Bind<ISpooler>(*w.client_ctx, "spool", opts);
+        co_await Acquire<ISpooler>(*w.client_ctx, "spool", opts);
     CO_ASSERT_OK(s);
     out = *s;
   };

@@ -25,8 +25,8 @@
 namespace proxy {
 namespace {
 
-using core::Bind;
-using core::BindOptions;
+using core::Acquire;
+using core::AcquireOptions;
 using proxy::testing::TestWorld;
 using namespace proxy::services;  // NOLINT
 
@@ -85,7 +85,7 @@ TEST_P(KvModelProperty, RandomOpsMatchInMemoryModel) {
   std::shared_ptr<IKeyValue> kv;
   auto bind = [&]() -> sim::Co<void> {
     Result<std::shared_ptr<IKeyValue>> bound =
-        co_await Bind<IKeyValue>(*w.client_ctx, "kv");
+        co_await Acquire<IKeyValue>(*w.client_ctx, "kv");
     CO_ASSERT_OK(bound);
     kv = *bound;
   };
@@ -176,10 +176,10 @@ TEST_P(AtMostOnceProperty, ExecutionsEqualSuccessfulCalls) {
 
   int acknowledged = 0;
   auto body = [&]() -> sim::Co<void> {
-    BindOptions opts;
+    AcquireOptions opts;
     opts.allow_direct = false;
     Result<std::shared_ptr<ICounter>> ctr =
-        co_await Bind<ICounter>(*w.client_ctx, "ctr", opts);
+        co_await Acquire<ICounter>(*w.client_ctx, "ctr", opts);
     CO_ASSERT_OK(ctr);
     auto* stub = dynamic_cast<CounterStub*>(ctr->get());
     rpc::CallOptions patient;

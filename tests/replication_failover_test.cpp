@@ -70,7 +70,7 @@ struct FailoverWorld {
 
 TEST(ReplicationFailover, CrashPromotesBackupWithinLeaseTtl) {
   FailoverWorld fw;
-  auto kv = proxy::testing::BindByName<IKeyValue>(fw.w, *fw.w.client_ctx,
+  auto kv = proxy::testing::AcquireByName<IKeyValue>(fw.w, *fw.w.client_ctx,
                                                   "rkv/ha");
   ASSERT_NE(kv, nullptr);
 
@@ -109,7 +109,7 @@ TEST(ReplicationFailover, CrashPromotesBackupWithinLeaseTtl) {
 
 TEST(ReplicationFailover, RestartedPrimaryRejoinsAsBackupAndResyncs) {
   FailoverWorld fw;
-  auto kv = proxy::testing::BindByName<IKeyValue>(fw.w, *fw.w.client_ctx,
+  auto kv = proxy::testing::AcquireByName<IKeyValue>(fw.w, *fw.w.client_ctx,
                                                   "rkv/ha");
   ASSERT_NE(kv, nullptr);
 
@@ -158,7 +158,7 @@ TEST(ReplicationFailover, RestartedPrimaryRejoinsAsBackupAndResyncs) {
 
 TEST(ReplicationFailover, CrashedBackupDoesNotBlockWritesAndResyncs) {
   FailoverWorld fw;
-  auto kv = proxy::testing::BindByName<IKeyValue>(fw.w, *fw.w.client_ctx,
+  auto kv = proxy::testing::AcquireByName<IKeyValue>(fw.w, *fw.w.client_ctx,
                                                   "rkv/ha");
   ASSERT_NE(kv, nullptr);
 
@@ -192,7 +192,7 @@ TEST(ReplicationFailover, CrashedBackupDoesNotBlockWritesAndResyncs) {
 
 TEST(ReplicationFailover, PartitionedPrimaryStepsDownNoSplitBrain) {
   FailoverWorld fw;
-  auto kv = proxy::testing::BindByName<IKeyValue>(fw.w, *fw.w.client_ctx,
+  auto kv = proxy::testing::AcquireByName<IKeyValue>(fw.w, *fw.w.client_ctx,
                                                   "rkv/ha");
   ASSERT_NE(kv, nullptr);
 

@@ -10,8 +10,8 @@
 namespace proxy::services {
 namespace {
 
-using core::Bind;
-using core::BindOptions;
+using core::Acquire;
+using core::AcquireOptions;
 using proxy::testing::TestWorld;
 
 struct ReplicaWorld {
@@ -29,7 +29,7 @@ struct ReplicaWorld {
   }
 
   std::shared_ptr<IKeyValue> BindProxy(core::Context& ctx) {
-    return proxy::testing::BindByName<IKeyValue>(w, ctx, "rkv");
+    return proxy::testing::AcquireByName<IKeyValue>(w, ctx, "rkv");
   }
 
   TestWorld w;

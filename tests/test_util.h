@@ -65,13 +65,13 @@ class TestWorld {
 /// Binds interface `I` in `ctx` through the name service, forcing the
 /// proxy path (the pattern every multi-node service test repeats).
 template <typename I>
-std::shared_ptr<I> BindByName(TestWorld& w, core::Context& ctx,
+std::shared_ptr<I> AcquireByName(TestWorld& w, core::Context& ctx,
                               const std::string& name) {
   std::shared_ptr<I> out;
   auto body = [&]() -> sim::Co<void> {
-    core::BindOptions opts;
+    core::AcquireOptions opts;
     opts.allow_direct = false;
-    Result<std::shared_ptr<I>> bound = co_await core::Bind<I>(ctx, name, opts);
+    Result<std::shared_ptr<I>> bound = co_await core::Acquire<I>(ctx, name, opts);
     EXPECT_TRUE(bound.ok()) << bound.status().ToString();
     if (bound.ok()) out = *bound;
   };

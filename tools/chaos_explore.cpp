@@ -10,6 +10,10 @@
 //                                         spoofing bug (the sweep must catch it)
 //   chaos_explore ... --bug=stale-primary disable epoch fencing: a deposed kv
 //                                         primary keeps acknowledging writes
+//   chaos_explore --seed=17 --metrics     print the run's metric registry
+//                                         (counters + latency histograms)
+//   chaos_explore --seed=17 --trace       record causal spans; print every
+//                                         call tree (--trace=ID for one)
 //   chaos_explore --help                  usage, including every known bug
 //
 // Exit status: 0 when every run was clean (or, under --minimize, when the
@@ -37,6 +41,9 @@ struct Args {
   std::uint64_t seed = 0;       // single seed
   bool replay = false;
   bool minimize = false;
+  bool metrics = false;
+  bool trace = false;
+  std::uint64_t trace_filter = 0;  // --trace=ID: one tree only
   Bug bug = Bug::kNone;
   std::uint64_t first_seed = 1;
 };
@@ -72,6 +79,14 @@ void PrintUsage(std::FILE* out) {
                "                     primary keeps acknowledging writes\n"
                "                     (kv-epoch-regression / kv-durability / "
                "kv-split-brain)\n"
+               "  --metrics          print the metric registry after the run "
+               "(table + JSON);\n"
+               "                     deterministic: same seed, same bytes\n"
+               "  --trace[=ID]       record causal spans; print every call "
+               "tree, or just\n"
+               "                     trace ID. With --replay both renders "
+               "must match byte\n"
+               "                     for byte.\n"
                "  --help             this text\n");
 }
 
@@ -89,6 +104,13 @@ bool Parse(int argc, char** argv, Args& args) {
       if (!ParseU64(a + 13, args.first_seed)) return false;
     } else if (std::strcmp(a, "--replay") == 0) {
       args.replay = true;
+    } else if (std::strcmp(a, "--metrics") == 0) {
+      args.metrics = true;
+    } else if (std::strcmp(a, "--trace") == 0) {
+      args.trace = true;
+    } else if (std::strncmp(a, "--trace=", 8) == 0) {
+      args.trace = true;
+      if (!ParseU64(a + 8, args.trace_filter)) return false;
     } else if (std::strcmp(a, "--minimize") == 0) {
       args.minimize = true;
     } else if (std::strcmp(a, "--bug=reply-auth") == 0) {
@@ -110,10 +132,13 @@ bool Parse(int argc, char** argv, Args& args) {
   return true;
 }
 
-ChaosOptions MakeOptions(std::uint64_t seed, Bug bug) {
+ChaosOptions MakeOptions(const Args& args, std::uint64_t seed) {
   ChaosOptions options;
   options.seed = seed;
-  options.bug = bug;
+  options.bug = args.bug;
+  options.collect_metrics = args.metrics;
+  options.collect_spans = args.trace;
+  options.trace_filter = args.trace_filter;
   return options;
 }
 
@@ -121,7 +146,7 @@ int RunSweep(const Args& args) {
   std::uint64_t violated = 0;
   for (std::uint64_t s = args.first_seed; s < args.first_seed + args.seeds;
        ++s) {
-    ChaosReport report = proxy::chaos::RunChaos(MakeOptions(s, args.bug));
+    ChaosReport report = proxy::chaos::RunChaos(MakeOptions(args, s));
     if (report.ok()) {
       if (s % 32 == 0) {
         std::printf("seed %llu ok (%s)\n",
@@ -150,23 +175,36 @@ int RunSweep(const Args& args) {
 }
 
 int RunSingle(const Args& args) {
-  ChaosReport report =
-      proxy::chaos::RunChaos(MakeOptions(args.seed, args.bug));
+  ChaosReport report = proxy::chaos::RunChaos(MakeOptions(args, args.seed));
   std::printf("%s\n", report.Summary().c_str());
   if (!report.trace_tail.empty()) {
     std::printf("--- trace tail ---\n%s\n", report.trace_tail.c_str());
   }
+  if (args.metrics) {
+    // RenderTable carries its own "--- metrics ---" header.
+    std::printf("%s--- metrics json ---\n%s\n",
+                report.metrics_table.c_str(), report.metrics_json.c_str());
+  }
+  if (args.trace) {
+    std::printf("--- spans (%zu traces) ---\n%s",
+                report.trace_ids.size(), report.span_trees.c_str());
+  }
 
   if (args.replay) {
-    ChaosReport second =
-        proxy::chaos::RunChaos(MakeOptions(args.seed, args.bug));
+    ChaosReport second = proxy::chaos::RunChaos(MakeOptions(args, args.seed));
     const bool identical = second.fingerprint == report.fingerprint &&
                            second.trace_events == report.trace_events &&
                            second.violations.size() ==
-                               report.violations.size();
-    std::printf("replay: fp=%llx events=%llu -> %s\n",
+                               report.violations.size() &&
+                           second.metrics_table == report.metrics_table &&
+                           second.metrics_json == report.metrics_json &&
+                           second.span_trees == report.span_trees;
+    std::printf("replay: fp=%llx events=%llu metrics=%s spans=%s -> %s\n",
                 static_cast<unsigned long long>(second.fingerprint),
                 static_cast<unsigned long long>(second.trace_events),
+                second.metrics_table == report.metrics_table ? "match"
+                                                             : "DIVERGED",
+                second.span_trees == report.span_trees ? "match" : "DIVERGED",
                 identical ? "IDENTICAL" : "DIVERGED");
     if (!identical) return 1;
   }
@@ -178,7 +216,7 @@ int RunSingle(const Args& args) {
     }
     const std::string& invariant = report.violations.front().invariant;
     MinimizeResult min = proxy::chaos::MinimizeSchedule(
-        MakeOptions(args.seed, args.bug), report.schedule, invariant);
+        MakeOptions(args, args.seed), report.schedule, invariant);
     std::printf(
         "minimize: %zu -> %zu fault events (%zu runs, %s) still violating "
         "%s\n",
