@@ -18,6 +18,9 @@ void ReplySpoofer::Burst(std::uint32_t client_index) {
     reply.call = rpc::CallId{target.nonce, seq};
     reply.code = StatusCode::kOk;
     reply.result = poison;
+    // The adversary forges wire frames on purpose — its whole job is to
+    // violate the encapsulation boundary the proxies defend.
+    // NOLINTNEXTLINE(proxy-lint:L3)
     (void)endpoint_->Send(target.client, rpc::EncodeReply(reply));
     ++forged_;
   }

@@ -408,7 +408,9 @@ sim::Co<void> KvReplica::WatchdogLoop(std::shared_ptr<KvReplica> self) {
       // Probe configured replicas that fell out of the active set: an
       // evicted replica that never saw its eviction (it was partitioned
       // at the time) learns from the empty announce that it must resync.
-      for (const auto& peer : self->all_replicas_) {
+      const std::vector<core::ServiceBinding> probe_view =
+          self->all_replicas_;
+      for (const auto& peer : probe_view) {
         if (self->InActiveSet(peer) || SameObject(peer, self->self_)) {
           continue;
         }
@@ -445,7 +447,8 @@ sim::Co<void> KvReplica::TryPromote() {
   //     current; a syncing peer knows nothing.
   std::size_t unreachable = 0;
   bool serving_witness = false;
-  for (const auto& peer : all_replicas_) {
+  const std::vector<core::ServiceBinding> poll_view = all_replicas_;
+  for (const auto& peer : poll_view) {
     if (SameObject(peer, self_)) continue;
     rpc::RpcResult r = co_await context_->client().Call(
         peer.server, peer.object, kvwire::kGetStatus,

@@ -1,0 +1,29 @@
+// The sanctioned idioms: snapshot before iterating across a suspension,
+// await or detach every task, carry CallOptions. Zero findings expected
+// even under a virtual src/ path. Not compiled — exercised by
+// proxy_lint_test only.
+#include "services/replicated_kv.h"
+
+namespace services {
+
+sim::Co<void> KvReplica::Mirror(const kvwire::ReplicateBatchRequest& req,
+                                obs::TraceContext trace) {
+  const std::vector<core::ServiceBinding> mirror_view = active_;
+  for (const auto& peer : mirror_view) {
+    rpc::RpcResult ack = co_await SendBatch(peer, req, trace);
+    if (!ack.ok()) co_return;
+  }
+  Entry snapshot = entries_[0];  // value copy: never a finding
+  co_await lease_->Renew();
+  snapshot.generation++;
+  (void)sim::Spawn(context_->scheduler(), Compact());
+  rpc::RpcResult r = co_await context_->client().Call(
+      self_.server, self_.object, kvwire::kGetStatus,
+      serde::EncodeToBytes(rpc::Void{}), params_.mirror);
+  (void)r;
+  co_return;
+}
+
+sim::Co<void> KvReplica::Compact();
+
+}  // namespace services

@@ -1,0 +1,29 @@
+// Rule L1, declaration shapes: a reference / pointer / iterator /
+// structured binding into member state used again after a co_await.
+// Not compiled — exercised by proxy_lint_test only.
+#include "sim/task.h"
+
+namespace services {
+
+sim::Co<void> Registry::Refresh(std::uint64_t key) {
+  Entry& slot = entries_[key];  // MARK:l1-reference
+  co_await lease_->Renew();
+  slot.generation++;  // dangling if entries_ rehashed while suspended
+  co_return;
+}
+
+sim::Co<void> Registry::Expire(std::uint64_t key) {
+  auto it = entries_.find(key);  // MARK:l1-iterator
+  co_await lease_->Renew();
+  if (it != entries_.end()) entries_.erase(it);
+  co_return;
+}
+
+sim::Co<void> Registry::Audit() {
+  // Safe: uses within the awaiting statement evaluate before suspension.
+  auto cursor = entries_.find(0);
+  co_await Report(cursor->second);
+  co_return;
+}
+
+}  // namespace services

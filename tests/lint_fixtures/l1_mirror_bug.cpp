@@ -1,0 +1,22 @@
+// Reconstruction of the PR-4 KvReplica::Mirror heap-use-after-free, the
+// bug rule L1 exists to catch. The hidden range-for iterator points into
+// active_; every co_await parks this frame, a concurrent ReplicateBatch
+// frame reassigns active_, and the next ++it walks freed storage.
+//
+// Not compiled — exercised by proxy_lint_test only (path filter keeps
+// lint_fixtures/ out of tree runs).
+#include "services/replicated_kv.h"
+
+namespace services {
+
+sim::Co<void> KvReplica::Mirror(const kvwire::ReplicateBatchRequest& req,
+                                obs::TraceContext trace) {
+  for (const auto& peer : active_) {  // MARK:l1-mirror
+    if (SameObject(peer, self_)) continue;
+    rpc::RpcResult ack = co_await SendBatch(peer, req, trace);
+    if (!ack.ok()) suspects_.push_back(peer);
+  }
+  co_return;
+}
+
+}  // namespace services

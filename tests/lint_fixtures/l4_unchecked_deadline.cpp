@@ -1,0 +1,21 @@
+// Rule L4: a direct RpcClient::Call with no CallOptions — no deadline,
+// no retry policy; under a partition the caller hangs on the transport
+// default. Analyzed under a virtual src/services/ path (tests/ and
+// bench/ are exempt). Not compiled — exercised by proxy_lint_test only.
+#include "rpc/client.h"
+
+namespace services {
+
+sim::Co<void> Notifier::Nudge(const core::ServiceBinding& peer) {
+  rpc::RpcResult r = co_await context_->client().Call(  // MARK:l4-call
+      peer.server, peer.object, kNudgeMethod,
+      serde::EncodeToBytes(rpc::Void{}));
+  (void)r;
+  rpc::RpcResult ok = co_await context_->client().Call(  // handled: options
+      peer.server, peer.object, kNudgeMethod,
+      serde::EncodeToBytes(rpc::Void{}), options_);
+  (void)ok;
+  co_return;
+}
+
+}  // namespace services

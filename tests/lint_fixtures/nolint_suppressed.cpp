@@ -1,0 +1,20 @@
+// Every hazard here carries a NOLINT suppression — the analyzer must
+// report nothing. Not compiled — exercised by proxy_lint_test only.
+#include "services/replicated_kv.h"
+
+namespace services {
+
+sim::Co<void> KvReplica::Mirror(const kvwire::ReplicateBatchRequest& req) {
+  for (const auto& peer : active_) {  // NOLINT(proxy-lint:L1)
+    (void)co_await SendBatch(peer, req);
+  }
+  // NOLINTNEXTLINE(proxy-lint:L2)
+  FlushSideline();
+  // NOLINTNEXTLINE(proxy-lint:*)
+  Bytes wire = rpc::EncodeRequest(req_frame_);
+  co_return;
+}
+
+sim::Co<void> KvReplica::FlushSideline();
+
+}  // namespace services

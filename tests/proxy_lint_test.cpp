@@ -1,0 +1,172 @@
+// proxy_lint's own suite: each fixture under tests/lint_fixtures/ trips
+// exactly its rule at the marked line, suppressions silence it, and the
+// baseline ratchet admits frozen findings while failing new ones.
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "proxy_lint/lint.h"
+
+namespace {
+
+using proxy_lint::Baseline;
+using proxy_lint::Finding;
+using proxy_lint::Linter;
+
+std::string ReadFixture(const std::string& name) {
+  const std::string path = std::string(PROXY_LINT_FIXTURE_DIR) + "/" + name;
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in.good()) << "missing fixture " << path;
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+/// 1-based line of the first line containing `needle` (0 if absent).
+int LineOf(const std::string& text, const std::string& needle) {
+  std::istringstream in(text);
+  std::string line;
+  int n = 0;
+  while (std::getline(in, line)) {
+    ++n;
+    if (line.find(needle) != std::string::npos) return n;
+  }
+  return 0;
+}
+
+/// Lints one fixture under a virtual repo path (rules are path-scoped).
+std::vector<Finding> Lint(const std::string& fixture,
+                          const std::string& virtual_path) {
+  const std::string text = ReadFixture(fixture);
+  Linter linter;
+  linter.CollectDeclarations(text);
+  return linter.Analyze(virtual_path, text);
+}
+
+std::set<std::string> Rules(const std::vector<Finding>& findings) {
+  std::set<std::string> rules;
+  for (const Finding& f : findings) rules.insert(f.rule);
+  return rules;
+}
+
+bool HasFindingAt(const std::vector<Finding>& findings, const std::string& rule,
+                  int line) {
+  for (const Finding& f : findings) {
+    if (f.rule == rule && f.line == line) return true;
+  }
+  return false;
+}
+
+TEST(ProxyLintL1, MirrorBugReportedAtTheRangeFor) {
+  const std::string text = ReadFixture("l1_mirror_bug.cpp");
+  const std::vector<Finding> f = Lint("l1_mirror_bug.cpp", "src/services/x.cpp");
+  EXPECT_EQ(Rules(f), std::set<std::string>{"L1"});
+  EXPECT_TRUE(HasFindingAt(f, "L1", LineOf(text, "MARK:l1-mirror")));
+}
+
+TEST(ProxyLintL1, HeldReferenceAndIteratorAcrossAwait) {
+  const std::string text = ReadFixture("l1_held_reference.cpp");
+  const std::vector<Finding> f =
+      Lint("l1_held_reference.cpp", "src/services/x.cpp");
+  EXPECT_EQ(Rules(f), std::set<std::string>{"L1"});
+  EXPECT_TRUE(HasFindingAt(f, "L1", LineOf(text, "MARK:l1-reference")));
+  EXPECT_TRUE(HasFindingAt(f, "L1", LineOf(text, "MARK:l1-iterator")));
+  // Audit() uses its iterator only inside the awaiting statement — the
+  // arguments are evaluated before the suspension, so no finding there.
+  EXPECT_EQ(f.size(), 2u);
+}
+
+TEST(ProxyLintL1, AppliesInTestsToo) {
+  // L1/L2 are not path-scoped: a hazard in a test is still a hazard.
+  const std::string text = ReadFixture("l1_mirror_bug.cpp");
+  const std::vector<Finding> f = Lint("l1_mirror_bug.cpp", "tests/x_test.cpp");
+  EXPECT_TRUE(HasFindingAt(f, "L1", LineOf(text, "MARK:l1-mirror")));
+}
+
+TEST(ProxyLintL2, DiscardedTaskReportedOnceHandledFormsPass) {
+  const std::string text = ReadFixture("l2_discarded_task.cpp");
+  const std::vector<Finding> f =
+      Lint("l2_discarded_task.cpp", "src/services/x.cpp");
+  EXPECT_EQ(Rules(f), std::set<std::string>{"L2"});
+  EXPECT_TRUE(HasFindingAt(f, "L2", LineOf(text, "MARK:l2-discarded")));
+  // co_await / Spawn / (void) / named binding are all handled; the
+  // ambiguous name (void in one class, Co in another) stays silent.
+  EXPECT_EQ(f.size(), 1u);
+}
+
+TEST(ProxyLintL3, LeaksReportedInSrcExemptInTests) {
+  const std::string text = ReadFixture("l3_encapsulation_leak.cpp");
+  const std::vector<Finding> in_src =
+      Lint("l3_encapsulation_leak.cpp", "src/services/x.cpp");
+  EXPECT_EQ(Rules(in_src), std::set<std::string>{"L3"});
+  EXPECT_TRUE(HasFindingAt(in_src, "L3", LineOf(text, "MARK:l3-client")));
+  EXPECT_TRUE(HasFindingAt(in_src, "L3", LineOf(text, "MARK:l3-frame")));
+  EXPECT_TRUE(HasFindingAt(in_src, "L3", LineOf(text, "MARK:l3-send")));
+
+  // The transport layers and white-box tests own the wire format.
+  EXPECT_TRUE(Lint("l3_encapsulation_leak.cpp", "tests/x_test.cpp").empty());
+  EXPECT_TRUE(Lint("l3_encapsulation_leak.cpp", "src/rpc/x.cpp").empty());
+}
+
+TEST(ProxyLintL4, BareCallReportedOptionsFormAndTestsPass) {
+  const std::string text = ReadFixture("l4_unchecked_deadline.cpp");
+  const std::vector<Finding> in_src =
+      Lint("l4_unchecked_deadline.cpp", "src/services/x.cpp");
+  EXPECT_EQ(Rules(in_src), std::set<std::string>{"L4"});
+  EXPECT_TRUE(HasFindingAt(in_src, "L4", LineOf(text, "MARK:l4-call")));
+  EXPECT_EQ(in_src.size(), 1u);
+
+  EXPECT_TRUE(Lint("l4_unchecked_deadline.cpp", "tests/x_test.cpp").empty());
+  EXPECT_TRUE(Lint("l4_unchecked_deadline.cpp", "bench/x.cpp").empty());
+}
+
+TEST(ProxyLintSuppression, NolintSilencesEveryRule) {
+  EXPECT_TRUE(Lint("nolint_suppressed.cpp", "src/services/x.cpp").empty());
+}
+
+TEST(ProxyLintClean, SanctionedIdiomsProduceNoFindings) {
+  EXPECT_TRUE(Lint("clean.cpp", "src/services/x.cpp").empty());
+}
+
+TEST(ProxyLintBaseline, RoundTripAndRatchet) {
+  const std::vector<Finding> frozen = {
+      {"src/a.cpp", 10, "L4", "m"},
+      {"src/a.cpp", 20, "L4", "m"},
+      {"src/b.cpp", 5, "L3", "m"},
+  };
+  const std::string json = Baseline::Render(frozen);
+  Baseline baseline;
+  std::string error;
+  ASSERT_TRUE(Baseline::Parse(json, baseline, error)) << error;
+  EXPECT_EQ(baseline.allowed.size(), 2u);
+  EXPECT_EQ((baseline.allowed.at({"src/a.cpp", "L4"})), 2);
+
+  // Frozen findings pass; one more than the budget fails; a shrink is
+  // reported as a stale entry, never an error.
+  std::vector<std::string> stale;
+  EXPECT_TRUE(ApplyBaseline(frozen, baseline, &stale).empty());
+  EXPECT_TRUE(stale.empty());
+
+  std::vector<Finding> grown = frozen;
+  grown.push_back({"src/a.cpp", 30, "L4", "m"});
+  EXPECT_EQ(ApplyBaseline(grown, baseline, &stale).size(), 1u);
+
+  stale.clear();
+  const std::vector<Finding> shrunk = {frozen[0], frozen[2]};
+  EXPECT_TRUE(ApplyBaseline(shrunk, baseline, &stale).empty());
+  EXPECT_EQ(stale.size(), 1u);
+}
+
+TEST(ProxyLintBaseline, MalformedJsonRejected) {
+  Baseline baseline;
+  std::string error;
+  EXPECT_FALSE(Baseline::Parse("{\"version\": 1, \"entries\": [", baseline,
+                               error));
+  EXPECT_FALSE(error.empty());
+}
+
+}  // namespace

@@ -119,6 +119,12 @@ bool Parse(int argc, char** argv, Args& args) {
       args.bug = Bug::kStalePrimary;
     } else if (std::strcmp(a, "--bug=none") == 0) {
       args.bug = Bug::kNone;
+    } else if (std::strncmp(a, "--bug=", 6) == 0) {
+      std::fprintf(stderr,
+                   "unknown bug '%s' (valid: none, reply-auth, "
+                   "stale-primary)\n",
+                   a + 6);
+      return false;
     } else {
       std::fprintf(stderr, "unknown argument: %s\n", a);
       PrintUsage(stderr);

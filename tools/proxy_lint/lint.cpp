@@ -1,0 +1,981 @@
+#include "proxy_lint/lint.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cstddef>
+#include <sstream>
+
+namespace proxy_lint {
+
+namespace {
+
+// --- lexer -------------------------------------------------------------
+
+enum class Tok {
+  kIdent,    // identifiers and keywords
+  kNumber,
+  kString,   // string/char literal (text dropped)
+  kPunct,
+};
+
+struct Token {
+  Tok kind;
+  std::string text;
+  int line;
+};
+
+const std::set<std::string>& Keywords() {
+  static const std::set<std::string> kw = {
+      "alignas",  "alignof",  "auto",     "bool",     "break",   "case",
+      "catch",    "char",     "class",    "const",    "consteval",
+      "constexpr","constinit","continue", "decltype", "default", "delete",
+      "do",       "double",   "else",     "enum",     "explicit","export",
+      "extern",   "false",    "float",    "for",      "friend",  "goto",
+      "if",       "inline",   "int",      "long",     "mutable", "namespace",
+      "new",      "noexcept", "nullptr",  "operator", "private", "protected",
+      "public",   "requires", "return",   "short",    "signed",  "sizeof",
+      "static",   "struct",   "switch",   "template", "this",    "throw",
+      "true",     "try",      "typedef",  "typeid",   "typename","union",
+      "unsigned", "using",    "virtual",  "void",     "volatile","while",
+      "co_await", "co_return","co_yield", "concept",  "static_assert",
+  };
+  return kw;
+}
+
+bool IsKeyword(const std::string& s) { return Keywords().contains(s); }
+
+/// Multi-char punctuation we keep glued. `<` and `>` stay single chars so
+/// template-argument skipping can count depth; `>>`/`<<` are glued and
+/// counted as two closes/opens there.
+bool GluePunct(char a, char b) {
+  static const char* pairs[] = {"::", "->", "==", "!=", "<=", ">=", "&&",
+                                "||", "++", "--", "+=", "-=", "*=", "/=",
+                                "%=", "|=", "&=", "^=", ">>", "<<"};
+  for (const char* p : pairs) {
+    if (p[0] == a && p[1] == b) return true;
+  }
+  return false;
+}
+
+struct LexResult {
+  std::vector<Token> tokens;
+  // line -> rules suppressed on that line ("*" = all).
+  std::map<int, std::set<std::string>> suppressed;
+};
+
+/// Records NOLINT(proxy-lint:RULE) / NOLINTNEXTLINE(proxy-lint:RULE)
+/// directives found in a comment.
+void ScanCommentForNolint(const std::string& comment, int line,
+                          LexResult& out) {
+  static const std::string kNolint = "NOLINT";
+  std::size_t pos = 0;
+  while ((pos = comment.find(kNolint, pos)) != std::string::npos) {
+    std::size_t p = pos + kNolint.size();
+    int target = line;
+    static const std::string kNextLine = "NEXTLINE";
+    if (comment.compare(p, kNextLine.size(), kNextLine) == 0) {
+      p += kNextLine.size();
+      target = line + 1;
+    }
+    if (p >= comment.size() || comment[p] != '(') {
+      pos = p;
+      continue;
+    }
+    const std::size_t close = comment.find(')', p);
+    if (close == std::string::npos) break;
+    const std::string inner = comment.substr(p + 1, close - p - 1);
+    // Accept "proxy-lint" (all rules) or "proxy-lint:Ln" / "proxy-lint:*".
+    static const std::string kTool = "proxy-lint";
+    if (inner.compare(0, kTool.size(), kTool) == 0) {
+      std::string rule = "*";
+      if (inner.size() > kTool.size() && inner[kTool.size()] == ':') {
+        rule = inner.substr(kTool.size() + 1);
+      }
+      out.suppressed[target].insert(rule);
+    }
+    pos = close;
+  }
+}
+
+LexResult Lex(const std::string& src) {
+  LexResult out;
+  int line = 1;
+  std::size_t i = 0;
+  const std::size_t n = src.size();
+  bool at_line_start = true;  // only whitespace seen since the newline
+
+  auto count_lines = [&](std::size_t from, std::size_t to) {
+    for (std::size_t k = from; k < to; ++k) {
+      if (src[k] == '\n') ++line;
+    }
+  };
+
+  while (i < n) {
+    const char c = src[i];
+    if (c == '\n') {
+      ++line;
+      ++i;
+      at_line_start = true;
+      continue;
+    }
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    // Preprocessor directive: skip to end of line (honoring \-splices).
+    if (c == '#' && at_line_start) {
+      while (i < n) {
+        if (src[i] == '\\' && i + 1 < n && src[i + 1] == '\n') {
+          ++line;
+          i += 2;
+          continue;
+        }
+        if (src[i] == '\n') break;
+        ++i;
+      }
+      continue;
+    }
+    at_line_start = false;
+    // Comments (record NOLINT directives).
+    if (c == '/' && i + 1 < n && src[i + 1] == '/') {
+      std::size_t end = src.find('\n', i);
+      if (end == std::string::npos) end = n;
+      ScanCommentForNolint(src.substr(i, end - i), line, out);
+      i = end;
+      continue;
+    }
+    if (c == '/' && i + 1 < n && src[i + 1] == '*') {
+      const int start_line = line;
+      std::size_t end = src.find("*/", i + 2);
+      if (end == std::string::npos) end = n;
+      ScanCommentForNolint(src.substr(i, end - i), start_line, out);
+      count_lines(i, std::min(end + 2, n));
+      i = std::min(end + 2, n);
+      continue;
+    }
+    // Raw string literal.
+    if (c == 'R' && i + 1 < n && src[i + 1] == '"') {
+      std::size_t p = i + 2;
+      std::string delim;
+      while (p < n && src[p] != '(') delim += src[p++];
+      const std::string closer = ")" + delim + "\"";
+      std::size_t end = src.find(closer, p);
+      if (end == std::string::npos) end = n;
+      count_lines(i, std::min(end + closer.size(), n));
+      out.tokens.push_back({Tok::kString, "", line});
+      i = std::min(end + closer.size(), n);
+      continue;
+    }
+    // String / char literal.
+    if (c == '"' || c == '\'') {
+      const char quote = c;
+      std::size_t p = i + 1;
+      while (p < n && src[p] != quote) {
+        if (src[p] == '\\' && p + 1 < n) ++p;
+        if (src[p] == '\n') ++line;
+        ++p;
+      }
+      out.tokens.push_back({Tok::kString, "", line});
+      i = p + 1;
+      continue;
+    }
+    // Identifier / keyword.
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      std::size_t p = i;
+      while (p < n && (std::isalnum(static_cast<unsigned char>(src[p])) ||
+                       src[p] == '_')) {
+        ++p;
+      }
+      out.tokens.push_back({Tok::kIdent, src.substr(i, p - i), line});
+      i = p;
+      continue;
+    }
+    // Number (digits, dots, exponents, suffixes — exactness irrelevant).
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+      std::size_t p = i;
+      while (p < n && (std::isalnum(static_cast<unsigned char>(src[p])) ||
+                       src[p] == '.' || src[p] == '\'')) {
+        ++p;
+      }
+      out.tokens.push_back({Tok::kNumber, src.substr(i, p - i), line});
+      i = p;
+      continue;
+    }
+    // Punctuation (maximal-munch over the glued set).
+    if (i + 1 < n && GluePunct(c, src[i + 1])) {
+      out.tokens.push_back({Tok::kPunct, src.substr(i, 2), line});
+      i += 2;
+      continue;
+    }
+    out.tokens.push_back({Tok::kPunct, std::string(1, c), line});
+    ++i;
+  }
+  return out;
+}
+
+// --- token-stream helpers ----------------------------------------------
+
+using Tokens = std::vector<Token>;
+
+bool Is(const Tokens& t, std::size_t i, const char* text) {
+  return i < t.size() && t[i].text == text;
+}
+
+bool IsIdent(const Tokens& t, std::size_t i) {
+  return i < t.size() && t[i].kind == Tok::kIdent && !IsKeyword(t[i].text);
+}
+
+/// A member-state designator: an identifier with a trailing underscore
+/// (this codebase's member convention), or an explicit `this`.
+bool IsMemberToken(const Token& tok) {
+  if (tok.text == "this") return true;
+  return tok.kind == Tok::kIdent && tok.text.size() > 1 &&
+         tok.text.back() == '_' && !IsKeyword(tok.text);
+}
+
+bool RangeHasMemberState(const Tokens& t, std::size_t from, std::size_t to) {
+  for (std::size_t i = from; i < to && i < t.size(); ++i) {
+    if (IsMemberToken(t[i])) return true;
+  }
+  return false;
+}
+
+/// Like RangeHasMemberState, but a member followed by `->` does not
+/// count: `context_->spans()` reaches a separate long-lived object
+/// through a member pointer — a reference into *it* is the normal
+/// stable-service pattern, not the PR-4 shape (a view into a container
+/// this object owns and can reassign mid-suspension).
+bool RangeCapturesOwnMemberState(const Tokens& t, std::size_t from,
+                                 std::size_t to) {
+  for (std::size_t i = from; i < to && i < t.size(); ++i) {
+    if (IsMemberToken(t[i]) && !Is(t, i + 1, "->")) return true;
+  }
+  return false;
+}
+
+/// First member-state token in [from, to), for messages.
+std::string MemberTokenIn(const Tokens& t, std::size_t from, std::size_t to) {
+  for (std::size_t i = from; i < to && i < t.size(); ++i) {
+    if (IsMemberToken(t[i])) return t[i].text;
+  }
+  return "member state";
+}
+
+/// Index just past the matcher of the opener at `i` (one of ( [ {).
+/// Returns t.size() when unbalanced.
+std::size_t SkipBalanced(const Tokens& t, std::size_t i) {
+  const std::string open = t[i].text;
+  const std::string close = open == "(" ? ")" : open == "[" ? "]" : "}";
+  int depth = 0;
+  for (std::size_t p = i; p < t.size(); ++p) {
+    if (t[p].text == open) ++depth;
+    if (t[p].text == close && --depth == 0) return p + 1;
+  }
+  return t.size();
+}
+
+/// Skips a template argument list: `i` points at `<`. Counts `>>`/`<<`
+/// as two. Returns the index just past the matching `>`, or npos-like
+/// t.size() on imbalance (caller treats that as "not a template").
+std::size_t SkipTemplateArgs(const Tokens& t, std::size_t i) {
+  int depth = 0;
+  for (std::size_t p = i; p < t.size(); ++p) {
+    const std::string& s = t[p].text;
+    if (s == "<") ++depth;
+    else if (s == "<<") depth += 2;
+    else if (s == ">") --depth;
+    else if (s == ">>") depth -= 2;
+    else if (s == ";" || s == "{") return t.size();  // gave up: not a template
+    if (depth <= 0 && p > i) return p + 1;
+  }
+  return t.size();
+}
+
+/// End (index of `;`) of the statement starting at/continuing through
+/// `i`, honouring nested parens/brackets/braces. Returns t.size() if
+/// none.
+std::size_t StatementEnd(const Tokens& t, std::size_t i) {
+  int depth = 0;
+  for (std::size_t p = i; p < t.size(); ++p) {
+    const std::string& s = t[p].text;
+    if (s == "(" || s == "[" || s == "{") ++depth;
+    else if (s == ")" || s == "]" || s == "}") --depth;
+    else if (s == ";" && depth <= 0) return p;
+  }
+  return t.size();
+}
+
+/// Matching `}` for the innermost scope open at token `i` (walking
+/// forward; depth starts at 1 for the already-open scope).
+std::size_t EnclosingScopeEnd(const Tokens& t, std::size_t i) {
+  int depth = 1;
+  for (std::size_t p = i; p < t.size(); ++p) {
+    if (t[p].text == "{") ++depth;
+    if (t[p].text == "}" && --depth == 0) return p;
+  }
+  return t.size();
+}
+
+bool ContainsCoAwait(const Tokens& t, std::size_t from, std::size_t to) {
+  for (std::size_t i = from; i < to && i < t.size(); ++i) {
+    if (t[i].text == "co_await") return true;
+  }
+  return false;
+}
+
+/// Walks back over a qualified-id chain (`a::b::c`) ending at `i`
+/// (inclusive); returns the index of the chain's first token.
+std::size_t QualifiedChainStart(const Tokens& t, std::size_t i) {
+  std::size_t p = i;
+  while (p >= 2 && Is(t, p - 1, "::") && IsIdent(t, p - 2)) p -= 2;
+  return p;
+}
+
+bool LooksLikeIteratorCall(const std::string& name) {
+  static const std::set<std::string> it = {
+      "begin", "end",  "rbegin", "rend",        "cbegin",     "cend",
+      "find",  "data", "lower_bound", "upper_bound", "equal_range"};
+  return it.contains(name);
+}
+
+}  // namespace
+
+// --- path policy -------------------------------------------------------
+
+bool IsTestPath(const std::string& file) {
+  return file.rfind("tests/", 0) == 0;
+}
+
+bool IsEncapsulationExemptPath(const std::string& file) {
+  static const char* allowed[] = {"src/rpc/", "src/sim/", "src/net/",
+                                  "src/core/"};
+  for (const char* prefix : allowed) {
+    if (file.rfind(prefix, 0) == 0) return true;
+  }
+  // L3 only polices production and example code; tests and benches
+  // legitimately poke transport internals (white-box suites, wire fuzz).
+  if (file.rfind("src/", 0) != 0 && file.rfind("examples/", 0) != 0) {
+    return true;
+  }
+  return false;
+}
+
+// --- pass 1: awaitable-returning declarations --------------------------
+
+void Linter::CollectDeclarations(const std::string& content) {
+  // Type keywords that can head a non-awaitable function declaration.
+  static const std::set<std::string> type_kw = {
+      "void", "bool", "char",  "int",    "long",     "short", "float",
+      "double", "auto", "unsigned", "signed", "std"};
+  const LexResult lexed = Lex(content);
+  const Tokens& t = lexed.tokens;
+  for (std::size_t i = 0; i < t.size(); ++i) {
+    if (t[i].kind != Tok::kIdent) continue;
+    const bool awaitable_type =
+        (t[i].text == "Co" || t[i].text == "Future") && Is(t, i + 1, "<");
+    if (!awaitable_type && !IsIdent(t, i) && !type_kw.contains(t[i].text)) {
+      continue;
+    }
+    // Declaration shape: TYPE [<args>] [&|*] [Class::]* NAME ( — two
+    // adjacent identifiers with a trailing `(` only occur in decls.
+    std::size_t p = i + 1;
+    if (Is(t, p, "<")) {
+      p = SkipTemplateArgs(t, p);
+      if (p >= t.size()) continue;
+    }
+    while (Is(t, p, "&") || Is(t, p, "&&") || Is(t, p, "*")) ++p;
+    while (IsIdent(t, p) && Is(t, p + 1, "::")) p += 2;
+    if (!IsIdent(t, p) || !Is(t, p + 1, "(")) continue;
+    if (awaitable_type) {
+      awaitable_.insert(t[p].text);
+    } else {
+      ambiguous_.insert(t[p].text);
+    }
+  }
+}
+
+// --- pass 2 ------------------------------------------------------------
+
+namespace {
+
+struct Analysis {
+  const Tokens& t;
+  const std::map<int, std::set<std::string>>& suppressed;
+  const std::string& file;
+  const std::set<std::string>& awaitable;
+  const std::set<std::string>& ambiguous;
+  std::vector<Finding>* findings;
+
+  void Report(int line, const char* rule, std::string message) const {
+    if (const auto it = suppressed.find(line); it != suppressed.end()) {
+      if (it->second.contains("*") || it->second.contains(rule)) return;
+    }
+    findings->push_back({file, line, rule, std::move(message)});
+  }
+};
+
+// L1a: range-for over member state with a co_await in the loop body; the
+// hidden iterator is dereferenced again after every resumption, so a
+// concurrent frame reassigning the container leaves it dangling (the
+// PR-4 KvReplica::Mirror use-after-free). Also covers classic for loops
+// whose init takes an iterator/reference into member state.
+void CheckLoops(const Analysis& a) {
+  const Tokens& t = a.t;
+  for (std::size_t i = 0; i + 2 < t.size(); ++i) {
+    if (!Is(t, i, "for") || !Is(t, i + 1, "(")) continue;
+    const std::size_t close = SkipBalanced(t, i + 1) - 1;  // index of ')'
+    if (close >= t.size()) continue;
+    // Body extent: brace block or single statement.
+    std::size_t body_begin = close + 1;
+    std::size_t body_end;
+    if (Is(t, body_begin, "{")) {
+      body_end = SkipBalanced(t, body_begin);
+    } else {
+      body_end = StatementEnd(t, body_begin) + 1;
+    }
+    if (!ContainsCoAwait(t, body_begin, body_end)) continue;
+
+    // Range-for: a `:` at paren depth 1 with no `;` before it.
+    std::size_t colon = 0;
+    int depth = 0;
+    bool classic = false;
+    for (std::size_t p = i + 1; p < close; ++p) {
+      const std::string& s = t[p].text;
+      if (s == "(" || s == "[") ++depth;
+      else if (s == ")" || s == "]") --depth;
+      else if (s == ";" && depth == 1) { classic = true; break; }
+      else if (s == ":" && depth == 1) { colon = p; break; }
+    }
+    if (colon != 0 && !classic) {
+      if (RangeHasMemberState(t, colon + 1, close)) {
+        a.Report(t[i].line, "L1",
+                 "range-for over member '" +
+                     MemberTokenIn(t, colon + 1, close) +
+                     "' with a co_await in the loop body; iterate a local "
+                     "snapshot instead (a suspended frame can outlive the "
+                     "container's storage)");
+      }
+      continue;
+    }
+    if (classic) {
+      // Init clause: tokens up to the first top-level `;`.
+      std::size_t init_end = i + 1;
+      int d = 0;
+      for (std::size_t p = i + 1; p < close; ++p) {
+        const std::string& s = t[p].text;
+        if (s == "(" || s == "[") ++d;
+        else if (s == ")" || s == "]") --d;
+        else if (s == ";" && d == 1) { init_end = p; break; }
+      }
+      bool hazard = false;
+      for (std::size_t p = i + 2; p < init_end && !hazard; ++p) {
+        if (!IsMemberToken(t[p])) continue;
+        // member_.begin() / member_.find(...) in the init = iterator
+        // into member state held across the body's awaits.
+        if ((Is(t, p + 1, ".") || Is(t, p + 1, "->")) && IsIdent(t, p + 2) &&
+            LooksLikeIteratorCall(t[p + 2].text) && Is(t, p + 3, "(")) {
+          hazard = true;
+        }
+      }
+      if (hazard) {
+        a.Report(t[i].line, "L1",
+                 "iterator into member '" +
+                     MemberTokenIn(t, i + 2, init_end) +
+                     "' held across a co_await in the loop body");
+      }
+    }
+  }
+}
+
+// L1b: a named reference / pointer / iterator / structured binding bound
+// to member state, used again after a co_await in the same scope.
+void CheckHeldDeclarations(const Analysis& a) {
+  const Tokens& t = a.t;
+  int paren_depth = 0;
+  bool stmt_start = true;
+  for (std::size_t i = 0; i < t.size(); ++i) {
+    const std::string& s = t[i].text;
+    if (s == "(" || s == "[") { ++paren_depth; stmt_start = false; continue; }
+    if (s == ")" || s == "]") { --paren_depth; stmt_start = false; continue; }
+    if (s == ";" || s == "{" || s == "}") {
+      stmt_start = (paren_depth == 0);
+      continue;
+    }
+    if (!stmt_start || paren_depth != 0) { stmt_start = false; continue; }
+    stmt_start = false;
+
+    // The statement under the cursor.
+    const std::size_t end = StatementEnd(t, i);
+    if (end >= t.size()) continue;
+
+    // Find the declared name(s) and whether the decl captures member
+    // state by reference/pointer/iterator.
+    std::vector<std::string> names;
+    std::size_t eq = 0;
+    // Locate the top-level `=` (skipping template args is unnecessary:
+    // decls with initializers in this codebase are `T x = ...`).
+    int d = 0;
+    for (std::size_t p = i; p < end; ++p) {
+      const std::string& q = t[p].text;
+      if (q == "(" || q == "[" || q == "{") ++d;
+      else if (q == ")" || q == "]" || q == "}") --d;
+      else if (q == "=" && d == 0) { eq = p; break; }
+    }
+    if (eq == 0 || eq + 1 >= end) continue;
+    const bool rhs_member = RangeCapturesOwnMemberState(t, eq + 1, end);
+    if (!rhs_member) continue;
+
+    bool capturing = false;
+    std::string shape;
+    // `auto& [a, b] = member_...` (structured binding).
+    if (eq >= 2 && Is(t, eq - 1, "]")) {
+      std::size_t open = eq - 1;
+      while (open > i && !Is(t, open, "[")) --open;
+      if (open > i && Is(t, open - 1, "&")) {
+        for (std::size_t p = open + 1; p < eq - 1; ++p) {
+          if (IsIdent(t, p)) names.push_back(t[p].text);
+        }
+        capturing = true;
+        shape = "structured binding";
+      }
+    } else if (IsIdent(t, eq - 1)) {
+      const std::string name = t[eq - 1].text;
+      if (eq >= 2 && (Is(t, eq - 2, "&") || Is(t, eq - 2, "*"))) {
+        names.push_back(name);
+        capturing = true;
+        shape = Is(t, eq - 2, "&") ? "reference" : "pointer";
+      } else {
+        // Value decl: only iterator-yielding calls on member state
+        // capture (e.g. `auto it = map_.find(k)`); plain copies are the
+        // sanctioned fix, never a finding.
+        for (std::size_t p = eq + 1; p + 3 < end; ++p) {
+          if (!IsMemberToken(t[p])) continue;
+          if ((Is(t, p + 1, ".") || Is(t, p + 1, "->")) &&
+              IsIdent(t, p + 2) && LooksLikeIteratorCall(t[p + 2].text) &&
+              Is(t, p + 3, "(")) {
+            names.push_back(name);
+            capturing = true;
+            shape = "iterator";
+            break;
+          }
+        }
+      }
+    }
+    if (!capturing || names.empty()) continue;
+
+    // Is the name used after a co_await's statement, inside the decl's
+    // scope? (Uses within the awaiting statement itself are evaluated
+    // before the suspension — safe in this runtime.)
+    const std::size_t scope_end = EnclosingScopeEnd(t, end);
+    std::size_t await = end;
+    while (await < scope_end && t[await].text != "co_await") ++await;
+    if (await >= scope_end) continue;
+    const std::size_t after = StatementEnd(t, await) + 1;
+    for (std::size_t p = after; p < scope_end; ++p) {
+      if (t[p].kind != Tok::kIdent) continue;
+      if (std::find(names.begin(), names.end(), t[p].text) != names.end()) {
+        a.Report(t[eq - 1].line, "L1",
+                 shape + " '" + names.front() +
+                     "' into member state is used after a co_await (line " +
+                     std::to_string(t[await].line) +
+                     "); take a copy before suspending");
+        break;
+      }
+    }
+  }
+}
+
+// L2: a bare statement `Foo(args);` whose callee returns sim::Co /
+// sim::Future — the lazy coroutine is destroyed unstarted (Co) or the
+// completion silently dropped (Future). `(void)` / co_await / Spawn /
+// assignment all count as handling the result.
+void CheckDiscardedTasks(const Analysis& a) {
+  const Tokens& t = a.t;
+  int paren_depth = 0;
+  bool stmt_start = true;
+  for (std::size_t i = 0; i < t.size(); ++i) {
+    const std::string& s = t[i].text;
+    if (s == "(" || s == "[") { ++paren_depth; stmt_start = false; continue; }
+    if (s == ")" || s == "]") { --paren_depth; stmt_start = false; continue; }
+    if (s == ";" || s == "{" || s == "}") {
+      stmt_start = (paren_depth == 0);
+      continue;
+    }
+    if (!stmt_start || paren_depth != 0) { stmt_start = false; continue; }
+    stmt_start = false;
+
+    // Candidate statements start with an (unqualified or qualified)
+    // identifier or `this`; control keywords, types and casts bail.
+    if (!(IsIdent(t, i) || Is(t, i, "this"))) continue;
+
+    const std::size_t end = StatementEnd(t, i);
+    if (end >= t.size() || end < 2) continue;
+    if (!Is(t, end - 1, ")")) continue;
+
+    // Disqualifiers at top level: assignment or co_await anywhere.
+    int d = 0;
+    bool disqualified = false;
+    for (std::size_t p = i; p < end; ++p) {
+      const std::string& q = t[p].text;
+      if (q == "(" || q == "[" || q == "{") ++d;
+      else if (q == ")" || q == "]" || q == "}") --d;
+      else if ((q == "=" && d == 0) || q == "co_await" || q == "co_yield") {
+        disqualified = true;
+        break;
+      }
+    }
+    if (disqualified) continue;
+
+    // The callee: the identifier owning the statement's final `(...)`.
+    std::size_t open = end - 1;  // index of ')'
+    int bd = 0;
+    while (open > i) {
+      if (t[open].text == ")") ++bd;
+      if (t[open].text == "(" && --bd == 0) break;
+      --open;
+    }
+    if (open <= i || !IsIdent(t, open - 1)) continue;
+    const std::string callee = t[open - 1].text;
+    if (!a.awaitable.contains(callee)) continue;
+    // Name-based resolution: a name also declared with a non-awaitable
+    // return type (e.g. the void test-harness `Run` vs the coroutine
+    // `WorkloadClient::Run`) is ambiguous — stay silent rather than guess.
+    if (a.ambiguous.contains(callee)) continue;
+
+    // Declaration, not a call: a type (identifier or template `>` or
+    // `&`/`*`) immediately precedes the name.
+    const std::size_t chain = QualifiedChainStart(t, open - 1);
+    if (chain > i) {
+      const Token& prev = t[chain - 1];
+      if (prev.kind == Tok::kIdent || prev.text == ">" || prev.text == "&" ||
+          prev.text == "*" || prev.text == ">>") {
+        continue;
+      }
+    }
+    a.Report(t[open - 1].line, "L2",
+             "result of '" + callee +
+                 "' (returns sim::Co/sim::Future) is discarded: co_await "
+                 "it, Spawn it, or cast to (void) to detach explicitly");
+  }
+}
+
+// L3: distribution-protocol internals touched outside the transport and
+// proxy layers.
+void CheckEncapsulation(const Analysis& a) {
+  const Tokens& t = a.t;
+  static const std::set<std::string> frame_fns = {
+      "EncodeRequest", "DecodeRequest", "EncodeReply", "DecodeReply"};
+  for (std::size_t i = 0; i < t.size(); ++i) {
+    if (t[i].kind != Tok::kIdent) continue;
+    const std::string& s = t[i].text;
+
+    if (s == "RpcClient") {
+      // Construction: `new rpc::RpcClient`, `make_unique<rpc::RpcClient>`,
+      // or an object declaration `rpc::RpcClient name(...)/{...}`.
+      const std::size_t chain = QualifiedChainStart(t, i);
+      const bool after_new = chain >= 1 && Is(t, chain - 1, "new");
+      bool in_maker = false;
+      for (std::size_t back = chain; back >= 2 && back >= chain - 6; --back) {
+        if (Is(t, back - 1, "<") && IsIdent(t, back - 2) &&
+            (t[back - 2].text == "make_unique" ||
+             t[back - 2].text == "make_shared")) {
+          in_maker = true;
+        }
+        if (back == 2) break;
+      }
+      const bool object_decl = IsIdent(t, i + 1) &&
+                               (Is(t, i + 2, "(") || Is(t, i + 2, "{"));
+      if (after_new || in_maker || object_decl) {
+        a.Report(t[i].line, "L3",
+                 "rpc::RpcClient constructed outside the transport/proxy "
+                 "layers; go through core::Acquire<I> (the Context owns "
+                 "the one client)");
+      }
+      continue;
+    }
+
+    if (frame_fns.contains(s) && Is(t, i + 1, "(")) {
+      a.Report(t[i].line, "L3",
+               "raw frame " + s +
+                   " outside src/rpc; the wire format is the proxy "
+                   "layer's private protocol");
+      continue;
+    }
+
+    if (s == "Send" && Is(t, i + 1, "(")) {
+      // `network...Send(` or `Network::Send` — direct datagram injection.
+      if (i >= 2 && Is(t, i - 1, "::") && Is(t, i - 2, "Network")) {
+        a.Report(t[i].line, "L3", "direct Network::Send bypasses the proxy "
+                                  "invocation path");
+        continue;
+      }
+      if (i >= 2 && (Is(t, i - 1, ".") || Is(t, i - 1, "->"))) {
+        std::size_t recv = i - 2;
+        if (Is(t, recv, ")")) {
+          // receiver is a call: network().Send — find the callee name.
+          int bd = 0;
+          while (recv > 0) {
+            if (t[recv].text == ")") ++bd;
+            if (t[recv].text == "(" && --bd == 0) { --recv; break; }
+            --recv;
+          }
+        }
+        if (recv < t.size() && t[recv].kind == Tok::kIdent) {
+          std::string lower = t[recv].text;
+          std::transform(lower.begin(), lower.end(), lower.begin(),
+                         [](unsigned char ch) { return std::tolower(ch); });
+          if (lower.find("network") != std::string::npos) {
+            a.Report(t[i].line, "L3",
+                     "direct Network send ('" + t[recv].text +
+                         ".Send') bypasses the proxy invocation path");
+          }
+        }
+      }
+    }
+  }
+}
+
+// L4: a direct RpcClient::Call with the 4-argument form — no CallOptions,
+// so no deadline and the default retry policy. Non-test code must state
+// its call policy (even if that policy is "defaults", via an explicit
+// options value at the acquisition or call site).
+void CheckUncheckedDeadline(const Analysis& a) {
+  const Tokens& t = a.t;
+  for (std::size_t i = 2; i < t.size(); ++i) {
+    if (!Is(t, i, "Call") || !Is(t, i + 1, "(")) continue;
+    if (!(Is(t, i - 1, ".") || Is(t, i - 1, "->"))) continue;
+    // Receiver must be client-ish: `client`, `client_`, `client()`, or
+    // `rpc` locals bound to a client.
+    std::size_t recv = i - 2;
+    if (Is(t, recv, ")")) {
+      int bd = 0;
+      while (recv > 0) {
+        if (t[recv].text == ")") ++bd;
+        if (t[recv].text == "(" && --bd == 0) { --recv; break; }
+        --recv;
+      }
+    }
+    if (recv >= t.size() || t[recv].kind != Tok::kIdent) continue;
+    std::string lower = t[recv].text;
+    std::transform(lower.begin(), lower.end(), lower.begin(),
+                   [](unsigned char ch) { return std::tolower(ch); });
+    if (lower.find("client") == std::string::npos) continue;
+
+    // Count top-level commas in the argument list.
+    const std::size_t past = SkipBalanced(t, i + 1);
+    int commas = 0;
+    int d = 0;
+    for (std::size_t p = i + 1; p + 1 < past; ++p) {
+      const std::string& q = t[p].text;
+      if (q == "(" || q == "[" || q == "{" || q == "<") ++d;
+      else if (q == ")" || q == "]" || q == "}" || q == ">") --d;
+      else if (q == "," && d == 1) ++commas;
+    }
+    if (commas == 3) {  // (to, object, method, args) — no options
+      a.Report(t[i].line, "L4",
+               "RpcClient::Call without CallOptions: state a deadline/"
+               "retry policy (or pass the ambient options) explicitly");
+    }
+  }
+}
+
+}  // namespace
+
+std::vector<Finding> Linter::Analyze(const std::string& file,
+                                     const std::string& content) const {
+  const LexResult lexed = Lex(content);
+  std::vector<Finding> findings;
+  Analysis a{lexed.tokens, lexed.suppressed, file, awaitable_, ambiguous_,
+             &findings};
+  CheckLoops(a);
+  CheckHeldDeclarations(a);
+  CheckDiscardedTasks(a);
+  if (!IsEncapsulationExemptPath(file)) CheckEncapsulation(a);
+  if (!IsTestPath(file) && file.rfind("bench/", 0) != 0) {
+    CheckUncheckedDeadline(a);
+  }
+  std::sort(findings.begin(), findings.end());
+  return findings;
+}
+
+// --- baseline ----------------------------------------------------------
+
+namespace {
+
+/// A deliberately small JSON reader: enough for the documents Render()
+/// writes (objects, arrays, strings without exotic escapes, integers).
+struct JsonReader {
+  const std::string& s;
+  std::size_t i = 0;
+  bool ok = true;
+  std::string error;
+
+  void Fail(const std::string& why) {
+    if (ok) {
+      ok = false;
+      error = why + " at offset " + std::to_string(i);
+    }
+  }
+  void Ws() {
+    while (i < s.size() &&
+           std::isspace(static_cast<unsigned char>(s[i]))) {
+      ++i;
+    }
+  }
+  bool Consume(char c) {
+    Ws();
+    if (i < s.size() && s[i] == c) {
+      ++i;
+      return true;
+    }
+    return false;
+  }
+  void Expect(char c) {
+    if (!Consume(c)) Fail(std::string("expected '") + c + "'");
+  }
+  std::string String() {
+    Ws();
+    if (i >= s.size() || s[i] != '"') {
+      Fail("expected string");
+      return {};
+    }
+    ++i;
+    std::string out;
+    while (i < s.size() && s[i] != '"') {
+      if (s[i] == '\\' && i + 1 < s.size()) ++i;
+      out += s[i++];
+    }
+    Expect('"');
+    return out;
+  }
+  long Int() {
+    Ws();
+    std::size_t start = i;
+    if (i < s.size() && s[i] == '-') ++i;
+    while (i < s.size() && std::isdigit(static_cast<unsigned char>(s[i]))) {
+      ++i;
+    }
+    if (start == i) {
+      Fail("expected integer");
+      return 0;
+    }
+    return std::stol(s.substr(start, i - start));
+  }
+};
+
+std::string JsonEscape(const std::string& in) {
+  std::string out;
+  for (char c : in) {
+    if (c == '"' || c == '\\') out += '\\';
+    out += c;
+  }
+  return out;
+}
+
+}  // namespace
+
+bool Baseline::Parse(const std::string& json, Baseline& out,
+                     std::string& error) {
+  JsonReader r{json, 0, true, {}};
+  r.Expect('{');
+  while (r.ok && !r.Consume('}')) {
+    const std::string key = r.String();
+    r.Expect(':');
+    if (key == "entries") {
+      r.Expect('[');
+      while (r.ok && !r.Consume(']')) {
+        r.Expect('{');
+        std::string file, rule;
+        int count = 0;
+        while (r.ok && !r.Consume('}')) {
+          const std::string field = r.String();
+          r.Expect(':');
+          if (field == "file") file = r.String();
+          else if (field == "rule") rule = r.String();
+          else if (field == "count") count = static_cast<int>(r.Int());
+          else r.Fail("unknown entry field '" + field + "'");
+          r.Consume(',');
+        }
+        if (file.empty() || rule.empty()) r.Fail("entry missing file/rule");
+        out.allowed[{file, rule}] = count;
+        r.Consume(',');
+      }
+    } else {
+      // version (integer) or other scalar metadata: skip.
+      r.Int();
+    }
+    r.Consume(',');
+  }
+  error = r.error;
+  return r.ok;
+}
+
+std::string Baseline::Render(const std::vector<Finding>& findings) {
+  std::map<std::pair<std::string, std::string>, int> counts;
+  for (const Finding& f : findings) counts[{f.file, f.rule}]++;
+  std::ostringstream out;
+  out << "{\n  \"version\": 1,\n  \"entries\": [";
+  bool first = true;
+  for (const auto& [key, count] : counts) {
+    if (!first) out << ",";
+    first = false;
+    out << "\n    {\"file\": \"" << JsonEscape(key.first) << "\", \"rule\": \""
+        << key.second << "\", \"count\": " << count << "}";
+  }
+  out << (first ? "]\n}\n" : "\n  ]\n}\n");
+  return out.str();
+}
+
+std::vector<Finding> ApplyBaseline(const std::vector<Finding>& findings,
+                                   const Baseline& baseline,
+                                   std::vector<std::string>* stale_notes) {
+  std::map<std::pair<std::string, std::string>, int> seen;
+  std::vector<Finding> out;
+  for (const Finding& f : findings) {
+    const int n = ++seen[{f.file, f.rule}];
+    const auto it = baseline.allowed.find({f.file, f.rule});
+    const int budget = it == baseline.allowed.end() ? 0 : it->second;
+    if (n > budget) out.push_back(f);
+  }
+  if (stale_notes != nullptr) {
+    for (const auto& [key, budget] : baseline.allowed) {
+      const auto it = seen.find(key);
+      const int actual = it == seen.end() ? 0 : it->second;
+      if (actual < budget) {
+        stale_notes->push_back(key.first + " " + key.second + ": baseline " +
+                               std::to_string(budget) + ", actual " +
+                               std::to_string(actual) +
+                               " (shrink the baseline)");
+      }
+    }
+  }
+  return out;
+}
+
+// --- rendering ---------------------------------------------------------
+
+std::string RenderText(const std::vector<Finding>& findings) {
+  std::ostringstream out;
+  for (const Finding& f : findings) {
+    out << f.file << ":" << f.line << ": [" << f.rule << "] " << f.message
+        << "\n";
+  }
+  return out.str();
+}
+
+std::string RenderJson(const std::vector<Finding>& findings) {
+  std::ostringstream out;
+  out << "[";
+  bool first = true;
+  for (const Finding& f : findings) {
+    if (!first) out << ",";
+    first = false;
+    out << "\n  {\"file\": \"" << JsonEscape(f.file) << "\", \"line\": "
+        << f.line << ", \"rule\": \"" << f.rule << "\", \"message\": \""
+        << JsonEscape(f.message) << "\"}";
+  }
+  out << (first ? "]\n" : "\n]\n");
+  return out.str();
+}
+
+}  // namespace proxy_lint

@@ -1,0 +1,109 @@
+// proxy_lint: a first-party static analyzer for this repo's coroutine
+// and encapsulation hazards.
+//
+// The checker is token-level (a C++ lexer plus a lightweight scanner
+// over statements and scopes — no libclang), tuned to this codebase's
+// idioms: trailing-underscore members, sim::Co / sim::Future awaitables,
+// the core::Acquire<I> acquisition path. Four rules:
+//
+//   L1 suspension-hazard    a reference / iterator / pointer /
+//                           structured binding into member state live
+//                           across a co_await (the PR-4 KvReplica::Mirror
+//                           bug shape, including range-for over a member
+//                           with an await in the loop body)
+//   L2 discarded-task       a statement-level call to a function that
+//                           returns sim::Co / sim::Future whose result is
+//                           neither co_awaited nor explicitly detached
+//                           (a (void) cast counts as explicit)
+//   L3 encapsulation-leak   rpc::RpcClient construction, raw frame
+//                           encode/decode, or a direct Network Send
+//                           outside src/rpc, src/sim, src/net, src/core —
+//                           call sites that should go through
+//                           core::Acquire<I> / ProxyBase
+//   L4 unchecked-deadline   a direct RpcClient::Call built without
+//                           CallOptions (no deadline / retry policy) in
+//                           non-test code
+//
+// Suppressions: `// NOLINT(proxy-lint:L1)` on the finding's line, or
+// `// NOLINTNEXTLINE(proxy-lint:L1)` on the line above (rule `*` matches
+// every rule). Pre-existing findings are frozen by a checked-in baseline
+// (tools/proxy_lint_baseline.json) of per-file, per-rule counts: a count
+// may shrink freely, but any finding beyond it fails the run.
+#pragma once
+
+#include <map>
+#include <set>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace proxy_lint {
+
+struct Finding {
+  std::string file;  // repo-relative, '/'-separated
+  int line = 0;
+  std::string rule;  // "L1".."L4"
+  std::string message;
+
+  friend bool operator<(const Finding& a, const Finding& b) {
+    if (a.file != b.file) return a.file < b.file;
+    if (a.line != b.line) return a.line < b.line;
+    return a.rule < b.rule;
+  }
+  friend bool operator==(const Finding& a, const Finding& b) {
+    return a.file == b.file && a.line == b.line && a.rule == b.rule;
+  }
+};
+
+/// Per-file, per-rule allowance of pre-existing findings.
+struct Baseline {
+  std::map<std::pair<std::string, std::string>, int> allowed;
+
+  /// Parses the JSON written by Render(). Returns false (with `error`
+  /// set) on malformed input.
+  static bool Parse(const std::string& json, Baseline& out,
+                    std::string& error);
+
+  /// Counts `findings` into a baseline document (sorted, stable bytes).
+  static std::string Render(const std::vector<Finding>& findings);
+};
+
+/// Splits `findings` into the ones the baseline does not cover (the
+/// failures) and, optionally, reports entries whose counts could shrink.
+std::vector<Finding> ApplyBaseline(const std::vector<Finding>& findings,
+                                   const Baseline& baseline,
+                                   std::vector<std::string>* stale_notes);
+
+class Linter {
+ public:
+  /// Pass 1: records every function name declared with a sim::Co<...> or
+  /// sim::Future<...> return type. Call for every file before Analyze —
+  /// L2 resolves callees against this set.
+  void CollectDeclarations(const std::string& content);
+
+  /// Pass 2: analyzes one file. `file` must be the repo-relative path
+  /// (it selects which rules apply and is what findings/baselines carry).
+  std::vector<Finding> Analyze(const std::string& file,
+                               const std::string& content) const;
+
+  [[nodiscard]] const std::set<std::string>& awaitable_functions() const {
+    return awaitable_;
+  }
+
+ private:
+  std::set<std::string> awaitable_;
+  // Names also declared with a non-awaitable return type somewhere in the
+  // tree. The callee lookup is name-based (no type resolution), so an
+  // ambiguous name — e.g. a void test helper `Run` next to the coroutine
+  // `WorkloadClient::Run` — must not trigger L2.
+  std::set<std::string> ambiguous_;
+};
+
+/// Rule applicability by repo-relative path.
+bool IsTestPath(const std::string& file);                 // tests/...
+bool IsEncapsulationExemptPath(const std::string& file);  // L3 allowed
+
+std::string RenderText(const std::vector<Finding>& findings);
+std::string RenderJson(const std::vector<Finding>& findings);
+
+}  // namespace proxy_lint
