@@ -1,0 +1,52 @@
+// Machine-readable bench output for the perf-trajectory gate.
+//
+// When PROXY_BENCH_JSON names a file, each bench appends one JSON line
+// per (scenario, metric-set) it measures. scripts/perf_gate.py collects
+// the lines and compares them against the committed trajectory baseline
+// in BENCH_wire.json. Metrics marked deterministic are computed from
+// virtual time and simulator byte counts (identical on every run for a
+// given seed) and are the only ones the CI gate enforces; wall-clock
+// metrics ride along as informational context.
+//
+// Kept separate from bench_util.h so bench_marshalling — which links
+// only proxy_serde + google-benchmark — can emit without pulling the
+// whole runtime in.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+namespace proxy::bench {
+
+struct JsonMetric {
+  std::string key;
+  double value = 0;
+  /// True when the value is derived from virtual time / simulator
+  /// counters and is bit-identical across runs; CI gates only these.
+  bool deterministic = true;
+};
+
+/// Appends one JSONL record to $PROXY_BENCH_JSON (no-op if unset).
+inline void EmitBenchJson(const std::string& bench, const std::string& scenario,
+                          const std::vector<JsonMetric>& metrics) {
+  const char* path = std::getenv("PROXY_BENCH_JSON");
+  if (path == nullptr || path[0] == '\0') return;
+  std::FILE* f = std::fopen(path, "a");
+  if (f == nullptr) {
+    std::fprintf(stderr, "bench_json: cannot open %s for append\n", path);
+    return;
+  }
+  std::fprintf(f, "{\"bench\":\"%s\",\"scenario\":\"%s\",\"metrics\":{",
+               bench.c_str(), scenario.c_str());
+  for (std::size_t i = 0; i < metrics.size(); ++i) {
+    std::fprintf(f, "%s\"%s\":{\"value\":%.17g,\"deterministic\":%s}",
+                 i == 0 ? "" : ",", metrics[i].key.c_str(), metrics[i].value,
+                 metrics[i].deterministic ? "true" : "false");
+  }
+  std::fprintf(f, "}}\n");
+  std::fclose(f);
+}
+
+}  // namespace proxy::bench

@@ -9,7 +9,9 @@
 
 #include <cstdio>
 
+#include "bench_json.h"
 #include "bench_util.h"
+#include "serde/wire.h"
 #include "services/counter.h"
 
 using namespace proxy;            // NOLINT
@@ -29,6 +31,7 @@ sim::Co<void> RunOps(std::shared_ptr<ICounter> ctr) {
 struct Sample {
   SimDuration per_call = 0;
   std::uint64_t messages = 0;
+  double copied_per_call = 0;  // serde::WireCopyCounter delta / kOps
 };
 
 Sample Run(int placement) {  // 0 same-context, 1 same-node, 2 remote
@@ -63,9 +66,13 @@ Sample Run(int placement) {  // 0 same-context, 1 same-node, 2 remote
   w.rt->Run(bind());
 
   const auto msgs_before = w.rt->network().stats().messages_sent;
+  const auto copies_before = serde::WireCopyCounter().value();
   Sample s;
   s.per_call = w.TimeRun(RunOps(ctr)) / kOps;
   s.messages = (w.rt->network().stats().messages_sent - msgs_before) / kOps;
+  s.copied_per_call = static_cast<double>(serde::WireCopyCounter().value() -
+                                          copies_before) /
+                      kOps;
   return s;
 }
 
@@ -88,6 +95,20 @@ int main() {
   table.AddRow({"remote node", "RPC over network", FmtDur(remote.per_call),
                 FmtInt(remote.messages)});
   table.Print();
+
+  // Virtual-time throughput and copy tallies are deterministic for the
+  // fixed seed, so the perf gate can hold the line on them.
+  const auto emit = [](const char* scenario, const Sample& s) {
+    EmitBenchJson("lrpc", scenario,
+                  {{"ops_per_sec_virtual",
+                    s.per_call > 0 ? 1e9 / static_cast<double>(s.per_call) : 0,
+                    true},
+                   {"bytes_copied_per_op", s.copied_per_call, true},
+                   {"msgs_per_call", static_cast<double>(s.messages), true}});
+  };
+  emit("same_context", direct);
+  emit("same_node", lrpc);
+  emit("remote", remote);
 
   std::printf(
       "\nShape check: direct ~ 0 (one scheduler hop, no messages);\n"

@@ -13,6 +13,9 @@
 #   PRESET=asan-chaos scripts/check.sh   # sanitized build, chaos tests only
 #   SEEDS=512 scripts/check.sh    # longer sweep
 #   LINT_ONLY=1 scripts/check.sh  # fast pre-commit path: lint, no tests
+#   BENCH=1 scripts/check.sh      # also run the perf-trajectory gate:
+#                                 # deterministic bench metrics vs the
+#                                 # committed bench/BENCH_wire.json
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -20,6 +23,7 @@ cd "$(dirname "$0")/.."
 PRESET="${PRESET:-default}"
 SEEDS="${SEEDS:-128}"
 LINT_ONLY="${LINT_ONLY:-0}"
+BENCH="${BENCH:-0}"
 
 case "$PRESET" in
   asan-ubsan) BUILD_DIR="build-asan" ;;
@@ -96,5 +100,22 @@ for bench in "./$BUILD_DIR"/bench/bench_*; do
     exit 1
   fi
 done
+
+if [ "$BENCH" = "1" ]; then
+  echo "== perf trajectory gate =="
+  # The gate compares only deterministic metrics (virtual-time throughput
+  # and WireCopyCounter bytes-copied-per-op), so it is safe on loaded CI
+  # machines; a >10% regression against the committed trajectory fails.
+  python3 scripts/perf_gate.py --self-test
+  wire_jsonl="$BUILD_DIR/bench_wire_current.jsonl"
+  rm -f "$wire_jsonl"
+  PROXY_BENCH_JSON="$wire_jsonl" PROXY_BENCH_SKIP_WALL=1 \
+    "./$BUILD_DIR/bench/bench_marshalling" > /dev/null
+  PROXY_BENCH_JSON="$wire_jsonl" "./$BUILD_DIR/bench/bench_lrpc" > /dev/null
+  PROXY_BENCH_JSON="$wire_jsonl" "./$BUILD_DIR/bench/bench_replication" \
+    > /dev/null
+  python3 scripts/perf_gate.py --baseline bench/BENCH_wire.json \
+    --current "$wire_jsonl"
+fi
 
 echo "== OK =="

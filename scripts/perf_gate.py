@@ -1,0 +1,178 @@
+#!/usr/bin/env python3
+"""Perf-trajectory gate for the zero-copy wire path.
+
+Compares a fresh bench emission (JSONL lines written by the benches when
+PROXY_BENCH_JSON is set) against the committed baseline in
+bench/BENCH_wire.json — specifically against the *last* trajectory entry,
+which is the performance the tree currently claims. Only metrics marked
+deterministic are gated: they come from virtual time and the
+serde::WireCopyCounter tally, so they are bit-identical across runs and
+machines. Wall-clock numbers ride along in the JSONL for context but are
+never compared.
+
+A metric regresses when it moves past its margin in the bad direction:
+
+    ops_per_sec_virtual   must stay >= 0.9x baseline  (higher is better)
+    ok_reads              must stay >= 0.9x baseline
+    bytes_copied_per_op   must stay <= 1.1x baseline  (lower is better)
+    mean_read_latency_ns  must stay <= 1.1x baseline
+    msgs_per_call         must stay <= 1.1x baseline
+
+Metrics present in the baseline but absent from the current run fail the
+gate (a silently-dropped scenario is a regression in coverage). Unknown
+metric keys are informational and skipped.
+
+Usage:
+    perf_gate.py --baseline bench/BENCH_wire.json --current run.jsonl
+    perf_gate.py --self-test        # prove the gate rejects regressions
+
+Exit status: 0 pass, 1 regression(s), 2 usage/input error.
+"""
+
+import argparse
+import json
+import sys
+
+# metric key -> (direction, margin ratio applied to the baseline value).
+# "up" metrics fail below baseline*margin; "down" metrics fail above it.
+RULES = {
+    "ops_per_sec_virtual": ("up", 0.9),
+    "ok_reads": ("up", 0.9),
+    "bytes_copied_per_op": ("down", 1.1),
+    "mean_read_latency_ns": ("down", 1.1),
+    "msgs_per_call": ("down", 1.1),
+}
+
+
+def load_baseline(path):
+    with open(path, encoding="utf-8") as f:
+        doc = json.load(f)
+    if doc.get("version") != 1 or not doc.get("trajectory"):
+        raise ValueError(f"{path}: not a version-1 trajectory file")
+    entry = doc["trajectory"][-1]
+    return entry["label"], entry["metrics"]
+
+
+def load_current(path):
+    """Flattens JSONL bench lines to {bench/scenario/key: value},
+    deterministic metrics only."""
+    flat = {}
+    with open(path, encoding="utf-8") as f:
+        for lineno, line in enumerate(f, 1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                rec = json.loads(line)
+            except json.JSONDecodeError as e:
+                raise ValueError(f"{path}:{lineno}: bad JSON ({e})") from e
+            prefix = f"{rec['bench']}/{rec['scenario']}"
+            for key, m in rec["metrics"].items():
+                if m.get("deterministic"):
+                    flat[f"{prefix}/{key}"] = m["value"]
+    return flat
+
+
+def check(baseline, current):
+    """Returns a list of human-readable failure strings."""
+    failures = []
+    checked = 0
+    for name, base_value in sorted(baseline.items()):
+        metric_key = name.rsplit("/", 1)[-1]
+        rule = RULES.get(metric_key)
+        if rule is None:
+            continue
+        if name not in current:
+            failures.append(f"{name}: missing from current run")
+            continue
+        direction, margin = rule
+        value = current[name]
+        checked += 1
+        if direction == "up":
+            floor = base_value * margin
+            if value < floor:
+                failures.append(
+                    f"{name}: {value:g} < {floor:g} "
+                    f"(baseline {base_value:g}, allowed -{(1 - margin):.0%})"
+                )
+        else:
+            ceiling = base_value * margin
+            if value > ceiling:
+                failures.append(
+                    f"{name}: {value:g} > {ceiling:g} "
+                    f"(baseline {base_value:g}, allowed +{(margin - 1):.0%})"
+                )
+    if checked == 0:
+        failures.append("no gateable metrics found — empty comparison")
+    return failures
+
+
+def self_test():
+    """The gate must reject a deliberately-regressed build and accept an
+    identical one. Runs against synthetic data; no benches needed."""
+    baseline = {
+        "marshalling/wire_path/4096/bytes_copied_per_op": 8281.0,
+        "marshalling/decode_request/4096/bytes_copied_per_op": 0.0,
+        "lrpc/remote/ops_per_sec_virtual": 3814.64,
+        "replication/single/steady/mean_read_latency_ns": 272938.0,
+        "replication/single/steady/ok_reads": 300.0,
+    }
+    if check(baseline, dict(baseline)):
+        print("self-test FAIL: identical run was rejected")
+        return 1
+    regressed = dict(baseline)
+    regressed["marshalling/wire_path/4096/bytes_copied_per_op"] = 24744.0
+    regressed["lrpc/remote/ops_per_sec_virtual"] = 3814.64 * 0.8
+    failures = check(baseline, regressed)
+    if len(failures) != 2:
+        print(f"self-test FAIL: expected 2 rejections, got {failures}")
+        return 1
+    # A re-copy regression on a zero-copy metric must also trip: the
+    # margin is multiplicative, so the floor for 0 is exactly 0.
+    recopied = dict(baseline)
+    recopied["marshalling/decode_request/4096/bytes_copied_per_op"] = 1.0
+    if not check(baseline, recopied):
+        print("self-test FAIL: reintroduced copy on zero-copy path passed")
+        return 1
+    dropped = dict(baseline)
+    del dropped["replication/single/steady/ok_reads"]
+    if not check(baseline, dropped):
+        print("self-test FAIL: dropped scenario passed")
+        return 1
+    print("perf_gate self-test: OK (regressions rejected, clean run passes)")
+    return 0
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--baseline", help="committed BENCH_wire.json")
+    parser.add_argument("--current", help="fresh JSONL bench emission")
+    parser.add_argument("--self-test", action="store_true")
+    args = parser.parse_args()
+
+    if args.self_test:
+        return self_test()
+    if not args.baseline or not args.current:
+        parser.print_usage(sys.stderr)
+        return 2
+
+    try:
+        label, baseline = load_baseline(args.baseline)
+        current = load_current(args.current)
+    except (OSError, ValueError, KeyError) as e:
+        print(f"perf_gate: {e}", file=sys.stderr)
+        return 2
+
+    failures = check(baseline, current)
+    if failures:
+        print(f"perf gate FAIL vs baseline '{label}':")
+        for f in failures:
+            print(f"  {f}")
+        return 1
+    gated = sum(1 for k in baseline if k.rsplit("/", 1)[-1] in RULES)
+    print(f"perf gate OK: {gated} metrics within margins of '{label}'")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

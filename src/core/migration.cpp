@@ -78,9 +78,12 @@ sim::Co<Result<ServiceBinding>> MigrationManager::PushTo(ObjectId id,
   req.protocol = evicted->protocol;
   req.state = evicted->state;  // keep a copy for rollback
 
+  // A migration that can't complete promptly should roll back, not hold
+  // the withdrawn object in limbo while retries grind on.
   rpc::RpcResult raw = co_await context_->client().Call(
       net::Address{target.node, target.port}, kMigrationControlObject,
-      Method::kAccept, serde::EncodeToBytes(req));
+      Method::kAccept, serde::EncodeToBytes(req),
+      rpc::CallOptions{}.WithDeadline(Seconds(2)));
   if (!raw.ok()) {
     // Roll back: rebuild locally from the snapshot under the same id and
     // drop the (now wrong) forwarding hint.
@@ -107,7 +110,7 @@ sim::Co<Result<ServiceBinding>> MigrationManager::Pull(
 
   rpc::RpcResult raw = co_await context_->client().Call(
       binding.server, kMigrationControlObject, Method::kRelease,
-      serde::EncodeToBytes(req));
+      serde::EncodeToBytes(req), rpc::CallOptions{}.WithDeadline(Seconds(2)));
   if (!raw.ok()) co_return raw.status;
   Result<ReleaseResponse> resp =
       serde::DecodeFromBytes<ReleaseResponse>(View(raw.payload));

@@ -41,16 +41,20 @@ Status NodeStack::SendFrom(const Address& from, const Address& to,
     return ResourceExhaustedError("datagram exceeds max payload");
   }
   // Header: source port, then the payload, all inside a CRC envelope.
-  serde::Writer w(payload.size() + 16);
+  // The payload buffer is adopted into the writer's chain and gathered
+  // exactly once, inside WrapEnvelope — the send path's single flatten.
+  serde::Writer w;
   w.WriteVarint(from.port.value());
-  w.WriteRaw(View(payload));
+  w.WriteRaw(std::move(payload));
   return network_->Send(from.node, to.node, to.port,
-                        serde::WrapEnvelope(View(w.buffer())));
+                        serde::WrapEnvelope(std::move(w)));
 }
 
 void NodeStack::OnNetworkDeliver(NodeId from_node, PortId to_port,
                                  Bytes framed) {
-  auto unwrapped = serde::UnwrapEnvelope(View(framed));
+  // Validate and strip the envelope + source-port header by narrowing
+  // the arrival buffer; the body is never copied on this path.
+  auto unwrapped = serde::UnwrapEnvelopeView(View(framed));
   if (!unwrapped.ok()) {
     ++rejected_;
     PROXY_LOG(kDebug, scheduler().now(), "net",
@@ -58,7 +62,7 @@ void NodeStack::OnNetworkDeliver(NodeId from_node, PortId to_port,
                                            << unwrapped.status().ToString());
     return;
   }
-  serde::Reader r(View(*unwrapped));
+  serde::Reader r(*unwrapped);
   std::uint64_t src_port = 0;
   if (!r.ReadVarint(src_port).ok() || src_port > 0xffffffffULL) {
     ++rejected_;
@@ -76,7 +80,9 @@ void NodeStack::OnNetworkDeliver(NodeId from_node, PortId to_port,
     return;
   }
   const Address from{from_node, PortId(static_cast<std::uint32_t>(src_port))};
-  it->second->Deliver(from, Bytes(body.begin(), body.end()));
+  OwnedBytes arena(std::move(framed));
+  arena.Narrow(body);
+  it->second->Deliver(from, std::move(arena));
 }
 
 }  // namespace proxy::net

@@ -27,7 +27,11 @@ class NodeStack;
 
 class Endpoint {
  public:
-  using Handler = std::function<void(const Address& from, Bytes payload)>;
+  /// Receives the datagram body as an OwnedBytes window of the arrival
+  /// buffer: the envelope and source-port header have been stripped by
+  /// narrowing, not copying. The handler owns the buffer from here —
+  /// decode may borrow views of it for as long as it is kept alive.
+  using Handler = std::function<void(const Address& from, OwnedBytes payload)>;
 
   Endpoint(const Endpoint&) = delete;
   Endpoint& operator=(const Endpoint&) = delete;
@@ -51,7 +55,7 @@ class Endpoint {
   friend class NodeStack;
   Endpoint(NodeStack& stack, Address addr) : stack_(&stack), addr_(addr) {}
 
-  void Deliver(const Address& from, Bytes payload) {
+  void Deliver(const Address& from, OwnedBytes payload) {
     if (handler_) handler_(from, std::move(payload));
   }
 

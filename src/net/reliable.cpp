@@ -21,7 +21,7 @@ Bytes EncodeSeqMessage(std::uint8_t type, std::uint64_t seq,
 
 ReliableChannel::ReliableChannel(Endpoint& endpoint, Params params)
     : endpoint_(&endpoint), params_(params) {
-  endpoint_->SetHandler([this](const Address& from, Bytes payload) {
+  endpoint_->SetHandler([this](const Address& from, OwnedBytes payload) {
     OnDatagram(from, std::move(payload));
   });
 }
@@ -85,8 +85,8 @@ std::size_t ReliableChannel::OutstandingTo(const Address& to) const {
   return it == senders_.end() ? 0 : it->second.in_flight.size();
 }
 
-void ReliableChannel::OnDatagram(const Address& from, Bytes payload) {
-  serde::Reader r(View(payload));
+void ReliableChannel::OnDatagram(const Address& from, OwnedBytes payload) {
+  serde::Reader r(payload.view());
   std::uint8_t type = 0;
   if (!r.ReadU8(type).ok()) return;
   if (type == static_cast<std::uint8_t>(MsgType::kData)) {

@@ -134,7 +134,7 @@ class ReliableChannel {
     std::map<std::uint64_t, Bytes> out_of_order;
   };
 
-  void OnDatagram(const Address& from, Bytes payload);
+  void OnDatagram(const Address& from, OwnedBytes payload);
   void OnData(const Address& from, std::uint64_t seq, Bytes payload);
   void OnAck(const Address& from, std::uint64_t ack);
   void OnProbe(const Address& from, std::uint64_t seq);

@@ -15,7 +15,7 @@ RpcClient::RpcClient(net::Endpoint& endpoint, std::uint64_t nonce,
                      BreakerParams breaker)
     : endpoint_(&endpoint), nonce_(nonce), rng_(nonce ^ 0x9e3779b97f4a7c15ULL),
       breaker_params_(breaker) {
-  endpoint_->SetHandler([this](const net::Address& from, Bytes payload) {
+  endpoint_->SetHandler([this](const net::Address& from, OwnedBytes payload) {
     OnDatagram(from, std::move(payload));
   });
 }
@@ -90,8 +90,13 @@ sim::Future<RpcResult> RpcClient::Call(const net::Address& to,
     call.deadline = scheduler().now() + options.deadline;
     frame.deadline = call.deadline;
   }
-  call.encoded_request = EncodeRequest(frame);
+  // The frame is built only to be encoded: hand args to the encoder's
+  // buffer chain instead of re-copying them. The encoded bytes are
+  // retained for retransmission, so each (re)send explicitly copies the
+  // retained buffer — the one counted copy this layer still makes.
+  call.encoded_request = EncodeRequest(std::move(frame));
 
+  serde::CountWireCopy(call.encoded_request.size());
   const Status sent = endpoint_->Send(to, call.encoded_request);
   if (!sent.ok()) {
     // Local send failure (unknown node, oversized): fail immediately.
@@ -107,8 +112,8 @@ sim::Future<RpcResult> RpcClient::Call(const net::Address& to,
   return future;
 }
 
-void RpcClient::OnDatagram(const net::Address& from, Bytes payload) {
-  auto reply = DecodeReply(View(payload));
+void RpcClient::OnDatagram(const net::Address& from, OwnedBytes payload) {
+  auto reply = DecodeReply(payload.view());
   if (!reply.ok()) {
     PROXY_LOG(kDebug, scheduler().now(), "rpc",
               "undecodable reply: " << reply.status().ToString());
@@ -201,6 +206,7 @@ void RpcClient::OnRetryTimer(std::uint64_t seq) {
   }
   call.attempts++;
   stats_.retransmissions++;
+  serde::CountWireCopy(call.encoded_request.size());
   (void)endpoint_->Send(call.dest, call.encoded_request);
   const SimDuration backoff = NextBackoff(call);
   if (call.deadline != 0 &&

@@ -207,7 +207,7 @@ class RpcClient {
     SimDuration cooldown = 0;    // current cooldown (grows on re-open)
   };
 
-  void OnDatagram(const net::Address& from, Bytes payload);
+  void OnDatagram(const net::Address& from, OwnedBytes payload);
   void OnRetryTimer(std::uint64_t seq);
   void OnDeadline(std::uint64_t seq);
   void Finish(std::uint64_t seq, RpcResult outcome);

@@ -32,11 +32,20 @@ Result<Frame> DecodeAfterTag(FrameType expected, BytesView data) {
 
 }  // namespace
 
-Bytes EncodeRequest(const RequestFrame& frame) {
+namespace {
+
+// Shared by the copying and adopting overloads: `args` rides separately
+// from the other v1 fields so the rvalue path can hand its buffer to the
+// chain. Bytes on the wire are identical either way.
+template <typename Args>
+Bytes EncodeRequestWith(const RequestFrame& frame, Args&& args) {
   serde::Writer w;
   w.WriteU8(static_cast<std::uint8_t>(FrameType::kRequest));
   serde::VersionedWriter vw(w, kRequestWireVersion);
-  serde::Serialize(vw.body(), frame);       // v1 fields
+  serde::Serialize(vw.body(), frame.call);  // v1 fields
+  serde::Serialize(vw.body(), frame.object);
+  serde::Serialize(vw.body(), frame.method);
+  vw.body().WriteBytes(std::forward<Args>(args));
   vw.body().WriteVarint(frame.deadline);    // v2: absolute expiry, 0 = none
   vw.body().WriteVarint(frame.trace.trace_id);         // v4: causal trace
   vw.body().WriteVarint(frame.trace.span_id);
@@ -45,8 +54,28 @@ Bytes EncodeRequest(const RequestFrame& frame) {
   return w.Take();
 }
 
+}  // namespace
+
+Bytes EncodeRequest(const RequestFrame& frame) {
+  return EncodeRequestWith(frame, View(frame.args));
+}
+
+Bytes EncodeRequest(RequestFrame&& frame) {
+  return EncodeRequestWith(frame, std::move(frame.args));
+}
+
 Bytes EncodeReply(const ReplyFrame& frame) {
   return EncodeWithTag(FrameType::kReply, frame);
+}
+
+Bytes EncodeReply(ReplyFrame&& frame) {
+  serde::Writer w;
+  w.WriteU8(static_cast<std::uint8_t>(FrameType::kReply));
+  serde::Serialize(w, frame.call);
+  serde::Serialize(w, frame.code);
+  serde::Serialize(w, frame.error_message);
+  w.WriteBytes(std::move(frame.result));  // adopt, don't re-copy
+  return w.Take();
 }
 
 Result<FrameType> PeekFrameType(BytesView data) {
@@ -59,7 +88,23 @@ Result<FrameType> PeekFrameType(BytesView data) {
   return static_cast<FrameType>(tag);
 }
 
-Result<RequestFrame> DecodeRequest(BytesView data) {
+namespace {
+
+// Body bytes left after every field this build knows about are legal
+// only when the sender could plausibly be newer: v3 is reserved (the
+// wire-evolution tests use it as the hypothetical newer sender) and
+// anything past kRequestWireVersion is the future. For versions this
+// build fully understands, a tail is corruption, and Close() says so.
+serde::TailPolicy RequestTailPolicy(std::uint32_t version) {
+  const bool fully_known =
+      version == 1 || version == 2 || version == kRequestWireVersion;
+  return fully_known ? serde::TailPolicy::kRejectUnread
+                     : serde::TailPolicy::kSkipUnknown;
+}
+
+}  // namespace
+
+Result<RequestFrameView> DecodeRequestView(BytesView data) {
   serde::Reader r(data);
   std::uint8_t tag = 0;
   PROXY_RETURN_IF_ERROR(r.ReadU8(tag));
@@ -67,9 +112,12 @@ Result<RequestFrame> DecodeRequest(BytesView data) {
     return CorruptError("unexpected frame type");
   }
   serde::VersionedReader vr;
-  PROXY_RETURN_IF_ERROR(vr.Open(r));
-  RequestFrame frame;
-  PROXY_RETURN_IF_ERROR(serde::Deserialize(vr.body(), frame));
+  PROXY_RETURN_IF_ERROR(vr.OpenBorrowed(r));
+  RequestFrameView frame;
+  PROXY_RETURN_IF_ERROR(serde::Deserialize(vr.body(), frame.call));
+  PROXY_RETURN_IF_ERROR(serde::Deserialize(vr.body(), frame.object));
+  PROXY_RETURN_IF_ERROR(serde::Deserialize(vr.body(), frame.method));
+  PROXY_RETURN_IF_ERROR(vr.body().ReadBytesView(frame.args));
   if (vr.version() >= 2 && !vr.body().AtEnd()) {
     PROXY_RETURN_IF_ERROR(vr.body().ReadVarint(frame.deadline));
   }
@@ -80,8 +128,24 @@ Result<RequestFrame> DecodeRequest(BytesView data) {
     PROXY_RETURN_IF_ERROR(vr.body().ReadVarint(frame.trace.span_id));
     PROXY_RETURN_IF_ERROR(vr.body().ReadVarint(frame.trace.parent_span_id));
   }
-  PROXY_RETURN_IF_ERROR(vr.Close());  // skips fields from newer versions
+  PROXY_RETURN_IF_ERROR(vr.Close(RequestTailPolicy(vr.version())));
   PROXY_RETURN_IF_ERROR(r.ExpectEnd());
+  return frame;
+}
+
+Result<RequestFrame> DecodeRequest(BytesView data) {
+  Result<RequestFrameView> view = DecodeRequestView(data);
+  if (!view.ok()) return view.status();
+  RequestFrame frame;
+  frame.call = view->call;
+  frame.object = view->object;
+  frame.method = view->method;
+  if (!view->args.empty()) {
+    serde::CountWireCopy(view->args.size());
+    frame.args.assign(view->args.begin(), view->args.end());
+  }
+  frame.deadline = view->deadline;
+  frame.trace = view->trace;
   return frame;
 }
 

@@ -66,6 +66,20 @@ struct RequestFrame {
   PROXY_SERDE_FIELDS(call, object, method, args)
 };
 
+/// Borrowed decode of a request: identical fields to RequestFrame except
+/// `args` is a window of the buffer handed to DecodeRequestView — no
+/// copy. The borrower (server dispatch) keeps the arrival buffer alive
+/// as the request-scoped arena for as long as the view is read,
+/// including across handler suspension points.
+struct RequestFrameView {
+  CallId call;
+  ObjectId object;
+  std::uint32_t method = 0;
+  BytesView args;
+  SimTime deadline = 0;
+  obs::TraceContext trace;
+};
+
 struct ReplyFrame {
   CallId call;
   StatusCode code = StatusCode::kOk;
@@ -89,13 +103,22 @@ struct RpcResult {
   [[nodiscard]] bool ok() const noexcept { return status.ok(); }
 };
 
-/// Encodes a frame with its type tag.
+/// Encodes a frame with its type tag. The rvalue overload adopts
+/// `frame.args` into the encoder's buffer chain instead of copying it —
+/// use it when the frame is built just to be encoded (the client stub).
 Bytes EncodeRequest(const RequestFrame& frame);
+Bytes EncodeRequest(RequestFrame&& frame);
 Bytes EncodeReply(const ReplyFrame& frame);
+Bytes EncodeReply(ReplyFrame&& frame);
 
 /// Decodes the type tag, then the matching frame.
 Result<FrameType> PeekFrameType(BytesView data);
 Result<RequestFrame> DecodeRequest(BytesView data);
 Result<ReplyFrame> DecodeReply(BytesView data);
+
+/// Borrowed decode: `args` in the result is a window of `data`. The
+/// caller owns `data`'s backing buffer and must keep it alive while the
+/// view is used (server dispatch holds the arrival buffer as arena).
+Result<RequestFrameView> DecodeRequestView(BytesView data);
 
 }  // namespace proxy::rpc

@@ -12,7 +12,7 @@ RpcServer::RpcServer(net::Endpoint& endpoint)
 
 RpcServer::RpcServer(net::Endpoint& endpoint, Params params)
     : endpoint_(&endpoint), params_(params) {
-  endpoint_->SetHandler([this](const net::Address& from, Bytes payload) {
+  endpoint_->SetHandler([this](const net::Address& from, OwnedBytes payload) {
     OnDatagram(from, std::move(payload));
   });
 }
@@ -60,8 +60,10 @@ void RpcServer::BindMetrics(obs::MetricsRegistry& registry) {
   registry.Attach("rpc.server.exec_ns", &exec_latency_);
 }
 
-void RpcServer::OnDatagram(const net::Address& from, Bytes payload) {
-  auto request = DecodeRequest(View(payload));
+void RpcServer::OnDatagram(const net::Address& from, OwnedBytes payload) {
+  // Borrowed decode: request.args is a window of `payload`, which rides
+  // into Execute's coroutine frame as the request-scoped arena.
+  auto request = DecodeRequestView(payload.view());
   if (!request.ok()) {
     PROXY_LOG(kDebug, scheduler().now(), "rpc",
               "undecodable request: " << request.status().ToString());
@@ -123,12 +125,15 @@ void RpcServer::OnDatagram(const net::Address& from, Bytes payload) {
 
   hist.in_progress.emplace(seq, true);
   // Detach the execution coroutine; it replies and updates the cache.
-  (void)sim::Spawn(scheduler(),
-                   Execute(from, std::move(*request), scheduler().now()));
+  (void)sim::Spawn(scheduler(), Execute(from, *request, std::move(payload),
+                                        scheduler().now()));
 }
 
-sim::Co<void> RpcServer::Execute(net::Address from, RequestFrame request,
-                                 SimTime received_at) {
+sim::Co<void> RpcServer::Execute(net::Address from, RequestFrameView request,
+                                 OwnedBytes arena, SimTime received_at) {
+  // `arena` is not read here by name: its whole job is to live in this
+  // coroutine's frame so request.args stays valid across suspensions.
+  (void)arena;
   const std::uint64_t born = generation_;
   Result<Bytes> outcome = InternalError("uninitialized outcome");
 
@@ -152,7 +157,7 @@ sim::Co<void> RpcServer::Execute(net::Address from, RequestFrame request,
           request.trace, "exec m" + std::to_string(request.method),
           dispatched);
     }
-    outcome = co_await (*method)(std::move(request.args), ctx);
+    outcome = co_await (*method)(request.args, ctx);
     if (spans_ != nullptr && ctx.trace.active() &&
         ctx.trace != request.trace) {
       spans_->End(ctx.trace, scheduler().now(), outcome.status());
@@ -164,24 +169,24 @@ sim::Co<void> RpcServer::Execute(net::Address from, RequestFrame request,
   // it — no reply, no cache entry.
   if (born != generation_) co_return;
 
-  SendReply(from, request.call, outcome);
+  SendReply(from, request.call, std::move(outcome));
 
   ClientHistory& hist = history_[request.call.client_nonce];
   hist.in_progress.erase(request.call.seq);
 }
 
 void RpcServer::SendReply(const net::Address& to, const CallId& call,
-                          const Result<Bytes>& outcome) {
+                          Result<Bytes> outcome) {
   ReplyFrame reply;
   reply.call = call;
   if (outcome.ok()) {
     reply.code = StatusCode::kOk;
-    reply.result = outcome.value();
+    reply.result = std::move(*outcome);
   } else {
     reply.code = outcome.status().code();
     reply.error_message = outcome.status().message();
   }
-  Bytes encoded = EncodeReply(reply);
+  Bytes encoded = EncodeReply(std::move(reply));
   CacheReply(call.client_nonce, call.seq, encoded);
   (void)endpoint_->Send(to, std::move(encoded));
 }

@@ -38,8 +38,12 @@ struct CallContext {
 };
 
 /// A method handler: decoded-by-the-callee args in, reply payload out.
-using Method =
-    std::function<sim::Co<Result<Bytes>>(Bytes args, const CallContext& ctx)>;
+/// `args` is a borrowed window of the request's arrival buffer; the
+/// server keeps that buffer alive for the handler's whole execution
+/// (across suspension points), so decoding may be deferred — but a
+/// handler that stashes bytes past its own completion must copy them.
+using Method = std::function<sim::Co<Result<Bytes>>(BytesView args,
+                                                    const CallContext& ctx)>;
 
 /// Dispatch table of one exported object.
 class Dispatch {
@@ -149,11 +153,13 @@ class RpcServer {
     std::unordered_map<std::uint64_t, bool> in_progress;
   };
 
-  void OnDatagram(const net::Address& from, Bytes payload);
-  sim::Co<void> Execute(net::Address from, RequestFrame request,
-                        SimTime received_at);
+  void OnDatagram(const net::Address& from, OwnedBytes payload);
+  /// `arena` is the arrival buffer backing `request.args`; the coroutine
+  /// frame owns it so the borrowed view stays valid across co_awaits.
+  sim::Co<void> Execute(net::Address from, RequestFrameView request,
+                        OwnedBytes arena, SimTime received_at);
   void SendReply(const net::Address& to, const CallId& call,
-                 const Result<Bytes>& outcome);
+                 Result<Bytes> outcome);
   void CacheReply(std::uint64_t nonce, std::uint64_t seq, Bytes encoded);
 
   net::Endpoint* endpoint_;

@@ -88,9 +88,11 @@ template <typename Req, typename Resp, typename Fn>
 void RegisterTyped(Dispatch& dispatch, std::uint32_t method, Fn fn) {
   dispatch.Register(
       method,
-      [fn = std::move(fn)](Bytes args,
+      [fn = std::move(fn)](BytesView args,
                            const CallContext& ctx) -> sim::Co<Result<Bytes>> {
-        Result<Req> req = serde::DecodeFromBytes<Req>(View(args));
+        // `args` borrows the request's arrival buffer; the server keeps
+        // it alive for the handler's lifetime, so decoding here is safe.
+        Result<Req> req = serde::DecodeFromBytes<Req>(args);
         if (!req.ok()) co_return req.status();
         Result<Resp> resp = co_await fn(std::move(*req), ctx);
         if (!resp.ok()) co_return resp.status();

@@ -15,7 +15,27 @@ Bytes WrapEnvelope(BytesView payload) {
   return w.Take();
 }
 
-Result<Bytes> UnwrapEnvelope(BytesView framed) {
+Bytes WrapEnvelope(Writer&& payload) {
+  const std::size_t n = payload.size();
+  // Checksum the chain in place, then gather it once, straight into the
+  // framed buffer: the send path's single counted bulk copy.
+  std::uint32_t crc = kCrc32cInit;
+  payload.ForEachChunk(
+      [&crc](BytesView v) { crc = Crc32cExtend(crc, v); });
+  Bytes out;
+  out.reserve(n + EnvelopeOverhead(n));
+  PutFixed16(out, kEnvelopeMagic);
+  out.push_back(kEnvelopeVersion);
+  PutFixed32(out, Crc32cFinish(crc));
+  PutVarint(out, n);
+  payload.ForEachChunk([&out](BytesView v) {
+    out.insert(out.end(), v.begin(), v.end());
+  });
+  CountWireCopy(n);
+  return out;
+}
+
+Result<BytesView> UnwrapEnvelopeView(BytesView framed) {
   Reader r(framed);
   std::uint16_t magic = 0;
   PROXY_RETURN_IF_ERROR(r.ReadU16(magic));
@@ -27,13 +47,21 @@ Result<Bytes> UnwrapEnvelope(BytesView framed) {
   }
   std::uint32_t crc = 0;
   PROXY_RETURN_IF_ERROR(r.ReadU32(crc));
-  Bytes payload;
-  PROXY_RETURN_IF_ERROR(r.ReadBytes(payload));
+  BytesView payload;
+  PROXY_RETURN_IF_ERROR(r.ReadBytesView(payload));
   PROXY_RETURN_IF_ERROR(r.ExpectEnd());
-  if (Crc32c(View(payload)) != crc) {
+  if (Crc32c(payload) != crc) {
     return CorruptError("envelope checksum mismatch");
   }
   return payload;
+}
+
+Result<Bytes> UnwrapEnvelope(BytesView framed) {
+  Result<BytesView> payload = UnwrapEnvelopeView(framed);
+  if (!payload.ok()) return payload.status();
+  if (payload->empty()) return Bytes{};
+  CountWireCopy(payload->size());
+  return Bytes(payload->begin(), payload->end());
 }
 
 std::size_t EnvelopeOverhead(std::size_t payload_size) {

@@ -17,11 +17,24 @@ namespace proxy::serde {
 inline constexpr std::uint16_t kEnvelopeMagic = 0x5053;  // "PS"
 inline constexpr std::uint8_t kEnvelopeVersion = 1;
 
+class Writer;
+
 /// Wraps `payload` in an envelope: magic(2) version(1) crc(4) len payload.
 Bytes WrapEnvelope(BytesView payload);
 
+/// Chain-aware wrap: checksums `payload`'s buffer chain incrementally
+/// and gathers it straight into the framed output — the send path's
+/// single flatten, done once at the network boundary. `payload` is
+/// consumed. Wire bytes are identical to the BytesView overload.
+Bytes WrapEnvelope(Writer&& payload);
+
 /// Validates and strips the envelope, returning the payload.
 Result<Bytes> UnwrapEnvelope(BytesView framed);
+
+/// Borrowing variant: the returned payload is a window of `framed`,
+/// valid only while the caller's buffer lives. No copy — the receive
+/// path narrows its arrival buffer instead of duplicating it.
+Result<BytesView> UnwrapEnvelopeView(BytesView framed);
 
 /// Size overhead added by WrapEnvelope for a payload of `n` bytes.
 std::size_t EnvelopeOverhead(std::size_t payload_size);

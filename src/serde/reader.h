@@ -84,8 +84,26 @@ class Reader {
     std::uint64_t len = 0;
     PROXY_RETURN_IF_ERROR(ReadVarint(len));
     PROXY_RETURN_IF_ERROR(Need(len));
-    out.assign(data_.begin() + static_cast<std::ptrdiff_t>(pos_),
-               data_.begin() + static_cast<std::ptrdiff_t>(pos_ + len));
+    out.clear();
+    // len == 0 must not touch data_.data(): over an empty buffer that is
+    // nullptr, and nullptr arithmetic / nonnull libc args are UB.
+    if (len > 0) {
+      CountWireCopy(len);
+      out.assign(data_.begin() + static_cast<std::ptrdiff_t>(pos_),
+                 data_.begin() + static_cast<std::ptrdiff_t>(pos_ + len));
+      pos_ += len;
+    }
+    return Status::Ok();
+  }
+
+  /// Borrowing variant of ReadBytes: `out` is a window of this reader's
+  /// buffer, valid only while that buffer lives (arena / request-scoped
+  /// arrival buffers). No bytes are copied.
+  Status ReadBytesView(BytesView& out) {
+    std::uint64_t len = 0;
+    PROXY_RETURN_IF_ERROR(ReadVarint(len));
+    PROXY_RETURN_IF_ERROR(Need(len));
+    out = data_.subspan(pos_, static_cast<std::size_t>(len));
     pos_ += len;
     return Status::Ok();
   }
@@ -94,8 +112,12 @@ class Reader {
     std::uint64_t len = 0;
     PROXY_RETURN_IF_ERROR(ReadVarint(len));
     PROXY_RETURN_IF_ERROR(Need(len));
-    out.assign(reinterpret_cast<const char*>(data_.data()) + pos_, len);
-    pos_ += len;
+    out.clear();
+    if (len > 0) {  // see ReadBytes: empty-span data() may be nullptr
+      CountWireCopy(len);
+      out.assign(reinterpret_cast<const char*>(data_.data()) + pos_, len);
+      pos_ += len;
+    }
     return Status::Ok();
   }
 

@@ -87,12 +87,20 @@ std::array<std::uint32_t, 256> MakeCrcTable() {
 }  // namespace
 
 std::uint32_t Crc32c(BytesView data) noexcept {
+  return Crc32cFinish(Crc32cExtend(kCrc32cInit, data));
+}
+
+std::uint32_t Crc32cExtend(std::uint32_t state, BytesView data) noexcept {
   static const auto kTable = MakeCrcTable();
-  std::uint32_t crc = 0xffffffff;
   for (const std::uint8_t b : data) {
-    crc = (crc >> 8) ^ kTable[(crc ^ b) & 0xff];
+    state = (state >> 8) ^ kTable[(state ^ b) & 0xff];
   }
-  return crc ^ 0xffffffff;
+  return state;
+}
+
+obs::Counter& WireCopyCounter() noexcept {
+  static obs::Counter counter;
+  return counter;
 }
 
 }  // namespace proxy::serde

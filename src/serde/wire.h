@@ -10,6 +10,7 @@
 #include <cstdint>
 
 #include "common/bytes.h"
+#include "obs/metrics.h"
 
 namespace proxy::serde {
 
@@ -42,5 +43,26 @@ constexpr std::int64_t ZigZagDecode(std::uint64_t v) noexcept {
 /// CRC-32 (Castagnoli polynomial), used by the frame layer to detect
 /// corruption injected by tests.
 std::uint32_t Crc32c(BytesView data) noexcept;
+
+/// Incremental CRC-32C: extends a running checksum with another span, so
+/// the framing layer can checksum a buffer chain without flattening it.
+/// Start from kCrc32cInit and finish with Crc32cFinish.
+inline constexpr std::uint32_t kCrc32cInit = 0xFFFFFFFFu;
+std::uint32_t Crc32cExtend(std::uint32_t state, BytesView data) noexcept;
+constexpr std::uint32_t Crc32cFinish(std::uint32_t state) noexcept {
+  return state ^ 0xFFFFFFFFu;
+}
+
+/// Process-global tally of payload bytes memcpy'd through the
+/// marshalling -> framing -> transport path (bulk copies only: field
+/// encoding into a slab is serialization, not a copy; chunk adoption and
+/// chain splicing move ownership and count nothing). The wire benches
+/// report deltas of this counter as bytes-copied-per-op, the number the
+/// perf trajectory in BENCH_wire.json tracks. Deliberately NOT attached
+/// to any per-Runtime MetricsRegistry: it is per-process and monotonic,
+/// which would break the byte-identical replay gates.
+obs::Counter& WireCopyCounter() noexcept;
+
+inline void CountWireCopy(std::size_t n) noexcept { WireCopyCounter().Inc(n); }
 
 }  // namespace proxy::serde

@@ -111,8 +111,12 @@ void FileService::NotifyInvalidate(std::uint64_t offset,
       serde::EncodeToBytes(InvalidateRangeMessage{offset, length});
   for (const auto& sub : subscribers_) {
     if (!exclude.IsNil() && sub.sink_object == exclude) continue;
+    // Fire-and-forget with a bounded budget: a sink that stays
+    // unreachable costs staleness, not an ever-growing retry queue.
     (void)context_->client().Call(sub.sink_server, sub.sink_object,
-                                  filewire::SinkMethod::kInvalidateRange, msg);
+                                  filewire::SinkMethod::kInvalidateRange, msg,
+                                  rpc::CallOptions{}.WithDeadline(
+                                      Milliseconds(500)));
   }
 }
 
@@ -236,9 +240,10 @@ FileCachingProxy::FileCachingProxy(core::Context& context,
       sink_dispatch_(std::make_shared<rpc::Dispatch>()) {
   sink_dispatch_->Register(
       filewire::SinkMethod::kInvalidateRange,
-      [this](Bytes args, const rpc::CallContext&) -> sim::Co<Result<Bytes>> {
+      [this](BytesView args,
+             const rpc::CallContext&) -> sim::Co<Result<Bytes>> {
         Result<InvalidateRangeMessage> msg =
-            serde::DecodeFromBytes<InvalidateRangeMessage>(View(args));
+            serde::DecodeFromBytes<InvalidateRangeMessage>(args);
         if (!msg.ok()) co_return msg.status();
         OnInvalidateRange(msg->offset, msg->length);
         co_return serde::EncodeToBytes(rpc::Void{});

@@ -98,9 +98,12 @@ void KvService::NotifyInvalidate(std::vector<std::string> keys,
     if (!exclude.IsNil() && sub.sink_object == exclude) continue;
     invalidations_sent_++;
     // Fire-and-forget: the future is dropped; a lost invalidation only
-    // costs a subscriber staleness until its next miss.
+    // costs a subscriber staleness until its next miss — so cap the
+    // retry budget instead of letting it grind against a dead sink.
     (void)context_->client().Call(sub.sink_server, sub.sink_object,
-                                  kvwire::SinkMethod::kInvalidate, msg);
+                                  kvwire::SinkMethod::kInvalidate, msg,
+                                  rpc::CallOptions{}.WithDeadline(
+                                      Milliseconds(500)));
   }
 }
 
@@ -232,9 +235,10 @@ KvCachingProxy::KvCachingProxy(core::Context& context,
   // context. The KV server calls it when keys change.
   sink_dispatch_->Register(
       kvwire::SinkMethod::kInvalidate,
-      [this](Bytes args, const rpc::CallContext&) -> sim::Co<Result<Bytes>> {
+      [this](BytesView args,
+             const rpc::CallContext&) -> sim::Co<Result<Bytes>> {
         Result<InvalidateMessage> msg =
-            serde::DecodeFromBytes<InvalidateMessage>(View(args));
+            serde::DecodeFromBytes<InvalidateMessage>(args);
         if (!msg.ok()) co_return msg.status();
         OnInvalidate(msg->keys);
         co_return serde::EncodeToBytes(rpc::Void{});

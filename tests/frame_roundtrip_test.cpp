@@ -195,6 +195,50 @@ TEST(FrameRoundtrip, RandomCorruptionFuzzNeverCrashes) {
   }
 }
 
+TEST(FrameRoundtrip, BorrowedDecodeMatchesOwningDecode) {
+  const RequestFrame frame = SampleTracedRequest();
+  const Bytes full = EncodeRequest(frame);
+  const Result<RequestFrameView> view = DecodeRequestView(View(full));
+  ASSERT_TRUE(view.ok()) << view.status().ToString();
+  EXPECT_EQ(view->call, frame.call);
+  EXPECT_EQ(view->object, frame.object);
+  EXPECT_EQ(view->method, frame.method);
+  EXPECT_EQ(Bytes(view->args.begin(), view->args.end()), frame.args);
+  EXPECT_EQ(view->deadline, frame.deadline);
+  EXPECT_EQ(view->trace.trace_id, frame.trace.trace_id);
+  // The whole point: args is a window of `full`, not a copy.
+  EXPECT_GE(view->args.data(), full.data());
+  EXPECT_LE(view->args.data() + view->args.size(),
+            full.data() + full.size());
+}
+
+TEST(FrameRoundtrip, BorrowedDecodeRejectsEveryTruncation) {
+  // Byte-boundary fuzz of the zero-copy decode path: every strict prefix
+  // of an encoded v4 frame must fail cleanly (no crash, no stale view),
+  // exactly as the owning decoder does. Run under ASan/UBSan in the
+  // sanitizer preset, this is the regression net for the borrowed
+  // reader's bounds handling.
+  const Bytes full = EncodeRequest(SampleTracedRequest());
+  for (std::size_t len = 0; len < full.size(); ++len) {
+    const Result<RequestFrameView> decoded =
+        DecodeRequestView(BytesView(full.data(), len));
+    EXPECT_FALSE(decoded.ok()) << "prefix of length " << len << " decoded";
+  }
+  EXPECT_TRUE(DecodeRequestView(View(full)).ok());
+}
+
+TEST(FrameRoundtrip, FullyKnownVersionsRejectTrailingGarbage) {
+  // v1/v2/v4 are versions this build completely understands, so bytes
+  // after the last known field are corruption, not forward compatibility
+  // — only the reserved v3 (and futures) may carry a tail.
+  const RequestFrame frame = SampleRequest();
+  for (const std::uint32_t version : {1u, 2u}) {
+    const Bytes tailed = EncodeRequestAs(frame, version, /*extra_fields=*/1);
+    EXPECT_FALSE(DecodeRequest(View(tailed)).ok())
+        << "v" << version << " frame with a tail decoded";
+  }
+}
+
 TEST(FrameRoundtrip, RandomFramesRoundTripUnderRandomDeadlines) {
   Rng rng(77);
   for (int trial = 0; trial < 200; ++trial) {

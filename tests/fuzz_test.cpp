@@ -56,7 +56,7 @@ TEST_P(FuzzSeed, RandomDatagramsIntoALiveStack) {
   net::NodeStack stack(net, v);
   net::Endpoint* ep = stack.OpenEndpoint(PortId(1));
   int delivered = 0;
-  ep->SetHandler([&](const net::Address&, Bytes) { ++delivered; });
+  ep->SetHandler([&](const net::Address&, OwnedBytes) { ++delivered; });
 
   Rng rng(GetParam() ^ 0xF00D);
   for (int i = 0; i < 200; ++i) {

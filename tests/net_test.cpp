@@ -33,9 +33,9 @@ TEST_F(NetFixture, DatagramCarriesSourceAddress) {
 
   Address seen_from{};
   Bytes seen_payload;
-  receiver->SetHandler([&](const Address& from, Bytes payload) {
+  receiver->SetHandler([&](const Address& from, OwnedBytes payload) {
     seen_from = from;
-    seen_payload = std::move(payload);
+    seen_payload = payload.ToBytes();
   });
 
   ASSERT_TRUE(sender->Send(receiver->address(), ToBytes("ping")).ok());
@@ -49,11 +49,11 @@ TEST_F(NetFixture, ReplyPathWorks) {
   Endpoint* a = stack_a->OpenEndpoint(PortId(1));
   Endpoint* b = stack_b->OpenEndpoint(PortId(2));
   std::string got;
-  b->SetHandler([&](const Address& from, Bytes) {
+  b->SetHandler([&](const Address& from, OwnedBytes) {
     (void)b->Send(from, ToBytes("pong"));
   });
-  a->SetHandler([&](const Address&, Bytes payload) {
-    got = ToString(View(payload));
+  a->SetHandler([&](const Address&, OwnedBytes payload) {
+    got = ToString(payload.view());
   });
   ASSERT_TRUE(a->Send(b->address(), ToBytes("ping")).ok());
   sched.Run();
@@ -74,7 +74,7 @@ TEST_F(NetFixture, CloseStopsDelivery) {
   Endpoint* a = stack_a->OpenEndpoint(PortId(1));
   Endpoint* b = stack_b->OpenEndpoint(PortId(2));
   int received = 0;
-  b->SetHandler([&](const Address&, Bytes) { ++received; });
+  b->SetHandler([&](const Address&, OwnedBytes) { ++received; });
   const Address b_addr = b->address();
   ASSERT_TRUE(a->Send(b_addr, ToBytes("one")).ok());
   sched.Run();
@@ -88,7 +88,7 @@ TEST_F(NetFixture, CorruptedDatagramRejectedAtBoundary) {
   Endpoint* a = stack_a->OpenEndpoint(PortId(1));
   Endpoint* b = stack_b->OpenEndpoint(PortId(2));
   int received = 0;
-  b->SetHandler([&](const Address&, Bytes) { ++received; });
+  b->SetHandler([&](const Address&, OwnedBytes) { ++received; });
 
   // Bypass the endpoint framing: inject garbage directly at L1.
   ASSERT_TRUE(net.Send(node_a, node_b, b->address().port,

@@ -125,6 +125,40 @@ TEST_F(RpcFixture, MalformedArgsRejectedByTypedSkeleton) {
   EXPECT_EQ(executions, 0);
 }
 
+TEST_F(RpcFixture, BorrowedArgsViewSurvivesHandlerSuspension) {
+  // The server hands handlers a BytesView aliasing the request's arrival
+  // buffer and keeps that buffer alive as a request-scoped arena. The
+  // view must still read the same bytes after the handler suspends —
+  // that lifetime promise is what makes the zero-copy dispatch safe.
+  auto dispatch = std::make_shared<Dispatch>();
+  const Bytes sent = ToBytes("arena-resident-args-0123456789");
+  dispatch->Register(
+      5, [this, &sent](BytesView args,
+                       const CallContext&) -> sim::Co<Result<Bytes>> {
+        const Bytes before(args.begin(), args.end());
+        EXPECT_EQ(before, sent);
+        // Suspend long enough for other deliveries and timers to run —
+        // if the arrival buffer died with the dispatch turn, the view
+        // would now dangle (ASan catches the read, the EXPECT the data).
+        co_await sim::SleepFor(sched, Milliseconds(25));
+        const Bytes after(args.begin(), args.end());
+        EXPECT_EQ(after, sent);
+        co_return Bytes(args.begin(), args.end());
+      });
+  const ObjectId raw_object{3, 4};
+  ASSERT_TRUE(server->ExportObject(raw_object, dispatch).ok());
+  auto future = client->Call(server_ep->address(), raw_object, 5, sent);
+  // Interleave another call so the scheduler has unrelated work (and
+  // unrelated arrival buffers) while the handler is suspended.
+  auto noise = client->Call(server_ep->address(), object, 1,
+                            serde::EncodeToBytes(EchoRequest{"noise", 2}));
+  sched.RunUntil([&] { return future.ready() && noise.ready(); });
+  const RpcResult r = future.take();
+  ASSERT_TRUE(r.ok()) << r.status.ToString();
+  EXPECT_EQ(r.payload, sent);
+  EXPECT_TRUE(noise.take().ok());
+}
+
 TEST_F(RpcFixture, SlowHandlerDoesNotBlockOthers) {
   auto slow = client->Call(server_ep->address(), object, 2,
                            serde::EncodeToBytes(EchoRequest{"slow", 1}));
@@ -371,7 +405,8 @@ TEST(FrameCodec, RequestWireVersionCompatibility) {
     serde::Serialize(vw.body(), frame);
     vw.Finish();
   }
-  const auto from_v1 = DecodeRequest(View(v1.buffer()));
+  const Bytes v1_bytes = v1.Take();
+  const auto from_v1 = DecodeRequest(View(v1_bytes));
   ASSERT_TRUE(from_v1.ok()) << from_v1.status().ToString();
   EXPECT_EQ(from_v1->method, 9u);
   EXPECT_EQ(from_v1->deadline, SimTime{0});
@@ -387,7 +422,8 @@ TEST(FrameCodec, RequestWireVersionCompatibility) {
     vw.body().WriteString("field-from-the-future");
     vw.Finish();
   }
-  const auto from_v3 = DecodeRequest(View(v3.buffer()));
+  const Bytes v3_bytes = v3.Take();
+  const auto from_v3 = DecodeRequest(View(v3_bytes));
   ASSERT_TRUE(from_v3.ok()) << from_v3.status().ToString();
   EXPECT_EQ(from_v3->deadline, Milliseconds(25));
   EXPECT_EQ(ToString(View(from_v3->args)), "args");

@@ -13,6 +13,7 @@
 #include "serde/message.h"
 #include "serde/reader.h"
 #include "serde/traits.h"
+#include "serde/versioned.h"
 #include "serde/wire.h"
 #include "serde/writer.h"
 
@@ -312,6 +313,186 @@ TEST(Writer, TakeResetsBuffer) {
   const Bytes first = w.Take();
   EXPECT_FALSE(first.empty());
   EXPECT_EQ(w.size(), 0u);
+}
+
+// --- buffer-chain writer -----------------------------------------------
+
+Bytes BigPayload(std::size_t n, std::uint8_t seed = 7) {
+  Bytes b(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    b[i] = static_cast<std::uint8_t>(seed + i);
+  }
+  return b;
+}
+
+TEST(WriterChain, AdoptedBufferEncodesSameBytesAsCopied) {
+  const Bytes payload = BigPayload(Writer::kChunkSize * 2 + 17);
+  Writer copying;
+  copying.WriteU8(0xAB);
+  copying.WriteBytes(View(payload));
+  copying.WriteVarint(99);
+  Writer adopting;
+  adopting.WriteU8(0xAB);
+  adopting.WriteBytes(Bytes(payload));  // rvalue: adopted as a chunk
+  adopting.WriteVarint(99);
+  EXPECT_EQ(copying.Take(), adopting.Take())
+      << "adoption must not change the wire bytes";
+}
+
+TEST(WriterChain, AdoptionCopiesNothing) {
+  Bytes payload = BigPayload(4 * Writer::kChunkSize);
+  Writer w;
+  const auto before = WireCopyCounter().value();
+  w.WriteBytes(std::move(payload));
+  EXPECT_EQ(WireCopyCounter().value(), before)
+      << "adopting an owned buffer must not tick the copy counter";
+}
+
+TEST(WriterChain, SmallOwnedBufferFoldsIntoTail) {
+  // Below the adopt threshold, carrying a chunk costs more than copying.
+  Bytes tiny = BigPayload(Writer::kAdoptThreshold - 1);
+  Writer w;
+  const auto before = WireCopyCounter().value();
+  w.WriteBytes(std::move(tiny));
+  EXPECT_EQ(WireCopyCounter().value(), before + Writer::kAdoptThreshold - 1);
+}
+
+TEST(WriterChain, SpliceMovesChunksWithoutCopy) {
+  Writer inner;
+  inner.WriteRaw(BigPayload(Writer::kChunkSize + 5, 3));
+  inner.WriteU8(0x42);
+  const std::size_t inner_size = inner.size();
+  Writer outer;
+  outer.WriteU8(0x01);
+  const auto before = WireCopyCounter().value();
+  outer.SpliceFrom(std::move(inner));
+  EXPECT_EQ(WireCopyCounter().value(), before)
+      << "splicing moves chunk ownership; no bytes cross";
+  EXPECT_EQ(outer.size(), inner_size + 1);
+}
+
+TEST(WriterChain, ForEachChunkWalksWireOrder) {
+  Writer w;
+  w.WriteU8(0x11);
+  w.WriteRaw(BigPayload(Writer::kChunkSize * 2, 9));
+  w.WriteU8(0x22);
+  Bytes gathered;
+  w.ForEachChunk([&gathered](BytesView v) {
+    gathered.insert(gathered.end(), v.begin(), v.end());
+  });
+  EXPECT_EQ(gathered.size(), w.size());
+  EXPECT_EQ(gathered, w.Take());
+}
+
+TEST(WriterChain, SingleChunkTakeMovesOutWithoutCopy) {
+  Writer w;
+  w.WriteRaw(BigPayload(Writer::kChunkSize * 3));  // one adopted chunk
+  const auto before = WireCopyCounter().value();
+  const Bytes out = w.Take();
+  EXPECT_EQ(WireCopyCounter().value(), before)
+      << "a single-chunk chain moves out; only multi-chunk gathers copy";
+  EXPECT_EQ(out.size(), Writer::kChunkSize * 3);
+}
+
+TEST(WriterChain, MultiChunkTakeCountsExactlyOneGather) {
+  Writer w;
+  w.WriteU8(0x33);  // tail slab
+  w.WriteRaw(BigPayload(Writer::kChunkSize));
+  const std::size_t total = w.size();
+  const auto before = WireCopyCounter().value();
+  const Bytes out = w.Take();
+  EXPECT_EQ(out.size(), total);
+  EXPECT_EQ(WireCopyCounter().value(), before + total);
+}
+
+// --- zero-length reads (UBSan regression) ------------------------------
+//
+// A zero-length string/bytes field whose varint is the last byte of the
+// buffer used to form `data + pos` pointer arithmetic on a possibly-null
+// base; under UBSan that aborts. The decode must stay a no-op.
+
+TEST(Reader, ZeroLengthStringAtBufferEndDecodesEmpty) {
+  Bytes buf;
+  PutVarint(buf, 0);  // empty string, nothing after it
+  Reader r(View(buf));
+  std::string out = "stale";
+  ASSERT_TRUE(r.ReadString(out).ok());
+  EXPECT_TRUE(out.empty()) << "previous contents must be cleared";
+  EXPECT_TRUE(r.AtEnd());
+}
+
+TEST(Reader, ZeroLengthBytesFromEmptyBufferDecodesEmpty) {
+  // Reading a zero-length payload whose varint ends the buffer must not
+  // form one-past-one-past-the-end pointers.
+  Bytes buf;
+  PutVarint(buf, 0);
+  Reader r(BytesView(buf.data(), buf.size()));
+  Bytes out{1, 2, 3};
+  ASSERT_TRUE(r.ReadBytes(out).ok());
+  EXPECT_TRUE(out.empty());
+  EXPECT_TRUE(r.ExpectEnd().ok());
+}
+
+TEST(Reader, ReadBytesViewBorrowsWithoutCopy) {
+  Writer w;
+  const Bytes payload = BigPayload(512);
+  w.WriteBytes(View(payload));
+  const Bytes encoded = w.Take();
+  Reader r(View(encoded));
+  BytesView borrowed;
+  const auto before = WireCopyCounter().value();
+  ASSERT_TRUE(r.ReadBytesView(borrowed).ok());
+  EXPECT_EQ(WireCopyCounter().value(), before);
+  ASSERT_EQ(borrowed.size(), payload.size());
+  EXPECT_GE(borrowed.data(), encoded.data());
+  EXPECT_LE(borrowed.data() + borrowed.size(),
+            encoded.data() + encoded.size())
+      << "the view must alias the encoded buffer, not a copy";
+  EXPECT_EQ(Bytes(borrowed.begin(), borrowed.end()), payload);
+}
+
+// --- versioned envelope tail policy ------------------------------------
+
+Bytes EncodeVersionedWithTail(std::uint32_t version, int tail_fields) {
+  Writer w;
+  VersionedWriter vw(w, version);
+  vw.body().WriteVarint(7);  // the one "known" field
+  for (int i = 0; i < tail_fields; ++i) vw.body().WriteVarint(0xBEEF + i);
+  vw.Finish();
+  return w.Take();
+}
+
+TEST(Versioned, CloseSkipsUnknownTailByDefault) {
+  const Bytes buf = EncodeVersionedWithTail(9, /*tail_fields=*/3);
+  Reader r(View(buf));
+  VersionedReader vr;
+  ASSERT_TRUE(vr.Open(r).ok());
+  std::uint64_t known = 0;
+  ASSERT_TRUE(vr.body().ReadVarint(known).ok());
+  EXPECT_EQ(known, 7u);
+  EXPECT_TRUE(vr.Close().ok()) << "unknown newer-schema tail is skipped";
+  EXPECT_TRUE(r.ExpectEnd().ok());
+}
+
+TEST(Versioned, CloseRejectsUnreadTailWhenFullyKnown) {
+  const Bytes buf = EncodeVersionedWithTail(1, /*tail_fields=*/1);
+  Reader r(View(buf));
+  VersionedReader vr;
+  ASSERT_TRUE(vr.Open(r).ok());
+  std::uint64_t known = 0;
+  ASSERT_TRUE(vr.body().ReadVarint(known).ok());
+  EXPECT_EQ(vr.Close(TailPolicy::kRejectUnread).code(), StatusCode::kCorrupt)
+      << "leftover bytes in a fully-understood version are corruption";
+}
+
+TEST(Versioned, CloseAcceptsFullyReadBodyUnderRejectPolicy) {
+  const Bytes buf = EncodeVersionedWithTail(1, /*tail_fields=*/0);
+  Reader r(View(buf));
+  VersionedReader vr;
+  ASSERT_TRUE(vr.OpenBorrowed(r).ok());
+  std::uint64_t known = 0;
+  ASSERT_TRUE(vr.body().ReadVarint(known).ok());
+  EXPECT_TRUE(vr.Close(TailPolicy::kRejectUnread).ok());
 }
 
 }  // namespace
