@@ -67,6 +67,12 @@ cmake --build --preset "$PRESET" -j "$(nproc)"
 echo "== ctest =="
 ctest --preset "$PRESET" -j "$(nproc)"
 
+echo "== ctest (shard battery) =="
+# The sharded-KV battery runs inside the suite above (its tests carry
+# both the `shard` and `chaos` labels); this explicit pass proves the
+# label wiring under every preset and gives the battery its own line.
+ctest --test-dir "$BUILD_DIR" -L shard -j "$(nproc)" --output-on-failure
+
 # Suspended coroutine frames (replica watchdogs, rejoins parked on RPCs
 # to crashed peers) are not destroyed at harness teardown — a known
 # limitation; the chaos tests run with the same setting (tests/CMakeLists).
@@ -74,6 +80,12 @@ export ASAN_OPTIONS=detect_leaks=0
 
 echo "== chaos sweep ($SEEDS seeds) =="
 "./$BUILD_DIR/tools/chaos_explore" --seeds="$SEEDS"
+
+echo "== chaos sweep, sharded ($SEEDS seeds) =="
+# Same seeds over the sharded topology: two replica groups behind the
+# routing proxy with online migrations through the fault window. Gates
+# kv-lost-key / kv-split-shard on top of the replication invariants.
+"./$BUILD_DIR/tools/chaos_explore" --seeds="$SEEDS" --sharded
 
 echo "== obs unit tests =="
 "./$BUILD_DIR/tests/obs_test" --gtest_brief=1

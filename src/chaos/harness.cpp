@@ -2,11 +2,14 @@
 
 #include <algorithm>
 #include <memory>
+#include <optional>
+#include <set>
 #include <sstream>
 #include <utility>
 
 #include "chaos/adversary.h"
 #include "chaos/trace.h"
+#include "common/rng.h"
 #include "core/export.h"
 #include "core/runtime.h"
 #include "net/reliable.h"
@@ -15,6 +18,8 @@
 #include "services/lock.h"
 #include "services/register_all.h"
 #include "services/replicated_kv.h"
+#include "services/shard_map.h"
+#include "services/shard_router.h"
 #include "sim/future.h"
 #include "sim/task.h"
 
@@ -57,8 +62,15 @@ std::string ChaosReport::Summary() const {
       << " ctr=" << final_counter << " forged=" << forged_replies
       << " rejected=" << spoofed_rejected << " arq=" << arq_delivered
       << " promotions=" << kv_promotions << " epoch=" << kv_max_epoch
-      << " fenced=" << kv_fenced
-      << " violations=" << violations.size();
+      << " fenced=" << kv_fenced;
+  if (sharded) {
+    out << " mapv=" << shard_map_version << " moves=" << shard_moves_ok
+        << " movefail=" << shard_move_failures
+        << " wrongshard=" << wrong_shard_rejections
+        << " reroutes=" << wrong_shard_retries
+        << " wiped=" << wiped_groups;
+  }
+  out << " violations=" << violations.size();
   for (const Violation& v : violations) out << "\n  " << v.ToString();
   return out.str();
 }
@@ -83,9 +95,18 @@ ChaosReport RunChaos(const ChaosOptions& options) {
   // --- topology ---
   const NodeId ns_node = rt.AddNode("ns");
   const NodeId srv_a_node = rt.AddNode("srv-a");  // counter + lock
-  const NodeId srv_b_node = rt.AddNode("srv-b");  // kv primary
+  const NodeId srv_b_node = rt.AddNode("srv-b");  // kv primary (g0 sharded)
   const NodeId srv_c_node = rt.AddNode("srv-c");  // kv backup
   const NodeId srv_d_node = rt.AddNode("srv-d");  // kv backup
+  // Sharded runs: a second 3-replica group. The shard map service rides
+  // srv-a, which never crashes (like the name service, it is the
+  // configuration plane, not the data plane under test).
+  std::vector<NodeId> g1_nodes;
+  if (options.sharded) {
+    g1_nodes.push_back(rt.AddNode("srv-e"));
+    g1_nodes.push_back(rt.AddNode("srv-f"));
+    g1_nodes.push_back(rt.AddNode("srv-g"));
+  }
   std::vector<NodeId> client_nodes;
   for (std::uint32_t i = 0; i < options.workload.clients; ++i) {
     client_nodes.push_back(rt.AddNode("client-" + std::to_string(i)));
@@ -100,6 +121,12 @@ ChaosReport RunChaos(const ChaosOptions& options) {
   core::Context& srv_b = rt.CreateContext(srv_b_node, "srv-b");
   core::Context& srv_c = rt.CreateContext(srv_c_node, "srv-c");
   core::Context& srv_d = rt.CreateContext(srv_d_node, "srv-d");
+  std::vector<core::Context*> g1_ctxs;
+  if (options.sharded) {
+    g1_ctxs.push_back(&rt.CreateContext(g1_nodes[0], "srv-e"));
+    g1_ctxs.push_back(&rt.CreateContext(g1_nodes[1], "srv-f"));
+    g1_ctxs.push_back(&rt.CreateContext(g1_nodes[2], "srv-g"));
+  }
 
   Result<services::CounterExport> ctr =
       services::ExportCounterService(srv_a, /*protocol=*/1, /*initial=*/0);
@@ -126,9 +153,35 @@ ChaosReport RunChaos(const ChaosOptions& options) {
   rparams.mirror.max_retries = 2;
   rparams.mirror.deadline = Milliseconds(40);
   rparams.testing_disable_fencing = options.bug == Bug::kStalePrimary;
-  Result<services::ReplicatedKvExport> kv =
-      services::ExportReplicatedKv(srv_b, {&srv_c, &srv_d}, rparams);
-  if (!ctr.ok() || !lock.ok() || !kv.ok()) {
+  rparams.testing_disable_shard_fencing = options.bug == Bug::kStaleShardMap;
+  // Sharded runs put two such groups behind the routing binding; either
+  // way the clients below Acquire the same "chaos/kv" name and speak
+  // plain IKeyValue — the deployment shape is invisible to them.
+  constexpr std::uint32_t kNumShards = 8;
+  std::optional<services::ReplicatedKvExport> kv;
+  std::optional<services::ShardedKvExport> skv;
+  if (options.sharded) {
+    services::ShardedKvParams sparams;
+    sparams.name = "chaos/kv";
+    sparams.num_shards = kNumShards;
+    sparams.group = rparams;
+    std::vector<std::vector<core::Context*>> group_ctxs;
+    group_ctxs.push_back({&srv_b, &srv_c, &srv_d});
+    group_ctxs.push_back(g1_ctxs);
+    auto export_sharded = [&]() -> sim::Co<void> {
+      Result<services::ShardedKvExport> exported =
+          co_await services::ExportShardedKv(srv_a, std::move(group_ctxs),
+                                             std::move(sparams));
+      if (exported.ok()) skv = std::move(*exported);
+    };
+    rt.Run(export_sharded());
+  } else {
+    Result<services::ReplicatedKvExport> exported =
+        services::ExportReplicatedKv(srv_b, {&srv_c, &srv_d}, rparams);
+    if (exported.ok()) kv = std::move(*exported);
+  }
+  if (!ctr.ok() || !lock.ok() ||
+      (options.sharded ? !skv.has_value() : !kv.has_value())) {
     report.violations.push_back({"harness-setup", "service export failed"});
     return report;
   }
@@ -214,6 +267,9 @@ ChaosReport RunChaos(const ChaosOptions& options) {
   if (adversary_params.crash_targets.empty()) {
     adversary_params.crash_targets = {srv_b_node.value(), srv_c_node.value(),
                                       srv_d_node.value()};
+    for (const NodeId node : g1_nodes) {
+      adversary_params.crash_targets.push_back(node.value());
+    }
   }
   std::vector<FaultEvent> schedule =
       options.schedule.has_value()
@@ -223,6 +279,45 @@ ChaosReport RunChaos(const ChaosOptions& options) {
   Adversary adversary(rt, trace, &spoofer, std::move(schedule));
   adversary.Arm();
 
+  // --- sharded runs: online migrations race the workload ---
+  // The move plan is seed-pure; the rebalancer walks it while clients
+  // keep writing, so every handoff step can collide with the schedule's
+  // crashes and partitions. Failed moves are re-run to completion after
+  // heal-all (MigrateShard is its own recovery procedure).
+  std::unique_ptr<services::ShardRebalancer> rebalancer;
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> moves;
+  if (options.sharded) {
+    services::ShardRebalancerParams rb;
+    rb.step_attempts = 4;
+    rb.step_pause = Milliseconds(15);
+    rb.call.retry_interval = Milliseconds(8);
+    rb.call.max_retries = 2;
+    rb.call.deadline = Milliseconds(60);
+    rebalancer =
+        std::make_unique<services::ShardRebalancer>(srv_a, skv->binding, rb);
+    Rng move_rng(SplitMix64(options.seed ^ 0x5a4d5a4dULL).Next());
+    const auto group_count =
+        static_cast<std::uint32_t>(skv->group_names.size());
+    for (std::uint32_t m = 0; m < options.shard_moves; ++m) {
+      moves.emplace_back(
+          static_cast<std::uint32_t>(move_rng.UniformU64(kNumShards)),
+          static_cast<std::uint32_t>(move_rng.UniformU64(group_count)));
+    }
+  }
+  auto migration_driver = [&]() -> sim::Co<void> {
+    Rng gap_rng(SplitMix64(options.seed ^ 0x3a9e3a9eULL).Next());
+    for (std::size_t i = 0; i < moves.size(); ++i) {
+      co_await sim::SleepFor(
+          sched, Milliseconds(60) + gap_rng.UniformU64(Milliseconds(220)));
+      const Status moved =
+          co_await rebalancer->MigrateShard(moves[i].first, moves[i].second);
+      trace.Note(sched.now(),
+                 "migrate shard " + std::to_string(moves[i].first) + " -> g" +
+                     std::to_string(moves[i].second) +
+                     (moved.ok() ? " ok" : " failed: " + moved.ToString()));
+    }
+  };
+
   // --- drive: workload through the fault window ---
   History history;
   std::vector<sim::Future<bool>> runs;
@@ -230,9 +325,14 @@ ChaosReport RunChaos(const ChaosOptions& options) {
     runs.push_back(
         sim::Spawn(sched, client->Run(options.workload, history)));
   }
-  sched.RunUntil([&runs] {
+  std::optional<sim::Future<bool>> migrations_done;
+  if (options.sharded) {
+    migrations_done = sim::Spawn(sched, migration_driver());
+  }
+  sched.RunUntil([&runs, &migrations_done] {
     return std::all_of(runs.begin(), runs.end(),
-                       [](const sim::Future<bool>& f) { return f.ready(); });
+                       [](const sim::Future<bool>& f) { return f.ready(); }) &&
+           (!migrations_done.has_value() || migrations_done->ready());
   });
   // Let the rest of the fault window elapse (a fast workload can finish
   // before the last scheduled onsets; their restores must still fire).
@@ -242,6 +342,68 @@ ChaosReport RunChaos(const ChaosOptions& options) {
   adversary.HealAll();
   trace.Note(sched.now(), "heal-complete; settling");
   sched.RunFor(kSettle);
+
+  // --- sharded recovery: finish every interrupted move ---
+  // A move that died mid-handoff (crashed source or destination primary,
+  // lost commit ack, unreachable map) left a frozen or doubly-resident
+  // shard behind; re-running the same move is the designed recovery path
+  // and must converge now that the network is healed.
+  //
+  // Exception: a group whose every replica is crash-wiped (syncing at
+  // epoch 0) can hold no state and can never elect a primary — the
+  // schedule sequentially destroyed all copies, which volatile
+  // crash-stop storage cannot survive by any protocol. That is a
+  // fault-model limit, not a protocol bug: recovery and the residency
+  // sweep exempt the group, loudly, while every history invariant stays
+  // fully enforced.
+  std::vector<bool> group_wiped;
+  bool any_wiped = false;
+  if (options.sharded) {
+    for (std::size_t g = 0; g < skv->groups.size(); ++g) {
+      bool wiped = true;
+      for (const auto& replica : skv->groups[g].replicas) {
+        if (!(replica->syncing() && replica->epoch() == 0)) {
+          wiped = false;
+          break;
+        }
+      }
+      group_wiped.push_back(wiped);
+      if (wiped) {
+        any_wiped = true;
+        report.wiped_groups++;
+        trace.Note(sched.now(),
+                   "group " + skv->group_names[g] +
+                       " crash-wiped (every replica syncing at epoch 0); "
+                       "exempting it from move recovery and the residency "
+                       "sweep");
+      }
+    }
+  }
+  if (options.sharded && any_wiped) {
+    // Every move's freeze/install/release touches both groups; none can
+    // complete against a group that no longer exists.
+    trace.Note(sched.now(), "skipping move recovery: wiped group present");
+  }
+  if (options.sharded && !any_wiped) {
+    auto recover_moves = [&]() -> sim::Co<void> {
+      for (std::size_t i = 0; i < moves.size(); ++i) {
+        Status done = UnavailableError("not attempted");
+        for (int attempt = 0; attempt < 10 && !done.ok(); ++attempt) {
+          if (attempt > 0) co_await sim::SleepFor(sched, Milliseconds(120));
+          done = co_await rebalancer->MigrateShard(moves[i].first,
+                                                   moves[i].second);
+        }
+        if (!done.ok()) {
+          report.violations.push_back(
+              {"shard-move-recovery",
+               "move of shard " + std::to_string(moves[i].first) + " to g" +
+                   std::to_string(moves[i].second) +
+                   " unfinishable after heal-all: " + done.ToString()});
+        }
+      }
+    };
+    rt.Run(recover_moves());
+  }
 
   // --- recovery: every client must reach the counter again (breakers
   // reclose after their cooldown; partitions are gone) ---
@@ -269,6 +431,96 @@ ChaosReport RunChaos(const ChaosOptions& options) {
   };
   rt.Run(finale());
 
+  // --- sharded quiescence sweep: after recovery, every acknowledged key
+  // must be resident in exactly one group — the one the final map says
+  // owns its shard. A miss at the owner is a lost key; a leftover copy
+  // at a non-owner is a shard served (or never released) outside its
+  // custody chain. ---
+  if (options.sharded) {
+    auto sweep = [&]() -> sim::Co<void> {
+      const services::shardwire::ShardMap final_map = skv->map_service->map();
+      report.shard_map_version = final_map.version;
+      core::AcquireOptions opts;
+      opts.allow_direct = false;
+      opts.call = options.workload.call;
+      std::vector<std::vector<std::string>> listings;
+      const std::vector<std::string> group_names = skv->group_names;
+      for (std::size_t gi = 0; gi < group_names.size(); ++gi) {
+        const std::string& name = group_names[gi];
+        if (group_wiped[gi]) {
+          // Provably empty (all replicas crash-wiped) and unreachable by
+          // construction: an empty listing keeps the indices aligned.
+          listings.emplace_back();
+          continue;
+        }
+        Result<std::shared_ptr<services::IKeyValue>> group =
+            co_await core::Acquire<services::IKeyValue>(srv_a, name, opts);
+        if (!group.ok()) {
+          report.violations.push_back(
+              {"shard-sweep", "group " + name +
+                                  " unreachable after heal-all: " +
+                                  group.status().ToString()});
+          co_return;
+        }
+        bool listed = false;
+        for (int attempt = 0; attempt < kRecloseAttempts && !listed;
+             ++attempt) {
+          Result<std::vector<std::string>> keys = co_await (*group)->List("");
+          if (keys.ok()) {
+            listings.push_back(std::move(*keys));
+            listed = true;
+          } else {
+            co_await sim::SleepFor(sched, kRecloseGap);
+          }
+        }
+        if (!listed) {
+          report.violations.push_back(
+              {"shard-sweep",
+               "group " + name + " unlistable after heal-all"});
+          co_return;
+        }
+      }
+      std::set<std::string> acked;
+      for (const OpRecord& op : history.ops) {
+        if (op.kind == OpKind::kKvPut && op.outcome == OpOutcome::kOk) {
+          acked.insert(op.key);
+        }
+      }
+      for (const std::string& key : acked) {
+        const std::uint32_t shard =
+            services::ShardOf(key, final_map.num_shards);
+        const std::uint32_t owner = final_map.owner[shard];
+        if (group_wiped[owner]) {
+          // The owning group lost every copy to the schedule (see the
+          // wipe exemption above). The key is gone with it, and a live
+          // group may legitimately still hold a fenced remnant copy (the
+          // release that would have cleared it needs the dead owner's
+          // committed epoch) — neither is a custody violation.
+          continue;
+        }
+        for (std::uint32_t g = 0; g < listings.size(); ++g) {
+          const bool present = std::find(listings[g].begin(),
+                                         listings[g].end(),
+                                         key) != listings[g].end();
+          if (g == owner && !present) {
+            report.violations.push_back(
+                {"kv-lost-key",
+                 "acknowledged key \"" + key + "\" (shard " +
+                     std::to_string(shard) + ") absent from owning group " +
+                     group_names[g] + " at quiescence"});
+          } else if (g != owner && present) {
+            report.violations.push_back(
+                {"kv-split-shard",
+                 "key \"" + key + "\" (shard " + std::to_string(shard) +
+                     ") still resident at non-owner " + group_names[g] +
+                     " at quiescence"});
+          }
+        }
+      }
+    };
+    rt.Run(sweep());
+  }
+
   // --- verdict ---
   Append(report.violations, CheckCounter(history, final_counter));
   Append(report.violations, CheckKv(history));
@@ -276,6 +528,8 @@ ChaosReport RunChaos(const ChaosOptions& options) {
   Append(report.violations, CheckArqStream(arq_received));
   Append(report.violations, CheckKvDurability(history));
   Append(report.violations, CheckKvEpochs(history));
+  Append(report.violations, CheckKvLostKey(history));
+  Append(report.violations, CheckKvSplitShard(history));
 
   report.fingerprint = trace.fingerprint();
   report.trace_events = trace.events();
@@ -290,12 +544,37 @@ ChaosReport RunChaos(const ChaosOptions& options) {
   }
   report.arq_delivered = arq_received.size();
   {
-    std::vector<services::KvReplica*> replicas{kv->primary.get()};
-    for (auto& backup : kv->backup_impls) replicas.push_back(backup.get());
+    std::vector<services::KvReplica*> replicas;
+    if (options.sharded) {
+      for (const auto& group : skv->groups) {
+        replicas.push_back(group.primary.get());
+        for (const auto& backup : group.backup_impls) {
+          replicas.push_back(backup.get());
+        }
+      }
+    } else {
+      replicas.push_back(kv->primary.get());
+      for (const auto& backup : kv->backup_impls) {
+        replicas.push_back(backup.get());
+      }
+    }
     for (services::KvReplica* replica : replicas) {
       report.kv_promotions += replica->promotions();
       report.kv_max_epoch = std::max(report.kv_max_epoch, replica->epoch());
       report.kv_fenced += replica->fenced_rejections();
+      report.wrong_shard_rejections += replica->wrong_shard_rejections();
+    }
+  }
+  if (options.sharded) {
+    report.sharded = true;
+    report.shard_moves_ok = rebalancer->moves();
+    report.shard_move_failures = rebalancer->move_failures();
+    for (auto& client : clients) {
+      const auto* router =
+          dynamic_cast<const services::KvShardRouterProxy*>(client->kv());
+      if (router != nullptr) {
+        report.wrong_shard_retries += router->wrong_shard_retries();
+      }
     }
   }
   if (!report.violations.empty()) {

@@ -33,6 +33,11 @@ enum class Bug : std::uint8_t {
   /// ignores higher-epoch batches and keeps acknowledging writes at its
   /// stale epoch. Caught by kv-epoch-regression / kv-durability.
   kStalePrimary = 2,
+  /// Disables shard-ownership fencing (sharded runs): a group keeps
+  /// serving keys of shards it froze or released, so a client's stale
+  /// map is never corrected and its traffic lands on the wrong group
+  /// across migrations. Caught by kv-split-shard / kv-lost-key.
+  kStaleShardMap = 3,
 };
 
 struct ChaosOptions {
@@ -43,6 +48,13 @@ struct ChaosOptions {
   /// subsets through here). nullopt = GenerateSchedule(seed, ...).
   std::optional<std::vector<FaultEvent>> schedule;
   Bug bug = Bug::kNone;
+  /// Sharded topology: the KV becomes two 3-replica groups behind a
+  /// routing proxy (protocol 5), and a seeded rebalancer drives
+  /// `shard_moves` online shard migrations through the fault window.
+  /// The clients' code is identical either way — they Acquire the same
+  /// name and speak plain IKeyValue; only the binding differs.
+  bool sharded = false;
+  std::uint32_t shard_moves = 3;
   /// Human-readable trace records kept for diagnosis.
   std::size_t trace_tail = 2048;
   /// Export the Runtime's MetricsRegistry into the report (table + JSON).
@@ -74,6 +86,18 @@ struct ChaosReport {
   std::uint64_t kv_promotions = 0;     // primary takeovers across replicas
   std::uint64_t kv_max_epoch = 0;      // highest epoch any replica reached
   std::uint64_t kv_fenced = 0;         // stale-epoch requests rejected
+  bool sharded = false;                // sharded topology ran
+  std::uint64_t shard_map_version = 0;     // final committed map version
+  std::uint64_t shard_moves_ok = 0;        // completed migrations
+  std::uint64_t shard_move_failures = 0;   // failed attempts (recoverable)
+  std::uint64_t wrong_shard_rejections = 0;  // replica-side fencing hits
+  std::uint64_t wrong_shard_retries = 0;   // router refresh-and-retry count
+  /// Groups whose every replica ended crash-wiped (syncing at epoch 0):
+  /// the schedule sequentially destroyed all copies, which volatile
+  /// crash-stop storage cannot survive. Such a group is provably empty
+  /// and terminal, so move recovery and the quiescence residency checks
+  /// exempt it (loudly) instead of reporting protocol violations.
+  std::uint64_t wiped_groups = 0;
   std::string trace_tail;              // populated when violations exist
   std::string metrics_table;           // collect_metrics: RenderTable()
   std::string metrics_json;            // collect_metrics: RenderJson()

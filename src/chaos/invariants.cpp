@@ -224,6 +224,7 @@ std::vector<Violation> CheckKvDurability(const History& history) {
     }
     for (const OpRecord* put : puts) {
       if (put->key != get.key) continue;
+      if (put->group != get.group) continue;   // cross-group: kv-lost-key's job
       if (put->end >= get.start) continue;     // not real-time ordered
       if (get.epoch < put->epoch) continue;    // stale-epoch server: exempt
       out.push_back({"kv-durability",
@@ -240,57 +241,147 @@ std::vector<Violation> CheckKvDurability(const History& history) {
 std::vector<Violation> CheckKvEpochs(const History& history) {
   std::vector<Violation> out;
 
-  std::vector<const OpRecord*> puts;
+  // One bucket per serving group: replication epochs are per-group
+  // counters (an unsharded history is a single "" bucket, so the
+  // pre-shard behaviour is unchanged).
+  std::map<std::string, std::vector<const OpRecord*>> by_group;
   for (const OpRecord& op : history.ops) {
     if (op.kind == OpKind::kKvPut && op.outcome == OpOutcome::kOk &&
         op.epoch != 0) {
+      by_group[op.group].push_back(&op);
+    }
+  }
+
+  for (const auto& [group, puts] : by_group) {
+    // Split-brain: one acknowledging replica per epoch. Epochs only move
+    // by view changes, and a view has a single primary, so two distinct
+    // ackers under the same epoch means two nodes believed they led the
+    // same view of this group.
+    std::unordered_map<std::uint64_t, const OpRecord*> acker_by_epoch;
+    for (const OpRecord* op : puts) {
+      const auto [it, inserted] = acker_by_epoch.emplace(op->epoch, op);
+      if (!inserted && it->second->acker != op->acker) {
+        out.push_back({"kv-split-brain",
+                       OpName(*it->second) + " and " + OpName(*op) +
+                           " were acknowledged by different replicas under "
+                           "epoch " +
+                           std::to_string(op->epoch) +
+                           (group.empty() ? "" : " of group " + group)});
+      }
+    }
+
+    // Epoch regression: across real-time ordered acks, the serving epoch
+    // never decreases. A fenced-off ex-primary that keeps acknowledging
+    // writes at its old epoch after its successor's reign began lands
+    // here.
+    std::vector<const OpRecord*> by_start = puts;
+    std::sort(by_start.begin(), by_start.end(),
+              [](const OpRecord* a, const OpRecord* b) {
+                return a->start < b->start;
+              });
+    std::vector<const OpRecord*> by_end = puts;
+    std::sort(by_end.begin(), by_end.end(),
+              [](const OpRecord* a, const OpRecord* b) {
+                return a->end < b->end;
+              });
+    std::size_t completed = 0;
+    std::uint64_t max_epoch = 0;
+    const OpRecord* max_op = nullptr;
+    for (const OpRecord* op : by_start) {
+      while (completed < by_end.size() && by_end[completed]->end < op->start) {
+        if (by_end[completed]->epoch > max_epoch) {
+          max_epoch = by_end[completed]->epoch;
+          max_op = by_end[completed];
+        }
+        ++completed;
+      }
+      if (max_op != nullptr && op->epoch < max_epoch) {
+        out.push_back({"kv-epoch-regression",
+                       OpName(*op) + " was acknowledged at epoch " +
+                           std::to_string(op->epoch) + " after " +
+                           OpName(*max_op) + " completed at epoch " +
+                           std::to_string(max_epoch) +
+                           (group.empty() ? "" : " in group " + group)});
+      }
+    }
+  }
+  return out;
+}
+
+std::vector<Violation> CheckKvLostKey(const History& history) {
+  std::vector<Violation> out;
+
+  // Router-recorded acknowledged Puts. The workload never deletes, so an
+  // acknowledged key must stay readable through any number of shard
+  // migrations — that is exactly the handoff chain of custody (freeze
+  // before snapshot, install mirrored before ack, release only with a
+  // committed-epoch proof) this checker pins down.
+  std::vector<const OpRecord*> puts;
+  for (const OpRecord& op : history.ops) {
+    if (op.kind == OpKind::kKvPut && op.outcome == OpOutcome::kOk &&
+        !op.group.empty()) {
       puts.push_back(&op);
     }
   }
 
-  // Split-brain: one acknowledging replica per epoch. Epochs only move by
-  // view changes, and a view has a single primary, so two distinct ackers
-  // under the same epoch means two nodes believed they led the same view.
-  std::unordered_map<std::uint64_t, const OpRecord*> acker_by_epoch;
-  for (const OpRecord* op : puts) {
-    const auto [it, inserted] = acker_by_epoch.emplace(op->epoch, op);
-    if (!inserted && it->second->acker != op->acker) {
-      out.push_back({"kv-split-brain",
-                     OpName(*it->second) + " and " + OpName(*op) +
-                         " were acknowledged by different replicas under "
-                         "epoch " +
-                         std::to_string(op->epoch)});
+  for (const OpRecord& get : history.ops) {
+    if (get.kind != OpKind::kKvGet || get.outcome != OpOutcome::kOk ||
+        get.group.empty() || get.flag) {
+      continue;  // only router-recorded absent reads can lose a key
+    }
+    for (const OpRecord* put : puts) {
+      if (put->key != get.key) continue;
+      if (put->end >= get.start) continue;  // not real-time ordered
+      if (get.shard_epoch != 0 && put->shard_epoch != 0 &&
+          get.shard_epoch < put->shard_epoch) {
+        continue;  // answered under an older ownership regime: exempt
+      }
+      if (get.group == put->group && get.epoch < put->epoch) {
+        continue;  // stale in-group replica: kv-durability's exemption
+      }
+      out.push_back({"kv-lost-key",
+                     OpName(get) + " (group " + get.group + ", shard epoch " +
+                         std::to_string(get.shard_epoch) + ") found \"" +
+                         get.key + "\" absent after " + OpName(*put) +
+                         " was acknowledged by " + put->group +
+                         " at shard epoch " +
+                         std::to_string(put->shard_epoch)});
+      break;  // one witness per Get is enough
     }
   }
+  return out;
+}
 
-  // Epoch regression: across real-time ordered acks, the serving epoch
-  // never decreases. A fenced-off ex-primary that keeps acknowledging
-  // writes at its old epoch after its successor's reign began lands here.
-  std::vector<const OpRecord*> by_start = puts;
-  std::sort(by_start.begin(), by_start.end(),
-            [](const OpRecord* a, const OpRecord* b) {
-              return a->start < b->start;
-            });
-  std::vector<const OpRecord*> by_end = puts;
-  std::sort(by_end.begin(), by_end.end(),
-            [](const OpRecord* a, const OpRecord* b) { return a->end < b->end; });
-  std::size_t completed = 0;
-  std::uint64_t max_epoch = 0;
-  const OpRecord* max_op = nullptr;
-  for (const OpRecord* op : by_start) {
-    while (completed < by_end.size() && by_end[completed]->end < op->start) {
-      if (by_end[completed]->epoch > max_epoch) {
-        max_epoch = by_end[completed]->epoch;
-        max_op = by_end[completed];
-      }
-      ++completed;
+std::vector<Violation> CheckKvSplitShard(const History& history) {
+  std::vector<Violation> out;
+
+  // One shard, one owner: a shard-ownership epoch names exactly one
+  // custody interval, granted by the map service to exactly one group.
+  std::map<std::pair<std::uint32_t, std::uint64_t>, const OpRecord*> owners;
+  for (const OpRecord& op : history.ops) {
+    if (op.kind != OpKind::kKvPut || op.outcome != OpOutcome::kOk ||
+        op.group.empty()) {
+      continue;
     }
-    if (max_op != nullptr && op->epoch < max_epoch) {
-      out.push_back({"kv-epoch-regression",
-                     OpName(*op) + " was acknowledged at epoch " +
-                         std::to_string(op->epoch) + " after " +
-                         OpName(*max_op) + " completed at epoch " +
-                         std::to_string(max_epoch)});
+    if (op.shard_epoch == 0) {
+      // With fencing on, an ack implies ownership and a nonzero stamp: a
+      // zero stamp means a group accepted a write to a shard it had
+      // already released (or never held).
+      out.push_back({"kv-split-shard",
+                     OpName(op) + " was acknowledged by " + op.group +
+                         " for shard " + std::to_string(op.shard) +
+                         " with no ownership claim (shard epoch 0)"});
+      continue;
+    }
+    const auto [it, inserted] =
+        owners.emplace(std::make_pair(op.shard, op.shard_epoch), &op);
+    if (!inserted && it->second->group != op.group) {
+      out.push_back({"kv-split-shard",
+                     OpName(*it->second) + " (group " + it->second->group +
+                         ") and " + OpName(op) + " (group " + op.group +
+                         ") were both acknowledged for shard " +
+                         std::to_string(op.shard) + " at shard epoch " +
+                         std::to_string(op.shard_epoch)});
     }
   }
   return out;

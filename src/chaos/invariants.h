@@ -61,6 +61,14 @@ struct OpRecord {
   /// Identity (folded object id) of the replica that acknowledged a
   /// successful kv Put — the split-brain checker's evidence.
   std::uint64_t acker = 0;
+  /// Sharded deployments only (recorded off the routing proxy): the
+  /// shard the key hashed to, the shard-ownership epoch the serving
+  /// group stamped on the reply, and that group's name. `group` empty
+  /// means the op went through an unsharded binding; the sharding
+  /// checkers ignore such records entirely.
+  std::uint32_t shard = 0;
+  std::uint64_t shard_epoch = 0;
+  std::string group;
 };
 
 struct History {
@@ -89,20 +97,43 @@ std::vector<Violation> CheckArqStream(
     const std::vector<std::uint64_t>& received);
 
 /// Replication invariants over the epoch-stamped kv history. Both only
-/// consider operations that carry an epoch (epoch != 0).
+/// consider operations that carry an epoch (epoch != 0), and both scope
+/// comparisons to operations served by the same replica group:
+/// replication epochs are per-group counters, meaningless across groups
+/// (the cross-group story belongs to the sharding checkers below).
 ///
 /// kv-durability: an acknowledged Put is never missing from a later Get
-/// answered at an epoch >= the ack's epoch. (A Get served at a lower
-/// epoch may legitimately come from a stale, evicted replica; the
-/// workload issues no deletes, so "absent" is otherwise indefensible.)
+/// answered by the same group at an epoch >= the ack's epoch. (A Get
+/// served at a lower epoch may legitimately come from a stale, evicted
+/// replica; the workload issues no deletes, so "absent" is otherwise
+/// indefensible.)
 std::vector<Violation> CheckKvDurability(const History& history);
 
-/// kv-split-brain: two different replicas never acknowledge writes under
-/// the same epoch.
-/// kv-epoch-regression: across real-time ordered acknowledged Puts (one
-/// completes before the other starts), the acknowledging epoch never
-/// decreases — a deposed primary that keeps acknowledging after its
-/// successor took over shows up here.
+/// kv-split-brain: two different replicas of one group never acknowledge
+/// writes under the same epoch.
+/// kv-epoch-regression: across real-time ordered acknowledged Puts
+/// served by one group (one completes before the other starts), the
+/// acknowledging epoch never decreases — a deposed primary that keeps
+/// acknowledging after its successor took over shows up here.
 std::vector<Violation> CheckKvEpochs(const History& history);
+
+/// Sharding invariants over router-recorded operations (group != "").
+/// Both are vacuous on unsharded histories.
+///
+/// kv-lost-key: an acknowledged Put is never read back "absent". The
+/// only exemptions a correct sharded system can produce: the Get was
+/// answered under an older shard-ownership epoch (a reply raced a
+/// migration commit), or by the same group at an older replication
+/// epoch (a stale, deposed replica). In particular a zero shard-epoch
+/// stamp on either side is *never* exempt — with fencing on, a group
+/// only acknowledges keys of shards it owns, so stamp 0 on an
+/// acknowledged sharded op already implies a non-owner served it.
+std::vector<Violation> CheckKvLostKey(const History& history);
+
+/// kv-split-shard: one shard, one owner. Two different groups never
+/// acknowledge writes to the same shard under the same shard-ownership
+/// epoch, and no group ever acknowledges a write to a shard while
+/// disclaiming ownership of it (shard-epoch stamp 0).
+std::vector<Violation> CheckKvSplitShard(const History& history);
 
 }  // namespace proxy::chaos

@@ -6,6 +6,7 @@
 #include "core/factory.h"
 #include "core/proxy.h"
 #include "services/replicated_kv.h"
+#include "services/shard_router.h"
 #include "sim/future.h"
 
 namespace proxy::chaos {
@@ -32,6 +33,7 @@ sim::Co<Result<rpc::Void>> WorkloadClient::BindAll(
   lock_ = *lock;
 
   kv_failover_ = dynamic_cast<services::KvFailoverProxy*>(kv_.get());
+  kv_router_ = dynamic_cast<services::KvShardRouterProxy*>(kv_.get());
   co_return rpc::Void{};
 }
 
@@ -74,7 +76,14 @@ sim::Co<void> WorkloadClient::Run(const WorkloadParams& params,
       rec.outcome = r.ok() ? OpOutcome::kOk : OpOutcome::kFailed;
       rec.key = key;
       rec.value = value;
-      if (r.ok() && kv_failover_ != nullptr) {
+      if (r.ok() && kv_router_ != nullptr) {
+        rec.epoch = kv_router_->last_op_epoch();
+        const ObjectId acker = kv_router_->last_write_acker();
+        rec.acker = acker.hi ^ acker.lo;
+        rec.shard = kv_router_->last_op_shard();
+        rec.shard_epoch = kv_router_->last_op_shard_epoch();
+        rec.group = kv_router_->last_op_group();
+      } else if (r.ok() && kv_failover_ != nullptr) {
         rec.epoch = kv_failover_->last_op_epoch();
         const ObjectId acker = kv_failover_->last_write_acker();
         rec.acker = acker.hi ^ acker.lo;
@@ -90,7 +99,12 @@ sim::Co<void> WorkloadClient::Run(const WorkloadParams& params,
         rec.flag = true;
         rec.value = **r;
       }
-      if (r.ok() && kv_failover_ != nullptr) {
+      if (r.ok() && kv_router_ != nullptr) {
+        rec.epoch = kv_router_->last_op_epoch();
+        rec.shard = kv_router_->last_op_shard();
+        rec.shard_epoch = kv_router_->last_op_shard_epoch();
+        rec.group = kv_router_->last_op_group();
+      } else if (r.ok() && kv_failover_ != nullptr) {
         rec.epoch = kv_failover_->last_op_epoch();
       }
     } else {

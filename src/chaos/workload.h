@@ -22,6 +22,7 @@
 
 namespace proxy::services {
 class KvFailoverProxy;
+class KvShardRouterProxy;
 }  // namespace proxy::services
 
 namespace proxy::chaos {
@@ -85,6 +86,12 @@ class WorkloadClient {
   /// protocol; lets ops record the serving epoch and acknowledging
   /// replica for the replication invariants. Null for a plain KvProxy.
   services::KvFailoverProxy* kv_failover_ = nullptr;
+  /// Non-owning view of kv_ when the name resolved to a sharded
+  /// deployment (protocol 5); adds the shard, serving group and
+  /// shard-ownership epoch to each record for the sharding invariants.
+  /// The client issues the same calls either way — the extra stamping is
+  /// observability, not behaviour.
+  services::KvShardRouterProxy* kv_router_ = nullptr;
 };
 
 }  // namespace proxy::chaos

@@ -18,6 +18,7 @@ std::string_view StatusCodeName(StatusCode code) noexcept {
     case StatusCode::kFailedPrecondition: return "FAILED_PRECONDITION";
     case StatusCode::kInternal: return "INTERNAL";
     case StatusCode::kFenced: return "FENCED";
+    case StatusCode::kWrongShard: return "WRONG_SHARD";
   }
   return "UNKNOWN";
 }
@@ -69,6 +70,9 @@ Status InternalError(std::string msg) {
 }
 Status FencedError(std::string msg) {
   return {StatusCode::kFenced, std::move(msg)};
+}
+Status WrongShardError(std::string msg) {
+  return {StatusCode::kWrongShard, std::move(msg)};
 }
 
 }  // namespace proxy

@@ -30,6 +30,7 @@ enum class StatusCode : std::uint8_t {
   kFailedPrecondition, // valid request in the wrong state (e.g. lock not held)
   kInternal,           // invariant violation reported instead of aborting
   kFenced,             // request carried a stale replication epoch
+  kWrongShard,         // key routed to a group that does not own its shard
 };
 
 /// Human-readable, stable name of a code ("TIMEOUT", "NOT_FOUND", ...).
@@ -76,6 +77,7 @@ Status ResourceExhaustedError(std::string msg);
 Status FailedPreconditionError(std::string msg);
 Status InternalError(std::string msg);
 Status FencedError(std::string msg);
+Status WrongShardError(std::string msg);
 
 /// Result<T> is either a value or a non-OK Status.
 template <typename T>

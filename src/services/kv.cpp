@@ -16,6 +16,8 @@ using kvwire::DelResponse;
 using kvwire::GetRequest;
 using kvwire::GetResponse;
 using kvwire::InvalidateMessage;
+using kvwire::ListRequest;
+using kvwire::ListResponse;
 using kvwire::PutRequest;
 using kvwire::SizeResponse;
 using kvwire::SubscribeRequest;
@@ -54,6 +56,16 @@ sim::Co<Result<bool>> KvService::DelExcluding(std::string key,
 
 sim::Co<Result<std::uint64_t>> KvService::Size() {
   co_return static_cast<std::uint64_t>(data_.size());
+}
+
+sim::Co<Result<std::vector<std::string>>> KvService::List(std::string prefix) {
+  std::vector<std::string> keys;
+  // data_ is an ordered map, so the range scan yields sorted keys.
+  for (auto it = data_.lower_bound(prefix); it != data_.end(); ++it) {
+    if (it->first.compare(0, prefix.size(), prefix) != 0) break;
+    keys.push_back(it->first);
+  }
+  co_return keys;
 }
 
 sim::Co<Result<rpc::Void>> KvService::BatchPut(
@@ -177,6 +189,15 @@ std::shared_ptr<rpc::Dispatch> MakeKvDispatch(
       [impl](BatchPutRequest req, const rpc::CallContext&) {
         return impl->BatchPut(std::move(req.entries), req.exclude_sink);
       });
+  rpc::RegisterTyped<ListRequest, ListResponse>(
+      *dispatch, kvwire::kList,
+      [impl](ListRequest req,
+             const rpc::CallContext&) -> sim::Co<Result<ListResponse>> {
+        Result<std::vector<std::string>> keys =
+            co_await impl->List(std::move(req.prefix));
+        if (!keys.ok()) co_return keys.status();
+        co_return ListResponse{std::move(*keys)};
+      });
   return dispatch;
 }
 
@@ -219,6 +240,14 @@ sim::Co<Result<std::uint64_t>> KvStub::Size() {
       co_await Call<SizeResponse>(kvwire::kSize, rpc::Void{});
   if (!resp.ok()) co_return resp.status();
   co_return resp->size;
+}
+
+sim::Co<Result<std::vector<std::string>>> KvStub::List(std::string prefix) {
+  ListRequest req{std::move(prefix)};
+  Result<ListResponse> resp =
+      co_await Call<ListResponse>(kvwire::kList, std::move(req));
+  if (!resp.ok()) co_return resp.status();
+  co_return std::move(resp->keys);
 }
 
 // --- protocol 2: caching proxy ---
@@ -316,6 +345,17 @@ sim::Co<Result<std::uint64_t>> KvCachingProxy::Size() {
   co_return resp->size;
 }
 
+sim::Co<Result<std::vector<std::string>>> KvCachingProxy::List(
+    std::string prefix) {
+  // Listings are not cached: the invalidation protocol is per-key, so a
+  // cached listing could silently miss keys written by other clients.
+  ListRequest req{std::move(prefix)};
+  Result<ListResponse> resp =
+      co_await Call<ListResponse>(kvwire::kList, std::move(req));
+  if (!resp.ok()) co_return resp.status();
+  co_return std::move(resp->keys);
+}
+
 // --- protocol 3: write-back proxy ---
 
 KvWriteBackProxy::KvWriteBackProxy(core::Context& context,
@@ -383,6 +423,14 @@ sim::Co<Result<bool>> KvWriteBackProxy::Del(std::string key) {
   const Status flushed = co_await FlushWrites();
   if (!flushed.ok()) co_return flushed;
   co_return co_await KvCachingProxy::Del(std::move(key));
+}
+
+sim::Co<Result<std::vector<std::string>>> KvWriteBackProxy::List(
+    std::string prefix) {
+  // A listing must observe this proxy's own buffered writes: flush first.
+  const Status flushed = co_await FlushWrites();
+  if (!flushed.ok()) co_return flushed;
+  co_return co_await KvCachingProxy::List(std::move(prefix));
 }
 
 sim::Co<Status> KvWriteBackProxy::FlushWrites() {

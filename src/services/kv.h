@@ -47,6 +47,11 @@ class IKeyValue {
   /// Returns true if the key existed.
   virtual sim::Co<Result<bool>> Del(std::string key) = 0;
   virtual sim::Co<Result<std::uint64_t>> Size() = 0;
+  /// All keys starting with `prefix`, sorted ascending ("" = every key).
+  /// A sharded implementation fans this out across every owning group
+  /// and merges; single-store implementations answer locally.
+  virtual sim::Co<Result<std::vector<std::string>>> List(
+      std::string prefix) = 0;
 };
 
 // --- wire protocol ---
@@ -61,6 +66,7 @@ enum Method : std::uint32_t {
   kSubscribe = 5,
   kUnsubscribe = 6,
   kBatchPut = 7,
+  kList = 8,
 };
 
 /// Method id on a subscriber's sink object.
@@ -105,6 +111,14 @@ struct BatchPutRequest {
   ObjectId exclude_sink;
   PROXY_SERDE_FIELDS(entries, exclude_sink)
 };
+struct ListRequest {
+  std::string prefix;
+  PROXY_SERDE_FIELDS(prefix)
+};
+struct ListResponse {
+  std::vector<std::string> keys;  // sorted ascending
+  PROXY_SERDE_FIELDS(keys)
+};
 struct InvalidateMessage {
   std::vector<std::string> keys;
   PROXY_SERDE_FIELDS(keys)
@@ -124,6 +138,7 @@ class KvService : public IKeyValue, public core::IMigratable {
   sim::Co<Result<rpc::Void>> Put(std::string key, std::string value) override;
   sim::Co<Result<bool>> Del(std::string key) override;
   sim::Co<Result<std::uint64_t>> Size() override;
+  sim::Co<Result<std::vector<std::string>>> List(std::string prefix) override;
 
   /// Mutation entry points with writer exclusion: the subscriber whose
   /// sink is `exclude` already reflects the write locally (it made it)
@@ -195,6 +210,7 @@ class KvStub : public IKeyValue, public core::ProxyBase {
   sim::Co<Result<rpc::Void>> Put(std::string key, std::string value) override;
   sim::Co<Result<bool>> Del(std::string key) override;
   sim::Co<Result<std::uint64_t>> Size() override;
+  sim::Co<Result<std::vector<std::string>>> List(std::string prefix) override;
 };
 
 /// Tuning for the caching proxies.
@@ -214,6 +230,7 @@ class KvCachingProxy : public IKeyValue, public core::ProxyBase {
   sim::Co<Result<rpc::Void>> Put(std::string key, std::string value) override;
   sim::Co<Result<bool>> Del(std::string key) override;
   sim::Co<Result<std::uint64_t>> Size() override;
+  sim::Co<Result<std::vector<std::string>>> List(std::string prefix) override;
 
   [[nodiscard]] const core::CacheStats& cache_stats() const noexcept {
     return cache_.stats();
@@ -252,6 +269,7 @@ class KvWriteBackProxy : public KvCachingProxy {
   sim::Co<Result<std::optional<std::string>>> Get(std::string key) override;
   sim::Co<Result<rpc::Void>> Put(std::string key, std::string value) override;
   sim::Co<Result<bool>> Del(std::string key) override;
+  sim::Co<Result<std::vector<std::string>>> List(std::string prefix) override;
 
   /// Forces buffered writes out (also called before Del and Size).
   sim::Co<Status> FlushWrites();

@@ -5,6 +5,7 @@
 #include "services/kv.h"
 #include "services/lock.h"
 #include "services/replicated_kv.h"
+#include "services/shard_router.h"
 #include "services/spooler.h"
 
 namespace proxy::services {
@@ -15,6 +16,7 @@ void RegisterAllServices() {
   RegisterFileFactories();
   RegisterLockFactories();
   RegisterReplicatedKvFactories();
+  RegisterShardedKvFactories();
   RegisterSpoolerFactories();
 }
 

@@ -17,9 +17,17 @@ using kvwire::GetRequest;
 using kvwire::GetResponse;
 using kvwire::JoinRequest;
 using kvwire::JoinResponse;
+using kvwire::ListRequest;
+using kvwire::ListResponse;
 using kvwire::PutRequest;
 using kvwire::ReplicaListResponse;
 using kvwire::ReplicateBatchRequest;
+using kvwire::ShardFreezeRequest;
+using kvwire::ShardFreezeResponse;
+using kvwire::ShardInstallRequest;
+using kvwire::ShardInstallResponse;
+using kvwire::ShardReleaseRequest;
+using kvwire::ShardUnfreezeRequest;
 using kvwire::SizeResponse;
 using kvwire::StatusResponse;
 using kvwire::SubscribeRequest;
@@ -58,9 +66,13 @@ void KvReplica::StartFailover() {
     self->role_ = ReplicaRole::kBackup;
     self->syncing_ = true;
     self->joining_ = false;
+    self->rejoin_misses_ = 0;
     self->inflight_writes_ = 0;
     self->epoch_ = 0;
     self->active_.clear();
+    // Shard ownership is volatile like the data: a restarted replica
+    // re-learns it from the join snapshot, never from stale memory.
+    self->shard_ = ShardConfig{};
     if (self->lease_) {
       self->lease_->Stop();
       self->lease_.reset();
@@ -99,14 +111,44 @@ bool KvReplica::InActiveSet(const core::ServiceBinding& peer) const {
 
 // --- replica: data path ------------------------------------------------
 
+Status KvReplica::CheckShard(const std::string& key) {
+  if (!shard_.sharded() || params_.testing_disable_shard_fencing) {
+    return Status::Ok();
+  }
+  const std::uint32_t shard = ShardOf(key, shard_.num_shards);
+  if (!shard_.Owns(shard)) {
+    wrong_shard_rejections_++;
+    return WrongShardError("shard " + std::to_string(shard) +
+                           " not owned by this group");
+  }
+  if (shard_.Frozen(shard)) {
+    wrong_shard_rejections_++;
+    return WrongShardError("shard " + std::to_string(shard) +
+                           " frozen for migration");
+  }
+  return Status::Ok();
+}
+
+std::uint64_t KvReplica::ShardEpochOf(const std::string& key) const {
+  if (!shard_.sharded()) return 0;
+  return shard_.EpochOf(ShardOf(key, shard_.num_shards));
+}
+
 sim::Co<Result<std::optional<std::string>>> KvReplica::Get(std::string key) {
   if (syncing_) co_return UnavailableError("replica syncing");
+  const Status owned = CheckShard(key);
+  if (!owned.ok()) co_return owned;
   co_return co_await store_->Get(std::move(key));
 }
 
 sim::Co<Result<std::uint64_t>> KvReplica::Size() {
   if (syncing_) co_return UnavailableError("replica syncing");
   co_return co_await store_->Size();
+}
+
+sim::Co<Result<std::vector<std::string>>> KvReplica::List(std::string prefix) {
+  if (syncing_) co_return UnavailableError("replica syncing");
+  co_return co_await store_->List(std::move(prefix));
 }
 
 sim::Co<Status> KvReplica::SendBatch(const core::ServiceBinding& peer,
@@ -129,6 +171,7 @@ sim::Co<Status> KvReplica::Mirror(
   req.replicas = active_;
   req.entries = std::move(entries);
   req.deletes = std::move(deletes);
+  req.shard = shard_;
 
   // Write-all over the active set: every active peer must acknowledge
   // before the client does (so any active replica can later promote
@@ -148,6 +191,14 @@ sim::Co<Status> KvReplica::Mirror(
       continue;
     }
     if (st.code() == StatusCode::kFenced) {
+      if (req.epoch < epoch_ || role_ != ReplicaRole::kPrimary) {
+        // This frame was superseded while it was parked (a concurrent
+        // mirror bumped the epoch, or another frame already stepped us
+        // down). The peer fenced the *stale frame*, not our current
+        // claim — fail the write without abdicating.
+        co_return UnavailableError("superseded mirror frame fenced at epoch " +
+                                   std::to_string(req.epoch));
+      }
       // A peer under a newer epoch refused us: we have been deposed.
       StepDown(/*resync=*/true);
       co_return FencedError("deposed: peer reports a newer epoch than " +
@@ -192,6 +243,11 @@ sim::Co<Status> KvReplica::Mirror(
       if (st.ok()) {
         confirmed.push_back(peer);
       } else if (st.code() == StatusCode::kFenced) {
+        if (req.epoch < epoch_ || role_ != ReplicaRole::kPrimary) {
+          co_return UnavailableError(
+              "superseded re-announce frame fenced at epoch " +
+              std::to_string(req.epoch));
+        }
         StepDown(/*resync=*/true);
         co_return FencedError("deposed during eviction re-announce");
       } else {
@@ -226,6 +282,8 @@ sim::Co<Result<rpc::Void>> KvReplica::Put(std::string key, std::string value,
     co_return UnavailableError("not the primary");
   }
   if (joining_) co_return UnavailableError("snapshot join in progress");
+  const Status owned = CheckShard(key);
+  if (!owned.ok()) co_return owned;
   inflight_writes_++;
   Result<rpc::Void> applied = co_await store_->Put(key, value);
   if (!applied.ok()) {
@@ -251,6 +309,8 @@ sim::Co<Result<bool>> KvReplica::Del(std::string key,
     co_return UnavailableError("not the primary");
   }
   if (joining_) co_return UnavailableError("snapshot join in progress");
+  const Status owned = CheckShard(key);
+  if (!owned.ok()) co_return owned;
   inflight_writes_++;
   Result<bool> existed = co_await store_->Del(key);
   if (!existed.ok()) {
@@ -328,6 +388,11 @@ sim::Co<Result<rpc::Void>> KvReplica::HandleReplicateBatch(
       }
       epoch_ = req.epoch;
       active_ = req.replicas;
+      // Adopt the shard view BEFORE applying the batch below: a replica
+      // that applies a release's deletes has, by then, already dropped
+      // the shard, so it can never serve a false "absent" for a key it
+      // silently deleted.
+      shard_ = req.shard;
     }
     // With fencing disabled a (stale) primary keeps its role and epoch —
     // the reintroduced bug the chaos sweep must catch.
@@ -377,8 +442,207 @@ sim::Co<Result<JoinResponse>> KvReplica::HandleJoin(JoinRequest req) {
   resp.epoch = epoch_;
   resp.snapshot = store_->SnapshotState();
   resp.replicas = active_;
+  resp.shard = shard_;
   joining_ = false;
   co_return resp;
+}
+
+// --- replica: shard migration handlers ---------------------------------
+//
+// All four run on the owning group's primary, driven by the rebalancer
+// (shard_router.h). Each one mirrors the resulting ShardConfig to every
+// active backup before acknowledging, so the step survives promotion;
+// each one is idempotent, so a rebalancer that lost an ack re-runs it.
+
+sim::Co<Result<ShardFreezeResponse>> KvReplica::HandleShardFreeze(
+    ShardFreezeRequest req) {
+  if (syncing_ || role_ != ReplicaRole::kPrimary) {
+    co_return UnavailableError("not the primary");
+  }
+  if (joining_) co_return UnavailableError("snapshot join in progress");
+  if (!shard_.sharded() || req.shard >= shard_.num_shards) {
+    co_return FailedPreconditionError("group not sharded or shard " +
+                                      std::to_string(req.shard) +
+                                      " out of range");
+  }
+  if (!shard_.Owns(req.shard)) {
+    co_return WrongShardError("freeze: shard " + std::to_string(req.shard) +
+                              " not owned by this group");
+  }
+  // Freeze first: from this instant new writes to the shard refuse with
+  // WRONG_SHARD, so the snapshot cut below cannot miss an acked write.
+  shard_.Freeze(req.shard);
+  // Drain in-flight writes (they passed CheckShard before the freeze and
+  // may still be mirroring) under the same write pause a join uses.
+  joining_ = true;
+  for (int i = 0; i < 64 && inflight_writes_ > 0; ++i) {
+    co_await sim::SleepFor(context_->scheduler(), Milliseconds(1));
+  }
+  joining_ = false;
+  if (inflight_writes_ > 0) {
+    shard_.Unfreeze(req.shard);
+    co_return UnavailableError("write drain timed out");
+  }
+  // The freeze must reach every active backup before any data leaves:
+  // if this primary dies after handing out the copy, its successor must
+  // refuse shard writes too, or the installed copy silently goes stale.
+  const Status mirrored = co_await Mirror({}, {}, obs::TraceContext{});
+  if (!mirrored.ok()) {
+    // Backups that did adopt the frozen view heal on the next mirrored
+    // batch (the config rides every one of them, as state not deltas).
+    shard_.Unfreeze(req.shard);
+    co_return mirrored;
+  }
+  ShardFreezeResponse resp;
+  resp.shard_epoch = shard_.EpochOf(req.shard);
+  Result<std::vector<std::string>> keys = co_await store_->List("");
+  if (!keys.ok()) co_return keys.status();
+  const std::vector<std::string> snapshot_keys = std::move(*keys);
+  for (const auto& key : snapshot_keys) {
+    if (ShardOf(key, shard_.num_shards) != req.shard) continue;
+    Result<std::optional<std::string>> value = co_await store_->Get(key);
+    if (!value.ok()) co_return value.status();
+    if (value->has_value()) resp.entries.emplace_back(key, **value);
+  }
+  context_->spans().Event(context_->scheduler().now(),
+                          "rkv " + self_.object.ToString() + " froze shard " +
+                              std::to_string(req.shard) + " (" +
+                              std::to_string(resp.entries.size()) + " keys)");
+  co_return resp;
+}
+
+sim::Co<Result<ShardInstallResponse>> KvReplica::HandleShardInstall(
+    ShardInstallRequest req) {
+  if (syncing_ || role_ != ReplicaRole::kPrimary) {
+    co_return UnavailableError("not the primary");
+  }
+  if (joining_) co_return UnavailableError("snapshot join in progress");
+  if (!shard_.sharded() || req.shard >= shard_.num_shards) {
+    co_return FailedPreconditionError("group not sharded or shard " +
+                                      std::to_string(req.shard) +
+                                      " out of range");
+  }
+  if (req.shard_epoch < shard_.EpochOf(req.shard)) {
+    // A duplicate of some older, long-committed move: refuse rather than
+    // regress the ownership epoch.
+    co_return FailedPreconditionError(
+        "install epoch " + std::to_string(req.shard_epoch) + " behind held " +
+        std::to_string(shard_.EpochOf(req.shard)));
+  }
+  // Re-runs repeat identical work: adopt (monotonic), re-apply the same
+  // entries, re-mirror — so a retry after a lost ack also repairs any
+  // backup that missed the first mirror.
+  shard_.Adopt(req.shard, req.shard_epoch);
+  shard_.Unfreeze(req.shard);
+  // An install replaces the group's slice of the shard wholesale: a key
+  // resident here but absent from the snapshot is left over from an
+  // older, uncommitted install of the same shard and must not resurrect
+  // (it may have been deleted at the group that stayed owner meanwhile).
+  std::vector<std::string> stale;
+  Result<std::vector<std::string>> held = co_await store_->List("");
+  if (!held.ok()) co_return held.status();
+  const std::vector<std::string> held_keys = std::move(*held);
+  for (const auto& key : held_keys) {
+    if (ShardOf(key, shard_.num_shards) != req.shard) continue;
+    const bool in_snapshot =
+        std::any_of(req.entries.begin(), req.entries.end(),
+                    [&](const auto& e) { return e.first == key; });
+    if (!in_snapshot) stale.push_back(key);
+  }
+  inflight_writes_++;
+  for (const auto& key : stale) {
+    Result<bool> deleted = co_await store_->Del(key);
+    if (!deleted.ok()) {
+      inflight_writes_--;
+      co_return deleted.status();
+    }
+  }
+  if (!req.entries.empty()) {
+    Result<rpc::Void> applied = co_await store_->BatchPut(req.entries);
+    if (!applied.ok()) {
+      inflight_writes_--;
+      co_return applied.status();
+    }
+  }
+  const Status mirrored =
+      co_await Mirror(req.entries, std::move(stale), obs::TraceContext{});
+  inflight_writes_--;
+  if (!mirrored.ok()) co_return mirrored;
+  context_->spans().Event(context_->scheduler().now(),
+                          "rkv " + self_.object.ToString() +
+                              " installed shard " + std::to_string(req.shard) +
+                              " @ epoch " + std::to_string(req.shard_epoch) +
+                              " (" + std::to_string(req.entries.size()) +
+                              " keys)");
+  co_return ShardInstallResponse{shard_.EpochOf(req.shard)};
+}
+
+sim::Co<Result<rpc::Void>> KvReplica::HandleShardRelease(
+    ShardReleaseRequest req) {
+  if (syncing_ || role_ != ReplicaRole::kPrimary) {
+    co_return UnavailableError("not the primary");
+  }
+  if (joining_) co_return UnavailableError("snapshot join in progress");
+  if (!shard_.sharded() || req.shard >= shard_.num_shards) {
+    co_return FailedPreconditionError("group not sharded or shard " +
+                                      std::to_string(req.shard) +
+                                      " out of range");
+  }
+  if (shard_.Owns(req.shard)) {
+    if (req.committed_epoch <= shard_.EpochOf(req.shard)) {
+      // No proof the handoff committed — dropping now could lose the only
+      // live copy of the shard.
+      co_return FailedPreconditionError(
+          "release without a newer committed epoch: " +
+          std::to_string(req.committed_epoch) + " <= " +
+          std::to_string(shard_.EpochOf(req.shard)));
+    }
+    shard_.Drop(req.shard);
+  }
+  // Delete whatever of the shard is still held. A retry after a partial
+  // failure finds less (or nothing) to delete but still re-mirrors the
+  // dropped config. Receivers adopt the config before applying these
+  // deletes (HandleReplicateBatch), so no replica ever serves a false
+  // "absent" for a key it deleted here.
+  std::vector<std::string> deletes;
+  Result<std::vector<std::string>> keys = co_await store_->List("");
+  if (!keys.ok()) co_return keys.status();
+  const std::vector<std::string> held_keys = std::move(*keys);
+  for (const auto& key : held_keys) {
+    if (ShardOf(key, shard_.num_shards) == req.shard) deletes.push_back(key);
+  }
+  inflight_writes_++;
+  for (const auto& key : deletes) {
+    Result<bool> deleted = co_await store_->Del(key);
+    if (!deleted.ok()) {
+      inflight_writes_--;
+      co_return deleted.status();
+    }
+  }
+  const Status mirrored =
+      co_await Mirror({}, std::move(deletes), obs::TraceContext{});
+  inflight_writes_--;
+  if (!mirrored.ok()) co_return mirrored;
+  context_->spans().Event(context_->scheduler().now(),
+                          "rkv " + self_.object.ToString() +
+                              " released shard " + std::to_string(req.shard) +
+                              " (committed epoch " +
+                              std::to_string(req.committed_epoch) + ")");
+  co_return rpc::Void{};
+}
+
+sim::Co<Result<rpc::Void>> KvReplica::HandleShardUnfreeze(
+    ShardUnfreezeRequest req) {
+  if (syncing_ || role_ != ReplicaRole::kPrimary) {
+    co_return UnavailableError("not the primary");
+  }
+  if (joining_) co_return UnavailableError("snapshot join in progress");
+  if (shard_.Frozen(req.shard)) {
+    shard_.Unfreeze(req.shard);
+    const Status mirrored = co_await Mirror({}, {}, obs::TraceContext{});
+    if (!mirrored.ok()) co_return mirrored;
+  }
+  co_return rpc::Void{};
 }
 
 // --- replica: watchdog (promotion, rejoin, lease loss) -----------------
@@ -417,6 +681,7 @@ sim::Co<void> KvReplica::WatchdogLoop(std::shared_ptr<KvReplica> self) {
         ReplicateBatchRequest probe;
         probe.epoch = self->epoch_;
         probe.replicas = self->active_;
+        probe.shard = self->shard_;
         (void)co_await self->SendBatch(peer, probe, obs::TraceContext{});
         if (self->role_ != ReplicaRole::kPrimary) break;  // deposed mid-probe
       }
@@ -520,6 +785,7 @@ sim::Co<void> KvReplica::TryPromote() {
   ReplicateBatchRequest announce;
   announce.epoch = epoch_;
   announce.replicas = active_;
+  announce.shard = shard_;
   // Snapshot before the awaited loops: active_ can be reassigned by a
   // concurrent frame while SendBatch is suspended (see Mirror).
   const std::vector<core::ServiceBinding> announce_view = active_;
@@ -557,7 +823,17 @@ sim::Co<void> KvReplica::TryPromote() {
 sim::Co<void> KvReplica::TryRejoin() {
   Result<naming::NameRecord> rec =
       co_await context_->names().Lookup(params_.name);
-  if (!rec.ok() || rec->kind != naming::RecordKind::kService) co_return;
+  if (!rec.ok()) {
+    if (rec.status().code() == StatusCode::kNotFound &&
+        ++rejoin_misses_ >= params_.rescue_after_misses) {
+      // No primary to join, repeatedly: the whole group may be deposed
+      // (every replica syncing). See whether we are the one to revive it.
+      co_await TryRescue();
+    }
+    co_return;
+  }
+  rejoin_misses_ = 0;
+  if (rec->kind != naming::RecordKind::kService) co_return;
   if (SameObject(rec->binding, self_)) co_return;  // our own stale record
 
   JoinRequest req;
@@ -575,6 +851,7 @@ sim::Co<void> KvReplica::TryRejoin() {
   if (!installed.ok()) co_return;
   epoch_ = resp->epoch;
   active_ = resp->replicas;
+  shard_ = resp->shard;
   role_ = ReplicaRole::kBackup;
   syncing_ = false;
   PROXY_LOG(kInfo, context_->scheduler().now(), "rkv",
@@ -583,6 +860,69 @@ sim::Co<void> KvReplica::TryRejoin() {
   context_->spans().Event(context_->scheduler().now(),
                           "rkv " + self_.object.ToString() +
                               " rejoined at epoch " + std::to_string(epoch_));
+}
+
+sim::Co<void> KvReplica::TryRescue() {
+  // A crash-wiped replica (epoch 0, empty store) has nothing to offer;
+  // it waits for a peer with data to claim. At least one such peer
+  // exists in any all-syncing state: the last acknowledged write lives
+  // on >= 2 replicas, and a replica only reaches syncing-with-data via
+  // fencing/eviction, which preserves its store.
+  if (epoch_ == 0) co_return;
+  // Every configured peer must be reachable (otherwise wait for the
+  // partition to heal: the missing peer may be strictly ahead), must
+  // itself be syncing (a serving backup will promote through the normal
+  // path), and must not be ahead of us (defer to the most current copy).
+  const std::vector<core::ServiceBinding> poll_view = all_replicas_;
+  for (const auto& peer : poll_view) {
+    if (SameObject(peer, self_)) continue;
+    rpc::RpcResult r = co_await context_->client().Call(
+        peer.server, peer.object, kvwire::kGetStatus,
+        serde::EncodeToBytes(rpc::Void{}), params_.mirror);
+    if (!r.ok()) co_return;
+    Result<StatusResponse> st =
+        serde::DecodeFromBytes<StatusResponse>(View(r.payload));
+    if (!st.ok()) co_return;
+    if (st->epoch > epoch_) co_return;
+    if (!st->syncing) co_return;
+  }
+  // State may have moved while the polls were parked (a join completed,
+  // a crash hit, a peer claimed first).
+  if (stopped_ || context_->crashed() || !syncing_ || epoch_ == 0) co_return;
+  Result<naming::NameRecord> rec =
+      co_await context_->names().Lookup(params_.name);
+  if (rec.ok() || rec.status().code() != StatusCode::kNotFound) co_return;
+
+  naming::NameRecord claim;
+  claim.kind = naming::RecordKind::kService;
+  claim.binding = self_;
+  claim.lease_ns = params_.lease.ttl_ns;
+  Result<rpc::Void> won = co_await context_->names().Register(
+      params_.name, claim, /*overwrite=*/false);
+  if (!won.ok()) co_return;  // lost the race: rejoin the winner instead
+  if (stopped_ || context_->crashed()) co_return;  // record expires unrenewed
+
+  promotions_++;
+  rescues_++;
+  role_ = ReplicaRole::kPrimary;
+  syncing_ = false;
+  rejoin_misses_ = 0;
+  epoch_++;
+  // Start alone; the peers (all syncing) rejoin through the name we just
+  // registered, and writes stay unavailable until one does (the mirror
+  // never acknowledges a write this replica alone holds).
+  std::vector<core::ServiceBinding> view{self_};
+  active_ = std::move(view);
+  PROXY_LOG(kInfo, context_->scheduler().now(), "rkv",
+            "replica " << self_.object.ToString()
+                       << " rescued deposed group as primary at epoch "
+                       << epoch_);
+  context_->spans().Event(context_->scheduler().now(),
+                          "rkv " + self_.object.ToString() +
+                              " rescued deposed group at epoch " +
+                              std::to_string(epoch_));
+  lease_ = std::make_unique<core::LeaseMaintainer>(*context_, params_.name,
+                                                   self_, params_.lease);
 }
 
 // --- skeleton ----------------------------------------------------------
@@ -621,6 +961,15 @@ std::shared_ptr<rpc::Dispatch> MakeReplicatedKvDispatch(
         if (!size.ok()) co_return size.status();
         co_return SizeResponse{*size};
       });
+  rpc::RegisterTyped<ListRequest, ListResponse>(
+      *dispatch, kvwire::kList,
+      [impl](ListRequest req,
+             const rpc::CallContext&) -> sim::Co<Result<ListResponse>> {
+        Result<std::vector<std::string>> keys =
+            co_await impl->List(std::move(req.prefix));
+        if (!keys.ok()) co_return keys.status();
+        co_return ListResponse{std::move(*keys)};
+      });
   rpc::RegisterTyped<SubscribeRequest, rpc::Void>(
       *dispatch, kvwire::kSubscribe,
       [impl](SubscribeRequest req,
@@ -654,28 +1003,53 @@ std::shared_ptr<rpc::Dispatch> MakeReplicatedKvDispatch(
       *dispatch, kvwire::kEpochPut,
       [impl](PutRequest req,
              const rpc::CallContext& ctx) -> sim::Co<Result<EpochPutResponse>> {
+        const std::string key = req.key;  // stamps the reply after the move
         Result<rpc::Void> applied = co_await impl->Put(
             std::move(req.key), std::move(req.value), ctx.trace);
         if (!applied.ok()) co_return applied.status();
-        co_return EpochPutResponse{impl->epoch()};
+        co_return EpochPutResponse{impl->epoch(), impl->ShardEpochOf(key)};
       });
   rpc::RegisterTyped<DelRequest, EpochDelResponse>(
       *dispatch, kvwire::kEpochDel,
       [impl](DelRequest req,
              const rpc::CallContext& ctx) -> sim::Co<Result<EpochDelResponse>> {
+        const std::string key = req.key;
         Result<bool> existed = co_await impl->Del(std::move(req.key),
                                                   ctx.trace);
         if (!existed.ok()) co_return existed.status();
-        co_return EpochDelResponse{*existed, impl->epoch()};
+        co_return EpochDelResponse{*existed, impl->epoch(),
+                                   impl->ShardEpochOf(key)};
       });
   rpc::RegisterTyped<GetRequest, EpochGetResponse>(
       *dispatch, kvwire::kEpochGet,
       [impl](GetRequest req,
              const rpc::CallContext&) -> sim::Co<Result<EpochGetResponse>> {
+        const std::string key = req.key;
         Result<std::optional<std::string>> value =
             co_await impl->Get(std::move(req.key));
         if (!value.ok()) co_return value.status();
-        co_return EpochGetResponse{std::move(*value), impl->epoch()};
+        co_return EpochGetResponse{std::move(*value), impl->epoch(),
+                                   impl->ShardEpochOf(key)};
+      });
+  rpc::RegisterTyped<ShardFreezeRequest, ShardFreezeResponse>(
+      *dispatch, kvwire::kShardFreeze,
+      [impl](ShardFreezeRequest req, const rpc::CallContext&) {
+        return impl->HandleShardFreeze(req);
+      });
+  rpc::RegisterTyped<ShardInstallRequest, ShardInstallResponse>(
+      *dispatch, kvwire::kShardInstall,
+      [impl](ShardInstallRequest req, const rpc::CallContext&) {
+        return impl->HandleShardInstall(std::move(req));
+      });
+  rpc::RegisterTyped<ShardReleaseRequest, rpc::Void>(
+      *dispatch, kvwire::kShardRelease,
+      [impl](ShardReleaseRequest req, const rpc::CallContext&) {
+        return impl->HandleShardRelease(req);
+      });
+  rpc::RegisterTyped<ShardUnfreezeRequest, rpc::Void>(
+      *dispatch, kvwire::kShardUnfreeze,
+      [impl](ShardUnfreezeRequest req, const rpc::CallContext&) {
+        return impl->HandleShardUnfreeze(req);
       });
   return dispatch;
 }
@@ -892,7 +1266,17 @@ sim::Co<Result<std::optional<std::string>>> KvFailoverProxy::Get(
       co_await ReadCall<EpochGetResponse>(kvwire::kEpochGet, std::move(req));
   if (!resp.ok()) co_return resp.status();
   last_op_epoch_ = resp->epoch;
+  last_op_shard_epoch_ = resp->shard_epoch;
   co_return std::move(resp->value);
+}
+
+sim::Co<Result<std::vector<std::string>>> KvFailoverProxy::List(
+    std::string prefix) {
+  ListRequest req{std::move(prefix)};  // named: see stub.h "GCC note"
+  Result<ListResponse> resp =
+      co_await ReadCall<ListResponse>(kvwire::kList, std::move(req));
+  if (!resp.ok()) co_return resp.status();
+  co_return std::move(resp->keys);
 }
 
 sim::Co<Result<std::uint64_t>> KvFailoverProxy::Size() {
@@ -909,6 +1293,7 @@ sim::Co<Result<rpc::Void>> KvFailoverProxy::Put(std::string key,
       co_await WriteCall<EpochPutResponse>(kvwire::kEpochPut, std::move(req));
   if (!resp.ok()) co_return resp.status();
   last_op_epoch_ = resp->epoch;
+  last_op_shard_epoch_ = resp->shard_epoch;
   co_return rpc::Void{};
 }
 
@@ -918,6 +1303,7 @@ sim::Co<Result<bool>> KvFailoverProxy::Del(std::string key) {
       co_await WriteCall<EpochDelResponse>(kvwire::kEpochDel, std::move(req));
   if (!resp.ok()) co_return resp.status();
   last_op_epoch_ = resp->epoch;
+  last_op_shard_epoch_ = resp->shard_epoch;
   co_return resp->existed;
 }
 

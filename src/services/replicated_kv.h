@@ -37,6 +37,7 @@
 #include "core/proxy.h"
 #include "core/runtime.h"
 #include "services/kv.h"
+#include "services/shard_map.h"
 
 namespace proxy::services {
 
@@ -54,6 +55,15 @@ enum ReplicationMethod : std::uint32_t {
   kEpochPut = 24,
   kEpochDel = 25,
   kEpochGet = 26,
+  // Online shard migration (rebalancer -> group primary). The sequence
+  // is freeze -> copy (the freeze response carries the shard snapshot)
+  // -> install on the destination at shard_epoch+1 -> commit at the
+  // ShardMapService -> release at the source. Every step is idempotent
+  // so a rebalancer that crashed or timed out mid-move can re-run it.
+  kShardFreeze = 27,
+  kShardInstall = 28,
+  kShardRelease = 29,
+  kShardUnfreeze = 30,
 };
 
 struct ReplicaListResponse {
@@ -71,7 +81,11 @@ struct ReplicateBatchRequest {
   std::vector<core::ServiceBinding> replicas;
   std::vector<std::pair<std::string, std::string>> entries;
   std::vector<std::string> deletes;
-  PROXY_SERDE_FIELDS(epoch, replicas, entries, deletes)
+  /// The primary's shard-ownership view, adopted with the membership:
+  /// a freeze or release survives promotion because every active backup
+  /// saw it mirrored before the step was acknowledged.
+  ShardConfig shard;
+  PROXY_SERDE_FIELDS(epoch, replicas, entries, deletes, shard)
 };
 
 struct JoinRequest {
@@ -83,7 +97,8 @@ struct JoinResponse {
   std::uint64_t epoch = 0;
   Bytes snapshot;  // KvService::SnapshotState() of the primary
   std::vector<core::ServiceBinding> replicas;
-  PROXY_SERDE_FIELDS(epoch, snapshot, replicas)
+  ShardConfig shard;  // rejoiners re-learn shard fencing with the data
+  PROXY_SERDE_FIELDS(epoch, snapshot, replicas, shard)
 };
 
 struct StatusResponse {
@@ -95,19 +110,60 @@ struct StatusResponse {
 
 struct EpochPutResponse {
   std::uint64_t epoch = 0;
-  PROXY_SERDE_FIELDS(epoch)
+  /// Ownership epoch of the key's shard at the serving group (0 when
+  /// the group is unsharded) — the split-shard invariant's evidence.
+  std::uint64_t shard_epoch = 0;
+  PROXY_SERDE_FIELDS(epoch, shard_epoch)
 };
 
 struct EpochDelResponse {
   bool existed = false;
   std::uint64_t epoch = 0;
-  PROXY_SERDE_FIELDS(existed, epoch)
+  std::uint64_t shard_epoch = 0;
+  PROXY_SERDE_FIELDS(existed, epoch, shard_epoch)
 };
 
 struct EpochGetResponse {
   std::optional<std::string> value;
   std::uint64_t epoch = 0;
-  PROXY_SERDE_FIELDS(value, epoch)
+  std::uint64_t shard_epoch = 0;
+  PROXY_SERDE_FIELDS(value, epoch, shard_epoch)
+};
+
+struct ShardFreezeRequest {
+  std::uint32_t shard = 0;
+  PROXY_SERDE_FIELDS(shard)
+};
+
+struct ShardFreezeResponse {
+  std::uint64_t shard_epoch = 0;  // source's ownership epoch
+  std::vector<std::pair<std::string, std::string>> entries;  // the shard
+  PROXY_SERDE_FIELDS(shard_epoch, entries)
+};
+
+struct ShardInstallRequest {
+  std::uint32_t shard = 0;
+  std::uint64_t shard_epoch = 0;  // must exceed the source's
+  std::vector<std::pair<std::string, std::string>> entries;
+  PROXY_SERDE_FIELDS(shard, shard_epoch, entries)
+};
+
+struct ShardInstallResponse {
+  std::uint64_t shard_epoch = 0;  // epoch actually held after install
+  PROXY_SERDE_FIELDS(shard_epoch)
+};
+
+/// Drop the shard's data and ownership; legal only once the map holds a
+/// newer ownership epoch (proof the handoff committed).
+struct ShardReleaseRequest {
+  std::uint32_t shard = 0;
+  std::uint64_t committed_epoch = 0;
+  PROXY_SERDE_FIELDS(shard, committed_epoch)
+};
+
+struct ShardUnfreezeRequest {
+  std::uint32_t shard = 0;  // abort path: thaw, ownership unchanged
+  PROXY_SERDE_FIELDS(shard)
 };
 
 }  // namespace kvwire
@@ -130,6 +186,11 @@ struct ReplicatedKvParams {
   SimDuration promote_stagger = Milliseconds(40);
   /// Retry period of a syncing replica looking for a primary to join.
   SimDuration rejoin_interval = Milliseconds(60);
+  /// Consecutive NOT_FOUND rejoin lookups before a syncing replica with
+  /// an intact store (epoch > 0) attempts the rescue claim (TryRescue).
+  /// Guards the liveness backstop for a fully-deposed group — every
+  /// replica syncing, so nobody can promote and nobody can rejoin.
+  std::uint32_t rescue_after_misses = 4;
   /// Mirror/announce call budget (per peer).
   rpc::CallOptions mirror{.retry_interval = Milliseconds(8),
                           .max_retries = 2,
@@ -139,6 +200,11 @@ struct ReplicatedKvParams {
   /// fixes (a deposed primary keeps accepting writes). The sweep must
   /// catch the resulting split-brain/durability violations.
   bool testing_disable_fencing = false;
+  /// Chaos-harness fault hook for sharding: replicas skip the WRONG_SHARD
+  /// ownership check, so a stale-mapped router's op lands on a group that
+  /// no longer owns the key. Paired with Bug::kStaleShardMap; kv-lost-key
+  /// and kv-split-shard must catch the fallout.
+  bool testing_disable_shard_fencing = false;
 };
 
 enum class ReplicaRole : std::uint8_t { kPrimary, kBackup };
@@ -156,6 +222,9 @@ class KvReplica : public IKeyValue,
     context_->metrics().Attach("svc.rkv.fenced_rejections",
                                &fenced_rejections_);
     context_->metrics().Attach("svc.rkv.promotions", &promotions_);
+    context_->metrics().Attach("svc.rkv.rescues", &rescues_);
+    context_->metrics().Attach("svc.rkv.wrong_shard_rejections",
+                               &wrong_shard_rejections_);
   }
   ~KvReplica() override {
     context_->metrics().Detach("svc.rkv.replication_failures",
@@ -163,6 +232,9 @@ class KvReplica : public IKeyValue,
     context_->metrics().Detach("svc.rkv.fenced_rejections",
                                &fenced_rejections_);
     context_->metrics().Detach("svc.rkv.promotions", &promotions_);
+    context_->metrics().Detach("svc.rkv.rescues", &rescues_);
+    context_->metrics().Detach("svc.rkv.wrong_shard_rejections",
+                               &wrong_shard_rejections_);
   }
 
   // IKeyValue (primary path; backups serve reads, refuse writes).
@@ -170,6 +242,10 @@ class KvReplica : public IKeyValue,
   sim::Co<Result<rpc::Void>> Put(std::string key, std::string value) override;
   sim::Co<Result<bool>> Del(std::string key) override;
   sim::Co<Result<std::uint64_t>> Size() override;
+  /// Serves every locally held key. No shard check: during migration the
+  /// same key may momentarily be listable at two groups, and the router's
+  /// fan-out merge dedups — listing is advisory, data ops are fenced.
+  sim::Co<Result<std::vector<std::string>>> List(std::string prefix) override;
 
   // Traced write paths: the server-side span of the client's request is
   // threaded through the mirror fan-out, so every replica's apply hangs
@@ -185,11 +261,27 @@ class KvReplica : public IKeyValue,
   sim::Co<Result<kvwire::JoinResponse>> HandleJoin(kvwire::JoinRequest req);
   sim::Co<Result<kvwire::StatusResponse>> HandleGetStatus();
 
+  // Shard migration handlers (primary only; every step idempotent and
+  // mirrored to the backups before it is acknowledged, so the step
+  // survives promotion).
+  sim::Co<Result<kvwire::ShardFreezeResponse>> HandleShardFreeze(
+      kvwire::ShardFreezeRequest req);
+  sim::Co<Result<kvwire::ShardInstallResponse>> HandleShardInstall(
+      kvwire::ShardInstallRequest req);
+  sim::Co<Result<rpc::Void>> HandleShardRelease(
+      kvwire::ShardReleaseRequest req);
+  sim::Co<Result<rpc::Void>> HandleShardUnfreeze(
+      kvwire::ShardUnfreezeRequest req);
+
   /// Installs the static replica set ([0] = initial primary) and this
   /// replica's own binding; called once by ExportReplicatedKv.
   void Configure(core::ServiceBinding self,
                  std::vector<core::ServiceBinding> all_replicas,
                  ReplicaRole role);
+
+  /// Installs this group's initial shard slice (ExportShardedKv). An
+  /// unsharded replica (the default) never fences on shards.
+  void ConfigureShards(ShardConfig shard) { shard_ = std::move(shard); }
 
   /// Starts the failover machinery (lease heartbeat on the primary, the
   /// watchdog everywhere) and registers crash/restart handlers. Only
@@ -205,6 +297,7 @@ class KvReplica : public IKeyValue,
   [[nodiscard]] std::uint64_t promotions() const noexcept {
     return promotions_;
   }
+  [[nodiscard]] std::uint64_t rescues() const noexcept { return rescues_; }
   [[nodiscard]] std::uint64_t fenced_rejections() const noexcept {
     return fenced_rejections_;
   }
@@ -217,13 +310,23 @@ class KvReplica : public IKeyValue,
   [[nodiscard]] const core::ServiceBinding& self_binding() const noexcept {
     return self_;
   }
+  [[nodiscard]] const ShardConfig& shard() const noexcept { return shard_; }
+  /// Ownership epoch of `key`'s shard (0 when unsharded/unowned) — the
+  /// stamp the epoch-method replies carry.
+  [[nodiscard]] std::uint64_t ShardEpochOf(const std::string& key) const;
+  [[nodiscard]] std::uint64_t wrong_shard_rejections() const noexcept {
+    return wrong_shard_rejections_;
+  }
 
  private:
   /// Mirrors one batch to every active peer. In named mode a peer that
   /// fails liveness is evicted under a bumped epoch and the batch is
   /// re-announced to the survivors; in static mode any failure fails the
   /// write (the strict write-all the PR-2 tests pin down). A FENCED
-  /// reply deposes this primary.
+  /// reply deposes this primary — but only when the fenced frame carried
+  /// the *current* epoch: a concurrent frame may have bumped past this
+  /// one while it was parked, and a peer fencing the superseded epoch
+  /// says nothing about the primary's present claim.
   sim::Co<Status> Mirror(
       std::vector<std::pair<std::string, std::string>> entries,
       std::vector<std::string> deletes, obs::TraceContext trace);
@@ -244,10 +347,23 @@ class KvReplica : public IKeyValue,
   static sim::Co<void> WatchdogLoop(std::shared_ptr<KvReplica> self);
   sim::Co<void> TryPromote();
   sim::Co<void> TryRejoin();
+  /// Liveness backstop for a fully-deposed group (every replica syncing:
+  /// crash-wiped or fenced out — nobody can promote, nobody can rejoin).
+  /// A syncing replica with an intact store re-claims the name iff every
+  /// configured peer is reachable, also syncing, and at an epoch <= ours.
+  /// Safe because an acknowledged write lives on every member of the
+  /// active set of its epoch and epochs only grow through that set: no
+  /// reachable peer strictly ahead means no acknowledged write we lack.
+  sim::Co<void> TryRescue();
 
   [[nodiscard]] bool InReplicaList(
       const std::vector<core::ServiceBinding>& list) const;
   [[nodiscard]] bool InActiveSet(const core::ServiceBinding& peer) const;
+
+  /// Data-path shard fence: OK when this group owns `key`'s shard and it
+  /// is not frozen, WRONG_SHARD otherwise (no-op when unsharded). Runs
+  /// before the store is touched and before a write counts as in flight.
+  [[nodiscard]] Status CheckShard(const std::string& key);
 
   core::Context* context_;
   ReplicatedKvParams params_;
@@ -259,12 +375,24 @@ class KvReplica : public IKeyValue,
   std::uint64_t epoch_ = 1;
   bool syncing_ = false;
   bool joining_ = false;   // primary: a snapshot join is in progress
+  /// Consecutive rejoin lookups that found no name record; at
+  /// params_.rescue_after_misses the replica considers the group
+  /// deposed and attempts TryRescue.
+  std::uint32_t rejoin_misses_ = 0;
   int inflight_writes_ = 0;
   bool stopped_ = false;
   std::unique_ptr<core::LeaseMaintainer> lease_;  // primary only
+  /// This group's live shard slice. Mutated only on the primary (by the
+  /// migration handlers) and then mirrored; backups adopt it from
+  /// ReplicateBatchRequest/JoinResponse. Volatile across crashes — a
+  /// restarted replica re-learns it from the join snapshot, exactly like
+  /// the data.
+  ShardConfig shard_;
   obs::Counter replication_failures_;
   obs::Counter fenced_rejections_;
   obs::Counter promotions_;
+  obs::Counter rescues_;
+  obs::Counter wrong_shard_rejections_;
 };
 
 /// Builds a replica's skeleton: the full KV dispatch plus the
@@ -316,6 +444,7 @@ class KvFailoverProxy : public IKeyValue, public core::ProxyBase {
   sim::Co<Result<rpc::Void>> Put(std::string key, std::string value) override;
   sim::Co<Result<bool>> Del(std::string key) override;
   sim::Co<Result<std::uint64_t>> Size() override;
+  sim::Co<Result<std::vector<std::string>>> List(std::string prefix) override;
 
   [[nodiscard]] std::uint64_t failovers() const noexcept { return failovers_; }
   [[nodiscard]] std::uint64_t list_refreshes() const noexcept {
@@ -330,6 +459,12 @@ class KvFailoverProxy : public IKeyValue, public core::ProxyBase {
   }
   [[nodiscard]] ObjectId last_write_acker() const noexcept {
     return last_write_acker_;
+  }
+  /// Shard-ownership epoch stamped on the last epoch-method reply (0
+  /// against an unsharded group). The shard router republishes this per
+  /// routed op for the chaos split-shard/lost-key invariants.
+  [[nodiscard]] std::uint64_t last_op_shard_epoch() const noexcept {
+    return last_op_shard_epoch_;
   }
 
  private:
@@ -356,6 +491,7 @@ class KvFailoverProxy : public IKeyValue, public core::ProxyBase {
   obs::Counter list_refreshes_;
   std::uint64_t list_epoch_ = 0;
   std::uint64_t last_op_epoch_ = 0;
+  std::uint64_t last_op_shard_epoch_ = 0;
   ObjectId last_write_acker_{};
 };
 

@@ -1,0 +1,466 @@
+#include "services/shard_router.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/log.h"
+
+namespace proxy::services {
+
+using kvwire::ShardFreezeRequest;
+using kvwire::ShardFreezeResponse;
+using kvwire::ShardInstallRequest;
+using kvwire::ShardInstallResponse;
+using kvwire::ShardReleaseRequest;
+using kvwire::ShardUnfreezeRequest;
+using shardwire::CommitMoveRequest;
+using shardwire::CommitMoveResponse;
+using shardwire::GetShardMapResponse;
+using shardwire::ShardMap;
+
+// --- routing proxy -----------------------------------------------------
+
+KvShardRouterProxy::KvShardRouterProxy(core::Context& context,
+                                       core::ServiceBinding binding)
+    : core::ProxyBase(context, std::move(binding)) {
+  this->context().metrics().Attach("svc.shard.router.map_refreshes",
+                                   &map_refreshes_);
+  this->context().metrics().Attach("svc.shard.router.wrong_shard_retries",
+                                   &wrong_shard_retries_);
+  this->context().metrics().Attach("svc.shard.router.fanouts", &fanouts_);
+}
+
+KvShardRouterProxy::~KvShardRouterProxy() {
+  context().metrics().Detach("svc.shard.router.map_refreshes",
+                             &map_refreshes_);
+  context().metrics().Detach("svc.shard.router.wrong_shard_retries",
+                             &wrong_shard_retries_);
+  context().metrics().Detach("svc.shard.router.fanouts", &fanouts_);
+}
+
+sim::Co<Status> KvShardRouterProxy::EnsureMap(bool force,
+                                              obs::TraceContext trace) {
+  if (!force && map_.Valid()) co_return Status::Ok();
+  if (force) {
+    map_refreshes_++;
+    context().spans().Annotate(trace, context().scheduler().now(),
+                               "shard map refresh");
+  }
+  rpc::CallOptions traced = options_;
+  traced.trace = trace;
+  rpc::Void none;  // named: see stub.h "GCC note"
+  Result<Bytes> raw = co_await CallRaw(shardwire::kGetShardMap,
+                                       serde::EncodeToBytes(none), traced);
+  if (!raw.ok()) co_return raw.status();
+  Result<GetShardMapResponse> resp =
+      serde::DecodeFromBytes<GetShardMapResponse>(View(*raw));
+  if (!resp.ok()) co_return resp.status();
+  if (!resp->map.Valid()) co_return InternalError("invalid shard map");
+  // Refreshes never regress: a reply raced by a newer fetch is dropped.
+  if (resp->map.version >= map_.version) map_ = std::move(resp->map);
+  co_return Status::Ok();
+}
+
+sim::Co<Result<std::shared_ptr<KvFailoverProxy>>> KvShardRouterProxy::
+    GroupProxy(const std::string& name) {
+  auto it = groups_.find(name);
+  if (it != groups_.end()) co_return it->second;
+  core::AcquireOptions opts;
+  // Always bind the group's advertised failover proxy, never the raw
+  // replica, even when the router happens to share a context with one.
+  opts.allow_direct = false;
+  // The router's own call policy (declared at *its* acquisition) flows
+  // down to every group proxy, so per-op deadlines hold end to end.
+  opts.call = options_;
+  Result<std::shared_ptr<IKeyValue>> acquired =
+      co_await core::Acquire<IKeyValue>(context(), name, opts);
+  if (!acquired.ok()) co_return acquired.status();
+  auto typed = std::dynamic_pointer_cast<KvFailoverProxy>(*acquired);
+  if (!typed) {
+    co_return FailedPreconditionError("group " + name +
+                                      " is not a protocol-4 replicated KV");
+  }
+  groups_.emplace(name, typed);
+  co_return typed;
+}
+
+void KvShardRouterProxy::RecordOp(std::uint32_t shard,
+                                  const std::string& group_name,
+                                  const KvFailoverProxy& group, bool write) {
+  last_op_shard_ = shard;
+  last_op_group_ = group_name;
+  last_op_shard_epoch_ = group.last_op_shard_epoch();
+  last_op_epoch_ = group.last_op_epoch();
+  if (write) last_write_acker_ = group.last_write_acker();
+}
+
+sim::Co<Result<std::optional<std::string>>> KvShardRouterProxy::Get(
+    std::string key) {
+  Status last = UnavailableError("no shard map");
+  for (int pass = 0; pass < kRoutePasses; ++pass) {
+    if (pass > 0) {
+      // Give an in-flight migration a beat to commit before re-asking.
+      co_await sim::SleepFor(context().scheduler(), Milliseconds(10));
+    }
+    const Status ready = co_await EnsureMap(pass > 0);
+    if (!ready.ok()) co_return ready;
+    const std::uint32_t shard = ShardOf(key, map_.num_shards);
+    const std::string group_name = map_.groups[map_.owner[shard]];
+    Result<std::shared_ptr<KvFailoverProxy>> group =
+        co_await GroupProxy(group_name);
+    if (!group.ok()) co_return group.status();
+    Result<std::optional<std::string>> r = co_await (*group)->Get(key);
+    if (r.ok()) {
+      RecordOp(shard, group_name, **group, /*write=*/false);
+      co_return r;
+    }
+    if (r.status().code() != StatusCode::kWrongShard) co_return r.status();
+    wrong_shard_retries_++;
+    last = r.status();
+  }
+  co_return last;
+}
+
+sim::Co<Result<rpc::Void>> KvShardRouterProxy::Put(std::string key,
+                                                   std::string value) {
+  Status last = UnavailableError("no shard map");
+  for (int pass = 0; pass < kRoutePasses; ++pass) {
+    if (pass > 0) {
+      co_await sim::SleepFor(context().scheduler(), Milliseconds(10));
+    }
+    const Status ready = co_await EnsureMap(pass > 0);
+    if (!ready.ok()) co_return ready;
+    const std::uint32_t shard = ShardOf(key, map_.num_shards);
+    const std::string group_name = map_.groups[map_.owner[shard]];
+    Result<std::shared_ptr<KvFailoverProxy>> group =
+        co_await GroupProxy(group_name);
+    if (!group.ok()) co_return group.status();
+    Result<rpc::Void> r = co_await (*group)->Put(key, value);
+    if (r.ok()) {
+      RecordOp(shard, group_name, **group, /*write=*/true);
+      co_return r;
+    }
+    if (r.status().code() != StatusCode::kWrongShard) co_return r.status();
+    wrong_shard_retries_++;
+    last = r.status();
+  }
+  co_return last;
+}
+
+sim::Co<Result<bool>> KvShardRouterProxy::Del(std::string key) {
+  Status last = UnavailableError("no shard map");
+  for (int pass = 0; pass < kRoutePasses; ++pass) {
+    if (pass > 0) {
+      co_await sim::SleepFor(context().scheduler(), Milliseconds(10));
+    }
+    const Status ready = co_await EnsureMap(pass > 0);
+    if (!ready.ok()) co_return ready;
+    const std::uint32_t shard = ShardOf(key, map_.num_shards);
+    const std::string group_name = map_.groups[map_.owner[shard]];
+    Result<std::shared_ptr<KvFailoverProxy>> group =
+        co_await GroupProxy(group_name);
+    if (!group.ok()) co_return group.status();
+    Result<bool> r = co_await (*group)->Del(key);
+    if (r.ok()) {
+      RecordOp(shard, group_name, **group, /*write=*/true);
+      co_return r;
+    }
+    if (r.status().code() != StatusCode::kWrongShard) co_return r.status();
+    wrong_shard_retries_++;
+    last = r.status();
+  }
+  co_return last;
+}
+
+sim::Co<Result<std::uint64_t>> KvShardRouterProxy::Size() {
+  const Status ready = co_await EnsureMap(false);
+  if (!ready.ok()) co_return ready;
+  fanouts_++;
+  std::uint64_t total = 0;
+  // Snapshot: map_ can be refreshed by a concurrent op while a group
+  // call below is suspended.
+  const std::vector<std::string> group_names = map_.groups;
+  for (const auto& name : group_names) {
+    Result<std::shared_ptr<KvFailoverProxy>> group = co_await GroupProxy(name);
+    if (!group.ok()) co_return group.status();
+    Result<std::uint64_t> part = co_await (*group)->Size();
+    if (!part.ok()) co_return part.status();
+    total += *part;
+  }
+  co_return total;
+}
+
+sim::Co<Result<std::vector<std::string>>> KvShardRouterProxy::List(
+    std::string prefix) {
+  const Status ready = co_await EnsureMap(false);
+  if (!ready.ok()) co_return ready;
+  fanouts_++;
+  std::vector<std::string> merged;
+  const std::vector<std::string> group_names = map_.groups;  // snapshot
+  for (const auto& name : group_names) {
+    Result<std::shared_ptr<KvFailoverProxy>> group = co_await GroupProxy(name);
+    if (!group.ok()) co_return group.status();
+    Result<std::vector<std::string>> part = co_await (*group)->List(prefix);
+    if (!part.ok()) co_return part.status();
+    merged.insert(merged.end(), std::make_move_iterator(part->begin()),
+                  std::make_move_iterator(part->end()));
+  }
+  // Dedup: mid-migration a shard is momentarily listable at both ends.
+  std::sort(merged.begin(), merged.end());
+  merged.erase(std::unique(merged.begin(), merged.end()), merged.end());
+  co_return merged;
+}
+
+// --- rebalancer --------------------------------------------------------
+
+ShardRebalancer::ShardRebalancer(core::Context& context,
+                                 core::ServiceBinding map_binding,
+                                 ShardRebalancerParams params)
+    : context_(&context),
+      map_binding_(std::move(map_binding)),
+      params_(params) {
+  context_->metrics().Attach("svc.shard.rebalancer.moves", &moves_);
+  context_->metrics().Attach("svc.shard.rebalancer.move_failures",
+                             &move_failures_);
+}
+
+ShardRebalancer::~ShardRebalancer() {
+  context_->metrics().Detach("svc.shard.rebalancer.moves", &moves_);
+  context_->metrics().Detach("svc.shard.rebalancer.move_failures",
+                             &move_failures_);
+}
+
+sim::Co<Result<ShardMap>> ShardRebalancer::FetchMap() {
+  rpc::Void none;  // named: see stub.h "GCC note"
+  rpc::RpcResult r = co_await context_->client().Call(
+      map_binding_.server, map_binding_.object, shardwire::kGetShardMap,
+      serde::EncodeToBytes(none), params_.call);
+  if (!r.ok()) co_return r.status;
+  Result<GetShardMapResponse> resp =
+      serde::DecodeFromBytes<GetShardMapResponse>(View(r.payload));
+  if (!resp.ok()) co_return resp.status();
+  if (!resp->map.Valid()) co_return InternalError("invalid shard map");
+  co_return std::move(resp->map);
+}
+
+template <typename Resp, typename Req>
+sim::Co<Result<Resp>> ShardRebalancer::CallPrimary(const std::string& group,
+                                                   std::uint32_t method,
+                                                   Req req) {
+  const Bytes args = serde::EncodeToBytes(req);
+  Status last = UnavailableError("no attempt against " + group);
+  for (int attempt = 0; attempt < params_.step_attempts; ++attempt) {
+    if (attempt > 0) {
+      co_await sim::SleepFor(context_->scheduler(), params_.step_pause);
+    }
+    // Re-resolve every attempt: a promotion mid-step moves the name.
+    Result<naming::NameRecord> rec = co_await context_->names().Lookup(group);
+    if (!rec.ok()) {
+      last = rec.status();
+      continue;
+    }
+    rpc::RpcResult r = co_await context_->client().Call(
+        rec->binding.server, rec->binding.object, method, args, params_.call);
+    if (r.ok()) co_return serde::DecodeFromBytes<Resp>(View(r.payload));
+    last = r.status;
+    const StatusCode code = r.status.code();
+    if (code != StatusCode::kTimeout && code != StatusCode::kUnavailable &&
+        code != StatusCode::kFenced) {
+      co_return last;  // semantic error: final
+    }
+  }
+  co_return last;
+}
+
+sim::Co<Status> ShardRebalancer::MigrateShard(std::uint32_t shard,
+                                              std::uint32_t to_group) {
+  Result<ShardMap> map = co_await FetchMap();
+  if (!map.ok()) {
+    move_failures_++;
+    co_return map.status();
+  }
+  if (shard >= map->num_shards || to_group >= map->groups.size()) {
+    move_failures_++;
+    co_return InvalidArgumentError("shard or group out of range");
+  }
+  if (map->owner[shard] != to_group) {
+    const std::string source = map->groups[map->owner[shard]];
+    const std::string dest = map->groups[to_group];
+    // 1. Freeze + copy at the source. Also the resume path: a re-run
+    //    finds the shard already frozen and gets the same snapshot.
+    ShardFreezeRequest freeze_req{shard};
+    Result<ShardFreezeResponse> frozen = co_await CallPrimary<ShardFreezeResponse>(
+        source, kvwire::kShardFreeze, freeze_req);
+    if (!frozen.ok()) {
+      move_failures_++;
+      // Best-effort thaw: the freeze may have landed with its ack lost.
+      ShardUnfreezeRequest thaw{shard};
+      (void)co_await CallPrimary<rpc::Void>(source, kvwire::kShardUnfreeze,
+                                            thaw);
+      co_return frozen.status();
+    }
+    const std::uint64_t next_epoch = frozen->shard_epoch + 1;
+    // 2. Install at the destination under the bumped ownership epoch.
+    ShardInstallRequest install_req;
+    install_req.shard = shard;
+    install_req.shard_epoch = next_epoch;
+    install_req.entries = std::move(frozen->entries);
+    Result<ShardInstallResponse> installed =
+        co_await CallPrimary<ShardInstallResponse>(dest, kvwire::kShardInstall,
+                                                   install_req);
+    if (!installed.ok()) {
+      move_failures_++;
+      ShardUnfreezeRequest thaw{shard};
+      (void)co_await CallPrimary<rpc::Void>(source, kvwire::kShardUnfreeze,
+                                            thaw);
+      co_return installed.status();
+    }
+    // 3. Commit at the map service (version-checked CAS).
+    CommitMoveRequest commit;
+    commit.shard = shard;
+    commit.to_group = to_group;
+    commit.expect_version = map->version;
+    commit.new_shard_epoch = next_epoch;
+    rpc::RpcResult committed = co_await context_->client().Call(
+        map_binding_.server, map_binding_.object, shardwire::kCommitMove,
+        serde::EncodeToBytes(commit), params_.call);
+    if (committed.ok()) {
+      Result<CommitMoveResponse> resp =
+          serde::DecodeFromBytes<CommitMoveResponse>(View(committed.payload));
+      if (!resp.ok()) {
+        move_failures_++;
+        co_return resp.status();
+      }
+      *map = std::move(resp->map);
+    } else {
+      // A failed commit may be OUR earlier commit whose ack was lost (a
+      // re-run after a crash): re-read before declaring defeat.
+      Result<ShardMap> fresh = co_await FetchMap();
+      if (!fresh.ok()) {
+        move_failures_++;
+        co_return fresh.status();
+      }
+      if (fresh->owner[shard] != to_group ||
+          fresh->shard_epoch[shard] < next_epoch) {
+        // A concurrent move really did win; abort cleanly.
+        move_failures_++;
+        ShardUnfreezeRequest thaw{shard};
+        (void)co_await CallPrimary<rpc::Void>(source, kvwire::kShardUnfreeze,
+                                              thaw);
+        co_return committed.status;
+      }
+      *map = std::move(*fresh);
+    }
+  }
+  // 4. Release everywhere but the committed owner: idempotent no-ops at
+  // groups that never held the shard, so a re-run needs no memory of the
+  // source. A failed release leaves the stale copy fenced (safe) and the
+  // move incomplete — re-running MigrateShard finishes it.
+  Status release_verdict = Status::Ok();
+  const std::vector<std::string> group_names = map->groups;
+  for (std::uint32_t g = 0; g < group_names.size(); ++g) {
+    if (g == map->owner[shard]) continue;
+    ShardReleaseRequest rel;
+    rel.shard = shard;
+    rel.committed_epoch = map->shard_epoch[shard];
+    Result<rpc::Void> released = co_await CallPrimary<rpc::Void>(
+        group_names[g], kvwire::kShardRelease, rel);
+    if (!released.ok()) {
+      if (released.status().code() == StatusCode::kFailedPrecondition) {
+        // The group holds the shard under a *newer* epoch than our
+        // committed proof: a later move's install landed there and its
+        // commit is still in flight. That copy is not ours to release —
+        // the later move's own (re-)run settles it with a higher proof.
+        context_->spans().Event(
+            context_->scheduler().now(),
+            "rebalancer: release of shard " + std::to_string(shard) + " at " +
+                group_names[g] + " deferred (newer resident epoch)");
+        continue;
+      }
+      release_verdict = released.status();
+    }
+  }
+  if (!release_verdict.ok()) {
+    move_failures_++;
+    co_return release_verdict;
+  }
+  moves_++;
+  context_->spans().Event(context_->scheduler().now(),
+                          "rebalancer: shard " + std::to_string(shard) +
+                              " -> " + map->groups[to_group] + " @ epoch " +
+                              std::to_string(map->shard_epoch[shard]));
+  co_return Status::Ok();
+}
+
+// --- export ------------------------------------------------------------
+
+sim::Co<Result<ShardedKvExport>> ExportShardedKv(
+    core::Context& map_ctx, std::vector<std::vector<core::Context*>> group_ctxs,
+    ShardedKvParams params) {
+  if (params.name.empty() || group_ctxs.empty() || params.num_shards == 0) {
+    co_return InvalidArgumentError(
+        "sharded export needs a name, groups and shards");
+  }
+  ShardedKvExport out;
+  for (std::size_t g = 0; g < group_ctxs.size(); ++g) {
+    out.group_names.push_back(params.name + "/g" + std::to_string(g));
+  }
+  const ShardMap initial =
+      MakeInitialShardMap(params.num_shards, out.group_names);
+  for (std::size_t g = 0; g < group_ctxs.size(); ++g) {
+    if (group_ctxs[g].empty()) {
+      co_return InvalidArgumentError("group " + std::to_string(g) +
+                                     " has no contexts");
+    }
+    ReplicatedKvParams group_params = params.group;
+    group_params.name = out.group_names[g];
+    const std::vector<core::Context*> backups(group_ctxs[g].begin() + 1,
+                                              group_ctxs[g].end());
+    Result<ReplicatedKvExport> exported =
+        ExportReplicatedKv(*group_ctxs[g][0], backups, group_params);
+    if (!exported.ok()) co_return exported.status();
+    // Seed every replica's shard slice before any simulated time passes
+    // (this function only suspends below, after all groups exist).
+    const ShardConfig config =
+        InitialShardConfig(initial, static_cast<std::uint32_t>(g));
+    for (const auto& replica : exported->replicas) {
+      replica->ConfigureShards(config);
+    }
+    out.groups.push_back(std::move(*exported));
+  }
+  auto map_service = std::make_shared<ShardMapService>(map_ctx, initial);
+  const ObjectId map_object = map_ctx.MintObjectId();
+  const Status exported_map =
+      map_ctx.server().ExportObject(map_object, MakeShardMapDispatch(map_service));
+  if (!exported_map.ok()) co_return exported_map;
+  core::ServiceBinding binding;
+  binding.server = map_ctx.server_address();
+  binding.object = map_object;
+  binding.interface = InterfaceIdOf(IKeyValue::kInterfaceName);
+  binding.protocol = 5;
+  // The base name is plain configuration (no lease): the map service
+  // lives on a non-failing node; each group's *primary* holds the leased
+  // group name underneath it.
+  Result<rpc::Void> registered = co_await map_ctx.names().RegisterService(
+      params.name, binding, /*lease_ns=*/0);
+  if (!registered.ok()) co_return registered.status();
+  out.binding = binding;
+  out.map_service = std::move(map_service);
+  co_return out;
+}
+
+void RegisterShardedKvFactories() {
+  RegisterReplicatedKvFactories();  // groups bind through protocol 4
+  const InterfaceId iface = InterfaceIdOf(IKeyValue::kInterfaceName);
+  auto& proxies = core::ProxyFactoryRegistry::Instance();
+  if (!proxies.Has(iface, 5)) {
+    (void)proxies.Register(
+        iface, 5, [](core::Context& ctx, const core::ServiceBinding& b) {
+          return std::static_pointer_cast<void>(
+              std::static_pointer_cast<IKeyValue>(
+                  std::make_shared<KvShardRouterProxy>(ctx, b)));
+        });
+  }
+}
+
+}  // namespace proxy::services

@@ -57,6 +57,34 @@ TEST(ChaosSmoke, ThirtyTwoSeedsHoldEveryInvariant) {
   }
 }
 
+TEST(ChaosSmoke, ThirtyTwoShardedSeedsHoldEveryInvariant) {
+  // The sharded topology (two 3-replica groups behind the routing proxy,
+  // with online migrations through the fault window) under the same
+  // 32-seed smoke. Horizon and op count are trimmed so the per-seed cost
+  // stays near the unsharded sweep's despite twice the replica nodes.
+  std::uint64_t moves = 0;
+  std::uint64_t fencing_hits = 0;
+  for (std::uint64_t seed = 1; seed <= 32; ++seed) {
+    ChaosOptions options;
+    options.seed = seed;
+    options.sharded = true;
+    options.adversary.horizon = Milliseconds(600);
+    options.workload.ops_per_client = 40;
+    ChaosReport report = RunChaos(options);
+    EXPECT_TRUE(report.ok()) << report.Summary() << "\n" << report.trace_tail;
+    EXPECT_TRUE(report.sharded);
+    EXPECT_GT(report.faults_applied, 0u) << "seed " << seed;
+    EXPECT_GT(report.history_ops, 0u) << "seed " << seed;
+    EXPECT_GE(report.shard_map_version, 1u) << "seed " << seed;
+    moves += report.shard_moves_ok;
+    fencing_hits += report.wrong_shard_rejections + report.wrong_shard_retries;
+  }
+  // The sweep exercised what it claims to cover: migrations committed
+  // and stale-map corrections fired somewhere across the seeds.
+  EXPECT_GT(moves, 0u);
+  EXPECT_GT(fencing_hits, 0u);
+}
+
 // --- replay determinism ---
 
 TEST(ChaosReplay, SameSeedReplaysByteIdentically) {
@@ -110,6 +138,24 @@ TEST(ChaosReplay, MetricsAndSpanTreesReplayByteIdentically) {
   EXPECT_NE(first.span_trees.find("promoted to primary"), std::string::npos);
 }
 
+TEST(ChaosReplay, ShardedRunReplaysByteIdentically) {
+  // Migrations, WRONG_SHARD retries and group failovers are all inside
+  // the deterministic envelope: same seed, same fingerprint.
+  ChaosOptions options;
+  options.seed = 11;
+  options.sharded = true;
+  const ChaosReport first = RunChaos(options);
+  const ChaosReport second = RunChaos(options);
+  EXPECT_TRUE(first.sharded);
+  EXPECT_EQ(first.fingerprint, second.fingerprint);
+  EXPECT_EQ(first.trace_events, second.trace_events);
+  EXPECT_EQ(first.history_ops, second.history_ops);
+  EXPECT_EQ(first.shard_map_version, second.shard_map_version);
+  EXPECT_EQ(first.shard_moves_ok, second.shard_moves_ok);
+  EXPECT_EQ(first.wrong_shard_retries, second.wrong_shard_retries);
+  EXPECT_EQ(first.violations.size(), second.violations.size());
+}
+
 // --- the harness has teeth: a known-bad build is caught ---
 
 TEST(ChaosBugCatch, ReplyAuthRegressionCaughtAndReplaysIdentically) {
@@ -145,6 +191,39 @@ TEST(ChaosBugCatch, SpoofedRepliesAreRejectedOnMain) {
     rejected += report.spoofed_rejected;
   }
   EXPECT_GT(rejected, 0u);
+}
+
+TEST(ChaosBugCatch, StaleShardMapRegressionCaughtByShardingCheckers) {
+  // With shard fencing disabled a group keeps serving shards it froze or
+  // released, so stale-mapped routers are never corrected across
+  // migrations. The sharding invariants must catch the fallout — a sweep
+  // that cannot catch this known-bad build proves nothing about sharding.
+  ChaosReport violating;
+  std::uint64_t seed = 0;
+  for (std::uint64_t s = 1; s <= 64 && seed == 0; ++s) {
+    ChaosOptions options;
+    options.seed = s;
+    options.sharded = true;
+    options.bug = Bug::kStaleShardMap;
+    ChaosReport report = RunChaos(options);
+    if (!report.ok()) {
+      violating = std::move(report);
+      seed = s;
+    }
+  }
+  ASSERT_NE(seed, 0u) << "stale-shard-map bug not caught within 64 seeds";
+  EXPECT_TRUE(HasInvariant(violating, "kv-split-shard") ||
+              HasInvariant(violating, "kv-lost-key"))
+      << violating.Summary();
+
+  // The violating seed replays its trace byte-identically.
+  ChaosOptions options;
+  options.seed = seed;
+  options.sharded = true;
+  options.bug = Bug::kStaleShardMap;
+  const ChaosReport replay = RunChaos(options);
+  EXPECT_EQ(replay.fingerprint, violating.fingerprint);
+  EXPECT_EQ(replay.violations.size(), violating.violations.size());
 }
 
 // --- minimization ---
@@ -321,6 +400,93 @@ TEST(ChaosInvariants, LockOverlappingDefiniteHoldsAreAViolation) {
   h2.Append(c);
   h2.Append(rel_b);
   EXPECT_TRUE(CheckLocks(h2).empty());
+}
+
+/// A router-recorded sharded kv op: acknowledged, stamped with the shard
+/// it hashed to, the serving group's name, its shard-ownership epoch and
+/// its replication epoch.
+OpRecord ShardedOp(std::uint32_t client, OpKind kind, SimTime start,
+                   SimTime end, const std::string& key,
+                   const std::string& group, std::uint32_t shard,
+                   std::uint64_t shard_epoch, std::uint64_t epoch = 1) {
+  OpRecord r = Op(client, kind, OpOutcome::kOk, start, end);
+  r.key = key;
+  r.group = group;
+  r.shard = shard;
+  r.shard_epoch = shard_epoch;
+  r.epoch = epoch;
+  r.flag = kind == OpKind::kKvPut;  // Gets default to "absent"
+  return r;
+}
+
+TEST(ChaosInvariants, ShardLostKeyIsAViolation) {
+  // An acked Put, then a real-time-later absent Get under a *newer*
+  // ownership epoch: the migration lost the key in custody handoff.
+  History h;
+  h.Append(ShardedOp(0, OpKind::kKvPut, 0, 10, "k", "g0", 3, 1));
+  h.Append(ShardedOp(1, OpKind::kKvGet, 20, 30, "k", "g1", 3, 2));
+  const auto violations = CheckKvLostKey(h);
+  ASSERT_FALSE(violations.empty());
+  EXPECT_EQ(violations.front().invariant, "kv-lost-key");
+}
+
+TEST(ChaosInvariants, ShardLostKeyExemptions) {
+  // Exempt: the Get was answered under an OLDER ownership epoch — its
+  // reply raced a migration commit, so "absent" says nothing.
+  History stale_map;
+  stale_map.Append(ShardedOp(0, OpKind::kKvPut, 0, 10, "k", "g1", 3, 2));
+  stale_map.Append(ShardedOp(1, OpKind::kKvGet, 20, 30, "k", "g0", 3, 1));
+  EXPECT_TRUE(CheckKvLostKey(stale_map).empty());
+
+  // Exempt: same group, lower replication epoch — a stale, deposed
+  // replica answered (kv-durability's in-group exemption).
+  History stale_replica;
+  stale_replica.Append(
+      ShardedOp(0, OpKind::kKvPut, 0, 10, "k", "g0", 3, 1, /*epoch=*/2));
+  stale_replica.Append(
+      ShardedOp(1, OpKind::kKvGet, 20, 30, "k", "g0", 3, 1, /*epoch=*/1));
+  EXPECT_TRUE(CheckKvLostKey(stale_replica).empty());
+
+  // Not real-time ordered (the Get started before the Put ended): no
+  // claim to make.
+  History concurrent;
+  concurrent.Append(ShardedOp(0, OpKind::kKvPut, 0, 25, "k", "g0", 3, 1));
+  concurrent.Append(ShardedOp(1, OpKind::kKvGet, 20, 30, "k", "g1", 3, 2));
+  EXPECT_TRUE(CheckKvLostKey(concurrent).empty());
+
+  // Unsharded records (group "") are outside this checker's scope.
+  History unsharded;
+  unsharded.Append(ShardedOp(0, OpKind::kKvPut, 0, 10, "k", "", 0, 0));
+  unsharded.Append(ShardedOp(1, OpKind::kKvGet, 20, 30, "k", "", 0, 0));
+  EXPECT_TRUE(CheckKvLostKey(unsharded).empty());
+}
+
+TEST(ChaosInvariants, SplitShardClaimsAreViolations) {
+  // Two different groups acknowledged writes for one shard under the
+  // same ownership epoch: two simultaneous owners.
+  History split;
+  split.Append(ShardedOp(0, OpKind::kKvPut, 0, 10, "a", "g0", 2, 3));
+  split.Append(ShardedOp(1, OpKind::kKvPut, 20, 30, "b", "g1", 2, 3));
+  const auto violations = CheckKvSplitShard(split);
+  ASSERT_FALSE(violations.empty());
+  EXPECT_EQ(violations.front().invariant, "kv-split-shard");
+
+  // An ack with shard-epoch stamp 0 disclaims ownership of the very
+  // shard it just accepted a write for: with fencing on this cannot
+  // happen, so the zero stamp itself is the violation.
+  History disclaimed;
+  disclaimed.Append(ShardedOp(0, OpKind::kKvPut, 0, 10, "a", "g0", 5, 0));
+  const auto zero_stamp = CheckKvSplitShard(disclaimed);
+  ASSERT_FALSE(zero_stamp.empty());
+  EXPECT_EQ(zero_stamp.front().invariant, "kv-split-shard");
+
+  // One group acking the same shard repeatedly under one epoch — and
+  // another epoch after a move back — is the normal course of business.
+  History clean;
+  clean.Append(ShardedOp(0, OpKind::kKvPut, 0, 10, "a", "g0", 2, 3));
+  clean.Append(ShardedOp(1, OpKind::kKvPut, 20, 30, "b", "g0", 2, 3));
+  clean.Append(ShardedOp(0, OpKind::kKvPut, 40, 50, "a", "g1", 2, 4));
+  EXPECT_TRUE(CheckKvSplitShard(clean).empty());
 }
 
 TEST(ChaosInvariants, ArqRegressionOrDuplicateIsAViolation) {

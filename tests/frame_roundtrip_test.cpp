@@ -12,8 +12,10 @@
 #include "common/rng.h"
 #include "rpc/frame.h"
 #include "serde/reader.h"
+#include "serde/traits.h"
 #include "serde/versioned.h"
 #include "serde/writer.h"
+#include "services/shard_map.h"
 
 namespace proxy::rpc {
 namespace {
@@ -264,6 +266,112 @@ TEST(FrameRoundtrip, RandomFramesRoundTripUnderRandomDeadlines) {
     EXPECT_EQ(decoded->trace.span_id, frame.trace.span_id);
     EXPECT_EQ(decoded->trace.parent_span_id, frame.trace.parent_span_id);
   }
+}
+
+TEST(FrameRoundtrip, ReplyFrameRoundTripsWrongShard) {
+  // WRONG_SHARD is a routing signal, not a failure detail: the router's
+  // refresh-and-retry keys off the exact code surviving the wire.
+  ReplyFrame reply;
+  reply.call = CallId{0xBEEF, 21};
+  reply.code = StatusCode::kWrongShard;
+  reply.error_message = "shard 3 not owned here";
+  const Result<ReplyFrame> decoded = DecodeReply(View(EncodeReply(reply)));
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded->code, StatusCode::kWrongShard);
+  EXPECT_EQ(decoded->error_message, reply.error_message);
+}
+
+// --- shard-map payloads: the routing metadata's own wire contract ------
+
+services::shardwire::ShardMap SampleShardMap() {
+  return services::MakeInitialShardMap(8, {"app/kv/g0", "app/kv/g1"});
+}
+
+TEST(FrameRoundtrip, ShardMapRoundTripsAndValidates) {
+  services::shardwire::ShardMap map = SampleShardMap();
+  map.version = 7;
+  map.owner[3] = 1;
+  map.shard_epoch[3] = 4;
+  const Result<services::shardwire::ShardMap> decoded =
+      serde::DecodeFromBytes<services::shardwire::ShardMap>(
+          View(serde::EncodeToBytes(map)));
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  EXPECT_TRUE(decoded->Valid());
+  EXPECT_EQ(decoded->version, 7u);
+  EXPECT_EQ(decoded->num_shards, 8u);
+  EXPECT_EQ(decoded->groups, map.groups);
+  EXPECT_EQ(decoded->owner, map.owner);
+  EXPECT_EQ(decoded->shard_epoch, map.shard_epoch);
+}
+
+TEST(FrameRoundtrip, TruncatedShardPayloadsNeverDecodeAsValid) {
+  // Every strict prefix of each shard wire payload must fail cleanly: a
+  // router that adopted a half-decoded map would route every key wrong
+  // with full confidence.
+  const Bytes map_bytes = serde::EncodeToBytes(SampleShardMap());
+  for (std::size_t len = 0; len < map_bytes.size(); ++len) {
+    EXPECT_FALSE(serde::DecodeFromBytes<services::shardwire::ShardMap>(
+                     BytesView(map_bytes.data(), len))
+                     .ok())
+        << "map prefix of length " << len << " decoded";
+  }
+
+  services::ShardConfig config;
+  config.num_shards = 8;
+  config.Adopt(2, 3);
+  config.Adopt(5, 1);
+  config.Freeze(2);
+  const Bytes config_bytes = serde::EncodeToBytes(config);
+  for (std::size_t len = 0; len < config_bytes.size(); ++len) {
+    EXPECT_FALSE(serde::DecodeFromBytes<services::ShardConfig>(
+                     BytesView(config_bytes.data(), len))
+                     .ok())
+        << "config prefix of length " << len << " decoded";
+  }
+  const Result<services::ShardConfig> whole =
+      serde::DecodeFromBytes<services::ShardConfig>(View(config_bytes));
+  ASSERT_TRUE(whole.ok());
+  EXPECT_TRUE(whole->Owns(2));
+  EXPECT_TRUE(whole->Frozen(2));
+  EXPECT_EQ(whole->EpochOf(5), 1u);
+
+  services::shardwire::CommitMoveRequest commit;
+  commit.shard = 3;
+  commit.to_group = 1;
+  commit.expect_version = 7;
+  commit.new_shard_epoch = 4;
+  const Bytes commit_bytes = serde::EncodeToBytes(commit);
+  for (std::size_t len = 0; len < commit_bytes.size(); ++len) {
+    EXPECT_FALSE(
+        serde::DecodeFromBytes<services::shardwire::CommitMoveRequest>(
+            BytesView(commit_bytes.data(), len))
+            .ok())
+        << "commit prefix of length " << len << " decoded";
+  }
+}
+
+TEST(FrameRoundtrip, CorruptedShardMapEitherFailsOrStaysStructural) {
+  // Bit-flip fuzz over the encoded map: the decoder must terminate with
+  // ok-or-error every time, and anything it does accept must be
+  // structurally coherent after Valid() — the router's adoption gate.
+  Rng rng(4242);
+  const Bytes base = serde::EncodeToBytes(SampleShardMap());
+  int accepted = 0;
+  for (int trial = 0; trial < 2000; ++trial) {
+    Bytes mutated = base;
+    const int flips = 1 + static_cast<int>(rng.UniformU64(4));
+    for (int i = 0; i < flips; ++i) {
+      const std::size_t pos = rng.UniformU64(mutated.size());
+      mutated[pos] ^= static_cast<std::uint8_t>(1 + rng.UniformU64(255));
+    }
+    const Result<services::shardwire::ShardMap> decoded =
+        serde::DecodeFromBytes<services::shardwire::ShardMap>(View(mutated));
+    if (decoded.ok() && decoded->Valid()) accepted++;
+  }
+  // Some mutations decode (varint payloads are dense); that is fine —
+  // corruption *rejection* is the CRC envelope's job a layer below. The
+  // decoder just must never crash, hang, or index out of bounds.
+  (void)accepted;
 }
 
 }  // namespace

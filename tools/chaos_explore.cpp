@@ -10,6 +10,12 @@
 //                                         spoofing bug (the sweep must catch it)
 //   chaos_explore ... --bug=stale-primary disable epoch fencing: a deposed kv
 //                                         primary keeps acknowledging writes
+//   chaos_explore --sharded ...           run the sharded topology: two replica
+//                                         groups behind a routing proxy, with
+//                                         online shard migrations in the window
+//   chaos_explore ... --bug=stale-shard-map disable shard fencing: stale maps
+//                                         route ops to groups that lost the
+//                                         shard (kv-lost-key / kv-split-shard)
 //   chaos_explore --seed=17 --metrics     print the run's metric registry
 //                                         (counters + latency histograms)
 //   chaos_explore --seed=17 --trace       record causal spans; print every
@@ -40,6 +46,7 @@ struct Args {
   std::uint64_t seeds = 0;      // sweep count (seeds 1..N)
   std::uint64_t seed = 0;       // single seed
   bool replay = false;
+  bool sharded = false;
   bool minimize = false;
   bool metrics = false;
   bool trace = false;
@@ -79,6 +86,17 @@ void PrintUsage(std::FILE* out) {
                "                     primary keeps acknowledging writes\n"
                "                     (kv-epoch-regression / kv-durability / "
                "kv-split-brain)\n"
+               "      stale-shard-map  disable shard-ownership fencing "
+               "(implies --sharded);\n"
+               "                     stale shard maps are never corrected and "
+               "route ops to\n"
+               "                     groups that lost the shard (kv-lost-key / "
+               "kv-split-shard)\n"
+               "  --sharded          shard the KV across two replica groups "
+               "behind the\n"
+               "                     routing proxy and drive online shard "
+               "migrations\n"
+               "                     through the fault window\n"
                "  --metrics          print the metric registry after the run "
                "(table + JSON);\n"
                "                     deterministic: same seed, same bytes\n"
@@ -104,6 +122,8 @@ bool Parse(int argc, char** argv, Args& args) {
       if (!ParseU64(a + 13, args.first_seed)) return false;
     } else if (std::strcmp(a, "--replay") == 0) {
       args.replay = true;
+    } else if (std::strcmp(a, "--sharded") == 0) {
+      args.sharded = true;
     } else if (std::strcmp(a, "--metrics") == 0) {
       args.metrics = true;
     } else if (std::strcmp(a, "--trace") == 0) {
@@ -117,12 +137,15 @@ bool Parse(int argc, char** argv, Args& args) {
       args.bug = Bug::kReplyAuth;
     } else if (std::strcmp(a, "--bug=stale-primary") == 0) {
       args.bug = Bug::kStalePrimary;
+    } else if (std::strcmp(a, "--bug=stale-shard-map") == 0) {
+      args.bug = Bug::kStaleShardMap;
+      args.sharded = true;  // the bug only exists in a sharded deployment
     } else if (std::strcmp(a, "--bug=none") == 0) {
       args.bug = Bug::kNone;
     } else if (std::strncmp(a, "--bug=", 6) == 0) {
       std::fprintf(stderr,
                    "unknown bug '%s' (valid: none, reply-auth, "
-                   "stale-primary)\n",
+                   "stale-primary, stale-shard-map)\n",
                    a + 6);
       return false;
     } else {
@@ -142,6 +165,7 @@ ChaosOptions MakeOptions(const Args& args, std::uint64_t seed) {
   ChaosOptions options;
   options.seed = seed;
   options.bug = args.bug;
+  options.sharded = args.sharded;
   options.collect_metrics = args.metrics;
   options.collect_spans = args.trace;
   options.trace_filter = args.trace_filter;
@@ -171,8 +195,12 @@ int RunSweep(const Args& args) {
     const char* bug_flag = "";
     if (args.bug == Bug::kReplyAuth) bug_flag = " --bug=reply-auth";
     if (args.bug == Bug::kStalePrimary) bug_flag = " --bug=stale-primary";
-    std::printf("reproduce with: chaos_explore --seed=%llu%s\n",
-                static_cast<unsigned long long>(s), bug_flag);
+    if (args.bug == Bug::kStaleShardMap) bug_flag = " --bug=stale-shard-map";
+    std::printf("reproduce with: chaos_explore --seed=%llu%s%s\n",
+                static_cast<unsigned long long>(s),
+                args.sharded && args.bug != Bug::kStaleShardMap ? " --sharded"
+                                                                : "",
+                bug_flag);
   }
   std::printf("sweep: %llu seeds, %llu violating\n",
               static_cast<unsigned long long>(args.seeds),
