@@ -1,7 +1,8 @@
 #!/usr/bin/env bash
 # One-command verification: configure + build the default preset, run the
 # full test suite (which includes the 32-seed chaos smoke), then run a
-# 128-seed chaos sweep with the chaos_explore driver. Any violation fails
+# 128-seed chaos sweep with the chaos_explore driver — plus a 64-seed
+# overload sweep and a retry-storm bug demonstrator. Any violation fails
 # the script and prints the reproducing seed. After the sweep, three
 # observability gates: the obs unit suite runs under every preset (the
 # asan-chaos ctest filter would otherwise skip it), a seeded
@@ -73,6 +74,11 @@ echo "== ctest (shard battery) =="
 # label wiring under every preset and gives the battery its own line.
 ctest --test-dir "$BUILD_DIR" -L shard -j "$(nproc)" --output-on-failure
 
+echo "== ctest (overload battery) =="
+# Admission control, priority shedding and the degradation hooks, under
+# every preset (same rationale as the shard line above).
+ctest --test-dir "$BUILD_DIR" -L overload -j "$(nproc)" --output-on-failure
+
 # Suspended coroutine frames (replica watchdogs, rejoins parked on RPCs
 # to crashed peers) are not destroyed at harness teardown — a known
 # limitation; the chaos tests run with the same setting (tests/CMakeLists).
@@ -86,6 +92,23 @@ echo "== chaos sweep, sharded ($SEEDS seeds) =="
 # routing proxy with online migrations through the fault window. Gates
 # kv-lost-key / kv-split-shard on top of the replication invariants.
 "./$BUILD_DIR/tools/chaos_explore" --seeds="$SEEDS" --sharded
+
+echo "== chaos sweep, overload (64 seeds) =="
+# Open-loop priority lanes drowning an admission-controlled server
+# through the fault window. Gates no-priority-inversion, bounded-queue,
+# shed-not-executed and bounded-retry-amplification.
+"./$BUILD_DIR/tools/chaos_explore" --seeds=64 --overload
+
+echo "== chaos bug demonstrator: retry-storm =="
+# The sweep must have teeth: with the client retry governors disabled
+# (--bug=retry-storm implies --overload) some seed must trip the
+# amplification bound. A sweep that passes a known retry storm proves
+# nothing about the governors.
+if "./$BUILD_DIR/tools/chaos_explore" --seeds=32 --bug=retry-storm \
+    > /dev/null 2>&1; then
+  echo "FAIL: retry-storm bug not caught by the 32-seed overload sweep"
+  exit 1
+fi
 
 echo "== obs unit tests =="
 "./$BUILD_DIR/tests/obs_test" --gtest_brief=1
@@ -125,6 +148,8 @@ if [ "$BENCH" = "1" ]; then
     "./$BUILD_DIR/bench/bench_marshalling" > /dev/null
   PROXY_BENCH_JSON="$wire_jsonl" "./$BUILD_DIR/bench/bench_lrpc" > /dev/null
   PROXY_BENCH_JSON="$wire_jsonl" "./$BUILD_DIR/bench/bench_replication" \
+    > /dev/null
+  PROXY_BENCH_JSON="$wire_jsonl" "./$BUILD_DIR/bench/bench_overload" \
     > /dev/null
   python3 scripts/perf_gate.py --baseline bench/BENCH_wire.json \
     --current "$wire_jsonl"

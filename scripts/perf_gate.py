@@ -41,6 +41,12 @@ RULES = {
     "bytes_copied_per_op": ("down", 1.1),
     "mean_read_latency_ns": ("down", 1.1),
     "msgs_per_call": ("down", 1.1),
+    # Overload (F8): P0 must keep its goodput at 2x offered load with
+    # admission control on, and the admission-off ablation must stay
+    # collapsed — if it recovers, the ablation no longer demonstrates
+    # the failure mode admission control exists to prevent.
+    "p0_goodput_retention_x2": ("up", 0.9),
+    "ablation_goodput_fraction_x2": ("down", 1.25),
 }
 
 
@@ -50,6 +56,10 @@ def load_baseline(path):
     if doc.get("version") != 1 or not doc.get("trajectory"):
         raise ValueError(f"{path}: not a version-1 trajectory file")
     entry = doc["trajectory"][-1]
+    if "label" not in entry or "metrics" not in entry:
+        raise ValueError(
+            f"{path}: last trajectory entry lacks 'label'/'metrics'"
+        )
     return entry["label"], entry["metrics"]
 
 
@@ -66,8 +76,24 @@ def load_current(path):
                 rec = json.loads(line)
             except json.JSONDecodeError as e:
                 raise ValueError(f"{path}:{lineno}: bad JSON ({e})") from e
+            if not isinstance(rec, dict):
+                raise ValueError(f"{path}:{lineno}: record is not an object")
+            missing = [k for k in ("bench", "scenario", "metrics")
+                       if k not in rec]
+            if missing:
+                raise ValueError(
+                    f"{path}:{lineno}: record missing key(s) "
+                    f"{', '.join(missing)} — not a bench emission?"
+                )
             prefix = f"{rec['bench']}/{rec['scenario']}"
-            for key, m in rec["metrics"].items():
+            metrics = rec["metrics"]
+            if not isinstance(metrics, dict):
+                raise ValueError(f"{path}:{lineno}: 'metrics' is not an object")
+            for key, m in metrics.items():
+                if not isinstance(m, dict) or "value" not in m:
+                    raise ValueError(
+                        f"{path}:{lineno}: metric '{key}' has no 'value'"
+                    )
                 if m.get("deterministic"):
                     flat[f"{prefix}/{key}"] = m["value"]
     return flat
@@ -139,6 +165,50 @@ def self_test():
     if not check(baseline, dropped):
         print("self-test FAIL: dropped scenario passed")
         return 1
+    # Overload rules: the P0-retention floor and the ablation-collapse
+    # ceiling must both have teeth.
+    overload_base = {
+        "overload/priority/x2/p0_goodput_retention_x2": 0.9,
+        "overload/ablation/x2/ablation_goodput_fraction_x2": 0.1,
+    }
+    if check(overload_base, dict(overload_base)):
+        print("self-test FAIL: identical overload run was rejected")
+        return 1
+    degraded = dict(overload_base)
+    degraded["overload/priority/x2/p0_goodput_retention_x2"] = 0.5
+    degraded["overload/ablation/x2/ablation_goodput_fraction_x2"] = 0.8
+    if len(check(overload_base, degraded)) != 2:
+        print("self-test FAIL: overload regressions passed")
+        return 1
+    # Malformed current-run records must produce a clear error naming the
+    # offending line, not a bare KeyError traceback.
+    import os
+    import tempfile
+
+    cases = [
+        ('{"scenario": "s", "metrics": {}}', "missing key(s) bench"),
+        ('{"bench": "b", "scenario": "s", "metrics": {"k": {}}}',
+         "has no 'value'"),
+        ('["not", "an", "object"]', "not an object"),
+    ]
+    for content, want in cases:
+        fd, path = tempfile.mkstemp(suffix=".jsonl")
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as f:
+                f.write(content + "\n")
+            try:
+                load_current(path)
+            except ValueError as e:
+                if want not in str(e):
+                    print(
+                        f"self-test FAIL: wanted '{want}' in error, got: {e}"
+                    )
+                    return 1
+            else:
+                print(f"self-test FAIL: malformed record accepted: {content}")
+                return 1
+        finally:
+            os.unlink(path)
     print("perf_gate self-test: OK (regressions rejected, clean run passes)")
     return 0
 

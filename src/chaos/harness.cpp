@@ -70,6 +70,14 @@ std::string ChaosReport::Summary() const {
         << " reroutes=" << wrong_shard_retries
         << " wiped=" << wiped_groups;
   }
+  if (overload) {
+    out << " ovl=" << overload_ok << "/" << overload_offered
+        << " shed=" << overload_shed << " rejected=" << overload_rejected
+        << " evicted=" << overload_evicted
+        << " qshed=" << overload_deadline_shed
+        << " qpeak=" << overload_queue_peak
+        << " retrans=" << overload_retransmissions;
+  }
   out << " violations=" << violations.size();
   for (const Violation& v : violations) out << "\n  " << v.ToString();
   return out.str();
@@ -114,6 +122,19 @@ ChaosReport RunChaos(const ChaosOptions& options) {
   const NodeId rogue_node = rt.AddNode("rogue");
   const NodeId arq_src_node = rt.AddNode("arq-src");
   const NodeId arq_dst_node = rt.AddNode("arq-dst");
+  // Overload world: a dedicated throttled server plus one client node
+  // per priority class. Disjoint from the main topology — the lanes
+  // stress admission control without perturbing the other invariants'
+  // workloads (beyond sharing the fault schedule's link faults, which is
+  // the point: overload + partitions compose).
+  std::optional<NodeId> ovl_srv_node;
+  std::vector<NodeId> ovl_client_nodes;
+  if (options.overload) {
+    ovl_srv_node = rt.AddNode("ovl-srv");
+    for (std::uint32_t i = 0; i < rpc::kPriorityLevels; ++i) {
+      ovl_client_nodes.push_back(rt.AddNode("ovl-client-" + std::to_string(i)));
+    }
+  }
   const auto node_count = static_cast<std::uint32_t>(rt.network().node_count());
 
   rt.StartNameService(ns_node);
@@ -224,6 +245,75 @@ ChaosReport RunChaos(const ChaosOptions& options) {
     return report;
   }
 
+  // --- overload world: throttled server + one open-loop lane per
+  // priority class ---
+  // Capacity model: max_concurrency / service_time = 4 / 1ms = 4000
+  // ops/s; three lanes at 2000/s each offer 1.5x that, so the admission
+  // queue is permanently past its knee while the lanes run. The
+  // admission log feeds CheckAdmission; the lanes' history feeds
+  // CheckShedNotExecuted; the lane clients' counters feed
+  // CheckRetryAmplification.
+  constexpr std::size_t kOvlMaxConcurrency = 4;
+  constexpr std::size_t kOvlQueueCapacity = 16;
+  constexpr SimDuration kOvlServiceTime = Milliseconds(1);
+  struct OvlLane {
+    core::Context* ctx = nullptr;
+    std::unique_ptr<services::KvStub> proxy;
+    OpenLoopParams params;
+    OpenLoopStats stats;
+  };
+  std::vector<rpc::AdmissionEvent> admission_log;
+  std::shared_ptr<services::KvService> ovl_impl;
+  core::Context* ovl_srv = nullptr;
+  std::vector<OvlLane> lanes;
+  History ovl_history;
+  if (options.overload) {
+    ovl_srv = &rt.CreateContext(*ovl_srv_node, "ovl-srv");
+    ovl_impl = std::make_shared<services::KvService>(*ovl_srv);
+    const ObjectId ovl_id = ovl_srv->MintObjectId();
+    const Status exported = ovl_srv->server().ExportObject(
+        ovl_id, MakeThrottledKvDispatch(ovl_impl, sched, kOvlServiceTime));
+    if (!exported.ok()) {
+      report.violations.push_back(
+          {"harness-setup", "overload server export failed"});
+      return report;
+    }
+    ovl_srv->server().set_admission(kOvlMaxConcurrency, kOvlQueueCapacity,
+                                    Milliseconds(5));
+    ovl_srv->server().set_admission_log(&admission_log);
+    core::ServiceBinding ovl_binding;
+    ovl_binding.server = ovl_srv->server_address();
+    ovl_binding.object = ovl_id;
+    ovl_binding.interface =
+        InterfaceIdOf(services::IKeyValue::kInterfaceName);
+    ovl_binding.protocol = 1;
+    lanes.resize(rpc::kPriorityLevels);
+    for (std::uint32_t i = 0; i < rpc::kPriorityLevels; ++i) {
+      OvlLane& lane = lanes[i];
+      lane.ctx = &rt.CreateContext(ovl_client_nodes[i],
+                                   "ovl-client-" + std::to_string(i));
+      if (options.bug == Bug::kRetryStorm) {
+        lane.ctx->client().set_testing_retry_governors(false);
+      }
+      lane.proxy =
+          std::make_unique<services::KvStub>(*lane.ctx, ovl_binding);
+      rpc::CallOptions call;
+      call.deadline = Milliseconds(60);
+      call.retry_interval = Milliseconds(5);
+      call.max_retries = 16;
+      call.priority = static_cast<rpc::Priority>(i);
+      lane.proxy->set_call_options(call);
+      lane.params.rate_per_sec = 2000.0;
+      lane.params.duration = Milliseconds(400);
+      lane.params.seed = options.seed ^ (0x07E10ADULL + i);
+      lane.params.priority = static_cast<rpc::Priority>(i);
+      lane.params.value_tag = "ovl" + std::to_string(i);
+      // Shared key space across the lanes: a shed P2 write must stay
+      // invisible to P0 readers too, and the checker can see that.
+      lane.params.key_prefix = "ov";
+    }
+  }
+
   // --- ARQ probe stream (covers the ordered-transport invariant) ---
   net::Endpoint* arq_src = rt.stack(arq_src_node).OpenEphemeral();
   net::Endpoint* arq_dst = rt.stack(arq_dst_node).OpenEphemeral();
@@ -324,6 +414,15 @@ ChaosReport RunChaos(const ChaosOptions& options) {
   for (auto& client : clients) {
     runs.push_back(
         sim::Spawn(sched, client->Run(options.workload, history)));
+  }
+  // The overload lanes run concurrently with the fault window: admission
+  // control must hold its invariants while the schedule partitions and
+  // crashes the rest of the world around it.
+  for (std::size_t i = 0; i < lanes.size(); ++i) {
+    runs.push_back(sim::Spawn(
+        sched, RunOpenLoop(sched, *lanes[i].proxy, lanes[i].params,
+                           lanes[i].stats, &ovl_history,
+                           static_cast<std::uint32_t>(1000 + i))));
   }
   std::optional<sim::Future<bool>> migrations_done;
   if (options.sharded) {
@@ -530,6 +629,23 @@ ChaosReport RunChaos(const ChaosOptions& options) {
   Append(report.violations, CheckKvEpochs(history));
   Append(report.violations, CheckKvLostKey(history));
   Append(report.violations, CheckKvSplitShard(history));
+  if (options.overload) {
+    Append(report.violations,
+           CheckAdmission(admission_log, kOvlQueueCapacity,
+                          ovl_srv->server().admission_queue_peak()));
+    Append(report.violations, CheckShedNotExecuted(ovl_history));
+    for (std::size_t i = 0; i < lanes.size(); ++i) {
+      const rpc::ClientStats& cs = lanes[i].ctx->client().stats();
+      Append(report.violations,
+             CheckRetryAmplification(
+                 cs.retransmissions.value(), cs.calls_ok.value(),
+                 /*destinations=*/1,
+                 rpc::RpcClient::RetryBudgetParams{}.initial_tokens,
+                 rpc::RpcClient::RetryBudgetParams{}.refill_per_success,
+                 "ovl-client-" + std::to_string(i)));
+    }
+    ovl_srv->server().set_admission_log(nullptr);
+  }
 
   report.fingerprint = trace.fingerprint();
   report.trace_events = trace.events();
@@ -576,6 +692,21 @@ ChaosReport RunChaos(const ChaosOptions& options) {
         report.wrong_shard_retries += router->wrong_shard_retries();
       }
     }
+  }
+  if (options.overload) {
+    report.overload = true;
+    for (const OvlLane& lane : lanes) {
+      report.overload_offered += lane.stats.offered;
+      report.overload_ok += lane.stats.ok;
+      report.overload_shed += lane.stats.shed;
+      report.overload_retransmissions +=
+          lane.ctx->client().stats().retransmissions.value();
+    }
+    const rpc::ServerStats& ss = ovl_srv->server().stats();
+    report.overload_rejected = ss.admission_rejected.value();
+    report.overload_evicted = ss.admission_evicted.value();
+    report.overload_deadline_shed = ss.shed_expired_queued.value();
+    report.overload_queue_peak = ovl_srv->server().admission_queue_peak();
   }
   if (!report.violations.empty()) {
     report.trace_tail = trace.DumpTail(64);

@@ -38,6 +38,12 @@ enum class Bug : std::uint8_t {
   /// map is never corrected and its traffic lands on the wrong group
   /// across migrations. Caught by kv-split-shard / kv-lost-key.
   kStaleShardMap = 3,
+  /// Disables the client-side retry governors (per-call attempt budget
+  /// and per-destination retry token bucket) on the overload lanes: a
+  /// congested server now breeds retransmission storms — the classic
+  /// retry-amplification collapse. Caught by
+  /// bounded-retry-amplification (requires --overload).
+  kRetryStorm = 4,
 };
 
 struct ChaosOptions {
@@ -55,6 +61,13 @@ struct ChaosOptions {
   /// name and speak plain IKeyValue; only the binding differs.
   bool sharded = false;
   std::uint32_t shard_moves = 3;
+  /// Overload phase: a dedicated throttled KV server with a bounded
+  /// admission queue, driven past its knee by three open-loop lanes (one
+  /// per priority class) concurrently with the fault window. Adds the
+  /// admission/shed/retry-amplification checkers to the verdict. The
+  /// overload world is disjoint from the main topology (own server, own
+  /// clients, own history), so it composes with --sharded and every bug.
+  bool overload = false;
   /// Human-readable trace records kept for diagnosis.
   std::size_t trace_tail = 2048;
   /// Export the Runtime's MetricsRegistry into the report (table + JSON).
@@ -98,6 +111,15 @@ struct ChaosReport {
   /// and terminal, so move recovery and the quiescence residency checks
   /// exempt it (loudly) instead of reporting protocol violations.
   std::uint64_t wiped_groups = 0;
+  bool overload = false;                  // overload phase ran
+  std::uint64_t overload_offered = 0;     // open-loop arrivals, all lanes
+  std::uint64_t overload_ok = 0;          // completed OK (goodput)
+  std::uint64_t overload_shed = 0;        // RESOURCE_EXHAUSTED verdicts
+  std::uint64_t overload_rejected = 0;    // server fast-rejects
+  std::uint64_t overload_evicted = 0;     // queued waiters displaced
+  std::uint64_t overload_deadline_shed = 0;  // expired in queue, dropped
+  std::uint64_t overload_queue_peak = 0;  // admission queue high-water
+  std::uint64_t overload_retransmissions = 0;  // all lanes, client-side
   std::string trace_tail;              // populated when violations exist
   std::string metrics_table;           // collect_metrics: RenderTable()
   std::string metrics_json;            // collect_metrics: RenderJson()

@@ -401,4 +401,92 @@ std::vector<Violation> CheckArqStream(
   return out;
 }
 
+std::vector<Violation> CheckAdmission(
+    const std::vector<rpc::AdmissionEvent>& log, std::size_t queue_capacity,
+    std::size_t queue_peak) {
+  std::vector<Violation> out;
+  for (std::size_t i = 0; i < log.size(); ++i) {
+    const rpc::AdmissionEvent& ev = log[i];
+    // A fast-reject with a strictly worse waiter still queued means the
+    // server preferred old low-priority work over a new high-priority
+    // arrival: the definition of a priority inversion. worst_waiting ==
+    // kPriorityLevels encodes an empty queue (rejecting with nothing to
+    // evict is legitimate when queue_capacity is 0).
+    if (ev.action == rpc::AdmissionEvent::Action::kReject &&
+        ev.worst_waiting != rpc::kPriorityLevels &&
+        ev.worst_waiting > static_cast<std::uint8_t>(ev.priority)) {
+      out.push_back(
+          {"no-priority-inversion",
+           "admission event #" + std::to_string(i) + " at t=" +
+               std::to_string(ev.at) + ": rejected " +
+               rpc::PriorityName(ev.priority) + " while a P" +
+               std::to_string(ev.worst_waiting) + " waiter sat in the queue"});
+    }
+    if (ev.depth > queue_capacity) {
+      out.push_back({"bounded-queue",
+                     "admission event #" + std::to_string(i) +
+                         " observed queue depth " + std::to_string(ev.depth) +
+                         " > capacity " + std::to_string(queue_capacity)});
+    }
+  }
+  if (queue_peak > queue_capacity) {
+    out.push_back({"bounded-queue",
+                   "queue high-water mark " + std::to_string(queue_peak) +
+                       " > capacity " + std::to_string(queue_capacity)});
+  }
+  return out;
+}
+
+std::vector<Violation> CheckShedNotExecuted(const History& history) {
+  std::vector<Violation> out;
+  // Unique value -> the shed Put that wrote it. Values are unique per
+  // generator op, so one lookup table suffices.
+  std::unordered_map<std::string, const OpRecord*> shed_values;
+  for (const OpRecord& op : history.ops) {
+    if (op.kind == OpKind::kKvPut && op.outcome == OpOutcome::kShed) {
+      shed_values.emplace(op.value, &op);
+    }
+  }
+  if (shed_values.empty()) return out;
+  for (const OpRecord& op : history.ops) {
+    if (op.kind != OpKind::kKvGet || op.outcome != OpOutcome::kOk ||
+        !op.flag) {
+      continue;
+    }
+    const auto it = shed_values.find(op.value);
+    if (it != shed_values.end() && it->second->key == op.key) {
+      out.push_back(
+          {"shed-not-executed",
+           OpName(op) + " read value \"" + op.value + "\" of key \"" +
+               op.key + "\" that " + OpName(*it->second) +
+               " wrote in a Put the server claims it shed"});
+    }
+  }
+  return out;
+}
+
+std::vector<Violation> CheckRetryAmplification(
+    std::uint64_t retransmissions, std::uint64_t ok_replies,
+    std::uint64_t destinations, double initial_tokens,
+    double refill_per_success, const std::string& who) {
+  std::vector<Violation> out;
+  // Token-bucket conservation: every retransmission spends one token,
+  // tokens only arrive as `initial` (per destination) plus the
+  // per-success refill. "+1" absorbs the fractional token a client may
+  // legitimately still be holding.
+  const double income = initial_tokens * static_cast<double>(destinations) +
+                        refill_per_success * static_cast<double>(ok_replies) +
+                        1.0;
+  if (static_cast<double>(retransmissions) > income) {
+    out.push_back(
+        {"bounded-retry-amplification",
+         who + ": " + std::to_string(retransmissions) +
+             " retransmissions exceed the retry budget's total income " +
+             std::to_string(income) + " (" + std::to_string(ok_replies) +
+             " ok replies over " + std::to_string(destinations) +
+             " destinations) — retry governors are not holding"});
+  }
+  return out;
+}
+
 }  // namespace proxy::chaos

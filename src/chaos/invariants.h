@@ -27,6 +27,7 @@
 #include <vector>
 
 #include "common/clock.h"
+#include "rpc/server.h"
 
 namespace proxy::chaos {
 
@@ -41,7 +42,12 @@ enum class OpKind : std::uint8_t {
 
 enum class OpOutcome : std::uint8_t {
   kOk = 1,
-  kFailed = 2,  // timeout / shed / error: may or may not have executed
+  kFailed = 2,  // timeout / error: may or may not have executed
+  /// The server explicitly rejected the call with RESOURCE_EXHAUSTED
+  /// (admission control). Unlike kFailed this is a *definite* verdict:
+  /// rejects are reply-cached, so a shed operation never executed and
+  /// its effects must never become visible (CheckShedNotExecuted).
+  kShed = 3,
 };
 
 struct OpRecord {
@@ -69,6 +75,10 @@ struct OpRecord {
   std::uint32_t shard = 0;
   std::uint64_t shard_epoch = 0;
   std::string group;
+  /// Priority the op was issued at (rpc::Priority value; 0 = P0/high).
+  /// Stamped by the open-loop overload generator; the priority checkers
+  /// ignore records from the closed-loop workload (all default P1).
+  std::uint8_t priority = 1;
 };
 
 struct History {
@@ -135,5 +145,38 @@ std::vector<Violation> CheckKvLostKey(const History& history);
 /// epoch, and no group ever acknowledges a write to a shard while
 /// disclaiming ownership of it (shard-epoch stamp 0).
 std::vector<Violation> CheckKvSplitShard(const History& history);
+
+/// Overload invariants over a server's admission-decision log (installed
+/// via RpcServer::set_admission_log).
+///
+/// no-priority-inversion: at the moment a request is fast-rejected, no
+/// strictly lower-priority request may be left sitting in the admission
+/// queue — the arrival should have displaced it instead. Checked per
+/// decision (the event records the worst waiting class *after* the
+/// decision), so it is sound under any interleaving.
+/// bounded-queue: no decision ever observes the queue deeper than its
+/// configured capacity, and the lifetime high-water mark agrees.
+std::vector<Violation> CheckAdmission(
+    const std::vector<rpc::AdmissionEvent>& log, std::size_t queue_capacity,
+    std::size_t queue_peak);
+
+/// shed-means-not-executed: a Put the server shed (OpOutcome::kShed —
+/// the client saw RESOURCE_EXHAUSTED, and rejects are reply-cached so no
+/// retransmission can sneak it in later) must never have its unique
+/// value observed by any successful Get, at any time. The generator
+/// writes a distinct value per operation, so value equality identifies
+/// the exact shed write.
+std::vector<Violation> CheckShedNotExecuted(const History& history);
+
+/// bounded-retry-amplification: with the retry governors on, one
+/// client's total retransmissions cannot exceed its per-destination
+/// token bucket's income — `initial_tokens + refill_per_success *
+/// ok_replies` per destination (`destinations` = how many the client
+/// talked to; the overload clients talk to exactly one). The retry-storm
+/// bug (governors disabled) blows through this bound under overload.
+std::vector<Violation> CheckRetryAmplification(
+    std::uint64_t retransmissions, std::uint64_t ok_replies,
+    std::uint64_t destinations, double initial_tokens,
+    double refill_per_success, const std::string& who);
 
 }  // namespace proxy::chaos

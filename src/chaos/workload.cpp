@@ -1,15 +1,165 @@
 #include "chaos/workload.h"
 
+#include <algorithm>
+#include <memory>
 #include <string>
 #include <utility>
+#include <vector>
 
 #include "core/factory.h"
 #include "core/proxy.h"
+#include "rpc/stub.h"
 #include "services/replicated_kv.h"
 #include "services/shard_router.h"
 #include "sim/future.h"
 
 namespace proxy::chaos {
+
+namespace {
+
+/// State shared between an open-loop lane and its in-flight operations.
+/// Heap-held: the ops are detached coroutines that may outlive the body
+/// of the spawning loop's stack frame between suspensions.
+struct OpenLoopShared {
+  OpenLoopStats* stats = nullptr;
+  History* history = nullptr;
+  std::uint32_t client_id = 0;
+  std::uint64_t in_flight = 0;
+  std::uint64_t next_op = 0;
+};
+
+sim::Co<void> OpenLoopOp(sim::Scheduler& sched, services::IKeyValue& kv,
+                         const OpenLoopParams params,
+                         std::shared_ptr<OpenLoopShared> shared, bool write,
+                         std::string key, std::string value) {
+  const SimTime start = sched.now();
+  const std::uint64_t op_index = shared->next_op++;
+  shared->in_flight++;
+  Status verdict = Status::Ok();
+  bool found = false;
+  std::string read_value;
+  if (write) {
+    Result<rpc::Void> r = co_await kv.Put(key, value);
+    verdict = r.status();
+  } else {
+    Result<std::optional<std::string>> r = co_await kv.Get(key);
+    verdict = r.status();
+    if (r.ok() && r->has_value()) {
+      found = true;
+      read_value = std::move(**r);
+    }
+  }
+  shared->in_flight--;
+  const SimTime end = sched.now();
+  if (verdict.ok()) {
+    shared->stats->ok++;
+    shared->stats->total_ok_latency += end - start;
+    shared->stats->ok_latencies.push_back(end - start);
+  } else if (verdict.code() == StatusCode::kResourceExhausted) {
+    shared->stats->shed++;
+  } else {
+    shared->stats->failed++;
+  }
+  if (shared->history != nullptr) {
+    OpRecord rec;
+    rec.client = shared->client_id;
+    rec.op = op_index;
+    rec.kind = write ? OpKind::kKvPut : OpKind::kKvGet;
+    rec.outcome = verdict.ok() ? OpOutcome::kOk
+                  : verdict.code() == StatusCode::kResourceExhausted
+                      ? OpOutcome::kShed
+                      : OpOutcome::kFailed;
+    rec.start = start;
+    rec.end = end;
+    rec.key = std::move(key);
+    rec.value = write ? std::move(value) : std::move(read_value);
+    rec.flag = found;
+    rec.priority = static_cast<std::uint8_t>(params.priority);
+    shared->history->Append(std::move(rec));
+  }
+}
+
+}  // namespace
+
+sim::Co<void> RunOpenLoop(sim::Scheduler& sched, services::IKeyValue& kv,
+                          const OpenLoopParams& params, OpenLoopStats& stats,
+                          History* history, std::uint32_t client_id) {
+  auto shared = std::make_shared<OpenLoopShared>();
+  shared->stats = &stats;
+  shared->history = history;
+  shared->client_id = client_id;
+  Rng rng(SplitMix64(params.seed ^ 0x09e37779b97f4a7cULL).Next());
+  ZipfGenerator zipf(params.keys, params.zipf_skew,
+                     SplitMix64(params.seed ^ 0x21edd5a1ULL).Next());
+  const SimTime deadline = sched.now() + params.duration;
+  const double mean_gap_ns = 1e9 / params.rate_per_sec;
+  std::vector<sim::Future<bool>> ops;
+  while (sched.now() < deadline) {
+    const bool write = rng.UniformU64(100) < params.write_percent;
+    const std::string key =
+        params.key_prefix + std::to_string(zipf.Next());
+    std::string value;
+    if (write) {
+      value = params.value_tag + "-" + std::to_string(stats.offered);
+    }
+    stats.offered++;
+    ops.push_back(sim::Spawn(
+        sched, OpenLoopOp(sched, kv, params, shared, write, key,
+                          std::move(value))));
+    // Poisson arrivals: exponential gaps, independent of completions —
+    // the open loop. A zero gap still advances one scheduler grain.
+    const auto gap =
+        static_cast<SimDuration>(rng.Exponential(mean_gap_ns));
+    co_await sim::SleepFor(sched, std::max<SimDuration>(gap, 1));
+  }
+  // Drain: per-call deadlines bound every op, so this terminates.
+  while (shared->in_flight > 0) {
+    co_await sim::SleepFor(sched, Milliseconds(1));
+  }
+}
+
+std::shared_ptr<rpc::Dispatch> MakeThrottledKvDispatch(
+    std::shared_ptr<services::KvService> impl, sim::Scheduler& sched,
+    SimDuration service_time) {
+  using services::kvwire::GetRequest;
+  using services::kvwire::GetResponse;
+  using services::kvwire::ListRequest;
+  using services::kvwire::ListResponse;
+  using services::kvwire::PutRequest;
+  auto dispatch = std::make_shared<rpc::Dispatch>();
+  rpc::RegisterTyped<GetRequest, GetResponse>(
+      *dispatch, services::kvwire::kGet,
+      [impl, &sched, service_time](
+          GetRequest req,
+          const rpc::CallContext&) -> sim::Co<Result<GetResponse>> {
+        co_await sim::SleepFor(sched, service_time);
+        Result<std::optional<std::string>> value =
+            co_await impl->Get(std::move(req.key));
+        if (!value.ok()) co_return value.status();
+        co_return GetResponse{std::move(*value)};
+      });
+  rpc::RegisterTyped<PutRequest, rpc::Void>(
+      *dispatch, services::kvwire::kPut,
+      [impl, &sched, service_time](
+          PutRequest req,
+          const rpc::CallContext&) -> sim::Co<Result<rpc::Void>> {
+        co_await sim::SleepFor(sched, service_time);
+        co_return co_await impl->PutExcluding(
+            std::move(req.key), std::move(req.value), req.exclude_sink);
+      });
+  rpc::RegisterTyped<ListRequest, ListResponse>(
+      *dispatch, services::kvwire::kList,
+      [impl, &sched, service_time](
+          ListRequest req,
+          const rpc::CallContext&) -> sim::Co<Result<ListResponse>> {
+        co_await sim::SleepFor(sched, service_time);
+        Result<std::vector<std::string>> keys =
+            co_await impl->List(std::move(req.prefix));
+        if (!keys.ok()) co_return keys.status();
+        co_return ListResponse{std::move(*keys)};
+      });
+  return dispatch;
+}
 
 sim::Co<Result<rpc::Void>> WorkloadClient::BindAll(
     const WorkloadParams& params) {

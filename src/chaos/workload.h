@@ -15,6 +15,7 @@
 #include "common/rng.h"
 #include "core/runtime.h"
 #include "rpc/client.h"
+#include "rpc/server.h"
 #include "services/counter.h"
 #include "services/kv.h"
 #include "services/lock.h"
@@ -41,6 +42,58 @@ struct WorkloadParams {
     call.deadline = Milliseconds(120);
   }
 };
+
+/// Open-loop overload driver: arrivals fire on a Poisson clock with no
+/// regard for completions — the defining property of an overload test
+/// (a closed loop self-throttles and can never push a server past its
+/// knee). Each arrival models an independent client: it picks a Zipf
+/// key, issues a Get or Put through `kv`, and its latency/outcome is
+/// recorded regardless of how many earlier arrivals are still in
+/// flight, so thousands of logical clients ride one generator lane.
+struct OpenLoopParams {
+  double rate_per_sec = 2000.0;  // Poisson arrival rate, virtual time
+  SimDuration duration = Milliseconds(400);
+  std::uint32_t keys = 64;
+  double zipf_skew = 1.1;
+  std::uint32_t write_percent = 20;
+  std::uint64_t seed = 1;
+  /// Stamped into history records; the proxy driven by this lane must
+  /// carry the same priority in its CallOptions for the stamp to mean
+  /// anything.
+  rpc::Priority priority = rpc::Priority::kNormal;
+  std::string key_prefix = "ov";
+  /// Unique tag baked into every written value ("<tag>-<n>") so the
+  /// shed-not-executed checker can match a value to its exact Put.
+  std::string value_tag = "ovl";
+};
+
+struct OpenLoopStats {
+  std::uint64_t offered = 0;  // arrivals fired
+  std::uint64_t ok = 0;       // completed OK (goodput)
+  std::uint64_t shed = 0;     // RESOURCE_EXHAUSTED after pushback retries
+  std::uint64_t failed = 0;   // any other failure (timeouts, ...)
+  SimDuration total_ok_latency = 0;
+  std::vector<SimDuration> ok_latencies;  // per OK op, arrival order
+};
+
+/// Runs one open-loop lane against `kv`. Returns when the arrival window
+/// has closed AND every spawned operation finished (per-call deadlines
+/// guarantee that happens). `history` (optional) receives one OpRecord
+/// per operation under client id `client_id`, with OpOutcome::kShed for
+/// RESOURCE_EXHAUSTED outcomes.
+sim::Co<void> RunOpenLoop(sim::Scheduler& sched, services::IKeyValue& kv,
+                          const OpenLoopParams& params, OpenLoopStats& stats,
+                          History* history = nullptr,
+                          std::uint32_t client_id = 0);
+
+/// Wraps a KvService in a dispatch whose Get/Put/List handlers burn
+/// `service_time` of virtual time before answering — the capacity model
+/// for overload scenarios (with RpcServer::set_admission bounding
+/// concurrency, the server saturates at max_concurrency / service_time
+/// ops per second).
+std::shared_ptr<rpc::Dispatch> MakeThrottledKvDispatch(
+    std::shared_ptr<services::KvService> impl, sim::Scheduler& sched,
+    SimDuration service_time);
 
 /// One workload client: its context, proxies, and op generator state.
 class WorkloadClient {

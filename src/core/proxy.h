@@ -20,10 +20,13 @@
 // services/*_proxy.* for the concrete proxies).
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <utility>
 
+#include "common/rng.h"
 #include "core/binding.h"
 #include "core/runtime.h"
 #include "obs/metrics.h"
@@ -31,6 +34,7 @@
 #include "rpc/client.h"
 #include "rpc/stub.h"
 #include "serde/traits.h"
+#include "sim/future.h"
 #include "sim/task.h"
 
 namespace proxy::core {
@@ -43,6 +47,7 @@ struct ProxyStats {
   obs::Counter rebinds;       // OBJECT_MOVED recoveries
   obs::Counter failed_calls;  // non-OK outcomes surfaced to the client
   obs::Counter recoveries;    // name-service rebinds after a failure
+  obs::Counter pushback_backoffs;  // waits honoring a server retry-after
 };
 
 class ProxyBase {
@@ -50,13 +55,23 @@ class ProxyBase {
   /// Maximum forwarding-chain length a single call will follow.
   static constexpr int kMaxForwardHops = 8;
 
+  /// Maximum times one call sleeps out a server's retry-after hint and
+  /// re-offers the work before surfacing RESOURCE_EXHAUSTED. Small on
+  /// purpose: under sustained overload the *caller* must slow down —
+  /// that is graceful degradation; looping here would be a polite
+  /// retry storm.
+  static constexpr int kMaxPushbackRetries = 2;
+
   ProxyBase(Context& context, ServiceBinding binding)
       : context_(&context),
         binding_(std::move(binding)),
+        pushback_rng_(context.client().nonce() ^ 0x5bd1e995u),
         agg_calls_(context.metrics().counter("core.proxy.calls")),
         agg_rebinds_(context.metrics().counter("core.proxy.rebinds")),
         agg_failed_(context.metrics().counter("core.proxy.failed_calls")),
         agg_recoveries_(context.metrics().counter("core.proxy.recoveries")),
+        agg_pushbacks_(
+            context.metrics().counter("core.proxy.pushback_backoffs")),
         call_latency_(context.metrics().histogram("core.proxy.call_ns")) {}
 
   virtual ~ProxyBase() = default;
@@ -125,11 +140,22 @@ class ProxyBase {
     const obs::TraceContext span =
         spans.Begin(options.trace, "proxy m" + std::to_string(method), started);
     if (span.active()) options.trace = span;
+    // Every proxy call carries a shared retransmission allowance: two
+    // full transport legs' worth (the original binding plus one
+    // recovery rebind). Callers that span several hops over one logical
+    // operation (the failover proxy's passes) pass their own budget in,
+    // and this respects it.
+    if (options.attempt_budget == nullptr) {
+      options.attempt_budget = std::make_shared<rpc::AttemptBudget>(
+          options.max_retries * 2);
+    }
 
     Result<Bytes> outcome = UnavailableError(
         "forwarding chain exceeded " + std::to_string(kMaxForwardHops) +
         " hops");
     bool recovery_tried = false;
+    int pushback_waits = 0;
+    SimDuration prev_pushback_wait = 0;
     for (int hop = 0; hop <= kMaxForwardHops; ++hop) {
       rpc::RpcResult raw = co_await context_->client().Call(
           binding_.server, binding_.object, method, args, options);
@@ -151,6 +177,28 @@ class ProxyBase {
         binding_.object = fwd->object;
         spans.Annotate(span, context_->scheduler().now(),
                        "rebind -> " + binding_.server.ToString());
+        continue;
+      }
+      // Server pushback: it is alive but shedding load, and told us how
+      // long to stay away. Honor the hint with decorrelated jitter
+      // (uniform in [hint, max(2×hint, 3×previous wait)]) so a fleet of
+      // rejected callers does not re-offer its work in lockstep, then
+      // retry — a bounded number of times, after which the exhaustion
+      // surfaces to the caller (whose degradation hooks take over).
+      if (raw.status.code() == StatusCode::kResourceExhausted &&
+          raw.retry_after > 0 && pushback_waits < kMaxPushbackRetries) {
+        pushback_waits++;
+        stats_.pushback_backoffs++;
+        agg_pushbacks_++;
+        const SimDuration lo = raw.retry_after;
+        const SimDuration hi =
+            std::max(2 * raw.retry_after, 3 * prev_pushback_wait);
+        const SimDuration wait = lo + pushback_rng_.UniformU64(hi - lo + 1);
+        prev_pushback_wait = wait;
+        spans.Annotate(span, context_->scheduler().now(),
+                       "pushback: retry-after " +
+                           std::to_string(raw.retry_after) + "ns");
+        co_await sim::SleepFor(context_->scheduler(), wait);
         continue;
       }
       // The host stopped answering (or the breaker declared it down):
@@ -200,12 +248,16 @@ class ProxyBase {
   ServiceBinding binding_;
   ProxyStats stats_;
   std::string name_path_;
+  /// Pushback jitter; seeded from the context's client nonce so replays
+  /// stay byte-identical.
+  Rng pushback_rng_;
   // Runtime-registry aggregate cells (valid for the Runtime's lifetime,
   // which outlives every proxy it hosts).
   obs::Counter& agg_calls_;
   obs::Counter& agg_rebinds_;
   obs::Counter& agg_failed_;
   obs::Counter& agg_recoveries_;
+  obs::Counter& agg_pushbacks_;
   obs::Histogram& call_latency_;
 };
 

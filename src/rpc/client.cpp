@@ -33,6 +33,11 @@ void RpcClient::BindMetrics(obs::MetricsRegistry& registry) {
   registry.Attach("rpc.client.breaker_opens", &stats_.breaker_opens);
   registry.Attach("rpc.client.breaker_fast_fails",
                   &stats_.breaker_fast_fails);
+  registry.Attach("rpc.client.rejected_pushback", &stats_.rejected_pushback);
+  registry.Attach("rpc.client.attempt_budget_stops",
+                  &stats_.attempt_budget_stops);
+  registry.Attach("rpc.client.retry_budget_stops",
+                  &stats_.retry_budget_stops);
   registry.Attach("rpc.client.call_ns", &call_latency_);
 }
 
@@ -86,6 +91,7 @@ sim::Future<RpcResult> RpcClient::Call(const net::Address& to,
   frame.method = method;
   frame.args = std::move(args);
   frame.trace = options.trace;
+  frame.priority = options.priority;
   if (options.deadline > 0) {
     call.deadline = scheduler().now() + options.deadline;
     frame.deadline = call.deadline;
@@ -144,6 +150,16 @@ void RpcClient::OnDatagram(const net::Address& from, OwnedBytes payload) {
   // Any authentic reply proves the destination reachable.
   BreakerOnContact(it->second.dest);
   if (reply->code == StatusCode::kOk) {
+    // Successes are what refill the destination's retry budget: retries
+    // stay proportional to the goodput the destination actually delivers.
+    RetryBudget& budget = retry_budgets_[it->second.dest];
+    if (!budget.initialized) {
+      budget.tokens = retry_budget_params_.initial_tokens;
+      budget.initialized = true;
+    }
+    budget.tokens = std::min(retry_budget_params_.max_tokens,
+                             budget.tokens +
+                                 retry_budget_params_.refill_per_success);
     Finish(reply->call.seq,
            RpcResult(Status::Ok(), std::move(reply->result)));
   } else if (reply->code == StatusCode::kObjectMoved) {
@@ -151,6 +167,13 @@ void RpcClient::OnDatagram(const net::Address& from, OwnedBytes payload) {
     // (typically a proxy) rebinds and retries.
     Finish(reply->call.seq, RpcResult(ObjectMovedError(reply->error_message),
                                       std::move(reply->result)));
+  } else if (reply->code == StatusCode::kResourceExhausted) {
+    // Server pushback: surface the retry-after hint so the proxy layer
+    // can back off before re-offering the work (ProxyBase::CallRaw).
+    stats_.rejected_pushback++;
+    RpcResult outcome(Status(reply->code, reply->error_message));
+    outcome.retry_after = reply->retry_after;
+    Finish(reply->call.seq, std::move(outcome));
   } else {
     Finish(reply->call.seq, Status(reply->code, reply->error_message));
   }
@@ -204,6 +227,14 @@ void RpcClient::OnRetryTimer(std::uint64_t seq) {
                     std::to_string(call.options.max_retries) + " retries");
     return;
   }
+  if (!ConsumeRetryAllowance(call.dest, call)) {
+    // Retry governance says stop: the operation's shared attempt budget
+    // is spent, or the destination's token bucket ran dry. One
+    // transmission went unanswered and no more are allowed — fail now
+    // (as a timeout: it still feeds the breaker) rather than hang.
+    TimeOutCall(seq, call, "retry budget exhausted");
+    return;
+  }
   call.attempts++;
   stats_.retransmissions++;
   serde::CountWireCopy(call.encoded_request.size());
@@ -234,6 +265,28 @@ void RpcClient::Reset(const Status& status) {
   std::sort(seqs.begin(), seqs.end());
   for (const std::uint64_t seq : seqs) Finish(seq, status);
   breakers_.clear();
+  retry_budgets_.clear();
+}
+
+bool RpcClient::ConsumeRetryAllowance(const net::Address& dest,
+                                      PendingCall& call) {
+  if (!retry_governors_) return true;  // chaos bug hook: pre-hardening
+  if (call.options.attempt_budget != nullptr &&
+      !call.options.attempt_budget->TryConsume()) {
+    stats_.attempt_budget_stops++;
+    return false;
+  }
+  RetryBudget& budget = retry_budgets_[dest];
+  if (!budget.initialized) {
+    budget.tokens = retry_budget_params_.initial_tokens;
+    budget.initialized = true;
+  }
+  if (budget.tokens < 1.0) {
+    stats_.retry_budget_stops++;
+    return false;
+  }
+  budget.tokens -= 1.0;
+  return true;
 }
 
 void RpcClient::BreakerOnContact(const net::Address& dest) {

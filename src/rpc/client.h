@@ -21,6 +21,7 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <unordered_map>
 
 #include "common/bytes.h"
@@ -33,6 +34,33 @@
 #include "sim/future.h"
 
 namespace proxy::rpc {
+
+/// A retransmission allowance shared across every hop of one logical
+/// operation. Nested proxies each apply their own retry policy; without
+/// a shared budget a single client call fans into retries-of-retries
+/// (router passes × failover passes × transport retries). The budget
+/// caps *retransmissions only* — a first transmission is always allowed,
+/// so failover can still walk the replica set; what it cannot do is keep
+/// hammering each dead replica once the operation's total allowance is
+/// spent. Share one instance through CallOptions::attempt_budget across
+/// the hops of one operation (see KvFailoverProxy::ReadCall/WriteCall).
+class AttemptBudget {
+ public:
+  explicit AttemptBudget(int retransmissions) noexcept
+      : remaining_(retransmissions) {}
+
+  /// Consumes one retransmission if any remain.
+  bool TryConsume() noexcept {
+    if (remaining_ <= 0) return false;
+    remaining_--;
+    return true;
+  }
+
+  [[nodiscard]] int remaining() const noexcept { return remaining_; }
+
+ private:
+  int remaining_;
+};
 
 /// Per-call knobs — THE call-policy surface of the system. One
 /// CallOptions value is accepted identically by RpcClient::Call, by
@@ -68,6 +96,12 @@ struct CallOptions {
   bool bypass_breaker = false;
   /// Causal trace the request carries (frame v4); inactive = untraced.
   obs::TraceContext trace = {};
+  /// Admission priority the request carries (frame v5). The server's
+  /// admission queue serves kHigh first and sheds kLow first.
+  Priority priority = Priority::kNormal;
+  /// Shared retransmission allowance for one logical operation across
+  /// nested proxy hops; null = each call retries on its own policy.
+  std::shared_ptr<AttemptBudget> attempt_budget = nullptr;
 
   CallOptions& WithDeadline(SimDuration d) noexcept {
     deadline = d;
@@ -93,6 +127,14 @@ struct CallOptions {
     trace = t;
     return *this;
   }
+  CallOptions& WithPriority(Priority p) noexcept {
+    priority = p;
+    return *this;
+  }
+  CallOptions& WithAttemptBudget(std::shared_ptr<AttemptBudget> b) noexcept {
+    attempt_budget = std::move(b);
+    return *this;
+  }
 };
 
 /// Client-side tallies. The cells are obs::Counter so the same storage
@@ -109,6 +151,11 @@ struct ClientStats {
   obs::Counter deadline_expirations;  // timeouts caused by `deadline`
   obs::Counter breaker_opens;       // closed/half-open → open edges
   obs::Counter breaker_fast_fails;  // calls rejected while open
+  obs::Counter rejected_pushback;   // RESOURCE_EXHAUSTED replies received
+  obs::Counter attempt_budget_stops;  // retransmissions stopped: shared
+                                      // per-operation budget spent
+  obs::Counter retry_budget_stops;    // retransmissions stopped: per-dest
+                                      // adaptive token bucket empty
 };
 
 class RpcClient {
@@ -124,6 +171,26 @@ class RpcClient {
     SimDuration cooldown = Milliseconds(100);
     double cooldown_growth = 2.0;
     SimDuration max_cooldown = Seconds(2);
+  };
+
+  /// Per-destination adaptive retry budget: a token bucket that only OK
+  /// replies refill. Every retransmission to a destination withdraws one
+  /// token; when the bucket is empty the call is failed after its next
+  /// unanswered wait instead of being retransmitted. The breaker cannot
+  /// catch overload (an overloaded server still answers — with
+  /// RESOURCE_EXHAUSTED — so contact keeps the breaker closed); the
+  /// budget is what keeps timed-out traffic from amplifying into a
+  /// retry storm when goodput dries up. Defaults are loose enough that
+  /// healthy workloads never feel them: one token per success sustains
+  /// any per-attempt round-trip failure probability below 50% (the F5
+  /// loss sweep peaks at 20% each way = 36% per attempt, i.e. ~0.56
+  /// retransmissions per success) — sustained retries with *no*
+  /// successes are the only way to drain the bucket.
+  struct RetryBudgetParams {
+    double initial_tokens = 64.0;
+    double max_tokens = 64.0;
+    /// Tokens deposited per OK reply from the destination.
+    double refill_per_success = 1.0;
   };
 
   /// Takes over the endpoint's handler. `nonce` must be unique among all
@@ -146,6 +213,22 @@ class RpcClient {
   /// Replaces the breaker tuning (existing per-destination state is kept).
   void set_breaker_params(const BreakerParams& params) noexcept {
     breaker_params_ = params;
+  }
+
+  /// Replaces the retry-budget tuning (existing buckets are re-clamped
+  /// lazily; new destinations start at the new initial level).
+  void set_retry_budget_params(const RetryBudgetParams& params) noexcept {
+    retry_budget_params_ = params;
+  }
+
+  /// Chaos-harness fault hook: disabling retry governance reintroduces
+  /// the pre-hardening retry storm (nested proxies each retry on their
+  /// own policy, unbounded by the shared attempt budget or the
+  /// per-destination token bucket), so the chaos sweep can prove the
+  /// amplification checker detects that regression. Never disable
+  /// outside adversarial tests.
+  void set_testing_retry_governors(bool enabled) noexcept {
+    retry_governors_ = enabled;
   }
 
   /// Attaches this client's counters and latency histogram to `registry`
@@ -207,6 +290,11 @@ class RpcClient {
     SimDuration cooldown = 0;    // current cooldown (grows on re-open)
   };
 
+  struct RetryBudget {
+    double tokens = 0.0;
+    bool initialized = false;
+  };
+
   void OnDatagram(const net::Address& from, OwnedBytes payload);
   void OnRetryTimer(std::uint64_t seq);
   void OnDeadline(std::uint64_t seq);
@@ -222,18 +310,26 @@ class RpcClient {
   void BreakerOnContact(const net::Address& dest);
   void BreakerOnTimeout(const net::Address& dest, bool was_probe);
 
+  /// True when a retransmission to `dest` is allowed: consumes one token
+  /// from the destination's bucket and one unit of the call's shared
+  /// attempt budget (when present). False = stop retrying this call.
+  bool ConsumeRetryAllowance(const net::Address& dest, PendingCall& call);
+
   net::Endpoint* endpoint_;
   std::uint64_t nonce_;
   std::uint64_t next_seq_ = 1;
   bool reply_auth_ = true;
+  bool retry_governors_ = true;
   Rng rng_;  // jitter; seeded from the nonce, so runs stay replayable
   BreakerParams breaker_params_;
+  RetryBudgetParams retry_budget_params_;
   ClientStats stats_;
   /// End-to-end call latency (Call() to outcome), including retries and
   /// breaker fast-fails — what the caller actually waited.
   obs::Histogram call_latency_;
   std::unordered_map<std::uint64_t, PendingCall> pending_;  // by seq
   std::unordered_map<net::Address, Breaker> breakers_;      // by destination
+  std::unordered_map<net::Address, RetryBudget> retry_budgets_;  // by dest
 };
 
 }  // namespace proxy::rpc

@@ -50,6 +50,8 @@ Bytes EncodeRequestWith(const RequestFrame& frame, Args&& args) {
   vw.body().WriteVarint(frame.trace.trace_id);         // v4: causal trace
   vw.body().WriteVarint(frame.trace.span_id);
   vw.body().WriteVarint(frame.trace.parent_span_id);
+  vw.body().WriteVarint(
+      static_cast<std::uint64_t>(frame.priority));     // v5: admission class
   vw.Finish();
   return w.Take();
 }
@@ -74,6 +76,7 @@ Bytes EncodeReply(ReplyFrame&& frame) {
   serde::Serialize(w, frame.call);
   serde::Serialize(w, frame.code);
   serde::Serialize(w, frame.error_message);
+  serde::Serialize(w, frame.retry_after);
   w.WriteBytes(std::move(frame.result));  // adopt, don't re-copy
   return w.Take();
 }
@@ -96,8 +99,9 @@ namespace {
 // anything past kRequestWireVersion is the future. For versions this
 // build fully understands, a tail is corruption, and Close() says so.
 serde::TailPolicy RequestTailPolicy(std::uint32_t version) {
-  const bool fully_known =
-      version == 1 || version == 2 || version == kRequestWireVersion;
+  const bool fully_known = version == 1 || version == 2 ||
+                           version == kTraceWireVersion ||
+                           version == kRequestWireVersion;
   return fully_known ? serde::TailPolicy::kRejectUnread
                      : serde::TailPolicy::kSkipUnknown;
 }
@@ -128,6 +132,14 @@ Result<RequestFrameView> DecodeRequestView(BytesView data) {
     PROXY_RETURN_IF_ERROR(vr.body().ReadVarint(frame.trace.span_id));
     PROXY_RETURN_IF_ERROR(vr.body().ReadVarint(frame.trace.parent_span_id));
   }
+  if (vr.version() >= kPriorityWireVersion && !vr.body().AtEnd()) {
+    std::uint64_t level = 0;
+    PROXY_RETURN_IF_ERROR(vr.body().ReadVarint(level));
+    if (level >= kPriorityLevels) {
+      return CorruptError("priority level out of range");
+    }
+    frame.priority = static_cast<Priority>(level);
+  }
   PROXY_RETURN_IF_ERROR(vr.Close(RequestTailPolicy(vr.version())));
   PROXY_RETURN_IF_ERROR(r.ExpectEnd());
   return frame;
@@ -146,7 +158,20 @@ Result<RequestFrame> DecodeRequest(BytesView data) {
   }
   frame.deadline = view->deadline;
   frame.trace = view->trace;
+  frame.priority = view->priority;
   return frame;
+}
+
+const char* PriorityName(Priority p) noexcept {
+  switch (p) {
+    case Priority::kHigh:
+      return "P0";
+    case Priority::kNormal:
+      return "P1";
+    case Priority::kLow:
+      return "P2";
+  }
+  return "P?";
 }
 
 Result<ReplyFrame> DecodeReply(BytesView data) {

@@ -20,16 +20,38 @@ enum class FrameType : std::uint8_t {
 
 /// Version of the request frame's VersionedBody envelope. v1 carried
 /// (call, object, method, args); v2 appended `deadline`; v4 appended the
-/// causal trace triple (trace_id, span_id, parent_span_id). v3 is
-/// reserved — the wire-evolution tests used it as the "hypothetical
-/// newer sender" whose trailing fields a v2 decoder must skip, so its
-/// encodings must stay meaningless. Decoders accept any version: older
-/// fields are read, unknown trailing fields skipped, absent new fields
-/// default (deadline 0 = none, all-zero trace = untraced).
-inline constexpr std::uint32_t kRequestWireVersion = 4;
+/// causal trace triple (trace_id, span_id, parent_span_id); v5 appended
+/// `priority`. v3 is reserved — the wire-evolution tests used it as the
+/// "hypothetical newer sender" whose trailing fields a v2 decoder must
+/// skip, so its encodings must stay meaningless. Decoders accept any
+/// version: older fields are read, unknown trailing fields skipped,
+/// absent new fields default (deadline 0 = none, all-zero trace =
+/// untraced, priority = kNormal).
+inline constexpr std::uint32_t kRequestWireVersion = 5;
 
 /// First version whose envelope carries the trace triple.
 inline constexpr std::uint32_t kTraceWireVersion = 4;
+
+/// First version whose envelope carries the priority level.
+inline constexpr std::uint32_t kPriorityWireVersion = 5;
+
+/// Request priority lattice, smallest value most important. The server's
+/// admission queue dequeues kHigh before kNormal before kLow and, when
+/// the queue overflows, evicts the lowest-priority waiter first — so
+/// background traffic (kLow) is shed long before interactive traffic
+/// (kHigh) feels overload. The default is the middle level: callers can
+/// opt *up* (latency-critical control paths) or *down* (scans, repair,
+/// analytics) relative to unannotated traffic.
+enum class Priority : std::uint8_t {
+  kHigh = 0,
+  kNormal = 1,
+  kLow = 2,
+};
+
+inline constexpr std::uint8_t kPriorityLevels = 3;
+
+/// Stable names for logs/benches ("P0".."P2").
+const char* PriorityName(Priority p) noexcept;
 
 /// Globally unique call identity: the client instance's random nonce plus
 /// a per-client sequence number. Retransmissions reuse the id, which is
@@ -59,10 +81,12 @@ struct RequestFrame {
   /// downstream calls — that is what stitches forwarding chains,
   /// re-resolution, and replication fan-out into one tree.
   obs::TraceContext trace;
+  /// Admission priority (since v5); pre-v5 senders decode as kNormal.
+  Priority priority = Priority::kNormal;
 
-  // v1 fields only — `deadline` (v2) and `trace` (v4) are appended
-  // manually under the versioned envelope (see EncodeRequest/
-  // DecodeRequest).
+  // v1 fields only — `deadline` (v2), `trace` (v4) and `priority` (v5)
+  // are appended manually under the versioned envelope (see
+  // EncodeRequest/DecodeRequest).
   PROXY_SERDE_FIELDS(call, object, method, args)
 };
 
@@ -78,15 +102,20 @@ struct RequestFrameView {
   BytesView args;
   SimTime deadline = 0;
   obs::TraceContext trace;
+  Priority priority = Priority::kNormal;
 };
 
 struct ReplyFrame {
   CallId call;
   StatusCode code = StatusCode::kOk;
   std::string error_message;  // empty when code == kOk
-  Bytes result;               // empty unless code == kOk or kObjectMoved
+  /// Pushback hint, nanoseconds; nonzero only with kResourceExhausted.
+  /// The client should not re-offer this work to the server before the
+  /// hint elapses (the server scales it with queue pressure).
+  SimDuration retry_after = 0;
+  Bytes result;  // empty unless code == kOk or kObjectMoved
 
-  PROXY_SERDE_FIELDS(call, code, error_message, result)
+  PROXY_SERDE_FIELDS(call, code, error_message, retry_after, result)
 };
 
 /// Outcome of one RPC as seen by the caller. `payload` is the reply body
@@ -95,6 +124,8 @@ struct ReplyFrame {
 struct RpcResult {
   Status status;
   Bytes payload;
+  /// Server pushback hint (RESOURCE_EXHAUSTED replies); 0 = none.
+  SimDuration retry_after = 0;
 
   RpcResult() = default;
   RpcResult(Status s) : status(std::move(s)) {}  // NOLINT(implicit)

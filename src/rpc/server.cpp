@@ -1,5 +1,6 @@
 #include "rpc/server.h"
 
+#include <algorithm>
 #include <string>
 #include <utility>
 
@@ -44,6 +45,18 @@ void RpcServer::Revoke(ObjectId id) {
 void RpcServer::Reset() {
   generation_++;
   history_.clear();
+  // The process died: queued work vanishes with it (no replies — the
+  // clients' retry/deadline machinery takes over), and the in-flight
+  // executions that the generation fence will strand no longer hold
+  // admission slots.
+  for (auto& bucket : queue_) bucket.clear();
+  running_ = 0;
+}
+
+std::size_t RpcServer::admission_queue_depth() const noexcept {
+  std::size_t depth = 0;
+  for (const auto& bucket : queue_) depth += bucket.size();
+  return depth;
 }
 
 void RpcServer::BindMetrics(obs::MetricsRegistry& registry) {
@@ -56,6 +69,12 @@ void RpcServer::BindMetrics(obs::MetricsRegistry& registry) {
   registry.Attach("rpc.server.unknown_object", &stats_.unknown_object);
   registry.Attach("rpc.server.unknown_method", &stats_.unknown_method);
   registry.Attach("rpc.server.expired_dropped", &stats_.expired_dropped);
+  registry.Attach("rpc.server.admission_queued", &stats_.admission_queued);
+  registry.Attach("rpc.server.admission_rejected",
+                  &stats_.admission_rejected);
+  registry.Attach("rpc.server.admission_evicted", &stats_.admission_evicted);
+  registry.Attach("rpc.server.shed_expired_queued",
+                  &stats_.shed_expired_queued);
   registry.Attach("rpc.server.queue_wait_ns", &queue_wait_);
   registry.Attach("rpc.server.exec_ns", &exec_latency_);
 }
@@ -123,10 +142,136 @@ void RpcServer::OnDatagram(const net::Address& from, OwnedBytes payload) {
     return;
   }
 
+  // From here the call is "in progress" whether it runs now or waits in
+  // the admission queue: duplicates of either are dropped, and the
+  // eventual reply (or rejection) answers all transmissions.
   hist.in_progress.emplace(seq, true);
+  Admit(from, *request, std::move(payload), scheduler().now());
+}
+
+void RpcServer::Admit(const net::Address& from,
+                      const RequestFrameView& request, OwnedBytes arena,
+                      SimTime received_at) {
+  if (params_.max_concurrency == 0 ||
+      running_ < params_.max_concurrency) {
+    StartExecution(from, request, std::move(arena), received_at);
+    return;
+  }
+  const auto level = static_cast<std::size_t>(request.priority);
+  if (admission_queue_depth() < params_.queue_capacity) {
+    stats_.admission_queued++;
+    queue_[level].push_back(
+        QueuedRequest{from, request, std::move(arena), received_at});
+    queue_peak_ = std::max(queue_peak_, admission_queue_depth());
+    LogAdmission(request.priority, AdmissionEvent::Action::kQueue);
+    return;
+  }
+  // Queue full: displace the *youngest* waiter of the numerically-worst
+  // class strictly below the arrival — it has waited least and matters
+  // least. If nothing queued is worse, the arrival itself is shed; by
+  // construction a P0 is only ever rejected when everything waiting is
+  // P0 too (the no-priority-inversion invariant the chaos checker pins).
+  for (std::size_t worse = kPriorityLevels; worse-- > level + 1;) {
+    if (queue_[worse].empty()) continue;
+    QueuedRequest victim = std::move(queue_[worse].back());
+    queue_[worse].pop_back();
+    stats_.admission_evicted++;
+    RejectOverload(victim.from, victim.request.call,
+                   AdmissionEvent::Action::kEvict, victim.request.priority);
+    queue_[level].push_back(
+        QueuedRequest{from, request, std::move(arena), received_at});
+    stats_.admission_queued++;
+    LogAdmission(request.priority, AdmissionEvent::Action::kQueue);
+    return;
+  }
+  stats_.admission_rejected++;
+  RejectOverload(from, request.call, AdmissionEvent::Action::kReject,
+                 request.priority);
+}
+
+void RpcServer::StartExecution(const net::Address& from,
+                               const RequestFrameView& request,
+                               OwnedBytes arena, SimTime received_at) {
+  running_++;
+  LogAdmission(request.priority, AdmissionEvent::Action::kRun);
   // Detach the execution coroutine; it replies and updates the cache.
-  (void)sim::Spawn(scheduler(), Execute(from, *request, std::move(payload),
-                                        scheduler().now()));
+  (void)sim::Spawn(scheduler(),
+                   Execute(from, request, std::move(arena), received_at));
+}
+
+void RpcServer::FinishExecution() {
+  if (running_ > 0) running_--;
+  while (params_.max_concurrency == 0 ||
+         running_ < params_.max_concurrency) {
+    std::size_t level = 0;
+    while (level < kPriorityLevels && queue_[level].empty()) level++;
+    if (level == kPriorityLevels) break;
+    QueuedRequest ready = std::move(queue_[level].front());
+    queue_[level].pop_front();
+    if (ready.request.deadline != 0 &&
+        scheduler().now() >= ready.request.deadline) {
+      // The caller's budget ran out while the request waited: shed it
+      // (TIMEOUT, uncached — a retransmission carries the same expired
+      // deadline) instead of burning the freed slot on dead work.
+      stats_.shed_expired_queued++;
+      LogAdmission(ready.request.priority,
+                   AdmissionEvent::Action::kShedExpired);
+      history_[ready.request.call.client_nonce].in_progress.erase(
+          ready.request.call.seq);
+      ReplyFrame reply;
+      reply.call = ready.request.call;
+      reply.code = StatusCode::kTimeout;
+      reply.error_message = "deadline expired in admission queue";
+      (void)endpoint_->Send(ready.from, EncodeReply(std::move(reply)));
+      continue;
+    }
+    StartExecution(ready.from, ready.request, std::move(ready.arena),
+                   ready.received_at);
+  }
+}
+
+SimDuration RpcServer::RetryAfterHint() const noexcept {
+  // Pressure-scaled: base at an empty queue, 2x base at a full one.
+  const std::size_t cap = std::max<std::size_t>(params_.queue_capacity, 1);
+  const std::size_t depth = std::min(admission_queue_depth(), cap);
+  return params_.retry_after_base +
+         params_.retry_after_base * depth / cap;
+}
+
+void RpcServer::RejectOverload(const net::Address& from, const CallId& call,
+                               AdmissionEvent::Action action,
+                               Priority priority) {
+  LogAdmission(priority, action);
+  history_[call.client_nonce].in_progress.erase(call.seq);
+  ReplyFrame reply;
+  reply.call = call;
+  reply.code = StatusCode::kResourceExhausted;
+  reply.error_message = "server overloaded";
+  reply.retry_after = RetryAfterHint();
+  Bytes encoded = EncodeReply(std::move(reply));
+  // Cached: shed means *never executed*, so a retransmission of this
+  // call id must get the same rejection rather than a second admission
+  // roll (which could execute work the caller was already told is shed).
+  CacheReply(call.client_nonce, call.seq, encoded);
+  (void)endpoint_->Send(from, std::move(encoded));
+}
+
+void RpcServer::LogAdmission(Priority priority,
+                             AdmissionEvent::Action action) {
+  if (admission_log_ == nullptr) return;
+  AdmissionEvent ev;
+  ev.at = scheduler().now();
+  ev.priority = priority;
+  ev.action = action;
+  ev.depth = static_cast<std::uint32_t>(admission_queue_depth());
+  ev.worst_waiting = kPriorityLevels;
+  for (std::size_t level = kPriorityLevels; level-- > 0;) {
+    if (!queue_[level].empty()) {
+      ev.worst_waiting = static_cast<std::uint8_t>(level);
+      break;
+    }
+  }
+  admission_log_->push_back(ev);
 }
 
 sim::Co<void> RpcServer::Execute(net::Address from, RequestFrameView request,
@@ -166,13 +311,16 @@ sim::Co<void> RpcServer::Execute(net::Address from, RequestFrameView request,
   }
 
   // The process crashed while this handler ran: the execution dies with
-  // it — no reply, no cache entry.
+  // it — no reply, no cache entry, and no admission bookkeeping (Reset
+  // already zeroed the running count and dropped the queue).
   if (born != generation_) co_return;
 
   SendReply(from, request.call, std::move(outcome));
 
   ClientHistory& hist = history_[request.call.client_nonce];
   hist.in_progress.erase(request.call.seq);
+
+  FinishExecution();
 }
 
 void RpcServer::SendReply(const net::Address& to, const CallId& call,

@@ -14,6 +14,7 @@
 #include <memory>
 #include <unordered_map>
 #include <unordered_set>
+#include <vector>
 
 #include "common/bytes.h"
 #include "common/status.h"
@@ -76,12 +77,51 @@ struct ServerStats {
   obs::Counter unknown_object;
   obs::Counter unknown_method;
   obs::Counter expired_dropped;  // deadline passed before dispatch
+  obs::Counter admission_queued;    // parked in the admission queue
+  obs::Counter admission_rejected;  // fast-rejected RESOURCE_EXHAUSTED
+  obs::Counter admission_evicted;   // queued entry displaced by a
+                                    // higher-priority arrival
+  obs::Counter shed_expired_queued;  // deadline expired while queued
+};
+
+/// One admission decision, for the chaos checkers. The server appends to
+/// the log installed via set_admission_log (null = no recording): the
+/// no-priority-inversion and bounded-queue invariants are statements
+/// about these decisions, not about what clients eventually observe
+/// through the network.
+struct AdmissionEvent {
+  enum class Action : std::uint8_t {
+    kRun = 0,          // dispatched immediately
+    kQueue = 1,        // parked in the admission queue
+    kReject = 2,       // fast-rejected: no capacity, nothing to evict
+    kEvict = 3,        // displaced from the queue by a better arrival
+    kShedExpired = 4,  // deadline expired while queued
+  };
+
+  SimTime at = 0;
+  Priority priority = Priority::kNormal;
+  Action action = Action::kRun;
+  /// Numerically-worst (least important) priority waiting in the queue
+  /// *after* this decision; kPriorityLevels when the queue is empty.
+  std::uint8_t worst_waiting = kPriorityLevels;
+  /// Queued entries after this decision.
+  std::uint32_t depth = 0;
 };
 
 class RpcServer {
  public:
   struct Params {
     std::size_t reply_cache_per_client = 128;
+    /// Admission control: ceiling on concurrently-executing handlers.
+    /// 0 = unlimited (admission control off — the historical behavior).
+    std::size_t max_concurrency = 0;
+    /// Bounded admission queue beyond the running set; 0 = no queue
+    /// (at capacity, every arrival is fast-rejected). Only meaningful
+    /// with max_concurrency > 0.
+    std::size_t queue_capacity = 0;
+    /// Base pushback hint carried in RESOURCE_EXHAUSTED rejects; the
+    /// server scales it with queue pressure (up to 2x at a full queue).
+    SimDuration retry_after_base = Milliseconds(10);
   };
 
   /// Takes over the endpoint's handler.
@@ -136,6 +176,34 @@ class RpcServer {
     spans_ = recorder;
   }
 
+  /// Reconfigures admission control on a live server (the chaos harness
+  /// and benches flip it per scenario). Takes effect for the next
+  /// arrival; already-queued work is not re-evaluated.
+  void set_admission(std::size_t max_concurrency, std::size_t queue_capacity,
+                     SimDuration retry_after_base = Milliseconds(10)) {
+    params_.max_concurrency = max_concurrency;
+    params_.queue_capacity = queue_capacity;
+    params_.retry_after_base = retry_after_base;
+  }
+
+  /// Installs a sink for admission decisions (chaos checkers); null
+  /// detaches. The log outlives the server's use of it.
+  void set_admission_log(std::vector<AdmissionEvent>* log) noexcept {
+    admission_log_ = log;
+  }
+
+  [[nodiscard]] std::size_t admission_running() const noexcept {
+    return running_;
+  }
+  [[nodiscard]] std::size_t admission_queue_depth() const noexcept;
+  /// High-water mark of the admission queue over the server's lifetime
+  /// (survives Reset — the bounded-queue invariant is about the whole
+  /// run).
+  [[nodiscard]] std::size_t admission_queue_peak() const noexcept {
+    return queue_peak_;
+  }
+  [[nodiscard]] const Params& params() const noexcept { return params_; }
+
   [[nodiscard]] const ServerStats& stats() const noexcept { return stats_; }
   [[nodiscard]] net::Address address() const noexcept {
     return endpoint_->address();
@@ -153,9 +221,36 @@ class RpcServer {
     std::unordered_map<std::uint64_t, bool> in_progress;
   };
 
+  /// A request parked in the admission queue. Owns its arrival buffer:
+  /// `request.args` stays a valid window of `arena` across the park
+  /// (OwnedBytes moves keep the heap block).
+  struct QueuedRequest {
+    net::Address from;
+    RequestFrameView request;
+    OwnedBytes arena;
+    SimTime received_at = 0;
+  };
+
   void OnDatagram(const net::Address& from, OwnedBytes payload);
-  /// `arena` is the arrival buffer backing `request.args`; the coroutine
-  /// frame owns it so the borrowed view stays valid across co_awaits.
+  /// Admission decision for a decoded, non-duplicate request: run it,
+  /// park it, displace a worse waiter, or fast-reject with pushback.
+  void Admit(const net::Address& from, const RequestFrameView& request,
+             OwnedBytes arena, SimTime received_at);
+  /// Dispatches the request (running_ accounting + Execute spawn).
+  void StartExecution(const net::Address& from,
+                      const RequestFrameView& request, OwnedBytes arena,
+                      SimTime received_at);
+  /// Called when an execution finishes (same generation): frees the
+  /// slot, then admits queued work — highest priority first, shedding
+  /// entries whose deadline expired while they waited.
+  void FinishExecution();
+  /// RESOURCE_EXHAUSTED + retry-after. The reply is cached: a
+  /// retransmission of a rejected call must see the same rejection, or
+  /// "shed" would not imply "never executed".
+  void RejectOverload(const net::Address& from, const CallId& call,
+                      AdmissionEvent::Action action, Priority priority);
+  [[nodiscard]] SimDuration RetryAfterHint() const noexcept;
+  void LogAdmission(Priority priority, AdmissionEvent::Action action);
   sim::Co<void> Execute(net::Address from, RequestFrameView request,
                         OwnedBytes arena, SimTime received_at);
   void SendReply(const net::Address& to, const CallId& call,
@@ -166,10 +261,14 @@ class RpcServer {
   Params params_;
   ServerStats stats_;
   obs::SpanRecorder* spans_ = nullptr;
-  /// Receive-to-dispatch wait (scheduler queueing) and handler run time.
+  /// Receive-to-dispatch wait (admission queueing) and handler run time.
   obs::Histogram queue_wait_;
   obs::Histogram exec_latency_;
   std::uint64_t generation_ = 0;  // bumped by Reset(); fences executions
+  std::size_t running_ = 0;       // executions in flight
+  std::deque<QueuedRequest> queue_[kPriorityLevels];  // by priority
+  std::size_t queue_peak_ = 0;
+  std::vector<AdmissionEvent>* admission_log_ = nullptr;
   std::unordered_map<ObjectId, std::shared_ptr<Dispatch>> objects_;
   std::unordered_map<ObjectId, Bytes> forwarding_;
   std::unordered_set<ObjectId> revoked_;

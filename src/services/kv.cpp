@@ -258,6 +258,7 @@ KvCachingProxy::KvCachingProxy(core::Context& context,
     : core::ProxyBase(context, std::move(binding)),
       params_(params),
       cache_(params.capacity),
+      stale_(params.stale_on_shed ? params.stale_capacity : 0),
       sink_id_(context.MintObjectId()),
       sink_dispatch_(std::make_shared<rpc::Dispatch>()) {
   // The invalidation sink: a server-side object living in the *client's*
@@ -274,9 +275,11 @@ KvCachingProxy::KvCachingProxy(core::Context& context,
       });
   (void)this->context().server().ExportObject(sink_id_, sink_dispatch_);
   cache_.BindMetrics(context.metrics(), "svc.kv.cache");
+  context.metrics().Attach("svc.kv.cache.stale_served", &stale_served_);
 }
 
 KvCachingProxy::~KvCachingProxy() {
+  context().metrics().Detach("svc.kv.cache.stale_served", &stale_served_);
   cache_.DetachMetrics(context().metrics(), "svc.kv.cache");
   (void)context().server().RemoveObject(sink_id_);
 }
@@ -311,8 +314,22 @@ sim::Co<Result<std::optional<std::string>>> KvCachingProxy::Get(
   GetRequest req{key};
   Result<GetResponse> resp =
       co_await Call<GetResponse>(kvwire::kGet, std::move(req));
-  if (!resp.ok()) co_return resp.status();
+  if (!resp.ok()) {
+    // Graceful degradation: the server shed this read (and the proxy's
+    // bounded pushback retries did not get through). Serve the last value
+    // we ever observed rather than fail — stale beats unavailable, and
+    // only the overload path pays the staleness.
+    if (resp.status().code() == StatusCode::kResourceExhausted &&
+        params_.stale_on_shed) {
+      if (auto stale = stale_.Get(key)) {
+        stale_served_++;
+        co_return std::move(*stale);
+      }
+    }
+    co_return resp.status();
+  }
   cache_.Put(key, resp->value);  // negative results are cached too
+  RememberStale(key, resp->value);
   co_return std::move(resp->value);
 }
 
@@ -325,6 +342,7 @@ sim::Co<Result<rpc::Void>> KvCachingProxy::Put(std::string key,
       co_await Call<rpc::Void>(kvwire::kPut, std::move(req));
   if (!resp.ok()) co_return resp.status();
   // Write-through: the cache reflects the acknowledged write immediately.
+  RememberStale(key, std::optional<std::string>(value));
   cache_.Put(std::move(key), std::optional<std::string>(std::move(value)));
   co_return rpc::Void{};
 }
@@ -334,6 +352,7 @@ sim::Co<Result<bool>> KvCachingProxy::Del(std::string key) {
   Result<DelResponse> resp =
       co_await Call<DelResponse>(kvwire::kDel, std::move(req));
   if (!resp.ok()) co_return resp.status();
+  RememberStale(key, std::optional<std::string>{});
   cache_.Put(std::move(key), std::optional<std::string>{});
   co_return resp->existed;
 }
@@ -412,6 +431,7 @@ sim::Co<Result<rpc::Void>> KvWriteBackProxy::Put(std::string key,
   // Keep the read cache coherent ourselves: the server will skip our
   // sink when this write's invalidation fans out.
   cache_.Put(key, std::optional<std::string>(value));
+  RememberStale(key, std::optional<std::string>(value));
   // Write-behind: acknowledge immediately; the per-item future is
   // dropped — callers needing durability use FlushWrites().
   (void)batcher_.Add(std::make_pair(std::move(key), std::move(value)));

@@ -217,6 +217,13 @@ class KvStub : public IKeyValue, public core::ProxyBase {
 struct KvCacheParams {
   std::size_t capacity = 1024;
   bool subscribe_invalidations = true;
+  /// Graceful degradation: when the server sheds a Get (RESOURCE_EXHAUSTED
+  /// after the proxy's bounded pushback retries), answer from the
+  /// last-observed-value cache instead of failing. Stale by construction —
+  /// entries deliberately survive invalidation — so this trades freshness
+  /// for availability, exactly and only under overload.
+  bool stale_on_shed = true;
+  std::size_t stale_capacity = 1024;
 };
 
 /// Protocol 2: read cache + write-through + server invalidation.
@@ -236,15 +243,31 @@ class KvCachingProxy : public IKeyValue, public core::ProxyBase {
     return cache_.stats();
   }
 
+  /// Gets answered from the stale cache because the server shed the call.
+  [[nodiscard]] std::uint64_t stale_served() const noexcept {
+    return stale_served_.value();
+  }
+
  protected:
   /// Registers the invalidation sink with the server (first call only).
   sim::Co<Status> EnsureSubscribed();
 
   void OnInvalidate(const std::vector<std::string>& keys);
 
+  /// Records `value` as the last value observed for `key` (the stale
+  /// fallback pool). Called alongside every coherent-cache update.
+  void RememberStale(const std::string& key,
+                     const std::optional<std::string>& value) {
+    if (params_.stale_on_shed) stale_.Put(key, value);
+  }
+
   KvCacheParams params_;
   // Cached values: present-with-value or known-absent (negative entry).
   core::LruCache<std::string, std::optional<std::string>> cache_;
+  // Last value ever observed per key. NOT kept coherent: invalidations
+  // skip it on purpose, so it can answer when the server sheds load.
+  core::LruCache<std::string, std::optional<std::string>> stale_;
+  obs::Counter stale_served_;
   ObjectId sink_id_;
   std::shared_ptr<rpc::Dispatch> sink_dispatch_;
   bool subscribed_ = false;

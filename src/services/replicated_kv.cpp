@@ -1089,8 +1089,9 @@ Result<ReplicatedKvExport> ExportReplicatedKv(
 
 // --- failover proxy ----------------------------------------------------
 
-sim::Co<Status> KvFailoverProxy::EnsureReplicaList(bool force,
-                                                   obs::TraceContext trace) {
+sim::Co<Status> KvFailoverProxy::EnsureReplicaList(
+    bool force, obs::TraceContext trace,
+    std::shared_ptr<rpc::AttemptBudget> budget) {
   if (!force && !replicas_.empty()) co_return Status::Ok();
   const std::vector<core::ServiceBinding> known = replicas_;
   if (force) {
@@ -1101,6 +1102,7 @@ sim::Co<Status> KvFailoverProxy::EnsureReplicaList(bool force,
   }
   rpc::CallOptions traced = options_;
   traced.trace = trace;
+  traced.attempt_budget = std::move(budget);  // share the op's allowance
   // Ask the bound primary first; CallRaw re-resolves the service name if
   // the bound address stopped answering (the new primary re-registers
   // the name when it promotes).
@@ -1145,10 +1147,12 @@ sim::Co<Result<Resp>> KvFailoverProxy::ReadCall(std::uint32_t method,
                   context().scheduler().now());
   rpc::CallOptions opts = options_;
   if (span.active()) opts.trace = span;
+  opts.attempt_budget = MintOpBudget();  // one allowance across all passes
 
   Result<Resp> outcome = UnavailableError("no replicas");
   bool done = false;
-  const Status ready = co_await EnsureReplicaList(false, span);
+  const Status ready =
+      co_await EnsureReplicaList(false, span, opts.attempt_budget);
   if (!ready.ok()) {
     outcome = ready;
     done = true;
@@ -1187,7 +1191,8 @@ sim::Co<Result<Resp>> KvFailoverProxy::ReadCall(std::uint32_t method,
       // Every cached replica failed: the whole set may have moved on
       // (failover reshuffled it, or our list is from a dead epoch).
       // Re-fetch once and give the fresh set one more chance.
-      const Status refreshed = co_await EnsureReplicaList(true, span);
+      const Status refreshed =
+          co_await EnsureReplicaList(true, span, opts.attempt_budget);
       if (!refreshed.ok()) {
         outcome = last;
         done = true;
@@ -1209,6 +1214,7 @@ sim::Co<Result<Resp>> KvFailoverProxy::WriteCall(std::uint32_t method,
                   context().scheduler().now());
   rpc::CallOptions opts = options_;
   if (span.active()) opts.trace = span;
+  opts.attempt_budget = MintOpBudget();  // one allowance across all passes
 
   const Bytes args = serde::EncodeToBytes(req);
   // If every pass fails, report the FIRST actual write attempt's status:
@@ -1221,7 +1227,8 @@ sim::Co<Result<Resp>> KvFailoverProxy::WriteCall(std::uint32_t method,
   Result<Resp> outcome = UnavailableError("no replicas");
   bool done = false;
   for (int pass = 0; pass < kWritePasses && !done; ++pass) {
-    const Status ready = co_await EnsureReplicaList(pass > 0, span);
+    const Status ready =
+        co_await EnsureReplicaList(pass > 0, span, opts.attempt_budget);
     if (!ready.ok()) {
       if (!attempted) verdict = ready;
       continue;

@@ -28,9 +28,13 @@ KvShardRouterProxy::KvShardRouterProxy(core::Context& context,
   this->context().metrics().Attach("svc.shard.router.wrong_shard_retries",
                                    &wrong_shard_retries_);
   this->context().metrics().Attach("svc.shard.router.fanouts", &fanouts_);
+  this->context().metrics().Attach("svc.shard.router.shed_fail_fast",
+                                   &shed_fail_fast_);
 }
 
 KvShardRouterProxy::~KvShardRouterProxy() {
+  context().metrics().Detach("svc.shard.router.shed_fail_fast",
+                             &shed_fail_fast_);
   context().metrics().Detach("svc.shard.router.map_refreshes",
                              &map_refreshes_);
   context().metrics().Detach("svc.shard.router.wrong_shard_retries",
@@ -84,6 +88,37 @@ sim::Co<Result<std::shared_ptr<KvFailoverProxy>>> KvShardRouterProxy::
   co_return typed;
 }
 
+SimDuration KvShardRouterProxy::GroupBackoffRemaining(
+    const std::string& group) {
+  const auto it = group_backoff_until_.find(group);
+  if (it == group_backoff_until_.end()) return 0;
+  const SimTime now = context().scheduler().now();
+  if (now >= it->second) {
+    group_backoff_until_.erase(it);
+    return 0;
+  }
+  return it->second - now;
+}
+
+void KvShardRouterProxy::NoteGroupOutcome(const std::string& group,
+                                          StatusCode code) {
+  if (code != StatusCode::kResourceExhausted) return;
+  const SimTime until = context().scheduler().now() + kGroupBackoff;
+  SimTime& slot = group_backoff_until_[group];
+  slot = std::max(slot, until);
+}
+
+Status KvShardRouterProxy::ShedFast(const std::string& group,
+                                    SimDuration remaining) {
+  shed_fail_fast_++;
+  context().spans().Event(
+      context().scheduler().now(),
+      "router: shed-before-fanout, " + group + " backed off " +
+          FormatDuration(remaining));
+  return ResourceExhaustedError("group " + group + " shedding load (retry in " +
+                                FormatDuration(remaining) + ")");
+}
+
 void KvShardRouterProxy::RecordOp(std::uint32_t shard,
                                   const std::string& group_name,
                                   const KvFailoverProxy& group, bool write) {
@@ -106,6 +141,11 @@ sim::Co<Result<std::optional<std::string>>> KvShardRouterProxy::Get(
     if (!ready.ok()) co_return ready;
     const std::uint32_t shard = ShardOf(key, map_.num_shards);
     const std::string group_name = map_.groups[map_.owner[shard]];
+    // Shed-before-send: a group that just shed load gets no more work
+    // from this router until its backoff window passes.
+    if (const SimDuration left = GroupBackoffRemaining(group_name); left > 0) {
+      co_return ShedFast(group_name, left);
+    }
     Result<std::shared_ptr<KvFailoverProxy>> group =
         co_await GroupProxy(group_name);
     if (!group.ok()) co_return group.status();
@@ -114,6 +154,7 @@ sim::Co<Result<std::optional<std::string>>> KvShardRouterProxy::Get(
       RecordOp(shard, group_name, **group, /*write=*/false);
       co_return r;
     }
+    NoteGroupOutcome(group_name, r.status().code());
     if (r.status().code() != StatusCode::kWrongShard) co_return r.status();
     wrong_shard_retries_++;
     last = r.status();
@@ -132,6 +173,11 @@ sim::Co<Result<rpc::Void>> KvShardRouterProxy::Put(std::string key,
     if (!ready.ok()) co_return ready;
     const std::uint32_t shard = ShardOf(key, map_.num_shards);
     const std::string group_name = map_.groups[map_.owner[shard]];
+    // Shed-before-send: a group that just shed load gets no more work
+    // from this router until its backoff window passes.
+    if (const SimDuration left = GroupBackoffRemaining(group_name); left > 0) {
+      co_return ShedFast(group_name, left);
+    }
     Result<std::shared_ptr<KvFailoverProxy>> group =
         co_await GroupProxy(group_name);
     if (!group.ok()) co_return group.status();
@@ -140,6 +186,7 @@ sim::Co<Result<rpc::Void>> KvShardRouterProxy::Put(std::string key,
       RecordOp(shard, group_name, **group, /*write=*/true);
       co_return r;
     }
+    NoteGroupOutcome(group_name, r.status().code());
     if (r.status().code() != StatusCode::kWrongShard) co_return r.status();
     wrong_shard_retries_++;
     last = r.status();
@@ -157,6 +204,11 @@ sim::Co<Result<bool>> KvShardRouterProxy::Del(std::string key) {
     if (!ready.ok()) co_return ready;
     const std::uint32_t shard = ShardOf(key, map_.num_shards);
     const std::string group_name = map_.groups[map_.owner[shard]];
+    // Shed-before-send: a group that just shed load gets no more work
+    // from this router until its backoff window passes.
+    if (const SimDuration left = GroupBackoffRemaining(group_name); left > 0) {
+      co_return ShedFast(group_name, left);
+    }
     Result<std::shared_ptr<KvFailoverProxy>> group =
         co_await GroupProxy(group_name);
     if (!group.ok()) co_return group.status();
@@ -165,6 +217,7 @@ sim::Co<Result<bool>> KvShardRouterProxy::Del(std::string key) {
       RecordOp(shard, group_name, **group, /*write=*/true);
       co_return r;
     }
+    NoteGroupOutcome(group_name, r.status().code());
     if (r.status().code() != StatusCode::kWrongShard) co_return r.status();
     wrong_shard_retries_++;
     last = r.status();
@@ -175,16 +228,27 @@ sim::Co<Result<bool>> KvShardRouterProxy::Del(std::string key) {
 sim::Co<Result<std::uint64_t>> KvShardRouterProxy::Size() {
   const Status ready = co_await EnsureMap(false);
   if (!ready.ok()) co_return ready;
-  fanouts_++;
-  std::uint64_t total = 0;
   // Snapshot: map_ can be refreshed by a concurrent op while a group
   // call below is suspended.
   const std::vector<std::string> group_names = map_.groups;
+  // Shed-before-fanout: one overloaded group fails the whole fan-out, so
+  // check them all up front rather than amplify N-1 wasted calls.
+  for (const auto& name : group_names) {
+    if (const SimDuration left = GroupBackoffRemaining(name); left > 0) {
+      co_return ShedFast(name, left);
+    }
+  }
+  fanouts_++;
+  std::uint64_t total = 0;
   for (const auto& name : group_names) {
     Result<std::shared_ptr<KvFailoverProxy>> group = co_await GroupProxy(name);
     if (!group.ok()) co_return group.status();
     Result<std::uint64_t> part = co_await (*group)->Size();
-    if (!part.ok()) co_return part.status();
+    if (!part.ok()) {
+      // Abort on the first shed: the remaining groups get nothing.
+      NoteGroupOutcome(name, part.status().code());
+      co_return part.status();
+    }
     total += *part;
   }
   co_return total;
@@ -194,14 +258,22 @@ sim::Co<Result<std::vector<std::string>>> KvShardRouterProxy::List(
     std::string prefix) {
   const Status ready = co_await EnsureMap(false);
   if (!ready.ok()) co_return ready;
+  const std::vector<std::string> group_names = map_.groups;  // snapshot
+  for (const auto& name : group_names) {
+    if (const SimDuration left = GroupBackoffRemaining(name); left > 0) {
+      co_return ShedFast(name, left);
+    }
+  }
   fanouts_++;
   std::vector<std::string> merged;
-  const std::vector<std::string> group_names = map_.groups;  // snapshot
   for (const auto& name : group_names) {
     Result<std::shared_ptr<KvFailoverProxy>> group = co_await GroupProxy(name);
     if (!group.ok()) co_return group.status();
     Result<std::vector<std::string>> part = co_await (*group)->List(prefix);
-    if (!part.ok()) co_return part.status();
+    if (!part.ok()) {
+      NoteGroupOutcome(name, part.status().code());
+      co_return part.status();
+    }
     merged.insert(merged.end(), std::make_move_iterator(part->begin()),
                   std::make_move_iterator(part->end()));
   }

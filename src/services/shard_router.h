@@ -46,6 +46,13 @@ class KvShardRouterProxy : public IKeyValue, public core::ProxyBase {
   /// stale-map retry bound the tests pin down).
   static constexpr int kRoutePasses = 3;
 
+  /// How long a group that shed a call stays marked overloaded. Ops
+  /// routed at a marked group fail fast (RESOURCE_EXHAUSTED, remaining
+  /// window as the hint) instead of offering the server more work; the
+  /// server's own retry-after hints were already honored by the layers
+  /// below before the shed surfaced here.
+  static constexpr SimDuration kGroupBackoff = Milliseconds(25);
+
   KvShardRouterProxy(core::Context& context, core::ServiceBinding binding);
   ~KvShardRouterProxy() override;
 
@@ -69,6 +76,11 @@ class KvShardRouterProxy : public IKeyValue, public core::ProxyBase {
     return wrong_shard_retries_;
   }
   [[nodiscard]] std::uint64_t fanouts() const noexcept { return fanouts_; }
+  /// Ops failed fast because their group was inside its shed-backoff
+  /// window (shed-before-fanout: no work was offered to the group).
+  [[nodiscard]] std::uint64_t shed_fail_fast() const noexcept {
+    return shed_fail_fast_;
+  }
 
   /// Routing observables of the last completed single-key operation —
   /// which shard, which group (by name), and the group's shard-ownership
@@ -106,11 +118,23 @@ class KvShardRouterProxy : public IKeyValue, public core::ProxyBase {
   void RecordOp(std::uint32_t shard, const std::string& group_name,
                 const KvFailoverProxy& group, bool write);
 
+  /// Time left in `group`'s shed-backoff window (0 = not backed off).
+  /// Non-const: expired windows are erased as they are observed.
+  [[nodiscard]] SimDuration GroupBackoffRemaining(const std::string& group);
+  /// Marks `group` overloaded for kGroupBackoff when `code` is a shed.
+  void NoteGroupOutcome(const std::string& group, StatusCode code);
+  /// Fail-fast verdict for an op about to target `group`; counts it.
+  [[nodiscard]] Status ShedFast(const std::string& group,
+                                SimDuration remaining);
+
   shardwire::ShardMap map_;
   std::map<std::string, std::shared_ptr<KvFailoverProxy>> groups_;
+  /// Shed-before-fanout state: group name -> end of its backoff window.
+  std::map<std::string, SimTime> group_backoff_until_;
   obs::Counter map_refreshes_;
   obs::Counter wrong_shard_retries_;
   obs::Counter fanouts_;
+  obs::Counter shed_fail_fast_;
   std::uint32_t last_op_shard_ = 0;
   std::string last_op_group_;
   std::uint64_t last_op_shard_epoch_ = 0;

@@ -85,6 +85,30 @@ TEST(ChaosSmoke, ThirtyTwoShardedSeedsHoldEveryInvariant) {
   EXPECT_GT(fencing_hits, 0u);
 }
 
+TEST(ChaosSmoke, SixteenOverloadSeedsHoldEveryInvariant) {
+  // The overload world: three open-loop priority lanes drowning one
+  // admission-controlled KV server alongside the regular workload and
+  // fault schedule. The admission checkers (no-priority-inversion,
+  // bounded-queue, shed-not-executed) and the retry-amplification bound
+  // run on every seed; the 64-seed box sweep (check.sh) widens this.
+  std::uint64_t shed = 0;
+  for (std::uint64_t seed = 1; seed <= 16; ++seed) {
+    ChaosOptions options;
+    options.seed = seed;
+    options.overload = true;
+    ChaosReport report = RunChaos(options);
+    EXPECT_TRUE(report.ok()) << report.Summary() << "\n" << report.trace_tail;
+    EXPECT_TRUE(report.overload);
+    EXPECT_GT(report.overload_offered, 0u) << "seed " << seed;
+    EXPECT_GT(report.overload_ok, 0u) << "seed " << seed;
+    shed += report.overload_rejected + report.overload_evicted +
+            report.overload_deadline_shed;
+  }
+  // The lanes genuinely overload the server somewhere across the seeds:
+  // a sweep where admission control never fires tests nothing.
+  EXPECT_GT(shed, 0u);
+}
+
 // --- replay determinism ---
 
 TEST(ChaosReplay, SameSeedReplaysByteIdentically) {
@@ -224,6 +248,55 @@ TEST(ChaosBugCatch, StaleShardMapRegressionCaughtByShardingCheckers) {
   const ChaosReport replay = RunChaos(options);
   EXPECT_EQ(replay.fingerprint, violating.fingerprint);
   EXPECT_EQ(replay.violations.size(), violating.violations.size());
+}
+
+TEST(ChaosBugCatch, RetryStormRegressionCaughtByAmplificationBound) {
+  // With the client retry governors disabled (the pre-hardening client),
+  // partition episodes turn every blocked caller into an unbounded
+  // retransmission source. The bounded-retry-amplification checker must
+  // catch the storm — and the same seed must replay it byte-identically.
+  ChaosReport violating;
+  std::uint64_t seed = 0;
+  for (std::uint64_t s = 1; s <= 32 && seed == 0; ++s) {
+    ChaosOptions options;
+    options.seed = s;
+    options.overload = true;
+    options.bug = Bug::kRetryStorm;
+    ChaosReport report = RunChaos(options);
+    if (!report.ok()) {
+      violating = std::move(report);
+      seed = s;
+    }
+  }
+  ASSERT_NE(seed, 0u) << "retry-storm bug not caught within 32 seeds";
+  EXPECT_TRUE(HasInvariant(violating, "bounded-retry-amplification"))
+      << violating.Summary();
+
+  ChaosOptions options;
+  options.seed = seed;
+  options.overload = true;
+  options.bug = Bug::kRetryStorm;
+  const ChaosReport replay = RunChaos(options);
+  EXPECT_EQ(replay.fingerprint, violating.fingerprint);
+  EXPECT_EQ(replay.overload_retransmissions,
+            violating.overload_retransmissions);
+  EXPECT_EQ(replay.violations.size(), violating.violations.size());
+}
+
+TEST(ChaosReplay, OverloadRunReplaysByteIdentically) {
+  ChaosOptions options;
+  options.seed = 9;
+  options.overload = true;
+  const ChaosReport first = RunChaos(options);
+  const ChaosReport second = RunChaos(options);
+  EXPECT_TRUE(first.overload);
+  EXPECT_EQ(first.fingerprint, second.fingerprint);
+  EXPECT_EQ(first.overload_offered, second.overload_offered);
+  EXPECT_EQ(first.overload_ok, second.overload_ok);
+  EXPECT_EQ(first.overload_rejected, second.overload_rejected);
+  EXPECT_EQ(first.overload_queue_peak, second.overload_queue_peak);
+  EXPECT_EQ(first.overload_retransmissions, second.overload_retransmissions);
+  EXPECT_EQ(first.violations.size(), second.violations.size());
 }
 
 // --- minimization ---

@@ -123,6 +123,102 @@ TEST(FaultInjection, BreakerLifecycleOpenProbeGrowReclose) {
   EXPECT_EQ(w.client->stats().breaker_opens, 2u);
 }
 
+TEST(FaultInjection, HalfOpenAdmitsExactlyOneConcurrentProbe) {
+  rpc::RpcClient::BreakerParams tuning;
+  tuning.open_after = 3;
+  tuning.cooldown = Milliseconds(50);
+  tuning.cooldown_growth = 2.0;
+  tuning.max_cooldown = Milliseconds(400);
+  RpcWorld w(/*seed=*/91, tuning);
+
+  rpc::CallOptions options;
+  options.retry_interval = Milliseconds(10);
+  options.max_retries = 100;
+  options.deadline = Milliseconds(30);
+
+  w.Partition(true);
+  for (std::uint32_t i = 0; i < 3; ++i) {
+    EXPECT_EQ(w.CallSync(i, options).status.code(), StatusCode::kTimeout);
+  }
+  EXPECT_TRUE(w.client->CircuitOpen(w.server_ep->address()));
+  w.sched.RunFor(tuning.cooldown);
+  EXPECT_FALSE(w.client->CircuitOpen(w.server_ep->address()));
+
+  // Five callers arrive at the same half-open instant. Exactly one is
+  // admitted as the probe; the rest are fast-failed without waiting.
+  std::vector<sim::Future<rpc::RpcResult>> burst;
+  for (std::uint32_t i = 0; i < 5; ++i) {
+    burst.push_back(w.client->Call(w.server_ep->address(), w.object, 1,
+                                   serde::EncodeToBytes(PingRequest{100 + i}),
+                                   options));
+    // While the probe is in flight the breaker reads as open again.
+    EXPECT_TRUE(w.client->CircuitOpen(w.server_ep->address()));
+  }
+  EXPECT_FALSE(burst[0].ready());  // the probe is on the wire
+  for (std::size_t i = 1; i < burst.size(); ++i) {
+    ASSERT_TRUE(burst[i].ready()) << "concurrent call " << i << " waited";
+  }
+  EXPECT_EQ(w.client->stats().breaker_fast_fails, 4u);
+
+  // The partition still holds: the probe times out and the breaker
+  // re-opens ONCE — the rejected concurrent callers contribute no extra
+  // opens — with the cooldown grown to 100ms.
+  w.sched.Run();
+  EXPECT_EQ(burst[0].take().status.code(), StatusCode::kTimeout);
+  for (std::size_t i = 1; i < burst.size(); ++i) {
+    EXPECT_EQ(burst[i].take().status.code(), StatusCode::kUnavailable);
+  }
+  EXPECT_EQ(w.client->stats().breaker_opens, 2u);
+  EXPECT_TRUE(w.client->CircuitOpen(w.server_ep->address()));
+  w.sched.RunFor(tuning.cooldown);
+  EXPECT_TRUE(w.client->CircuitOpen(w.server_ep->address()));
+  w.sched.RunFor(tuning.cooldown);
+  EXPECT_FALSE(w.client->CircuitOpen(w.server_ep->address()));
+}
+
+TEST(FaultInjection, HalfOpenProbeSuccessClosesDespiteConcurrentRejections) {
+  rpc::RpcClient::BreakerParams tuning;
+  tuning.open_after = 3;
+  tuning.cooldown = Milliseconds(50);
+  RpcWorld w(/*seed=*/92, tuning);
+
+  rpc::CallOptions options;
+  options.retry_interval = Milliseconds(10);
+  options.max_retries = 100;
+  options.deadline = Milliseconds(30);
+
+  w.Partition(true);
+  for (std::uint32_t i = 0; i < 3; ++i) {
+    EXPECT_EQ(w.CallSync(i, options).status.code(), StatusCode::kTimeout);
+  }
+  ASSERT_TRUE(w.client->CircuitOpen(w.server_ep->address()));
+
+  // Heal before the cooldown elapses; the breaker cannot know yet.
+  w.Partition(false);
+  w.sched.RunFor(tuning.cooldown);
+
+  // A burst at the half-open instant: the probe goes through and
+  // succeeds, so one request's worth of load — not the whole burst —
+  // hits the recovering server.
+  std::vector<sim::Future<rpc::RpcResult>> burst;
+  for (std::uint32_t i = 0; i < 4; ++i) {
+    burst.push_back(w.client->Call(w.server_ep->address(), w.object, 1,
+                                   serde::EncodeToBytes(PingRequest{200 + i}),
+                                   options));
+  }
+  w.sched.Run();
+  ASSERT_TRUE(burst[0].ready());
+  EXPECT_TRUE(burst[0].take().ok());
+  for (std::size_t i = 1; i < burst.size(); ++i) {
+    EXPECT_EQ(burst[i].take().status.code(), StatusCode::kUnavailable);
+  }
+  // One reply closed the breaker for everyone; traffic resumes at once.
+  EXPECT_FALSE(w.client->CircuitOpen(w.server_ep->address()));
+  EXPECT_TRUE(w.CallSync(300, options).ok());
+  EXPECT_EQ(w.client->stats().breaker_opens, 1u);
+  EXPECT_EQ(w.client->stats().breaker_fast_fails, 3u);
+}
+
 TEST(FaultInjection, BreakerBoundsRetryTrafficDuringOutage) {
   rpc::RpcClient::BreakerParams tuning;  // defaults: open after 5, 100ms
   RpcWorld w(/*seed=*/21, tuning);

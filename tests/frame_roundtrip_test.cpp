@@ -2,9 +2,10 @@
 // v1 frames (no deadline on the wire) decode with no deadline, v2 frames
 // round-trip it, v3 frames with unknown trailing fields still decode, v4
 // frames round-trip the causal trace triple (and pre-v4 senders decode
-// against the v4 reader with an inactive trace) — and truncating an
-// encoded frame at any byte either decodes cleanly or fails with an
-// error, never crashes or hangs.
+// against the v4 reader with an inactive trace), v5 frames round-trip
+// the admission priority (and pre-v5 senders decode as kNormal) — and
+// truncating an encoded frame at any byte either decodes cleanly or
+// fails with an error, never crashes or hangs.
 #include <gtest/gtest.h>
 
 #include <cstdint>
@@ -40,6 +41,8 @@ RequestFrame SampleTracedRequest() {
 
 /// Encodes `frame` under an explicit envelope version, appending
 /// `extra_fields` unknown varints after the known ones (a "v3" sender).
+/// Versions >= 4 carry the trace triple, >= 5 the priority — exactly
+/// what a real sender of that vintage would put on the wire.
 Bytes EncodeRequestAs(const RequestFrame& frame, std::uint32_t version,
                       int extra_fields = 0) {
   serde::Writer w;
@@ -47,6 +50,14 @@ Bytes EncodeRequestAs(const RequestFrame& frame, std::uint32_t version,
   serde::VersionedWriter vw(w, version);
   serde::Serialize(vw.body(), frame);  // v1 fields
   if (version >= 2) vw.body().WriteVarint(frame.deadline);
+  if (version >= kTraceWireVersion) {
+    vw.body().WriteVarint(frame.trace.trace_id);
+    vw.body().WriteVarint(frame.trace.span_id);
+    vw.body().WriteVarint(frame.trace.parent_span_id);
+  }
+  if (version >= kPriorityWireVersion) {
+    vw.body().WriteVarint(static_cast<std::uint64_t>(frame.priority));
+  }
   for (int i = 0; i < extra_fields; ++i) {
     vw.body().WriteVarint(0xF00D + static_cast<std::uint64_t>(i));
   }
@@ -128,6 +139,87 @@ TEST(FrameRoundtrip, PreV4FramesDecodeWithInactiveTrace) {
     EXPECT_FALSE(decoded->trace.active()) << "version " << version;
     EXPECT_EQ(decoded->trace.trace_id, 0u) << "version " << version;
   }
+}
+
+TEST(FrameRoundtrip, V5RoundTripsEveryPriority) {
+  for (const Priority p :
+       {Priority::kHigh, Priority::kNormal, Priority::kLow}) {
+    RequestFrame frame = SampleTracedRequest();
+    frame.priority = p;
+    const Result<RequestFrame> decoded =
+        DecodeRequest(View(EncodeRequest(frame)));
+    ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+    EXPECT_EQ(decoded->priority, p) << PriorityName(p);
+    EXPECT_EQ(decoded->trace.trace_id, frame.trace.trace_id)
+        << "priority must not disturb the v4 fields before it";
+  }
+}
+
+TEST(FrameRoundtrip, PreV5FramesDecodeAsNormalPriority) {
+  // A v1/v2/v4 sender cannot carry a priority; the v5 decoder must
+  // default to kNormal — unannotated traffic is the middle class, never
+  // accidentally promoted or shed.
+  const RequestFrame frame = SampleTracedRequest();
+  for (const std::uint32_t version : {1u, 2u, 4u}) {
+    const Bytes old = EncodeRequestAs(frame, version);
+    const Result<RequestFrame> decoded = DecodeRequest(View(old));
+    ASSERT_TRUE(decoded.ok()) << "version " << version << ": "
+                              << decoded.status().ToString();
+    EXPECT_EQ(decoded->priority, Priority::kNormal) << "version " << version;
+    if (version >= kTraceWireVersion) {
+      EXPECT_EQ(decoded->trace.trace_id, frame.trace.trace_id);
+    }
+  }
+}
+
+TEST(FrameRoundtrip, OutOfRangePriorityIsCorrupt) {
+  // The priority lattice has exactly kPriorityLevels values; a frame
+  // claiming a level beyond it is corruption, not a future extension
+  // (new levels would be a new wire version).
+  const RequestFrame frame = SampleRequest();
+  serde::Writer w;
+  w.WriteU8(static_cast<std::uint8_t>(FrameType::kRequest));
+  serde::VersionedWriter vw(w, kPriorityWireVersion);
+  serde::Serialize(vw.body(), frame);
+  vw.body().WriteVarint(frame.deadline);
+  vw.body().WriteVarint(0);  // trace triple
+  vw.body().WriteVarint(0);
+  vw.body().WriteVarint(0);
+  vw.body().WriteVarint(kPriorityLevels);  // first invalid level
+  vw.Finish();
+  EXPECT_FALSE(DecodeRequest(View(w.Take())).ok());
+}
+
+TEST(FrameRoundtrip, TruncatedPriorityRequestNeverDecodesAsValid) {
+  // The priority byte is the very last body byte of a v5 frame; every
+  // truncation point — including just that byte — must fail the whole
+  // decode (a frame with its priority sheared off is corrupt, not
+  // "normal priority").
+  RequestFrame frame = SampleTracedRequest();
+  frame.priority = Priority::kLow;
+  const Bytes full = EncodeRequest(frame);
+  for (std::size_t len = 0; len < full.size(); ++len) {
+    EXPECT_FALSE(DecodeRequest(BytesView(full.data(), len)).ok())
+        << "prefix of length " << len << " decoded";
+  }
+  const Result<RequestFrame> whole = DecodeRequest(View(full));
+  ASSERT_TRUE(whole.ok());
+  EXPECT_EQ(whole->priority, Priority::kLow);
+}
+
+TEST(FrameRoundtrip, ReplyFrameRoundTripsRetryAfter) {
+  // The pushback hint must survive the wire exactly: the client's
+  // backoff is seeded from it.
+  ReplyFrame reply;
+  reply.call = CallId{0xD00F, 3};
+  reply.code = StatusCode::kResourceExhausted;
+  reply.error_message = "admission queue full";
+  reply.retry_after = Milliseconds(15);
+  const Result<ReplyFrame> decoded = DecodeReply(View(EncodeReply(reply)));
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded->code, StatusCode::kResourceExhausted);
+  EXPECT_EQ(decoded->retry_after, Milliseconds(15));
+  EXPECT_EQ(decoded->error_message, reply.error_message);
 }
 
 TEST(FrameRoundtrip, TruncatedTracedRequestNeverDecodesAsValid) {
@@ -230,11 +322,11 @@ TEST(FrameRoundtrip, BorrowedDecodeRejectsEveryTruncation) {
 }
 
 TEST(FrameRoundtrip, FullyKnownVersionsRejectTrailingGarbage) {
-  // v1/v2/v4 are versions this build completely understands, so bytes
+  // v1/v2/v4/v5 are versions this build completely understands, so bytes
   // after the last known field are corruption, not forward compatibility
   // — only the reserved v3 (and futures) may carry a tail.
   const RequestFrame frame = SampleRequest();
-  for (const std::uint32_t version : {1u, 2u}) {
+  for (const std::uint32_t version : {1u, 2u, 4u, kRequestWireVersion}) {
     const Bytes tailed = EncodeRequestAs(frame, version, /*extra_fields=*/1);
     EXPECT_FALSE(DecodeRequest(View(tailed)).ok())
         << "v" << version << " frame with a tail decoded";
@@ -257,6 +349,7 @@ TEST(FrameRoundtrip, RandomFramesRoundTripUnderRandomDeadlines) {
     frame.trace.trace_id = rng.UniformU64(~0ULL);
     frame.trace.span_id = rng.UniformU64(~0ULL);
     frame.trace.parent_span_id = rng.UniformU64(~0ULL);
+    frame.priority = static_cast<Priority>(rng.UniformU64(kPriorityLevels));
     const Result<RequestFrame> decoded =
         DecodeRequest(View(EncodeRequest(frame)));
     ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
@@ -265,6 +358,7 @@ TEST(FrameRoundtrip, RandomFramesRoundTripUnderRandomDeadlines) {
     EXPECT_EQ(decoded->trace.trace_id, frame.trace.trace_id);
     EXPECT_EQ(decoded->trace.span_id, frame.trace.span_id);
     EXPECT_EQ(decoded->trace.parent_span_id, frame.trace.parent_span_id);
+    EXPECT_EQ(decoded->priority, frame.priority);
   }
 }
 

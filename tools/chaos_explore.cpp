@@ -47,6 +47,7 @@ struct Args {
   std::uint64_t seed = 0;       // single seed
   bool replay = false;
   bool sharded = false;
+  bool overload = false;
   bool minimize = false;
   bool metrics = false;
   bool trace = false;
@@ -92,11 +93,27 @@ void PrintUsage(std::FILE* out) {
                "route ops to\n"
                "                     groups that lost the shard (kv-lost-key / "
                "kv-split-shard)\n"
+               "      retry-storm    disable the client retry governors "
+               "(attempt budget +\n"
+               "                     per-destination token bucket) on the "
+               "overload lanes\n"
+               "                     (implies --overload); congestion breeds "
+               "retransmission\n"
+               "                     storms (bounded-retry-amplification)\n"
                "  --sharded          shard the KV across two replica groups "
                "behind the\n"
                "                     routing proxy and drive online shard "
                "migrations\n"
                "                     through the fault window\n"
+               "  --overload         add the overload world: a throttled KV "
+               "server with a\n"
+               "                     bounded admission queue, driven past its "
+               "knee by three\n"
+               "                     open-loop priority lanes through the "
+               "fault window\n"
+               "                     (no-priority-inversion, bounded-queue, "
+               "shed-means-not-\n"
+               "                     executed, bounded-retry-amplification)\n"
                "  --metrics          print the metric registry after the run "
                "(table + JSON);\n"
                "                     deterministic: same seed, same bytes\n"
@@ -124,6 +141,8 @@ bool Parse(int argc, char** argv, Args& args) {
       args.replay = true;
     } else if (std::strcmp(a, "--sharded") == 0) {
       args.sharded = true;
+    } else if (std::strcmp(a, "--overload") == 0) {
+      args.overload = true;
     } else if (std::strcmp(a, "--metrics") == 0) {
       args.metrics = true;
     } else if (std::strcmp(a, "--trace") == 0) {
@@ -140,12 +159,15 @@ bool Parse(int argc, char** argv, Args& args) {
     } else if (std::strcmp(a, "--bug=stale-shard-map") == 0) {
       args.bug = Bug::kStaleShardMap;
       args.sharded = true;  // the bug only exists in a sharded deployment
+    } else if (std::strcmp(a, "--bug=retry-storm") == 0) {
+      args.bug = Bug::kRetryStorm;
+      args.overload = true;  // the governors only matter on overload lanes
     } else if (std::strcmp(a, "--bug=none") == 0) {
       args.bug = Bug::kNone;
     } else if (std::strncmp(a, "--bug=", 6) == 0) {
       std::fprintf(stderr,
                    "unknown bug '%s' (valid: none, reply-auth, "
-                   "stale-primary, stale-shard-map)\n",
+                   "stale-primary, stale-shard-map, retry-storm)\n",
                    a + 6);
       return false;
     } else {
@@ -166,6 +188,7 @@ ChaosOptions MakeOptions(const Args& args, std::uint64_t seed) {
   options.seed = seed;
   options.bug = args.bug;
   options.sharded = args.sharded;
+  options.overload = args.overload;
   options.collect_metrics = args.metrics;
   options.collect_spans = args.trace;
   options.trace_filter = args.trace_filter;
@@ -196,10 +219,13 @@ int RunSweep(const Args& args) {
     if (args.bug == Bug::kReplyAuth) bug_flag = " --bug=reply-auth";
     if (args.bug == Bug::kStalePrimary) bug_flag = " --bug=stale-primary";
     if (args.bug == Bug::kStaleShardMap) bug_flag = " --bug=stale-shard-map";
-    std::printf("reproduce with: chaos_explore --seed=%llu%s%s\n",
+    if (args.bug == Bug::kRetryStorm) bug_flag = " --bug=retry-storm";
+    std::printf("reproduce with: chaos_explore --seed=%llu%s%s%s\n",
                 static_cast<unsigned long long>(s),
                 args.sharded && args.bug != Bug::kStaleShardMap ? " --sharded"
                                                                 : "",
+                args.overload && args.bug != Bug::kRetryStorm ? " --overload"
+                                                              : "",
                 bug_flag);
   }
   std::printf("sweep: %llu seeds, %llu violating\n",
