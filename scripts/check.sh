@@ -17,6 +17,8 @@
 #   BENCH=1 scripts/check.sh      # also run the perf-trajectory gate:
 #                                 # deterministic bench metrics vs the
 #                                 # committed bench/BENCH_wire.json
+#   NIGHTLY=1 scripts/check.sh    # widen the 10x-client chaos lane to
+#                                 # the full seed battery
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -99,6 +101,20 @@ echo "== chaos sweep, overload (64 seeds) =="
 # shed-not-executed and bounded-retry-amplification.
 "./$BUILD_DIR/tools/chaos_explore" --seeds=64 --overload
 
+echo "== chaos sweep, 10x clients (16 seeds) =="
+# Ten times the default client count: enough in-flight traffic to land
+# writes inside failover races the 4-client workload never reaches (this
+# lane found the deposed-primary epoch-stamp race at seed 15). The
+# timer-wheel core keeps the bigger topology inside the CI budget; the
+# NIGHTLY=1 run widens it to the full seed battery.
+"./$BUILD_DIR/tools/chaos_explore" --seeds=16 --clients=40
+if [ "${NIGHTLY:-0}" = "1" ]; then
+  echo "== chaos sweep, 10x clients, nightly ($SEEDS seeds) =="
+  "./$BUILD_DIR/tools/chaos_explore" --seeds="$SEEDS" --clients=40
+  echo "== chaos sweep, 10x clients sharded, nightly (64 seeds) =="
+  "./$BUILD_DIR/tools/chaos_explore" --seeds=64 --clients=40 --sharded
+fi
+
 echo "== chaos bug demonstrator: retry-storm =="
 # The sweep must have teeth: with the client retry governors disabled
 # (--bug=retry-storm implies --overload) some seed must trip the
@@ -150,6 +166,8 @@ if [ "$BENCH" = "1" ]; then
   PROXY_BENCH_JSON="$wire_jsonl" "./$BUILD_DIR/bench/bench_replication" \
     > /dev/null
   PROXY_BENCH_JSON="$wire_jsonl" "./$BUILD_DIR/bench/bench_overload" \
+    > /dev/null
+  PROXY_BENCH_JSON="$wire_jsonl" "./$BUILD_DIR/bench/bench_sim_core" \
     > /dev/null
   python3 scripts/perf_gate.py --baseline bench/BENCH_wire.json \
     --current "$wire_jsonl"

@@ -47,6 +47,14 @@ RULES = {
     # the failure mode admission control exists to prevent.
     "p0_goodput_retention_x2": ("up", 0.9),
     "ablation_goodput_fraction_x2": ("down", 1.25),
+    # Simulator core (F9): wall-clock events/sec is machine-dependent and
+    # rides along uncompared; these deterministic rows pin that the lanes
+    # still dispatch the same work (event counts, virtual-time rates) and
+    # that same-instant delivery coalescing keeps working.
+    "events_run": ("up", 0.9),
+    "events_per_virtual_sec": ("up", 0.9),
+    "timers_cancelled": ("up", 0.9),
+    "coalesced_fraction": ("up", 0.9),
 }
 
 
@@ -179,6 +187,24 @@ def self_test():
     degraded["overload/ablation/x2/ablation_goodput_fraction_x2"] = 0.8
     if len(check(overload_base, degraded)) != 2:
         print("self-test FAIL: overload regressions passed")
+        return 1
+    # Sim-core rules: a lane dispatching fewer events, a collapsed
+    # cancel count, and lost delivery coalescing must all trip.
+    sim_base = {
+        "sim_core/timer_churn/events_run": 1998848.0,
+        "sim_core/cancel_churn/timers_cancelled": 371976.0,
+        "sim_core/rpc_echo_storm/coalesced_fraction": 0.984,
+        "sim_core/timer_churn/events_per_virtual_sec": 1.15e8,
+    }
+    if check(sim_base, dict(sim_base)):
+        print("self-test FAIL: identical sim-core run was rejected")
+        return 1
+    shrunk = dict(sim_base)
+    shrunk["sim_core/timer_churn/events_run"] = 1998848.0 * 0.5
+    shrunk["sim_core/cancel_churn/timers_cancelled"] = 100.0
+    shrunk["sim_core/rpc_echo_storm/coalesced_fraction"] = 0.0
+    if len(check(sim_base, shrunk)) != 3:
+        print("self-test FAIL: sim-core regressions passed")
         return 1
     # Malformed current-run records must produce a clear error naming the
     # offending line, not a bare KeyError traceback.

@@ -36,7 +36,7 @@ Adversary::Adversary(core::Runtime& runtime, TraceRecorder& trace,
 void Adversary::Arm() {
   sim::Scheduler& sched = runtime_->scheduler();
   for (const FaultEvent& ev : schedule_) {
-    sched.PostAt(ev.at, [this, &ev] { Apply(ev); });
+    sched.PostAt(ev.at, [this, &ev] { Apply(ev); }).Detach();
   }
 }
 
@@ -44,13 +44,16 @@ void Adversary::ScheduleRestore(SimDuration duration,
                                 std::function<void()> undo) {
   const std::uint64_t token = next_undo_++;
   active_undos_.emplace(token, std::move(undo));
-  runtime_->scheduler().PostAfter(duration, [this, token] {
-    const auto it = active_undos_.find(token);
-    if (it == active_undos_.end()) return;  // HealAll got there first
-    auto fn = std::move(it->second);
-    active_undos_.erase(it);
-    fn();
-  });
+  runtime_->scheduler()
+      .PostAfter(duration,
+                 [this, token] {
+                   const auto it = active_undos_.find(token);
+                   if (it == active_undos_.end()) return;  // healed already
+                   auto fn = std::move(it->second);
+                   active_undos_.erase(it);
+                   fn();
+                 })
+      .Detach();
 }
 
 void Adversary::Apply(const FaultEvent& ev) {

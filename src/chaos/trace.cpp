@@ -5,9 +5,9 @@
 namespace proxy::chaos {
 
 void TraceRecorder::Attach(sim::Scheduler& sched, sim::Network& net) {
-  sched.SetStepHook([this](SimTime t, sim::TimerId id) {
+  sched.SetStepHook([this](SimTime t, std::uint64_t seq) {
     Fold(t);
-    Fold(id);
+    Fold(seq);
   });
   net.SetTraceHook([this](sim::NetTraceKind kind, NodeId from, NodeId to,
                           PortId to_port, std::size_t bytes) {

@@ -53,9 +53,8 @@ class Batcher {
     if (pending_.size() >= max_items_) {
       stats_.size_flushes++;
       FlushNow();
-    } else if (timer_ == sim::kInvalidTimer) {
+    } else if (!timer_.armed()) {
       timer_ = scheduler_->PostAfter(window_, [this] {
-        timer_ = sim::kInvalidTimer;
         if (!pending_.empty()) {
           stats_.window_flushes++;
           FlushNow();
@@ -113,10 +112,7 @@ class Batcher {
   }
 
   void FlushNow() {
-    if (timer_ != sim::kInvalidTimer) {
-      scheduler_->Cancel(timer_);
-      timer_ = sim::kInvalidTimer;
-    }
+    timer_.Cancel();
     stats_.batches++;
     std::vector<Item> batch = std::move(pending_);
     std::vector<sim::Promise<Status>> waiters = std::move(waiters_);
@@ -132,7 +128,7 @@ class Batcher {
   SimDuration window_;
   std::vector<Item> pending_;
   std::vector<sim::Promise<Status>> waiters_;
-  sim::TimerId timer_ = sim::kInvalidTimer;
+  sim::Timer timer_;  // pending window flush (RAII)
   BatcherStats stats_;
 };
 

@@ -43,7 +43,7 @@ Status ReliableChannel::Send(const Address& to, Bytes payload) {
   stats_.data_sent++;
   st.next_seq++;
   st.in_flight.push_back(std::move(payload));
-  if (st.timer == sim::kInvalidTimer) ArmTimer(to, st);
+  if (!st.timer.armed()) ArmTimer(to, st);
   return Status::Ok();
 }
 
@@ -60,10 +60,7 @@ void ReliableChannel::ResetPeer(const Address& peer) {
   const auto it = senders_.find(peer);
   if (it == senders_.end()) return;
   SendState& st = it->second;
-  if (st.timer != sim::kInvalidTimer) {
-    endpoint_->scheduler().Cancel(st.timer);
-    st.timer = sim::kInvalidTimer;
-  }
+  st.timer.Cancel();
   // Drop unacknowledged state but keep the sequence space monotonic: the
   // resync probe moves the receiver's `expected` forward to the new base,
   // so the two sides agree again without replaying stale duplicates.
@@ -155,10 +152,7 @@ void ReliableChannel::OnAck(const Address& from, std::uint64_t ack) {
   }
   st.base += advanced;
   st.retries = 0;  // progress resets the failure countdown
-  if (st.timer != sim::kInvalidTimer) {
-    endpoint_->scheduler().Cancel(st.timer);
-    st.timer = sim::kInvalidTimer;
-  }
+  st.timer.Cancel();
   if (!st.in_flight.empty()) ArmTimer(from, st);
 }
 
@@ -199,7 +193,6 @@ void ReliableChannel::OnTimeout(const Address& to) {
   const auto it = senders_.find(to);
   if (it == senders_.end()) return;
   SendState& st = it->second;
-  st.timer = sim::kInvalidTimer;
   if (st.failed || st.in_flight.empty()) return;
   if (++st.retries > params_.max_retries) {
     DeclareFailed(to, st);
@@ -232,7 +225,6 @@ void ReliableChannel::OnProbeTimer(const Address& to) {
   const auto it = senders_.find(to);
   if (it == senders_.end()) return;
   SendState& st = it->second;
-  st.timer = sim::kInvalidTimer;
   if (!st.failed) return;  // recovered in the meantime
   if (params_.max_probes > 0 && st.probes >= params_.max_probes) {
     PROXY_LOG(kInfo, endpoint_->scheduler().now(), "arq",
@@ -256,10 +248,7 @@ void ReliableChannel::Recover(const Address& from, SendState& st) {
   st.failed = false;
   st.retries = 0;
   st.probes = 0;
-  if (st.timer != sim::kInvalidTimer) {
-    endpoint_->scheduler().Cancel(st.timer);  // pending probe timer
-    st.timer = sim::kInvalidTimer;
-  }
+  st.timer.Cancel();  // pending probe timer
   stats_.peers_recovered++;
   PROXY_LOG(kInfo, endpoint_->scheduler().now(), "arq",
             "peer " << from.ToString() << " reachable again");

@@ -123,7 +123,7 @@ class ReliableChannel {
     std::uint64_t next_seq = 0;   // next seq to assign
     std::uint64_t base = 0;       // oldest unacked seq
     std::deque<Bytes> in_flight;  // payloads [base, next_seq)
-    sim::TimerId timer = sim::kInvalidTimer;
+    sim::Timer timer;  // retransmit or probe timer (RAII)
     int retries = 0;
     int probes = 0;               // probes sent this failure episode
     bool failed = false;

@@ -213,7 +213,6 @@ void RpcClient::OnRetryTimer(std::uint64_t seq) {
   const auto it = pending_.find(seq);
   if (it == pending_.end()) return;
   PendingCall& call = it->second;
-  call.timer = sim::kInvalidTimer;
   if (call.deadline != 0 && scheduler().now() >= call.deadline) {
     // The deadline timer fires at the same instant; resolve here so the
     // call never outlives its budget.
@@ -253,7 +252,6 @@ void RpcClient::OnRetryTimer(std::uint64_t seq) {
 void RpcClient::OnDeadline(std::uint64_t seq) {
   const auto it = pending_.find(seq);
   if (it == pending_.end()) return;
-  it->second.deadline_timer = sim::kInvalidTimer;
   stats_.deadline_expirations++;
   TimeOutCall(seq, it->second, "deadline exceeded");
 }
@@ -337,12 +335,8 @@ void RpcClient::Finish(std::uint64_t seq, RpcResult outcome) {
     stats_.calls_failed++;
   }
   call_latency_.Record(scheduler().now() - call.started_at);
-  if (call.timer != sim::kInvalidTimer) {
-    scheduler().Cancel(call.timer);
-  }
-  if (call.deadline_timer != sim::kInvalidTimer) {
-    scheduler().Cancel(call.deadline_timer);
-  }
+  // The RAII timers cancel themselves when pending_.erase destroys the
+  // call below; nothing to do here.
   if (call.is_probe) {
     // Whatever ended the probe (contact, timeout, or a local error), the
     // half-open slot must not stay occupied.

@@ -276,8 +276,8 @@ class RpcClient {
     SimTime deadline = 0;          // absolute; 0 = none
     SimDuration prev_backoff = 0;  // last interval (decorrelated jitter)
     bool is_probe = false;         // this call is a half-open breaker probe
-    sim::TimerId timer = sim::kInvalidTimer;
-    sim::TimerId deadline_timer = sim::kInvalidTimer;
+    sim::Timer timer;           // next retransmission (RAII)
+    sim::Timer deadline_timer;  // overall budget (RAII)
 
     explicit PendingCall(sim::Scheduler& sched) : promise(sched) {}
   };

@@ -164,7 +164,16 @@ sim::Co<Status> KvReplica::SendBatch(const core::ServiceBinding& peer,
 
 sim::Co<Status> KvReplica::Mirror(
     std::vector<std::pair<std::string, std::string>> entries,
-    std::vector<std::string> deletes, obs::TraceContext trace) {
+    std::vector<std::string> deletes, obs::TraceContext trace,
+    std::uint64_t* ack_epoch) {
+  // The caller's role check ran before its first suspension; a
+  // successor's announce may have deposed us while the frame was
+  // parked in the local apply. A deposed replica must not push batches
+  // under the successor's adopted epoch — the write stays applied
+  // locally but unacknowledged (the ambiguity clients already absorb).
+  if (role_ != ReplicaRole::kPrimary || syncing_) {
+    co_return UnavailableError("deposed before mirroring");
+  }
   const bool named = !params_.name.empty();
   ReplicateBatchRequest req;
   req.epoch = epoch_;
@@ -214,6 +223,11 @@ sim::Co<Status> KvReplica::Mirror(
   }
 
   if (lost_any) {
+    if (role_ != ReplicaRole::kPrimary) {
+      // Deposed while parked in the mirror fan-out: only a standing
+      // primary may evict peers and mint a new epoch.
+      co_return UnavailableError("deposed during mirror fan-out");
+    }
     if (survivors.size() < 2) {
       // Never acknowledge a write this primary alone holds: a single
       // crash could then lose acknowledged data. The local apply stands
@@ -259,6 +273,9 @@ sim::Co<Status> KvReplica::Mirror(
     if (confirmed.size() < 2) {
       co_return UnavailableError("no reachable backup to mirror to");
     }
+    if (role_ != ReplicaRole::kPrimary) {
+      co_return UnavailableError("deposed during eviction re-announce");
+    }
     if (confirmed.size() != reannounce_view.size()) {
       epoch_++;
       context_->spans().Event(context_->scheduler().now(),
@@ -268,6 +285,10 @@ sim::Co<Status> KvReplica::Mirror(
       active_ = std::move(confirmed);
     }
   }
+  // The epoch the surviving peers actually confirmed the batch under
+  // (req.epoch, not epoch_: a later bump by this frame's eviction tail
+  // or by a concurrent frame is not the epoch this write was served at).
+  if (ack_epoch != nullptr) *ack_epoch = req.epoch;
   co_return Status::Ok();
 }
 
@@ -276,7 +297,8 @@ sim::Co<Result<rpc::Void>> KvReplica::Put(std::string key, std::string value) {
 }
 
 sim::Co<Result<rpc::Void>> KvReplica::Put(std::string key, std::string value,
-                                          obs::TraceContext trace) {
+                                          obs::TraceContext trace,
+                                          std::uint64_t* ack_epoch) {
   if (syncing_) co_return UnavailableError("replica syncing");
   if (role_ != ReplicaRole::kPrimary) {
     co_return UnavailableError("not the primary");
@@ -292,7 +314,8 @@ sim::Co<Result<rpc::Void>> KvReplica::Put(std::string key, std::string value,
   }
   std::vector<std::pair<std::string, std::string>> entries;
   entries.emplace_back(std::move(key), std::move(value));
-  const Status mirrored = co_await Mirror(std::move(entries), {}, trace);
+  const Status mirrored =
+      co_await Mirror(std::move(entries), {}, trace, ack_epoch);
   inflight_writes_--;
   if (!mirrored.ok()) co_return mirrored;
   co_return rpc::Void{};
@@ -302,8 +325,8 @@ sim::Co<Result<bool>> KvReplica::Del(std::string key) {
   co_return co_await Del(std::move(key), obs::TraceContext{});
 }
 
-sim::Co<Result<bool>> KvReplica::Del(std::string key,
-                                     obs::TraceContext trace) {
+sim::Co<Result<bool>> KvReplica::Del(std::string key, obs::TraceContext trace,
+                                     std::uint64_t* ack_epoch) {
   if (syncing_) co_return UnavailableError("replica syncing");
   if (role_ != ReplicaRole::kPrimary) {
     co_return UnavailableError("not the primary");
@@ -319,7 +342,8 @@ sim::Co<Result<bool>> KvReplica::Del(std::string key,
   }
   std::vector<std::string> deletes;
   deletes.push_back(std::move(key));
-  const Status mirrored = co_await Mirror({}, std::move(deletes), trace);
+  const Status mirrored =
+      co_await Mirror({}, std::move(deletes), trace, ack_epoch);
   inflight_writes_--;
   if (!mirrored.ok()) co_return mirrored;
   co_return *existed;
@@ -1004,20 +1028,22 @@ std::shared_ptr<rpc::Dispatch> MakeReplicatedKvDispatch(
       [impl](PutRequest req,
              const rpc::CallContext& ctx) -> sim::Co<Result<EpochPutResponse>> {
         const std::string key = req.key;  // stamps the reply after the move
+        std::uint64_t ack_epoch = 0;
         Result<rpc::Void> applied = co_await impl->Put(
-            std::move(req.key), std::move(req.value), ctx.trace);
+            std::move(req.key), std::move(req.value), ctx.trace, &ack_epoch);
         if (!applied.ok()) co_return applied.status();
-        co_return EpochPutResponse{impl->epoch(), impl->ShardEpochOf(key)};
+        co_return EpochPutResponse{ack_epoch, impl->ShardEpochOf(key)};
       });
   rpc::RegisterTyped<DelRequest, EpochDelResponse>(
       *dispatch, kvwire::kEpochDel,
       [impl](DelRequest req,
              const rpc::CallContext& ctx) -> sim::Co<Result<EpochDelResponse>> {
         const std::string key = req.key;
+        std::uint64_t ack_epoch = 0;
         Result<bool> existed = co_await impl->Del(std::move(req.key),
-                                                  ctx.trace);
+                                                  ctx.trace, &ack_epoch);
         if (!existed.ok()) co_return existed.status();
-        co_return EpochDelResponse{*existed, impl->epoch(),
+        co_return EpochDelResponse{*existed, ack_epoch,
                                    impl->ShardEpochOf(key)};
       });
   rpc::RegisterTyped<GetRequest, EpochGetResponse>(

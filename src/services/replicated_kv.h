@@ -251,8 +251,10 @@ class KvReplica : public IKeyValue,
   // threaded through the mirror fan-out, so every replica's apply hangs
   // off the write that caused it in the call tree.
   sim::Co<Result<rpc::Void>> Put(std::string key, std::string value,
-                                 obs::TraceContext trace);
-  sim::Co<Result<bool>> Del(std::string key, obs::TraceContext trace);
+                                 obs::TraceContext trace,
+                                 std::uint64_t* ack_epoch = nullptr);
+  sim::Co<Result<bool>> Del(std::string key, obs::TraceContext trace,
+                            std::uint64_t* ack_epoch = nullptr);
 
   // Wire handlers (wired up by MakeReplicatedKvDispatch).
   sim::Co<Result<kvwire::ReplicaListResponse>> HandleGetReplicas();
@@ -327,9 +329,17 @@ class KvReplica : public IKeyValue,
   /// the *current* epoch: a concurrent frame may have bumped past this
   /// one while it was parked, and a peer fencing the superseded epoch
   /// says nothing about the primary's present claim.
+  ///
+  /// On success `*ack_epoch` (when non-null) receives the epoch the
+  /// batch was actually mirrored under — which may exceed the epoch at
+  /// entry if this frame evicted a dead peer mid-write. Responses must
+  /// stamp *this* value, not a later read of epoch_: a parked frame can
+  /// resume after a successor's announce bumped epoch_, and reporting
+  /// the successor's epoch on a write it never served fakes split-brain.
   sim::Co<Status> Mirror(
       std::vector<std::pair<std::string, std::string>> entries,
-      std::vector<std::string> deletes, obs::TraceContext trace);
+      std::vector<std::string> deletes, obs::TraceContext trace,
+      std::uint64_t* ack_epoch = nullptr);
 
   /// Sends `req` to `peer`, returns the raw outcome status. The trace
   /// rides in the mirror call options (replication fan-out propagation).

@@ -39,12 +39,13 @@ struct FutureState {
     value.emplace(std::move(v));
     if (waiter) {
       auto h = std::exchange(waiter, nullptr);
-      scheduler->Post([h] { h.resume(); });
+      scheduler->Post([h] { h.resume(); }).Detach();
     } else if (callback) {
       auto cb = std::exchange(callback, nullptr);
       // Post, not call: keeps completion ordering queue-driven.
       auto* self = this;
-      scheduler->Post([cb = std::move(cb), self] { cb(std::move(*self->value)); });
+      scheduler->Post([cb = std::move(cb), self] { cb(std::move(*self->value)); })
+          .Detach();
     }
     return true;
   }
@@ -83,8 +84,9 @@ class [[nodiscard]] Future {
     assert(state_ && !state_->waiter && !state_->callback);
     if (state_->value.has_value()) {
       auto st = state_;
-      st->scheduler->Post(
-          [st, cb = std::move(cb)] { cb(std::move(*st->value)); });
+      st->scheduler
+          ->Post([st, cb = std::move(cb)] { cb(std::move(*st->value)); })
+          .Detach();
     } else {
       state_->callback = std::move(cb);
     }
@@ -133,7 +135,7 @@ class SleepAwaiter {
 
   [[nodiscard]] bool await_ready() const noexcept { return delay_ == 0; }
   void await_suspend(std::coroutine_handle<> h) const {
-    sched_->PostAfter(delay_, [h] { h.resume(); });
+    sched_->PostAfter(delay_, [h] { h.resume(); }).Detach();
   }
   void await_resume() const noexcept {}
 

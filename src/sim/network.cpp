@@ -60,11 +60,13 @@ void Network::SetNodePaused(NodeId node, bool paused) {
   // Re-inject the backlog in arrival order at the current instant: the
   // stalled process wakes up and drains everything at once.
   for (auto& held : backlog) {
-    sched_->Post([this, node, held = std::move(held)]() mutable {
-      Trace(NetTraceKind::kRelease, held.from, node, held.to_port,
-            held.payload.size());
-      Deliver(held.from, node, held.to_port, std::move(held.payload));
-    });
+    sched_
+        ->Post([this, node, held = std::move(held)]() mutable {
+          Trace(NetTraceKind::kRelease, held.from, node, held.to_port,
+                held.payload.size());
+          Deliver(held.from, node, held.to_port, std::move(held.payload));
+        })
+        .Detach();
   }
 }
 
@@ -123,16 +125,9 @@ Status Network::Send(NodeId from, NodeId to, PortId to_port, Bytes payload) {
     stats_.loopback_messages++;
     const SimDuration delay =
         loopback_.fixed + loopback_.per_kib * (payload.size() / 1024);
-    sched_->PostAfter(delay, [this, from, to, to_port, dest_incarnation,
-                              payload = std::move(payload)]() mutable {
-      if (crashed_[to.value()] ||
-          incarnation_[to.value()] != dest_incarnation) {
-        stats_.messages_dropped++;
-        Trace(NetTraceKind::kDropCrash, from, to, to_port, payload.size());
-        return;
-      }
-      Deliver(from, to, to_port, std::move(payload));
-    });
+    ScheduleDelivery(from, to, to_port, sched_->now() + delay,
+                     dest_incarnation, /*via_link=*/false,
+                     std::move(payload));
     return Status::Ok();
   }
 
@@ -165,25 +160,59 @@ Status Network::Send(NodeId from, NodeId to, PortId to_port, Bytes payload) {
           : rng_.UniformU64(link.params.jitter + 1);
   const SimTime arrival = link.busy_until + link.params.latency + jitter;
 
-  sched_->PostAt(arrival, [this, from, to, to_port, dest_incarnation,
-                           payload = std::move(payload)]() mutable {
+  ScheduleDelivery(from, to, to_port, arrival, dest_incarnation,
+                   /*via_link=*/true, std::move(payload));
+  return Status::Ok();
+}
+
+void Network::ScheduleDelivery(NodeId from, NodeId to, PortId to_port,
+                               SimTime arrival,
+                               std::uint64_t dest_incarnation, bool via_link,
+                               Bytes payload) {
+  // Same-instant arrivals at one node share a single scheduler event: the
+  // first opens the batch, the rest append to it for free. Batch order is
+  // append order, which is exactly the per-message event order the old
+  // one-event-per-message core produced.
+  auto [it, opened] = batches_.try_emplace(BatchKey{to.value(), arrival});
+  it->second.push_back(PendingDelivery{from, to_port, std::move(payload),
+                                       dest_incarnation, via_link});
+  if (opened) {
+    stats_.delivery_batches++;
+    sched_->PostAt(arrival, [this, to, arrival] { DrainDeliveries(to, arrival); })
+        .Detach();
+  } else {
+    stats_.messages_coalesced++;
+  }
+}
+
+void Network::DrainDeliveries(NodeId to, SimTime at) {
+  const auto it = batches_.find(BatchKey{to.value(), at});
+  assert(it != batches_.end());
+  // Detach the batch first: a receiver callback may send again and open a
+  // fresh batch for this (node, instant) — events posted "now" run later
+  // in this same virtual instant, exactly like the unbatched core.
+  std::vector<PendingDelivery> batch = std::move(it->second);
+  batches_.erase(it);
+  for (auto& msg : batch) {
     // A partition raised while in flight also eats the message.
-    if (IsPartitioned(from, to)) {
+    if (msg.via_link && IsPartitioned(msg.from, to)) {
       stats_.messages_dropped++;
-      Trace(NetTraceKind::kDropPartition, from, to, to_port, payload.size());
-      return;
+      Trace(NetTraceKind::kDropPartition, msg.from, to, msg.to_port,
+            msg.payload.size());
+      continue;
     }
     // So does a crash of either endpoint: mail addressed to a dead
-    // incarnation is lost even if the node restarted in the meantime.
+    // incarnation is lost even if the node restarted in the meantime —
+    // checked per message, so a crash mid-drain still eats the tail.
     if (crashed_[to.value()] ||
-        incarnation_[to.value()] != dest_incarnation) {
+        incarnation_[to.value()] != msg.dest_incarnation) {
       stats_.messages_dropped++;
-      Trace(NetTraceKind::kDropCrash, from, to, to_port, payload.size());
-      return;
+      Trace(NetTraceKind::kDropCrash, msg.from, to, msg.to_port,
+            msg.payload.size());
+      continue;
     }
-    Deliver(from, to, to_port, std::move(payload));
-  });
-  return Status::Ok();
+    Deliver(msg.from, to, msg.to_port, std::move(msg.payload));
+  }
 }
 
 void Network::Deliver(NodeId from, NodeId to, PortId to_port, Bytes payload) {

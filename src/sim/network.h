@@ -49,6 +49,8 @@ struct NetStats {
   std::uint64_t bytes_delivered = 0;
   std::uint64_t loopback_messages = 0;
   std::uint64_t messages_held = 0;      // delayed by a paused node
+  std::uint64_t delivery_batches = 0;   // scheduler events spent delivering
+  std::uint64_t messages_coalesced = 0; // rode an existing batch for free
 
   void Reset() { *this = NetStats{}; }
 };
@@ -156,7 +158,35 @@ class Network {
     Bytes payload;
   };
 
+  // Batched delivery: same-instant arrivals at the same node coalesce
+  // into one scheduler event that drains the batch in arrival order. The
+  // per-message partition/crash/incarnation checks and the trace hook
+  // still run once per message, at drain time, in the original order.
+  struct PendingDelivery {
+    NodeId from;
+    PortId to_port;
+    Bytes payload;
+    std::uint64_t dest_incarnation;
+    bool via_link;  // link messages re-check the partition on arrival
+  };
+  struct BatchKey {
+    std::uint32_t node;
+    SimTime at;
+    bool operator==(const BatchKey&) const = default;
+  };
+  struct BatchKeyHash {
+    std::size_t operator()(const BatchKey& k) const noexcept {
+      std::uint64_t h = (k.at + k.node) * 0x9e3779b97f4a7c15ULL;
+      h ^= h >> 32;
+      return static_cast<std::size_t>(h);
+    }
+  };
+
   DirectedLink& LinkFor(NodeId from, NodeId to);
+  void ScheduleDelivery(NodeId from, NodeId to, PortId to_port,
+                        SimTime arrival, std::uint64_t dest_incarnation,
+                        bool via_link, Bytes payload);
+  void DrainDeliveries(NodeId to, SimTime at);
   void Deliver(NodeId from, NodeId to, PortId to_port, Bytes payload);
   void Trace(NetTraceKind kind, NodeId from, NodeId to, PortId to_port,
              std::size_t bytes) {
@@ -172,6 +202,8 @@ class Network {
   std::unordered_map<std::uint64_t, DirectedLink> links_;
   std::unordered_map<std::uint64_t, bool> partitioned_;  // undirected key
   std::unordered_map<std::uint32_t, std::vector<HeldMessage>> paused_;
+  std::unordered_map<BatchKey, std::vector<PendingDelivery>, BatchKeyHash>
+      batches_;
   std::vector<bool> crashed_;
   // Bumped on every crash; a message captures its destination's value at
   // send time and is dropped on arrival if it no longer matches, so mail

@@ -39,7 +39,7 @@ struct FinalAwaiter {
   template <typename P>
   void await_suspend(std::coroutine_handle<P> h) const noexcept {
     if (auto cont = h.promise().continuation) {
-      Scheduler::Current()->Post([cont] { cont.resume(); });
+      Scheduler::Current()->Post([cont] { cont.resume(); }).Detach();
     }
   }
   void await_resume() const noexcept {}

@@ -57,6 +57,30 @@ TEST(ChaosSmoke, ThirtyTwoSeedsHoldEveryInvariant) {
   }
 }
 
+// Regression: a ~90ms pause of the name-service node expires the kv
+// primary's lease; a backup promotes and its announce deposes the old
+// primary while write frames are parked mid-mirror. Those writes were
+// mirrored and acknowledged under the OLD epoch, but the reply used to
+// stamp epoch_ as read after resume — the successor's epoch — so two
+// distinct ackers appeared under one epoch (a fake kv-split-brain).
+// Forty clients supply enough in-flight writes to land in the window
+// (found by the 10x-client sweep at seed 15, ddmin'd to this one fault).
+TEST(ChaosSmoke, DeposedPrimaryStampsTheEpochItsWritesWereAckedUnder) {
+  ChaosOptions options;
+  options.seed = 15;
+  options.workload.clients = 40;
+  FaultEvent pause_ns;
+  pause_ns.at = Milliseconds(53) + Microseconds(477);
+  pause_ns.kind = FaultKind::kPause;
+  pause_ns.a = 0;  // the name-service node
+  pause_ns.duration = Milliseconds(90) + Microseconds(746);
+  options.schedule = std::vector<FaultEvent>{pause_ns};
+  ChaosReport report = RunChaos(options);
+  EXPECT_TRUE(report.ok()) << report.Summary() << "\n" << report.trace_tail;
+  // The fault actually forced a failover (the race needs a successor).
+  EXPECT_GE(report.kv_promotions, 1u) << report.Summary();
+}
+
 TEST(ChaosSmoke, ThirtyTwoShardedSeedsHoldEveryInvariant) {
   // The sharded topology (two 3-replica groups behind the routing proxy,
   // with online migrations through the fault window) under the same

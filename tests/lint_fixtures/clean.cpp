@@ -17,6 +17,7 @@ sim::Co<void> KvReplica::Mirror(const kvwire::ReplicateBatchRequest& req,
   co_await lease_->Renew();
   snapshot.generation++;
   (void)sim::Spawn(context_->scheduler(), Compact());
+  context_->scheduler().PostAfter(params_.mirror_interval, [] {}).Detach();
   rpc::RpcResult r = co_await context_->client().Call(
       self_.server, self_.object, kvwire::kGetStatus,
       serde::EncodeToBytes(rpc::Void{}), params_.mirror);

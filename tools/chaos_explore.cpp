@@ -54,6 +54,7 @@ struct Args {
   std::uint64_t trace_filter = 0;  // --trace=ID: one tree only
   Bug bug = Bug::kNone;
   std::uint64_t first_seed = 1;
+  std::uint64_t clients = 0;  // 0 = the harness default (4)
 };
 
 bool ParseU64(const char* s, std::uint64_t& out) {
@@ -114,6 +115,12 @@ void PrintUsage(std::FILE* out) {
                "                     (no-priority-inversion, bounded-queue, "
                "shed-means-not-\n"
                "                     executed, bounded-retry-amplification)\n"
+               "  --clients=N        run N workload clients instead of the "
+               "default 4.\n"
+               "                     The timer-wheel core keeps big sweeps "
+               "cheap: CI's\n"
+               "                     nightly lane drives a 10x sweep "
+               "(--clients=40)\n"
                "  --metrics          print the metric registry after the run "
                "(table + JSON);\n"
                "                     deterministic: same seed, same bytes\n"
@@ -143,6 +150,8 @@ bool Parse(int argc, char** argv, Args& args) {
       args.sharded = true;
     } else if (std::strcmp(a, "--overload") == 0) {
       args.overload = true;
+    } else if (std::strncmp(a, "--clients=", 10) == 0) {
+      if (!ParseU64(a + 10, args.clients) || args.clients == 0) return false;
     } else if (std::strcmp(a, "--metrics") == 0) {
       args.metrics = true;
     } else if (std::strcmp(a, "--trace") == 0) {
@@ -192,6 +201,9 @@ ChaosOptions MakeOptions(const Args& args, std::uint64_t seed) {
   options.collect_metrics = args.metrics;
   options.collect_spans = args.trace;
   options.trace_filter = args.trace_filter;
+  if (args.clients != 0) {
+    options.workload.clients = static_cast<std::uint32_t>(args.clients);
+  }
   return options;
 }
 

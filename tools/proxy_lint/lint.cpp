@@ -659,6 +659,81 @@ void CheckDiscardedTasks(const Analysis& a) {
   }
 }
 
+// L5: a bare statement `sched.Post(...)` / `sched_->PostAfter(...)` —
+// the returned RAII sim::Timer temporary is destroyed at the semicolon,
+// cancelling the event it just armed, so the callback silently never
+// runs. Binding the Timer to a name, assigning it to a member, chaining
+// .Detach() / .Cancel() on the temporary, or a `(void)` cast (explicitly
+// acknowledging the immediate cancel) all count as handling the result.
+void CheckDiscardedTimers(const Analysis& a) {
+  static const std::set<std::string> posters = {"Post", "PostAt",
+                                                "PostAfter"};
+  const Tokens& t = a.t;
+  int paren_depth = 0;
+  bool stmt_start = true;
+  for (std::size_t i = 0; i < t.size(); ++i) {
+    const std::string& s = t[i].text;
+    if (s == "(" || s == "[") { ++paren_depth; stmt_start = false; continue; }
+    if (s == ")" || s == "]") { --paren_depth; stmt_start = false; continue; }
+    if (s == ";" || s == "{" || s == "}") {
+      stmt_start = (paren_depth == 0);
+      continue;
+    }
+    if (!stmt_start || paren_depth != 0) { stmt_start = false; continue; }
+    stmt_start = false;
+
+    if (!(IsIdent(t, i) || Is(t, i, "this"))) continue;
+
+    const std::size_t end = StatementEnd(t, i);
+    if (end >= t.size() || end < 2) continue;
+    if (!Is(t, end - 1, ")")) continue;
+
+    // Assignment / binding / co_await handle the Timer; `(void)` starts
+    // the statement with a paren, so the candidate filter above already
+    // skipped it.
+    int d = 0;
+    bool disqualified = false;
+    for (std::size_t p = i; p < end; ++p) {
+      const std::string& q = t[p].text;
+      if (q == "(" || q == "[" || q == "{") ++d;
+      else if (q == ")" || q == "]" || q == "}") --d;
+      else if ((q == "=" && d == 0) || q == "co_await" || q == "co_yield") {
+        disqualified = true;
+        break;
+      }
+    }
+    if (disqualified) continue;
+
+    // The callee owning the statement's final `(...)`. A chained
+    // `.Detach()` / `.Cancel()` owns that call instead of Post*, so the
+    // handled forms fall out of scope here naturally.
+    std::size_t open = end - 1;  // index of ')'
+    int bd = 0;
+    while (open > i) {
+      if (t[open].text == ")") ++bd;
+      if (t[open].text == "(" && --bd == 0) break;
+      --open;
+    }
+    if (open <= i || !IsIdent(t, open - 1)) continue;
+    const std::string callee = t[open - 1].text;
+    if (!posters.contains(callee)) continue;
+
+    // Post* is always invoked on a scheduler object in this tree;
+    // requiring the member access (or qualification) keeps unrelated
+    // free functions that happen to share the name out of scope, and
+    // skips declarations (`Timer Post(Callback);`) for free.
+    if (open < 2 || !(Is(t, open - 2, ".") || Is(t, open - 2, "->") ||
+                      Is(t, open - 2, "::"))) {
+      continue;
+    }
+    a.Report(t[open - 1].line, "L5",
+             "sim::Timer from '" + callee +
+                 "' is discarded: the RAII temporary cancels the event at "
+                 "the semicolon — bind it to a sim::Timer, or chain "
+                 ".Detach() for fire-and-forget");
+  }
+}
+
 // L3: distribution-protocol internals touched outside the transport and
 // proxy layers.
 void CheckEncapsulation(const Analysis& a) {
@@ -790,6 +865,7 @@ std::vector<Finding> Linter::Analyze(const std::string& file,
   CheckLoops(a);
   CheckHeldDeclarations(a);
   CheckDiscardedTasks(a);
+  CheckDiscardedTimers(a);
   if (!IsEncapsulationExemptPath(file)) CheckEncapsulation(a);
   if (!IsTestPath(file) && file.rfind("bench/", 0) != 0) {
     CheckUncheckedDeadline(a);

@@ -4,7 +4,7 @@
 // The checker is token-level (a C++ lexer plus a lightweight scanner
 // over statements and scopes — no libclang), tuned to this codebase's
 // idioms: trailing-underscore members, sim::Co / sim::Future awaitables,
-// the core::Acquire<I> acquisition path. Four rules:
+// the core::Acquire<I> acquisition path. Five rules:
 //
 //   L1 suspension-hazard    a reference / iterator / pointer /
 //                           structured binding into member state live
@@ -23,6 +23,13 @@
 //   L4 unchecked-deadline   a direct RpcClient::Call built without
 //                           CallOptions (no deadline / retry policy) in
 //                           non-test code
+//   L5 discarded-timer      a statement-level Scheduler Post / PostAt /
+//                           PostAfter whose RAII sim::Timer result is
+//                           dropped — the temporary cancels the event at
+//                           the semicolon, so the callback never fires;
+//                           binding, assignment, a (void) cast, or a
+//                           chained .Detach() / .Cancel() count as
+//                           handled
 //
 // Suppressions: `// NOLINT(proxy-lint:L1)` on the finding's line, or
 // `// NOLINTNEXTLINE(proxy-lint:L1)` on the line above (rule `*` matches
@@ -42,7 +49,7 @@ namespace proxy_lint {
 struct Finding {
   std::string file;  // repo-relative, '/'-separated
   int line = 0;
-  std::string rule;  // "L1".."L4"
+  std::string rule;  // "L1".."L5"
   std::string message;
 
   friend bool operator<(const Finding& a, const Finding& b) {

@@ -39,7 +39,8 @@ void PrintUsage(std::FILE* out) {
       "\n"
       "Token-level static analysis for coroutine and encapsulation\n"
       "hazards (rules L1 suspension-hazard, L2 discarded-task,\n"
-      "L3 encapsulation-leak, L4 unchecked-deadline).\n"
+      "L3 encapsulation-leak, L4 unchecked-deadline,\n"
+      "L5 discarded-timer).\n"
       "\n"
       "  --root=DIR         repo root (default: cwd); findings and the\n"
       "                     baseline use paths relative to it\n"
