@@ -38,10 +38,22 @@ echo "== configure ($PRESET) =="
 cmake --preset "$PRESET"
 
 echo "== lint (proxy_lint) =="
-# The coroutine-hazard / encapsulation analyzer (DESIGN.md §13). New
-# findings fail; pre-existing ones are frozen in the checked-in baseline.
+# The coroutine-hazard / encapsulation / view-lifetime / wire-symmetry
+# analyzer (DESIGN.md §13). New findings fail; pre-existing ones are
+# frozen in the checked-in baseline.
 cmake --build --preset "$PRESET" -j "$(nproc)" --target proxy_lint
 "./$BUILD_DIR/tools/proxy_lint"
+
+if [ "$LINT_ONLY" = "1" ]; then
+  # The fast pre-commit path still proves the analyzer itself: its rule
+  # suite (fixtures, baseline ratchet, SARIF/diff plumbing) and the
+  # lexer hardening suite run directly, without the full ctest cycle.
+  echo "== lint self-tests =="
+  cmake --build --preset "$PRESET" -j "$(nproc)" \
+    --target proxy_lint_test lint_lexer_test
+  "./$BUILD_DIR/tests/proxy_lint_test" --gtest_brief=1
+  "./$BUILD_DIR/tests/lint_lexer_test" --gtest_brief=1
+fi
 
 # clang-tidy rides along when the host has it (the curated .clang-tidy
 # covers the generic bugprone/coroutine checks proxy_lint leaves to the

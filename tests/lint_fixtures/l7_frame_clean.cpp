@@ -1,0 +1,50 @@
+// Rule L7 (negative): a faithful encoder/decoder pair in the shape of
+// the v5 request frame — same op kinds, same order, same field names,
+// version gates that only tighten down the frame, and the v5 gate
+// spelled through a named constant the symbol index resolves. Must
+// produce zero findings. Not compiled — exercised by proxy_lint_test.
+#include "serde/reader.h"
+#include "serde/writer.h"
+
+namespace rpc {
+
+inline constexpr std::uint32_t kProbeWireVersion = 5;
+
+struct ProbeFrame {
+  std::uint8_t kind;
+  std::string method;
+  BytesView args;
+  std::uint64_t deadline;
+  std::uint64_t attempt;
+  std::uint64_t priority;
+};
+
+void EncodeProbe(serde::Writer& w, const ProbeFrame& f,
+                 std::uint32_t version) {
+  w.WriteU8(f.kind);
+  Serialize(w, f.method);
+  w.WriteBytes(f.args);
+  w.WriteVarint(f.deadline);
+  if (version >= 4) {
+    w.WriteVarint(f.attempt);
+  }
+  if (version >= kProbeWireVersion) {
+    w.WriteVarint(f.priority);
+  }
+}
+
+Status DecodeProbe(serde::Reader& r, ProbeFrame& f, std::uint32_t version) {
+  PROXY_RETURN_IF_ERROR(r.ReadU8(f.kind));
+  PROXY_RETURN_IF_ERROR(Deserialize(r, f.method));
+  PROXY_RETURN_IF_ERROR(r.ReadBytesView(f.args));
+  PROXY_RETURN_IF_ERROR(r.ReadVarint(f.deadline));
+  if (version >= 4) {
+    PROXY_RETURN_IF_ERROR(r.ReadVarint(f.attempt));
+  }
+  if (version >= kProbeWireVersion) {
+    PROXY_RETURN_IF_ERROR(r.ReadVarint(f.priority));
+  }
+  return OkStatus();
+}
+
+}  // namespace rpc

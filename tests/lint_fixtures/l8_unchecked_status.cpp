@@ -1,0 +1,35 @@
+// Rule L8: a statement-level call discarding a core::Status / Result.
+// The direct form is a compile error in-tree ([[nodiscard]] + Werror),
+// but the awaited form is the compiler's blind spot: `co_await Fn();`
+// where Fn returns Co<Status> discards the status that comes out of
+// await_resume, and no diagnostic fires. Not compiled — exercised by
+// proxy_lint_test.
+#include "common/status.h"
+
+namespace services {
+
+class Store {
+ public:
+  Status Flush();
+  sim::Co<Status> Sync();
+  sim::Co<Result<bool>> Remove(std::string key);
+  sim::Co<void> Tick();
+  sim::Co<void> Run();
+};
+
+sim::Co<void> Store::Run() {
+  Flush();          // MARK:l8-direct
+  co_await Sync();  // MARK:l8-awaited
+
+  (void)Flush();                          // handled: explicit drop
+  Status st = Flush();                    // handled: bound
+  if (!st.ok()) co_return;
+  Status synced = co_await Sync();        // handled: bound awaited
+  (void)synced;
+  Result<bool> gone = co_await Remove("k");  // handled: bound awaited
+  (void)gone;
+  co_await Tick();  // Co<void>: nothing to discard
+  co_return;
+}
+
+}  // namespace services

@@ -1,0 +1,166 @@
+// proxy_lint's lexer hardening suite: the constructs that historically
+// desync token-level scanners — raw string literals (with prefixes and
+// custom delimiters), digit separators, nested template argument lists,
+// and #if-0'd blocks — must neither produce phantom tokens nor shift
+// line numbers.
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "proxy_lint/lexer.h"
+
+namespace {
+
+using proxy_lint::Lex;
+using proxy_lint::LexResult;
+using proxy_lint::Tok;
+using proxy_lint::Token;
+using proxy_lint::Tokens;
+
+std::vector<std::string> Texts(const Tokens& t) {
+  std::vector<std::string> out;
+  out.reserve(t.size());
+  for (const Token& tok : t) out.push_back(tok.text);
+  return out;
+}
+
+bool Contains(const Tokens& t, const std::string& text) {
+  for (const Token& tok : t) {
+    if (tok.text == text) return true;
+  }
+  return false;
+}
+
+TEST(LintLexer, RawStringLiteralDoesNotDesync) {
+  // A quote and a */ inside the raw string must not open a string or a
+  // comment; the identifier after it must still be tokenized.
+  const LexResult r = Lex("auto s = R\"(quote \" and */ inside)\"; int x;");
+  EXPECT_TRUE(Contains(r.tokens, "x"));
+  EXPECT_TRUE(Contains(r.tokens, "int"));
+  // One string token, not a trail of garbage.
+  int strings = 0;
+  for (const Token& tok : r.tokens) {
+    if (tok.kind == Tok::kString) ++strings;
+  }
+  EXPECT_EQ(strings, 1);
+}
+
+TEST(LintLexer, RawStringCustomDelimiterAndPrefixes) {
+  // The )" inside the body is not the terminator — only )eof" is.
+  const LexResult r =
+      Lex("auto a = R\"eof(body with )\" inside)eof\"; int after;");
+  EXPECT_TRUE(Contains(r.tokens, "after"));
+
+  for (const char* prefix : {"u8R", "uR", "UR", "LR"}) {
+    const LexResult p =
+        Lex(std::string("auto b = ") + prefix + "\"(x \" y)\"; int tail;");
+    EXPECT_TRUE(Contains(p.tokens, "tail")) << prefix;
+  }
+}
+
+TEST(LintLexer, IdentifierEndingInRIsNotARawStringPrefix) {
+  // `FOO_UR"..."`: the UR belongs to the identifier, and the literal is
+  // an ordinary (non-raw) string.
+  const LexResult r = Lex("auto c = FOO_UR\"plain\"; int z;");
+  EXPECT_TRUE(Contains(r.tokens, "FOO_UR"));
+  EXPECT_TRUE(Contains(r.tokens, "z"));
+}
+
+TEST(LintLexer, DigitSeparatorsStayOneNumberToken) {
+  const LexResult r = Lex("constexpr long big = 1'000'000; int next;");
+  bool found = false;
+  for (const Token& tok : r.tokens) {
+    if (tok.kind == Tok::kNumber && tok.text == "1'000'000") found = true;
+  }
+  EXPECT_TRUE(found) << "digit-separated literal split apart";
+  EXPECT_TRUE(Contains(r.tokens, "next"));
+}
+
+TEST(LintLexer, NestedTemplateArgumentsSkipCleanly) {
+  const LexResult r =
+      Lex("std::map<std::string, std::vector<std::pair<int, int>>> m;");
+  const Tokens& t = r.tokens;
+  // SkipTemplateArgs from the outer '<' must land exactly on `m`.
+  std::size_t open = 0;
+  while (open < t.size() && t[open].text != "<") ++open;
+  ASSERT_LT(open, t.size());
+  const std::size_t past = proxy_lint::SkipTemplateArgs(t, open);
+  ASSERT_LT(past, t.size());
+  EXPECT_EQ(t[past].text, "m");
+}
+
+TEST(LintLexer, IfZeroBlockIsInvisible) {
+  const LexResult r = Lex(
+      "int live1;\n"
+      "#if 0\n"
+      "int dead; \"unterminated\n"
+      "#endif\n"
+      "int live2;\n");
+  EXPECT_TRUE(Contains(r.tokens, "live1"));
+  EXPECT_TRUE(Contains(r.tokens, "live2"));
+  EXPECT_FALSE(Contains(r.tokens, "dead"));
+}
+
+TEST(LintLexer, IfZeroElseBranchIsLive) {
+  const LexResult r = Lex(
+      "#if 0\n"
+      "int dead;\n"
+      "#else\n"
+      "int alive;\n"
+      "#endif\n");
+  EXPECT_FALSE(Contains(r.tokens, "dead"));
+  EXPECT_TRUE(Contains(r.tokens, "alive"));
+}
+
+TEST(LintLexer, IfZeroNestsOverInnerConditionals) {
+  // The inner #ifdef/#endif must not terminate the dead region early.
+  const LexResult r = Lex(
+      "#if 0\n"
+      "#ifdef FOO\n"
+      "int dead1;\n"
+      "#endif\n"
+      "int dead2;\n"
+      "#endif\n"
+      "int live;\n");
+  EXPECT_FALSE(Contains(r.tokens, "dead1"));
+  EXPECT_FALSE(Contains(r.tokens, "dead2"));
+  EXPECT_TRUE(Contains(r.tokens, "live"));
+}
+
+TEST(LintLexer, LineNumbersSurviveSkippedConstructs) {
+  const LexResult r = Lex(
+      "auto s = R\"(two\nlines)\";\n"  // raw string spans lines 1-2
+      "#if 0\n"                        // line 3
+      "dead\n"                         // line 4
+      "#endif\n"                       // line 5
+      "int marker;\n");                // line 6
+  for (const Token& tok : r.tokens) {
+    if (tok.text == "marker") {
+      EXPECT_EQ(tok.line, 6);
+      return;
+    }
+  }
+  FAIL() << "marker token missing";
+}
+
+TEST(LintLexer, NolintSuppressionsRecorded) {
+  const LexResult r = Lex(
+      "int a;  // NOLINT(proxy-lint:L2)\n"
+      "// NOLINTNEXTLINE(proxy-lint:*)\n"
+      "int b;\n");
+  ASSERT_TRUE(r.suppressed.contains(1));
+  EXPECT_TRUE(r.suppressed.at(1).contains("L2"));
+  ASSERT_TRUE(r.suppressed.contains(3));
+  EXPECT_TRUE(r.suppressed.at(3).contains("*"));
+}
+
+TEST(LintLexer, MaximalMunchPunctuators) {
+  const std::vector<std::string> texts =
+      Texts(Lex("a->b; c >= d; e && f; x <<= 1;").tokens);
+  EXPECT_NE(std::find(texts.begin(), texts.end(), "->"), texts.end());
+  EXPECT_NE(std::find(texts.begin(), texts.end(), ">="), texts.end());
+  EXPECT_NE(std::find(texts.begin(), texts.end(), "&&"), texts.end());
+}
+
+}  // namespace

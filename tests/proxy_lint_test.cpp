@@ -43,7 +43,7 @@ std::vector<Finding> Lint(const std::string& fixture,
                           const std::string& virtual_path) {
   const std::string text = ReadFixture(fixture);
   Linter linter;
-  linter.CollectDeclarations(text);
+  linter.CollectDeclarations(virtual_path, text);
   return linter.Analyze(virtual_path, text);
 }
 
@@ -143,6 +143,119 @@ TEST(ProxyLintL4, BareCallReportedOptionsFormAndTestsPass) {
 
   EXPECT_TRUE(Lint("l4_unchecked_deadline.cpp", "tests/x_test.cpp").empty());
   EXPECT_TRUE(Lint("l4_unchecked_deadline.cpp", "bench/x.cpp").empty());
+}
+
+TEST(ProxyLintL6, ViewEscapesReportedSanctionedPatternsPass) {
+  const std::string text = ReadFixture("l6_borrowed_view.cpp");
+  const std::vector<Finding> f =
+      Lint("l6_borrowed_view.cpp", "src/services/x.cpp");
+  EXPECT_EQ(Rules(f), std::set<std::string>{"L6"});
+  EXPECT_TRUE(HasFindingAt(f, "L6", LineOf(text, "MARK:l6-member-store")));
+  EXPECT_TRUE(HasFindingAt(f, "L6", LineOf(text, "MARK:l6-container")));
+  EXPECT_TRUE(HasFindingAt(f, "L6", LineOf(text, "MARK:l6-detached")));
+  EXPECT_TRUE(HasFindingAt(f, "L6", LineOf(text, "MARK:l6-return")));
+  // Scalar derivations, owning copies, same-frame consumption, the
+  // view+arena pattern, and view-returning accessors are all exempt.
+  EXPECT_EQ(f.size(), 4u);
+}
+
+TEST(ProxyLintL7, FaithfulPairProducesNoFindings) {
+  EXPECT_TRUE(Lint("l7_frame_clean.cpp", "src/rpc/probe.cpp").empty());
+}
+
+TEST(ProxyLintL7, FieldOrderDriftAndGateRegressionCaught) {
+  const std::string text = ReadFixture("l7_frame_drift.cpp");
+  const std::vector<Finding> f =
+      Lint("l7_frame_drift.cpp", "src/rpc/probe.cpp");
+  EXPECT_EQ(Rules(f), std::set<std::string>{"L7"});
+  // The injected one-field drift in the v5-frame copy is reported at
+  // the first diverging decoder op, the gate regression at the op whose
+  // guard loosened.
+  EXPECT_TRUE(HasFindingAt(f, "L7", LineOf(text, "MARK:l7-drift")));
+  EXPECT_TRUE(HasFindingAt(f, "L7", LineOf(text, "MARK:l7-gate")));
+  EXPECT_EQ(f.size(), 2u);
+}
+
+TEST(ProxyLintL7, OnlyAppliesToWirePaths) {
+  // The same drifted pair outside src/rpc and src/serde is out of
+  // scope: Encode/Decode names elsewhere are not the wire protocol.
+  EXPECT_TRUE(Lint("l7_frame_drift.cpp", "src/services/x.cpp").empty());
+}
+
+TEST(ProxyLintL8, DirectAndAwaitedDiscardsReportedHandledFormsPass) {
+  const std::string text = ReadFixture("l8_unchecked_status.cpp");
+  const std::vector<Finding> f =
+      Lint("l8_unchecked_status.cpp", "src/services/x.cpp");
+  EXPECT_EQ(Rules(f), std::set<std::string>{"L8"});
+  EXPECT_TRUE(HasFindingAt(f, "L8", LineOf(text, "MARK:l8-direct")));
+  EXPECT_TRUE(HasFindingAt(f, "L8", LineOf(text, "MARK:l8-awaited")));
+  // (void) casts, bound names, and Co<void> awaits are all handled.
+  EXPECT_EQ(f.size(), 2u);
+
+  // L8 is scoped to src/: a test deliberately dropping a status (e.g.
+  // poking a crashed replica) is not a finding.
+  EXPECT_TRUE(Lint("l8_unchecked_status.cpp", "tests/x_test.cpp").empty());
+}
+
+TEST(ProxyLintIndex, ResolvesCalleesAcrossTranslationUnits) {
+  // The Co return type lives in one file, the discarding call in
+  // another: only a cross-TU index can connect them.
+  const std::string decl =
+      "namespace s {\n"
+      "class Pump {\n"
+      " public:\n"
+      "  sim::Co<void> Kick();\n"
+      "};\n"
+      "}  // namespace s\n";
+  const std::string use =
+      "namespace s {\n"
+      "void Drive(Pump& p) {\n"
+      "  p.Kick();\n"
+      "}\n"
+      "}  // namespace s\n";
+  Linter linter;
+  linter.CollectDeclarations("src/pump.h", decl);
+  linter.CollectDeclarations("src/drive.cpp", use);
+  const std::vector<Finding> f = linter.Analyze("src/drive.cpp", use);
+  ASSERT_EQ(f.size(), 1u);
+  EXPECT_EQ(f[0].rule, "L2");
+  EXPECT_EQ(f[0].line, 3);
+}
+
+TEST(ProxyLintSarif, RendersRuleCatalogueAndLocations) {
+  const std::vector<Finding> findings = {
+      {"src/a.cpp", 7, "L6", "view \"v\" escapes"}};
+  const std::string sarif = proxy_lint::RenderSarif(findings);
+  EXPECT_NE(sarif.find("\"version\": \"2.1.0\""), std::string::npos);
+  EXPECT_NE(sarif.find("\"name\": \"proxy_lint\""), std::string::npos);
+  // All eight rules are declared in the driver's catalogue.
+  for (const char* rule : {"L1", "L2", "L3", "L4", "L5", "L6", "L7", "L8"}) {
+    EXPECT_NE(sarif.find(std::string("\"id\": \"") + rule + "\""),
+              std::string::npos)
+        << rule;
+  }
+  EXPECT_NE(sarif.find("\"uri\": \"src/a.cpp\""), std::string::npos);
+  EXPECT_NE(sarif.find("\"startLine\": 7"), std::string::npos);
+  // The quote in the message survives escaping.
+  EXPECT_NE(sarif.find("view \\\"v\\\" escapes"), std::string::npos);
+}
+
+TEST(ProxyLintDiff, SubtractMatchesLineAgnosticallyAndMultisetAware) {
+  const std::vector<Finding> base = {
+      {"src/a.cpp", 10, "L8", "drop"},
+      {"src/a.cpp", 20, "L8", "drop"},
+  };
+  const std::vector<Finding> current = {
+      {"src/a.cpp", 12, "L8", "drop"},   // shifted: still covered
+      {"src/a.cpp", 25, "L8", "drop"},   // second identical: covered
+      {"src/a.cpp", 30, "L8", "drop"},   // third: new
+      {"src/a.cpp", 31, "L6", "escape"}, // different rule: new
+  };
+  const std::vector<Finding> fresh =
+      proxy_lint::SubtractFindings(current, base);
+  ASSERT_EQ(fresh.size(), 2u);
+  EXPECT_EQ(fresh[0].line, 30);
+  EXPECT_EQ(fresh[1].rule, "L6");
 }
 
 TEST(ProxyLintSuppression, NolintSilencesEveryRule) {

@@ -1,0 +1,402 @@
+#include "proxy_lint/lexer.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cstddef>
+#include <cstring>
+
+namespace proxy_lint {
+
+namespace {
+
+const std::set<std::string>& Keywords() {
+  static const std::set<std::string> kw = {
+      "alignas",  "alignof",  "auto",     "bool",     "break",   "case",
+      "catch",    "char",     "class",    "const",    "consteval",
+      "constexpr","constinit","continue", "decltype", "default", "delete",
+      "do",       "double",   "else",     "enum",     "explicit","export",
+      "extern",   "false",    "float",    "for",      "friend",  "goto",
+      "if",       "inline",   "int",      "long",     "mutable", "namespace",
+      "new",      "noexcept", "nullptr",  "operator", "private", "protected",
+      "public",   "requires", "return",   "short",    "signed",  "sizeof",
+      "static",   "struct",   "switch",   "template", "this",    "throw",
+      "true",     "try",      "typedef",  "typeid",   "typename","union",
+      "unsigned", "using",    "virtual",  "void",     "volatile","while",
+      "co_await", "co_return","co_yield", "concept",  "static_assert",
+  };
+  return kw;
+}
+
+/// Multi-char punctuation we keep glued. `<` and `>` stay single chars so
+/// template-argument skipping can count depth; `>>`/`<<` are glued and
+/// counted as two closes/opens there.
+bool GluePunct(char a, char b) {
+  static const char* pairs[] = {"::", "->", "==", "!=", "<=", ">=", "&&",
+                                "||", "++", "--", "+=", "-=", "*=", "/=",
+                                "%=", "|=", "&=", "^=", ">>", "<<"};
+  for (const char* p : pairs) {
+    if (p[0] == a && p[1] == b) return true;
+  }
+  return false;
+}
+
+/// Records NOLINT(proxy-lint:RULE) / NOLINTNEXTLINE(proxy-lint:RULE)
+/// directives found in a comment.
+void ScanCommentForNolint(const std::string& comment, int line,
+                          LexResult& out) {
+  static const std::string kNolint = "NOLINT";
+  std::size_t pos = 0;
+  while ((pos = comment.find(kNolint, pos)) != std::string::npos) {
+    std::size_t p = pos + kNolint.size();
+    int target = line;
+    static const std::string kNextLine = "NEXTLINE";
+    if (comment.compare(p, kNextLine.size(), kNextLine) == 0) {
+      p += kNextLine.size();
+      target = line + 1;
+    }
+    if (p >= comment.size() || comment[p] != '(') {
+      pos = p;
+      continue;
+    }
+    const std::size_t close = comment.find(')', p);
+    if (close == std::string::npos) break;
+    const std::string inner = comment.substr(p + 1, close - p - 1);
+    // Accept "proxy-lint" (all rules) or "proxy-lint:Ln" / "proxy-lint:*".
+    static const std::string kTool = "proxy-lint";
+    if (inner.compare(0, kTool.size(), kTool) == 0) {
+      std::string rule = "*";
+      if (inner.size() > kTool.size() && inner[kTool.size()] == ':') {
+        rule = inner.substr(kTool.size() + 1);
+      }
+      out.suppressed[target].insert(rule);
+    }
+    pos = close;
+  }
+}
+
+/// Reads one logical preprocessor line starting at `i` (which points at
+/// '#'), honouring \-splices. Leaves `i` at the terminating '\n' (or at
+/// src.size()) and `line` updated for any spliced newlines. Returns the
+/// directive text with splices collapsed.
+std::string ReadDirectiveLine(const std::string& src, std::size_t& i,
+                              int& line) {
+  std::string text;
+  const std::size_t n = src.size();
+  while (i < n) {
+    if (src[i] == '\\' && i + 1 < n && src[i + 1] == '\n') {
+      ++line;
+      i += 2;
+      text += ' ';
+      continue;
+    }
+    if (src[i] == '\n') break;
+    text += src[i++];
+  }
+  return text;
+}
+
+/// First preprocessor token after the '#' (e.g. "if", "endif"). Allows
+/// whitespace between '#' and the keyword.
+std::string DirectiveWord(const std::string& directive, std::size_t* rest) {
+  std::size_t p = 0;
+  if (p < directive.size() && directive[p] == '#') ++p;
+  while (p < directive.size() &&
+         std::isspace(static_cast<unsigned char>(directive[p]))) {
+    ++p;
+  }
+  std::string word;
+  while (p < directive.size() &&
+         (std::isalpha(static_cast<unsigned char>(directive[p])) ||
+          directive[p] == '_')) {
+    word += directive[p++];
+  }
+  if (rest != nullptr) *rest = p;
+  return word;
+}
+
+/// `#if 0` (and only the literal-zero condition): the block is dead code
+/// and must not reach the token stream.
+bool IsIfZero(const std::string& directive) {
+  std::size_t p = 0;
+  if (DirectiveWord(directive, &p) != "if") return false;
+  while (p < directive.size() &&
+         std::isspace(static_cast<unsigned char>(directive[p]))) {
+    ++p;
+  }
+  if (p >= directive.size() || directive[p] != '0') return false;
+  ++p;
+  while (p < directive.size() &&
+         std::isspace(static_cast<unsigned char>(directive[p]))) {
+    ++p;
+  }
+  // `#if 0` exactly; `#if 01`, `#if 0x...` or arithmetic stays lexed.
+  return p >= directive.size() || directive[p] == '/';
+}
+
+/// Length of a raw-string prefix (`R"`, `u8R"`, `uR"`, `UR"`, `LR"`)
+/// starting at `i`, or 0. A prefix that continues an identifier (e.g.
+/// `FOO_UR "..."` glued by a macro) is not a raw string.
+std::size_t RawPrefixLen(const std::string& src, std::size_t i) {
+  if (i > 0 && (std::isalnum(static_cast<unsigned char>(src[i - 1])) ||
+                src[i - 1] == '_')) {
+    return 0;
+  }
+  static const char* prefixes[] = {"u8R\"", "uR\"", "UR\"", "LR\"", "R\""};
+  for (const char* p : prefixes) {
+    const std::size_t len = std::strlen(p);
+    if (src.compare(i, len, p) == 0) return len;
+  }
+  return 0;
+}
+
+}  // namespace
+
+bool IsKeyword(const std::string& s) { return Keywords().contains(s); }
+
+LexResult Lex(const std::string& src) {
+  LexResult out;
+  int line = 1;
+  std::size_t i = 0;
+  const std::size_t n = src.size();
+  bool at_line_start = true;  // only whitespace seen since the newline
+
+  auto count_lines = [&](std::size_t from, std::size_t to) {
+    for (std::size_t k = from; k < to; ++k) {
+      if (src[k] == '\n') ++line;
+    }
+  };
+
+  while (i < n) {
+    const char c = src[i];
+    if (c == '\n') {
+      ++line;
+      ++i;
+      at_line_start = true;
+      continue;
+    }
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    // Preprocessor directive: skipped line-wise, except that an
+    // `#if 0` region is consumed whole (honouring nested conditionals
+    // and resuming at a matching `#else` / `#elif` / `#endif`) so
+    // disabled code — balanced or not — never reaches the scanners.
+    if (c == '#' && at_line_start) {
+      const std::string directive = ReadDirectiveLine(src, i, line);
+      if (!IsIfZero(directive)) continue;
+      int pp_depth = 0;
+      while (i < n) {
+        // `i` sits at the '\n' ending the previous directive/line.
+        if (src[i] == '\n') {
+          ++line;
+          ++i;
+        }
+        // Find this line's first non-blank character.
+        while (i < n && src[i] != '\n' &&
+               std::isspace(static_cast<unsigned char>(src[i]))) {
+          ++i;
+        }
+        if (i >= n) break;
+        if (src[i] != '#') {
+          while (i < n && src[i] != '\n') ++i;
+          continue;
+        }
+        const std::string inner = ReadDirectiveLine(src, i, line);
+        const std::string word = DirectiveWord(inner, nullptr);
+        if (word == "if" || word == "ifdef" || word == "ifndef") {
+          ++pp_depth;
+        } else if (word == "endif") {
+          if (pp_depth == 0) break;
+          --pp_depth;
+        } else if ((word == "else" || word == "elif") && pp_depth == 0) {
+          // The live branch resumes after this directive line.
+          break;
+        }
+      }
+      continue;
+    }
+    at_line_start = false;
+    // Comments (record NOLINT directives).
+    if (c == '/' && i + 1 < n && src[i + 1] == '/') {
+      std::size_t end = src.find('\n', i);
+      if (end == std::string::npos) end = n;
+      ScanCommentForNolint(src.substr(i, end - i), line, out);
+      i = end;
+      continue;
+    }
+    if (c == '/' && i + 1 < n && src[i + 1] == '*') {
+      const int start_line = line;
+      std::size_t end = src.find("*/", i + 2);
+      if (end == std::string::npos) end = n;
+      ScanCommentForNolint(src.substr(i, end - i), start_line, out);
+      count_lines(i, std::min(end + 2, n));
+      i = std::min(end + 2, n);
+      continue;
+    }
+    // Raw string literal (any encoding prefix). The delimiter grammar
+    // means no escape processing: the literal ends only at `)delim"`.
+    if (const std::size_t plen = RawPrefixLen(src, i); plen != 0) {
+      std::size_t p = i + plen;
+      std::string delim;
+      while (p < n && src[p] != '(') delim += src[p++];
+      const std::string closer = ")" + delim + "\"";
+      std::size_t end = src.find(closer, p);
+      if (end == std::string::npos) end = n;
+      count_lines(i, std::min(end + closer.size(), n));
+      out.tokens.push_back({Tok::kString, "", line});
+      i = std::min(end + closer.size(), n);
+      continue;
+    }
+    // String / char literal.
+    if (c == '"' || c == '\'') {
+      const char quote = c;
+      std::size_t p = i + 1;
+      while (p < n && src[p] != quote) {
+        if (src[p] == '\\' && p + 1 < n) ++p;
+        if (src[p] == '\n') ++line;
+        ++p;
+      }
+      out.tokens.push_back({Tok::kString, "", line});
+      i = p + 1;
+      continue;
+    }
+    // Identifier / keyword.
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      std::size_t p = i;
+      while (p < n && (std::isalnum(static_cast<unsigned char>(src[p])) ||
+                       src[p] == '_')) {
+        ++p;
+      }
+      out.tokens.push_back({Tok::kIdent, src.substr(i, p - i), line});
+      i = p;
+      continue;
+    }
+    // Number (digits, separators, dots, exponents, suffixes — exactness
+    // irrelevant).
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+      std::size_t p = i;
+      while (p < n && (std::isalnum(static_cast<unsigned char>(src[p])) ||
+                       src[p] == '.' || src[p] == '\'')) {
+        ++p;
+      }
+      out.tokens.push_back({Tok::kNumber, src.substr(i, p - i), line});
+      i = p;
+      continue;
+    }
+    // Punctuation (maximal-munch over the glued set).
+    if (i + 1 < n && GluePunct(c, src[i + 1])) {
+      out.tokens.push_back({Tok::kPunct, src.substr(i, 2), line});
+      i += 2;
+      continue;
+    }
+    out.tokens.push_back({Tok::kPunct, std::string(1, c), line});
+    ++i;
+  }
+  return out;
+}
+
+// --- token-stream helpers ----------------------------------------------
+
+bool Is(const Tokens& t, std::size_t i, const char* text) {
+  return i < t.size() && t[i].text == text;
+}
+
+bool IsIdent(const Tokens& t, std::size_t i) {
+  return i < t.size() && t[i].kind == Tok::kIdent && !IsKeyword(t[i].text);
+}
+
+bool IsMemberToken(const Token& tok) {
+  if (tok.text == "this") return true;
+  return tok.kind == Tok::kIdent && tok.text.size() > 1 &&
+         tok.text.back() == '_' && !IsKeyword(tok.text);
+}
+
+bool RangeHasMemberState(const Tokens& t, std::size_t from, std::size_t to) {
+  for (std::size_t i = from; i < to && i < t.size(); ++i) {
+    if (IsMemberToken(t[i])) return true;
+  }
+  return false;
+}
+
+bool RangeCapturesOwnMemberState(const Tokens& t, std::size_t from,
+                                 std::size_t to) {
+  for (std::size_t i = from; i < to && i < t.size(); ++i) {
+    if (IsMemberToken(t[i]) && !Is(t, i + 1, "->")) return true;
+  }
+  return false;
+}
+
+std::string MemberTokenIn(const Tokens& t, std::size_t from, std::size_t to) {
+  for (std::size_t i = from; i < to && i < t.size(); ++i) {
+    if (IsMemberToken(t[i])) return t[i].text;
+  }
+  return "member state";
+}
+
+std::size_t SkipBalanced(const Tokens& t, std::size_t i) {
+  const std::string open = t[i].text;
+  const std::string close = open == "(" ? ")" : open == "[" ? "]" : "}";
+  int depth = 0;
+  for (std::size_t p = i; p < t.size(); ++p) {
+    if (t[p].text == open) ++depth;
+    if (t[p].text == close && --depth == 0) return p + 1;
+  }
+  return t.size();
+}
+
+std::size_t SkipTemplateArgs(const Tokens& t, std::size_t i) {
+  int depth = 0;
+  for (std::size_t p = i; p < t.size(); ++p) {
+    const std::string& s = t[p].text;
+    if (s == "<") ++depth;
+    else if (s == "<<") depth += 2;
+    else if (s == ">") --depth;
+    else if (s == ">>") depth -= 2;
+    else if (s == ";" || s == "{") return t.size();  // gave up: not a template
+    if (depth <= 0 && p > i) return p + 1;
+  }
+  return t.size();
+}
+
+std::size_t StatementEnd(const Tokens& t, std::size_t i) {
+  int depth = 0;
+  for (std::size_t p = i; p < t.size(); ++p) {
+    const std::string& s = t[p].text;
+    if (s == "(" || s == "[" || s == "{") ++depth;
+    else if (s == ")" || s == "]" || s == "}") --depth;
+    else if (s == ";" && depth <= 0) return p;
+  }
+  return t.size();
+}
+
+std::size_t EnclosingScopeEnd(const Tokens& t, std::size_t i) {
+  int depth = 1;
+  for (std::size_t p = i; p < t.size(); ++p) {
+    if (t[p].text == "{") ++depth;
+    if (t[p].text == "}" && --depth == 0) return p;
+  }
+  return t.size();
+}
+
+bool ContainsCoAwait(const Tokens& t, std::size_t from, std::size_t to) {
+  for (std::size_t i = from; i < to && i < t.size(); ++i) {
+    if (t[i].text == "co_await") return true;
+  }
+  return false;
+}
+
+std::size_t QualifiedChainStart(const Tokens& t, std::size_t i) {
+  std::size_t p = i;
+  while (p >= 2 && Is(t, p - 1, "::") && IsIdent(t, p - 2)) p -= 2;
+  return p;
+}
+
+bool LooksLikeIteratorCall(const std::string& name) {
+  static const std::set<std::string> it = {
+      "begin", "end",  "rbegin", "rend",        "cbegin",     "cend",
+      "find",  "data", "lower_bound", "upper_bound", "equal_range"};
+  return it.contains(name);
+}
+
+}  // namespace proxy_lint

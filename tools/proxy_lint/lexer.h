@@ -1,0 +1,93 @@
+// proxy_lint's C++ lexer and token-stream helpers.
+//
+// The lexer is deliberately small: identifiers, numbers (with digit
+// separators), string/char literals (text dropped; raw strings with
+// their full prefix/delimiter grammar), comments (scanned for NOLINT
+// directives), and punctuation with a glued multi-char set. Preprocessor
+// directives are skipped line-wise, and `#if 0` regions are skipped
+// entirely (honouring nesting and `#else`), so disabled code can never
+// desync the scanners built on top.
+#pragma once
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace proxy_lint {
+
+enum class Tok {
+  kIdent,   // identifiers and keywords
+  kNumber,
+  kString,  // string/char literal (text dropped)
+  kPunct,
+};
+
+struct Token {
+  Tok kind;
+  std::string text;
+  int line;
+};
+
+using Tokens = std::vector<Token>;
+
+struct LexResult {
+  Tokens tokens;
+  // line -> rules suppressed on that line ("*" = all).
+  std::map<int, std::set<std::string>> suppressed;
+};
+
+LexResult Lex(const std::string& src);
+
+bool IsKeyword(const std::string& s);
+
+// --- token-stream helpers ----------------------------------------------
+
+bool Is(const Tokens& t, std::size_t i, const char* text);
+
+/// A non-keyword identifier.
+bool IsIdent(const Tokens& t, std::size_t i);
+
+/// A member-state designator: an identifier with a trailing underscore
+/// (this codebase's member convention), or an explicit `this`.
+bool IsMemberToken(const Token& tok);
+
+bool RangeHasMemberState(const Tokens& t, std::size_t from, std::size_t to);
+
+/// Like RangeHasMemberState, but a member followed by `->` does not
+/// count: `context_->spans()` reaches a separate long-lived object
+/// through a member pointer — a reference into *it* is the normal
+/// stable-service pattern, not a view into this object's own storage.
+bool RangeCapturesOwnMemberState(const Tokens& t, std::size_t from,
+                                 std::size_t to);
+
+/// First member-state token in [from, to), for messages.
+std::string MemberTokenIn(const Tokens& t, std::size_t from, std::size_t to);
+
+/// Index just past the matcher of the opener at `i` (one of ( [ {).
+/// Returns t.size() when unbalanced.
+std::size_t SkipBalanced(const Tokens& t, std::size_t i);
+
+/// Skips a template argument list: `i` points at `<`. Counts `>>`/`<<`
+/// as two. Returns the index just past the matching `>`, or t.size() on
+/// imbalance (caller treats that as "not a template").
+std::size_t SkipTemplateArgs(const Tokens& t, std::size_t i);
+
+/// End (index of `;`) of the statement starting at/continuing through
+/// `i`, honouring nested parens/brackets/braces. Returns t.size() if
+/// none.
+std::size_t StatementEnd(const Tokens& t, std::size_t i);
+
+/// Matching `}` for the innermost scope open at token `i` (walking
+/// forward; depth starts at 1 for the already-open scope).
+std::size_t EnclosingScopeEnd(const Tokens& t, std::size_t i);
+
+bool ContainsCoAwait(const Tokens& t, std::size_t from, std::size_t to);
+
+/// Walks back over a qualified-id chain (`a::b::c`) ending at `i`
+/// (inclusive); returns the index of the chain's first token.
+std::size_t QualifiedChainStart(const Tokens& t, std::size_t i);
+
+bool LooksLikeIteratorCall(const std::string& name);
+
+}  // namespace proxy_lint

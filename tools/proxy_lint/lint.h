@@ -1,18 +1,23 @@
-// proxy_lint: a first-party static analyzer for this repo's coroutine
-// and encapsulation hazards.
+// proxy_lint: a first-party static analyzer for this repo's coroutine,
+// encapsulation, lifetime, and wire-protocol hazards.
 //
 // The checker is token-level (a C++ lexer plus a lightweight scanner
 // over statements and scopes — no libclang), tuned to this codebase's
 // idioms: trailing-underscore members, sim::Co / sim::Future awaitables,
-// the core::Acquire<I> acquisition path. Five rules:
+// the core::Acquire<I> acquisition path, the OwnedBytes/BytesView
+// zero-copy arena discipline. It runs in two passes: pass 1 builds a
+// repo-wide symbol index (function return types, member field types,
+// class→file map, wire-version constants — see index.h), pass 2
+// evaluates the rules against it (see rules.h). Eight rules:
 //
 //   L1 suspension-hazard    a reference / iterator / pointer /
 //                           structured binding into member state live
 //                           across a co_await (the PR-4 KvReplica::Mirror
 //                           bug shape, including range-for over a member
 //                           with an await in the loop body)
-//   L2 discarded-task       a statement-level call to a function that
-//                           returns sim::Co / sim::Future whose result is
+//   L2 discarded-task       a statement-level call whose callee resolves
+//                           (via the symbol index) to a sim::Co /
+//                           sim::Future return type and whose result is
 //                           neither co_awaited nor explicitly detached
 //                           (a (void) cast counts as explicit)
 //   L3 encapsulation-leak   rpc::RpcClient construction, raw frame
@@ -30,6 +35,28 @@
 //                           binding, assignment, a (void) cast, or a
 //                           chained .Detach() / .Cancel() count as
 //                           handled
+//   L6 borrowed-view-escape a BytesView / std::string_view / view-holding
+//                           aggregate (computed transitively over the
+//                           member index) stored into member state,
+//                           inserted into a member container, captured
+//                           by a detached task, or returned from a
+//                           function whose return type owns no view —
+//                           i.e. escaping its arrival OwnedBytes arena.
+//                           Statements that also move the arena, or copy
+//                           via ToBytes/ToString/Bytes{...}, are the
+//                           sanctioned patterns and exempt
+//   L7 wire-asymmetry       an Encode*/Wrap* body whose Decode*/Unwrap*
+//                           partner reads a different op sequence —
+//                           kind, order, count, field names, or a
+//                           version gate that regresses partway down the
+//                           frame (src/rpc and src/serde only; bodies
+//                           that delegate whole-struct Serialize are
+//                           covered transitively)
+//   L8 unchecked-status     a statement-level call discarding a
+//                           core::Status / Result, including the form
+//                           the compiler cannot see: `co_await Fn();`
+//                           where Fn returns Co<Status> / Co<Result<T>>
+//                           (src/ only)
 //
 // Suppressions: `// NOLINT(proxy-lint:L1)` on the finding's line, or
 // `// NOLINTNEXTLINE(proxy-lint:L1)` on the line above (rule `*` matches
@@ -44,12 +71,14 @@
 #include <utility>
 #include <vector>
 
+#include "proxy_lint/index.h"
+
 namespace proxy_lint {
 
 struct Finding {
   std::string file;  // repo-relative, '/'-separated
   int line = 0;
-  std::string rule;  // "L1".."L5"
+  std::string rule;  // "L1".."L8"
   std::string message;
 
   friend bool operator<(const Finding& a, const Finding& b) {
@@ -81,29 +110,29 @@ std::vector<Finding> ApplyBaseline(const std::vector<Finding>& findings,
                                    const Baseline& baseline,
                                    std::vector<std::string>* stale_notes);
 
+/// Findings in `current` not present in `base`, matched by (file, rule,
+/// message) and ignoring line numbers — the --diff-base subtraction.
+/// Matching is multiset-aware: two identical discards stay two.
+std::vector<Finding> SubtractFindings(const std::vector<Finding>& current,
+                                      const std::vector<Finding>& base);
+
 class Linter {
  public:
-  /// Pass 1: records every function name declared with a sim::Co<...> or
-  /// sim::Future<...> return type. Call for every file before Analyze —
-  /// L2 resolves callees against this set.
-  void CollectDeclarations(const std::string& content);
+  /// Pass 1: folds one file into the cross-TU symbol index. Call for
+  /// every file before Analyze — L2/L5/L6/L8 resolve callees, member
+  /// types, and wire constants against it.
+  void CollectDeclarations(const std::string& file,
+                           const std::string& content);
 
   /// Pass 2: analyzes one file. `file` must be the repo-relative path
   /// (it selects which rules apply and is what findings/baselines carry).
   std::vector<Finding> Analyze(const std::string& file,
                                const std::string& content) const;
 
-  [[nodiscard]] const std::set<std::string>& awaitable_functions() const {
-    return awaitable_;
-  }
+  [[nodiscard]] const SymbolIndex& index() const { return index_; }
 
  private:
-  std::set<std::string> awaitable_;
-  // Names also declared with a non-awaitable return type somewhere in the
-  // tree. The callee lookup is name-based (no type resolution), so an
-  // ambiguous name — e.g. a void test helper `Run` next to the coroutine
-  // `WorkloadClient::Run` — must not trigger L2.
-  std::set<std::string> ambiguous_;
+  SymbolIndex index_;
 };
 
 /// Rule applicability by repo-relative path.
@@ -112,5 +141,6 @@ bool IsEncapsulationExemptPath(const std::string& file);  // L3 allowed
 
 std::string RenderText(const std::vector<Finding>& findings);
 std::string RenderJson(const std::vector<Finding>& findings);
+std::string RenderSarif(const std::vector<Finding>& findings);
 
 }  // namespace proxy_lint

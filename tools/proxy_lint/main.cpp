@@ -1,9 +1,11 @@
 // proxy_lint CLI: walks the tree, applies the rule set, honours the
 // checked-in baseline, and fails (exit 1) on any new finding.
 //
-//   proxy_lint                          lint src/ tests/ bench/ examples/
+//   proxy_lint                          lint src/ tests/ bench/ tools/ ...
 //   proxy_lint src/services             lint a subtree (or single files)
 //   proxy_lint --format=json            machine-readable findings
+//   proxy_lint --format=sarif           SARIF 2.1.0 (GitHub code scanning)
+//   proxy_lint --diff-base=origin/main  only findings new vs. a revision
 //   proxy_lint --write-baseline         freeze current findings
 //   proxy_lint --no-baseline            report everything, frozen or not
 //
@@ -27,6 +29,7 @@ struct Args {
   std::string root = ".";
   std::string format = "text";
   std::string baseline_path;  // default resolved against root
+  std::string diff_base;      // git revision; "" = off
   bool use_baseline = true;
   bool write_baseline = false;
   std::vector<std::string> paths;  // relative to root (or absolute)
@@ -37,21 +40,27 @@ void PrintUsage(std::FILE* out) {
       out,
       "usage: proxy_lint [options] [paths...]\n"
       "\n"
-      "Token-level static analysis for coroutine and encapsulation\n"
-      "hazards (rules L1 suspension-hazard, L2 discarded-task,\n"
-      "L3 encapsulation-leak, L4 unchecked-deadline,\n"
-      "L5 discarded-timer).\n"
+      "Token-level static analysis for coroutine, encapsulation, view-\n"
+      "lifetime, and wire-protocol hazards (rules L1 suspension-hazard,\n"
+      "L2 discarded-task, L3 encapsulation-leak, L4 unchecked-deadline,\n"
+      "L5 discarded-timer, L6 borrowed-view-escape, L7 wire-asymmetry,\n"
+      "L8 unchecked-status).\n"
       "\n"
       "  --root=DIR         repo root (default: cwd); findings and the\n"
       "                     baseline use paths relative to it\n"
-      "  --format=text|json finding output format (default text)\n"
+      "  --format=text|json|sarif\n"
+      "                     finding output format (default text); sarif\n"
+      "                     emits SARIF 2.1.0 for GitHub code scanning\n"
       "  --baseline=FILE    baseline path (default\n"
       "                     <root>/tools/proxy_lint_baseline.json)\n"
       "  --no-baseline      ignore the baseline; report every finding\n"
       "  --write-baseline   write the baseline from current findings and\n"
       "                     exit 0\n"
+      "  --diff-base=REV    also lint the tree as of git revision REV and\n"
+      "                     report only findings not present there\n"
+      "                     (matched by file+rule+message, line-agnostic)\n"
       "  paths              files or directories to lint, relative to\n"
-      "                     root (default: src tests bench examples)\n"
+      "                     root (default: src tests bench tools examples)\n"
       "\n"
       "Suppress a line with // NOLINT(proxy-lint:L1) or the line above\n"
       "with // NOLINTNEXTLINE(proxy-lint:L1).\n");
@@ -67,13 +76,21 @@ bool Parse(int argc, char** argv, Args& args) {
       args.root = a + 7;
     } else if (std::strncmp(a, "--format=", 9) == 0) {
       args.format = a + 9;
-      if (args.format != "text" && args.format != "json") {
-        std::fprintf(stderr, "unknown format: %s (want text|json)\n",
+      if (args.format != "text" && args.format != "json" &&
+          args.format != "sarif") {
+        std::fprintf(stderr, "unknown format: %s (want text|json|sarif)\n",
                      args.format.c_str());
         return false;
       }
     } else if (std::strncmp(a, "--baseline=", 11) == 0) {
       args.baseline_path = a + 11;
+    } else if (std::strncmp(a, "--diff-base=", 12) == 0) {
+      args.diff_base = a + 12;
+      if (args.diff_base.empty() ||
+          args.diff_base.find_first_of("'\\\n") != std::string::npos) {
+        std::fprintf(stderr, "bad --diff-base revision\n");
+        return false;
+      }
     } else if (std::strcmp(a, "--no-baseline") == 0) {
       args.use_baseline = false;
     } else if (std::strcmp(a, "--write-baseline") == 0) {
@@ -87,7 +104,7 @@ bool Parse(int argc, char** argv, Args& args) {
     }
   }
   if (args.paths.empty()) {
-    args.paths = {"src", "tests", "bench", "examples"};
+    args.paths = {"src", "tests", "bench", "tools", "examples"};
   }
   return true;
 }
@@ -111,6 +128,21 @@ bool ReadFile(const fs::path& p, std::string& out) {
   ss << in.rdbuf();
   out = ss.str();
   return true;
+}
+
+/// `git show REV:path` relative to `root`. False when the file does not
+/// exist at that revision (new files have no base findings to subtract).
+bool GitShow(const std::string& root, const std::string& rev,
+             const std::string& rel, std::string& out) {
+  const std::string cmd = "git -C '" + root + "' show '" + rev + ":" + rel +
+                          "' 2>/dev/null";
+  std::FILE* pipe = popen(cmd.c_str(), "r");
+  if (pipe == nullptr) return false;
+  out.clear();
+  char buf[4096];
+  std::size_t n;
+  while ((n = std::fread(buf, 1, sizeof buf, pipe)) > 0) out.append(buf, n);
+  return pclose(pipe) == 0;
 }
 
 }  // namespace
@@ -163,14 +195,36 @@ int main(int argc, char** argv) {
                    f.string().c_str());
       return 2;
     }
-    linter.CollectDeclarations(text);
-    contents.emplace_back(Relative(f, root), std::move(text));
+    const std::string rel = Relative(f, root);
+    linter.CollectDeclarations(rel, text);
+    contents.emplace_back(rel, std::move(text));
   }
 
   std::vector<proxy_lint::Finding> findings;
   for (const auto& [rel, text] : contents) {
     std::vector<proxy_lint::Finding> per = linter.Analyze(rel, text);
     findings.insert(findings.end(), per.begin(), per.end());
+  }
+
+  if (!args.diff_base.empty()) {
+    // Lint the same file set as of the base revision (two full passes,
+    // so cross-TU resolution sees the base tree, not a hybrid) and keep
+    // only findings that are new relative to it.
+    proxy_lint::Linter base_linter;
+    std::vector<std::pair<std::string, std::string>> base_contents;
+    for (const auto& [rel, text] : contents) {
+      std::string base_text;
+      if (GitShow(args.root, args.diff_base, rel, base_text)) {
+        base_linter.CollectDeclarations(rel, base_text);
+        base_contents.emplace_back(rel, std::move(base_text));
+      }
+    }
+    std::vector<proxy_lint::Finding> base_findings;
+    for (const auto& [rel, text] : base_contents) {
+      std::vector<proxy_lint::Finding> per = base_linter.Analyze(rel, text);
+      base_findings.insert(base_findings.end(), per.begin(), per.end());
+    }
+    findings = proxy_lint::SubtractFindings(findings, base_findings);
   }
 
   if (args.write_baseline) {
@@ -203,6 +257,8 @@ int main(int argc, char** argv) {
 
   if (args.format == "json") {
     std::fputs(proxy_lint::RenderJson(findings).c_str(), stdout);
+  } else if (args.format == "sarif") {
+    std::fputs(proxy_lint::RenderSarif(findings).c_str(), stdout);
   } else {
     std::fputs(proxy_lint::RenderText(findings).c_str(), stdout);
     for (const std::string& note : stale) {
